@@ -1,0 +1,132 @@
+(* ORIANNA benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (the experiment index of DESIGN.md): Tbl. 1/4/5, Figs. 13-20 and
+   the Sec. 7.3 latency breakdown, printed as text tables with the
+   paper's reported numbers alongside.
+
+   Part 2 runs Bechamel micro-benchmarks of the kernels the whole
+   system is built from: Lie-group maps, small QR, factor
+   linearization, variable elimination, compilation and cycle-level
+   simulation. *)
+
+open Bechamel
+open Toolkit
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+open Orianna_factors
+open Orianna_util
+module App = Orianna_apps.App
+module Compile = Orianna_compiler.Compile
+module Schedule = Orianna_sim.Schedule
+module Accel = Orianna_hw.Accel
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark fixtures (built once, outside the timed regions).   *)
+
+let rng = Rng.of_int 987
+
+let m8 = Mat.random rng 8 8
+let m24x13 = Mat.random rng 24 13
+let phi = [| 0.3; -0.2; 0.5 |]
+let rot = So3.exp phi
+
+let between =
+  Pose_factors.between3 ~name:"b" ~a:"a" ~b:"b"
+    ~z:(Pose3.of_phi_t [| 0.0; 0.1; 0.0 |] [| 1.0; 0.0; 0.0 |])
+    ~sigma:0.1
+
+let between_lookup =
+  let pa = Pose3.of_phi_t [| 0.1; 0.0; 0.2 |] [| 0.5; 0.2; 0.0 |] in
+  let pb = Pose3.of_phi_t [| 0.0; 0.1; 0.3 |] [| 1.4; 0.3; 0.1 |] in
+  function "a" -> Var.Pose3 pa | _ -> Var.Pose3 pb
+
+let loc_graph = App.mobile_robot.App.graphs (Rng.of_int 11) |> List.assoc "localization"
+let loc_order =
+  Ordering.compute Ordering.Min_degree ~vars:(Graph.variables loc_graph)
+    ~factor_scopes:(Graph.factor_scopes loc_graph)
+let loc_lin = Graph.linearize loc_graph
+
+let app_graphs = App.mobile_robot.App.graphs (Rng.of_int 12)
+let app_program = Compile.compile_application app_graphs
+let accel = Accel.base ()
+
+let tests =
+  Test.make_grouped ~name:"orianna"
+    [
+      Test.make ~name:"mat-mul-8x8" (Staged.stage (fun () -> ignore (Mat.mul m8 m8)));
+      Test.make ~name:"qr-24x13" (Staged.stage (fun () -> ignore (Qr.triangularize m24x13)));
+      Test.make ~name:"so3-exp" (Staged.stage (fun () -> ignore (So3.exp phi)));
+      Test.make ~name:"so3-log" (Staged.stage (fun () -> ignore (So3.log rot)));
+      Test.make ~name:"so3-jr-inv" (Staged.stage (fun () -> ignore (So3.jr_inv phi)));
+      Test.make ~name:"between-linearize"
+        (Staged.stage (fun () -> ignore (Factor.linearize between between_lookup)));
+      Test.make ~name:"eliminate-localization"
+        (Staged.stage (fun () ->
+             ignore (Elimination.solve ~order:loc_order ~dims:(Graph.dims loc_graph) loc_lin)));
+      Test.make ~name:"compile-mobile-robot"
+        (Staged.stage (fun () -> ignore (Compile.compile_application app_graphs)));
+      Test.make ~name:"interpret-program"
+        (Staged.stage (fun () -> ignore (Orianna_isa.Program.run app_program)));
+      Test.make ~name:"simulate-ooo"
+        (Staged.stage (fun () ->
+             ignore (Schedule.run ~accel ~policy:Schedule.Ooo_full app_program)));
+      Test.make ~name:"eliminate-cholesky"
+        (Staged.stage (fun () ->
+             ignore
+               (Elimination.solve ~method_:Elimination.Cholesky ~order:loc_order
+                  ~dims:(Graph.dims loc_graph) loc_lin)));
+      Test.make ~name:"incremental-odometry-update"
+        (Staged.stage (fun () ->
+             let inc = Incremental.create () in
+             Incremental.add_variable inc "a" 3;
+             Incremental.add_variable inc "b" 3;
+             Incremental.update inc
+               [
+                 {
+                   Linear_system.vars = [ "a" ];
+                   blocks = [ ("a", Mat.identity 3) ];
+                   rhs = Vec.create 3;
+                 };
+                 {
+                   Linear_system.vars = [ "a"; "b" ];
+                   blocks = [ ("a", Mat.neg (Mat.identity 3)); ("b", Mat.identity 3) ];
+                   rhs = [| 1.0; 0.0; 0.0 |];
+                 };
+               ]));
+      Test.make ~name:"encode-program"
+        (Staged.stage (fun () -> ignore (Orianna_isa.Encode.encode app_program)));
+    ]
+
+let run_micro_benchmarks () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Micro-benchmarks (monotonic clock, ns per run):";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-38s %12.1f ns\n" name ns)
+    (List.sort compare !rows);
+  print_newline ()
+
+let () =
+  print_endline "=====================================================================";
+  print_endline " ORIANNA evaluation reproduction (one entry per paper table/figure)";
+  print_endline "=====================================================================";
+  print_newline ();
+  Orianna.Experiments.run_all ~missions:30 ();
+  print_endline "=====================================================================";
+  run_micro_benchmarks ()

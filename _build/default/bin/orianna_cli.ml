@@ -1,0 +1,316 @@
+(* ORIANNA command-line driver.
+
+   Subcommands walk the Fig. 2 pipeline:
+     solve       run the software factor-graph solver on an application
+     compile     lower an application to the matrix instruction stream
+     generate    hardware generation under resource constraints
+     simulate    cycle-level execution on a generated accelerator
+     mission     Tbl. 5 mission success rates
+     sphere      the Sec. 4.3 representation study
+     experiments regenerate every table and figure *)
+
+open Cmdliner
+open Orianna
+open Orianna_util
+open Orianna_hw
+open Orianna_sim
+open Orianna_baselines
+module App = Orianna_apps.App
+module Sphere = Orianna_apps.Sphere
+module Program = Orianna_isa.Program
+module Graph = Orianna_fg.Graph
+
+let app_arg =
+  let parse s =
+    try Ok (App.find s)
+    with Not_found ->
+      Error (`Msg (Printf.sprintf "unknown application %S (try: %s)" s
+                     (String.concat ", " (List.map (fun (a : App.t) -> a.App.name) App.all))))
+  in
+  let print ppf (a : App.t) = Format.fprintf ppf "%s" a.App.name in
+  Arg.conv (parse, print)
+
+let app_pos =
+  Arg.(required & pos 0 (some app_arg) None & info [] ~docv:"APP" ~doc:"Application name (MobileRobot, Manipulator, AutoVehicle, Quadrotor).")
+
+let seed_flag =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload random seed.")
+
+(* ---------------- solve ---------------- *)
+
+let solve_cmd =
+  let run app seed =
+    let graphs = app.App.graphs (Rng.of_int seed) in
+    List.iter
+      (fun (name, g) ->
+        let before = Graph.error g in
+        let report = Orianna_fg.Optimizer.optimize g in
+        Format.printf "%-12s %3d vars %3d factors : error %10.4g -> %10.4g in %d iterations@."
+          name (Graph.num_variables g) (Graph.num_factors g) before
+          report.Orianna_fg.Optimizer.final_error report.Orianna_fg.Optimizer.iterations)
+      graphs
+  in
+  let term = Term.(const run $ app_pos $ seed_flag) in
+  Cmd.v (Cmd.info "solve" ~doc:"Run the software factor-graph solver on an application frame.") term
+
+(* ---------------- compile ---------------- *)
+
+let compile_cmd =
+  let dense = Arg.(value & flag & info [ "dense" ] ~doc:"Use the VANILLA-HLS dense lowering.") in
+  let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Print the full instruction listing.") in
+  let run app seed dense dump =
+    let graphs = app.App.graphs (Rng.of_int seed) in
+    let program =
+      if dense then Orianna_compiler.Compile.compile_dense_application graphs
+      else Orianna_compiler.Compile.compile_application graphs
+    in
+    Format.printf "%a@." Program.pp_stats (Program.stats program);
+    if dump then Format.printf "%a@." Program.pp program
+  in
+  let term = Term.(const run $ app_pos $ seed_flag $ dense $ dump) in
+  Cmd.v (Cmd.info "compile" ~doc:"Lower an application to the ORIANNA instruction stream.") term
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd =
+  let dsp = Arg.(value & opt int Resource.zc706.Resource.dsp & info [ "dsp" ] ~docv:"N" ~doc:"DSP budget.") in
+  let objective =
+    Arg.(value & opt (enum [ ("latency", `Latency); ("energy", `Energy) ]) `Latency
+         & info [ "objective" ] ~doc:"Generation objective.")
+  in
+  let run app seed dsp objective =
+    let frame = Pipeline.frame app ~seed in
+    let budget = { Resource.zc706 with Resource.dsp = dsp } in
+    let result = Pipeline.generate ~budget ~objective frame.Pipeline.program in
+    List.iter
+      (fun (s : Dse.step) ->
+        let what =
+          match s.Dse.added with
+          | None -> "(initial)"
+          | Some (Dse.Add_unit c) -> "+" ^ Unit_model.class_name c
+          | Some Dse.Widen_qr -> "widen QR"
+        in
+        Format.printf "  %-12s objective %.4g  (%a)@." what s.Dse.objective Resource.pp
+          s.Dse.resources)
+      result.Dse.trace;
+    Format.printf "%a@." Accel.pp result.Dse.best
+  in
+  let term = Term.(const run $ app_pos $ seed_flag $ dsp $ objective) in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate an accelerator for an application under a resource budget.")
+    term
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_cmd =
+  let policy =
+    Arg.(value
+         & opt (enum [ ("ooo", Schedule.Ooo_full); ("fine", Schedule.Ooo_fine); ("io", Schedule.In_order) ]) Schedule.Ooo_full
+         & info [ "policy" ] ~doc:"Issue policy: ooo, fine or io.")
+  in
+  let run app seed policy =
+    let frame = Pipeline.frame app ~seed in
+    let accel = (Pipeline.generate frame.Pipeline.program).Dse.best in
+    let r = Schedule.run ~accel ~policy frame.Pipeline.program in
+    Format.printf "%a@." Schedule.pp_result r;
+    let arm = Cpu_model.run Cpu_model.arm ~construct_flop_scale:Pipeline.se3_construct_scale frame.Pipeline.program in
+    let intel = Cpu_model.run Cpu_model.intel ~construct_flop_scale:Pipeline.se3_construct_scale frame.Pipeline.program in
+    Format.printf "speedup: %.1fx over ARM, %.1fx over Intel@."
+      (arm.Cpu_model.seconds /. r.Schedule.seconds)
+      (intel.Cpu_model.seconds /. r.Schedule.seconds)
+  in
+  let term = Term.(const run $ app_pos $ seed_flag $ policy) in
+  Cmd.v (Cmd.info "simulate" ~doc:"Cycle-level execution on a generated accelerator.") term
+
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let policy =
+    Arg.(value
+         & opt (enum [ ("ooo", Schedule.Ooo_full); ("fine", Schedule.Ooo_fine); ("io", Schedule.In_order) ]) Schedule.Ooo_full
+         & info [ "policy" ] ~doc:"Issue policy: ooo, fine or io.")
+  in
+  let gantt = Arg.(value & opt (some string) None & info [ "gantt" ] ~docv:"FILE" ~doc:"Write a per-instruction schedule CSV.") in
+  let dot = Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Write the dependency DAG as GraphViz dot.") in
+  let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"Write a Gantt chart as SVG.") in
+  let run app seed policy gantt dot svg =
+    let frame = Pipeline.frame app ~seed in
+    let accel = (Pipeline.generate frame.Pipeline.program).Dse.best in
+    let r = Schedule.run ~accel ~policy frame.Pipeline.program in
+    print_string (Orianna_sim.Trace.utilization_timeline frame.Pipeline.program r);
+    Format.printf "makespan: %d cycles (%.1f us)@." r.Schedule.cycles (r.Schedule.seconds *. 1e6);
+    let write path contents =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Format.printf "wrote %s@." path
+    in
+    Option.iter (fun path -> write path (Orianna_sim.Trace.gantt_csv frame.Pipeline.program r)) gantt;
+    Option.iter (fun path -> write path (Orianna_sim.Trace.to_dot frame.Pipeline.program)) dot;
+    Option.iter (fun path -> write path (Orianna_viz.Plots.gantt_svg frame.Pipeline.program r)) svg
+  in
+  let term = Term.(const run $ app_pos $ seed_flag $ policy $ gantt $ dot $ svg) in
+  Cmd.v (Cmd.info "trace" ~doc:"Dump schedule timelines, Gantt CSVs and dependency graphs.") term
+
+(* ---------------- mission ---------------- *)
+
+let mission_cmd =
+  let missions = Arg.(value & opt int 30 & info [ "missions" ] ~docv:"N" ~doc:"Number of missions.") in
+  let solver =
+    Arg.(value & opt (enum [ ("software", `Software); ("compiled", `Compiled) ]) `Compiled
+         & info [ "solver" ] ~doc:"Execution path: software or compiled.")
+  in
+  let run app missions solver =
+    let rate = App.success_rate app ~solver ~missions in
+    Format.printf "%s: %.1f%% success over %d missions@." app.App.name (100.0 *. rate) missions
+  in
+  let term = Term.(const run $ app_pos $ missions $ solver) in
+  Cmd.v (Cmd.info "mission" ~doc:"Mission success rate (Tbl. 5).") term
+
+(* ---------------- program image ---------------- *)
+
+let image_cmd =
+  let out = Arg.(required & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output binary image.") in
+  let run app seed out =
+    let frame = Pipeline.frame app ~seed in
+    let image = Orianna_isa.Encode.encode frame.Pipeline.program in
+    let oc = open_out_bin out in
+    output_string oc image;
+    close_out oc;
+    let kernels = Orianna_isa.Encode.kernel_names frame.Pipeline.program in
+    Format.printf "wrote %s: %d bytes, %d instructions, %d opaque kernels@." out
+      (String.length image)
+      (Program.length frame.Pipeline.program)
+      (List.length kernels);
+    let r =
+      Orianna_sim.Schedule.run
+        ~accel:(Pipeline.generate frame.Pipeline.program).Dse.best
+        ~policy:Orianna_sim.Schedule.Ooo_full frame.Pipeline.program
+    in
+    let occ = Orianna_sim.Buffer_model.analyze frame.Pipeline.program r in
+    Format.printf "buffer working set: %a@." Orianna_sim.Buffer_model.pp occ
+  in
+  let term = Term.(const run $ app_pos $ seed_flag $ out) in
+  Cmd.v (Cmd.info "image" ~doc:"Serialize an application's instruction stream to a binary image.") term
+
+(* ---------------- sphere ---------------- *)
+
+let sphere_cmd =
+  let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Dump the Fig. 9 trajectories as CSV.") in
+  let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc:"Render the Fig. 9 trajectories as SVG.") in
+  let run csv svg =
+    print_string (Experiments.table1 ());
+    if csv <> None || svg <> None then begin
+      let ds = Sphere.generate Sphere.default_config in
+      let estimate = Sphere.unified_estimate ds in
+      let write path contents =
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Format.printf "wrote %s@." path
+      in
+      Option.iter (fun path -> write path (Sphere.trajectory_csv ds ~estimate)) csv;
+      Option.iter
+        (fun path ->
+          write path
+            (Orianna_viz.Plots.trajectory_svg ~truth:ds.Sphere.truth ~initial:ds.Sphere.initial
+               ~estimate ()))
+        svg
+    end
+  in
+  Cmd.v (Cmd.info "sphere" ~doc:"The Sec. 4.3 pose-representation study (Tbl. 1).")
+    Term.(const run $ csv $ svg)
+
+(* ---------------- g2o ---------------- *)
+
+let g2o_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"g2o pose-graph file.") in
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Write the optimized graph back in g2o form.") in
+  let run file out =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    let g, report = Orianna_apps.G2o.solve_file contents in
+    Format.printf "%d variables, %d factors: error %.6g -> %.6g in %d iterations@."
+      (Graph.num_variables g) (Graph.num_factors g) report.Orianna_fg.Optimizer.initial_error
+      report.Orianna_fg.Optimizer.final_error report.Orianna_fg.Optimizer.iterations;
+    Option.iter
+      (fun path ->
+        (* Re-emit vertices at their optimized values (edges are not
+           stored on the graph; only vertices are written). *)
+        let entries =
+          List.filter_map
+            (fun v ->
+              match Graph.value g v with
+              | Orianna_fg.Var.Pose2 p ->
+                  Some (Orianna_apps.G2o.Vertex2 (int_of_string (String.sub v 1 (String.length v - 1)), p))
+              | Orianna_fg.Var.Pose3 p ->
+                  Some (Orianna_apps.G2o.Vertex3 (int_of_string (String.sub v 1 (String.length v - 1)), p))
+              | Orianna_fg.Var.Se3 _ | Orianna_fg.Var.Vector _ -> None)
+            (Graph.variables g)
+        in
+        let oc = open_out path in
+        output_string oc (Orianna_apps.G2o.to_string entries);
+        close_out oc;
+        Format.printf "wrote %s@." path)
+      out
+  in
+  let term = Term.(const run $ file $ out) in
+  Cmd.v (Cmd.info "g2o" ~doc:"Optimize a pose graph in the standard g2o text format.") term
+
+(* ---------------- experiments ---------------- *)
+
+let experiments_cmd =
+  let missions = Arg.(value & opt int 30 & info [ "missions" ] ~docv:"N" ~doc:"Missions for Tbl. 5.") in
+  let only =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~docv:"ID"
+             ~doc:"Run a single experiment: table1, table4, table5, fig13..fig20, breakdown,                    frame-rates, ablations, robust, manhattan.")
+  in
+  let run missions only =
+    match only with
+    | None -> Experiments.run_all ~missions ()
+    | Some id -> (
+        let needs_ctx f =
+          let ctx = Experiments.make_context () in
+          print_string (f ctx)
+        in
+        match String.lowercase_ascii id with
+        | "table1" -> print_string (Experiments.table1 ())
+        | "table4" -> print_string (Experiments.table4 ())
+        | "table5" -> print_string (Experiments.table5 ~missions ())
+        | "fig13" -> needs_ctx Experiments.fig13
+        | "fig14" -> needs_ctx Experiments.fig14
+        | "fig15" -> needs_ctx Experiments.fig15
+        | "fig16" -> needs_ctx Experiments.fig16
+        | "fig17" -> needs_ctx Experiments.fig17
+        | "fig18" -> needs_ctx Experiments.fig18
+        | "fig19" -> needs_ctx Experiments.fig19
+        | "fig20" -> needs_ctx Experiments.fig20
+        | "breakdown" -> needs_ctx Experiments.breakdown
+        | "frame-rates" | "framerates" -> needs_ctx Experiments.frame_rates
+        | "ablations" -> needs_ctx Experiments.ablations
+        | "robust" -> print_string (Experiments.extension_robust ())
+        | "manhattan" -> print_string (Experiments.extension_manhattan ())
+        | other -> Format.eprintf "unknown experiment %S@." other)
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate every table and figure of the evaluation.")
+    Term.(const run $ missions $ only)
+
+let () =
+  (* ORIANNA_LOG=debug|info enables library logging. *)
+  (match Sys.getenv_opt "ORIANNA_LOG" with
+  | Some level ->
+      Logs.set_reporter (Logs_fmt.reporter ());
+      Logs.set_level
+        (match String.lowercase_ascii level with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | _ -> Some Logs.Warning)
+  | None -> ());
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "orianna" ~version:"1.0.0" ~doc:"Accelerator generation for optimization-based robotics." in
+  exit (Cmd.eval (Cmd.group ~default info
+    [ solve_cmd; compile_cmd; generate_cmd; simulate_cmd; trace_cmd; image_cmd; mission_cmd; sphere_cmd; g2o_cmd; experiments_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_factor.ml: Array Factor Format Graph List Mat Option Orianna_compiler Orianna_factors Orianna_fg Orianna_ir Orianna_isa Orianna_lie Orianna_linalg Pose3 Pose_factors String Var Vec

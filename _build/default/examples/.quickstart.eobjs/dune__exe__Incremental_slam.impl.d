@@ -1,0 +1,1 @@
+examples/incremental_slam.ml: Array Float Format Incremental Linear_system List Mat Orianna_fg Orianna_linalg Orianna_util Printf Rng Stats Vec

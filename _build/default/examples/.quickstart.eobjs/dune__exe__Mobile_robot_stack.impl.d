@@ -1,0 +1,1 @@
+examples/mobile_robot_stack.ml: Cpu_model Format Gpu_model List Orianna Orianna_apps Orianna_baselines Orianna_fg Orianna_hw Orianna_isa Orianna_sim Pipeline

@@ -1,0 +1,1 @@
+examples/quadrotor_accel.ml: Accel Dse Format List Orianna Orianna_apps Orianna_hw Orianna_isa Orianna_sim Pipeline Resource Schedule Unit_model

@@ -1,0 +1,1 @@
+examples/quadrotor_accel.mli:

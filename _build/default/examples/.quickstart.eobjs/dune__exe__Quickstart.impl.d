@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Graph List Mat Optimizer Orianna_compiler Orianna_factors Orianna_fg Orianna_isa Orianna_lie Orianna_linalg Pose3 Pose_factors Var Vec Vision_factors

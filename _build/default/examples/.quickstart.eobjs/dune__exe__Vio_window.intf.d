@@ -1,0 +1,1 @@
+examples/vio_window.mli:

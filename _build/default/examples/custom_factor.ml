@@ -1,0 +1,85 @@
+(* Customized factors (Sec. 5.1): define a new constraint by writing
+   its error expression over the nine primitive operations; the
+   ORIANNA compiler derives the Jacobian instructions automatically by
+   backward propagation over the MO-DFG (Equ. 3/4, Fig. 11).
+
+   The example builds a "loop rigidity" factor: a soft equality
+   between two relative poses far apart in a trajectory, then shows
+   (a) the generated MO-DFG, (b) that the automatic derivatives agree
+   with finite differences, (c) the compiled instruction stream.
+
+   Run with: dune exec examples/custom_factor.exe *)
+
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+open Orianna_factors
+module Expr = Orianna_ir.Expr
+module Modfg = Orianna_ir.Modfg
+
+(* The user writes only this: f(xi, xj) = (xi ominus xj) ominus z,
+   spelled with the primitive operations (Equ. 4 after expansion). *)
+let rigidity_error ~x_i ~x_j ~z_rot ~z_trans =
+  Expr.between_error ~pose_dim:3 ~x_i ~x_j ~z_rot ~z_trans
+
+let () =
+  let z = Pose3.of_phi_t [| 0.0; 0.1; -0.05 |] [| 1.0; 0.5; 0.0 |] in
+  let exprs =
+    rigidity_error ~x_i:"xb" ~x_j:"xa" ~z_rot:(Pose3.rotation z) ~z_trans:(Pose3.translation z)
+  in
+  let factor =
+    Factor.symbolic ~name:"RigidityFactor" ~vars:[ "xa"; "xb" ] ~sigmas:(Array.make 6 0.1) exprs
+  in
+
+  (* (a) the MO-DFG the compiler builds from the expression. *)
+  let xa = Pose3.of_phi_t [| 0.05; 0.0; 0.3 |] [| 0.2; -0.1; 0.4 |] in
+  let xb = Pose3.retract (Pose3.oplus xa z) [| 0.02; -0.01; 0.03; 0.05; -0.05; 0.02 |] in
+  let lookup = function "xa" -> Var.Pose3 xa | _ -> Var.Pose3 xb in
+  let g = Option.get (Factor.modfg factor lookup) in
+  Format.printf "%a@." Modfg.pp g;
+  Format.printf "parallelism profile (ops per level): %s@.@."
+    (String.concat " " (Array.to_list (Array.map string_of_int (Modfg.level_sizes g))));
+
+  (* (b) automatic derivatives vs central finite differences. *)
+  let _, blocks = Factor.linearize factor lookup in
+  let numeric var value =
+    let h = 1e-6 in
+    Mat.init 6 6 (fun i k ->
+        let tangent s =
+          let t = Vec.create 6 in
+          t.(k) <- s;
+          t
+        in
+        let lk s v = if v = var then Var.Pose3 (Pose3.retract value (tangent s)) else lookup v in
+        let ep = Factor.error factor (lk h) and em = Factor.error factor (lk (-.h)) in
+        (ep.(i) -. em.(i)) /. (2.0 *. h))
+  in
+  List.iter
+    (fun (var, analytic) ->
+      let value = match lookup var with Var.Pose3 p -> p | _ -> assert false in
+      let diff = Mat.frobenius (Mat.sub analytic (numeric var value)) in
+      Format.printf "Jacobian wrt %s: |analytic - numeric| = %.2e@." var diff;
+      assert (diff < 1e-4))
+    blocks;
+
+  (* (c) compile a two-pose graph using the custom factor and run it
+     with accelerator semantics. *)
+  let graph = Graph.create () in
+  Graph.add_variable graph "xa" (Var.Pose3 xa);
+  Graph.add_variable graph "xb" (Var.Pose3 xb);
+  Graph.add_factor graph (Pose_factors.prior3 ~name:"anchor" ~var:"xa" ~z:xa ~sigma:0.001);
+  Graph.add_factor graph factor;
+  let program = Orianna_compiler.Compile.compile graph in
+  Format.printf "@.compiled custom factor graph: %a@."
+    Orianna_isa.Program.pp_stats (Orianna_isa.Program.stats program);
+  let deltas = Orianna_isa.Program.run program in
+  List.iter
+    (fun (v, d) -> Format.printf "  delta %s = %a@." v Vec.pp d)
+    deltas;
+
+  (* Applying the compiled update drives the residual toward zero. *)
+  let before = Graph.error graph in
+  List.iter
+    (fun (v, d) -> Graph.set_value graph v (Var.retract (Graph.value graph v) d))
+    deltas;
+  Format.printf "@.residual: %.6f -> %.6f@." before (Graph.error graph)

@@ -1,0 +1,58 @@
+(* Hardware generation under resource constraints (Sec. 6.2) for the
+   Quadrotor, the paper's most demanding application (12-dimensional
+   states, camera + IMU localization).
+
+   We sweep the DSP budget and let the generator pick unit mixes; the
+   trace shows which template it replicates (or how wide it makes the
+   QR array) at each step — the Equ. 5 greedy in action.
+
+   Run with: dune exec examples/quadrotor_accel.exe *)
+
+open Orianna
+open Orianna_hw
+open Orianna_sim
+module App = Orianna_apps.App
+
+let move_name = function
+  | None -> "(initial)"
+  | Some (Dse.Add_unit cls) -> "+" ^ Unit_model.class_name cls
+  | Some Dse.Widen_qr -> "widen QR array"
+
+let () =
+  let frame = Pipeline.frame App.quadrotor ~seed:7 in
+  let program = frame.Pipeline.program in
+  Format.printf "quadrotor stream: %d instructions@.@."
+    (Orianna_isa.Program.length program);
+
+  (* Full-budget generation, with the step-by-step trace. *)
+  let result = Pipeline.generate program in
+  Format.printf "generation trace (ZC706 budget):@.";
+  List.iter
+    (fun (s : Dse.step) ->
+      Format.printf "  %-16s -> %8.1f us   (%a)@." (move_name s.Dse.added)
+        (s.Dse.objective *. 1e6) Resource.pp s.Dse.resources)
+    result.Dse.trace;
+  Format.printf "@.final design:@.%a@.@." Accel.pp result.Dse.best;
+
+  (* Budget sweep: performance under tighter DSP constraints
+     (the Fig. 19 experiment for one application). *)
+  Format.printf "DSP budget sweep:@.";
+  List.iter
+    (fun dsp ->
+      let budget = { Resource.zc706 with Resource.dsp } in
+      let r = Pipeline.generate ~budget program in
+      let sim = Schedule.run ~accel:r.Dse.best ~policy:Schedule.Ooo_full program in
+      Format.printf "  dsp <= %4d : %8.1f us with %d units (qr width %d)@." dsp
+        (sim.Schedule.seconds *. 1e6) (Accel.total_units r.Dse.best) r.Dse.best.Accel.qr_rotators)
+    [ 352; 512; 700; 900 ];
+
+  (* Phase breakdown on the full-budget design (Sec. 7.3). *)
+  let sim = Schedule.run ~accel:result.Dse.best ~policy:Schedule.Ooo_full program in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 sim.Schedule.phase_busy in
+  Format.printf "@.phase breakdown:@.";
+  List.iter
+    (fun (ph, c) ->
+      Format.printf "  %-10s %5.1f%%@."
+        (Orianna_isa.Instr.phase_name ph)
+        (100.0 *. float_of_int c /. float_of_int total))
+    sim.Schedule.phase_busy

@@ -1,0 +1,1 @@
+lib/apps/app.ml: Auto_vehicle Graph List Manipulator Mobile_robot Orianna_fg Orianna_util Quadrotor Rng String

@@ -1,0 +1,1 @@
+lib/apps/app.mli: Graph Orianna_fg Orianna_util Rng

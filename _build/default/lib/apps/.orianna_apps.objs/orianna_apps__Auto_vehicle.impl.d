@@ -1,0 +1,1 @@
+lib/apps/auto_vehicle.ml: Array Graph List Mat Motion_factors Orianna_factors Orianna_fg Orianna_lie Orianna_linalg Orianna_util Pose2 Pose_factors Printf Rng Scenario Stats Var Vec

@@ -1,0 +1,1 @@
+lib/apps/auto_vehicle.mli: Graph Orianna_fg Orianna_util Rng

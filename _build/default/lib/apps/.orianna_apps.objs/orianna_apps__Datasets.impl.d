@@ -1,0 +1,1 @@
+lib/apps/datasets.ml: Array Float G2o Graph Hashtbl List Orianna_factors Orianna_fg Orianna_lie Orianna_util Pose2 Pose_factors Printf Rng Sphere Stats Var

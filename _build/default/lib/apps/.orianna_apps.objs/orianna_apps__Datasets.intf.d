@@ -1,0 +1,1 @@
+lib/apps/datasets.mli: G2o Graph Orianna_fg Orianna_lie Pose2 Sphere

@@ -1,0 +1,1 @@
+lib/apps/g2o.ml: Array Buffer Fun Graph List Optimizer Orianna_factors Orianna_fg Orianna_lie Pose2 Pose3 Pose_factors Printf Quat Sphere String Var

@@ -1,0 +1,1 @@
+lib/apps/g2o.mli: Graph Orianna_fg Orianna_lie Pose2 Pose3 Sphere

@@ -1,0 +1,1 @@
+lib/apps/manipulator.ml: Array Factor Graph Mat Motion_factors Orianna_factors Orianna_fg Orianna_linalg Orianna_util Printf Rng Scenario Stats Var Vec

@@ -1,0 +1,1 @@
+lib/apps/manipulator.mli: Graph Orianna_fg Orianna_linalg Orianna_util Rng

@@ -1,0 +1,1 @@
+lib/apps/mobile_robot.mli: Graph Orianna_fg Orianna_util Rng

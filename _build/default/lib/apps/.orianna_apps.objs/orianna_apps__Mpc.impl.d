@@ -1,0 +1,1 @@
+lib/apps/mpc.ml: Array Float Graph Mat Motion_factors Orianna_factors Orianna_fg Orianna_linalg Printf Scenario Var Vec

@@ -1,0 +1,1 @@
+lib/apps/mpc.mli: Orianna_linalg Vec

@@ -1,0 +1,1 @@
+lib/apps/quadrotor.ml: Array Float Graph List Mat Motion_factors Orianna_factors Orianna_fg Orianna_lie Orianna_linalg Orianna_util Pose3 Pose_factors Printf Rng Scenario Stats Var Vec Vision_factors

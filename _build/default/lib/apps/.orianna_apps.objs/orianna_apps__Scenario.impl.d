@@ -1,0 +1,1 @@
+lib/apps/scenario.ml: Array Float Graph List Optimizer Orianna_compiler Orianna_factors Orianna_fg Orianna_linalg Orianna_util Rng Var Vec

@@ -1,0 +1,1 @@
+lib/apps/scenario.mli: Graph Orianna_factors Orianna_fg Orianna_linalg Orianna_util Rng Vec

@@ -1,0 +1,1 @@
+lib/apps/sphere.mli: Format Orianna_lie Pose3

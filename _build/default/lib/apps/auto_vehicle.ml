@@ -1,0 +1,210 @@
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+open Orianna_factors
+open Orianna_util
+
+let window = 12
+let horizon = 14
+let dt = 0.25
+
+let pose_name i = Printf.sprintf "x%d" i
+let lm_name i = Printf.sprintf "l%d" i
+let state_name k = Printf.sprintf "s%d" k
+let ctrl_name k = Printf.sprintf "e%d" k
+let input_name k = Printf.sprintf "u%d" k
+
+(* Ground truth: a gentle highway curve at ~15 m/s. *)
+let truth_poses () =
+  let poses = Array.make window Pose2.identity in
+  for i = 1 to window - 1 do
+    let step = Pose2.create ~theta:0.04 ~t:[| 3.5; 0.0 |] in
+    poses.(i) <- Pose2.oplus poses.(i - 1) step
+  done;
+  poses
+
+let truth_landmarks () =
+  Array.init 6 (fun i ->
+      let s = float_of_int i in
+      [| (s *. 6.0) +. 2.0; (if i mod 2 = 0 then 6.0 else -5.0) +. s |])
+
+type loc_scene = { graph : Graph.t; truth : Pose2.t array }
+
+let localization_scene rng =
+  let truth = truth_poses () in
+  let landmarks = truth_landmarks () in
+  let g = Graph.create () in
+  Array.iteri
+    (fun i p ->
+      let n = Scenario.noise_pose_vec rng ~rot_sigma:0.03 ~trans_sigma:0.25 ~rot_dim:1 ~trans_dim:2 in
+      Graph.add_variable g (pose_name i) (Var.Pose2 (Pose2.retract p n)))
+    truth;
+  Array.iteri
+    (fun i l ->
+      Graph.add_variable g (lm_name i) (Var.Vector (Vec.add l (Scenario.noise_vec rng ~sigma:0.3 2))))
+    landmarks;
+  Graph.add_factor g
+    (Pose_factors.prior2 ~name:"PriorFactor" ~var:(pose_name 0) ~z:truth.(0) ~sigma:0.02);
+  for i = 0 to window - 2 do
+    let rel = Pose2.ominus truth.(i + 1) truth.(i) in
+    let z =
+      Pose2.retract rel
+        (Scenario.noise_pose_vec rng ~rot_sigma:0.005 ~trans_sigma:0.05 ~rot_dim:1 ~trans_dim:2)
+    in
+    Graph.add_factor g
+      (Pose_factors.between2 ~name:(Printf.sprintf "LidarOdom%d" i) ~a:(pose_name i)
+         ~b:(pose_name (i + 1)) ~z ~sigma:0.05)
+  done;
+  Array.iteri
+    (fun pi p ->
+      Array.iteri
+        (fun li l ->
+          if Vec.dist (Pose2.translation p) l < 25.0 then begin
+            let body =
+              Mat.mul_vec (Mat.transpose (Pose2.rotation p)) (Vec.sub l (Pose2.translation p))
+            in
+            let z = Vec.add body (Scenario.noise_vec rng ~sigma:0.08 2) in
+            Graph.add_factor g
+              (Pose_factors.lidar_landmark2
+                 ~name:(Printf.sprintf "LidarFactor%d-%d" pi li)
+                 ~pose:(pose_name pi) ~landmark:(lm_name li) ~z ~sigma:0.08)
+          end)
+        landmarks)
+    truth;
+  Array.iteri
+    (fun i p ->
+      if i mod 2 = 0 then begin
+        let z = Vec.add (Pose2.translation p) (Scenario.noise_vec rng ~sigma:0.3 2) in
+        Graph.add_factor g
+          (Pose_factors.gps2 ~name:(Printf.sprintf "GPSFactor%d" i) ~var:(pose_name i) ~z ~sigma:0.3)
+      end)
+    truth;
+  { graph = g; truth }
+
+let localization rng = (localization_scene rng).graph
+
+(* ---------- planning: lane change around obstacles ---------- *)
+
+let obstacles =
+  [
+    { Motion_factors.center = [| 18.0; 0.5 |]; radius = 2.0 };
+    { Motion_factors.center = [| 34.0; -1.0 |]; radius = 1.8 };
+  ]
+
+let plan_start = [| 0.0; 0.0; 0.0 |]
+let plan_goal = [| 50.0; 2.0; 0.0 |]
+let v_max = 20.0
+
+type plan_scene = { pgraph : Graph.t }
+
+let planning_scene rng =
+  let g = Graph.create () in
+  let states = Scenario.lerp_states ~start:plan_start ~goal:plan_goal ~steps:horizon ~dt in
+  Array.iteri
+    (fun k s ->
+      let s = Vec.add s (Scenario.noise_vec rng ~sigma:0.05 6) in
+      Graph.add_variable g (state_name k) (Var.Vector s))
+    states;
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"start" ~var:(state_name 0) ~target:states.(0)
+       ~sigmas:(Array.make 6 0.01));
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"goal" ~var:(state_name horizon)
+       ~target:(Vec.concat [ plan_goal; Vec.create 3 ])
+       ~sigmas:[| 0.2; 0.2; 0.1; 1.0; 1.0; 1.0 |]);
+  for k = 0 to horizon - 1 do
+    (* The vehicle "kinematics" factor is the motion-model transition. *)
+    Graph.add_factor g
+      (Motion_factors.smooth ~name:(Printf.sprintf "KinematicsFactor%d" k) ~a:(state_name k)
+         ~b:(state_name (k + 1)) ~dt ~d:3 ~sigma:0.3)
+  done;
+  for k = 1 to horizon - 1 do
+    Graph.add_factor g
+      (Motion_factors.speed_limit ~name:(Printf.sprintf "SpeedLimit%d" k) ~var:(state_name k) ~d:3
+         ~vmax:v_max ~sigma:0.1)
+  done;
+  List.iteri
+    (fun oi obstacle ->
+      for k = 1 to horizon - 1 do
+        Graph.add_factor g
+          (Motion_factors.collision_free
+             ~name:(Printf.sprintf "CollisionFactor%d-%d" oi k)
+             ~var:(state_name k) ~obstacle ~safety:1.4 ~sigma:0.015)
+      done)
+    obstacles;
+  { pgraph = g }
+
+let planning rng = (planning_scene rng).pgraph
+
+(* ---------- control: 5-state car tracking ---------- *)
+
+let ctrl_horizon = 10
+
+type ctrl_scene = { cgraph : Graph.t }
+
+let control_scene rng =
+  let g = Graph.create () in
+  let a_mat, b_mat = Motion_factors.unicycle_linearized ~v0:15.0 ~theta0:0.0 ~dt:0.1 in
+  let e0 =
+    Vec.add [| 1.2; -0.8; 0.1; -1.5; 0.05 |] (Scenario.noise_vec rng ~sigma:0.1 5)
+  in
+  for k = 0 to ctrl_horizon do
+    Graph.add_variable g (ctrl_name k) (Var.Vector (Vec.create 5))
+  done;
+  for k = 0 to ctrl_horizon - 1 do
+    Graph.add_variable g (input_name k) (Var.Vector (Vec.create 2))
+  done;
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"current" ~var:(ctrl_name 0) ~target:e0
+       ~sigmas:(Array.make 5 0.001));
+  for k = 0 to ctrl_horizon - 1 do
+    Graph.add_factor g
+      (Motion_factors.dynamics ~name:(Printf.sprintf "DynamicsFactor%d" k) ~x_prev:(ctrl_name k)
+         ~u:(input_name k) ~x_next:(ctrl_name (k + 1)) ~a_mat ~b_mat ~sigma:0.01);
+    (* Control-side kinematics: bound the speed-error component. *)
+    Graph.add_factor g
+      (Motion_factors.component_limit ~name:(Printf.sprintf "KinematicsFactor%d" k)
+         ~var:(ctrl_name (k + 1)) ~index:3 ~max_abs:3.0 ~sigma:0.1);
+    Graph.add_factor g
+      (Motion_factors.state_cost ~name:(Printf.sprintf "StateCost%d" k) ~var:(ctrl_name (k + 1))
+         ~target:(Vec.create 5) ~sigmas:(Array.make 5 1.0));
+    Graph.add_factor g
+      (Motion_factors.input_cost ~name:(Printf.sprintf "InputCost%d" k) ~var:(input_name k)
+         ~sigmas:(Array.make 2 2.0))
+  done;
+  Graph.add_factor g
+    (Motion_factors.goal ~name:"terminal" ~var:(ctrl_name ctrl_horizon) ~target:(Vec.create 5)
+       ~sigma:0.05);
+  { cgraph = g }
+
+let control rng = (control_scene rng).cgraph
+
+let graphs rng =
+  [ ("localization", localization rng); ("planning", planning rng); ("control", control rng) ]
+
+(* ---------- mission ---------- *)
+
+let mission ~seed ~solver =
+  let rng = Rng.of_int seed in
+  let loc = localization_scene (Rng.split rng) in
+  Scenario.solve solver loc.graph;
+  let errs =
+    Array.mapi
+      (fun i p ->
+        match Graph.value loc.graph (pose_name i) with
+        | Var.Pose2 q -> Pose2.distance p q
+        | Var.Pose3 _ | Var.Se3 _ | Var.Vector _ -> infinity)
+      loc.truth
+  in
+  let loc_ok = Stats.mean errs < 0.30 in
+  let plan = planning_scene (Rng.split rng) in
+  Scenario.solve solver plan.pgraph;
+  let states = Array.init (horizon + 1) (fun k -> Scenario.vector_value plan.pgraph (state_name k)) in
+  let clearance = Scenario.min_clearance ~states ~obstacles in
+  let final = states.(horizon) in
+  let goal_dist = Vec.dist (Vec.slice final ~pos:0 ~len:2) (Vec.slice plan_goal ~pos:0 ~len:2) in
+  let plan_ok = clearance > 0.0 && goal_dist < 2.5 in
+  let ctrl = control_scene (Rng.split rng) in
+  Scenario.solve solver ctrl.cgraph;
+  let ctrl_ok = Vec.norm (Scenario.vector_value ctrl.cgraph (ctrl_name ctrl_horizon)) < 0.8 in
+  loc_ok && plan_ok && ctrl_ok

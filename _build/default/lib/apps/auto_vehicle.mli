@@ -1,0 +1,18 @@
+(** The AutoVehicle application (Tbl. 4): a four-wheeled autonomous
+    vehicle with car dynamics.
+
+    - localization: 3-dimensional planar poses over a long highway
+      arc, LiDAR + GPS factors;
+    - planning: 6-dimensional states, collision-free + kinematics
+      (motion-model and speed-limit) factors;
+    - control: 5-dimensional state [[x; y; theta; v; omega]],
+      2-dimensional input, kinematics + dynamics factors. *)
+
+open Orianna_fg
+open Orianna_util
+
+val localization : Rng.t -> Graph.t
+val planning : Rng.t -> Graph.t
+val control : Rng.t -> Graph.t
+val graphs : Rng.t -> (string * Graph.t) list
+val mission : seed:int -> solver:[ `Software | `Compiled ] -> bool

@@ -1,0 +1,139 @@
+open Orianna_lie
+open Orianna_fg
+open Orianna_factors
+open Orianna_util
+
+type t = {
+  truth : Pose2.t array;
+  initial : Pose2.t array;
+  odometry : (int * int * Pose2.t) array;
+  loops : (int * int * Pose2.t) array;
+}
+
+type config = {
+  steps : int;
+  grid : float;
+  odo_rot_sigma : float;
+  odo_trans_sigma : float;
+  init_rot_sigma : float;
+  init_trans_sigma : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    steps = 300;
+    grid = 1.0;
+    odo_rot_sigma = 0.005;
+    odo_trans_sigma = 0.01;
+    init_rot_sigma = 0.02;
+    init_trans_sigma = 0.05;
+    seed = 2718;
+  }
+
+let noisy rng ~rot ~trans rel =
+  Pose2.retract rel
+    [|
+      Rng.gaussian_sigma rng ~sigma:rot;
+      Rng.gaussian_sigma rng ~sigma:trans;
+      Rng.gaussian_sigma rng ~sigma:trans;
+    |]
+
+let manhattan cfg =
+  let rng = Rng.of_int cfg.seed in
+  let n = cfg.steps + 1 in
+  let truth = Array.make n Pose2.identity in
+  (* Random walk on the grid: mostly straight, occasional 90-degree
+     turns, reflected at a bounding box so the trajectory keeps
+     revisiting cells (the Manhattan-world shape). *)
+  let half_extent = cfg.grid *. 6.0 in
+  for i = 1 to cfg.steps do
+    let propose turn =
+      Pose2.oplus truth.(i - 1) (Pose2.create ~theta:turn ~t:[| cfg.grid; 0.0 |])
+    in
+    let inside p =
+      let t = Pose2.translation p in
+      Float.abs t.(0) <= half_extent && Float.abs t.(1) <= half_extent
+    in
+    let turn =
+      match Rng.int rng 5 with
+      | 0 -> Float.pi /. 2.0
+      | 1 -> -.Float.pi /. 2.0
+      | _ -> 0.0
+    in
+    let candidate = propose turn in
+    truth.(i) <-
+      (if inside candidate then candidate
+       else begin
+         (* Turn toward the interior instead of leaving. *)
+         let left = propose (Float.pi /. 2.0) and right = propose (-.Float.pi /. 2.0) in
+         if inside left then left else if inside right then right else propose Float.pi
+       end)
+  done;
+  let odometry =
+    Array.init cfg.steps (fun i ->
+        let rel = Pose2.ominus truth.(i + 1) truth.(i) in
+        (i, i + 1, noisy rng ~rot:cfg.odo_rot_sigma ~trans:cfg.odo_trans_sigma rel))
+  in
+  (* Loop closures on cell revisits: remember the first pose index
+     seen at each rounded grid cell. *)
+  let cells = Hashtbl.create 64 in
+  let loops = ref [] in
+  Array.iteri
+    (fun i p ->
+      let tr = Pose2.translation p in
+      let key =
+        ( int_of_float (Float.round (tr.(0) /. cfg.grid)),
+          int_of_float (Float.round (tr.(1) /. cfg.grid)) )
+      in
+      (match Hashtbl.find_opt cells key with
+      | Some j when i - j > 10 ->
+          let rel = Pose2.ominus truth.(i) truth.(j) in
+          loops := (j, i, noisy rng ~rot:cfg.odo_rot_sigma ~trans:cfg.odo_trans_sigma rel) :: !loops
+      | Some _ | None -> ());
+      Hashtbl.replace cells key i)
+    truth;
+  let initial = Array.make n truth.(0) in
+  Array.iter
+    (fun (i, j, z) ->
+      let drifted = noisy rng ~rot:cfg.init_rot_sigma ~trans:cfg.init_trans_sigma z in
+      initial.(j) <- Pose2.oplus initial.(i) drifted)
+    odometry;
+  { truth; initial; odometry; loops = Array.of_list (List.rev !loops) }
+
+let name i = Printf.sprintf "x%d" i
+
+let to_graph ds =
+  let g = Graph.create () in
+  Array.iteri (fun i p -> Graph.add_variable g (name i) (Var.Pose2 p)) ds.initial;
+  Graph.add_factor g (Pose_factors.prior2 ~name:"anchor" ~var:(name 0) ~z:ds.truth.(0) ~sigma:1e-3);
+  let add kind (i, j, z) =
+    Graph.add_factor g
+      (Pose_factors.between2 ~name:(Printf.sprintf "%s%d-%d" kind i j) ~a:(name i) ~b:(name j) ~z
+         ~sigma:0.01)
+  in
+  Array.iter (add "odo") ds.odometry;
+  Array.iter (add "loop") ds.loops;
+  g
+
+let to_g2o ds =
+  let info = Array.make 3 (1.0 /. (0.01 *. 0.01)) in
+  Array.to_list (Array.mapi (fun i p -> G2o.Vertex2 (i, p)) ds.initial)
+  @ Array.to_list (Array.map (fun (i, j, z) -> G2o.Edge2 (i, j, z, info)) ds.odometry)
+  @ Array.to_list (Array.map (fun (i, j, z) -> G2o.Edge2 (i, j, z, info)) ds.loops)
+
+let ate ~truth ~estimate =
+  if Array.length truth <> Array.length estimate then invalid_arg "Datasets.ate: length mismatch";
+  let d = Array.map2 Pose2.distance truth estimate in
+  {
+    Sphere.max = Stats.max d;
+    mean = Stats.mean d;
+    min = Stats.min d;
+    std = Stats.stddev d;
+  }
+
+let estimate_of g ~n =
+  Array.init n (fun i ->
+      match Graph.value g (name i) with
+      | Var.Pose2 p -> p
+      | Var.Pose3 _ | Var.Se3 _ | Var.Vector _ -> invalid_arg "Datasets.estimate_of: kind")

@@ -1,0 +1,39 @@
+(** Synthetic standard-form datasets beyond the sphere: a
+    Manhattan-world 2D pose graph in the style of the classic M3500
+    benchmark (grid random walk with revisit loop closures). *)
+
+open Orianna_lie
+open Orianna_fg
+
+type t = {
+  truth : Pose2.t array;
+  initial : Pose2.t array;  (** integrated noisy odometry *)
+  odometry : (int * int * Pose2.t) array;
+  loops : (int * int * Pose2.t) array;  (** revisit closures *)
+}
+
+type config = {
+  steps : int;
+  grid : float;  (** cell size, meters *)
+  odo_rot_sigma : float;
+  odo_trans_sigma : float;
+  init_rot_sigma : float;
+  init_trans_sigma : float;
+  seed : int;
+}
+
+val default_config : config
+(** 300 steps on a 1 m grid. *)
+
+val manhattan : config -> t
+
+val to_graph : t -> Graph.t
+(** Pose2 graph with an anchor prior and measurement-matched sigmas. *)
+
+val to_g2o : t -> G2o.t
+(** Standard-format export. *)
+
+val ate : truth:Pose2.t array -> estimate:Pose2.t array -> Sphere.errors
+
+val estimate_of : Graph.t -> n:int -> Pose2.t array
+(** Read back poses ["x0"..] after optimization. *)

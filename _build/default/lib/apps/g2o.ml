@@ -1,0 +1,212 @@
+open Orianna_lie
+open Orianna_fg
+open Orianna_factors
+
+type entry =
+  | Vertex2 of int * Pose2.t
+  | Edge2 of int * int * Pose2.t * float array
+  | Vertex3 of int * Pose3.t
+  | Edge3 of int * int * Pose3.t * float array
+
+type t = entry list
+
+exception Parse_error of string
+
+let fail line reason = raise (Parse_error (Printf.sprintf "%s: %s" reason line))
+
+let float_of line s =
+  match float_of_string_opt s with Some f -> f | None -> fail line ("bad float " ^ s)
+
+let int_of line s =
+  match int_of_string_opt s with Some i -> i | None -> fail line ("bad int " ^ s)
+
+(* Diagonal positions inside an upper-triangular row-major listing of
+   an n x n symmetric matrix. *)
+let upper_diag_indices n =
+  let idx = Array.make n 0 in
+  let pos = ref 0 in
+  for i = 0 to n - 1 do
+    idx.(i) <- !pos;
+    pos := !pos + (n - i)
+  done;
+  idx
+
+let se3_diag_indices = upper_diag_indices 6
+let se2_diag_indices = upper_diag_indices 3
+
+let quat_of_fields line qx qy qz qw =
+  try Quat.normalize { Quat.w = qw; x = qx; y = qy; z = qz }
+  with Invalid_argument _ -> fail line "zero quaternion"
+
+let parse_line line =
+  let fields =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+  in
+  match fields with
+  | [] -> None
+  | tag :: rest when tag.[0] = '#' ->
+      ignore rest;
+      None
+  | "VERTEX_SE2" :: rest -> (
+      match List.map (float_of line) rest with
+      | [ id; x; y; theta ] ->
+          Some (Vertex2 (int_of_float id, Pose2.create ~theta ~t:[| x; y |]))
+      | _ -> fail line "VERTEX_SE2 expects 4 fields")
+  | "EDGE_SE2" :: rest -> (
+      match rest with
+      | i :: j :: values when List.length values = 9 ->
+          let v = Array.of_list (List.map (float_of line) values) in
+          let z = Pose2.create ~theta:v.(2) ~t:[| v.(0); v.(1) |] in
+          let info = Array.map (fun k -> v.(3 + k)) (Array.map Fun.id se2_diag_indices) in
+          Some (Edge2 (int_of line i, int_of line j, z, info))
+      | _ -> fail line "EDGE_SE2 expects 11 fields")
+  | "VERTEX_SE3:QUAT" :: rest -> (
+      match rest with
+      | id :: values when List.length values = 7 ->
+          let v = Array.of_list (List.map (float_of line) values) in
+          let q = quat_of_fields line v.(3) v.(4) v.(5) v.(6) in
+          Some
+            (Vertex3
+               (int_of line id, Pose3.create ~r:(Quat.to_rotation q) ~t:[| v.(0); v.(1); v.(2) |]))
+      | _ -> fail line "VERTEX_SE3:QUAT expects 8 fields")
+  | "EDGE_SE3:QUAT" :: rest -> (
+      match rest with
+      | i :: j :: values when List.length values = 28 ->
+          let v = Array.of_list (List.map (float_of line) values) in
+          let q = quat_of_fields line v.(3) v.(4) v.(5) v.(6) in
+          let z = Pose3.create ~r:(Quat.to_rotation q) ~t:[| v.(0); v.(1); v.(2) |] in
+          let info = Array.map (fun k -> v.(7 + k)) (Array.map Fun.id se3_diag_indices) in
+          Some (Edge3 (int_of line i, int_of line j, z, info))
+      | _ -> fail line "EDGE_SE3:QUAT expects 30 fields")
+  | tag :: _ -> fail line ("unknown record " ^ tag)
+
+let parse contents =
+  String.split_on_char '\n' contents |> List.filter_map parse_line
+
+let upper_diag_string n diag =
+  (* Emit a diagonal information matrix in upper-triangular order. *)
+  let cells = ref [] in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      cells := (if i = j then Printf.sprintf "%.9g" diag.(i) else "0") :: !cells
+    done
+  done;
+  String.concat " " (List.rev !cells)
+
+let to_string entries =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      (match e with
+      | Vertex2 (id, p) ->
+          let t = Pose2.translation p in
+          Buffer.add_string buf
+            (Printf.sprintf "VERTEX_SE2 %d %.9g %.9g %.9g" id t.(0) t.(1) (Pose2.theta p))
+      | Edge2 (i, j, z, info) ->
+          let t = Pose2.translation z in
+          Buffer.add_string buf
+            (Printf.sprintf "EDGE_SE2 %d %d %.9g %.9g %.9g %s" i j t.(0) t.(1) (Pose2.theta z)
+               (upper_diag_string 3 info))
+      | Vertex3 (id, p) ->
+          let t = Pose3.translation p in
+          let q = Quat.of_rotation (Pose3.rotation p) in
+          Buffer.add_string buf
+            (Printf.sprintf "VERTEX_SE3:QUAT %d %.9g %.9g %.9g %.9g %.9g %.9g %.9g" id t.(0) t.(1)
+               t.(2) q.Quat.x q.Quat.y q.Quat.z q.Quat.w)
+      | Edge3 (i, j, z, info) ->
+          let t = Pose3.translation z in
+          let q = Quat.of_rotation (Pose3.rotation z) in
+          Buffer.add_string buf
+            (Printf.sprintf "EDGE_SE3:QUAT %d %d %.9g %.9g %.9g %.9g %.9g %.9g %.9g %s" i j t.(0)
+               t.(1) t.(2) q.Quat.x q.Quat.y q.Quat.z q.Quat.w (upper_diag_string 6 info)));
+      Buffer.add_char buf '\n')
+    entries;
+  Buffer.contents buf
+
+let sigma_of_info i = if i <= 0.0 then 1.0 else 1.0 /. sqrt i
+
+let to_graph ?(fix_first = true) entries =
+  let g = Graph.create () in
+  let first2 = ref None and first3 = ref None in
+  List.iter
+    (fun e ->
+      match e with
+      | Vertex2 (id, p) ->
+          Graph.add_variable g (Printf.sprintf "x%d" id) (Var.Pose2 p);
+          (match !first2 with
+          | Some (fid, _) when fid <= id -> ()
+          | _ -> first2 := Some (id, p))
+      | Vertex3 (id, p) ->
+          Graph.add_variable g (Printf.sprintf "x%d" id) (Var.Pose3 p);
+          (match !first3 with
+          | Some (fid, _) when fid <= id -> ()
+          | _ -> first3 := Some (id, p))
+      | Edge2 _ | Edge3 _ -> ())
+    entries;
+  let counter = ref 0 in
+  List.iter
+    (fun e ->
+      incr counter;
+      match e with
+      | Vertex2 _ | Vertex3 _ -> ()
+      | Edge2 (i, j, z, info) ->
+          (* g2o info order (x y th); ours is [th; x; y]. *)
+          let sigmas =
+            [| sigma_of_info info.(2); sigma_of_info info.(0); sigma_of_info info.(1) |]
+          in
+          Graph.add_factor g
+            (Pose_factors.between2_sigmas
+               ~name:(Printf.sprintf "e%d" !counter)
+               ~a:(Printf.sprintf "x%d" i)
+               ~b:(Printf.sprintf "x%d" j)
+               ~z ~sigmas)
+      | Edge3 (i, j, z, info) ->
+          (* g2o info order (x y z rx ry rz); ours is [rot3; trans3]. *)
+          let sigmas =
+            [|
+              sigma_of_info info.(3); sigma_of_info info.(4); sigma_of_info info.(5);
+              sigma_of_info info.(0); sigma_of_info info.(1); sigma_of_info info.(2);
+            |]
+          in
+          Graph.add_factor g
+            (Pose_factors.between3_sigmas
+               ~name:(Printf.sprintf "e%d" !counter)
+               ~a:(Printf.sprintf "x%d" i)
+               ~b:(Printf.sprintf "x%d" j)
+               ~z ~sigmas))
+    entries;
+  if fix_first then begin
+    (match !first2 with
+    | Some (id, p) ->
+        Graph.add_factor g
+          (Pose_factors.prior2 ~name:"anchor2" ~var:(Printf.sprintf "x%d" id) ~z:p ~sigma:1e-4)
+    | None -> ());
+    match !first3 with
+    | Some (id, p) ->
+        Graph.add_factor g
+          (Pose_factors.prior3 ~name:"anchor3" ~var:(Printf.sprintf "x%d" id) ~z:p ~sigma:1e-4)
+    | None -> ()
+  end;
+  g
+
+let of_sphere (ds : Sphere.dataset) =
+  (* Initial estimates as vertices (the g2o convention); a shared
+     diagonal information from the benchmark's measurement noise. *)
+  let info sigma = Array.make 6 (1.0 /. (sigma *. sigma)) in
+  let vertices = Array.to_list (Array.mapi (fun i p -> Vertex3 (i, p)) ds.Sphere.initial) in
+  let edge (i, j, z) = Edge3 (i, j, z, info 0.004) in
+  vertices
+  @ List.map edge (Array.to_list ds.Sphere.odometry)
+  @ List.map edge (Array.to_list ds.Sphere.loops)
+
+let solve_file contents =
+  let g = to_graph (parse contents) in
+  let params =
+    {
+      Optimizer.default_params with
+      Optimizer.method_ = Optimizer.Levenberg_marquardt;
+      max_iterations = 50;
+    }
+  in
+  let report = Optimizer.optimize ~params g in
+  (g, report)

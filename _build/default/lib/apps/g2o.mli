@@ -1,0 +1,47 @@
+(** The g2o pose-graph text format.
+
+    The de-facto exchange format of the SLAM community (g2o, GTSAM,
+    Ceres examples all read it).  Supported records:
+
+    - [VERTEX_SE2 id x y theta]
+    - [EDGE_SE2 i j dx dy dtheta  i11 i12 i13 i22 i23 i33]
+    - [VERTEX_SE3:QUAT id x y z qx qy qz qw]
+    - [EDGE_SE3:QUAT i j dx dy dz qx qy qz qw  (21 upper-triangular
+      information entries, row-major over (x y z rx ry rz))]
+
+    Information matrices are reduced to their diagonal when building
+    factors ([sigma_k = 1 / sqrt I_kk]); writing emits a diagonal
+    information matrix.  Lines starting with [#] are comments. *)
+
+open Orianna_lie
+open Orianna_fg
+
+type entry =
+  | Vertex2 of int * Pose2.t
+  | Edge2 of int * int * Pose2.t * float array  (** 3 diagonal information entries *)
+  | Vertex3 of int * Pose3.t
+  | Edge3 of int * int * Pose3.t * float array  (** 6 diagonal information entries, (x y z rx ry rz) order *)
+
+type t = entry list
+
+exception Parse_error of string
+(** Carries the offending line and reason. *)
+
+val parse : string -> t
+(** Parse a whole file's contents. *)
+
+val to_string : t -> string
+(** Serialize; [parse (to_string d)] preserves every entry. *)
+
+val to_graph : ?fix_first:bool -> t -> Graph.t
+(** Build a factor graph: vertices become pose variables named
+    ["x<id>"], edges become between factors with information-derived
+    sigmas.  [fix_first] (default true) anchors the lowest-id vertex
+    of each dimension with a tight prior — pose graphs are otherwise
+    gauge-free. *)
+
+val of_sphere : Sphere.dataset -> t
+(** Export the sphere benchmark in g2o form (a standard artifact). *)
+
+val solve_file : string -> Graph.t * Orianna_fg.Optimizer.report
+(** Parse file contents, build the graph, optimize with LM. *)

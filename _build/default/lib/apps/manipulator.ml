@@ -1,0 +1,215 @@
+open Orianna_linalg
+open Orianna_fg
+open Orianna_factors
+open Orianna_util
+
+let link_lengths = (1.0, 0.7)
+let window = 8
+let horizon = 10
+let dt = 0.15
+
+let l1, l2 = link_lengths
+
+let forward_kinematics q =
+  if Vec.dim q < 2 then invalid_arg "Manipulator.forward_kinematics: need two joints";
+  let c1 = cos q.(0) and s1 = sin q.(0) in
+  let c12 = cos (q.(0) +. q.(1)) and s12 = sin (q.(0) +. q.(1)) in
+  [| (l1 *. c1) +. (l2 *. c12); (l1 *. s1) +. (l2 *. s12) |]
+
+(* d fk / d q: the 2x2 manipulator Jacobian. *)
+let fk_jacobian q =
+  let s1 = sin q.(0) and c1 = cos q.(0) in
+  let s12 = sin (q.(0) +. q.(1)) and c12 = cos (q.(0) +. q.(1)) in
+  Mat.of_rows
+    [|
+      [| (-.l1 *. s1) -. (l2 *. s12); -.l2 *. s12 |];
+      [| (l1 *. c1) +. (l2 *. c12); l2 *. c12 |];
+    |]
+
+(* Customized collision factor (Sec. 5.1): hinge on the end-effector's
+   distance to a workspace obstacle, differentiated through the
+   forward kinematics. *)
+let ee_collision ~name ~var ~obstacle ~safety ~sigma =
+  let { Motion_factors.center; radius } = obstacle in
+  Factor.native ~name ~vars:[ var ] ~sigmas:[| sigma |] ~error_dim:1 (fun lookup ->
+      match lookup var with
+      | Var.Vector x ->
+          let q = Vec.slice x ~pos:0 ~len:2 in
+          let ee = forward_kinematics q in
+          let diff = Vec.sub ee center in
+          let dist = Vec.norm diff in
+          let clearance = dist -. radius in
+          if clearance >= safety || dist < 1e-9 then
+            ([| 0.0 |], [ (var, Mat.create 1 (Vec.dim x)) ])
+          else begin
+            let jfk = fk_jacobian q in
+            let ddist = Vec.scale (1.0 /. dist) diff in
+            let grad = Mat.mul_vec (Mat.transpose jfk) ddist in
+            let j = Mat.create 1 (Vec.dim x) in
+            Mat.set j 0 0 (-.grad.(0));
+            Mat.set j 0 1 (-.grad.(1));
+            ([| safety -. clearance |], [ (var, j) ])
+          end
+      | Var.Pose2 _ | Var.Pose3 _ | Var.Se3 _ -> invalid_arg "ee_collision: expects joints")
+
+let joint_name i = Printf.sprintf "q%d" i
+let state_name k = Printf.sprintf "s%d" k
+let ctrl_name k = Printf.sprintf "e%d" k
+let input_name k = Printf.sprintf "u%d" k
+
+(* ---------- localization: encoder denoising over a time window ---------- *)
+
+let truth_joints () =
+  Array.init window (fun i ->
+      let t = float_of_int i *. 0.1 in
+      [| 0.4 +. (0.5 *. sin t); -0.3 +. (0.4 *. cos t) |])
+
+type loc_scene = { graph : Graph.t; truth : Vec.t array }
+
+let localization_scene rng =
+  let truth = truth_joints () in
+  let g = Graph.create () in
+  Array.iteri
+    (fun i q ->
+      Graph.add_variable g (joint_name i)
+        (Var.Vector (Vec.add q (Scenario.noise_vec rng ~sigma:0.2 2))))
+    truth;
+  (* Encoder priors (the Tbl. 4 "Prior" factors): two redundant,
+     noisy encoder readings per step. *)
+  Array.iteri
+    (fun i q ->
+      for e = 0 to 1 do
+        let z = Vec.add q (Scenario.noise_vec rng ~sigma:0.055 2) in
+        Graph.add_factor g
+          (Motion_factors.state_cost
+             ~name:(Printf.sprintf "PriorFactor%d-%d" i e)
+             ~var:(joint_name i) ~target:z ~sigmas:(Array.make 2 0.055))
+      done)
+    truth;
+  (* Joint motion smoothness between steps ties the window together. *)
+  for i = 0 to window - 2 do
+    Graph.add_factor g
+      (Factor.native
+         ~name:(Printf.sprintf "MotionPrior%d" i)
+         ~vars:[ joint_name i; joint_name (i + 1) ]
+         ~sigmas:(Array.make 2 0.05) ~error_dim:2
+         (fun lookup ->
+           match (lookup (joint_name i), lookup (joint_name (i + 1))) with
+           | Var.Vector a, Var.Vector b ->
+               ( Vec.sub b a,
+                 [
+                   (joint_name i, Mat.neg (Mat.identity 2));
+                   (joint_name (i + 1), Mat.identity 2);
+                 ] )
+           | (Var.Pose2 _ | Var.Pose3 _ | Var.Se3 _ | Var.Vector _), _ ->
+               invalid_arg "MotionPrior: joints"))
+  done;
+  { graph = g; truth }
+
+let localization rng = (localization_scene rng).graph
+
+(* ---------- planning in joint space with workspace obstacle ---------- *)
+
+let obstacle = { Motion_factors.center = [| 1.2; 0.7 |]; radius = 0.25 }
+let q_start = [| -0.4; 0.6 |]
+let q_goal = [| 1.1; -0.5 |]
+
+type plan_scene = { pgraph : Graph.t }
+
+let planning_scene rng =
+  let g = Graph.create () in
+  let states = Scenario.lerp_states ~start:q_start ~goal:q_goal ~steps:horizon ~dt in
+  Array.iteri
+    (fun k s ->
+      let s = Vec.add s (Scenario.noise_vec rng ~sigma:0.02 4) in
+      Graph.add_variable g (state_name k) (Var.Vector s))
+    states;
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"start" ~var:(state_name 0) ~target:states.(0)
+       ~sigmas:(Array.make 4 0.01));
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"goal" ~var:(state_name horizon)
+       ~target:(Vec.concat [ q_goal; Vec.create 2 ])
+       ~sigmas:[| 0.02; 0.02; 0.3; 0.3 |]);
+  for k = 0 to horizon - 1 do
+    Graph.add_factor g
+      (Motion_factors.smooth ~name:(Printf.sprintf "SmoothFactor%d" k) ~a:(state_name k)
+         ~b:(state_name (k + 1)) ~dt ~d:2 ~sigma:0.08)
+  done;
+  for k = 1 to horizon - 1 do
+    Graph.add_factor g
+      (ee_collision ~name:(Printf.sprintf "CollisionFactor%d" k) ~var:(state_name k) ~obstacle
+         ~safety:0.1 ~sigma:0.02)
+  done;
+  { pgraph = g }
+
+let planning rng = (planning_scene rng).pgraph
+
+(* ---------- control: kinematic joint control ---------- *)
+
+let ctrl_horizon = 8
+
+type ctrl_scene = { cgraph : Graph.t }
+
+let control_scene rng =
+  let g = Graph.create () in
+  let a_mat = Mat.identity 2 in
+  let b_mat = Mat.scale dt (Mat.identity 2) in
+  let e0 = Vec.add [| 0.5; -0.4 |] (Scenario.noise_vec rng ~sigma:0.05 2) in
+  for k = 0 to ctrl_horizon do
+    Graph.add_variable g (ctrl_name k) (Var.Vector (Vec.create 2))
+  done;
+  for k = 0 to ctrl_horizon - 1 do
+    Graph.add_variable g (input_name k) (Var.Vector (Vec.create 2))
+  done;
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"current" ~var:(ctrl_name 0) ~target:e0
+       ~sigmas:(Array.make 2 0.001));
+  for k = 0 to ctrl_horizon - 1 do
+    Graph.add_factor g
+      (Motion_factors.dynamics ~name:(Printf.sprintf "DynamicsFactor%d" k) ~x_prev:(ctrl_name k)
+         ~u:(input_name k) ~x_next:(ctrl_name (k + 1)) ~a_mat ~b_mat ~sigma:0.01);
+    Graph.add_factor g
+      (Motion_factors.state_cost ~name:(Printf.sprintf "StateCost%d" k) ~var:(ctrl_name (k + 1))
+         ~target:(Vec.create 2) ~sigmas:(Array.make 2 0.6));
+    Graph.add_factor g
+      (Motion_factors.input_cost ~name:(Printf.sprintf "InputCost%d" k) ~var:(input_name k)
+         ~sigmas:(Array.make 2 1.5))
+  done;
+  Graph.add_factor g
+    (Motion_factors.goal ~name:"terminal" ~var:(ctrl_name ctrl_horizon) ~target:(Vec.create 2)
+       ~sigma:0.05);
+  { cgraph = g }
+
+let control rng = (control_scene rng).cgraph
+
+let graphs rng =
+  [ ("localization", localization rng); ("planning", planning rng); ("control", control rng) ]
+
+(* ---------- mission ---------- *)
+
+let mission ~seed ~solver =
+  let rng = Rng.of_int seed in
+  let loc = localization_scene (Rng.split rng) in
+  Scenario.solve solver loc.graph;
+  let errs =
+    Array.mapi (fun i q -> Vec.dist q (Scenario.vector_value loc.graph (joint_name i))) loc.truth
+  in
+  let loc_ok = Stats.mean errs < 0.0478 in
+  let plan = planning_scene (Rng.split rng) in
+  Scenario.solve solver plan.pgraph;
+  let plan_ok =
+    let clear = ref true in
+    for k = 0 to horizon do
+      let s = Scenario.vector_value plan.pgraph (state_name k) in
+      let ee = forward_kinematics (Vec.slice s ~pos:0 ~len:2) in
+      if Vec.dist ee obstacle.Motion_factors.center < obstacle.Motion_factors.radius then
+        clear := false
+    done;
+    let final = Scenario.vector_value plan.pgraph (state_name horizon) in
+    !clear && Vec.dist (Vec.slice final ~pos:0 ~len:2) q_goal < 0.15
+  in
+  let ctrl = control_scene (Rng.split rng) in
+  Scenario.solve solver ctrl.cgraph;
+  let ctrl_ok = Vec.norm (Scenario.vector_value ctrl.cgraph (ctrl_name ctrl_horizon)) < 0.12 in
+  loc_ok && plan_ok && ctrl_ok

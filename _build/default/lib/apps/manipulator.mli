@@ -1,0 +1,23 @@
+(** The Manipulator application (Tbl. 4): a two-link robot arm.
+
+    - localization (joint-state estimation): 2-dimensional joint
+      vectors with Prior factors from noisy encoders;
+    - planning: 4-dimensional states [[q1; q2; dq1; dq2]],
+      collision-free (via forward kinematics — a {e customized}
+      factor in the Sec. 5.1 sense) + smooth factors;
+    - control: 2-dimensional joint state, 2-dimensional input,
+      dynamics factors. *)
+
+open Orianna_fg
+open Orianna_util
+
+val link_lengths : float * float
+
+val forward_kinematics : Orianna_linalg.Vec.t -> Orianna_linalg.Vec.t
+(** End-effector position of joint configuration [[q1; q2]]. *)
+
+val localization : Rng.t -> Graph.t
+val planning : Rng.t -> Graph.t
+val control : Rng.t -> Graph.t
+val graphs : Rng.t -> (string * Graph.t) list
+val mission : seed:int -> solver:[ `Software | `Compiled ] -> bool

@@ -1,0 +1,209 @@
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+open Orianna_factors
+open Orianna_util
+
+let window = 10
+let horizon = 12
+let dt = 0.2
+
+(* Ground truth: an arc of forward motion with a constant turn rate. *)
+let truth_poses () =
+  let poses = Array.make window Pose2.identity in
+  for i = 1 to window - 1 do
+    let step = Pose2.create ~theta:0.12 ~t:[| 0.5; 0.0 |] in
+    poses.(i) <- Pose2.oplus poses.(i - 1) step
+  done;
+  poses
+
+let truth_landmarks () =
+  [|
+    [| 1.0; 2.0 |]; [| 2.5; -1.5 |]; [| 4.0; 2.5 |]; [| 3.0; 1.0 |]; [| 0.5; -1.0 |];
+  |]
+
+let pose_name i = Printf.sprintf "x%d" i
+let lm_name i = Printf.sprintf "l%d" i
+
+type loc_scene = { graph : Graph.t; truth : Pose2.t array }
+
+let localization_scene rng =
+  let truth = truth_poses () in
+  let landmarks = truth_landmarks () in
+  let g = Graph.create () in
+  Array.iteri
+    (fun i p ->
+      let n = Scenario.noise_pose_vec rng ~rot_sigma:0.05 ~trans_sigma:0.08 ~rot_dim:1 ~trans_dim:2 in
+      Graph.add_variable g (pose_name i) (Var.Pose2 (Pose2.retract p n)))
+    truth;
+  Array.iteri
+    (fun i l ->
+      Graph.add_variable g (lm_name i) (Var.Vector (Vec.add l (Scenario.noise_vec rng ~sigma:0.1 2))))
+    landmarks;
+  Graph.add_factor g (Pose_factors.prior2 ~name:"PriorFactor" ~var:(pose_name 0) ~z:truth.(0) ~sigma:0.01);
+  (* LiDAR odometry between consecutive poses. *)
+  for i = 0 to window - 2 do
+    let rel = Pose2.ominus truth.(i + 1) truth.(i) in
+    let z = Pose2.retract rel (Scenario.noise_pose_vec rng ~rot_sigma:0.008 ~trans_sigma:0.015 ~rot_dim:1 ~trans_dim:2) in
+    Graph.add_factor g
+      (Pose_factors.between2 ~name:(Printf.sprintf "LidarOdom%d" i) ~a:(pose_name i)
+         ~b:(pose_name (i + 1)) ~z ~sigma:0.015)
+  done;
+  (* LiDAR landmark observations within range. *)
+  Array.iteri
+    (fun pi p ->
+      Array.iteri
+        (fun li l ->
+          if Pose2.distance p (Pose2.create ~theta:0.0 ~t:l) < 5.0 then begin
+            let body = Mat.mul_vec (Mat.transpose (Pose2.rotation p)) (Vec.sub l (Pose2.translation p)) in
+            let z = Vec.add body (Scenario.noise_vec rng ~sigma:0.02 2) in
+            Graph.add_factor g
+              (Pose_factors.lidar_landmark2
+                 ~name:(Printf.sprintf "LidarFactor%d-%d" pi li)
+                 ~pose:(pose_name pi) ~landmark:(lm_name li) ~z ~sigma:0.02)
+          end)
+        landmarks)
+    truth;
+  (* GPS fixes on every third pose. *)
+  Array.iteri
+    (fun i p ->
+      if i mod 3 = 0 then begin
+        let z = Vec.add (Pose2.translation p) (Scenario.noise_vec rng ~sigma:0.05 2) in
+        Graph.add_factor g
+          (Pose_factors.gps2 ~name:(Printf.sprintf "GPSFactor%d" i) ~var:(pose_name i) ~z ~sigma:0.05)
+      end)
+    truth;
+  { graph = g; truth }
+
+let localization rng = (localization_scene rng).graph
+
+(* ---------- planning ---------- *)
+
+let obstacles =
+  [
+    { Motion_factors.center = [| 2.0; 1.0 |]; radius = 0.6 };
+    { Motion_factors.center = [| 4.0; 2.6 |]; radius = 0.5 };
+  ]
+
+let plan_start = [| 0.0; 0.0; 0.0 |] (* x, y, theta *)
+let plan_goal = [| 6.0; 3.5; 0.5 |]
+
+let state_name k = Printf.sprintf "s%d" k
+
+type plan_scene = { pgraph : Graph.t; goal : Vec.t }
+
+let planning_scene rng =
+  let g = Graph.create () in
+  let states = Scenario.lerp_states ~start:plan_start ~goal:plan_goal ~steps:horizon ~dt in
+  Array.iteri
+    (fun k s ->
+      let s = Vec.add s (Scenario.noise_vec rng ~sigma:0.03 (Vec.dim s)) in
+      Graph.add_variable g (state_name k) (Var.Vector s))
+    states;
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"start" ~var:(state_name 0) ~target:states.(0)
+       ~sigmas:(Array.make 6 0.01));
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"goal" ~var:(state_name horizon)
+       ~target:(Vec.concat [ plan_goal; Vec.create 3 ])
+       ~sigmas:[| 0.05; 0.05; 0.05; 0.5; 0.5; 0.5 |]);
+  for k = 0 to horizon - 1 do
+    Graph.add_factor g
+      (Motion_factors.smooth ~name:(Printf.sprintf "SmoothFactor%d" k) ~a:(state_name k)
+         ~b:(state_name (k + 1)) ~dt ~d:3 ~sigma:0.1)
+  done;
+  List.iteri
+    (fun oi obstacle ->
+      for k = 1 to horizon - 1 do
+        Graph.add_factor g
+          (Motion_factors.collision_free
+             ~name:(Printf.sprintf "CollisionFactor%d-%d" oi k)
+             ~var:(state_name k) ~obstacle ~safety:0.35 ~sigma:0.02)
+      done)
+    obstacles;
+  { pgraph = g; goal = plan_goal }
+
+let planning rng = (planning_scene rng).pgraph
+
+(* ---------- control ---------- *)
+
+(* Tracking-error dynamics of a differential-drive robot linearized
+   about a nominal forward speed. *)
+let control_ab ~v0 ~dt =
+  let a = Mat.identity 3 in
+  Mat.set a 0 2 (-.v0 *. dt *. 0.5);
+  Mat.set a 1 2 (v0 *. dt);
+  let b = Mat.of_rows [| [| dt; 0.0 |]; [| 0.0; 0.0 |]; [| 0.0; dt |] |] in
+  (a, b)
+
+let ctrl_horizon = 8
+let ctrl_name k = Printf.sprintf "e%d" k
+let input_name k = Printf.sprintf "u%d" k
+
+type ctrl_scene = { cgraph : Graph.t }
+
+let control_scene rng =
+  let g = Graph.create () in
+  let a_mat, b_mat = control_ab ~v0:0.8 ~dt in
+  let e0 = Vec.add [| 0.4; -0.3; 0.2 |] (Scenario.noise_vec rng ~sigma:0.05 3) in
+  for k = 0 to ctrl_horizon do
+    Graph.add_variable g (ctrl_name k) (Var.Vector (Vec.create 3))
+  done;
+  for k = 0 to ctrl_horizon - 1 do
+    Graph.add_variable g (input_name k) (Var.Vector (Vec.create 2))
+  done;
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"current" ~var:(ctrl_name 0) ~target:e0
+       ~sigmas:(Array.make 3 0.001));
+  for k = 0 to ctrl_horizon - 1 do
+    Graph.add_factor g
+      (Motion_factors.dynamics ~name:(Printf.sprintf "DynamicsFactor%d" k) ~x_prev:(ctrl_name k)
+         ~u:(input_name k) ~x_next:(ctrl_name (k + 1)) ~a_mat ~b_mat ~sigma:0.01);
+    Graph.add_factor g
+      (Motion_factors.state_cost ~name:(Printf.sprintf "StateCost%d" k) ~var:(ctrl_name (k + 1))
+         ~target:(Vec.create 3) ~sigmas:(Array.make 3 0.8));
+    Graph.add_factor g
+      (Motion_factors.input_cost ~name:(Printf.sprintf "InputCost%d" k) ~var:(input_name k)
+         ~sigmas:(Array.make 2 2.0))
+  done;
+  Graph.add_factor g
+    (Motion_factors.goal ~name:"terminal" ~var:(ctrl_name ctrl_horizon) ~target:(Vec.create 3)
+       ~sigma:0.05);
+  { cgraph = g }
+
+let control rng = (control_scene rng).cgraph
+
+let graphs rng =
+  [ ("localization", localization rng); ("planning", planning rng); ("control", control rng) ]
+
+(* ---------- mission (Tbl. 5) ---------- *)
+
+let mission ~seed ~solver =
+  let rng = Rng.of_int seed in
+  (* Localization: average pose error under 10 cm. *)
+  let loc = localization_scene (Rng.split rng) in
+  Scenario.solve solver loc.graph;
+  let ate =
+    Array.to_list
+      (Array.mapi
+         (fun i p ->
+           match Graph.value loc.graph (pose_name i) with
+           | Var.Pose2 q -> Pose2.distance p q
+           | Var.Pose3 _ | Var.Se3 _ | Var.Vector _ -> infinity)
+         loc.truth)
+  in
+  let loc_ok = Orianna_util.Stats.mean (Array.of_list ate) < 0.10 in
+  (* Planning: collision-free and reaches the goal region. *)
+  let plan = planning_scene (Rng.split rng) in
+  Scenario.solve solver plan.pgraph;
+  let states = Array.init (horizon + 1) (fun k -> Scenario.vector_value plan.pgraph (state_name k)) in
+  let clearance = Scenario.min_clearance ~states ~obstacles in
+  let final = states.(horizon) in
+  let goal_dist = Vec.dist (Vec.slice final ~pos:0 ~len:2) (Vec.slice plan.goal ~pos:0 ~len:2) in
+  let plan_ok = clearance > 0.0 && goal_dist < 0.5 in
+  (* Control: tracking error driven to (near) zero. *)
+  let ctrl = control_scene (Rng.split rng) in
+  Scenario.solve solver ctrl.cgraph;
+  let final_err = Vec.norm (Scenario.vector_value ctrl.cgraph (ctrl_name ctrl_horizon)) in
+  let ctrl_ok = final_err < 0.15 in
+  loc_ok && plan_ok && ctrl_ok

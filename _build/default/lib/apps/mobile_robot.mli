@@ -1,0 +1,24 @@
+(** The MobileRobot application (Tbl. 4): a two-wheeled robot on a
+    plane.
+
+    - localization: 3-dimensional planar poses, LiDAR (landmark and
+      odometry) + GPS factors;
+    - planning: 6-dimensional states [[x; y; theta; vx; vy; omega]],
+      collision-free + smooth factors;
+    - control: 3-dimensional tracking-error state, 2-dimensional
+      input [[v; omega]], dynamics factors. *)
+
+open Orianna_fg
+open Orianna_util
+
+val localization : Rng.t -> Graph.t
+val planning : Rng.t -> Graph.t
+val control : Rng.t -> Graph.t
+
+val graphs : Rng.t -> (string * Graph.t) list
+(** [("localization", g); ("planning", g); ("control", g)]. *)
+
+val mission : seed:int -> solver:[ `Software | `Compiled ] -> bool
+(** Full-stack mission (Tbl. 5): localize within tolerance, plan a
+    collision-free path that reaches the goal, drive the tracking
+    error to zero. *)

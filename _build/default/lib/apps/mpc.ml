@@ -1,0 +1,90 @@
+open Orianna_linalg
+open Orianna_fg
+open Orianna_factors
+
+type config = { steps : int; horizon : int; dt : float; v_ref : float }
+
+let default_config = { steps = 40; horizon = 8; dt = 0.1; v_ref = 0.8 }
+
+type result = {
+  initial_error : float;
+  final_error : float;
+  max_input : float;
+  error_trace : float array;
+}
+
+let ctrl_name k = Printf.sprintf "e%d" k
+let input_name k = Printf.sprintf "u%d" k
+
+(* Linearized tracking-error model about the reference (heading 0,
+   speed v_ref): the same shape the MobileRobot control stack uses. *)
+let error_ab ~v0 ~dt =
+  let a = Mat.identity 3 in
+  Mat.set a 0 2 (-.v0 *. dt *. 0.5);
+  Mat.set a 1 2 (v0 *. dt);
+  let b = Mat.of_rows [| [| dt; 0.0 |]; [| 0.0; 0.0 |]; [| 0.0; dt |] |] in
+  (a, b)
+
+let build_graph cfg e0 =
+  let g = Graph.create () in
+  let a_mat, b_mat = error_ab ~v0:cfg.v_ref ~dt:cfg.dt in
+  for k = 0 to cfg.horizon do
+    Graph.add_variable g (ctrl_name k) (Var.Vector (Vec.create 3))
+  done;
+  for k = 0 to cfg.horizon - 1 do
+    Graph.add_variable g (input_name k) (Var.Vector (Vec.create 2))
+  done;
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"current" ~var:(ctrl_name 0) ~target:e0
+       ~sigmas:(Array.make 3 0.001));
+  for k = 0 to cfg.horizon - 1 do
+    Graph.add_factor g
+      (Motion_factors.dynamics ~name:(Printf.sprintf "dyn%d" k) ~x_prev:(ctrl_name k)
+         ~u:(input_name k) ~x_next:(ctrl_name (k + 1)) ~a_mat ~b_mat ~sigma:0.01);
+    Graph.add_factor g
+      (Motion_factors.state_cost ~name:(Printf.sprintf "cost%d" k) ~var:(ctrl_name (k + 1))
+         ~target:(Vec.create 3) ~sigmas:(Array.make 3 0.8));
+    Graph.add_factor g
+      (Motion_factors.input_cost ~name:(Printf.sprintf "ucost%d" k) ~var:(input_name k)
+         ~sigmas:(Array.make 2 2.0))
+  done;
+  Graph.add_factor g
+    (Motion_factors.goal ~name:"terminal" ~var:(ctrl_name cfg.horizon) ~target:(Vec.create 3)
+       ~sigma:0.05);
+  g
+
+(* Nonlinear unicycle plant, world frame. *)
+let step_plant cfg (x, y, theta) (uv, uw) =
+  let v = cfg.v_ref +. uv in
+  ( x +. (cfg.dt *. v *. cos theta),
+    y +. (cfg.dt *. v *. sin theta),
+    theta +. (cfg.dt *. uw) )
+
+let track_unicycle ?(config = default_config) ~solver ~e0 () =
+  if Vec.dim e0 <> 3 then invalid_arg "Mpc.track_unicycle: e0 must be [ex; ey; etheta]";
+  (* Plant starts displaced from the reference by e0. *)
+  let plant = ref (e0.(0), e0.(1), e0.(2)) in
+  let ref_x = ref 0.0 in
+  let traces = Array.make config.steps 0.0 in
+  let max_input = ref 0.0 in
+  for k = 0 to config.steps - 1 do
+    let x, y, theta = !plant in
+    let e = [| x -. !ref_x; y; theta |] in
+    traces.(k) <- Vec.norm e;
+    let g = build_graph config e in
+    Scenario.solve solver g;
+    let u = Scenario.vector_value g (input_name 0) in
+    max_input := Float.max !max_input (Vec.norm u);
+    plant := step_plant config !plant (u.(0), u.(1));
+    ref_x := !ref_x +. (config.dt *. config.v_ref)
+  done;
+  {
+    initial_error = traces.(0);
+    final_error = traces.(config.steps - 1);
+    max_input = !max_input;
+    error_trace = traces;
+  }
+
+let converges r =
+  r.final_error < 0.05
+  && Array.for_all (fun e -> e < 3.0 *. Float.max r.initial_error 0.1) r.error_trace

@@ -1,0 +1,231 @@
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+open Orianna_factors
+open Orianna_util
+
+let window = 8
+let landmark_count = 6
+let horizon = 12
+let dt = 0.2
+
+let pose_name i = Printf.sprintf "x%d" i
+let lm_name i = Printf.sprintf "l%d" i
+let state_name k = Printf.sprintf "s%d" k
+let ctrl_name k = Printf.sprintf "e%d" k
+let input_name k = Printf.sprintf "u%d" k
+
+(* Ground truth: a climbing helix, camera looking forward (+z in the
+   body frame pointing along the motion). *)
+let truth_poses () =
+  Array.init window (fun i ->
+      let t = float_of_int i *. 0.3 in
+      let pos = [| 2.0 *. cos t; 2.0 *. sin t; 0.5 +. (0.2 *. t) |] in
+      (* Yaw following the tangent, mild roll. *)
+      let yaw = t +. (Float.pi /. 2.0) in
+      Pose3.of_phi_t [| 0.02 *. sin t; 0.02 *. cos t; yaw |] pos)
+
+(* Landmarks ahead of the helix, a few meters out. *)
+let truth_landmarks () =
+  Array.init landmark_count (fun i ->
+      let a = 2.0 *. Float.pi *. float_of_int i /. float_of_int landmark_count in
+      [| 6.0 *. cos a; 6.0 *. sin a; 3.0 +. (0.5 *. float_of_int i) |])
+
+type loc_scene = { graph : Graph.t; truth : Pose3.t array }
+
+let localization_scene rng =
+  let truth = truth_poses () in
+  let landmarks = truth_landmarks () in
+  let g = Graph.create () in
+  Array.iteri
+    (fun i p ->
+      let n = Scenario.noise_pose_vec rng ~rot_sigma:0.02 ~trans_sigma:0.06 ~rot_dim:3 ~trans_dim:3 in
+      Graph.add_variable g (pose_name i) (Var.Pose3 (Pose3.retract p n)))
+    truth;
+  Array.iteri
+    (fun i l ->
+      Graph.add_variable g (lm_name i) (Var.Vector (Vec.add l (Scenario.noise_vec rng ~sigma:0.15 3))))
+    landmarks;
+  Graph.add_factor g
+    (Pose_factors.prior3 ~name:"PriorFactor" ~var:(pose_name 0) ~z:truth.(0) ~sigma:0.01);
+  (* IMU preintegration between consecutive keyframes. *)
+  for i = 0 to window - 2 do
+    let rel = Pose3.ominus truth.(i + 1) truth.(i) in
+    let z =
+      Pose3.retract rel
+        (Scenario.noise_pose_vec rng ~rot_sigma:0.004 ~trans_sigma:0.01 ~rot_dim:3 ~trans_dim:3)
+    in
+    Graph.add_factor g
+      (Pose_factors.between3 ~name:(Printf.sprintf "IMUFactor%d" i) ~a:(pose_name i)
+         ~b:(pose_name (i + 1)) ~z ~sigma:0.01)
+  done;
+  (* Camera observations of landmarks with positive depth. *)
+  let k = Vision_factors.default_intrinsics in
+  Array.iteri
+    (fun pi p ->
+      Array.iteri
+        (fun li l ->
+          let p_cam =
+            Mat.mul_vec (Mat.transpose (Pose3.rotation p)) (Vec.sub l (Pose3.translation p))
+          in
+          if p_cam.(2) > 0.5 then begin
+            let z = Vec.add (Vision_factors.project k p_cam) (Scenario.noise_vec rng ~sigma:1.0 2) in
+            Graph.add_factor g
+              (Vision_factors.camera
+                 ~name:(Printf.sprintf "CameraFactor%d-%d" pi li)
+                 ~pose:(pose_name pi) ~landmark:(lm_name li) ~z ~sigma:1.0 ())
+          end)
+        landmarks)
+    truth;
+  { graph = g; truth }
+
+let localization rng = (localization_scene rng).graph
+
+(* ---------- planning: 12-dimensional flight corridor ---------- *)
+
+let obstacles =
+  [
+    { Motion_factors.center = [| 2.0; 1.5; 1.2 |]; radius = 0.6 };
+    { Motion_factors.center = [| 4.0; 3.0; 1.6 |]; radius = 0.7 };
+  ]
+
+(* Planning "position" block: [x y z yaw_x yaw_y yaw_z] (pose-like),
+   velocity block: the 6 rates. *)
+let plan_start = Vec.create 6
+let plan_goal = [| 6.0; 4.5; 2.0; 0.0; 0.0; 0.6 |]
+let v_max = 3.0
+
+type plan_scene = { pgraph : Graph.t }
+
+let planning_scene rng =
+  let g = Graph.create () in
+  let states = Scenario.lerp_states ~start:plan_start ~goal:plan_goal ~steps:horizon ~dt in
+  Array.iteri
+    (fun k s ->
+      let s = Vec.add s (Scenario.noise_vec rng ~sigma:0.02 12) in
+      Graph.add_variable g (state_name k) (Var.Vector s))
+    states;
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"start" ~var:(state_name 0) ~target:states.(0)
+       ~sigmas:(Array.make 12 0.01));
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"goal" ~var:(state_name horizon)
+       ~target:(Vec.concat [ plan_goal; Vec.create 6 ])
+       ~sigmas:(Array.append (Array.make 6 0.05) (Array.make 6 0.5)));
+  for k = 0 to horizon - 1 do
+    Graph.add_factor g
+      (Motion_factors.smooth ~name:(Printf.sprintf "KinematicsFactor%d" k) ~a:(state_name k)
+         ~b:(state_name (k + 1)) ~dt ~d:6 ~sigma:0.1)
+  done;
+  for k = 1 to horizon - 1 do
+    Graph.add_factor g
+      (Motion_factors.speed_limit ~name:(Printf.sprintf "SpeedLimit%d" k) ~var:(state_name k) ~d:6
+         ~vmax:v_max ~sigma:0.05)
+  done;
+  List.iteri
+    (fun oi obstacle ->
+      for k = 1 to horizon - 1 do
+        Graph.add_factor g
+          (Motion_factors.collision_free
+             ~name:(Printf.sprintf "CollisionFactor%d-%d" oi k)
+             ~var:(state_name k) ~obstacle ~safety:0.4 ~sigma:0.03)
+      done)
+    obstacles;
+  { pgraph = g }
+
+let planning rng = (planning_scene rng).pgraph
+
+(* ---------- control: 12-state, 5-input MPC step ---------- *)
+
+let ctrl_horizon = 14
+
+(* Input allocation: [thrust; tau_x; tau_y; tau_z; aux] onto the six
+   accelerations of the double-integrator model. *)
+let allocation =
+  Mat.of_rows
+    [|
+      [| 0.8; 0.0; 0.0; 0.0; 0.3 |];
+      [| 0.0; 0.0; 0.0; 0.0; 0.8 |];
+      [| 1.0; 0.0; 0.0; 0.0; 0.0 |];
+      [| 0.0; 1.0; 0.0; 0.0; 0.0 |];
+      [| 0.0; 0.0; 1.0; 0.0; 0.0 |];
+      [| 0.0; 0.0; 0.0; 1.0; 0.0 |];
+    |]
+
+let control_ab ~dt =
+  let a, b6 = Motion_factors.double_integrator ~d:6 ~dt in
+  (* b6 maps 6 accelerations; compose with the 6x5 allocation. *)
+  (a, Mat.mul b6 allocation)
+
+type ctrl_scene = { cgraph : Graph.t }
+
+let control_scene rng =
+  let g = Graph.create () in
+  let a_mat, b_mat = control_ab ~dt:0.1 in
+  let e0 =
+    Vec.add
+      [| 0.5; -0.4; 0.3; 0.05; -0.05; 0.1; 0.2; -0.2; 0.1; 0.0; 0.0; 0.05 |]
+      (Scenario.noise_vec rng ~sigma:0.05 12)
+  in
+  for k = 0 to ctrl_horizon do
+    Graph.add_variable g (ctrl_name k) (Var.Vector (Vec.create 12))
+  done;
+  for k = 0 to ctrl_horizon - 1 do
+    Graph.add_variable g (input_name k) (Var.Vector (Vec.create 5))
+  done;
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"current" ~var:(ctrl_name 0) ~target:e0
+       ~sigmas:(Array.make 12 0.001));
+  for k = 0 to ctrl_horizon - 1 do
+    Graph.add_factor g
+      (Motion_factors.dynamics ~name:(Printf.sprintf "DynamicsFactor%d" k) ~x_prev:(ctrl_name k)
+         ~u:(input_name k) ~x_next:(ctrl_name (k + 1)) ~a_mat ~b_mat ~sigma:0.01);
+    Graph.add_factor g
+      (Motion_factors.speed_limit ~name:(Printf.sprintf "KinematicsFactor%d" k)
+         ~var:(ctrl_name (k + 1)) ~d:6 ~vmax:4.0 ~sigma:0.1);
+    Graph.add_factor g
+      (Motion_factors.state_cost ~name:(Printf.sprintf "StateCost%d" k) ~var:(ctrl_name (k + 1))
+         ~target:(Vec.create 12) ~sigmas:(Array.make 12 0.5));
+    Graph.add_factor g
+      (Motion_factors.input_cost ~name:(Printf.sprintf "InputCost%d" k) ~var:(input_name k)
+         ~sigmas:(Array.make 5 4.0))
+  done;
+  Graph.add_factor g
+    (Motion_factors.goal ~name:"terminal" ~var:(ctrl_name ctrl_horizon) ~target:(Vec.create 12)
+       ~sigma:0.05);
+  { cgraph = g }
+
+let control rng = (control_scene rng).cgraph
+
+let graphs rng =
+  [ ("localization", localization rng); ("planning", planning rng); ("control", control rng) ]
+
+(* ---------- mission ---------- *)
+
+let mission ~seed ~solver =
+  let rng = Rng.of_int seed in
+  let loc = localization_scene (Rng.split rng) in
+  Scenario.solve solver loc.graph;
+  let errs =
+    Array.mapi
+      (fun i p ->
+        match Graph.value loc.graph (pose_name i) with
+        | Var.Pose3 q -> Pose3.distance p q
+        | Var.Pose2 _ | Var.Se3 _ | Var.Vector _ -> infinity)
+      loc.truth
+  in
+  let loc_ok = Stats.mean errs < 0.06 in
+  let plan = planning_scene (Rng.split rng) in
+  Scenario.solve solver plan.pgraph;
+  let states = Array.init (horizon + 1) (fun k -> Scenario.vector_value plan.pgraph (state_name k)) in
+  let clearance =
+    (* Workspace is the first 3 dimensions. *)
+    Scenario.min_clearance ~states ~obstacles
+  in
+  let final = states.(horizon) in
+  let goal_dist = Vec.dist (Vec.slice final ~pos:0 ~len:3) (Vec.slice plan_goal ~pos:0 ~len:3) in
+  let plan_ok = clearance > 0.0 && goal_dist < 0.5 in
+  let ctrl = control_scene (Rng.split rng) in
+  Scenario.solve solver ctrl.cgraph;
+  let ctrl_ok = Vec.norm (Scenario.vector_value ctrl.cgraph (ctrl_name ctrl_horizon)) < 0.331 in
+  loc_ok && plan_ok && ctrl_ok

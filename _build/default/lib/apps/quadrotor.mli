@@ -1,0 +1,18 @@
+(** The Quadrotor application (Tbl. 4): a four-rotor micro drone.
+
+    - localization: 6-dimensional 3D poses, Camera + IMU factors
+      (visual-inertial odometry over a sliding window with
+      landmarks);
+    - planning: 12-dimensional states [[p3; ori3; v3; w3]],
+      collision-free + kinematics factors;
+    - control: 12-dimensional state, 5-dimensional input,
+      kinematics + dynamics factors. *)
+
+open Orianna_fg
+open Orianna_util
+
+val localization : Rng.t -> Graph.t
+val planning : Rng.t -> Graph.t
+val control : Rng.t -> Graph.t
+val graphs : Rng.t -> (string * Graph.t) list
+val mission : seed:int -> solver:[ `Software | `Compiled ] -> bool

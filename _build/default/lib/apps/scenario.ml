@@ -1,0 +1,43 @@
+open Orianna_linalg
+open Orianna_fg
+open Orianna_util
+
+let noise_vec rng ~sigma n = Array.init n (fun _ -> Rng.gaussian_sigma rng ~sigma)
+
+let noise_pose_vec rng ~rot_sigma ~trans_sigma ~rot_dim ~trans_dim =
+  Array.init (rot_dim + trans_dim) (fun k ->
+      if k < rot_dim then Rng.gaussian_sigma rng ~sigma:rot_sigma
+      else Rng.gaussian_sigma rng ~sigma:trans_sigma)
+
+let lerp_states ~start ~goal ~steps ~dt =
+  let d = Vec.dim start in
+  if Vec.dim goal <> d then invalid_arg "Scenario.lerp_states: dimension mismatch";
+  let total_time = float_of_int steps *. dt in
+  let rate = Vec.scale (1.0 /. total_time) (Vec.sub goal start) in
+  Array.init (steps + 1) (fun k ->
+      let alpha = float_of_int k /. float_of_int steps in
+      let p = Vec.add start (Vec.scale alpha (Vec.sub goal start)) in
+      Vec.concat [ p; rate ])
+
+let min_clearance ~states ~obstacles =
+  let clearance state (o : Orianna_factors.Motion_factors.obstacle) =
+    let w = Vec.dim o.center in
+    let p = Vec.slice state ~pos:0 ~len:w in
+    Vec.dist p o.center -. o.radius
+  in
+  Array.fold_left
+    (fun acc s -> List.fold_left (fun acc o -> Float.min acc (clearance s o)) acc obstacles)
+    infinity states
+
+let vector_value g name =
+  match Graph.value g name with
+  | Var.Vector v -> v
+  | Var.Pose2 _ | Var.Pose3 _ | Var.Se3 _ ->
+      invalid_arg ("Scenario.vector_value: " ^ name ^ " is not a vector")
+
+let solve path g =
+  match path with
+  | `Software ->
+      let params = { Optimizer.default_params with max_iterations = 25 } in
+      ignore (Optimizer.optimize ~params g)
+  | `Compiled -> ignore (Orianna_compiler.Compile.iterate ~max_iterations:25 g)

@@ -1,0 +1,30 @@
+(** Shared helpers for building application workloads (Tbl. 4). *)
+
+open Orianna_linalg
+open Orianna_fg
+open Orianna_util
+
+val noise_vec : Rng.t -> sigma:float -> int -> Vec.t
+(** i.i.d. Gaussian vector. *)
+
+val noise_pose_vec : Rng.t -> rot_sigma:float -> trans_sigma:float -> rot_dim:int -> trans_dim:int -> Vec.t
+(** Tangent noise with separate orientation / position sigmas. *)
+
+val lerp_states : start:Vec.t -> goal:Vec.t -> steps:int -> dt:float -> Vec.t array
+(** Straight-line initialization of [[p; v]] trajectory states:
+    positions interpolate from [start] to [goal], velocities are the
+    constant rate.  [start]/[goal] are positions (d-dimensional); the
+    result has [steps + 1] states of dimension [2 d]. *)
+
+val min_clearance : states:Vec.t array -> obstacles:Orianna_factors.Motion_factors.obstacle list -> float
+(** Smallest distance-to-surface over every state and obstacle
+    (positive = collision-free), measured in the obstacle's workspace
+    dimensions. *)
+
+val vector_value : Graph.t -> string -> Vec.t
+(** Fetch a vector variable (raises on other kinds). *)
+
+val solve : [ `Software | `Compiled ] -> Graph.t -> unit
+(** Run Gauss-Newton to convergence through the chosen path: the
+    software solver or the ORIANNA compiled-program semantics.  Both
+    paths must land on the same optimum — Tbl. 5 rests on that. *)

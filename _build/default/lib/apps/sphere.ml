@@ -1,0 +1,305 @@
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+open Orianna_factors
+open Orianna_util
+
+type config = {
+  rings : int;
+  poses_per_ring : int;
+  radius : float;
+  odo_rot_sigma : float;
+  odo_trans_sigma : float;
+  init_rot_sigma : float;
+  init_trans_sigma : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    rings = 8;
+    poses_per_ring = 24;
+    radius = 10.0;
+    odo_rot_sigma = 0.0015;
+    odo_trans_sigma = 0.004;
+    init_rot_sigma = 0.05;
+    init_trans_sigma = 0.15;
+    seed = 1234;
+  }
+
+type dataset = {
+  truth : Pose3.t array;
+  initial : Pose3.t array;
+  odometry : (int * int * Pose3.t) array;
+  loops : (int * int * Pose3.t) array;
+}
+
+let position cfg ring j =
+  let polar = Float.pi *. float_of_int (ring + 1) /. float_of_int (cfg.rings + 1) in
+  let azimuth = 2.0 *. Float.pi *. float_of_int j /. float_of_int cfg.poses_per_ring in
+  [|
+    cfg.radius *. sin polar *. cos azimuth;
+    cfg.radius *. sin polar *. sin azimuth;
+    cfg.radius *. cos polar;
+  |]
+
+(* Orientation: x-axis along the direction of travel, z-axis outward. *)
+let orientation ~pos ~next =
+  let x = Vec.sub next pos in
+  let xn = Vec.norm x in
+  let x = if xn < 1e-9 then [| 1.0; 0.0; 0.0 |] else Vec.scale (1.0 /. xn) x in
+  let z = Vec.scale (1.0 /. Vec.norm pos) pos in
+  let raw = Mat.init 3 3 (fun i j -> match j with 0 -> x.(i) | 2 -> z.(i) | _ -> 0.0) in
+  (* Gram-Schmidt fixes the middle column and any x/z correlation. *)
+  let m = Mat.copy raw in
+  Mat.set m 0 1 ((z.(1) *. x.(2)) -. (z.(2) *. x.(1)));
+  Mat.set m 1 1 ((z.(2) *. x.(0)) -. (z.(0) *. x.(2)));
+  Mat.set m 2 1 ((z.(0) *. x.(1)) -. (z.(1) *. x.(0)));
+  So3.normalize m
+
+let noisy_between rng ~rot_sigma ~trans_sigma rel =
+  let noise =
+    Array.init 6 (fun k ->
+        if k < 3 then Rng.gaussian_sigma rng ~sigma:rot_sigma
+        else Rng.gaussian_sigma rng ~sigma:trans_sigma)
+  in
+  Pose3.retract rel noise
+
+let generate cfg =
+  let rng = Rng.of_int cfg.seed in
+  let n = cfg.rings * cfg.poses_per_ring in
+  let idx ring j = (ring * cfg.poses_per_ring) + j in
+  let truth =
+    Array.init n (fun i ->
+        let ring = i / cfg.poses_per_ring and j = i mod cfg.poses_per_ring in
+        let pos = position cfg ring j in
+        let next_j = (j + 1) mod cfg.poses_per_ring in
+        let next = position cfg ring next_j in
+        Pose3.create ~r:(orientation ~pos ~next) ~t:pos)
+  in
+  let odometry =
+    Array.init (n - 1) (fun i ->
+        let rel = Pose3.ominus truth.(i + 1) truth.(i) in
+        (i, i + 1, noisy_between rng ~rot_sigma:cfg.odo_rot_sigma ~trans_sigma:cfg.odo_trans_sigma rel))
+  in
+  let loops =
+    Array.concat
+      (List.init (cfg.rings - 1) (fun ring ->
+           Array.init cfg.poses_per_ring (fun j ->
+               let a = idx ring j and b = idx (ring + 1) j in
+               let rel = Pose3.ominus truth.(b) truth.(a) in
+               (a, b, noisy_between rng ~rot_sigma:cfg.odo_rot_sigma ~trans_sigma:cfg.odo_trans_sigma rel))))
+  in
+  (* The initial guess integrates a separately corrupted odometry, so
+     it drifts far from the truth (Fig. 9a) while the measurements
+     themselves stay precise. *)
+  let initial = Array.make n truth.(0) in
+  Array.iter
+    (fun (i, j, z) ->
+      let drifted =
+        noisy_between rng ~rot_sigma:cfg.init_rot_sigma ~trans_sigma:cfg.init_trans_sigma z
+      in
+      initial.(j) <- Pose3.oplus initial.(i) drifted)
+    odometry;
+  { truth; initial; odometry; loops }
+
+type errors = { max : float; mean : float; min : float; std : float }
+
+let ate ~truth ~estimate =
+  if Array.length truth <> Array.length estimate then invalid_arg "Sphere.ate: length mismatch";
+  let d = Array.map2 Pose3.distance truth estimate in
+  {
+    max = Stats.max d;
+    mean = Stats.mean d;
+    min = Stats.min d;
+    std = Stats.stddev d;
+  }
+
+type run = { errors : errors; macs : int; construct_macs : int; iterations : int; converged : bool }
+
+type report = {
+  initial_errors : errors;
+  unified : run;
+  se3 : run;
+  mac_saving : float;
+}
+
+let optimizer_params =
+  {
+    Optimizer.default_params with
+    method_ = Optimizer.Levenberg_marquardt;
+    max_iterations = 40;
+    ordering = Ordering.Min_degree;
+  }
+
+let name i = Printf.sprintf "x%d" i
+
+let unified_graph ds =
+  let g = Graph.create () in
+  Array.iteri (fun i p -> Graph.add_variable g (name i) (Var.Pose3 p)) ds.initial;
+  Graph.add_factor g (Pose_factors.prior3 ~name:"prior" ~var:(name 0) ~z:ds.truth.(0) ~sigma:1e-3);
+  Array.iter
+    (fun (i, j, z) ->
+      Graph.add_factor g
+        (Pose_factors.between3 ~name:(Printf.sprintf "odo%d-%d" i j) ~a:(name i) ~b:(name j) ~z
+           ~sigma:0.004))
+    ds.odometry;
+  Array.iter
+    (fun (i, j, z) ->
+      Graph.add_factor g
+        (Pose_factors.between3 ~name:(Printf.sprintf "loop%d-%d" i j) ~a:(name i) ~b:(name j) ~z
+           ~sigma:0.004))
+    ds.loops;
+  g
+
+let pose3_estimate ds g =
+  Array.init (Array.length ds.initial) (fun i ->
+      match Graph.value g (name i) with
+      | Var.Pose3 p -> p
+      | Var.Pose2 _ | Var.Se3 _ | Var.Vector _ -> assert false)
+
+let run_unified ds =
+  let g = unified_graph ds in
+  let report = Optimizer.optimize ~params:optimizer_params g in
+  let _, construct_macs = Macs.measure (fun () -> ignore (Graph.linearize g)) in
+  let estimate = pose3_estimate ds g in
+  {
+    errors = ate ~truth:ds.truth ~estimate;
+    macs = report.Optimizer.macs;
+    construct_macs;
+    iterations = report.Optimizer.iterations;
+    converged = report.Optimizer.converged;
+  }
+
+let unified_estimate ds =
+  let g = unified_graph ds in
+  ignore (Optimizer.optimize ~params:optimizer_params g);
+  pose3_estimate ds g
+
+let run_se3 ds =
+  let g = Graph.create () in
+  Array.iteri
+    (fun i p -> Graph.add_variable g (name i) (Var.Se3 (Convert.se3_of_pose3 p)))
+    ds.initial;
+  Graph.add_factor g
+    (Se3_factors.prior ~name:"prior" ~var:(name 0) ~z:(Convert.se3_of_pose3 ds.truth.(0))
+       ~sigma:1e-3);
+  Array.iter
+    (fun (i, j, z) ->
+      Graph.add_factor g
+        (Se3_factors.between ~name:(Printf.sprintf "odo%d-%d" i j) ~a:(name i) ~b:(name j)
+           ~z:(Convert.se3_of_pose3 z) ~sigma:0.004))
+    ds.odometry;
+  Array.iter
+    (fun (i, j, z) ->
+      Graph.add_factor g
+        (Se3_factors.between ~name:(Printf.sprintf "loop%d-%d" i j) ~a:(name i) ~b:(name j)
+           ~z:(Convert.se3_of_pose3 z) ~sigma:0.004))
+    ds.loops;
+  let report = Optimizer.optimize ~params:optimizer_params g in
+  let _, construct_macs = Macs.measure (fun () -> ignore (Graph.linearize g)) in
+  let estimate =
+    Array.init (Array.length ds.initial) (fun i ->
+        match Graph.value g (name i) with
+        | Var.Se3 x -> Convert.pose3_of_se3 x
+        | Var.Pose2 _ | Var.Pose3 _ | Var.Vector _ -> assert false)
+  in
+  {
+    errors = ate ~truth:ds.truth ~estimate;
+    macs = report.Optimizer.macs;
+    construct_macs;
+    iterations = report.Optimizer.iterations;
+    converged = report.Optimizer.converged;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Robustness extension: wild loop closures vs M-estimators.           *)
+
+type robust_report = {
+  outliers : int;
+  plain : errors;
+  robust : errors;
+  clean : errors;
+}
+
+let corrupt_loops rng ~fraction ds =
+  let count = ref 0 in
+  let loops =
+    Array.map
+      (fun (i, j, z) ->
+        if Rng.float rng < fraction then begin
+          incr count;
+          (* A wild, confidently-wrong measurement. *)
+          (i, j, Pose3.retract z (Array.init 6 (fun k ->
+               if k < 3 then Rng.uniform rng ~lo:(-0.6) ~hi:0.6
+               else Rng.uniform rng ~lo:(-4.0) ~hi:4.0)))
+        end
+        else (i, j, z))
+      ds.loops
+  in
+  ({ ds with loops }, !count)
+
+let run_with_loss ?loss ds =
+  let wrap f = match loss with None -> f | Some l -> Robust.robustify l f in
+  let g = Graph.create () in
+  Array.iteri (fun i p -> Graph.add_variable g (name i) (Var.Pose3 p)) ds.initial;
+  Graph.add_factor g (Pose_factors.prior3 ~name:"prior" ~var:(name 0) ~z:ds.truth.(0) ~sigma:1e-3);
+  Array.iter
+    (fun (i, j, z) ->
+      Graph.add_factor g
+        (Pose_factors.between3 ~name:(Printf.sprintf "odo%d-%d" i j) ~a:(name i) ~b:(name j) ~z
+           ~sigma:0.004))
+    ds.odometry;
+  Array.iter
+    (fun (i, j, z) ->
+      Graph.add_factor g
+        (wrap
+           (Pose_factors.between3 ~name:(Printf.sprintf "loop%d-%d" i j) ~a:(name i) ~b:(name j)
+              ~z ~sigma:0.004)))
+    ds.loops;
+  ignore (Optimizer.optimize ~params:optimizer_params g);
+  let estimate =
+    Array.init (Array.length ds.initial) (fun i ->
+        match Graph.value g (name i) with
+        | Var.Pose3 p -> p
+        | Var.Pose2 _ | Var.Se3 _ | Var.Vector _ -> assert false)
+  in
+  ate ~truth:ds.truth ~estimate
+
+let run_robust ?(config = default_config) ?(outlier_fraction = 0.1) () =
+  let ds = generate config in
+  let rng = Rng.of_int (config.seed + 1) in
+  let corrupted, outliers = corrupt_loops rng ~fraction:outlier_fraction ds in
+  {
+    outliers;
+    plain = run_with_loss corrupted;
+    robust = run_with_loss ~loss:(Robust.Cauchy 1.0) corrupted;
+    clean = run_with_loss ds;
+  }
+
+let run ?(config = default_config) () =
+  let ds = generate config in
+  let initial_errors = ate ~truth:ds.truth ~estimate:ds.initial in
+  let unified = run_unified ds in
+  let se3 = run_se3 ds in
+  let mac_saving = 1.0 -. (float_of_int unified.construct_macs /. float_of_int se3.construct_macs) in
+  { initial_errors; unified; se3; mac_saving }
+
+let trajectory_csv ds ~estimate =
+  if Array.length estimate <> Array.length ds.truth then
+    invalid_arg "Sphere.trajectory_csv: length mismatch";
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "i,truth_x,truth_y,truth_z,init_x,init_y,init_z,est_x,est_y,est_z\n";
+  Array.iteri
+    (fun i truth ->
+      let t = Pose3.translation truth in
+      let n = Pose3.translation ds.initial.(i) in
+      let e = Pose3.translation estimate.(i) in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n" i t.(0) t.(1) t.(2)
+           n.(0) n.(1) n.(2) e.(0) e.(1) e.(2)))
+    ds.truth;
+  Buffer.contents buf
+
+let pp_errors ppf e =
+  Format.fprintf ppf "max=%.3f mean=%.3f min=%.3f std=%.3f" e.max e.mean e.min e.std

@@ -1,0 +1,1 @@
+lib/baselines/cpu_model.ml: Array Format Instr Orianna_isa Program

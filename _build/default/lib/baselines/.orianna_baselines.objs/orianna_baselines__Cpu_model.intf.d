@@ -1,0 +1,1 @@
+lib/baselines/cpu_model.mli: Format Orianna_isa Program

@@ -1,0 +1,1 @@
+lib/baselines/gpu_model.ml: Array Instr Orianna_isa Program

@@ -1,0 +1,1 @@
+lib/baselines/gpu_model.mli: Orianna_isa Program

@@ -1,0 +1,75 @@
+open Orianna_isa
+
+type model = {
+  mname : string;
+  freq_hz : float;
+  effective_flops_per_cycle : float;
+  op_overhead_s : float;
+  mem_bandwidth_gbs : float;
+  active_power_w : float;
+}
+
+(* Power figures are per-workload active power of the parts actually
+   busy: one desktop core + uncore for Intel, one mobile core for the
+   ARM cluster — the paper's energy ratios (15.1x vs Intel, 3.4x vs
+   ARM for a board-level FPGA measurement) pin these down. *)
+let intel =
+  {
+    mname = "Intel i7-11700";
+    freq_hz = 2.5e9;
+    effective_flops_per_cycle = 4.0;
+    op_overhead_s = 100e-9;
+    mem_bandwidth_gbs = 18.0;
+    active_power_w = 35.0;
+  }
+
+let arm =
+  {
+    mname = "ARM Cortex-A57";
+    freq_hz = 1.9e9;
+    effective_flops_per_cycle = 1.0;
+    op_overhead_s = 1000e-9;
+    mem_bandwidth_gbs = 6.0;
+    active_power_w = 1.2;
+  }
+
+type result = {
+  seconds : float;
+  energy_j : float;
+  construct_seconds : float;
+  solve_seconds : float;
+}
+
+let run model ?(construct_flop_scale = 1.0) (p : Program.t) =
+  let src_shape id = (p.Program.instrs.(id).Instr.rows, p.Program.instrs.(id).Instr.cols) in
+  let construct = ref 0.0 and solve = ref 0.0 in
+  Array.iter
+    (fun (ins : Instr.t) ->
+      let flops = float_of_int (Instr.flops ins ~src_shape) in
+      let flops =
+        match ins.Instr.phase with
+        | Instr.Construct -> flops *. construct_flop_scale
+        | Instr.Decompose | Instr.Backsub -> flops
+      in
+      let words = float_of_int (ins.Instr.rows * ins.Instr.cols) in
+      let arithmetic = flops /. (model.effective_flops_per_cycle *. model.freq_hz) in
+      let memory = words *. 8.0 /. (model.mem_bandwidth_gbs *. 1e9) in
+      (* Pure data movement between on-chip buffers does not exist on a
+         CPU as a separate operation, but the gather/scatter of sparse
+         blocks does cost the overhead + copy time. *)
+      let t = model.op_overhead_s +. arithmetic +. memory in
+      match ins.Instr.phase with
+      | Instr.Construct -> construct := !construct +. t
+      | Instr.Decompose | Instr.Backsub -> solve := !solve +. t)
+    p.Program.instrs;
+  let seconds = !construct +. !solve in
+  {
+    seconds;
+    energy_j = seconds *. model.active_power_w;
+    construct_seconds = !construct;
+    solve_seconds = !solve;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%.3f ms (construct %.3f + solve %.3f), %.3f mJ" (r.seconds *. 1e3)
+    (r.construct_seconds *. 1e3) (r.solve_seconds *. 1e3) (r.energy_j *. 1e3)

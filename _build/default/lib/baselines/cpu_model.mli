@@ -1,0 +1,43 @@
+(** CPU execution models (Sec. 7.1 baselines).
+
+    A CPU executes the same logical matrix-operation workload the
+    accelerator does, but sequentially: every operation pays a fixed
+    software overhead (dynamic dispatch over sparse structures,
+    pointer chasing, cache misses on tiny irregular blocks) plus its
+    arithmetic at the core's effective small-matrix FLOP rate.  The
+    overhead term dominating on tiny blocks is exactly why the paper's
+    desktop CPU runs LIO-SAM-class workloads at a few Hz.
+
+    The [construct_flop_scale] knob inflates construction-phase
+    arithmetic to model a pose representation other than
+    [<so(n),T(n)>] (the stock GTSAM-style baseline pays the SE(3)
+    padding; ORIANNA-SW sets the scale to 1). *)
+
+open Orianna_isa
+
+type model = {
+  mname : string;
+  freq_hz : float;
+  effective_flops_per_cycle : float;  (** sustained on small dense blocks *)
+  op_overhead_s : float;  (** per-operation software overhead *)
+  mem_bandwidth_gbs : float;
+  active_power_w : float;
+}
+
+val intel : model
+(** Intel i7-11700 class desktop CPU. *)
+
+val arm : model
+(** ARM Cortex-A57 class mobile CPU (Jetson TX1). *)
+
+type result = {
+  seconds : float;
+  energy_j : float;
+  construct_seconds : float;
+  solve_seconds : float;  (** decomposition + back substitution *)
+}
+
+val run : model -> ?construct_flop_scale:float -> Program.t -> result
+(** Sequential replay of the instruction stream. *)
+
+val pp_result : Format.formatter -> result -> unit

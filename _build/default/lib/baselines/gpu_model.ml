@@ -1,0 +1,69 @@
+open Orianna_isa
+
+type model = {
+  gname : string;
+  flops_per_second : float;
+  kernel_launch_s : float;
+  construct_batch : int;
+  mem_bandwidth_gbs : float;
+  active_power_w : float;
+}
+
+let jetson_maxwell =
+  {
+    gname = "Jetson TX1 Maxwell";
+    flops_per_second = 120.0e9;
+    kernel_launch_s = 4e-6;
+    construct_batch = 64;
+    mem_bandwidth_gbs = 25.0;
+    active_power_w = 6.5;
+  }
+
+type result = {
+  seconds : float;
+  energy_j : float;
+  construct_seconds : float;
+  solve_seconds : float;
+}
+
+let run model (p : Program.t) =
+  let src_shape id = (p.Program.instrs.(id).Instr.rows, p.Program.instrs.(id).Instr.cols) in
+  let construct_ops = ref 0 in
+  let construct_flops = ref 0.0 and construct_words = ref 0.0 in
+  let solve = ref 0.0 in
+  Array.iter
+    (fun (ins : Instr.t) ->
+      let flops = float_of_int (Instr.flops ins ~src_shape) in
+      let words = float_of_int (ins.Instr.rows * ins.Instr.cols) in
+      match ins.Instr.phase with
+      | Instr.Construct ->
+          incr construct_ops;
+          construct_flops := !construct_flops +. flops;
+          construct_words := !construct_words +. words
+      | Instr.Decompose | Instr.Backsub ->
+          (* Sparse-solver path: a dependency chain of small kernels.
+             Data movement folds into the kernels (bandwidth only);
+             each arithmetic step pays a launch. *)
+          let launch =
+            if Instr.is_data_movement ins.Instr.op then 0.0 else model.kernel_launch_s
+          in
+          let t =
+            launch
+            +. (flops /. model.flops_per_second)
+            +. (words *. 8.0 /. (model.mem_bandwidth_gbs *. 1e9))
+          in
+          solve := !solve +. t)
+    p.Program.instrs;
+  let batches = ( !construct_ops + model.construct_batch - 1 ) / model.construct_batch in
+  let construct =
+    (float_of_int batches *. model.kernel_launch_s)
+    +. (!construct_flops /. model.flops_per_second)
+    +. (!construct_words *. 8.0 /. (model.mem_bandwidth_gbs *. 1e9))
+  in
+  let seconds = construct +. !solve in
+  {
+    seconds;
+    energy_j = seconds *. model.active_power_w;
+    construct_seconds = construct;
+    solve_seconds = !solve;
+  }

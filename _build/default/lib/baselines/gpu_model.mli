@@ -1,0 +1,33 @@
+(** Embedded GPU execution model (the Jetson TX1 Maxwell baseline).
+
+    The paper implements this baseline with cuBLAS (batched small
+    GEMMs during construction) and cuSolverSP (sparse QR during
+    solving) and observes only ~2x over the ARM CPU: construction
+    batches well (up to 4.8x) but decomposition and back substitution
+    are sequential chains of tiny kernels whose launch overhead
+    dominates (Sec. 7.3).  The model captures exactly that:
+    construction instructions amortize one launch per batch, solve
+    instructions pay a launch each because of their dependency
+    chain. *)
+
+open Orianna_isa
+
+type model = {
+  gname : string;
+  flops_per_second : float;  (** sustained throughput on batched small ops *)
+  kernel_launch_s : float;
+  construct_batch : int;  (** independent ops batched per launch *)
+  mem_bandwidth_gbs : float;
+  active_power_w : float;
+}
+
+val jetson_maxwell : model
+
+type result = {
+  seconds : float;
+  energy_j : float;
+  construct_seconds : float;
+  solve_seconds : float;
+}
+
+val run : model -> Program.t -> result

@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Graph Ordering Orianna_fg Orianna_isa Program

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Accel Cpu_model Dse Float Gpu_model List Orianna_apps Orianna_baselines Orianna_compiler Orianna_fg Orianna_hw Orianna_isa Orianna_sim Orianna_util Program Resource Rng Schedule

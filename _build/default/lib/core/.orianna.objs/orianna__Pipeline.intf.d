@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Accel Cpu_model Dse Gpu_model Graph Orianna_apps Orianna_baselines Orianna_fg Orianna_hw Orianna_isa Orianna_sim Program Resource Schedule

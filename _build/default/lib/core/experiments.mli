@@ -1,0 +1,74 @@
+(** Reproduction harness: one entry per table and figure of the
+    paper's evaluation (see DESIGN.md's experiment index).
+
+    Each function renders a plain-text table with the measured values
+    (and, where meaningful, the paper's reported numbers alongside).
+    The expensive comparison matrix (compilation + hardware generation
+    + simulation of every application) is computed once per
+    {!context}. *)
+
+type context
+
+val make_context : ?seed:int -> unit -> context
+(** Compile and evaluate all four applications (a few seconds). *)
+
+val table1 : unit -> string
+(** Sphere-benchmark trajectory errors: initial vs [<so(3),T(3)>] vs
+    SE(3), plus the construction-phase MAC saving of Sec. 4.3. *)
+
+val table4 : unit -> string
+(** Benchmark configuration (descriptive). *)
+
+val table5 : ?missions:int -> unit -> string
+(** Mission success rates, ORIANNA (compiled semantics) vs software. *)
+
+val fig13 : context -> string
+(** Speedup over ARM: Intel / GPU / ORIANNA-SW / IO / OoO. *)
+
+val fig14 : context -> string
+(** Energy reduction over ARM. *)
+
+val fig15 : context -> string
+(** Per-algorithm speedup over ARM (localization / planning / control). *)
+
+val fig16 : context -> string
+(** ORIANNA vs VANILLA-HLS vs STACK: speedup and energy vs Intel
+    (16a/16b) and resource consumption (16c). *)
+
+val fig17 : context -> string
+(** Matrix-operation sizes, VANILLA-HLS vs ORIANNA, per algorithm of
+    the mobile robot. *)
+
+val fig18 : context -> string
+(** Matrix-operation density, VANILLA-HLS vs ORIANNA. *)
+
+val fig19 : context -> string
+(** Speedup vs Intel under a DSP budget sweep: generated vs manually
+    designed accelerators. *)
+
+val fig20 : context -> string
+(** Energy under the same sweep, energy-objective generation. *)
+
+val breakdown : context -> string
+(** Latency breakdown by phase on the quadrotor (Sec. 7.3: decomposition
+    ~74 %, construction ~16 %, back substitution ~10 %). *)
+
+val frame_rates : context -> string
+(** Achieved frame rates per platform at a typical 3 iterations per
+    frame (the Sec. 1 motivation numbers). *)
+
+val ablations : context -> string
+(** Design-choice ablations beyond the paper's figures: compiler CSE
+    on/off, elimination-ordering choice, and OoO issue priority
+    (critical-path vs FIFO). *)
+
+val extension_robust : unit -> string
+(** Extension beyond the paper: outlier-corrupted loop closures solved
+    with and without a robust loss (see {!Orianna_fg.Robust}). *)
+
+val extension_manhattan : unit -> string
+(** Extension: a Manhattan-world (M3500-style) 2D pose graph solved
+    end to end. *)
+
+val run_all : ?missions:int -> unit -> unit
+(** Print everything to stdout (the bench harness entry point). *)

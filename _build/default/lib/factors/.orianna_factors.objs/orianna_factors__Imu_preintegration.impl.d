@@ -1,0 +1,1 @@
+lib/factors/imu_preintegration.ml: Array Factor List Mat Orianna_fg Orianna_lie Orianna_linalg Orianna_util Pose3 Rng So3 Var Vec

@@ -1,0 +1,1 @@
+lib/factors/imu_preintegration.mli: Factor Mat Orianna_fg Orianna_lie Orianna_linalg Orianna_util Vec

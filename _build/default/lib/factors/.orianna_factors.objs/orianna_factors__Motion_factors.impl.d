@@ -1,0 +1,1 @@
+lib/factors/motion_factors.ml: Array Factor Float Mat Orianna_fg Orianna_linalg Printf Var Vec

@@ -1,0 +1,1 @@
+lib/factors/motion_factors.mli: Factor Mat Orianna_fg Orianna_linalg Vec

@@ -1,0 +1,1 @@
+lib/factors/pose_factors.ml: Array Factor Mat Orianna_fg Orianna_ir Orianna_lie Orianna_linalg Pose2 Pose3 Vec

@@ -1,0 +1,1 @@
+lib/factors/pose_factors.mli: Factor Orianna_fg Orianna_lie Orianna_linalg Pose2 Pose3 Vec

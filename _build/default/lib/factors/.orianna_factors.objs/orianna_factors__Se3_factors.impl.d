@@ -1,0 +1,1 @@
+lib/factors/se3_factors.ml: Array Factor Mat Orianna_fg Orianna_lie Orianna_linalg Se3 Var

@@ -1,0 +1,1 @@
+lib/factors/se3_factors.mli: Factor Orianna_fg Orianna_lie Se3

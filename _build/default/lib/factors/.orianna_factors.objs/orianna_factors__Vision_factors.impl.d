@@ -1,0 +1,1 @@
+lib/factors/vision_factors.ml: Array Factor Mat Orianna_fg Orianna_lie Orianna_linalg Pose2 Pose3 So2 So3 Var Vec

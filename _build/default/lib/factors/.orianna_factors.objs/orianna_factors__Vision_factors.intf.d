@@ -1,0 +1,1 @@
+lib/factors/vision_factors.mli: Factor Orianna_fg Orianna_linalg Vec

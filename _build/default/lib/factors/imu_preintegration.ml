@@ -1,0 +1,111 @@
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+
+type t = {
+  gravity : Vec.t;
+  dt : float;
+  d_rot : Mat.t;  (* body-frame rotation from keyframe i to current *)
+  d_vel : Vec.t;
+  d_pos : Vec.t;
+}
+
+let create ?(gravity = [| 0.0; 0.0; -9.81 |]) () =
+  if Vec.dim gravity <> 3 then invalid_arg "Imu_preintegration.create: gravity must be 3D";
+  { gravity; dt = 0.0; d_rot = Mat.identity 3; d_vel = Vec.create 3; d_pos = Vec.create 3 }
+
+let integrate t ~dt ~gyro ~accel =
+  if dt <= 0.0 then invalid_arg "Imu_preintegration.integrate: dt must be positive";
+  if Vec.dim gyro <> 3 || Vec.dim accel <> 3 then
+    invalid_arg "Imu_preintegration.integrate: samples must be 3D";
+  let a_world = Mat.mul_vec t.d_rot accel in
+  {
+    t with
+    dt = t.dt +. dt;
+    d_pos = Vec.add t.d_pos (Vec.add (Vec.scale dt t.d_vel) (Vec.scale (0.5 *. dt *. dt) a_world));
+    d_vel = Vec.add t.d_vel (Vec.scale dt a_world);
+    d_rot = Mat.mul t.d_rot (So3.exp (Vec.scale dt gyro));
+  }
+
+let delta_t t = t.dt
+let delta_rot t = t.d_rot
+let delta_vel t = t.d_vel
+let delta_pos t = t.d_pos
+
+let as_pose3 what lookup v =
+  match lookup v with
+  | Var.Pose3 p -> p
+  | Var.Pose2 _ | Var.Se3 _ | Var.Vector _ -> invalid_arg (what ^ ": expects a Pose3 " ^ v)
+
+let as_vec3 what lookup v =
+  match lookup v with
+  | Var.Vector x when Vec.dim x = 3 -> x
+  | Var.Vector _ | Var.Pose2 _ | Var.Pose3 _ | Var.Se3 _ ->
+      invalid_arg (what ^ ": expects a 3-vector " ^ v)
+
+let factor ~name ~pose_i ~vel_i ~pose_j ~vel_j ~preintegrated ~rot_sigma ~vel_sigma ~pos_sigma =
+  let pre = preintegrated in
+  let sigmas =
+    Array.init 9 (fun k -> if k < 3 then rot_sigma else if k < 6 then vel_sigma else pos_sigma)
+  in
+  Factor.native ~name
+    ~vars:[ pose_i; vel_i; pose_j; vel_j ]
+    ~sigmas ~error_dim:9
+    (fun lookup ->
+      let pi = as_pose3 name lookup pose_i in
+      let pj = as_pose3 name lookup pose_j in
+      let vi = as_vec3 name lookup vel_i in
+      let vj = as_vec3 name lookup vel_j in
+      let ri = Pose3.rotation pi and rj = Pose3.rotation pj in
+      let rit = Mat.transpose ri in
+      let dt = pre.dt in
+      let g = pre.gravity in
+      (* Residuals. *)
+      let r_rot = So3.log (Mat.mul (Mat.transpose pre.d_rot) (Mat.mul rit rj)) in
+      let u_vel = Vec.sub (Vec.sub vj vi) (Vec.scale dt g) in
+      let r_vel = Vec.sub (Mat.mul_vec rit u_vel) pre.d_vel in
+      let u_pos =
+        Vec.sub
+          (Vec.sub (Vec.sub (Pose3.translation pj) (Pose3.translation pi)) (Vec.scale dt vi))
+          (Vec.scale (0.5 *. dt *. dt) g)
+      in
+      let r_pos = Vec.sub (Mat.mul_vec rit u_pos) pre.d_pos in
+      (* Jacobians (right perturbation). *)
+      let jr_inv_r = So3.jr_inv r_rot in
+      let rjt_ri = Mat.mul (Mat.transpose rj) ri in
+      let j_pose_i = Mat.create 9 6 in
+      Mat.set_block j_pose_i 0 0 (Mat.neg (Mat.mul jr_inv_r rjt_ri));
+      Mat.set_block j_pose_i 3 0 (So3.hat (Mat.mul_vec rit u_vel));
+      Mat.set_block j_pose_i 6 0 (So3.hat (Mat.mul_vec rit u_pos));
+      Mat.set_block j_pose_i 6 3 (Mat.neg rit);
+      let j_pose_j = Mat.create 9 6 in
+      Mat.set_block j_pose_j 0 0 jr_inv_r;
+      Mat.set_block j_pose_j 6 3 rit;
+      let j_vel_i = Mat.create 9 3 in
+      Mat.set_block j_vel_i 3 0 (Mat.neg rit);
+      Mat.set_block j_vel_i 6 0 (Mat.scale (-.dt) rit);
+      let j_vel_j = Mat.create 9 3 in
+      Mat.set_block j_vel_j 3 0 rit;
+      ( Vec.concat [ r_rot; r_vel; r_pos ],
+        [ (pose_i, j_pose_i); (vel_i, j_vel_i); (pose_j, j_pose_j); (vel_j, j_vel_j) ] ))
+
+let simulate ~rng ~gravity ~pose_i ~vel_i ~samples ~gyro_noise ~accel_noise =
+  let open Orianna_util in
+  let noisy = ref (create ~gravity ()) in
+  (* Ground truth integrates in the world frame. *)
+  let r = ref (Pose3.rotation pose_i) in
+  let v = ref (Vec.copy vel_i) in
+  let p = ref (Vec.copy (Pose3.translation pose_i)) in
+  List.iter
+    (fun (dt, gyro, accel) ->
+      let a_world = Vec.add (Mat.mul_vec !r accel) gravity in
+      p := Vec.add !p (Vec.add (Vec.scale dt !v) (Vec.scale (0.5 *. dt *. dt) a_world));
+      v := Vec.add !v (Vec.scale dt a_world);
+      r := Mat.mul !r (So3.exp (Vec.scale dt gyro));
+      let gyro_n = Vec.add gyro (Array.init 3 (fun _ -> Rng.gaussian_sigma rng ~sigma:gyro_noise)) in
+      let accel_n =
+        Vec.add accel (Array.init 3 (fun _ -> Rng.gaussian_sigma rng ~sigma:accel_noise))
+      in
+      noisy := integrate !noisy ~dt ~gyro:gyro_n ~accel:accel_n)
+    samples;
+  (!noisy, Pose3.create ~r:(So3.normalize !r) ~t:!p, !v)

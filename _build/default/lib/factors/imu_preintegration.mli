@@ -1,0 +1,65 @@
+(** IMU preintegration (Forster et al.-style, bias-free).
+
+    Visual-inertial stacks like VINS-Mono integrate the IMU samples
+    between two keyframes once, into a relative orientation / velocity
+    / position triplet, and constrain {e pose and velocity} states of
+    both keyframes with a single factor.  States: keyframe poses are
+    [Var.Pose3], keyframe velocities are 3-dimensional [Var.Vector]s.
+
+    Residuals (gravity [g], total time [dt]):
+
+    - [rR = Log(dRijT RiT Rj)]
+    - [rv = RiT (vj - vi - g dt) - dvij]
+    - [rp = RiT (pj - pi - vi dt - 1/2 g dt^2) - dpij]
+
+    with analytic right-perturbation Jacobians, checked against
+    numeric differentiation in the tests. *)
+
+open Orianna_linalg
+open Orianna_fg
+
+type t
+(** Accumulated preintegrated measurement. *)
+
+val create : ?gravity:Vec.t -> unit -> t
+(** Fresh accumulator; gravity defaults to [(0, 0, -9.81)]. *)
+
+val integrate : t -> dt:float -> gyro:Vec.t -> accel:Vec.t -> t
+(** Fold one IMU sample (body-frame angular velocity rad/s and
+    specific force m/s²) over [dt] seconds.  Pure: returns the
+    extended accumulator. *)
+
+val delta_t : t -> float
+
+val delta_rot : t -> Mat.t
+
+val delta_vel : t -> Vec.t
+
+val delta_pos : t -> Vec.t
+
+val factor :
+  name:string ->
+  pose_i:string ->
+  vel_i:string ->
+  pose_j:string ->
+  vel_j:string ->
+  preintegrated:t ->
+  rot_sigma:float ->
+  vel_sigma:float ->
+  pos_sigma:float ->
+  Factor.t
+(** The 9-row preintegration factor over (pose_i, vel_i, pose_j,
+    vel_j). *)
+
+val simulate :
+  rng:Orianna_util.Rng.t ->
+  gravity:Vec.t ->
+  pose_i:Orianna_lie.Pose3.t ->
+  vel_i:Vec.t ->
+  samples:(float * Vec.t * Vec.t) list ->
+  gyro_noise:float ->
+  accel_noise:float ->
+  t * Orianna_lie.Pose3.t * Vec.t
+(** Test/workload helper: integrate ideal samples
+    [(dt, gyro, accel)] to get the true end state (pose_j, vel_j),
+    while accumulating a noise-corrupted preintegrated measurement. *)

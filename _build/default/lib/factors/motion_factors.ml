@@ -1,0 +1,127 @@
+open Orianna_linalg
+open Orianna_fg
+
+type obstacle = { center : Vec.t; radius : float }
+
+let as_vector what lookup var =
+  match lookup var with
+  | Var.Vector v -> v
+  | Var.Pose2 _ | Var.Pose3 _ | Var.Se3 _ ->
+      invalid_arg (what ^ ": expects a vector variable " ^ var)
+
+let transition_matrix ~dt ~d =
+  let phi = Mat.identity (2 * d) in
+  for i = 0 to d - 1 do
+    Mat.set phi i (d + i) dt
+  done;
+  phi
+
+let smooth ~name ~a ~b ~dt ~d ~sigma =
+  let dim = 2 * d in
+  let phi = transition_matrix ~dt ~d in
+  Factor.native ~name ~vars:[ a; b ] ~sigmas:(Array.make dim sigma) ~error_dim:dim (fun lookup ->
+      let xa = as_vector "smooth" lookup a in
+      let xb = as_vector "smooth" lookup b in
+      if Vec.dim xa <> dim || Vec.dim xb <> dim then
+        invalid_arg (Printf.sprintf "smooth %s: states must have dim %d" name dim);
+      let err = Vec.sub xb (Mat.mul_vec phi xa) in
+      (err, [ (a, Mat.neg phi); (b, Mat.identity dim) ]))
+
+let collision_free ~name ~var ~obstacle ~safety ~sigma =
+  (* The obstacle lives in the first [w] state dimensions, where [w]
+     is the workspace dimension (the obstacle center's length). *)
+  let w = Vec.dim obstacle.center in
+  Factor.native ~name ~vars:[ var ] ~sigmas:[| sigma |] ~error_dim:1 (fun lookup ->
+      let x = as_vector "collision_free" lookup var in
+      if Vec.dim x < w then invalid_arg ("collision_free " ^ name ^ ": state narrower than workspace");
+      let p = Vec.slice x ~pos:0 ~len:w in
+      let diff = Vec.sub p obstacle.center in
+      let dist = Vec.norm diff in
+      let clearance = dist -. obstacle.radius in
+      if clearance >= safety then ([| 0.0 |], [ (var, Mat.create 1 (Vec.dim x)) ])
+      else begin
+        let err = [| safety -. clearance |] in
+        let j = Mat.create 1 (Vec.dim x) in
+        if dist > 1e-9 then
+          for i = 0 to w - 1 do
+            Mat.set j 0 i (-.diff.(i) /. dist)
+          done;
+        (err, [ (var, j) ])
+      end)
+
+let component_limit ~name ~var ~index ~max_abs ~sigma =
+  Factor.native ~name ~vars:[ var ] ~sigmas:[| sigma |] ~error_dim:1 (fun lookup ->
+      let x = as_vector "component_limit" lookup var in
+      let v = x.(index) in
+      let excess = Float.abs v -. max_abs in
+      if excess <= 0.0 then ([| 0.0 |], [ (var, Mat.create 1 (Vec.dim x)) ])
+      else begin
+        let j = Mat.create 1 (Vec.dim x) in
+        Mat.set j 0 index (if v >= 0.0 then 1.0 else -1.0);
+        ([| excess |], [ (var, j) ])
+      end)
+
+let speed_limit ~name ~var ~d ~vmax ~sigma =
+  Factor.native ~name ~vars:[ var ] ~sigmas:[| sigma |] ~error_dim:1 (fun lookup ->
+      let x = as_vector "speed_limit" lookup var in
+      let v = Vec.slice x ~pos:d ~len:d in
+      let speed = Vec.norm v in
+      if speed <= vmax || speed < 1e-9 then ([| 0.0 |], [ (var, Mat.create 1 (Vec.dim x)) ])
+      else begin
+        let j = Mat.create 1 (Vec.dim x) in
+        for i = 0 to d - 1 do
+          Mat.set j 0 (d + i) (v.(i) /. speed)
+        done;
+        ([| speed -. vmax |], [ (var, j) ])
+      end)
+
+let dynamics ~name ~x_prev ~u ~x_next ~a_mat ~b_mat ~sigma =
+  let n, na = Mat.dims a_mat in
+  let nb, _m = Mat.dims b_mat in
+  if n <> na || n <> nb then invalid_arg "dynamics: A must be square and B row-compatible";
+  Factor.native ~name ~vars:[ x_prev; u; x_next ] ~sigmas:(Array.make n sigma) ~error_dim:n
+    (fun lookup ->
+      let xp = as_vector "dynamics" lookup x_prev in
+      let uu = as_vector "dynamics" lookup u in
+      let xn = as_vector "dynamics" lookup x_next in
+      let predicted = Vec.add (Mat.mul_vec a_mat xp) (Mat.mul_vec b_mat uu) in
+      let err = Vec.sub xn predicted in
+      (err, [ (x_prev, Mat.neg a_mat); (u, Mat.neg b_mat); (x_next, Mat.identity n) ]))
+
+let state_cost ~name ~var ~target ~sigmas =
+  let n = Vec.dim target in
+  Factor.native ~name ~vars:[ var ] ~sigmas ~error_dim:n (fun lookup ->
+      let x = as_vector "state_cost" lookup var in
+      (Vec.sub x target, [ (var, Mat.identity n) ]))
+
+let input_cost ~name ~var ~sigmas =
+  let n = Vec.dim sigmas in
+  Factor.native ~name ~vars:[ var ] ~sigmas ~error_dim:n (fun lookup ->
+      let u = as_vector "input_cost" lookup var in
+      (Vec.copy u, [ (var, Mat.identity n) ]))
+
+let goal ~name ~var ~target ~sigma =
+  state_cost ~name ~var ~target ~sigmas:(Array.make (Vec.dim target) sigma)
+
+let double_integrator ~d ~dt =
+  let a = transition_matrix ~dt ~d in
+  let b = Mat.create (2 * d) d in
+  for i = 0 to d - 1 do
+    Mat.set b i i (0.5 *. dt *. dt);
+    Mat.set b (d + i) i dt
+  done;
+  (a, b)
+
+let unicycle_linearized ~v0 ~theta0 ~dt =
+  (* State [x; y; theta; v; omega], input [a; alpha]; linearized about
+     the nominal (v0, theta0). *)
+  let a = Mat.identity 5 in
+  Mat.set a 0 2 (-.v0 *. sin theta0 *. dt);
+  Mat.set a 0 3 (cos theta0 *. dt);
+  Mat.set a 1 2 (v0 *. cos theta0 *. dt);
+  Mat.set a 1 3 (sin theta0 *. dt);
+  Mat.set a 2 4 dt;
+  let b = Mat.create 5 2 in
+  Mat.set b 3 0 dt;
+  Mat.set b 4 1 dt;
+  (a, b)

@@ -1,0 +1,66 @@
+(** Constraint factors for planning and control (Tbl. 2, second row).
+
+    Trajectory states are vector variables [x = [p; v]] (position and
+    velocity, [d] spatial dimensions each); control inputs are vector
+    variables of their own.  Factors follow the GPMP2-style planning
+    graph (Fig. 7a) and the LQR-style control graph (Fig. 7b). *)
+
+open Orianna_linalg
+open Orianna_fg
+
+type obstacle = { center : Vec.t; radius : float }
+(** Spherical obstacle in workspace coordinates. *)
+
+val smooth : name:string -> a:string -> b:string -> dt:float -> d:int -> sigma:float -> Factor.t
+(** GP / constant-velocity prior between consecutive states:
+    [e = x_b - Phi x_a] with [Phi = [[I, dt I]; [0, I]]].  Penalizes
+    jerky trajectories (the "smooth factor" of Sec. 2.3). *)
+
+val collision_free :
+  name:string -> var:string -> obstacle:obstacle -> safety:float -> sigma:float -> Factor.t
+(** Hinge obstacle cost on the position part of a state:
+    [e = max(0, safety - (|p - c| - radius))].  The workspace is the
+    first [dim center] entries of the state. *)
+
+val component_limit :
+  name:string -> var:string -> index:int -> max_abs:float -> sigma:float -> Factor.t
+(** Hinge on the magnitude of one state component:
+    [e = max(0, |x_index| - max_abs)] — the control-side kinematics
+    constraint (e.g. the speed entry of a vehicle state). *)
+
+val speed_limit : name:string -> var:string -> d:int -> vmax:float -> sigma:float -> Factor.t
+(** Kinematics constraint: [e = max(0, |v| - vmax)] on the velocity
+    part of a state. *)
+
+val dynamics :
+  name:string ->
+  x_prev:string ->
+  u:string ->
+  x_next:string ->
+  a_mat:Mat.t ->
+  b_mat:Mat.t ->
+  sigma:float ->
+  Factor.t
+(** Discrete linear dynamics [x_next = A x_prev + B u]:
+    [e = x_next - A x_prev - B u] (the "dynamics factor" of
+    Fig. 7b). *)
+
+val state_cost : name:string -> var:string -> target:Vec.t -> sigmas:Vec.t -> Factor.t
+(** Quadratic state cost towards a reference: [e = x - target], row
+    weights via [sigmas]. *)
+
+val input_cost : name:string -> var:string -> sigmas:Vec.t -> Factor.t
+(** Quadratic control-effort cost: [e = u]. *)
+
+val goal : name:string -> var:string -> target:Vec.t -> sigma:float -> Factor.t
+(** Hard-ish terminal constraint: {!state_cost} with a uniform tight
+    sigma. *)
+
+val double_integrator : d:int -> dt:float -> Mat.t * Mat.t
+(** The canonical [A], [B] pair of a [d]-dimensional double
+    integrator with step [dt] (state [[p; v]], input = acceleration). *)
+
+val unicycle_linearized : v0:float -> theta0:float -> dt:float -> Mat.t * Mat.t
+(** Constant-linearization of unicycle car dynamics around a nominal
+    speed and heading: state [[x; y; theta; v; omega]]... returns the
+    5x5 [A] and 5x2 [B] used by the AutoVehicle control stack. *)

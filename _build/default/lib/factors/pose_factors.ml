@@ -1,0 +1,83 @@
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+module Expr = Orianna_ir.Expr
+
+let prior_exprs ~rot ~trans ~z_rot ~z_trans =
+  let e_o = Expr.(log_map (const_rot (Mat.transpose z_rot) *^ rot)) in
+  let e_p = Expr.(trans - const_vec z_trans) in
+  [ e_o; e_p ]
+
+let prior2 ~name ~var ~z ~sigma =
+  let exprs =
+    prior_exprs ~rot:(Expr.rot_var var) ~trans:(Expr.trans_var var) ~z_rot:(Pose2.rotation z)
+      ~z_trans:(Pose2.translation z)
+  in
+  Factor.symbolic ~name ~vars:[ var ] ~sigmas:(Array.make 3 sigma) exprs
+
+let prior3 ~name ~var ~z ~sigma =
+  let exprs =
+    prior_exprs ~rot:(Expr.rot_var var) ~trans:(Expr.trans_var var) ~z_rot:(Pose3.rotation z)
+      ~z_trans:(Pose3.translation z)
+  in
+  Factor.symbolic ~name ~vars:[ var ] ~sigmas:(Array.make 6 sigma) exprs
+
+let pose_anchor3 ~name ~var ~z ~sigmas =
+  let exprs =
+    prior_exprs ~rot:(Expr.rot_var var) ~trans:(Expr.trans_var var) ~z_rot:(Pose3.rotation z)
+      ~z_trans:(Pose3.translation z)
+  in
+  Factor.symbolic ~name ~vars:[ var ] ~sigmas exprs
+
+let between2 ~name ~a ~b ~z ~sigma =
+  (* The measurement predicts b ominus a, so x_i = b and x_j = a in
+     the Equ. 4 error. *)
+  let exprs =
+    Expr.between_error ~pose_dim:2 ~x_i:b ~x_j:a ~z_rot:(Pose2.rotation z)
+      ~z_trans:(Pose2.translation z)
+  in
+  Factor.symbolic ~name ~vars:[ a; b ] ~sigmas:(Array.make 3 sigma) exprs
+
+let between3 ~name ~a ~b ~z ~sigma =
+  let exprs =
+    Expr.between_error ~pose_dim:3 ~x_i:b ~x_j:a ~z_rot:(Pose3.rotation z)
+      ~z_trans:(Pose3.translation z)
+  in
+  Factor.symbolic ~name ~vars:[ a; b ] ~sigmas:(Array.make 6 sigma) exprs
+
+let between3_sigmas ~name ~a ~b ~z ~sigmas =
+  let exprs =
+    Expr.between_error ~pose_dim:3 ~x_i:b ~x_j:a ~z_rot:(Pose3.rotation z)
+      ~z_trans:(Pose3.translation z)
+  in
+  Factor.symbolic ~name ~vars:[ a; b ] ~sigmas exprs
+
+let between2_sigmas ~name ~a ~b ~z ~sigmas =
+  let exprs =
+    Expr.between_error ~pose_dim:2 ~x_i:b ~x_j:a ~z_rot:(Pose2.rotation z)
+      ~z_trans:(Pose2.translation z)
+  in
+  Factor.symbolic ~name ~vars:[ a; b ] ~sigmas exprs
+
+let gps ~dim ~name ~var ~z ~sigma =
+  if Vec.dim z <> dim then invalid_arg ("Pose_factors.gps: measurement must have dim " ^ string_of_int dim);
+  Factor.symbolic ~name ~vars:[ var ]
+    ~sigmas:(Array.make dim sigma)
+    [ Expr.(trans_var var - const_vec z) ]
+
+let gps2 ~name ~var ~z ~sigma = gps ~dim:2 ~name ~var ~z ~sigma
+let gps3 ~name ~var ~z ~sigma = gps ~dim:3 ~name ~var ~z ~sigma
+
+let lidar_landmark ~dim ~name ~pose ~landmark ~z ~sigma =
+  if Vec.dim z <> dim then
+    invalid_arg ("Pose_factors.lidar_landmark: measurement must have dim " ^ string_of_int dim);
+  let e =
+    Expr.(transpose (rot_var pose) *> (vec_var landmark - trans_var pose) - const_vec z)
+  in
+  Factor.symbolic ~name ~vars:[ pose; landmark ] ~sigmas:(Array.make dim sigma) [ e ]
+
+let lidar_landmark2 ~name ~pose ~landmark ~z ~sigma =
+  lidar_landmark ~dim:2 ~name ~pose ~landmark ~z ~sigma
+
+let lidar_landmark3 ~name ~pose ~landmark ~z ~sigma =
+  lidar_landmark ~dim:3 ~name ~pose ~landmark ~z ~sigma

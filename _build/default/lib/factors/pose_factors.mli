@@ -1,0 +1,48 @@
+(** Measurement factors on poses (localization row of Tbl. 2).
+
+    All factors here are {e symbolic}: their error functions are
+    expressed over the nine primitive operations, so the ORIANNA
+    compiler can lower them to MO-DFG instruction streams and the
+    backward pass derives their Jacobians automatically. *)
+
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+
+val prior2 : name:string -> var:string -> z:Pose2.t -> sigma:float -> Factor.t
+(** Unary anchor on a planar pose: [e_o = Log(Rzᵀ R)],
+    [e_p = t - tz]. *)
+
+val prior3 : name:string -> var:string -> z:Pose3.t -> sigma:float -> Factor.t
+(** Unary anchor on a 3D pose. *)
+
+val between2 : name:string -> a:string -> b:string -> z:Pose2.t -> sigma:float -> Factor.t
+(** Relative-pose constraint (Equ. 3/4): the measured value of
+    [b ominus a].  This is the odometry / IMU-preintegration / LiDAR
+    scan-matching factor shape. *)
+
+val between3 : name:string -> a:string -> b:string -> z:Pose3.t -> sigma:float -> Factor.t
+
+val between3_sigmas : name:string -> a:string -> b:string -> z:Pose3.t -> sigmas:Vec.t -> Factor.t
+(** {!between3} with per-row noise (rows ordered [rot3; trans3]) — the
+    shape g2o information matrices map onto. *)
+
+val between2_sigmas : name:string -> a:string -> b:string -> z:Pose2.t -> sigmas:Vec.t -> Factor.t
+
+val gps2 : name:string -> var:string -> z:Vec.t -> sigma:float -> Factor.t
+(** Position-only observation: [e = t - z] (2-vector). *)
+
+val gps3 : name:string -> var:string -> z:Vec.t -> sigma:float -> Factor.t
+
+val lidar_landmark2 :
+  name:string -> pose:string -> landmark:string -> z:Vec.t -> sigma:float -> Factor.t
+(** Body-frame point observation of a landmark (the LiDAR factor):
+    [e = Rᵀ (l - t) - z], with the landmark a 2-vector variable. *)
+
+val lidar_landmark3 :
+  name:string -> pose:string -> landmark:string -> z:Vec.t -> sigma:float -> Factor.t
+(** 3D variant; [z] is the measured point in the sensor frame. *)
+
+val pose_anchor3 : name:string -> var:string -> z:Pose3.t -> sigmas:Vec.t -> Factor.t
+(** {!prior3} with per-row sigmas (tight orientation, loose position
+    or vice versa). *)

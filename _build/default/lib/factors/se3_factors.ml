@@ -1,0 +1,27 @@
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+
+let as_se3 what lookup var =
+  match lookup var with
+  | Var.Se3 x -> x
+  | Var.Pose2 _ | Var.Pose3 _ | Var.Vector _ ->
+      invalid_arg (what ^ ": expects an SE(3) variable " ^ var)
+
+let prior ~name ~var ~z ~sigma =
+  let z_inv = Se3.inverse z in
+  Factor.native ~name ~vars:[ var ] ~sigmas:(Array.make 6 sigma) ~error_dim:6 (fun lookup ->
+      let x = as_se3 "Se3_factors.prior" lookup var in
+      let e = Se3.log (Se3.compose z_inv x) in
+      (e, [ (var, Se3.jr_inv e) ]))
+
+let between ~name ~a ~b ~z ~sigma =
+  let z_inv = Se3.inverse z in
+  Factor.native ~name ~vars:[ a; b ] ~sigmas:(Array.make 6 sigma) ~error_dim:6 (fun lookup ->
+      let xa = as_se3 "Se3_factors.between" lookup a in
+      let xb = as_se3 "Se3_factors.between" lookup b in
+      let e = Se3.log (Se3.compose z_inv (Se3.compose (Se3.inverse xa) xb)) in
+      let jri = Se3.jr_inv e in
+      let j_b = jri in
+      let j_a = Mat.neg (Mat.mul jri (Se3.adjoint (Se3.compose (Se3.inverse xb) xa))) in
+      (e, [ (a, j_a); (b, j_b) ]))

@@ -1,0 +1,19 @@
+(** Factors over SE(3) variables — the baseline pose representation of
+    Sec. 4.3.
+
+    These are native factors: the SE(3) tangent is the joint 6-vector
+    [[rho; phi]], the error lives in se(3), and the Jacobians involve
+    the full 6x6 inverse right Jacobian (Q-block included) and the
+    adjoint — all the coupled machinery the unified [<so(n), T(n)>]
+    representation avoids.  Used by the sphere benchmark to reproduce
+    Tbl. 1 and the MAC-saving claim. *)
+
+open Orianna_lie
+open Orianna_fg
+
+val prior : name:string -> var:string -> z:Se3.t -> sigma:float -> Factor.t
+(** [e = Log(z^-1 x)], [J = Jr^-1(e)]. *)
+
+val between : name:string -> a:string -> b:string -> z:Se3.t -> sigma:float -> Factor.t
+(** [e = Log(z^-1 a^-1 b)]; [J_b = Jr^-1(e)],
+    [J_a = -Jr^-1(e) Ad(b^-1 a)]. *)

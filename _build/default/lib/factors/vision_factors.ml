@@ -1,0 +1,71 @@
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+
+type intrinsics = { fx : float; fy : float; cx : float; cy : float }
+
+let default_intrinsics = { fx = 500.0; fy = 500.0; cx = 320.0; cy = 240.0 }
+
+exception Behind_camera of string
+
+let project k p =
+  if Vec.dim p <> 3 then invalid_arg "Vision_factors.project: expected a 3D point";
+  if p.(2) <= 1e-9 then invalid_arg "Vision_factors.project: non-positive depth";
+  [| (k.fx *. p.(0) /. p.(2)) +. k.cx; (k.fy *. p.(1) /. p.(2)) +. k.cy |]
+
+(* d project / d p: the 2x3 pinhole Jacobian. *)
+let projection_jacobian k p =
+  let z = p.(2) in
+  Mat.of_rows
+    [|
+      [| k.fx /. z; 0.0; -.(k.fx *. p.(0)) /. (z *. z) |];
+      [| 0.0; k.fy /. z; -.(k.fy *. p.(1)) /. (z *. z) |];
+    |]
+
+let camera ~name ?(k = default_intrinsics) ~pose ~landmark ~z ~sigma () =
+  if Vec.dim z <> 2 then invalid_arg "Vision_factors.camera: pixel measurement must be 2D";
+  Factor.native ~name ~vars:[ pose; landmark ] ~sigmas:(Array.make 2 sigma) ~error_dim:2
+    (fun lookup ->
+      match (lookup pose, lookup landmark) with
+      | Var.Pose3 p, Var.Vector l ->
+          let rt = Mat.transpose (Pose3.rotation p) in
+          let p_cam = Mat.mul_vec rt (Vec.sub l (Pose3.translation p)) in
+          if p_cam.(2) <= 1e-9 then raise (Behind_camera name);
+          let err = Vec.sub (project k p_cam) z in
+          let jp = projection_jacobian k p_cam in
+          (* Right perturbation of the rotation: d p_cam / d phi = hat(p_cam). *)
+          let j_pose = Mat.hcat [ Mat.mul jp (So3.hat p_cam); Mat.neg (Mat.mul jp rt) ] in
+          let j_lm = Mat.mul jp rt in
+          (err, [ (pose, j_pose); (landmark, j_lm) ])
+      | (Var.Pose2 _ | Var.Pose3 _ | Var.Se3 _ | Var.Vector _), _ ->
+          invalid_arg "Vision_factors.camera: expects (Pose3, Vector) variables")
+
+let bearing_range2 ~name ~pose ~landmark ~bearing ~range ~sigma =
+  Factor.native ~name ~vars:[ pose; landmark ] ~sigmas:[| sigma; sigma |] ~error_dim:2
+    (fun lookup ->
+      match (lookup pose, lookup landmark) with
+      | Var.Pose2 p, Var.Vector l ->
+          let t = Pose2.translation p in
+          let d = Vec.sub l t in
+          let r = Vec.norm d in
+          if r < 1e-9 then invalid_arg "bearing_range2: landmark coincides with robot";
+          let body = Mat.mul_vec (Mat.transpose (Pose2.rotation p)) d in
+          let predicted_bearing = atan2 body.(1) body.(0) in
+          let e_bearing = So2.wrap_angle (predicted_bearing -. bearing) in
+          let e_range = r -. range in
+          (* Bearing w.r.t. theta: rotating the robot by dth decreases
+             the body-frame bearing by dth. *)
+          let r2 = r *. r in
+          let db_dl = [| -.d.(1) /. r2; d.(0) /. r2 |] in
+          let dr_dl = [| d.(0) /. r; d.(1) /. r |] in
+          let j_pose =
+            Mat.of_rows
+              [|
+                [| -1.0; -.db_dl.(0); -.db_dl.(1) |];
+                [| 0.0; -.dr_dl.(0); -.dr_dl.(1) |];
+              |]
+          in
+          let j_lm = Mat.of_rows [| [| db_dl.(0); db_dl.(1) |]; [| dr_dl.(0); dr_dl.(1) |] |] in
+          ([| e_bearing; e_range |], [ (pose, j_pose); (landmark, j_lm) ])
+      | (Var.Pose2 _ | Var.Pose3 _ | Var.Se3 _ | Var.Vector _), _ ->
+          invalid_arg "Vision_factors.bearing_range2: expects (Pose2, Vector) variables")

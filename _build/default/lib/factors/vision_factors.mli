@@ -1,0 +1,43 @@
+(** Camera measurement factors.
+
+    The pinhole projection contains a perspective division, which
+    falls outside the nine-primitive algebra, so these factors are
+    {e native}: error and analytic Jacobians are provided directly —
+    the "customized factor" escape hatch of Sec. 5.1.  The Jacobian
+    block shapes (2 rows; 6 columns on the pose, 3 on the landmark)
+    are exactly the ones the paper quotes for its camera factor. *)
+
+open Orianna_linalg
+open Orianna_fg
+
+type intrinsics = { fx : float; fy : float; cx : float; cy : float }
+(** Pinhole camera intrinsics (pixels). *)
+
+val default_intrinsics : intrinsics
+(** fx = fy = 500, cx = 320, cy = 240. *)
+
+val project : intrinsics -> Vec.t -> Vec.t
+(** [project k p] maps a camera-frame point (z > 0) to pixel
+    coordinates.  Raises [Invalid_argument] on non-positive depth. *)
+
+exception Behind_camera of string
+(** Raised during linearization when a landmark estimate falls behind
+    the image plane. *)
+
+val camera :
+  name:string ->
+  ?k:intrinsics ->
+  pose:string ->
+  landmark:string ->
+  z:Vec.t ->
+  sigma:float ->
+  unit ->
+  Factor.t
+(** Reprojection factor: [e = project(Rᵀ (l - t)) - z] with the
+    world-to-camera convention used throughout (pose rotation maps
+    camera to world). *)
+
+val bearing_range2 :
+  name:string -> pose:string -> landmark:string -> bearing:float -> range:float -> sigma:float -> Factor.t
+(** Planar bearing-range observation (2D LiDAR style):
+    [e = [atan2 of body-frame point - bearing (wrapped); |l - t| - range]]. *)

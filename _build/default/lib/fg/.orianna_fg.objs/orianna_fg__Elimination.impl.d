@@ -1,0 +1,1 @@
+lib/fg/elimination.ml: Array Chol Hashtbl Linear_system List Mat Option Orianna_linalg Qr Tri Vec

@@ -1,0 +1,1 @@
+lib/fg/elimination.mli: Linear_system Mat Orianna_linalg Vec

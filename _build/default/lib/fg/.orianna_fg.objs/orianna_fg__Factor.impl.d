@@ -1,0 +1,1 @@
+lib/fg/factor.ml: Array Hashtbl List Mat Option Orianna_ir Orianna_linalg Printf Var Vec

@@ -1,0 +1,1 @@
+lib/fg/factor.mli: Mat Orianna_ir Orianna_linalg Var Vec

@@ -1,0 +1,1 @@
+lib/fg/graph.ml: Factor Hashtbl Linear_system List Orianna_linalg Printf Var

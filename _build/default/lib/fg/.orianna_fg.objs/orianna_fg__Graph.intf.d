@@ -1,0 +1,1 @@
+lib/fg/graph.mli: Factor Linear_system Var

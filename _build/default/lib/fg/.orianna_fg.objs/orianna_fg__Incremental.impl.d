@@ -1,0 +1,1 @@
+lib/fg/incremental.ml: Elimination Hashtbl Linear_system List Set String

@@ -1,0 +1,1 @@
+lib/fg/incremental.mli: Linear_system Orianna_linalg Vec

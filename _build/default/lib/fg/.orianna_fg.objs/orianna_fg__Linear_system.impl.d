@@ -1,0 +1,1 @@
+lib/fg/linear_system.ml: Array Assembly Factor Format Hashtbl List Mat Orianna_linalg Qr String Vec

@@ -1,0 +1,1 @@
+lib/fg/linear_system.mli: Assembly Factor Format Mat Orianna_linalg Vec

@@ -1,0 +1,1 @@
+lib/fg/marginals.ml: Array Elimination Hashtbl Lazy List Mat Orianna_linalg Tri Vec

@@ -1,0 +1,1 @@
+lib/fg/marginals.mli: Elimination Mat Orianna_linalg

@@ -1,0 +1,1 @@
+lib/fg/optimizer.ml: Array Elimination Float Format Graph Linear_system List Logs Macs Mat Ordering Orianna_linalg Var Vec

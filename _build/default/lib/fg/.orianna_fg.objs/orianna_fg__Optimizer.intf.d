@@ -1,0 +1,1 @@
+lib/fg/optimizer.mli: Elimination Format Graph Ordering Orianna_linalg

@@ -1,0 +1,1 @@
+lib/fg/ordering.ml: Hashtbl List Option Set String

@@ -1,0 +1,1 @@
+lib/fg/robust.ml: Array Factor Float List Mat Orianna_linalg Vec

@@ -1,0 +1,1 @@
+lib/fg/robust.mli: Factor

@@ -1,0 +1,1 @@
+lib/fg/var.mli: Format Orianna_ir Orianna_lie Orianna_linalg Pose2 Pose3 Se3 Vec

@@ -1,0 +1,255 @@
+open Orianna_linalg
+
+type conditional = {
+  var : string;
+  dim : int;
+  r : Mat.t;
+  parents : (string * Mat.t) list;
+  rhs : Vec.t;
+}
+
+type census_entry = { var : string; rows : int; cols : int; density : float }
+
+type result = { conditionals : conditional list; census : census_entry list }
+
+exception Underconstrained of string
+
+type method_ = Qr | Cholesky
+
+let distinct_vars factors =
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun (f : Linear_system.t) ->
+      List.filter_map
+        (fun v ->
+          if Hashtbl.mem seen v then None
+          else begin
+            Hashtbl.add seen v ();
+            Some v
+          end)
+        f.Linear_system.vars)
+    factors
+
+(* Cholesky elimination of one frontal variable: factor the frontal
+   Hessian block, produce the conditional rows and the square-root of
+   the Schur complement as the new factor. *)
+let cholesky_step abar ~d ~w =
+  let m, _ = Mat.dims abar in
+  let a = Mat.block abar 0 0 m w in
+  let b = Vec.init m (fun i -> Mat.get abar i w) in
+  let at = Mat.transpose a in
+  let h = Mat.mul at a in
+  let g = Mat.mul_vec at b in
+  let h11 = Mat.block h 0 0 d d in
+  let h12 = Mat.block h 0 d d (w - d) in
+  let h22 = Mat.block h d d (w - d) (w - d) in
+  let l11 = Chol.factor h11 in
+  (* R_vv = L11T (upper triangular), R_vp = L11^-1 H12, d_v = L11^-1 g1. *)
+  let r_vv = Mat.transpose l11 in
+  let r_vp =
+    let cols = w - d in
+    let out = Mat.create d cols in
+    for j = 0 to cols - 1 do
+      let col = Tri.solve_lower l11 (Mat.col h12 j) in
+      for i = 0 to d - 1 do
+        Mat.set out i j col.(i)
+      done
+    done;
+    out
+  in
+  let d_v = Tri.solve_lower l11 (Vec.init d (fun i -> g.(i))) in
+  (* Schur complement and its square root. *)
+  let rest =
+    if w > d then begin
+      let h22' = Mat.sub h22 (Mat.mul (Mat.transpose r_vp) r_vp) in
+      let g2 = Vec.init (w - d) (fun i -> g.(d + i)) in
+      let g2' = Vec.sub g2 (Mat.mul_vec (Mat.transpose r_vp) d_v) in
+      (* Guard: numerical round-off can leave tiny negative eigenvalues
+         on a fully-determined separator; regularize the diagonal. *)
+      let n = w - d in
+      let h22' = Mat.init n n (fun i j -> Mat.get h22' i j +. (if i = j then 1e-12 else 0.0)) in
+      let l22 = Chol.factor h22' in
+      let r22 = Mat.transpose l22 in
+      let rhs22 = Tri.solve_lower l22 g2' in
+      Some (r22, rhs22)
+    end
+    else None
+  in
+  (r_vv, r_vp, d_v, rest)
+
+let eliminate ?(method_ = Qr) ~order ~dims factors =
+  let position = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.add position v i) order;
+  let pos v =
+    match Hashtbl.find_opt position v with
+    | Some p -> p
+    | None -> invalid_arg ("Elimination: variable not in ordering: " ^ v)
+  in
+  (* Factor store indexed by id with a per-variable adjacency index,
+     so each elimination touches only its neighborhood instead of
+     scanning every live factor (O(V F) -> O(edges)). *)
+  let store : (int, Linear_system.t) Hashtbl.t = Hashtbl.create 256 in
+  let adjacency : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let register f =
+    let id = !next_id in
+    incr next_id;
+    Hashtbl.add store id f;
+    List.iter
+      (fun var ->
+        match Hashtbl.find_opt adjacency var with
+        | Some ids -> ids := id :: !ids
+        | None -> Hashtbl.add adjacency var (ref [ id ]))
+      f.Linear_system.vars
+  in
+  List.iter register factors;
+  let conditionals = ref [] in
+  let census = ref [] in
+  List.iter
+    (fun v ->
+      (* Adjacency may hold ids of already-consumed factors; filter
+         against the store, ascending ids for determinism. *)
+      let adjacent =
+        match Hashtbl.find_opt adjacency v with
+        | None -> []
+        | Some ids ->
+            List.sort_uniq compare !ids
+            |> List.filter_map (fun id -> Hashtbl.find_opt store id)
+      in
+      if adjacent = [] then raise (Underconstrained v);
+      (match Hashtbl.find_opt adjacency v with
+      | Some ids ->
+          List.iter (fun id -> Hashtbl.remove store id) (List.sort_uniq compare !ids);
+          Hashtbl.remove adjacency v
+      | None -> ());
+      let d = dims v in
+      (* Separator: every other variable of the adjacent factors,
+         ordered by elimination position for determinism. *)
+      let others =
+        distinct_vars adjacent |> List.filter (fun w -> w <> v)
+        |> List.sort (fun a b -> compare (pos a) (pos b))
+      in
+      let col_vars = v :: others in
+      let offsets = Hashtbl.create 8 in
+      let width = ref 0 in
+      List.iter
+        (fun w ->
+          Hashtbl.add offsets w !width;
+          width := !width + dims w)
+        col_vars;
+      let w = !width in
+      let m = List.fold_left (fun acc f -> acc + Linear_system.rows f) 0 adjacent in
+      if m < d then raise (Underconstrained v);
+      (* Stack the adjacent factors into the dense Abar = [A | b]. *)
+      let abar = Mat.create m (w + 1) in
+      let row = ref 0 in
+      List.iter
+        (fun (f : Linear_system.t) ->
+          List.iter
+            (fun (var, b) -> Mat.set_block abar !row (Hashtbl.find offsets var) b)
+            f.Linear_system.blocks;
+          let r = Linear_system.rows f in
+          for i = 0 to r - 1 do
+            Mat.set abar (!row + i) w f.Linear_system.rhs.(i)
+          done;
+          row := !row + r)
+        adjacent;
+      census := { var = v; rows = m; cols = w + 1; density = Mat.density abar } :: !census;
+      let new_factor =
+        match method_ with
+        | Qr ->
+            let rbar = Qr.triangularize abar in
+            let parents =
+              List.map (fun p -> (p, Mat.block rbar 0 (Hashtbl.find offsets p) d (dims p))) others
+            in
+            let cond =
+              {
+                var = v;
+                dim = d;
+                r = Mat.block rbar 0 0 d d;
+                parents;
+                rhs = Vec.init d (fun i -> Mat.get rbar i w);
+              }
+            in
+            conditionals := cond :: !conditionals;
+            (* Leftover rows become the new factor f7 on the separator. *)
+            let leftover = min m w - d in
+            if leftover <= 0 || others = [] then None
+            else begin
+              let blocks =
+                List.map
+                  (fun p -> (p, Mat.block rbar d (Hashtbl.find offsets p) leftover (dims p)))
+                  others
+              in
+              let rhs = Vec.init leftover (fun i -> Mat.get rbar (d + i) w) in
+              Some { Linear_system.vars = others; blocks; rhs }
+            end
+        | Cholesky ->
+            let r_vv, r_vp, d_v, schur = cholesky_step abar ~d ~w in
+            let parents =
+              List.mapi
+                (fun _ p ->
+                  let off = Hashtbl.find offsets p - d in
+                  (p, Mat.block r_vp 0 off d (dims p)))
+                others
+            in
+            conditionals := { var = v; dim = d; r = r_vv; parents; rhs = d_v } :: !conditionals;
+            (match schur with
+            | None -> None
+            | Some (r22, rhs22) when others <> [] ->
+                let blocks =
+                  List.map
+                    (fun p ->
+                      let off = Hashtbl.find offsets p - d in
+                      (p, Mat.block r22 0 off (w - d) (dims p)))
+                    others
+                in
+                Some { Linear_system.vars = others; blocks; rhs = rhs22 }
+            | Some _ -> None)
+      in
+      Option.iter register new_factor)
+    order;
+  { conditionals = List.rev !conditionals; census = List.rev !census }
+
+let back_substitute conditionals =
+  let solution = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun c ->
+      let acc = Vec.copy c.rhs in
+      List.iter
+        (fun (p, block) ->
+          match Hashtbl.find_opt solution p with
+          | Some dp ->
+              let contrib = Mat.mul_vec block dp in
+              for i = 0 to c.dim - 1 do
+                acc.(i) <- acc.(i) -. contrib.(i)
+              done
+          | None -> failwith ("Elimination.back_substitute: parent not yet solved: " ^ p))
+        c.parents;
+      let dv = Tri.solve_upper c.r acc in
+      Hashtbl.add solution c.var dv;
+      out := (c.var, dv) :: !out)
+    (List.rev conditionals);
+  !out
+
+let solve ?method_ ~order ~dims factors =
+  let { conditionals; _ } = eliminate ?method_ ~order ~dims factors in
+  back_substitute conditionals
+
+let r_matrix ~order ~dims result =
+  let offsets = Hashtbl.create 16 in
+  let width = ref 0 in
+  List.iter
+    (fun v ->
+      Hashtbl.add offsets v !width;
+      width := !width + dims v)
+    order;
+  let r = Mat.create !width !width in
+  List.iter
+    (fun (c : conditional) ->
+      let off = Hashtbl.find offsets c.var in
+      Mat.set_block r off off c.r;
+      List.iter (fun (p, b) -> Mat.set_block r off (Hashtbl.find offsets p) b) c.parents)
+    result.conditionals;
+  r

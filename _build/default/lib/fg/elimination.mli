@@ -1,0 +1,60 @@
+(** Sequential variable elimination by partial QR (Figs. 5 and 6).
+
+    For every variable in the ordering, the adjacent factors' block
+    rows are gathered into a small dense matrix [Abar] which is
+    triangularized; the top rows become the variable's conditional
+    (a row of the square-root information matrix R), the remaining
+    rows become a new factor on the separator — exactly the
+    square-root SAM recipe the paper builds its accelerator around.
+    Back substitution over the conditionals in reverse order yields
+    the solution Δ. *)
+
+open Orianna_linalg
+
+type conditional = {
+  var : string;
+  dim : int;
+  r : Mat.t;  (** [dim x dim] upper triangular *)
+  parents : (string * Mat.t) list;  (** later variables and their blocks *)
+  rhs : Vec.t;
+}
+
+type census_entry = {
+  var : string;
+  rows : int;  (** rows of the eliminated dense Abar *)
+  cols : int;  (** columns of Abar (including the RHS column) *)
+  density : float;  (** fill of Abar before decomposition *)
+}
+
+type result = {
+  conditionals : conditional list;  (** in elimination order *)
+  census : census_entry list;  (** per-elimination matrix census (Figs. 17/18) *)
+}
+
+exception Underconstrained of string
+(** Raised when a variable has no adjacent factor or too few rows. *)
+
+type method_ =
+  | Qr  (** partial Householder QR of the stacked Abar (the paper's path) *)
+  | Cholesky
+      (** GTSAM's default: form the frontal Hessian [AbarT Abar] and
+          factor it; the Schur complement becomes the new factor.  Same
+          square-root result, fewer MACs, less numerically robust. *)
+
+val eliminate :
+  ?method_:method_ -> order:string list -> dims:(string -> int) -> Linear_system.t list -> result
+
+val back_substitute : conditional list -> (string * Vec.t) list
+(** Solution per variable (in elimination order). *)
+
+val solve :
+  ?method_:method_ ->
+  order:string list ->
+  dims:(string -> int) ->
+  Linear_system.t list ->
+  (string * Vec.t) list
+(** {!eliminate} followed by {!back_substitute}. *)
+
+val r_matrix : order:string list -> dims:(string -> int) -> result -> Mat.t
+(** Assemble the square upper-triangular R factor (for tests: it must
+    match the R of a dense QR up to row signs). *)

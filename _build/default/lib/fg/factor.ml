@@ -1,0 +1,139 @@
+open Orianna_linalg
+module Expr = Orianna_ir.Expr
+module Modfg = Orianna_ir.Modfg
+
+type lookup = string -> Var.t
+
+type kind =
+  | Symbolic of Expr.t list
+  | Native of int * (lookup -> Vec.t * (string * Mat.t) list)
+
+type t = {
+  name : string;
+  vars : string list;
+  sigmas : Vec.t;
+  kind : kind;
+  mutable cached : Modfg.t option;
+}
+
+let check_distinct vars =
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem seen v then invalid_arg ("Factor: duplicate variable " ^ v);
+      Hashtbl.add seen v ())
+    vars
+
+let symbolic ~name ~vars ~sigmas exprs =
+  check_distinct vars;
+  if exprs = [] then invalid_arg "Factor.symbolic: no error expressions";
+  let mentioned = List.concat_map Expr.variables exprs in
+  List.iter
+    (fun m ->
+      if not (List.mem m vars) then
+        invalid_arg (Printf.sprintf "Factor.symbolic %s: expression mentions undeclared %s" name m))
+    mentioned;
+  { name; vars; sigmas; kind = Symbolic exprs; cached = None }
+
+let native ~name ~vars ~sigmas ~error_dim f =
+  check_distinct vars;
+  if Vec.dim sigmas <> error_dim then
+    invalid_arg (Printf.sprintf "Factor.native %s: %d sigmas for error dim %d" name (Vec.dim sigmas) error_dim);
+  { name; vars; sigmas; kind = Native (error_dim, f); cached = None }
+
+let name t = t.name
+let vars t = t.vars
+let sigmas t = t.sigmas
+let is_symbolic t = match t.kind with Symbolic _ -> true | Native _ -> false
+
+let leaf_var = function Expr.Rot_of v | Expr.Trans_of v | Expr.Vec_of v -> v
+
+let modfg t lookup =
+  match t.kind with
+  | Native _ -> None
+  | Symbolic exprs -> (
+      match t.cached with
+      | Some g -> Some g
+      | None ->
+          let dim_of leaf = Var.leaf_type (lookup (leaf_var leaf)) leaf in
+          let g = Modfg.build ~dim_of exprs in
+          if Modfg.error_dim g <> Vec.dim t.sigmas then
+            invalid_arg
+              (Printf.sprintf "Factor %s: %d sigmas for error dim %d" t.name (Vec.dim t.sigmas)
+                 (Modfg.error_dim g));
+          t.cached <- Some g;
+          Some g)
+
+let error_dim t =
+  match t.kind with
+  | Native (d, _) -> d
+  | Symbolic _ -> Vec.dim t.sigmas
+
+let ir_lookup lookup leaf = Var.leaf_value (lookup (leaf_var leaf)) leaf
+
+let whiten t err = Array.mapi (fun i e -> e /. t.sigmas.(i)) err
+
+let raw_error t lookup =
+  match t.kind with
+  | Symbolic _ ->
+      let g = Option.get (modfg t lookup) in
+      Modfg.error g ~lookup:(ir_lookup lookup)
+  | Native (_, f) -> fst (f lookup)
+
+let error t lookup = whiten t (raw_error t lookup)
+
+let error_norm_sq t lookup = Vec.norm_sq (error t lookup)
+
+(* Combine per-leaf MO-DFG Jacobians into one block per variable, in
+   the variable's tangent order: orientation columns first, then
+   translation. *)
+let combine_blocks t lookup err_dim leaf_jacs =
+  List.map
+    (fun v ->
+      let value = lookup v in
+      let vdim = Var.dim value in
+      let block = Mat.create err_dim vdim in
+      let rdim = Var.rot_dim value in
+      List.iter
+        (fun (leaf, jac) ->
+          if leaf_var leaf = v then
+            match leaf with
+            | Expr.Rot_of _ -> Mat.set_block block 0 0 jac
+            | Expr.Trans_of _ -> Mat.set_block block 0 rdim jac
+            | Expr.Vec_of _ -> Mat.set_block block 0 0 jac)
+        leaf_jacs;
+      (v, block))
+    t.vars
+
+let whiten_blocks t blocks =
+  List.map
+    (fun (v, b) ->
+      let rows, cols = Mat.dims b in
+      let w = Mat.init rows cols (fun i j -> Mat.get b i j /. t.sigmas.(i)) in
+      (v, w))
+    blocks
+
+let linearize t lookup =
+  match t.kind with
+  | Symbolic _ ->
+      let g = Option.get (modfg t lookup) in
+      let err, leaf_jacs = Modfg.linearize g ~lookup:(ir_lookup lookup) in
+      let blocks = combine_blocks t lookup (Vec.dim err) leaf_jacs in
+      (whiten t err, whiten_blocks t blocks)
+  | Native (d, f) ->
+      let err, named = f lookup in
+      if Vec.dim err <> d then
+        invalid_arg (Printf.sprintf "Factor %s: native error dim %d, declared %d" t.name (Vec.dim err) d);
+      let blocks =
+        List.map
+          (fun v ->
+            match List.assoc_opt v named with
+            | Some b ->
+                let rows, cols = Mat.dims b in
+                if rows <> d || cols <> Var.dim (lookup v) then
+                  invalid_arg (Printf.sprintf "Factor %s: bad Jacobian shape for %s" t.name v);
+                (v, b)
+            | None -> (v, Mat.create d (Var.dim (lookup v))))
+          t.vars
+      in
+      (whiten t err, whiten_blocks t blocks)

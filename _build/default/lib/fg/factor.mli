@@ -1,0 +1,64 @@
+(** Factors: the constraints of a factor graph (Tbl. 2).
+
+    A factor relates a set of variables through an error function and
+    a diagonal Gaussian noise model.  Two flavours exist:
+
+    - {e symbolic} factors carry their error as expressions over the
+      nine primitive operations; the MO-DFG machinery evaluates and
+      differentiates them automatically — this is the path the
+      ORIANNA compiler understands (Sec. 5.2);
+    - {e native} factors provide error and analytic Jacobians as OCaml
+      code, for models that fall outside the primitive algebra (e.g.
+      the perspective division of a pinhole camera).  The paper's
+      "customized factors" facility covers both.
+
+    Linearization whitens rows by [1 / sigma]. *)
+
+open Orianna_linalg
+module Expr = Orianna_ir.Expr
+module Modfg = Orianna_ir.Modfg
+
+type lookup = string -> Var.t
+(** Current value of a variable by name. *)
+
+type t
+
+val symbolic : name:string -> vars:string list -> sigmas:Vec.t -> Expr.t list -> t
+(** [vars] must list every variable mentioned by the expressions (it
+    fixes the block order); [sigmas] has one entry per error row. *)
+
+val native :
+  name:string ->
+  vars:string list ->
+  sigmas:Vec.t ->
+  error_dim:int ->
+  (lookup -> Vec.t * (string * Mat.t) list) ->
+  t
+(** The callback returns the raw (unwhitened) error and one Jacobian
+    block per variable it involves; omitted variables get zero
+    blocks. *)
+
+val name : t -> string
+
+val vars : t -> string list
+
+val error_dim : t -> int
+
+val sigmas : t -> Vec.t
+
+val is_symbolic : t -> bool
+
+val modfg : t -> lookup -> Modfg.t option
+(** The factor's MO-DFG ([None] for native factors).  Built on first
+    use and cached. *)
+
+val error : t -> lookup -> Vec.t
+(** Whitened error at the current values. *)
+
+val error_norm_sq : t -> lookup -> float
+(** Squared norm of the whitened error (the factor's contribution to
+    the objective of Equ. 1). *)
+
+val linearize : t -> lookup -> Vec.t * (string * Mat.t) list
+(** Whitened error and whitened Jacobian blocks, one per entry of
+    {!vars} (in that order), each [error_dim x dim(var)]. *)

@@ -1,0 +1,64 @@
+type t = {
+  values : (string, Var.t) Hashtbl.t;
+  mutable rev_vars : string list;
+  mutable rev_factors : Factor.t list;
+}
+
+let create () = { values = Hashtbl.create 64; rev_vars = []; rev_factors = [] }
+
+let add_variable t name value =
+  if Hashtbl.mem t.values name then invalid_arg ("Graph.add_variable: duplicate " ^ name);
+  Hashtbl.add t.values name value;
+  t.rev_vars <- name :: t.rev_vars
+
+let has_variable t name = Hashtbl.mem t.values name
+
+let add_factor t factor =
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem t.values v) then
+        invalid_arg
+          (Printf.sprintf "Graph.add_factor: factor %s uses unknown variable %s"
+             (Factor.name factor) v))
+    (Factor.vars factor);
+  t.rev_factors <- factor :: t.rev_factors
+
+let value t name = Hashtbl.find t.values name
+
+let set_value t name v =
+  match Hashtbl.find_opt t.values name with
+  | None -> invalid_arg ("Graph.set_value: unknown variable " ^ name)
+  | Some old ->
+      let same_kind =
+        match (old, v) with
+        | Var.Pose2 _, Var.Pose2 _ | Var.Pose3 _, Var.Pose3 _ | Var.Se3 _, Var.Se3 _ -> true
+        | Var.Vector a, Var.Vector b -> Orianna_linalg.Vec.dim a = Orianna_linalg.Vec.dim b
+        | (Var.Pose2 _ | Var.Pose3 _ | Var.Se3 _ | Var.Vector _), _ -> false
+      in
+      if not same_kind then invalid_arg ("Graph.set_value: kind mismatch for " ^ name);
+      Hashtbl.replace t.values name v
+
+let lookup t name = value t name
+
+let variables t = List.rev t.rev_vars
+let factors t = List.rev t.rev_factors
+let num_variables t = List.length t.rev_vars
+let num_factors t = List.length t.rev_factors
+
+let dims t name = Var.dim (value t name)
+
+let total_dim t = List.fold_left (fun acc v -> acc + dims t v) 0 (variables t)
+
+let total_rows t =
+  List.fold_left (fun acc f -> acc + Factor.error_dim f) 0 (factors t)
+
+let error t =
+  List.fold_left (fun acc f -> acc +. Factor.error_norm_sq f (lookup t)) 0.0 (factors t)
+
+let linearize t = List.map (fun f -> Linear_system.of_factor f (lookup t)) (factors t)
+
+let factor_scopes t = List.map Factor.vars (factors t)
+
+let copy_values t = List.map (fun v -> (v, value t v)) (variables t)
+
+let restore_values t saved = List.iter (fun (name, v) -> Hashtbl.replace t.values name v) saved

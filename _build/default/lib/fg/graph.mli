@@ -1,0 +1,55 @@
+(** The factor graph: the paper's programming model (Sec. 5.1).
+
+    Users start from an empty graph, add variables with initial
+    values and factors relating them, then call the optimizer.  The
+    graph owns the current estimate. *)
+
+type t
+
+val create : unit -> t
+
+val add_variable : t -> string -> Var.t -> unit
+(** Raises [Invalid_argument] if the name is already taken. *)
+
+val add_factor : t -> Factor.t -> unit
+(** Every variable of the factor must already exist. *)
+
+val has_variable : t -> string -> bool
+
+val value : t -> string -> Var.t
+(** Raises [Not_found] on unknown names. *)
+
+val set_value : t -> string -> Var.t -> unit
+(** Replace the estimate of an existing variable (kind must match). *)
+
+val lookup : t -> Factor.lookup
+
+val variables : t -> string list
+(** Insertion order. *)
+
+val factors : t -> Factor.t list
+(** Insertion order. *)
+
+val num_variables : t -> int
+
+val num_factors : t -> int
+
+val dims : t -> string -> int
+
+val total_dim : t -> int
+(** Sum of variable tangent dimensions. *)
+
+val total_rows : t -> int
+(** Sum of factor error dimensions. *)
+
+val error : t -> float
+(** Objective of Equ. 1: sum of squared whitened factor errors. *)
+
+val linearize : t -> Linear_system.t list
+(** All factors, insertion order. *)
+
+val factor_scopes : t -> string list list
+
+val copy_values : t -> (string * Var.t) list
+
+val restore_values : t -> (string * Var.t) list -> unit

@@ -1,0 +1,94 @@
+
+type t = {
+  dims : (string, int) Hashtbl.t;
+  mutable order : string list;  (** elimination order, first-eliminated first *)
+  mutable conditionals : Elimination.conditional list;  (** in elimination order *)
+  mutable affected_last : int;
+  mutable updates : int;
+}
+
+type stats = { total_variables : int; affected_last : int; updates : int }
+
+let create () =
+  { dims = Hashtbl.create 32; order = []; conditionals = []; affected_last = 0; updates = 0 }
+
+let add_variable t name dim =
+  if Hashtbl.mem t.dims name then invalid_arg ("Incremental.add_variable: duplicate " ^ name);
+  if dim <= 0 then invalid_arg "Incremental.add_variable: dimension must be positive";
+  Hashtbl.add t.dims name dim;
+  t.order <- t.order @ [ name ]
+
+let dims_fn t v =
+  match Hashtbl.find_opt t.dims v with
+  | Some d -> d
+  | None -> invalid_arg ("Incremental: unknown variable " ^ v)
+
+(* A stored conditional is a valid linear factor: its rows are rows of
+   the current R. *)
+let factor_of_conditional (c : Elimination.conditional) =
+  {
+    Linear_system.vars = c.Elimination.var :: List.map fst c.Elimination.parents;
+    blocks = (c.Elimination.var, c.Elimination.r) :: c.Elimination.parents;
+    rhs = c.Elimination.rhs;
+  }
+
+module Sset = Set.Make (String)
+
+let update t new_factors =
+  List.iter
+    (fun (f : Linear_system.t) -> List.iter (fun v -> ignore (dims_fn t v)) f.Linear_system.vars)
+    new_factors;
+  (* Affected closure: variables of the new factors, plus — walking
+     the existing conditionals in elimination order — the parents of
+     every affected frontal variable (ancestors toward the root). *)
+  let affected = ref Sset.empty in
+  List.iter
+    (fun (f : Linear_system.t) ->
+      List.iter (fun v -> affected := Sset.add v !affected) f.Linear_system.vars)
+    new_factors;
+  List.iter
+    (fun (c : Elimination.conditional) ->
+      if Sset.mem c.Elimination.var !affected then
+        List.iter (fun (p, _) -> affected := Sset.add p !affected) c.Elimination.parents)
+    t.conditionals;
+  let in_affected v = Sset.mem v !affected in
+  let sub_order = List.filter in_affected t.order in
+  t.affected_last <- List.length sub_order;
+  t.updates <- t.updates + 1;
+  (* Re-eliminate the affected sub-problem: new factors plus the old
+     conditionals of affected frontal variables, reinterpreted as
+     factors. *)
+  let recycled =
+    List.filter_map
+      (fun (c : Elimination.conditional) ->
+        if in_affected c.Elimination.var then Some (factor_of_conditional c) else None)
+      t.conditionals
+  in
+  let result =
+    Elimination.eliminate ~order:sub_order ~dims:(dims_fn t) (new_factors @ recycled)
+  in
+  (* Merge: keep unaffected conditionals, splice the fresh ones in at
+     their positions in the global order. *)
+  let fresh = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Elimination.conditional) -> Hashtbl.add fresh c.Elimination.var c)
+    result.Elimination.conditionals;
+  let kept = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Elimination.conditional) ->
+      if not (in_affected c.Elimination.var) then Hashtbl.add kept c.Elimination.var c)
+    t.conditionals;
+  t.conditionals <-
+    List.filter_map
+      (fun v ->
+        match Hashtbl.find_opt fresh v with
+        | Some c -> Some c
+        | None -> Hashtbl.find_opt kept v)
+      t.order
+
+let solution t = Elimination.back_substitute t.conditionals
+
+let stats t =
+  { total_variables = List.length t.order; affected_last = t.affected_last; updates = t.updates }
+
+let batch_equivalent t factors = Elimination.solve ~order:t.order ~dims:(dims_fn t) factors

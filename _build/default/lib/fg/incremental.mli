@@ -1,0 +1,46 @@
+(** Incremental smoothing (iSAM-style) over the square-root factor.
+
+    Localization runs as a stream: every frame appends new poses and
+    measurements.  Re-eliminating the whole graph each frame wastes
+    work — the structure of sequential QR makes the update local:
+    the stored conditionals of a variable are themselves valid linear
+    factors (the rows of [R]), so adding information only requires
+    re-eliminating the variables the new factors touch plus their
+    ancestors toward the root of the elimination order.
+
+    This is the linear-incremental core (iSAM without periodic
+    relinearization): updates take {e linearized} factors and the
+    solution is exact — identical to a batch elimination over all
+    factors seen so far, which the test suite checks.  Nonlinear
+    streams relinearize by rebuilding (the [Optimizer] path). *)
+
+open Orianna_linalg
+
+type t
+
+val create : unit -> t
+
+type stats = {
+  total_variables : int;
+  affected_last : int;  (** variables re-eliminated by the last update *)
+  updates : int;
+}
+
+val add_variable : t -> string -> int -> unit
+(** Declare a new variable with its tangent dimension.  New variables
+    are appended to the elimination order.  Raises
+    [Invalid_argument] on duplicates. *)
+
+val update : t -> Linear_system.t list -> unit
+(** Incorporate new linear factors.  Every variable they mention must
+    have been declared.  Only the affected sub-problem is
+    re-eliminated. *)
+
+val solution : t -> (string * Vec.t) list
+(** Current solution (back substitution over all conditionals). *)
+
+val stats : t -> stats
+
+val batch_equivalent : t -> Linear_system.t list -> (string * Vec.t) list
+(** Reference: batch-eliminate the given full factor list under this
+    smoother's ordering (for equivalence tests). *)

@@ -1,0 +1,52 @@
+open Orianna_linalg
+
+type t = {
+  vars : string list;
+  blocks : (string * Mat.t) list;
+  rhs : Vec.t;
+}
+
+let of_factor factor lookup =
+  let err, blocks = Factor.linearize factor lookup in
+  { vars = Factor.vars factor; blocks; rhs = Vec.neg err }
+
+let rows t = Vec.dim t.rhs
+
+let involves t v = List.mem v t.vars
+
+let block t v = List.assoc_opt v t.blocks
+
+let assemble ~var_order ~dims factors =
+  let col_dims = Array.of_list (List.map dims var_order) in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.add index v i) var_order;
+  let asm = Assembly.create ~col_dims in
+  List.iter
+    (fun f ->
+      let blocks =
+        List.map
+          (fun (v, b) ->
+            match Hashtbl.find_opt index v with
+            | Some i -> (i, b)
+            | None -> invalid_arg ("Linear_system.assemble: unknown variable " ^ v))
+          f.blocks
+      in
+      Assembly.add_row asm ~blocks ~rhs:f.rhs)
+    factors;
+  asm
+
+let dense_solve ~var_order ~dims factors =
+  let asm = assemble ~var_order ~dims factors in
+  let a, b = Assembly.to_dense asm in
+  let x = Qr.solve_ls a b in
+  let pos = ref 0 in
+  List.map
+    (fun v ->
+      let d = dims v in
+      let sol = Vec.slice x ~pos:!pos ~len:d in
+      pos := !pos + d;
+      (v, sol))
+    var_order
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>lin-factor on [%s], %d rows@]" (String.concat "," t.vars) (rows t)

@@ -1,0 +1,33 @@
+(** Linearized factors: the block rows of [A Δ = b] (Fig. 4).
+
+    Produced by linearizing every factor of a graph at the current
+    estimate; consumed by {!Elimination} (the factor-graph path) or
+    assembled densely (the VANILLA-HLS baseline path). *)
+
+open Orianna_linalg
+
+type t = {
+  vars : string list;  (** involved variables, block order *)
+  blocks : (string * Mat.t) list;  (** Jacobian block per variable *)
+  rhs : Vec.t;  (** right-hand side rows: [-whitened_error] *)
+}
+
+val of_factor : Factor.t -> Factor.lookup -> t
+(** Linearize one factor (negating the error into the RHS). *)
+
+val rows : t -> int
+
+val involves : t -> string -> bool
+
+val block : t -> string -> Mat.t option
+
+val assemble : var_order:string list -> dims:(string -> int) -> t list -> Assembly.t
+(** Stack all block rows into a block-sparse assembly whose columns
+    follow [var_order]. *)
+
+val dense_solve : var_order:string list -> dims:(string -> int) -> t list -> (string * Vec.t) list
+(** Reference path: materialize the dense [A, b] and solve the
+    least-squares problem with one big QR — what a solver without the
+    factor-graph abstraction does.  Returns the update per variable. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+open Orianna_linalg
+
+type t = {
+  offsets : (string, int) Hashtbl.t;
+  dims : (string, int) Hashtbl.t;
+  sigma : Mat.t Lazy.t;
+}
+
+let of_result ~order ~dims result =
+  let offsets = Hashtbl.create 16 in
+  let dim_tbl = Hashtbl.create 16 in
+  let width = ref 0 in
+  List.iter
+    (fun v ->
+      Hashtbl.add offsets v !width;
+      Hashtbl.add dim_tbl v (dims v);
+      width := !width + dims v)
+    order;
+  let w = !width in
+  let sigma =
+    lazy
+      (let r = Elimination.r_matrix ~order ~dims result in
+       (* Sigma = R^-1 R^-T: solve R x = e_i for every column, then
+          Sigma = X Xᵀ with X = R^-1. *)
+       let rinv = Mat.create w w in
+       for j = 0 to w - 1 do
+         let e = Vec.create w in
+         e.(j) <- 1.0;
+         let x = Tri.solve_upper r e in
+         for i = 0 to w - 1 do
+           Mat.set rinv i j x.(i)
+         done
+       done;
+       Mat.mul rinv (Mat.transpose rinv))
+  in
+  { offsets; dims = dim_tbl; sigma }
+
+let find_var t v =
+  match (Hashtbl.find_opt t.offsets v, Hashtbl.find_opt t.dims v) with
+  | Some off, Some d -> (off, d)
+  | _ -> raise Not_found
+
+let joint t a b =
+  let oa, da = find_var t a in
+  let ob, db = find_var t b in
+  Mat.block (Lazy.force t.sigma) oa ob da db
+
+let marginal t v = joint t v v
+
+let full t = Lazy.force t.sigma

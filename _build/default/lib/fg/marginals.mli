@@ -1,0 +1,29 @@
+(** Marginal covariance recovery from the square-root information
+    factor.
+
+    After elimination, [R] satisfies [RᵀR = AᵀA] (the information
+    matrix), so the posterior covariance is [Sigma = R⁻¹ R⁻ᵀ].  The
+    per-variable marginal is the corresponding diagonal block —
+    localization stacks report it as the pose uncertainty.  Recovery
+    works column by column through triangular solves on the assembled
+    [R], which is exact and adequate at the problem sizes the
+    applications use. *)
+
+open Orianna_linalg
+
+type t
+
+val of_result :
+  order:string list -> dims:(string -> int) -> Elimination.result -> t
+(** Build the recovery context from an elimination result. *)
+
+val marginal : t -> string -> Mat.t
+(** [marginal t v] is the [dim(v) x dim(v)] covariance block of [v].
+    Raises [Not_found] for unknown variables. *)
+
+val joint : t -> string -> string -> Mat.t
+(** [joint t a b] is the [dim(a) x dim(b)] cross-covariance block. *)
+
+val full : t -> Mat.t
+(** The complete covariance matrix in elimination order (for tests
+    and small problems). *)

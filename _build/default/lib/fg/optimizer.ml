@@ -1,0 +1,150 @@
+open Orianna_linalg
+
+let src = Logs.Src.create "orianna.optimizer" ~doc:"Nonlinear optimization loop"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type method_ = Gauss_newton | Levenberg_marquardt
+
+type params = {
+  max_iterations : int;
+  error_tol : float;
+  delta_tol : float;
+  relative_tol : float;
+  ordering : Ordering.strategy;
+  factorization : Elimination.method_;
+  method_ : method_;
+  init_lambda : float;
+  max_lambda : float;
+}
+
+let default_params =
+  {
+    max_iterations = 50;
+    error_tol = 1e-9;
+    delta_tol = 1e-8;
+    relative_tol = 1e-10;
+    ordering = Ordering.Min_degree;
+    factorization = Elimination.Qr;
+    method_ = Gauss_newton;
+    init_lambda = 1e-4;
+    max_lambda = 1e8;
+  }
+
+type report = {
+  iterations : int;
+  converged : bool;
+  initial_error : float;
+  final_error : float;
+  history : float list;
+  census : Elimination.census_entry list;
+  macs : int;
+}
+
+let ordering_of graph strategy =
+  Ordering.compute strategy ~vars:(Graph.variables graph) ~factor_scopes:(Graph.factor_scopes graph)
+
+let damping_factors graph lambda =
+  let s = sqrt lambda in
+  List.map
+    (fun v ->
+      let d = Graph.dims graph v in
+      {
+        Linear_system.vars = [ v ];
+        blocks = [ (v, Mat.scale s (Mat.identity d)) ];
+        rhs = Vec.create d;
+      })
+    (Graph.variables graph)
+
+let apply_update graph deltas =
+  List.iter
+    (fun (v, delta) -> Graph.set_value graph v (Var.retract (Graph.value graph v) delta))
+    deltas
+
+let max_abs_delta deltas =
+  List.fold_left
+    (fun acc (_, d) -> Array.fold_left (fun m x -> Float.max m (Float.abs x)) acc d)
+    0.0 deltas
+
+let solve_once ?(ordering = Ordering.Min_degree) graph =
+  let order = ordering_of graph ordering in
+  let lin = Graph.linearize graph in
+  Elimination.solve ~order ~dims:(Graph.dims graph) lin
+
+let optimize ?(params = default_params) graph =
+  let result, macs =
+    Macs.measure (fun () ->
+        let order = ordering_of graph params.ordering in
+        let dims = Graph.dims graph in
+        let initial_error = Graph.error graph in
+        let history = ref [] in
+        let census = ref [] in
+        let lambda = ref params.init_lambda in
+        let current_error = ref initial_error in
+        let converged = ref (initial_error <= params.error_tol) in
+        let iters = ref 0 in
+        (try
+           while (not !converged) && !iters < params.max_iterations do
+             incr iters;
+             let lin = Graph.linearize graph in
+             (match params.method_ with
+             | Gauss_newton ->
+                 let result = Elimination.eliminate ~method_:params.factorization ~order ~dims lin in
+                 let deltas = Elimination.back_substitute result.conditionals in
+                 census := result.census;
+                 apply_update graph deltas;
+                 let err = Graph.error graph in
+                 let decrease = !current_error -. err in
+                 if
+                   max_abs_delta deltas < params.delta_tol
+                   || err <= params.error_tol
+                   || Float.abs decrease <= params.relative_tol *. Float.max 1.0 !current_error
+                 then converged := true;
+                 current_error := err
+             | Levenberg_marquardt ->
+                 let accepted = ref false in
+                 let saved = Graph.copy_values graph in
+                 while (not !accepted) && !lambda <= params.max_lambda do
+                   let damped = lin @ damping_factors graph !lambda in
+                   let result = Elimination.eliminate ~method_:params.factorization ~order ~dims damped in
+                   let deltas = Elimination.back_substitute result.conditionals in
+                   apply_update graph deltas;
+                   let err = Graph.error graph in
+                   if err < !current_error then begin
+                     accepted := true;
+                     census := result.census;
+                     lambda := Float.max 1e-12 (!lambda /. 10.0);
+                     if
+                       max_abs_delta deltas < params.delta_tol
+                       || err <= params.error_tol
+                       || !current_error -. err <= params.relative_tol *. Float.max 1.0 !current_error
+                     then converged := true;
+                     current_error := err
+                   end
+                   else begin
+                     Graph.restore_values graph saved;
+                     lambda := !lambda *. 10.0
+                   end
+                 done;
+                 if not !accepted then converged := true (* stuck: report non-improvement *));
+             Log.debug (fun m -> m "iteration %d: error %.6g" !iters !current_error);
+             history := !current_error :: !history
+           done
+         with Elimination.Underconstrained v ->
+           failwith ("Optimizer: underconstrained variable " ^ v));
+        ( !iters,
+          !converged,
+          initial_error,
+          !current_error,
+          List.rev !history,
+          !census ))
+  in
+  let iterations, converged, initial_error, final_error, history, census = result in
+  Log.info (fun m ->
+      m "optimized: %d iterations, error %.6g -> %.6g, %d MACs" iterations initial_error
+        final_error macs);
+  { iterations; converged; initial_error; final_error; history; census; macs }
+
+let pp_report ppf r =
+  Format.fprintf ppf "iters=%d converged=%b error %.6g -> %.6g (macs %d)" r.iterations r.converged
+    r.initial_error r.final_error r.macs

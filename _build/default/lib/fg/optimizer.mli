@@ -1,0 +1,46 @@
+(** Nonlinear optimization over a factor graph (Fig. 3).
+
+    Implements the iterative construct-and-solve loop: linearize all
+    factors at the current estimate, eliminate with sequential QR,
+    back-substitute, retract the update, repeat until convergence.
+    Gauss-Newton is the paper's method; Levenberg-Marquardt damping is
+    available for poorly initialized problems (it reuses the same
+    elimination machinery by appending damping rows). *)
+
+type method_ = Gauss_newton | Levenberg_marquardt
+
+type params = {
+  max_iterations : int;
+  error_tol : float;  (** absolute objective threshold *)
+  delta_tol : float;  (** infinity-norm threshold on the update *)
+  relative_tol : float;  (** relative objective-decrease threshold *)
+  ordering : Ordering.strategy;
+  factorization : Elimination.method_;  (** QR (default) or Cholesky elimination *)
+  method_ : method_;
+  init_lambda : float;  (** initial LM damping *)
+  max_lambda : float;  (** LM divergence guard *)
+}
+
+val default_params : params
+(** 50 iterations, Gauss-Newton, min-degree ordering, tolerances 1e-9
+    (error), 1e-8 (delta), 1e-10 (relative). *)
+
+type report = {
+  iterations : int;
+  converged : bool;
+  initial_error : float;
+  final_error : float;
+  history : float list;  (** objective after each iteration *)
+  census : Elimination.census_entry list;  (** last accepted elimination *)
+  macs : int;  (** MACs charged during the whole optimization *)
+}
+
+val optimize : ?params:params -> Graph.t -> report
+(** Mutates the graph's values in place. *)
+
+val solve_once : ?ordering:Ordering.strategy -> Graph.t -> (string * Orianna_linalg.Vec.t) list
+(** A single linearize-eliminate-substitute round, returning the raw
+    update without applying it (used by tests and by the compiler
+    validation path). *)
+
+val pp_report : Format.formatter -> report -> unit

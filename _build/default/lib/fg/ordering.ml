@@ -1,0 +1,64 @@
+type strategy = Natural | Reverse | Min_degree
+
+let strategy_name = function
+  | Natural -> "natural"
+  | Reverse -> "reverse"
+  | Min_degree -> "min-degree"
+
+module Sset = Set.Make (String)
+
+let min_degree ~vars ~factor_scopes =
+  (* Adjacency via shared factors; eliminating a variable connects its
+     remaining neighbors into a clique (simulating the new factor f7
+     of Fig. 5).  The adjacency sets hold live variables only, so
+     degrees are their cardinalities and each elimination updates only
+     the eliminated variable's neighborhood. *)
+  let position = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.add position v i) vars;
+  let adj : (string, Sset.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace adj v Sset.empty) vars;
+  List.iter
+    (fun scope ->
+      List.iter
+        (fun v ->
+          List.iter
+            (fun w ->
+              if v <> w then
+                Hashtbl.replace adj v (Sset.add w (Hashtbl.find adj v)))
+            scope)
+        scope)
+    factor_scopes;
+  let remaining = ref (Sset.of_list vars) in
+  let order = ref [] in
+  while not (Sset.is_empty !remaining) do
+    let best =
+      Sset.fold
+        (fun v acc ->
+          let dv = Sset.cardinal (Hashtbl.find adj v) in
+          match acc with
+          | None -> Some (v, dv)
+          | Some (b, db) ->
+              if dv < db || (dv = db && Hashtbl.find position v < Hashtbl.find position b) then
+                Some (v, dv)
+              else acc)
+        !remaining None
+    in
+    let v, _ = Option.get best in
+    let neighbors = Hashtbl.find adj v in
+    (* Clique the neighbors and drop the eliminated variable. *)
+    Sset.iter
+      (fun a ->
+        let updated = Sset.remove v (Sset.union (Hashtbl.find adj a) (Sset.remove a neighbors)) in
+        Hashtbl.replace adj a updated)
+      neighbors;
+    Hashtbl.remove adj v;
+    remaining := Sset.remove v !remaining;
+    order := v :: !order
+  done;
+  List.rev !order
+
+let compute strategy ~vars ~factor_scopes =
+  match strategy with
+  | Natural -> vars
+  | Reverse -> List.rev vars
+  | Min_degree -> min_degree ~vars ~factor_scopes

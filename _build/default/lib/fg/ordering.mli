@@ -1,0 +1,17 @@
+(** Variable elimination orderings.
+
+    The fill-in of sequential QR elimination — and hence the shapes of
+    the small dense matrices of Fig. 5 — depends on the order in which
+    variables are eliminated.  [Min_degree] is the greedy
+    minimum-degree heuristic (the spirit of COLAMD, which GTSAM uses);
+    [Natural] and [Reverse] follow insertion order. *)
+
+type strategy = Natural | Reverse | Min_degree
+
+val compute : strategy -> vars:string list -> factor_scopes:string list list -> string list
+(** [compute s ~vars ~factor_scopes] returns a permutation of [vars].
+    [factor_scopes] lists, for every factor, the variables it touches.
+    Ties in [Min_degree] break by insertion position, so the result is
+    deterministic. *)
+
+val strategy_name : strategy -> string

@@ -1,0 +1,38 @@
+open Orianna_linalg
+
+type loss = Trivial | Huber of float | Cauchy of float | Tukey of float
+
+let check_k what k = if k <= 0.0 then invalid_arg ("Robust." ^ what ^ ": threshold must be positive")
+
+let weight loss e =
+  let e = Float.abs e in
+  match loss with
+  | Trivial -> 1.0
+  | Huber k ->
+      check_k "huber" k;
+      if e <= k then 1.0 else k /. e
+  | Cauchy k ->
+      check_k "cauchy" k;
+      1.0 /. (1.0 +. ((e /. k) *. (e /. k)))
+  | Tukey k ->
+      check_k "tukey" k;
+      if e >= k then 0.0
+      else begin
+        let r = 1.0 -. ((e /. k) *. (e /. k)) in
+        r *. r
+      end
+
+let robustify loss factor =
+  match loss with
+  | Trivial -> factor
+  | Huber _ | Cauchy _ | Tukey _ ->
+      let dim = Factor.error_dim factor in
+      Factor.native
+        ~name:(Factor.name factor ^ "!robust")
+        ~vars:(Factor.vars factor)
+        ~sigmas:(Array.make dim 1.0) (* inner factor already whitens *)
+        ~error_dim:dim
+        (fun lookup ->
+          let err, blocks = Factor.linearize factor lookup in
+          let s = sqrt (weight loss (Vec.norm err)) in
+          (Vec.scale s err, List.map (fun (v, b) -> (v, Mat.scale s b)) blocks))

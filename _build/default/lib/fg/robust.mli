@@ -1,0 +1,23 @@
+(** Robust loss functions (M-estimators).
+
+    Real sensor pipelines contain outliers (bad loop closures, wrong
+    data associations); production factor-graph solvers wrap factors
+    in a robust loss that down-weights large residuals.  This module
+    implements the standard IRLS treatment: at each linearization the
+    whitened error and Jacobians are rescaled by [sqrt w(|e|)], which
+    makes Gauss-Newton on the wrapped factor equal to iteratively
+    reweighted least squares on the robust objective. *)
+
+type loss =
+  | Trivial  (** plain least squares: w = 1 *)
+  | Huber of float  (** quadratic near 0, linear beyond [k] *)
+  | Cauchy of float  (** heavy-tailed: w = 1 / (1 + (e/k)^2) *)
+  | Tukey of float  (** hard redescending: zero weight beyond [k] *)
+
+val weight : loss -> float -> float
+(** [weight loss residual_norm] is the IRLS weight [w] in [[0, 1]]. *)
+
+val robustify : loss -> Factor.t -> Factor.t
+(** Wrap a factor: same variables and dimensions, error and Jacobians
+    rescaled by [sqrt (weight loss |e|)] at every evaluation.
+    [Trivial] returns the factor unchanged. *)

@@ -1,0 +1,80 @@
+open Orianna_linalg
+open Orianna_lie
+module Value = Orianna_ir.Value
+module Expr = Orianna_ir.Expr
+
+type t = Pose2 of Pose2.t | Pose3 of Pose3.t | Se3 of Se3.t | Vector of Vec.t
+
+let dim = function
+  | Pose2 _ -> Pose2.tangent_dim
+  | Pose3 _ -> Pose3.tangent_dim
+  | Se3 _ -> Se3.tangent_dim
+  | Vector v -> Vec.dim v
+
+let retract value delta =
+  if Vec.dim delta <> dim value then invalid_arg "Var.retract: tangent dimension mismatch";
+  match value with
+  | Pose2 p -> Pose2 (Pose2.retract p delta)
+  | Pose3 p -> Pose3 (Pose3.retract p delta)
+  | Se3 x -> Se3 (Se3.retract x delta)
+  | Vector v -> Vector (Vec.add v delta)
+
+let local a b =
+  match (a, b) with
+  | Pose2 p, Pose2 q -> Pose2.local p q
+  | Pose3 p, Pose3 q -> Pose3.local p q
+  | Se3 x, Se3 y -> Se3.local x y
+  | Vector v, Vector w -> Vec.sub w v
+  | (Pose2 _ | Pose3 _ | Se3 _ | Vector _), _ -> invalid_arg "Var.local: kind mismatch"
+
+let leaf_type value leaf =
+  match (value, leaf) with
+  | Pose2 _, Expr.Rot_of _ -> Value.Trot 2
+  | Pose2 _, Expr.Trans_of _ -> Value.Tvec 2
+  | Pose3 _, Expr.Rot_of _ -> Value.Trot 3
+  | Pose3 _, Expr.Trans_of _ -> Value.Tvec 3
+  | Vector v, Expr.Vec_of _ -> Value.Tvec (Vec.dim v)
+  | Vector _, (Expr.Rot_of _ | Expr.Trans_of _) ->
+      invalid_arg "Var.leaf_type: pose leaf refers to a vector variable"
+  | Se3 _, (Expr.Rot_of _ | Expr.Trans_of _ | Expr.Vec_of _) ->
+      invalid_arg "Var.leaf_type: SE(3) variables have no unified-representation leaves"
+  | (Pose2 _ | Pose3 _), Expr.Vec_of _ ->
+      invalid_arg "Var.leaf_type: vector leaf refers to a pose variable"
+
+let leaf_value value leaf =
+  match (value, leaf) with
+  | Pose2 p, Expr.Rot_of _ -> Value.Rot (Pose2.rotation p)
+  | Pose2 p, Expr.Trans_of _ -> Value.Vc (Pose2.translation p)
+  | Pose3 p, Expr.Rot_of _ -> Value.Rot (Pose3.rotation p)
+  | Pose3 p, Expr.Trans_of _ -> Value.Vc (Pose3.translation p)
+  | Vector v, Expr.Vec_of _ -> Value.Vc v
+  | Vector _, (Expr.Rot_of _ | Expr.Trans_of _) ->
+      invalid_arg "Var.leaf_value: pose leaf refers to a vector variable"
+  | Se3 _, (Expr.Rot_of _ | Expr.Trans_of _ | Expr.Vec_of _) ->
+      invalid_arg "Var.leaf_value: SE(3) variables have no unified-representation leaves"
+  | (Pose2 _ | Pose3 _), Expr.Vec_of _ ->
+      invalid_arg "Var.leaf_value: vector leaf refers to a pose variable"
+
+let rot_dim = function Pose2 _ -> 1 | Pose3 _ -> 3 | Se3 _ -> 0 | Vector _ -> 0
+
+let distance a b =
+  match (a, b) with
+  | Pose2 p, Pose2 q -> Pose2.distance p q
+  | Pose3 p, Pose3 q -> Pose3.distance p q
+  | Se3 x, Se3 y -> Vec.dist (Se3.translation x) (Se3.translation y)
+  | Vector v, Vector w -> Vec.dist v w
+  | (Pose2 _ | Pose3 _ | Se3 _ | Vector _), _ -> invalid_arg "Var.distance: kind mismatch"
+
+let equal ?eps a b =
+  match (a, b) with
+  | Pose2 p, Pose2 q -> Pose2.equal ?eps p q
+  | Pose3 p, Pose3 q -> Pose3.equal ?eps p q
+  | Se3 x, Se3 y -> Se3.equal ?eps x y
+  | Vector v, Vector w -> Vec.equal ?eps v w
+  | (Pose2 _ | Pose3 _ | Se3 _ | Vector _), _ -> false
+
+let pp ppf = function
+  | Pose2 p -> Pose2.pp ppf p
+  | Pose3 p -> Pose3.pp ppf p
+  | Se3 x -> Se3.pp ppf x
+  | Vector v -> Format.fprintf ppf "vector %a" Vec.pp v

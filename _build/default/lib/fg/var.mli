@@ -1,0 +1,53 @@
+(** Variable values of a factor graph.
+
+    A variable is either a unified pose ([<so(2),T(2)>] or
+    [<so(3),T(3)>]) or a plain vector (landmark position, velocity,
+    control input, ...).  Each value knows its tangent dimension, how
+    to apply an optimization update ({!retract}) and how to measure a
+    difference ({!local}). *)
+
+open Orianna_linalg
+open Orianna_lie
+
+type t =
+  | Pose2 of Pose2.t
+  | Pose3 of Pose3.t
+  | Se3 of Se3.t
+      (** Baseline representation for the Sec. 4.3 comparison: a padded
+          4x4 transform with a joint 6-dimensional se(3) tangent.  SE(3)
+          variables work only with native factors — they have no
+          [<so(n),T(n)>] leaves, which is precisely the compatibility
+          limitation the paper argues motivates the unified
+          representation. *)
+  | Vector of Vec.t
+
+val dim : t -> int
+(** Tangent dimension: 3, 6 or the vector length. *)
+
+val retract : t -> Vec.t -> t
+(** Apply a tangent update.  Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val local : t -> t -> Vec.t
+(** [local a b] is the tangent [d] with [retract a d = b]; raises
+    [Invalid_argument] on kind mismatch. *)
+
+val leaf_type : t -> Orianna_ir.Expr.leaf -> Orianna_ir.Value.ty
+(** Declared IR type of a leaf referring to this variable: rotation
+    and translation blocks for poses, the whole vector otherwise.
+    Raises [Invalid_argument] if the leaf kind does not apply (e.g.
+    [Rot_of] of a plain vector). *)
+
+val leaf_value : t -> Orianna_ir.Expr.leaf -> Orianna_ir.Value.t
+(** Runtime IR value of a leaf referring to this variable. *)
+
+val rot_dim : t -> int
+(** Tangent dimension of the orientation block (0 for vectors). *)
+
+val distance : t -> t -> float
+(** Translation / Euclidean distance between two values of the same
+    kind. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hw/accel.ml: Format List Resource Unit_model

@@ -1,0 +1,1 @@
+lib/hw/accel.mli: Format Resource Unit_model

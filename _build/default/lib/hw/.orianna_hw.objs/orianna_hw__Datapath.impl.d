@@ -1,0 +1,1 @@
+lib/hw/datapath.ml: Array Format Hashtbl Instr List Option Orianna_isa Program Resource Unit_model

@@ -1,0 +1,1 @@
+lib/hw/datapath.mli: Format Orianna_isa Resource Unit_model

@@ -1,0 +1,1 @@
+lib/hw/dse.ml: Accel List Logs Resource Unit_model

@@ -1,0 +1,1 @@
+lib/hw/dse.mli: Accel Resource Unit_model

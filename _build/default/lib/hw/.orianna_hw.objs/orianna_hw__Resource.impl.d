@@ -1,0 +1,1 @@
+lib/hw/resource.ml: Float Format List

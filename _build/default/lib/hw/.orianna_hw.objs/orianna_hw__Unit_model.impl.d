@@ -1,0 +1,1 @@
+lib/hw/unit_model.ml: Array Instr Orianna_isa Resource

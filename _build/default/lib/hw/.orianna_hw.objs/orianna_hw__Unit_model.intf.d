@@ -1,0 +1,1 @@
+lib/hw/unit_model.mli: Orianna_isa Resource

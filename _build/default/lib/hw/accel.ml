@@ -1,0 +1,54 @@
+type t = {
+  name : string;
+  counts : (Unit_model.unit_class * int) list;
+  qr_rotators : int;
+  clock_mhz : float;
+}
+
+let controller_overhead = { Resource.lut = 6500; ff = 9000; bram = 32; dsp = 0 }
+
+let normalize counts =
+  List.map
+    (fun cls ->
+      match List.assoc_opt cls counts with
+      | Some n when n > 0 -> (cls, n)
+      | Some _ -> invalid_arg "Accel: unit counts must be positive"
+      | None -> (cls, 1))
+    Unit_model.all_classes
+
+let base ?(name = "orianna-base") () =
+  { name; counts = normalize []; qr_rotators = Unit_model.default_qr_rotators; clock_mhz = 167.0 }
+
+let make ~name ?(qr_rotators = Unit_model.default_qr_rotators) ~counts () =
+  if qr_rotators <= 0 then invalid_arg "Accel.make: qr_rotators must be positive";
+  { name; counts = normalize counts; qr_rotators; clock_mhz = 167.0 }
+
+let count t cls = List.assoc cls t.counts
+
+let with_extra t cls =
+  { t with counts = List.map (fun (c, n) -> if c = cls then (c, n + 1) else (c, n)) t.counts }
+
+let with_wider_qr t = { t with qr_rotators = 2 * t.qr_rotators }
+
+let resources t =
+  List.fold_left
+    (fun acc (cls, n) ->
+      Resource.add acc (Resource.scale n (Unit_model.resources cls ~qr_rotators:t.qr_rotators)))
+    controller_overhead t.counts
+
+let static_power_w t =
+  List.fold_left
+    (fun acc (cls, n) ->
+      acc +. (float_of_int n *. Unit_model.static_power_w cls ~qr_rotators:t.qr_rotators))
+    Unit_model.base_static_power_w t.counts
+
+let total_units t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.counts
+
+let fits t ~budget = Resource.fits (resources t) ~budget
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s @ %.0f MHz (qr width %d)@," t.name t.clock_mhz t.qr_rotators;
+  List.iter
+    (fun (cls, n) -> Format.fprintf ppf "  %-8s x%d@," (Unit_model.class_name cls) n)
+    t.counts;
+  Format.fprintf ppf "  resources: %a@]" Resource.pp (resources t)

@@ -1,0 +1,38 @@
+(** Accelerator configurations: how many instances of each unit
+    template a generated design instantiates (Sec. 6.2).
+
+    Generation always starts from the base configuration (one unit per
+    class) and replicates units along the critical path under a
+    resource budget — see {!Dse}. *)
+
+type t = {
+  name : string;
+  counts : (Unit_model.unit_class * int) list;  (** instances per class, all > 0 *)
+  qr_rotators : int;  (** Givens-array width of the QR units *)
+  clock_mhz : float;
+}
+
+val base : ?name:string -> unit -> t
+(** One unit of every class, 167 MHz (the paper's prototype clock). *)
+
+val make : name:string -> ?qr_rotators:int -> counts:(Unit_model.unit_class * int) list -> unit -> t
+(** Missing classes get one instance; counts must be positive. *)
+
+val count : t -> Unit_model.unit_class -> int
+
+val with_extra : t -> Unit_model.unit_class -> t
+(** One more instance of the class. *)
+
+val with_wider_qr : t -> t
+(** Double the QR rotator width. *)
+
+val resources : t -> Resource.t
+(** Total resource footprint (units + controller overhead). *)
+
+val static_power_w : t -> float
+
+val total_units : t -> int
+
+val fits : t -> budget:Resource.t -> bool
+
+val pp : Format.formatter -> t -> unit

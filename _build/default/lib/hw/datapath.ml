@@ -1,0 +1,63 @@
+open Orianna_isa
+
+type link = {
+  src : Unit_model.unit_class;
+  dst : Unit_model.unit_class;
+  transfers : int;
+  words : int;
+  fifo_depth : int;
+}
+
+type t = { links : link list; total_words : int }
+
+let rec next_pow2 n = if n <= 1 then 1 else 2 * next_pow2 ((n + 1) / 2)
+
+let generate (p : Program.t) =
+  let table : (Unit_model.unit_class * Unit_model.unit_class, int * int * int) Hashtbl.t =
+    Hashtbl.create 36
+  in
+  let total = ref 0 in
+  Array.iter
+    (fun (ins : Instr.t) ->
+      let dst = Unit_model.class_of_op ins.Instr.op in
+      Array.iter
+        (fun s ->
+          let producer = p.Program.instrs.(s) in
+          let src = Unit_model.class_of_op producer.Instr.op in
+          let words = producer.Instr.rows * producer.Instr.cols in
+          total := !total + words;
+          let t, w, mx = Option.value ~default:(0, 0, 0) (Hashtbl.find_opt table (src, dst)) in
+          Hashtbl.replace table (src, dst) (t + 1, w + words, max mx words))
+        ins.Instr.srcs)
+    p.Program.instrs;
+  let links =
+    Hashtbl.fold
+      (fun (src, dst) (transfers, words, widest) acc ->
+        { src; dst; transfers; words; fifo_depth = next_pow2 widest } :: acc)
+      table []
+    |> List.sort (fun a b -> compare (b.words, a.src) (a.words, b.src))
+  in
+  { links; total_words = !total }
+
+let link_count t = List.length t.links
+
+let crossbar_link_count =
+  let n = List.length Unit_model.all_classes in
+  n * n
+
+let resources t =
+  List.fold_left
+    (fun acc l ->
+      Resource.add acc
+        { Resource.lut = 120 + (2 * l.fifo_depth); ff = 150 + (4 * l.fifo_depth); bram = 0; dsp = 0 })
+    Resource.zero t.links
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>datapath: %d links (crossbar would need %d), %d words total@,"
+    (link_count t) crossbar_link_count t.total_words;
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "  %-8s -> %-8s : %6d transfers %8d words fifo %d@,"
+        (Unit_model.class_name l.src) (Unit_model.class_name l.dst) l.transfers l.words l.fifo_depth)
+    t.links;
+  Format.fprintf ppf "@]"

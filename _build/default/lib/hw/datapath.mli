@@ -1,0 +1,31 @@
+(** Automatic datapath generation (Sec. 6, "the connections between
+    different circuit blocks are automatically generated based on the
+    dedicated data flow of the matrix operations").
+
+    From a compiled program, derive which unit-class-to-unit-class
+    links its dataflow actually exercises, how many words cross each
+    link, and size a FIFO per link.  Links that no instruction uses
+    are not instantiated — that is the resource saving over a
+    full crossbar. *)
+
+type link = {
+  src : Unit_model.unit_class;
+  dst : Unit_model.unit_class;
+  transfers : int;  (** number of operand hand-offs *)
+  words : int;  (** total words moved across the link *)
+  fifo_depth : int;  (** power-of-two sizing of the widest single transfer *)
+}
+
+type t = { links : link list; total_words : int }
+
+val generate : Orianna_isa.Program.t -> t
+
+val link_count : t -> int
+
+val crossbar_link_count : int
+(** Links a naive all-to-all interconnect would instantiate. *)
+
+val resources : t -> Resource.t
+(** Interconnect cost: LUT/FF per link scaled by FIFO depth. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+let src = Logs.Src.create "orianna.dse" ~doc:"Hardware design-space exploration"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type move = Add_unit of Unit_model.unit_class | Widen_qr
+
+type step = {
+  added : move option;
+  accel : Accel.t;
+  objective : float;
+  resources : Resource.t;
+}
+
+type result = { best : Accel.t; objective : float; trace : step list }
+
+let optimize ~budget ~evaluate ?(classes = Unit_model.all_classes) ?init ?(min_gain = 0.005) () =
+  let current = ref (match init with Some a -> a | None -> Accel.base ()) in
+  if not (Accel.fits !current ~budget) then
+    invalid_arg "Dse.optimize: initial configuration exceeds the budget";
+  let objective = ref (evaluate !current) in
+  let trace =
+    ref [ { added = None; accel = !current; objective = !objective; resources = Accel.resources !current } ]
+  in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    (* Try one replication of every class; keep the best that fits. *)
+    let moves =
+      Widen_qr :: List.map (fun cls -> Add_unit cls) classes
+    in
+    let candidates =
+      List.filter_map
+        (fun move ->
+          let candidate =
+            match move with
+            | Add_unit cls -> Accel.with_extra !current cls
+            | Widen_qr -> Accel.with_wider_qr !current
+          in
+          if Accel.fits candidate ~budget then Some (move, candidate, evaluate candidate) else None)
+        moves
+    in
+    match candidates with
+    | [] -> ()
+    | _ ->
+        let move, best, score =
+          List.fold_left
+            (fun (bc, ba, bs) (c, a, s) -> if s < bs then (c, a, s) else (bc, ba, bs))
+            (let c, a, s = List.hd candidates in
+             (c, a, s))
+            (List.tl candidates)
+        in
+        if score < !objective *. (1.0 -. min_gain) then begin
+          Log.info (fun m ->
+              m "accepted %s: objective %.4g -> %.4g"
+                (match move with
+                | Add_unit c -> "+" ^ Unit_model.class_name c
+                | Widen_qr -> "widen-qr")
+                !objective score);
+          current := best;
+          objective := score;
+          trace :=
+            { added = Some move; accel = best; objective = score; resources = Accel.resources best }
+            :: !trace;
+          improved := true
+        end
+  done;
+  { best = !current; objective = !objective; trace = List.rev !trace }

@@ -1,0 +1,34 @@
+(** Constraint-driven hardware generation (Sec. 6.2, Equ. 5).
+
+    Solves [argmin L(p1..pn) s.t. R(p1..pn) <= R*] with the paper's
+    greedy procedure: start from one unit per class, repeatedly add
+    the unit whose replication best improves the objective, stop when
+    the budget is exhausted or no replication helps.  The objective is
+    supplied as a callback (the cycle-level simulator in
+    [orianna_sim]), so latency- and energy-targeted generation share
+    this module. *)
+
+type move = Add_unit of Unit_model.unit_class | Widen_qr
+
+type step = {
+  added : move option;  (** [None] on the initial point *)
+  accel : Accel.t;
+  objective : float;
+  resources : Resource.t;
+}
+
+type result = { best : Accel.t; objective : float; trace : step list }
+
+val optimize :
+  budget:Resource.t ->
+  evaluate:(Accel.t -> float) ->
+  ?classes:Unit_model.unit_class list ->
+  ?init:Accel.t ->
+  ?min_gain:float ->
+  unit ->
+  result
+(** [optimize ~budget ~evaluate ()] greedily replicates units.
+    [classes] restricts which templates may be replicated (default:
+    all); [min_gain] is the relative improvement below which the
+    search stops (default 0.5 %).  The initial configuration must fit
+    the budget; raises [Invalid_argument] otherwise. *)

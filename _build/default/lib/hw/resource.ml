@@ -1,0 +1,19 @@
+type t = { lut : int; ff : int; bram : int; dsp : int }
+
+let zero = { lut = 0; ff = 0; bram = 0; dsp = 0 }
+
+let add a b = { lut = a.lut + b.lut; ff = a.ff + b.ff; bram = a.bram + b.bram; dsp = a.dsp + b.dsp }
+
+let scale k r = { lut = k * r.lut; ff = k * r.ff; bram = k * r.bram; dsp = k * r.dsp }
+
+let fits r ~budget =
+  r.lut <= budget.lut && r.ff <= budget.ff && r.bram <= budget.bram && r.dsp <= budget.dsp
+
+let zc706 = { lut = 218600; ff = 437200; bram = 545; dsp = 900 }
+
+let utilization r ~budget =
+  let frac a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  List.fold_left Float.max 0.0
+    [ frac r.lut budget.lut; frac r.ff budget.ff; frac r.bram budget.bram; frac r.dsp budget.dsp ]
+
+let pp ppf r = Format.fprintf ppf "LUT %d / FF %d / BRAM %d / DSP %d" r.lut r.ff r.bram r.dsp

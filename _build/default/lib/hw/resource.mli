@@ -1,0 +1,24 @@
+(** FPGA resource vectors: LUT / FF / BRAM / DSP (Fig. 16c).
+
+    Calibrated against the Xilinx Zynq-7000 ZC706 the paper prototypes
+    on. *)
+
+type t = { lut : int; ff : int; bram : int; dsp : int }
+
+val zero : t
+
+val add : t -> t -> t
+
+val scale : int -> t -> t
+
+val fits : t -> budget:t -> bool
+(** Componentwise comparison. *)
+
+val zc706 : t
+(** The full ZC706 budget: 218600 LUT, 437200 FF, 545 BRAM36, 900
+    DSP48. *)
+
+val utilization : t -> budget:t -> float
+(** Largest component ratio (the binding constraint). *)
+
+val pp : Format.formatter -> t -> unit

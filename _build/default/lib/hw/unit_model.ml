@@ -1,0 +1,98 @@
+open Orianna_isa
+
+type unit_class = Matmul | Vector_alu | Special | Qr_unit | Backsub_unit | Dma
+
+let all_classes = [ Matmul; Vector_alu; Special; Qr_unit; Backsub_unit; Dma ]
+
+let class_name = function
+  | Matmul -> "matmul"
+  | Vector_alu -> "vector"
+  | Special -> "special"
+  | Qr_unit -> "qr"
+  | Backsub_unit -> "backsub"
+  | Dma -> "dma"
+
+let class_of_op = function
+  | Instr.Gemm | Instr.Gemv | Instr.Kernel _ -> Matmul
+  | Instr.Vadd | Instr.Vsub | Instr.Scale _ | Instr.Neg | Instr.Transpose -> Vector_alu
+  | Instr.Logm | Instr.Expm | Instr.Skew | Instr.Jr | Instr.Jrinv -> Special
+  | Instr.Qr -> Qr_unit
+  | Instr.Backsolve -> Backsub_unit
+  | Instr.Load _ | Instr.Assemble _ | Instr.Extract _ -> Dma
+
+(* Template micro-architecture parameters. *)
+let systolic_dim = 8 (* matmul array is systolic_dim x systolic_dim PEs *)
+let vector_lanes = 16
+let cordic_cycles = 18
+let default_qr_rotators = 8
+let backsub_lanes = 4
+let dma_words_per_cycle = 8
+
+let ceil_div a b = (a + b - 1) / b
+
+let latency cls ~qr_rotators (ins : Instr.t) ~src_shape =
+  let issue = 2 in
+  match cls with
+  | Matmul -> (
+      match ins.Instr.op with
+      | Instr.Kernel k -> issue + ceil_div k.Instr.flops (systolic_dim * systolic_dim)
+      | Instr.Gemm | Instr.Gemv | Instr.Vadd | Instr.Vsub | Instr.Scale _ | Instr.Neg
+      | Instr.Transpose | Instr.Logm | Instr.Expm | Instr.Skew | Instr.Jr | Instr.Jrinv
+      | Instr.Assemble _ | Instr.Extract _ | Instr.Qr | Instr.Backsolve | Instr.Load _ ->
+          let _, k = src_shape ins.Instr.srcs.(0) in
+          let tiles = ceil_div ins.Instr.rows systolic_dim * ceil_div ins.Instr.cols systolic_dim in
+          issue + (tiles * (k + systolic_dim)))
+  | Vector_alu -> issue + ceil_div (ins.Instr.rows * ins.Instr.cols) vector_lanes
+  | Special -> issue + cordic_cycles
+  | Qr_unit ->
+      let m, n = src_shape ins.Instr.srcs.(0) in
+      (* Givens array: n pivot columns, each sweeping the rows below
+         with [qr_parallel_rotations] concurrent rotations. *)
+      let cols = min m n in
+      let work = ref 0 in
+      for k = 0 to cols - 1 do
+        work := !work + (ceil_div (max 0 (m - k - 1)) qr_rotators * (n - k))
+      done;
+      issue + 4 + !work
+  | Backsub_unit ->
+      let n, _ = src_shape ins.Instr.srcs.(0) in
+      issue + (n * ceil_div n backsub_lanes) + n
+  | Dma -> issue + ceil_div (ins.Instr.rows * ins.Instr.cols) dma_words_per_cycle
+
+(* Energy constants (nJ): MACs on DSP slices, word moves on BRAM. *)
+let nj_per_mac = 0.012
+let nj_per_word_moved = 0.006
+
+let dynamic_energy_nj cls (ins : Instr.t) ~src_shape =
+  let words = float_of_int (ins.Instr.rows * ins.Instr.cols) in
+  match cls with
+  | Dma -> words *. nj_per_word_moved
+  | Matmul | Vector_alu | Special | Qr_unit | Backsub_unit ->
+      let f = float_of_int (Instr.flops ins ~src_shape) in
+      (f *. nj_per_mac) +. (words *. nj_per_word_moved)
+
+let resources cls ~qr_rotators =
+  match cls with
+  | Matmul -> { Resource.lut = 14500; ff = 19800; bram = 24; dsp = 160 }
+  | Vector_alu -> { Resource.lut = 4200; ff = 5100; bram = 6; dsp = 32 }
+  | Special -> { Resource.lut = 7800; ff = 8400; bram = 4; dsp = 20 }
+  | Qr_unit ->
+      (* Rotator groups dominate: LUT/FF/DSP scale with the array
+         width, the control skeleton is fixed. *)
+      let scale x = x * qr_rotators / default_qr_rotators in
+      { Resource.lut = 3000 + scale 9600; ff = 4200 + scale 12000; bram = 8 + scale 12; dsp = scale 96 }
+  | Backsub_unit -> { Resource.lut = 5200; ff = 6800; bram = 10; dsp = 28 }
+  | Dma -> { Resource.lut = 2900; ff = 3600; bram = 18; dsp = 0 }
+
+let static_power_w cls ~qr_rotators =
+  match cls with
+  | Matmul -> 0.55
+  | Vector_alu -> 0.12
+  | Special -> 0.18
+  | Qr_unit -> 0.12 +. (0.30 *. float_of_int qr_rotators /. float_of_int default_qr_rotators)
+  | Backsub_unit -> 0.15
+  | Dma -> 0.10
+
+(* Board-level overhead: PS subsystem, DDR, clocking — the paper's
+   power numbers are Vivado board-level estimates. *)
+let base_static_power_w = 12.0

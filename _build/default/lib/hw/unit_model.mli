@@ -1,0 +1,47 @@
+(** Hardware unit templates (Sec. 6.1).
+
+    Every matrix instruction executes on one of six unit classes.
+    Templates carry analytic latency (cycles), dynamic energy (nJ) and
+    FPGA resource models, calibrated to be plausible for the ZC706 at
+    167 MHz.  The absolute constants matter less than their relative
+    shape: the evaluation reproduces ratios, not the authors' exact
+    wall clock. *)
+
+type unit_class =
+  | Matmul  (** systolic GEMM/GEMV array *)
+  | Vector_alu  (** elementwise VP ops and transposition network *)
+  | Special  (** CORDIC Exp/Log/Skew/Jr/Jr⁻¹ function unit *)
+  | Qr_unit  (** Givens-rotation triangularization array *)
+  | Backsub_unit  (** triangular solver *)
+  | Dma  (** buffer gather/scatter and input loads *)
+
+val all_classes : unit_class list
+
+val class_name : unit_class -> string
+
+val class_of_op : Orianna_isa.Instr.opcode -> unit_class
+(** Which unit executes which instruction. *)
+
+val default_qr_rotators : int
+(** Rotator groups of the base QR template (8). *)
+
+val latency :
+  unit_class -> qr_rotators:int -> Orianna_isa.Instr.t -> src_shape:(int -> int * int) -> int
+(** Execution cycles of one instruction on one unit instance.
+    [qr_rotators] is the width of the Givens array — the per-design
+    parameter the generator tunes for decomposition-heavy workloads
+    (Sec. 6.2). *)
+
+val dynamic_energy_nj : unit_class -> Orianna_isa.Instr.t -> src_shape:(int -> int * int) -> float
+(** Dynamic (switching) energy of one instruction. *)
+
+val resources : unit_class -> qr_rotators:int -> Resource.t
+(** Cost of instantiating one unit of the class; QR units scale with
+    the rotator count. *)
+
+val static_power_w : unit_class -> qr_rotators:int -> float
+(** Leakage + clocking power of an instantiated unit. *)
+
+val base_static_power_w : float
+(** Controller, buffers, PS-side overhead present in any
+    configuration. *)

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Format Hashtbl List Mat Orianna_linalg Stdlib Vec

@@ -1,0 +1,1 @@
+lib/ir/modfg.ml: Array Expr Format Hashtbl List Mat Option Orianna_lie Orianna_linalg Printf So2 So3 String Value Vec

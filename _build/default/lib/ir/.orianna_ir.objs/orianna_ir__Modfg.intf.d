@@ -1,0 +1,1 @@
+lib/ir/modfg.mli: Expr Format Mat Orianna_linalg Value Vec

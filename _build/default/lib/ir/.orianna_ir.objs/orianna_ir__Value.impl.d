@@ -1,0 +1,1 @@
+lib/ir/value.ml: Format Mat Orianna_linalg Printf Vec

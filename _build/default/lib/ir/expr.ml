@@ -1,0 +1,180 @@
+open Orianna_linalg
+
+type leaf = Rot_of of string | Trans_of of string | Vec_of of string
+
+type t =
+  | Leaf of leaf
+  | Const_rot of Mat.t
+  | Const_vec of Vec.t
+  | Vadd of t * t
+  | Vsub of t * t
+  | Vscale of float * t
+  | Rt of t
+  | Rr of t * t
+  | Rv of t * t
+  | Log of t
+  | Exp of t
+
+let rot_var name = Leaf (Rot_of name)
+let trans_var name = Leaf (Trans_of name)
+let vec_var name = Leaf (Vec_of name)
+let const_rot m = Const_rot m
+let const_vec v = Const_vec v
+
+let ( + ) a b = Vadd (a, b)
+let ( - ) a b = Vsub (a, b)
+let ( *^ ) a b = Rr (a, b)
+let ( *> ) r v = Rv (r, v)
+let transpose r = Rt r
+let log_map r = Log r
+let exp_map v = Exp v
+let scale s e = Vscale (s, e)
+
+let leaves expr =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Leaf l ->
+        if not (Hashtbl.mem seen l) then begin
+          Hashtbl.add seen l ();
+          out := l :: !out
+        end
+    | Const_rot _ | Const_vec _ -> ()
+    | Vadd (a, b) | Vsub (a, b) | Rr (a, b) | Rv (a, b) ->
+        go a;
+        go b
+    | Vscale (_, a) | Rt a | Log a | Exp a -> go a
+  in
+  go expr;
+  List.rev !out
+
+let leaf_var = function Rot_of n | Trans_of n | Vec_of n -> n
+
+let variables expr =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun l ->
+      let v = leaf_var l in
+      if Hashtbl.mem seen v then None
+      else begin
+        Hashtbl.add seen v ();
+        Some v
+      end)
+    (leaves expr)
+
+let rec size = function
+  | Leaf _ | Const_rot _ | Const_vec _ -> 1
+  | Vadd (a, b) | Vsub (a, b) | Rr (a, b) | Rv (a, b) -> Stdlib.( + ) 1 (Stdlib.( + ) (size a) (size b))
+  | Vscale (_, a) | Rt a | Log a | Exp a -> Stdlib.( + ) 1 (size a)
+
+let between_error ~pose_dim ~x_i ~x_j ~z_rot ~z_trans =
+  let zr, zc = Mat.dims z_rot in
+  if zr <> pose_dim || zc <> pose_dim then invalid_arg "Expr.between_error: z_rot dimension";
+  if Vec.dim z_trans <> pose_dim then invalid_arg "Expr.between_error: z_trans dimension";
+  let ri = rot_var x_i and rj = rot_var x_j in
+  let ti = trans_var x_i and tj = trans_var x_j in
+  let dz_rot_t = const_rot (Mat.transpose z_rot) in
+  (* e_o = Log(dRijT RjT Ri);  e_p = dRijT (RjT (ti - tj) - dtij). *)
+  let e_o = log_map (dz_rot_t *^ (transpose rj *^ ri)) in
+  let e_p = dz_rot_t *> ((transpose rj *> (ti - tj)) - const_vec z_trans) in
+  [ e_o; e_p ]
+
+type token =
+  | Tleaf of leaf
+  | Tconst_rot of Mat.t
+  | Tconst_vec of Vec.t
+  | Tvadd
+  | Tvsub
+  | Tvscale of float
+  | Trt
+  | Trr
+  | Trv
+  | Tlog
+  | Texp
+
+exception Malformed_postfix of string
+
+let to_postfix expr =
+  let rec go acc = function
+    | Leaf l -> Tleaf l :: acc
+    | Const_rot m -> Tconst_rot m :: acc
+    | Const_vec v -> Tconst_vec v :: acc
+    | Vadd (a, b) -> Tvadd :: go (go acc a) b
+    | Vsub (a, b) -> Tvsub :: go (go acc a) b
+    | Vscale (s, a) -> Tvscale s :: go acc a
+    | Rt a -> Trt :: go acc a
+    | Rr (a, b) -> Trr :: go (go acc a) b
+    | Rv (a, b) -> Trv :: go (go acc a) b
+    | Log a -> Tlog :: go acc a
+    | Exp a -> Texp :: go acc a
+  in
+  List.rev (go [] expr)
+
+let of_postfix tokens =
+  let pop1 name = function
+    | a :: rest -> (a, rest)
+    | [] -> raise (Malformed_postfix (name ^ ": missing operand"))
+  in
+  let pop2 name = function
+    | b :: a :: rest -> (a, b, rest)
+    | _ -> raise (Malformed_postfix (name ^ ": missing operands"))
+  in
+  let stack =
+    List.fold_left
+      (fun stack token ->
+        match token with
+        | Tleaf l -> Leaf l :: stack
+        | Tconst_rot m -> Const_rot m :: stack
+        | Tconst_vec v -> Const_vec v :: stack
+        | Tvadd ->
+            let a, b, rest = pop2 "VP+" stack in
+            Vadd (a, b) :: rest
+        | Tvsub ->
+            let a, b, rest = pop2 "VP-" stack in
+            Vsub (a, b) :: rest
+        | Tvscale s ->
+            let a, rest = pop1 "VP*" stack in
+            Vscale (s, a) :: rest
+        | Trt ->
+            let a, rest = pop1 "RT" stack in
+            Rt a :: rest
+        | Trr ->
+            let a, b, rest = pop2 "RR" stack in
+            Rr (a, b) :: rest
+        | Trv ->
+            let a, b, rest = pop2 "RV" stack in
+            Rv (a, b) :: rest
+        | Tlog ->
+            let a, rest = pop1 "Log" stack in
+            Log a :: rest
+        | Texp ->
+            let a, rest = pop1 "Exp" stack in
+            Exp a :: rest)
+      [] tokens
+  in
+  match stack with
+  | [ e ] -> e
+  | [] -> raise (Malformed_postfix "empty token stream")
+  | _ -> raise (Malformed_postfix "leftover operands")
+
+let compare_leaf a b =
+  let rank = function Rot_of _ -> 0 | Trans_of _ -> 1 | Vec_of _ -> 2 in
+  match compare (rank a) (rank b) with 0 -> compare (leaf_var a) (leaf_var b) | c -> c
+
+let pp_leaf ppf = function
+  | Rot_of n -> Format.fprintf ppf "R(%s)" n
+  | Trans_of n -> Format.fprintf ppf "t(%s)" n
+  | Vec_of n -> Format.fprintf ppf "v(%s)" n
+
+let rec pp ppf = function
+  | Leaf l -> pp_leaf ppf l
+  | Const_rot _ -> Format.fprintf ppf "constR"
+  | Const_vec v -> Format.fprintf ppf "const%a" Vec.pp v
+  | Vadd (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Vsub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Vscale (s, a) -> Format.fprintf ppf "(%g * %a)" s pp a
+  | Rt a -> Format.fprintf ppf "%a^T" pp a
+  | Rr (a, b) -> Format.fprintf ppf "(%a . %a)" pp a pp b
+  | Rv (a, b) -> Format.fprintf ppf "(%a @@ %a)" pp a pp b
+  | Log a -> Format.fprintf ppf "Log(%a)" pp a
+  | Exp a -> Format.fprintf ppf "Exp(%a)" pp a

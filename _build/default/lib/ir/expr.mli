@@ -1,0 +1,102 @@
+(** Factor error expressions over the nine ORIANNA primitive operations
+    (Tbl. 3).
+
+    Users describe a factor's error function [f(x)] as an expression
+    tree; the compiler turns it into an MO-DFG, evaluates it forward to
+    obtain the RHS vector [b] and differentiates it backward to obtain
+    the coefficient blocks of [A] (Sec. 5.2).  A pose variable appears
+    through two leaves — its orientation ([rot_var]) and its position
+    ([trans_var]) — reflecting the split [<so(n), T(n)>]
+    representation. *)
+
+open Orianna_linalg
+
+type leaf =
+  | Rot_of of string  (** orientation block of the named pose variable *)
+  | Trans_of of string  (** translation block of the named pose variable *)
+  | Vec_of of string  (** plain vector variable (landmark, velocity, ...) *)
+
+type t =
+  | Leaf of leaf
+  | Const_rot of Mat.t
+  | Const_vec of Vec.t
+  | Vadd of t * t  (** VP *)
+  | Vsub of t * t  (** VP *)
+  | Vscale of float * t  (** VP with a constant gain *)
+  | Rt of t  (** rotation transpose *)
+  | Rr of t * t  (** rotation-rotation product *)
+  | Rv of t * t  (** rotation-vector product *)
+  | Log of t  (** logarithmic mapping *)
+  | Exp of t  (** exponential mapping *)
+
+val rot_var : string -> t
+val trans_var : string -> t
+val vec_var : string -> t
+val const_rot : Mat.t -> t
+val const_vec : Vec.t -> t
+
+val ( + ) : t -> t -> t
+(** [Vadd]. *)
+
+val ( - ) : t -> t -> t
+(** [Vsub]. *)
+
+val ( *^ ) : t -> t -> t
+(** Rotation composition [Rr]. *)
+
+val ( *> ) : t -> t -> t
+(** Rotation applied to a vector [Rv]. *)
+
+val transpose : t -> t
+val log_map : t -> t
+val exp_map : t -> t
+val scale : float -> t -> t
+
+val leaves : t -> leaf list
+(** Distinct leaves in first-occurrence order. *)
+
+val variables : t -> string list
+(** Distinct variable names in first-occurrence order. *)
+
+val size : t -> int
+(** Number of tree nodes (before common-subexpression sharing). *)
+
+val between_error : pose_dim:int -> x_i:string -> x_j:string -> z_rot:Mat.t -> z_trans:Vec.t -> t list
+(** The constraint factor of Equ. 3/4: orientation error
+    [Log(dRijᵀ Rjᵀ Ri)] and position error
+    [dRijᵀ (Rjᵀ (ti - tj) - dtij)].  [pose_dim] is 2 or 3. *)
+
+(** {2 Postfix form}
+
+    Sec. 5.2: "ORIANNA compiler will generate the postfix expressions
+    of Equ. 4 and parse the postfix expressions using a stack data
+    structure to get the MO-DFG."  The tokens below are that exchange
+    format; {!of_postfix} is the stack parser. *)
+
+type token =
+  | Tleaf of leaf
+  | Tconst_rot of Orianna_linalg.Mat.t
+  | Tconst_vec of Orianna_linalg.Vec.t
+  | Tvadd
+  | Tvsub
+  | Tvscale of float
+  | Trt
+  | Trr
+  | Trv
+  | Tlog
+  | Texp
+
+exception Malformed_postfix of string
+
+val to_postfix : t -> token list
+(** Post-order serialization. *)
+
+val of_postfix : token list -> t
+(** Stack-based parser; inverse of {!to_postfix}.  Raises
+    {!Malformed_postfix} when operands are missing or left over. *)
+
+val compare_leaf : leaf -> leaf -> int
+
+val pp_leaf : Format.formatter -> leaf -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,294 @@
+open Orianna_linalg
+open Orianna_lie
+
+type op =
+  | In_leaf of Expr.leaf
+  | In_const of Value.t
+  | Op_vadd
+  | Op_vsub
+  | Op_vscale of float
+  | Op_rt
+  | Op_rr
+  | Op_rv
+  | Op_log
+  | Op_exp
+
+type node = { id : int; op : op; args : int array; ty : Value.ty; level : int }
+
+type t = {
+  nodes : node array;
+  outputs : int array;
+  out_offsets : int array;
+  error_dim : int;
+  leaves : (Expr.leaf * int) list;
+}
+
+let op_name = function
+  | In_leaf _ -> "input"
+  | In_const _ -> "const"
+  | Op_vadd | Op_vsub | Op_vscale _ -> "VP"
+  | Op_rt -> "RT"
+  | Op_rr -> "RR"
+  | Op_rv -> "RV"
+  | Op_log -> "Log"
+  | Op_exp -> "Exp"
+
+let result_type op (arg_tys : Value.ty array) =
+  let fail msg = invalid_arg (Printf.sprintf "Modfg.build: %s" msg) in
+  let vec_dim i =
+    match arg_tys.(i) with Value.Tvec n -> n | Value.Trot _ -> fail "expected a vector operand"
+  in
+  let rot_dim i =
+    match arg_tys.(i) with Value.Trot n -> n | Value.Tvec _ -> fail "expected a rotation operand"
+  in
+  match op with
+  | In_leaf _ | In_const _ -> fail "inputs have no operands"
+  | Op_vadd | Op_vsub ->
+      let n = vec_dim 0 in
+      if vec_dim 1 <> n then fail "VP operands of different dimension";
+      Value.Tvec n
+  | Op_vscale _ -> Value.Tvec (vec_dim 0)
+  | Op_rt -> Value.Trot (rot_dim 0)
+  | Op_rr ->
+      let n = rot_dim 0 in
+      if rot_dim 1 <> n then fail "RR operands of different dimension";
+      Value.Trot n
+  | Op_rv ->
+      let n = rot_dim 0 in
+      if vec_dim 1 <> n then fail "RV vector dimension mismatch";
+      Value.Tvec n
+  | Op_log -> (
+      match rot_dim 0 with
+      | 2 -> Value.Tvec 1
+      | 3 -> Value.Tvec 3
+      | n -> fail (Printf.sprintf "Log of rotation in dimension %d" n))
+  | Op_exp -> (
+      match vec_dim 0 with
+      | 1 -> Value.Trot 2
+      | 3 -> Value.Trot 3
+      | n -> fail (Printf.sprintf "Exp of a %d-vector" n))
+
+let build ~dim_of exprs =
+  let table : (op * int array, int) Hashtbl.t = Hashtbl.create 64 in
+  let rev_nodes = ref [] in
+  let count = ref 0 in
+  let leaves = ref [] in
+  let intern op args =
+    let key = (op, args) in
+    match Hashtbl.find_opt table key with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        incr count;
+        let level =
+          Array.fold_left (fun acc a -> max acc ((List.nth !rev_nodes (id - 1 - a)).level + 1)) 0 args
+        in
+        let ty =
+          match op with
+          | In_leaf l -> dim_of l
+          | In_const v -> Value.type_of v
+          | _ ->
+              let arg_tys =
+                Array.map (fun a -> (List.nth !rev_nodes (id - 1 - a)).ty) args
+              in
+              result_type op arg_tys
+        in
+        let node = { id; op; args; ty; level } in
+        rev_nodes := node :: !rev_nodes;
+        Hashtbl.add table key id;
+        (match op with
+        | In_leaf l -> leaves := (l, id) :: !leaves
+        | In_const _ | Op_vadd | Op_vsub | Op_vscale _ | Op_rt | Op_rr | Op_rv | Op_log | Op_exp ->
+            ());
+        id
+  in
+  let rec visit (e : Expr.t) =
+    match e with
+    | Leaf l -> intern (In_leaf l) [||]
+    | Const_rot m -> intern (In_const (Value.Rot m)) [||]
+    | Const_vec v -> intern (In_const (Value.Vc v)) [||]
+    | Vadd (a, b) ->
+        let ia = visit a in
+        let ib = visit b in
+        intern Op_vadd [| ia; ib |]
+    | Vsub (a, b) ->
+        let ia = visit a in
+        let ib = visit b in
+        intern Op_vsub [| ia; ib |]
+    | Vscale (s, a) -> intern (Op_vscale s) [| visit a |]
+    | Rt a -> intern Op_rt [| visit a |]
+    | Rr (a, b) ->
+        let ia = visit a in
+        let ib = visit b in
+        intern Op_rr [| ia; ib |]
+    | Rv (a, b) ->
+        let ia = visit a in
+        let ib = visit b in
+        intern Op_rv [| ia; ib |]
+    | Log a -> intern Op_log [| visit a |]
+    | Exp a -> intern Op_exp [| visit a |]
+  in
+  let outputs = Array.of_list (List.map visit exprs) in
+  let nodes = Array.of_list (List.rev !rev_nodes) in
+  (* Outputs must be vectors: they stack into the error. *)
+  let out_offsets = Array.make (Array.length outputs) 0 in
+  let error_dim = ref 0 in
+  Array.iteri
+    (fun k out ->
+      match nodes.(out).ty with
+      | Value.Tvec n ->
+          out_offsets.(k) <- !error_dim;
+          error_dim := !error_dim + n
+      | Value.Trot _ -> invalid_arg "Modfg.build: error components must be vector-typed")
+    outputs;
+  { nodes; outputs; out_offsets; error_dim = !error_dim; leaves = List.rev !leaves }
+
+let nodes t = t.nodes
+let outputs t = t.outputs
+let error_dim t = t.error_dim
+let leaves t = t.leaves
+
+let eval t ~lookup =
+  let values = Array.make (Array.length t.nodes) (Value.Vc [||]) in
+  Array.iter
+    (fun n ->
+      let arg i = values.(n.args.(i)) in
+      let v =
+        match n.op with
+        | In_leaf l ->
+            let v = lookup l in
+            if Value.type_of v <> n.ty then
+              invalid_arg "Modfg.eval: leaf value type does not match declaration";
+            v
+        | In_const v -> v
+        | Op_vadd -> Value.Vc (Vec.add (Value.as_vec (arg 0)) (Value.as_vec (arg 1)))
+        | Op_vsub -> Value.Vc (Vec.sub (Value.as_vec (arg 0)) (Value.as_vec (arg 1)))
+        | Op_vscale s -> Value.Vc (Vec.scale s (Value.as_vec (arg 0)))
+        | Op_rt -> Value.Rot (Mat.transpose (Value.as_rot (arg 0)))
+        | Op_rr -> Value.Rot (Mat.mul (Value.as_rot (arg 0)) (Value.as_rot (arg 1)))
+        | Op_rv -> Value.Vc (Mat.mul_vec (Value.as_rot (arg 0)) (Value.as_vec (arg 1)))
+        | Op_log -> (
+            let r = Value.as_rot (arg 0) in
+            match n.ty with
+            | Value.Tvec 1 -> Value.Vc [| So2.log r |]
+            | _ -> Value.Vc (So3.log r))
+        | Op_exp -> (
+            let v = Value.as_vec (arg 0) in
+            match n.ty with
+            | Value.Trot 2 -> Value.Rot (So2.exp v.(0))
+            | _ -> Value.Rot (So3.exp v))
+      in
+      values.(n.id) <- v)
+    t.nodes;
+  values
+
+let error t ~lookup =
+  let values = eval t ~lookup in
+  Vec.concat (Array.to_list (Array.map (fun o -> Value.as_vec values.(o)) t.outputs))
+
+(* Local Jacobian of node [n] with respect to operand [k], evaluated at
+   the forward values.  Shapes: tangent(n) x tangent(arg k).  These are
+   the backward (blue) arrows of Fig. 10. *)
+let local_jacobian values n k =
+  let arg i = values.(n.args.(i)) in
+  let rot_dim () =
+    match Value.type_of (arg 0) with Value.Trot d -> d | Value.Tvec _ -> assert false
+  in
+  match n.op with
+  | In_leaf _ | In_const _ -> assert false
+  | Op_vadd -> Mat.identity (Value.tangent_dim n.ty)
+  | Op_vsub ->
+      let i = Mat.identity (Value.tangent_dim n.ty) in
+      if k = 0 then i else Mat.neg i
+  | Op_vscale s -> Mat.scale s (Mat.identity (Value.tangent_dim n.ty))
+  | Op_rt ->
+      (* (R Exp(d))^T = Exp(-(R d)^) R^T: J = -R. *)
+      if rot_dim () = 2 then Mat.of_rows [| [| -1.0 |] |] else Mat.neg (Value.as_rot (arg 0))
+  | Op_rr ->
+      if rot_dim () = 2 then Mat.identity 1
+      else if k = 0 then Mat.transpose (Value.as_rot (arg 1))
+      else Mat.identity 3
+  | Op_rv ->
+      let r = Value.as_rot (arg 0) in
+      let v = Value.as_vec (arg 1) in
+      if k = 1 then r
+      else if rot_dim () = 2 then Mat.of_vec (Mat.mul_vec r (So2.perp v))
+      else Mat.neg (Mat.mul r (So3.hat v))
+  | Op_log ->
+      (* d Log(R Exp(d)) = Jr_inv(Log R) d. *)
+      if Value.tangent_dim n.ty = 1 then Mat.identity 1
+      else So3.jr_inv (Value.as_vec values.(n.id))
+  | Op_exp ->
+      (* Exp(v + d) = Exp(v) Exp(Jr(v) d). *)
+      if Value.tangent_dim n.ty = 1 then Mat.identity 1
+      else So3.jr (Value.as_vec (arg 0))
+
+let jacobians t ~values =
+  let n = Array.length t.nodes in
+  let adj : Mat.t option array = Array.make n None in
+  let accumulate id m =
+    match adj.(id) with None -> adj.(id) <- Some m | Some old -> adj.(id) <- Some (Mat.add old m)
+  in
+  (* Seed: output k occupies rows [offset, offset + dim). *)
+  Array.iteri
+    (fun k out ->
+      let dim = Value.tangent_dim t.nodes.(out).ty in
+      let seed = Mat.create t.error_dim dim in
+      Mat.set_block seed t.out_offsets.(k) 0 (Mat.identity dim);
+      accumulate out seed)
+    t.outputs;
+  for i = n - 1 downto 0 do
+    let node = t.nodes.(i) in
+    match (adj.(i), node.op) with
+    | None, _ | Some _, (In_leaf _ | In_const _) -> ()
+    | Some a, (Op_vadd | Op_vsub | Op_vscale _ | Op_rt | Op_rr | Op_rv | Op_log | Op_exp) ->
+        Array.iteri
+          (fun k argid -> accumulate argid (Mat.mul a (local_jacobian values node k)))
+          node.args
+  done;
+  List.filter_map
+    (fun (leaf, id) ->
+      match adj.(id) with
+      | Some m -> Some (leaf, m)
+      | None ->
+          (* Leaf not reachable from any output: zero block. *)
+          Some (leaf, Mat.create t.error_dim (Value.tangent_dim t.nodes.(id).ty)))
+    t.leaves
+
+let linearize t ~lookup =
+  let values = eval t ~lookup in
+  let err =
+    Vec.concat (Array.to_list (Array.map (fun o -> Value.as_vec values.(o)) t.outputs))
+  in
+  (err, jacobians t ~values)
+
+let depth t = Array.fold_left (fun acc n -> max acc (n.level + 1)) 0 t.nodes
+
+let level_sizes t =
+  let d = depth t in
+  let sizes = Array.make d 0 in
+  Array.iter (fun n -> sizes.(n.level) <- sizes.(n.level) + 1) t.nodes;
+  sizes
+
+let op_census t =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun n ->
+      let name = op_name n.op in
+      Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
+    t.nodes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>MO-DFG: %d nodes, %d levels, error dim %d@," (Array.length t.nodes)
+    (depth t) t.error_dim;
+  Array.iter
+    (fun n ->
+      Format.fprintf ppf "  n%d [L%d] %s%a <- %s@," n.id n.level (op_name n.op)
+        (fun ppf -> function
+          | In_leaf l -> Format.fprintf ppf "(%a)" Expr.pp_leaf l
+          | _ -> ())
+        n.op
+        (String.concat "," (Array.to_list (Array.map (Printf.sprintf "n%d") n.args))))
+    t.nodes;
+  Format.fprintf ppf "@]"

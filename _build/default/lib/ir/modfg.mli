@@ -1,0 +1,73 @@
+(** Matrix-operation data flow graphs (MO-DFGs, Sec. 5.2).
+
+    An MO-DFG is the hash-consed DAG of primitive matrix operations
+    underlying one factor's error expression (Fig. 11).  Forward
+    traversal computes the error (the factor's rows of the RHS vector
+    [b]); backward propagation computes Jacobian blocks with respect to
+    every leaf (the factor's blocks of the coefficient matrix [A]) by
+    the chain rule over manifold-aware local Jacobians (Fig. 10).
+    Nodes carry BFS levels: nodes of equal level have no data
+    dependencies and may execute in parallel. *)
+
+open Orianna_linalg
+
+type op =
+  | In_leaf of Expr.leaf
+  | In_const of Value.t
+  | Op_vadd
+  | Op_vsub
+  | Op_vscale of float
+  | Op_rt
+  | Op_rr
+  | Op_rv
+  | Op_log
+  | Op_exp
+
+type node = { id : int; op : op; args : int array; ty : Value.ty; level : int }
+
+type t
+
+val build : dim_of:(Expr.leaf -> Value.ty) -> Expr.t list -> t
+(** Construct the MO-DFG of a factor from its list of error-component
+    expressions (each must be vector-typed).  Common subexpressions are
+    shared.  Raises [Invalid_argument] on type errors. *)
+
+val nodes : t -> node array
+(** Topologically ordered: a node's arguments have smaller ids. *)
+
+val outputs : t -> int array
+(** Node ids of the error components, in declaration order. *)
+
+val error_dim : t -> int
+(** Total stacked error dimension. *)
+
+val leaves : t -> (Expr.leaf * int) list
+(** Leaf to node-id mapping, in first-occurrence order. *)
+
+val eval : t -> lookup:(Expr.leaf -> Value.t) -> Value.t array
+(** Forward traversal: the value of every node. *)
+
+val error : t -> lookup:(Expr.leaf -> Value.t) -> Vec.t
+(** Stacked error vector (forward traversal of the outputs). *)
+
+val jacobians : t -> values:Value.t array -> (Expr.leaf * Mat.t) list
+(** Backward propagation from the forward [values] of {!eval}: for
+    each leaf, the [error_dim x tangent_dim(leaf)] Jacobian block under
+    the retraction [R <- R Exp(d)] for rotation leaves and [v <- v + d]
+    for vector leaves. *)
+
+val linearize : t -> lookup:(Expr.leaf -> Value.t) -> Vec.t * (Expr.leaf * Mat.t) list
+(** Error and Jacobians in one pass. *)
+
+val depth : t -> int
+(** Number of BFS levels. *)
+
+val level_sizes : t -> int array
+(** Operation count per level — the parallelism profile of Fig. 11. *)
+
+val op_census : t -> (string * int) list
+(** Primitive-operation histogram (by Tbl. 3 name). *)
+
+val op_name : op -> string
+
+val pp : Format.formatter -> t -> unit

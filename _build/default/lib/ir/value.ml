@@ -1,0 +1,38 @@
+open Orianna_linalg
+
+type t = Rot of Mat.t | Vc of Vec.t
+type ty = Trot of int | Tvec of int
+
+let type_of = function
+  | Rot m ->
+      let n, _ = Mat.dims m in
+      Trot n
+  | Vc v -> Tvec (Vec.dim v)
+
+let tangent_dim = function
+  | Trot 2 -> 1
+  | Trot 3 -> 3
+  | Trot n -> invalid_arg (Printf.sprintf "Value.tangent_dim: unsupported rotation dim %d" n)
+  | Tvec n -> n
+
+let as_rot = function
+  | Rot m -> m
+  | Vc _ -> invalid_arg "Value.as_rot: value is a vector"
+
+let as_vec = function
+  | Vc v -> v
+  | Rot _ -> invalid_arg "Value.as_vec: value is a rotation"
+
+let equal ?eps a b =
+  match (a, b) with
+  | Rot x, Rot y -> Mat.equal ?eps x y
+  | Vc x, Vc y -> Vec.equal ?eps x y
+  | Rot _, Vc _ | Vc _, Rot _ -> false
+
+let pp ppf = function
+  | Rot m -> Format.fprintf ppf "Rot@,%a" Mat.pp m
+  | Vc v -> Format.fprintf ppf "Vec %a" Vec.pp v
+
+let pp_ty ppf = function
+  | Trot n -> Format.fprintf ppf "rot%d" n
+  | Tvec n -> Format.fprintf ppf "vec%d" n

@@ -1,0 +1,32 @@
+(** Runtime values flowing through a matrix-operation data flow graph.
+
+    MO-DFG nodes produce either a rotation matrix (an element of SO(2)
+    or SO(3)) or a plain vector.  Tangent dimensions drive the shapes
+    of Jacobian blocks during backward propagation. *)
+
+open Orianna_linalg
+
+type t =
+  | Rot of Mat.t  (** 2x2 or 3x3 rotation matrix *)
+  | Vc of Vec.t  (** vector, including so(n) coordinates *)
+
+type ty =
+  | Trot of int  (** rotation in dimension [n] (2 or 3) *)
+  | Tvec of int  (** vector of length [n] *)
+
+val type_of : t -> ty
+
+val tangent_dim : ty -> int
+(** [Trot 2 -> 1], [Trot 3 -> 3], [Tvec n -> n]. *)
+
+val as_rot : t -> Mat.t
+(** Raises [Invalid_argument] on a vector. *)
+
+val as_vec : t -> Vec.t
+(** Raises [Invalid_argument] on a rotation. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val pp_ty : Format.formatter -> ty -> unit

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Array Buffer Char Hashtbl Instr Int64 List Mat Orianna_linalg Printf Program String

@@ -1,0 +1,1 @@
+lib/isa/instr.ml: Array Format Mat Orianna_linalg Printf Qr String

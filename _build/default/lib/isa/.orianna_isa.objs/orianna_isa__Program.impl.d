@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Format Hashtbl Instr List Mat Option Orianna_lie Orianna_linalg Printf Qr So2 So3 Tri

@@ -1,0 +1,33 @@
+(** Binary encoding of instruction streams.
+
+    The generated accelerator consumes its program from DRAM as a flat
+    binary image; this module defines that wire format.  The layout is
+    little-endian:
+
+    - header: magic "ORIA", version u16, instruction count u32,
+      output count u32;
+    - per instruction: opcode u8, phase u8, algo u16, rows u16,
+      cols u16, source count u16, sources u32 each, then an
+      opcode-specific payload (matrix data for [Load], the scale for
+      [Scale], offsets for [Extract]/[Assemble], the kernel name and
+      declared flops for [Kernel]);
+    - outputs: length-prefixed names with register ids.
+
+    [Kernel] instructions wrap native-factor closures; their code
+    cannot be serialized, so decoding takes a [resolve] registry
+    mapping kernel names back to implementations (the same way a real
+    deployment binds fixed-function blocks by name).  Programs without
+    kernels round-trip with no registry. *)
+
+exception Decode_error of string
+
+val encode : Program.t -> string
+
+val decode : ?resolve:(string -> Instr.kernel) -> string -> Program.t
+(** Raises {!Decode_error} on malformed input, and on a [Kernel]
+    instruction whose name the registry does not resolve (default
+    registry resolves nothing). *)
+
+val kernel_names : Program.t -> string list
+(** Distinct kernel names, first-occurrence order — the registry a
+    deployment must provide. *)

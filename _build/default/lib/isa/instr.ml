@@ -1,0 +1,96 @@
+open Orianna_linalg
+
+type phase = Construct | Decompose | Backsub
+
+type kernel = { kname : string; flops : int; apply : Mat.t array -> Mat.t }
+
+type opcode =
+  | Load of Mat.t
+  | Vadd
+  | Vsub
+  | Scale of float
+  | Neg
+  | Transpose
+  | Gemm
+  | Gemv
+  | Logm
+  | Expm
+  | Skew
+  | Jr
+  | Jrinv
+  | Assemble of (int * int) list
+  | Extract of { row : int; col : int; rows : int; cols : int }
+  | Qr
+  | Backsolve
+  | Kernel of kernel
+
+type t = {
+  id : int;
+  op : opcode;
+  srcs : int array;
+  rows : int;
+  cols : int;
+  phase : phase;
+  algo : int;
+  tag : string;
+}
+
+let opcode_name = function
+  | Load _ -> "LOAD"
+  | Vadd -> "VADD"
+  | Vsub -> "VSUB"
+  | Scale _ -> "SCALE"
+  | Neg -> "NEG"
+  | Transpose -> "RT"
+  | Gemm -> "RR"
+  | Gemv -> "RV"
+  | Logm -> "LOG"
+  | Expm -> "EXP"
+  | Skew -> "SKEW"
+  | Jr -> "JR"
+  | Jrinv -> "JRINV"
+  | Assemble _ -> "ASSEMBLE"
+  | Extract _ -> "EXTRACT"
+  | Qr -> "QR"
+  | Backsolve -> "BACKSUB"
+  | Kernel k -> "KERNEL:" ^ k.kname
+
+let phase_name = function
+  | Construct -> "construct"
+  | Decompose -> "decompose"
+  | Backsub -> "backsub"
+
+let is_data_movement = function
+  | Load _ | Assemble _ | Extract _ -> true
+  | Vadd | Vsub | Scale _ | Neg | Transpose | Gemm | Gemv | Logm | Expm | Skew | Jr | Jrinv | Qr
+  | Backsolve | Kernel _ ->
+      false
+
+let flops t ~src_shape =
+  let out = t.rows * t.cols in
+  match t.op with
+  | Load _ | Assemble _ | Extract _ -> 0
+  | Vadd | Vsub | Scale _ | Neg -> out
+  | Transpose -> out
+  | Gemm ->
+      let _, k = src_shape t.srcs.(0) in
+      t.rows * k * t.cols
+  | Gemv ->
+      let m, k = src_shape t.srcs.(0) in
+      m * k
+  | Logm | Expm -> 30 (* fixed small-kernel cost (Rodrigues / trace + axis) *)
+  | Skew -> 9
+  | Jr | Jrinv -> 40
+  | Qr ->
+      let m, n = src_shape t.srcs.(0) in
+      Qr.flops_estimate ~rows:m ~cols:n
+  | Backsolve ->
+      let n, _ = src_shape t.srcs.(0) in
+      n * (n + 1) / 2
+  | Kernel k -> k.flops
+
+let pp ppf t =
+  Format.fprintf ppf "i%d: %s [%dx%d] <- %s {%s, algo %d}%s" t.id (opcode_name t.op) t.rows t.cols
+    (String.concat "," (Array.to_list (Array.map (Printf.sprintf "i%d") t.srcs)))
+    (phase_name t.phase) t.algo
+    (if t.tag = "" then "" else " ; " ^ t.tag)

@@ -1,0 +1,72 @@
+(** The ORIANNA instruction set (Sec. 5.2 / Tbl. 3).
+
+    Instructions operate on matrix registers in SSA form: every
+    instruction defines exactly one register, whose id {e is} the
+    instruction id, and reads the registers listed in [srcs] — the
+    dependency graph the out-of-order controller schedules against is
+    therefore explicit.  Vectors are stored as [n x 1] matrices.
+
+    The first group mirrors the nine primitive operations of Tbl. 3;
+    [Qr] and [Backsub] drive the factor-graph inference block;
+    [Assemble]/[Extract] are the buffer gather/scatter moves that feed
+    the decomposition unit; [Kernel] wraps a native factor's
+    linearization (an opaque fixed-function block with a declared flop
+    cost). *)
+
+open Orianna_linalg
+
+type phase =
+  | Construct  (** linear-equation construction: errors + Jacobians *)
+  | Decompose  (** variable elimination: partial QR steps *)
+  | Backsub  (** back substitution *)
+
+type kernel = {
+  kname : string;
+  flops : int;  (** declared cost, used by hardware latency models *)
+  apply : Mat.t array -> Mat.t;  (** functional semantics *)
+}
+
+type opcode =
+  | Load of Mat.t  (** constant / measurement / current-value input *)
+  | Vadd  (** VP: elementwise add *)
+  | Vsub  (** VP: elementwise subtract *)
+  | Scale of float  (** VP with constant gain *)
+  | Neg  (** VP negation *)
+  | Transpose  (** RT *)
+  | Gemm  (** RR and general matrix products *)
+  | Gemv  (** RV and general matrix-vector products *)
+  | Logm  (** Log: rotation to tangent coordinates *)
+  | Expm  (** Exp: tangent coordinates to rotation *)
+  | Skew  (** (.)^ *)
+  | Jr  (** right Jacobian *)
+  | Jrinv  (** inverse right Jacobian *)
+  | Assemble of (int * int) list  (** gather source blocks at (row, col) offsets *)
+  | Extract of { row : int; col : int; rows : int; cols : int }  (** block read *)
+  | Qr  (** triangularize (partial QR of Fig. 5) *)
+  | Backsolve  (** upper-triangular solve: srcs = [r; d] *)
+  | Kernel of kernel  (** opaque native-factor linearization *)
+
+type t = {
+  id : int;
+  op : opcode;
+  srcs : int array;
+  rows : int;  (** output shape *)
+  cols : int;
+  phase : phase;
+  algo : int;  (** owning algorithm, for coarse-grained OoO *)
+  tag : string;  (** human-readable provenance *)
+}
+
+val opcode_name : opcode -> string
+
+val phase_name : phase -> string
+
+val is_data_movement : opcode -> bool
+(** [Load], [Assemble], [Extract]: buffer traffic, not arithmetic. *)
+
+val flops : t -> src_shape:(int -> int * int) -> int
+(** Arithmetic cost estimate of one instruction (MAC-equivalents),
+    derived from the opcode, the output shape and the source shapes
+    ([src_shape] maps a register id to its dimensions). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+(** SSA instruction streams and their functional semantics.
+
+    A program is the complete instruction stream of one Gauss-Newton
+    iteration for a (multi-algorithm) application: construction
+    instructions per factor, elimination instructions per variable and
+    back-substitution instructions, with explicit register
+    dependencies.  The interpreter gives the stream a precise meaning,
+    which tests compare against the software solver; the hardware
+    simulator (in [orianna_sim]) replays the same stream against
+    timing models. *)
+
+open Orianna_linalg
+
+type t = {
+  instrs : Instr.t array;  (** topologically ordered: srcs < id *)
+  outputs : (string * int) list;  (** variable name -> register holding its Δ *)
+}
+
+module Builder : sig
+  type program = t
+  type b
+
+  val create : unit -> b
+
+  val emit :
+    b ->
+    op:Instr.opcode ->
+    srcs:int array ->
+    rows:int ->
+    cols:int ->
+    phase:Instr.phase ->
+    algo:int ->
+    tag:string ->
+    int
+  (** Append an instruction; returns the register it defines. *)
+
+  val shape : b -> int -> int * int
+  (** Shape of an already-emitted register. *)
+
+  val finish : b -> outputs:(string * int) list -> program
+end
+
+val length : t -> int
+
+val validate : t -> unit
+(** Check SSA ordering and source-range sanity; raises [Failure]. *)
+
+val execute : t -> Mat.t array
+(** Evaluate every instruction (vectors are [n x 1] matrices). *)
+
+val deltas : t -> Mat.t array -> (string * Vec.t) list
+(** Read the per-variable solution out of an execution. *)
+
+val run : t -> (string * Vec.t) list
+(** {!execute} then {!deltas}. *)
+
+type stats = {
+  instructions : int;
+  by_opcode : (string * int) list;
+  by_phase : (Instr.phase * int) list;
+  flops_total : int;
+  flops_by_phase : (Instr.phase * int) list;
+  critical_path : int;  (** longest dependency chain, in instructions *)
+  max_width : int;  (** peak number of instructions at one dependency depth *)
+}
+
+val stats : t -> stats
+
+val op_sizes : t -> ?phase:Instr.phase -> unit -> (int * int) list
+(** Output shapes of the arithmetic instructions (optionally filtered
+    by phase) — the census behind Figs. 17/18. *)
+
+val concat : t list -> t
+(** Merge several algorithm streams into one application stream,
+    renumbering registers; output names must not collide.  Algorithm
+    ids are preserved, so the coarse-grained OoO scheduler can
+    interleave them (Sec. 6.3). *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/lie/convert.mli: Orianna_linalg Pose2 Pose3 Quat Se3 Vec

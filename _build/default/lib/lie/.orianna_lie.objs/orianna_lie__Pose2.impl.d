@@ -1,0 +1,1 @@
+lib/lie/pose2.ml: Array Float Format Mat Orianna_linalg Orianna_util Rng So2 Vec

@@ -1,0 +1,1 @@
+lib/lie/pose3.ml: Array Format Mat Orianna_linalg Orianna_util Rng So3 Vec

@@ -1,0 +1,1 @@
+lib/lie/pose3.mli: Format Mat Orianna_linalg Orianna_util Vec

@@ -1,0 +1,1 @@
+lib/lie/quat.ml: Array Float Macs Mat Orianna_linalg Vec

@@ -1,0 +1,1 @@
+lib/lie/quat.mli: Mat Orianna_linalg Vec

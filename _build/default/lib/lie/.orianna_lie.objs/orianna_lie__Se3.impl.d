@@ -1,0 +1,1 @@
+lib/lie/se3.ml: Array Float Format Macs Mat Orianna_linalg So3 Vec

@@ -1,0 +1,1 @@
+lib/lie/se3.mli: Format Mat Orianna_linalg Vec

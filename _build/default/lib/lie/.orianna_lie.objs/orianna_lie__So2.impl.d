@@ -1,0 +1,1 @@
+lib/lie/so2.ml: Array Float Macs Mat Orianna_linalg Orianna_util Vec

@@ -1,0 +1,1 @@
+lib/lie/so2.mli: Mat Orianna_linalg Orianna_util Vec

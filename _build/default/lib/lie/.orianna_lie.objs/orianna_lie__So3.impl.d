@@ -1,0 +1,1 @@
+lib/lie/so3.ml: Array Float Macs Mat Orianna_linalg Orianna_util Rng Vec

@@ -1,0 +1,1 @@
+lib/lie/so3.mli: Mat Orianna_linalg Orianna_util Vec

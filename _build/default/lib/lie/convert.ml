@@ -1,0 +1,23 @@
+open Orianna_linalg
+
+let se3_of_pose3 p = Se3.of_rt (Pose3.rotation p) (Pose3.translation p)
+
+let pose3_of_se3 m = Pose3.create ~r:(Se3.rotation m) ~t:(Se3.translation m)
+
+let se3_vec_of_pose3 p = Se3.log (se3_of_pose3 p)
+
+let pose3_of_se3_vec xi = pose3_of_se3 (Se3.exp xi)
+
+let quat_of_pose3 p = (Quat.of_rotation (Pose3.rotation p), Pose3.translation p)
+
+let pose3_of_quat q t = Pose3.create ~r:(Quat.to_rotation q) ~t
+
+let pose2_of_pose3 p =
+  let r = Pose3.rotation p in
+  let yaw = atan2 (Mat.get r 1 0) (Mat.get r 0 0) in
+  let t = Pose3.translation p in
+  Pose2.create ~theta:yaw ~t:[| t.(0); t.(1) |]
+
+let pose3_of_pose2 p =
+  let t2 = Pose2.translation p in
+  Pose3.of_phi_t [| 0.0; 0.0; Pose2.theta p |] [| t2.(0); t2.(1); 0.0 |]

@@ -1,0 +1,32 @@
+(** Conversions among the three pose representations of Fig. 8:
+    the unified [<so(3), T(3)>] ({!Pose3}), the special Euclidean group
+    SE(3) ({!Se3}), and its Lie algebra se(3) (a 6-vector), plus the
+    quaternion form of Sec. 4.1.  All round trips are exercised by the
+    test suite. *)
+
+open Orianna_linalg
+
+val se3_of_pose3 : Pose3.t -> Se3.t
+(** Exponential map of the orientation then padding (top-right arrow
+    of Fig. 8). *)
+
+val pose3_of_se3 : Se3.t -> Pose3.t
+(** Strip the padding, logarithm of the rotation block. *)
+
+val se3_vec_of_pose3 : Pose3.t -> Vec.t
+(** To se(3) coordinates: [rho = Jl(phi)^-1 t] (the linear mapping J of
+    Sec. 4.3). *)
+
+val pose3_of_se3_vec : Vec.t -> Pose3.t
+(** From se(3) coordinates. *)
+
+val quat_of_pose3 : Pose3.t -> Quat.t * Vec.t
+(** The [(q, T(3))] representation used by VINS-Mono-style stacks. *)
+
+val pose3_of_quat : Quat.t -> Vec.t -> Pose3.t
+
+val pose2_of_pose3 : Pose3.t -> Pose2.t
+(** Project onto the plane (yaw + xy); used by 2D visualizations. *)
+
+val pose3_of_pose2 : Pose2.t -> Pose3.t
+(** Embed a planar pose in 3D (rotation about z, zero altitude). *)

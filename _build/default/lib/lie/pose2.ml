@@ -1,0 +1,50 @@
+open Orianna_linalg
+
+type t = { theta : float; t : Vec.t }
+
+let create ~theta ~t =
+  if Vec.dim t <> 2 then invalid_arg "Pose2.create: translation must be a 2-vector";
+  { theta = So2.wrap_angle theta; t }
+
+let identity = { theta = 0.0; t = Vec.create 2 }
+
+let theta p = p.theta
+let rotation p = So2.exp p.theta
+let translation p = p.t
+
+let oplus a b =
+  create ~theta:(a.theta +. b.theta) ~t:(Vec.add a.t (Mat.mul_vec (rotation a) b.t))
+
+let ominus a b =
+  let rbt = Mat.transpose (rotation b) in
+  create ~theta:(a.theta -. b.theta) ~t:(Mat.mul_vec rbt (Vec.sub a.t b.t))
+
+let inverse p =
+  let rt = Mat.transpose (rotation p) in
+  create ~theta:(-.p.theta) ~t:(Vec.neg (Mat.mul_vec rt p.t))
+
+let act p x = Vec.add (Mat.mul_vec (rotation p) x) p.t
+
+let retract p d =
+  if Vec.dim d <> 3 then invalid_arg "Pose2.retract: expected a 3-vector";
+  create ~theta:(p.theta +. d.(0)) ~t:(Vec.add p.t [| d.(1); d.(2) |])
+
+let local a b =
+  [| So2.wrap_angle (b.theta -. a.theta); b.t.(0) -. a.t.(0); b.t.(1) -. a.t.(1) |]
+
+let tangent_dim = 3
+
+let distance a b = Vec.dist a.t b.t
+let angular_distance a b = Float.abs (So2.wrap_angle (b.theta -. a.theta))
+
+let equal ?(eps = 1e-9) a b =
+  Float.abs (So2.wrap_angle (a.theta -. b.theta)) < eps && Vec.equal ~eps a.t b.t
+
+let random rng ~scale =
+  let open Orianna_util in
+  create
+    ~theta:(Rng.uniform rng ~lo:(-.Float.pi) ~hi:Float.pi)
+    ~t:(Array.init 2 (fun _ -> Rng.uniform rng ~lo:(-.scale) ~hi:scale))
+
+let pp ppf p =
+  Format.fprintf ppf "pose2 theta=%.4f t=%a" p.theta Vec.pp p.t

@@ -1,0 +1,51 @@
+(** The unified planar pose representation [<so(2), T(2)>].
+
+    Same layout as {!Pose3} but in the plane: the orientation is an
+    angle, the tangent space is 3-dimensional and split
+    [[dtheta; dtx; dty]]. *)
+
+open Orianna_linalg
+
+type t = private { theta : float; t : Vec.t }
+
+val create : theta:float -> t:Vec.t -> t
+(** [t] must be a 2-vector; [theta] is wrapped to (-pi, pi]. *)
+
+val identity : t
+
+val theta : t -> float
+
+val rotation : t -> Mat.t
+(** The 2x2 rotation matrix [Exp theta]. *)
+
+val translation : t -> Vec.t
+
+val oplus : t -> t -> t
+(** Planar instance of Equ. 2 composition. *)
+
+val ominus : t -> t -> t
+(** Planar instance of Equ. 2 subtraction. *)
+
+val inverse : t -> t
+
+val act : t -> Vec.t -> Vec.t
+(** [R x + t]. *)
+
+val retract : t -> Vec.t -> t
+(** [retract p [dth; dx; dy]]. *)
+
+val local : t -> t -> Vec.t
+(** Inverse of {!retract}: [[wrap(thb - tha); tb - ta]]. *)
+
+val tangent_dim : int
+(** 3. *)
+
+val distance : t -> t -> float
+
+val angular_distance : t -> t -> float
+
+val equal : ?eps:float -> t -> t -> bool
+
+val random : Orianna_util.Rng.t -> scale:float -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+open Orianna_linalg
+
+type t = { r : Mat.t; t : Vec.t }
+
+let create ~r ~t =
+  let m, n = Mat.dims r in
+  if m <> 3 || n <> 3 then invalid_arg "Pose3.create: rotation must be 3x3";
+  if Vec.dim t <> 3 then invalid_arg "Pose3.create: translation must be a 3-vector";
+  { r; t }
+
+let of_phi_t phi t = create ~r:(So3.exp phi) ~t
+
+let identity = { r = Mat.identity 3; t = Vec.create 3 }
+
+let rotation p = p.r
+let translation p = p.t
+let phi p = So3.log p.r
+
+let oplus a b =
+  { r = Mat.mul a.r b.r; t = Vec.add a.t (Mat.mul_vec a.r b.t) }
+
+let ominus a b =
+  let rbt = Mat.transpose b.r in
+  { r = Mat.mul rbt a.r; t = Mat.mul_vec rbt (Vec.sub a.t b.t) }
+
+let inverse p =
+  let rt = Mat.transpose p.r in
+  { r = rt; t = Vec.neg (Mat.mul_vec rt p.t) }
+
+let act p x = Vec.add (Mat.mul_vec p.r x) p.t
+
+let retract p d =
+  if Vec.dim d <> 6 then invalid_arg "Pose3.retract: expected a 6-vector";
+  let dphi = Vec.slice d ~pos:0 ~len:3 in
+  let dt = Vec.slice d ~pos:3 ~len:3 in
+  { r = Mat.mul p.r (So3.exp dphi); t = Vec.add p.t dt }
+
+let local a b =
+  let dphi = So3.log (Mat.mul (Mat.transpose a.r) b.r) in
+  Vec.concat [ dphi; Vec.sub b.t a.t ]
+
+let tangent_dim = 6
+
+let distance a b = Vec.dist a.t b.t
+let angular_distance a b = So3.angle_between a.r b.r
+
+let equal ?(eps = 1e-9) a b = Mat.equal ~eps a.r b.r && Vec.equal ~eps a.t b.t
+
+let random rng ~scale =
+  let open Orianna_util in
+  let t = Array.init 3 (fun _ -> Rng.uniform rng ~lo:(-.scale) ~hi:scale) in
+  { r = So3.random rng; t }
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>pose3 phi=%a t=%a@]" Vec.pp (phi p) Vec.pp p.t

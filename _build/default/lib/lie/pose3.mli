@@ -1,0 +1,73 @@
+(** The unified 3D pose representation [<so(3), T(3)>] (Sec. 4.2).
+
+    A pose is an orientation plus a position kept as {e separate}
+    blocks: the orientation lives on SO(3) (internally cached as a
+    rotation matrix; its canonical coordinates are the so(3) vector
+    [phi]), the position is a plain 3-vector.  The group operations
+    [oplus]/[ominus] implement Equ. 2 of the paper.
+
+    The tangent space is 6-dimensional and split: a perturbation is
+    [[dphi; dt]] applied as [R <- R Exp(dphi)], [t <- t + dt].  Keeping
+    the two blocks separate — instead of the joint se(3) tangent — is
+    what removes the padded 4x4 products and the 6-dimensional
+    exponential maps, and is the source of the MAC savings reported in
+    Sec. 4.3. *)
+
+open Orianna_linalg
+
+type t = private { r : Mat.t; (* 3x3 rotation *) t : Vec.t (* position *) }
+
+val create : r:Mat.t -> t:Vec.t -> t
+(** Raises [Invalid_argument] if [r] is not 3x3 or [t] not length 3.
+    [r] is trusted to be orthonormal. *)
+
+val of_phi_t : Vec.t -> Vec.t -> t
+(** Build from canonical coordinates [(phi, t)]. *)
+
+val identity : t
+
+val rotation : t -> Mat.t
+
+val translation : t -> Vec.t
+
+val phi : t -> Vec.t
+(** Canonical so(3) coordinates of the orientation ([Log r]). *)
+
+val oplus : t -> t -> t
+(** [oplus a b = <Log(Ra Rb), ta + Ra tb>] — pose composition
+    (Equ. 2).  Used by planning to chain link transforms. *)
+
+val ominus : t -> t -> t
+(** [ominus a b = <Log(Rbᵀ Ra), Rbᵀ (ta - tb)>] — relative pose of [a]
+    expressed in [b]'s frame (Equ. 2).  Used by localization and
+    control error terms. *)
+
+val inverse : t -> t
+
+val act : t -> Vec.t -> Vec.t
+(** [act p x] transforms the point [x] into the world frame:
+    [R x + t]. *)
+
+val retract : t -> Vec.t -> t
+(** [retract p d] with [d = [dphi; dt]] (length 6) applies the
+    optimization update [R Exp(dphi), t + dt]. *)
+
+val local : t -> t -> Vec.t
+(** [local a b] is the tangent [d] with [retract a d = b]:
+    [[Log(Raᵀ Rb); tb - ta]]. *)
+
+val tangent_dim : int
+(** 6. *)
+
+val distance : t -> t -> float
+(** Euclidean distance between positions (the ATE building block). *)
+
+val angular_distance : t -> t -> float
+(** Geodesic distance between orientations. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val random : Orianna_util.Rng.t -> scale:float -> t
+(** Random pose with positions in a cube of half-width [scale]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,122 @@
+open Orianna_linalg
+
+type t = { w : float; x : float; y : float; z : float }
+
+let identity = { w = 1.0; x = 0.0; y = 0.0; z = 0.0 }
+
+let norm q = sqrt ((q.w *. q.w) +. (q.x *. q.x) +. (q.y *. q.y) +. (q.z *. q.z))
+
+let normalize q =
+  let n = norm q in
+  if n < 1e-12 then invalid_arg "Quat.normalize: zero quaternion";
+  { w = q.w /. n; x = q.x /. n; y = q.y /. n; z = q.z /. n }
+
+let mul a b =
+  Macs.add 16;
+  {
+    w = (a.w *. b.w) -. (a.x *. b.x) -. (a.y *. b.y) -. (a.z *. b.z);
+    x = (a.w *. b.x) +. (a.x *. b.w) +. (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.w *. b.y) -. (a.x *. b.z) +. (a.y *. b.w) +. (a.z *. b.x);
+    z = (a.w *. b.z) +. (a.x *. b.y) -. (a.y *. b.x) +. (a.z *. b.w);
+  }
+
+let conjugate q = { q with x = -.q.x; y = -.q.y; z = -.q.z }
+
+let of_rotation r =
+  let m, n = Mat.dims r in
+  if m <> 3 || n <> 3 then invalid_arg "Quat.of_rotation: expected 3x3";
+  let g i j = Mat.get r i j in
+  let tr = Mat.trace r in
+  let q =
+    if tr > 0.0 then begin
+      let s = sqrt (tr +. 1.0) *. 2.0 in
+      { w = 0.25 *. s; x = (g 2 1 -. g 1 2) /. s; y = (g 0 2 -. g 2 0) /. s; z = (g 1 0 -. g 0 1) /. s }
+    end
+    else if g 0 0 > g 1 1 && g 0 0 > g 2 2 then begin
+      let s = sqrt (1.0 +. g 0 0 -. g 1 1 -. g 2 2) *. 2.0 in
+      { w = (g 2 1 -. g 1 2) /. s; x = 0.25 *. s; y = (g 0 1 +. g 1 0) /. s; z = (g 0 2 +. g 2 0) /. s }
+    end
+    else if g 1 1 > g 2 2 then begin
+      let s = sqrt (1.0 +. g 1 1 -. g 0 0 -. g 2 2) *. 2.0 in
+      { w = (g 0 2 -. g 2 0) /. s; x = (g 0 1 +. g 1 0) /. s; y = 0.25 *. s; z = (g 1 2 +. g 2 1) /. s }
+    end
+    else begin
+      let s = sqrt (1.0 +. g 2 2 -. g 0 0 -. g 1 1) *. 2.0 in
+      { w = (g 1 0 -. g 0 1) /. s; x = (g 0 2 +. g 2 0) /. s; y = (g 1 2 +. g 2 1) /. s; z = 0.25 *. s }
+    end
+  in
+  normalize q
+
+let to_rotation q =
+  Macs.add 24;
+  let { w; x; y; z } = normalize q in
+  Mat.of_rows
+    [|
+      [|
+        1.0 -. (2.0 *. ((y *. y) +. (z *. z)));
+        2.0 *. ((x *. y) -. (w *. z));
+        2.0 *. ((x *. z) +. (w *. y));
+      |];
+      [|
+        2.0 *. ((x *. y) +. (w *. z));
+        1.0 -. (2.0 *. ((x *. x) +. (z *. z)));
+        2.0 *. ((y *. z) -. (w *. x));
+      |];
+      [|
+        2.0 *. ((x *. z) -. (w *. y));
+        2.0 *. ((y *. z) +. (w *. x));
+        1.0 -. (2.0 *. ((x *. x) +. (y *. y)));
+      |];
+    |]
+
+let of_axis_angle axis angle =
+  let n = Vec.norm axis in
+  if n < 1e-12 then identity
+  else begin
+    let half = angle /. 2.0 in
+    let s = sin half /. n in
+    { w = cos half; x = s *. axis.(0); y = s *. axis.(1); z = s *. axis.(2) }
+  end
+
+let rotate q v =
+  let p = { w = 0.0; x = v.(0); y = v.(1); z = v.(2) } in
+  let r = mul (mul q p) (conjugate q) in
+  [| r.x; r.y; r.z |]
+
+let dot a b = (a.w *. b.w) +. (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+
+let slerp a b t =
+  let a = normalize a and b = normalize b in
+  (* Take the short arc. *)
+  let d = dot a b in
+  let b, d = if d < 0.0 then ({ w = -.b.w; x = -.b.x; y = -.b.y; z = -.b.z }, -.d) else (b, d) in
+  if d > 0.9995 then
+    normalize
+      {
+        w = a.w +. (t *. (b.w -. a.w));
+        x = a.x +. (t *. (b.x -. a.x));
+        y = a.y +. (t *. (b.y -. a.y));
+        z = a.z +. (t *. (b.z -. a.z));
+      }
+  else begin
+    let theta = acos (Float.max (-1.0) (Float.min 1.0 d)) in
+    let s = sin theta in
+    let wa = sin ((1.0 -. t) *. theta) /. s in
+    let wb = sin (t *. theta) /. s in
+    normalize
+      {
+        w = (wa *. a.w) +. (wb *. b.w);
+        x = (wa *. a.x) +. (wb *. b.x);
+        y = (wa *. a.y) +. (wb *. b.y);
+        z = (wa *. a.z) +. (wb *. b.z);
+      }
+  end
+
+let equal_up_to_sign ?(eps = 1e-9) a b =
+  let close p q =
+    Float.abs (p.w -. q.w) < eps
+    && Float.abs (p.x -. q.x) < eps
+    && Float.abs (p.y -. q.y) < eps
+    && Float.abs (p.z -. q.z) < eps
+  in
+  close a b || close a { w = -.b.w; x = -.b.x; y = -.b.y; z = -.b.z }

@@ -1,0 +1,36 @@
+(** Unit quaternions — the third pose representation discussed in
+    Sec. 4.1 (the [q + T(3)] combination used by VINS-Mono-style
+    localization).  Provided for the representation-equivalence story
+    of Fig. 8 and for conversion tests. *)
+
+open Orianna_linalg
+
+type t = { w : float; x : float; y : float; z : float }
+
+val identity : t
+
+val normalize : t -> t
+
+val mul : t -> t -> t
+(** Hamilton product. *)
+
+val conjugate : t -> t
+
+val of_rotation : Mat.t -> t
+(** Shepperd's method: stable for all rotation matrices. *)
+
+val to_rotation : t -> Mat.t
+
+val of_axis_angle : Vec.t -> float -> t
+
+val rotate : t -> Vec.t -> Vec.t
+(** Rotate a 3-vector: [q v q*]. *)
+
+val dot : t -> t -> float
+
+val slerp : t -> t -> float -> t
+(** Spherical linear interpolation; [slerp a b 0 = a]. *)
+
+val equal_up_to_sign : ?eps:float -> t -> t -> bool
+(** Quaternions double-cover SO(3): [q] and [-q] are the same
+    rotation. *)

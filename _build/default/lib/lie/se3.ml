@@ -1,0 +1,133 @@
+open Orianna_linalg
+
+type t = Mat.t
+
+let of_matrix m =
+  let r, c = Mat.dims m in
+  if r <> 4 || c <> 4 then invalid_arg "Se3.of_matrix: expected 4x4";
+  let bottom_ok =
+    Float.abs (Mat.get m 3 0) < 1e-9
+    && Float.abs (Mat.get m 3 1) < 1e-9
+    && Float.abs (Mat.get m 3 2) < 1e-9
+    && Float.abs (Mat.get m 3 3 -. 1.0) < 1e-9
+  in
+  if not bottom_ok then invalid_arg "Se3.of_matrix: bottom row is not [0 0 0 1]";
+  m
+
+let to_matrix m = m
+
+let of_rt r t =
+  let m = Mat.identity 4 in
+  Mat.set_block m 0 0 r;
+  for i = 0 to 2 do
+    Mat.set m i 3 t.(i)
+  done;
+  m
+
+let rotation m = Mat.block m 0 0 3 3
+let translation m = [| Mat.get m 0 3; Mat.get m 1 3; Mat.get m 2 3 |]
+
+let identity = Mat.identity 4
+
+let compose a b = Mat.mul a b
+
+let inverse m =
+  let rt = Mat.transpose (rotation m) in
+  of_rt rt (Vec.neg (Mat.mul_vec rt (translation m)))
+
+let act m x =
+  if Vec.dim x <> 3 then invalid_arg "Se3.act: expected a 3D point";
+  let h = Mat.mul_vec m [| x.(0); x.(1); x.(2); 1.0 |] in
+  [| h.(0); h.(1); h.(2) |]
+
+let split xi =
+  if Vec.dim xi <> 6 then invalid_arg "Se3: tangent vectors have dimension 6";
+  (Vec.slice xi ~pos:0 ~len:3, Vec.slice xi ~pos:3 ~len:3)
+
+let exp xi =
+  let rho, phi = split xi in
+  let r = So3.exp phi in
+  let v = So3.jl phi in
+  of_rt r (Mat.mul_vec v rho)
+
+let log m =
+  let phi = So3.log (rotation m) in
+  let rho = Mat.mul_vec (So3.jl_inv phi) (translation m) in
+  Vec.concat [ rho; phi ]
+
+let adjoint m =
+  let r = rotation m and p = translation m in
+  let out = Mat.create 6 6 in
+  Mat.set_block out 0 0 r;
+  Mat.set_block out 0 3 (Mat.mul (So3.hat p) r);
+  Mat.set_block out 3 3 r;
+  out
+
+(* Barfoot, "State Estimation for Robotics", eq. 7.86: the Q block of
+   the left Jacobian of SE(3), with xi = (rho, phi). *)
+let q_block rho phi =
+  Macs.add 60;
+  let rx = So3.hat rho and px = So3.hat phi in
+  let theta = Vec.norm phi in
+  let m1 = rx in
+  let m2 = Mat.add (Mat.mul px rx) (Mat.add (Mat.mul rx px) (Mat.mul px (Mat.mul rx px))) in
+  let pxpx = Mat.mul px px in
+  let m3 =
+    Mat.add (Mat.mul pxpx rx)
+      (Mat.sub (Mat.mul rx pxpx) (Mat.scale 3.0 (Mat.mul px (Mat.mul rx px))))
+  in
+  let m4 =
+    Mat.add (Mat.mul px (Mat.mul rx pxpx)) (Mat.mul pxpx (Mat.mul rx px))
+  in
+  let c1, c2, c3, c4 =
+    if theta < 1e-5 then
+      (* Taylor expansions around theta = 0. *)
+      (0.5, 1.0 /. 6.0, -1.0 /. 24.0, -0.5 *. ((1.0 /. 24.0) -. (3.0 /. 120.0)))
+    else begin
+      let t2 = theta *. theta in
+      let t3 = t2 *. theta in
+      let t4 = t3 *. theta in
+      let t5 = t4 *. theta in
+      let st = sin theta and ct = cos theta in
+      let c2 = (theta -. st) /. t3 in
+      let c3 = -.(1.0 -. (t2 /. 2.0) -. ct) /. t4 in
+      let c4 = -0.5 *. ((-.c3) -. (3.0 *. ((theta -. st -. (t3 /. 6.0)) /. t5))) in
+      (0.5, c2, c3, c4)
+    end
+  in
+  Mat.add
+    (Mat.scale c1 m1)
+    (Mat.add (Mat.scale c2 m2) (Mat.add (Mat.scale c3 m3) (Mat.scale c4 m4)))
+
+let jl xi =
+  let rho, phi = split xi in
+  let j = So3.jl phi in
+  let q = q_block rho phi in
+  let out = Mat.create 6 6 in
+  Mat.set_block out 0 0 j;
+  Mat.set_block out 0 3 q;
+  Mat.set_block out 3 3 j;
+  out
+
+let jr xi = jl (Vec.neg xi)
+
+let jl_inv xi =
+  let rho, phi = split xi in
+  let ji = So3.jl_inv phi in
+  let q = q_block rho phi in
+  let out = Mat.create 6 6 in
+  Mat.set_block out 0 0 ji;
+  Mat.set_block out 0 3 (Mat.neg (Mat.mul ji (Mat.mul q ji)));
+  Mat.set_block out 3 3 ji;
+  out
+
+let jr_inv xi = jl_inv (Vec.neg xi)
+
+let retract x d = compose x (exp d)
+let local a b = log (compose (inverse a) b)
+
+let tangent_dim = 6
+
+let equal ?(eps = 1e-9) a b = Mat.equal ~eps a b
+
+let pp ppf m = Format.fprintf ppf "@[<v>se3@,%a@]" Mat.pp m

@@ -1,0 +1,70 @@
+(** The special Euclidean group SE(3) — the baseline representation the
+    paper compares against (Secs. 4.1 and 4.3).
+
+    Elements are kept as padded 4x4 homogeneous matrices, exactly the
+    costly representation the paper describes: composition is a 4x4
+    product, tangent vectors are joint 6-vectors [[rho; phi]]
+    (translation part first, Barfoot's convention), and the exponential
+    / logarithm are the full 6-dimensional maps with the coupled
+    [V = Jl(phi)] block.  Jacobians of the exponential include the
+    Barfoot Q-block, so SE(3) Gauss-Newton here is the honest reference
+    implementation, not a strawman. *)
+
+open Orianna_linalg
+
+type t = private Mat.t
+(** A 4x4 homogeneous transform. *)
+
+val of_matrix : Mat.t -> t
+(** Checks the shape and the [0 0 0 1] bottom row. *)
+
+val to_matrix : t -> Mat.t
+
+val of_rt : Mat.t -> Vec.t -> t
+
+val rotation : t -> Mat.t
+
+val translation : t -> Vec.t
+
+val identity : t
+
+val compose : t -> t -> t
+(** Full padded 4x4 matrix product (charges 64 MACs). *)
+
+val inverse : t -> t
+
+val act : t -> Vec.t -> Vec.t
+(** Homogeneous transform of a 3D point (padded 4x4 * 4 product). *)
+
+val exp : Vec.t -> t
+(** [exp [rho; phi]] — 6-dimensional exponential map. *)
+
+val log : t -> Vec.t
+(** 6-dimensional logarithm map. *)
+
+val adjoint : t -> Mat.t
+(** 6x6 adjoint [[R, p^R], [0, R]]. *)
+
+val jl : Vec.t -> Mat.t
+(** Left Jacobian of the SE(3) exponential (6x6, with Q block). *)
+
+val jr : Vec.t -> Mat.t
+(** Right Jacobian: [jr xi = jl (-xi)]. *)
+
+val jr_inv : Vec.t -> Mat.t
+(** Inverse right Jacobian (block inverse). *)
+
+val jl_inv : Vec.t -> Mat.t
+
+val retract : t -> Vec.t -> t
+(** [retract x d = compose x (exp d)]. *)
+
+val local : t -> t -> Vec.t
+(** [local a b = log (inverse a * b)]. *)
+
+val tangent_dim : int
+(** 6. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

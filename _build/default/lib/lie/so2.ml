@@ -1,0 +1,26 @@
+open Orianna_linalg
+
+let exp theta =
+  Macs.add 4;
+  let c = cos theta and s = sin theta in
+  Mat.of_rows [| [| c; -.s |]; [| s; c |] |]
+
+let log r =
+  Macs.add 2;
+  atan2 (Mat.get r 1 0) (Mat.get r 0 0)
+
+let hat theta = Mat.of_rows [| [| 0.0; -.theta |]; [| theta; 0.0 |] |]
+let vee m = Mat.get m 1 0
+let jr (_ : float) = 1.0
+let jr_inv (_ : float) = 1.0
+
+let perp v =
+  if Vec.dim v <> 2 then invalid_arg "So2.perp: expected a 2-vector";
+  [| -.v.(1); v.(0) |]
+
+let wrap_angle theta =
+  let two_pi = 2.0 *. Float.pi in
+  let t = Float.rem theta two_pi in
+  if t > Float.pi then t -. two_pi else if t <= -.Float.pi then t +. two_pi else t
+
+let random rng = exp (Orianna_util.Rng.uniform rng ~lo:(-.Float.pi) ~hi:Float.pi)

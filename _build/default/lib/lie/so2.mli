@@ -1,0 +1,34 @@
+(** The planar rotation group SO(2) and its Lie algebra so(2).
+
+    so(2) is one-dimensional: a rotation is an angle.  The group is
+    commutative, so all Jacobians of the exponential map are 1. *)
+
+open Orianna_linalg
+
+val exp : float -> Mat.t
+(** [exp theta] is the 2x2 rotation matrix of angle [theta]. *)
+
+val log : Mat.t -> float
+(** Angle of a 2x2 rotation matrix, in (-pi, pi]. *)
+
+val hat : float -> Mat.t
+(** [hat theta] is [[0, -theta], [theta, 0]]. *)
+
+val vee : Mat.t -> float
+(** Inverse of {!hat} (reads the (1,0) entry). *)
+
+val jr : float -> float
+(** Right Jacobian — identically 1 in SO(2). *)
+
+val jr_inv : float -> float
+(** Inverse right Jacobian — identically 1. *)
+
+val perp : Vec.t -> Vec.t
+(** [perp v] is the 90-degree rotation of a 2-vector: [(-v1, v0)].
+    [d(R v)/d theta = R (perp v)]. *)
+
+val wrap_angle : float -> float
+(** Wrap to (-pi, pi]. *)
+
+val random : Orianna_util.Rng.t -> Mat.t
+(** Uniform random rotation. *)

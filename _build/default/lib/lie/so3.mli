@@ -1,0 +1,48 @@
+(** The rotation group SO(3) and its Lie algebra so(3).
+
+    Rotations are 3x3 orthonormal matrices; tangent vectors are
+    3-vectors (axis * angle).  Conventions follow Sola et al., "A micro
+    Lie theory for state estimation in robotics" [55]: {!exp} is the
+    Rodrigues formula, {!jr}/{!jr_inv} are the right Jacobian of the
+    exponential and its inverse — two of the nine ORIANNA primitive
+    operations (Tbl. 3). *)
+
+open Orianna_linalg
+
+val hat : Vec.t -> Mat.t
+(** Skew-symmetric matrix of a 3-vector (the [(.)^] primitive). *)
+
+val vee : Mat.t -> Vec.t
+(** Inverse of {!hat}. *)
+
+val exp : Vec.t -> Mat.t
+(** Rodrigues formula, numerically safe near the identity. *)
+
+val log : Mat.t -> Vec.t
+(** Logarithm map, with dedicated branches near 0 and near pi. *)
+
+val jr : Vec.t -> Mat.t
+(** Right Jacobian of the exponential:
+    [Exp(phi + d) ~ Exp(phi) Exp(jr(phi) d)]. *)
+
+val jr_inv : Vec.t -> Mat.t
+(** Inverse of {!jr}:
+    [Log(Exp(phi) Exp(d)) ~ phi + jr_inv(phi) d]. *)
+
+val jl : Vec.t -> Mat.t
+(** Left Jacobian: [jl phi = jr (-phi)]. *)
+
+val jl_inv : Vec.t -> Mat.t
+(** Inverse left Jacobian. *)
+
+val normalize : Mat.t -> Mat.t
+(** Re-orthonormalize a drifting rotation matrix (Gram-Schmidt). *)
+
+val is_rotation : ?eps:float -> Mat.t -> bool
+(** Orthonormality and unit-determinant check. *)
+
+val random : Orianna_util.Rng.t -> Mat.t
+(** Uniform random rotation (via random axis-angle). *)
+
+val angle_between : Mat.t -> Mat.t -> float
+(** Geodesic distance: [|Log (R1ᵀ R2)|]. *)

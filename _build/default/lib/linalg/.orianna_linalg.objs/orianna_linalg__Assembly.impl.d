@@ -1,0 +1,1 @@
+lib/linalg/assembly.ml: Array List Mat Printf Vec

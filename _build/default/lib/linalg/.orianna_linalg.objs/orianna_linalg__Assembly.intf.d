@@ -1,0 +1,1 @@
+lib/linalg/assembly.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/chol.ml: Macs Mat Tri

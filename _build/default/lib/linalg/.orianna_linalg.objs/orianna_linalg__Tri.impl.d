@@ -1,0 +1,1 @@
+lib/linalg/tri.ml: Array Float Macs Mat Printf Vec

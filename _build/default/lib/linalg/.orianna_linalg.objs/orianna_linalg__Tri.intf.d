@@ -1,0 +1,1 @@
+lib/linalg/tri.mli: Mat Vec

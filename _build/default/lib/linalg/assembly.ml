@@ -1,0 +1,63 @@
+type t = {
+  col_dims : int array;
+  col_offsets : int array;
+  total_cols : int;
+  mutable rows : ((int * Mat.t) list * Vec.t) list; (* newest first *)
+  mutable total_rows : int;
+  mutable nnz : int;
+}
+
+let create ~col_dims =
+  let n = Array.length col_dims in
+  let col_offsets = Array.make n 0 in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    col_offsets.(i) <- !acc;
+    acc := !acc + col_dims.(i)
+  done;
+  { col_dims; col_offsets; total_cols = !acc; rows = []; total_rows = 0; nnz = 0 }
+
+let col_offset t i = t.col_offsets.(i)
+let total_cols t = t.total_cols
+let total_rows t = t.total_rows
+
+let add_row t ~blocks ~rhs =
+  let nrows = Vec.dim rhs in
+  List.iter
+    (fun (var, jac) ->
+      if var < 0 || var >= Array.length t.col_dims then
+        invalid_arg "Assembly.add_row: variable index out of range";
+      let r, c = Mat.dims jac in
+      if r <> nrows then invalid_arg "Assembly.add_row: block row count mismatch";
+      if c <> t.col_dims.(var) then
+        invalid_arg
+          (Printf.sprintf "Assembly.add_row: block for var %d is %dx%d, expected %d cols" var r c
+             t.col_dims.(var)))
+    blocks;
+  t.rows <- (blocks, rhs) :: t.rows;
+  t.total_rows <- t.total_rows + nrows;
+  List.iter
+    (fun (_, jac) ->
+      let r, c = Mat.dims jac in
+      t.nnz <- t.nnz + (r * c))
+    blocks
+
+let to_dense t =
+  let a = Mat.create t.total_rows t.total_cols in
+  let b = Vec.create t.total_rows in
+  let row_pos = ref 0 in
+  List.iter
+    (fun (blocks, rhs) ->
+      List.iter (fun (var, jac) -> Mat.set_block a !row_pos t.col_offsets.(var) jac) blocks;
+      Array.blit rhs 0 b !row_pos (Vec.dim rhs);
+      row_pos := !row_pos + Vec.dim rhs)
+    (List.rev t.rows);
+  (a, b)
+
+let nnz t = t.nnz
+
+let density t =
+  let cells = t.total_rows * t.total_cols in
+  if cells = 0 then 0.0 else float_of_int t.nnz /. float_of_int cells
+
+let row_blocks t = List.rev t.rows

@@ -1,0 +1,38 @@
+(** Block-sparse assembly of the linearized system [A Δ = b].
+
+    A factor graph linearizes into a block-sparse coefficient matrix:
+    each factor contributes one block row, each variable owns one block
+    column (Fig. 4).  This module stores the block structure and can
+    materialize the dense system — which is exactly what the
+    VANILLA-HLS baseline operates on — and report the sparsity census
+    used by Figs. 17/18. *)
+
+type t
+
+val create : col_dims:int array -> t
+(** One block column per variable, with the given tangent dimensions. *)
+
+val col_offset : t -> int -> int
+(** Scalar column offset of a block column. *)
+
+val total_cols : t -> int
+
+val total_rows : t -> int
+(** Scalar rows appended so far. *)
+
+val add_row : t -> blocks:(int * Mat.t) list -> rhs:Vec.t -> unit
+(** Append one block row.  Each [(var, jac)] pair places [jac] in the
+    block column of [var]; all blocks and [rhs] must have the same row
+    count.  Raises [Invalid_argument] on dimension mismatch. *)
+
+val to_dense : t -> Mat.t * Vec.t
+(** Materialize the full [A] and [b]. *)
+
+val nnz : t -> int
+(** Structural non-zeros: total entries of all stored blocks. *)
+
+val density : t -> float
+(** [nnz] over the dense footprint. *)
+
+val row_blocks : t -> ((int * Mat.t) list * Vec.t) list
+(** The stored block rows, oldest first. *)

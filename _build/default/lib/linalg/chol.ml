@@ -1,0 +1,30 @@
+let factor a =
+  let m, n = Mat.dims a in
+  if m <> n then invalid_arg "Chol.factor: matrix not square";
+  let l = Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Mat.get l i k *. Mat.get l j k)
+      done;
+      if i = j then begin
+        if !acc <= 0.0 then failwith "Chol.factor: matrix not positive definite";
+        Mat.set l i j (sqrt !acc)
+      end
+      else Mat.set l i j (!acc /. Mat.get l j j)
+    done
+  done;
+  Macs.add (n * n * n / 6);
+  l
+
+let solve a b =
+  let l = factor a in
+  let y = Tri.solve_lower l b in
+  Tri.solve_upper (Mat.transpose l) y
+
+let solve_normal_equations a b =
+  let at = Mat.transpose a in
+  let ata = Mat.mul at a in
+  let atb = Mat.mul_vec at b in
+  solve ata atb

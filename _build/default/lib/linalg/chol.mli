@@ -1,0 +1,13 @@
+(** Cholesky factorization of symmetric positive-definite matrices. *)
+
+val factor : Mat.t -> Mat.t
+(** [factor a] returns lower-triangular [l] with [a = l lᵀ].  Raises
+    [Failure] if [a] is not positive definite. *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve a b] solves [a x = b] for SPD [a] via {!factor}. *)
+
+val solve_normal_equations : Mat.t -> Vec.t -> Vec.t
+(** [solve_normal_equations a b] solves the least-squares problem
+    [min |a x - b|] through the normal equations [aᵀa x = aᵀb];
+    used by baselines that do not exploit QR. *)

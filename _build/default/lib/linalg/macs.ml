@@ -1,0 +1,11 @@
+let counter = ref 0
+
+let reset () = counter := 0
+let add n = counter := !counter + n
+let count () = !counter
+
+let measure f =
+  let before = !counter in
+  let result = f () in
+  let spent = !counter - before in
+  (result, spent)

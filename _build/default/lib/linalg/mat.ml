@@ -1,0 +1,204 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let of_rows rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then create 0 0
+  else begin
+    let cols = Array.length rows_arr.(0) in
+    Array.iter
+      (fun r -> if Array.length r <> cols then invalid_arg "Mat.of_rows: ragged rows")
+      rows_arr;
+    init rows cols (fun i j -> rows_arr.(i).(j))
+  end
+
+let of_vec v = init (Vec.dim v) 1 (fun i _ -> v.(i))
+
+let dims m = (m.rows, m.cols)
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Mat.get: out of bounds";
+  m.data.((i * m.cols) + j)
+
+let set m i j x =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Mat.set: out of bounds";
+  m.data.((i * m.cols) + j) <- x
+
+let to_vec m =
+  if m.cols = 1 then Array.init m.rows (fun i -> m.data.(i * m.cols))
+  else if m.rows = 1 then Array.copy m.data
+  else invalid_arg "Mat.to_vec: not a vector shape"
+
+let copy m = { m with data = Array.copy m.data }
+
+let row m i = Array.init m.cols (fun j -> get m i j)
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let map f m = { m with data = Array.map f m.data }
+
+let zip name f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.%s: shape mismatch %dx%d vs %dx%d" name a.rows a.cols b.rows b.cols);
+  { a with data = Array.mapi (fun i x -> f x b.data.(i)) a.data }
+
+let add a b = zip "add" ( +. ) a b
+let sub a b = zip "sub" ( -. ) a b
+
+let scale alpha m =
+  Macs.add (m.rows * m.cols);
+  map (fun x -> alpha *. x) m
+
+let neg m = map (fun x -> -.x) m
+
+let mul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.mul: inner dimension mismatch %dx%d * %dx%d" a.rows a.cols b.rows b.cols);
+  let out = create a.rows b.cols in
+  (* Effective MACs: multiplications against structural zeros are
+     skipped and not charged — padding with zeros and ones is exactly
+     the waste the paper's representation study quantifies. *)
+  let macs = ref 0 in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0.0 then begin
+        macs := !macs + b.cols;
+        for j = 0 to b.cols - 1 do
+          out.data.((i * b.cols) + j) <-
+            out.data.((i * b.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+      end
+    done
+  done;
+  Macs.add !macs;
+  out
+
+let mul_vec m v =
+  if m.cols <> Vec.dim v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  let macs = ref 0 in
+  let out =
+    Array.init m.rows (fun i ->
+        let acc = ref 0.0 in
+        for j = 0 to m.cols - 1 do
+          let x = m.data.((i * m.cols) + j) in
+          if x <> 0.0 then begin
+            incr macs;
+            acc := !acc +. (x *. v.(j))
+          end
+        done;
+        !acc)
+  in
+  Macs.add !macs;
+  out
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let trace m =
+  let n = min m.rows m.cols in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. get m i i
+  done;
+  !acc
+
+let frobenius m =
+  let acc = ref 0.0 in
+  Array.iter (fun x -> acc := !acc +. (x *. x)) m.data;
+  sqrt !acc
+
+let set_block m i j b =
+  if i + b.rows > m.rows || j + b.cols > m.cols || i < 0 || j < 0 then
+    invalid_arg "Mat.set_block: block does not fit";
+  for bi = 0 to b.rows - 1 do
+    Array.blit b.data (bi * b.cols) m.data (((i + bi) * m.cols) + j) b.cols
+  done
+
+let block m i j h w =
+  if i + h > m.rows || j + w > m.cols || i < 0 || j < 0 || h < 0 || w < 0 then
+    invalid_arg "Mat.block: out of bounds";
+  init h w (fun bi bj -> get m (i + bi) (j + bj))
+
+let hcat ms =
+  match ms with
+  | [] -> create 0 0
+  | first :: _ ->
+      let rows = first.rows in
+      List.iter (fun m -> if m.rows <> rows then invalid_arg "Mat.hcat: row mismatch") ms;
+      let cols = List.fold_left (fun acc m -> acc + m.cols) 0 ms in
+      let out = create rows cols in
+      let pos = ref 0 in
+      List.iter
+        (fun m ->
+          set_block out 0 !pos m;
+          pos := !pos + m.cols)
+        ms;
+      out
+
+let vcat ms =
+  match ms with
+  | [] -> create 0 0
+  | first :: _ ->
+      let cols = first.cols in
+      List.iter (fun m -> if m.cols <> cols then invalid_arg "Mat.vcat: column mismatch") ms;
+      let rows = List.fold_left (fun acc m -> acc + m.rows) 0 ms in
+      let out = create rows cols in
+      let pos = ref 0 in
+      List.iter
+        (fun m ->
+          set_block out !pos 0 m;
+          pos := !pos + m.rows)
+        ms;
+      out
+
+let nnz ?(eps = 1e-12) m =
+  Array.fold_left (fun acc x -> if Float.abs x > eps then acc + 1 else acc) 0 m.data
+
+let density ?eps m =
+  if m.rows * m.cols = 0 then 0.0
+  else float_of_int (nnz ?eps m) /. float_of_int (m.rows * m.cols)
+
+let is_upper_triangular ?(eps = 1e-9) m =
+  let ok = ref true in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to min (i - 1) (m.cols - 1) do
+      if Float.abs (get m i j) > eps then ok := false
+    done
+  done;
+  !ok
+
+let equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if Float.abs (x -. b.data.(i)) > eps then ok := false) a.data;
+  !ok
+
+let random rng rows cols =
+  init rows cols (fun _ _ -> Orianna_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      Format.fprintf ppf "%s%9.4g" (if j > 0 then " " else "") (get m i j)
+    done;
+    Format.fprintf ppf "]@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,89 @@
+(** Dense row-major matrices.
+
+    This is the numeric workhorse under the factor-graph solver, the
+    instruction-set interpreter and the baselines.  Multiplications
+    charge their MAC cost to {!Macs}. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  data : float array; (* row-major, length rows * cols *)
+}
+
+val create : int -> int -> t
+(** Zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val of_rows : float array array -> t
+(** Rows must all have the same length; the input is copied. *)
+
+val of_vec : Vec.t -> t
+(** Column vector as an [n x 1] matrix. *)
+
+val to_vec : t -> Vec.t
+(** Flatten a matrix with a single row or a single column. Raises
+    [Invalid_argument] otherwise. *)
+
+val dims : t -> int * int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val row : t -> int -> Vec.t
+
+val col : t -> int -> Vec.t
+
+val map : (float -> float) -> t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val neg : t -> t
+
+val mul : t -> t -> t
+(** Matrix product; charges [m*n*k] MACs. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** Matrix-vector product; charges [m*n] MACs. *)
+
+val transpose : t -> t
+
+val trace : t -> float
+
+val frobenius : t -> float
+
+val set_block : t -> int -> int -> t -> unit
+(** [set_block m i j b] writes [b] with upper-left corner at (i,j). *)
+
+val block : t -> int -> int -> int -> int -> t
+(** [block m i j h w] copies the [h x w] sub-matrix at (i,j). *)
+
+val hcat : t list -> t
+(** Horizontal concatenation (equal row counts). *)
+
+val vcat : t list -> t
+(** Vertical concatenation (equal column counts). *)
+
+val nnz : ?eps:float -> t -> int
+(** Number of entries with magnitude above [eps] (default 1e-12). *)
+
+val density : ?eps:float -> t -> float
+(** [nnz / (rows * cols)]. *)
+
+val is_upper_triangular : ?eps:float -> t -> bool
+
+val equal : ?eps:float -> t -> t -> bool
+
+val random : Orianna_util.Rng.t -> int -> int -> t
+(** Entries uniform in [[-1, 1)]. *)
+
+val pp : Format.formatter -> t -> unit

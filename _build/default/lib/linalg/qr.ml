@@ -1,0 +1,109 @@
+(* Householder triangularization, working on a mutable copy.
+
+   For column k we build the reflector v from the k-th column tail and
+   apply (I - 2 v vT / vTv) to the trailing submatrix.  The classic
+   trick of choosing the sign of alpha to avoid cancellation is used. *)
+
+let triangularize a =
+  let m, n = Mat.dims a in
+  let r = Mat.copy a in
+  (* Hot kernel: work on the raw row-major array, bounds checks
+     hoisted out of the inner loops. *)
+  let data = r.Mat.data in
+  let steps = min m n in
+  let v = Array.make m 0.0 in
+  for k = 0 to steps - 1 do
+    (* Norm of the column tail r[k..m-1, k]. *)
+    let norm_sq = ref 0.0 in
+    for i = k to m - 1 do
+      let x = Array.unsafe_get data ((i * n) + k) in
+      norm_sq := !norm_sq +. (x *. x)
+    done;
+    let norm = sqrt !norm_sq in
+    if norm > 1e-300 then begin
+      let rkk = Array.unsafe_get data ((k * n) + k) in
+      let alpha = if rkk >= 0.0 then -.norm else norm in
+      (* v = x - alpha * e1 on the tail. *)
+      let vnorm_sq = ref 0.0 in
+      for i = k to m - 1 do
+        let x = Array.unsafe_get data ((i * n) + k) in
+        let vi = if i = k then x -. alpha else x in
+        Array.unsafe_set v i vi;
+        vnorm_sq := !vnorm_sq +. (vi *. vi)
+      done;
+      Macs.add (2 * (m - k));
+      if !vnorm_sq > 1e-300 then begin
+        let beta = 2.0 /. !vnorm_sq in
+        (* Apply the reflector to columns k..n-1. *)
+        for j = k to n - 1 do
+          let dot = ref 0.0 in
+          for i = k to m - 1 do
+            dot := !dot +. (Array.unsafe_get v i *. Array.unsafe_get data ((i * n) + j))
+          done;
+          let s = beta *. !dot in
+          for i = k to m - 1 do
+            let idx = (i * n) + j in
+            Array.unsafe_set data idx (Array.unsafe_get data idx -. (s *. Array.unsafe_get v i))
+          done
+        done;
+        Macs.add (2 * (m - k) * (n - k));
+        (* Force exact zeros below the diagonal of column k. *)
+        Array.unsafe_set data ((k * n) + k) alpha;
+        for i = k + 1 to m - 1 do
+          Array.unsafe_set data ((i * n) + k) 0.0
+        done
+      end
+    end
+  done;
+  r
+
+(* One Givens rotation zeroing r[i][k] against pivot row k. *)
+let apply_givens r k i =
+  let m_cols = snd (Mat.dims r) in
+  let a = Mat.get r k k and b = Mat.get r i k in
+  if Float.abs b > 1e-300 then begin
+    let h = Float.hypot a b in
+    let c = a /. h and s = b /. h in
+    for j = k to m_cols - 1 do
+      let x = Mat.get r k j and y = Mat.get r i j in
+      Mat.set r k j ((c *. x) +. (s *. y));
+      Mat.set r i j ((c *. y) -. (s *. x))
+    done;
+    Macs.add (4 * (m_cols - k));
+    Mat.set r i k 0.0
+  end
+
+let givens_triangularize a =
+  let m, n = Mat.dims a in
+  let r = Mat.copy a in
+  for k = 0 to min m n - 1 do
+    for i = k + 1 to m - 1 do
+      apply_givens r k i
+    done
+  done;
+  r
+
+let qr a =
+  let m, _n = Mat.dims a in
+  (* Triangularize the augmented [a | I]: the right block accumulates
+     Qᵀ, so Q is its transpose. *)
+  let aug = Mat.hcat [ a; Mat.identity m ] in
+  let t = triangularize aug in
+  let n = snd (Mat.dims a) in
+  let r = Mat.block t 0 0 m n in
+  let qt = Mat.block t 0 n m m in
+  (Mat.transpose qt, r)
+
+let solve_ls a b =
+  let m, n = Mat.dims a in
+  if m < n then invalid_arg "Qr.solve_ls: underdetermined system";
+  if Vec.dim b <> m then invalid_arg "Qr.solve_ls: rhs dimension mismatch";
+  let aug = Mat.hcat [ a; Mat.of_vec b ] in
+  let t = triangularize aug in
+  let r = Mat.block t 0 0 n n in
+  let d = Mat.to_vec (Mat.block t 0 n n 1) in
+  Tri.solve_upper r d
+
+let flops_estimate ~rows ~cols =
+  let m = float_of_int rows and n = float_of_int cols in
+  int_of_float (n *. n *. (m -. (n /. 3.0)))

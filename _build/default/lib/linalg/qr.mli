@@ -1,0 +1,30 @@
+(** QR decompositions.
+
+    Two triangularization kernels are provided: Householder reflections
+    (the software reference) and Givens rotations (the algorithm the
+    generated QR hardware unit implements, Sec. 6.1).  Both charge MAC
+    costs to {!Macs}. *)
+
+val triangularize : Mat.t -> Mat.t
+(** [triangularize a] returns [r = Qᵀ a] where [r] is
+    upper-trapezoidal (entries below the main diagonal are zero).  The
+    input is not modified.  This is the "partial QR" of the variable
+    elimination step (Fig. 5): applied to an augmented matrix [[A | b]]
+    it yields [[R | Qᵀb]] without forming [Q]. *)
+
+val givens_triangularize : Mat.t -> Mat.t
+(** Same contract as {!triangularize} but via Givens rotations. *)
+
+val qr : Mat.t -> Mat.t * Mat.t
+(** [qr a] returns [(q, r)] with [a = q r], [q] orthogonal [m x m] and
+    [r] upper-trapezoidal [m x n].  Used by tests; the solvers use
+    {!triangularize}. *)
+
+val solve_ls : Mat.t -> Vec.t -> Vec.t
+(** [solve_ls a b] is the least-squares solution of [a x = b] via
+    Householder QR.  Requires [rows a >= cols a] and full column
+    rank. *)
+
+val flops_estimate : rows:int -> cols:int -> int
+(** Analytic Householder MAC estimate [n^2 (m - n/3)] used by the
+    hardware latency models. *)

@@ -1,0 +1,52 @@
+let check_square name r =
+  let m, n = Mat.dims r in
+  if m <> n then invalid_arg (Printf.sprintf "Tri.%s: matrix is %dx%d, not square" name m n);
+  m
+
+let pivot_check name x =
+  if Float.abs x < 1e-12 then failwith (Printf.sprintf "Tri.%s: singular pivot %g" name x)
+
+let solve_upper r d =
+  let n = check_square "solve_upper" r in
+  if Vec.dim d <> n then invalid_arg "Tri.solve_upper: rhs dimension mismatch";
+  let x = Vec.create n in
+  for i = n - 1 downto 0 do
+    let acc = ref d.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get r i j *. x.(j))
+    done;
+    let rii = Mat.get r i i in
+    pivot_check "solve_upper" rii;
+    x.(i) <- !acc /. rii
+  done;
+  Macs.add (n * (n + 1) / 2);
+  x
+
+let solve_lower l d =
+  let n = check_square "solve_lower" l in
+  if Vec.dim d <> n then invalid_arg "Tri.solve_lower: rhs dimension mismatch";
+  let x = Vec.create n in
+  for i = 0 to n - 1 do
+    let acc = ref d.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get l i j *. x.(j))
+    done;
+    let lii = Mat.get l i i in
+    pivot_check "solve_lower" lii;
+    x.(i) <- !acc /. lii
+  done;
+  Macs.add (n * (n + 1) / 2);
+  x
+
+let solve_upper_mat r d =
+  let n = check_square "solve_upper_mat" r in
+  let dm, dn = Mat.dims d in
+  if dm <> n then invalid_arg "Tri.solve_upper_mat: rhs row mismatch";
+  let out = Mat.create n dn in
+  for j = 0 to dn - 1 do
+    let x = solve_upper r (Mat.col d j) in
+    for i = 0 to n - 1 do
+      Mat.set out i j x.(i)
+    done
+  done;
+  out

@@ -1,0 +1,12 @@
+(** Triangular solves. *)
+
+val solve_upper : Mat.t -> Vec.t -> Vec.t
+(** [solve_upper r d] solves the square upper-triangular system
+    [r x = d] by back substitution.  Raises [Failure] on a (near-)zero
+    diagonal pivot. *)
+
+val solve_lower : Mat.t -> Vec.t -> Vec.t
+(** Forward substitution for square lower-triangular systems. *)
+
+val solve_upper_mat : Mat.t -> Mat.t -> Mat.t
+(** Column-wise {!solve_upper}: solves [r x = d] for a matrix rhs. *)

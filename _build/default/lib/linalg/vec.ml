@@ -1,0 +1,76 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let init = Array.init
+let of_list = Array.of_list
+let dim = Array.length
+let copy = Array.copy
+let get = Array.get
+let set = Array.set
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch %d vs %d" name (Array.length a) (Array.length b))
+
+let add a b =
+  check_dims "add" a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dims "sub" a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale alpha a =
+  Macs.add (Array.length a);
+  Array.map (fun x -> alpha *. x) a
+
+let neg a = Array.map (fun x -> -.x) a
+
+let dot a b =
+  check_dims "dot" a b;
+  Macs.add (Array.length a);
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm_sq a = dot a a
+let norm a = sqrt (norm_sq a)
+let dist a b = norm (sub a b)
+
+let concat vs =
+  let total = List.fold_left (fun acc v -> acc + dim v) 0 vs in
+  let out = create total in
+  let pos = ref 0 in
+  List.iter
+    (fun v ->
+      Array.blit v 0 out !pos (dim v);
+      pos := !pos + dim v)
+    vs;
+  out
+
+let slice v ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > dim v then invalid_arg "Vec.slice: out of bounds";
+  Array.sub v pos len
+
+let axpy ~alpha ~x ~y =
+  check_dims "axpy" x y;
+  Macs.add (Array.length x);
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  done
+
+let equal ?(eps = 1e-9) a b =
+  dim a = dim b
+  &&
+  let ok = ref true in
+  for i = 0 to dim a - 1 do
+    if Float.abs (a.(i) -. b.(i)) > eps then ok := false
+  done;
+  !ok
+
+let pp ppf v =
+  Format.fprintf ppf "[@[";
+  Array.iteri (fun i x -> Format.fprintf ppf "%s%.4g" (if i > 0 then "; " else "") x) v;
+  Format.fprintf ppf "@]]"

@@ -1,0 +1,58 @@
+(** Dense vectors over floats.
+
+    A vector is a plain [float array]; the module provides the pure
+    operations the rest of the library needs and charges MAC costs to
+    {!Macs}. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector of the given dimension. *)
+
+val init : int -> (int -> float) -> t
+
+val of_list : float list -> t
+
+val dim : t -> int
+
+val copy : t -> t
+
+val get : t -> int -> float
+
+val set : t -> int -> float -> unit
+
+val add : t -> t -> t
+(** Elementwise sum. Dimensions must agree. *)
+
+val sub : t -> t -> t
+(** Elementwise difference. Dimensions must agree. *)
+
+val scale : float -> t -> t
+
+val neg : t -> t
+
+val dot : t -> t -> float
+(** Inner product; charges [dim] MACs. *)
+
+val norm : t -> float
+(** Euclidean norm. *)
+
+val norm_sq : t -> float
+(** Squared Euclidean norm. *)
+
+val dist : t -> t -> float
+(** [dist a b] is [norm (sub a b)]. *)
+
+val concat : t list -> t
+(** Stack vectors end to end. *)
+
+val slice : t -> pos:int -> len:int -> t
+(** Contiguous sub-vector copy. *)
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** [y <- alpha * x + y] in place; charges [dim] MACs. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Componentwise comparison with tolerance (default 1e-9). *)
+
+val pp : Format.formatter -> t -> unit

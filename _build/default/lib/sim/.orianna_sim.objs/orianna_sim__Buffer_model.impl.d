@@ -1,0 +1,1 @@
+lib/sim/buffer_model.ml: Array Format Instr List Orianna_hw Orianna_isa Program Schedule

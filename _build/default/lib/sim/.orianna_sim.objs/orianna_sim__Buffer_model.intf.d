@@ -1,0 +1,1 @@
+lib/sim/buffer_model.mli: Format Orianna_hw Orianna_isa Program Schedule

@@ -1,0 +1,1 @@
+lib/sim/schedule.ml: Accel Array Format Fun Hashtbl Instr List Option Orianna_hw Orianna_isa Orianna_util Program Unit_model

@@ -1,0 +1,1 @@
+lib/sim/schedule.mli: Accel Format Instr Orianna_hw Orianna_isa Program Unit_model

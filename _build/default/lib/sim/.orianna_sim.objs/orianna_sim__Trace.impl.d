@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Buffer Char Float Instr List Orianna_hw Orianna_isa Printf Program Schedule Unit_model

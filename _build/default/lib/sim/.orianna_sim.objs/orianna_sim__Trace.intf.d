@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Orianna_isa Program Schedule

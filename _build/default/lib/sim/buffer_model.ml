@@ -1,0 +1,90 @@
+open Orianna_isa
+
+type occupancy = {
+  peak_words : int;
+  peak_cycle : int;
+  average_words : float;
+  total_words_produced : int;
+}
+
+(* Live interval per register: [finish(producer), max finish(consumer)),
+   extended to the makespan for program outputs. *)
+let live_intervals (p : Program.t) (r : Schedule.result) =
+  let n = Array.length p.Program.instrs in
+  let last_use = Array.make n (-1) in
+  Array.iter
+    (fun (ins : Instr.t) ->
+      Array.iter
+        (fun s -> last_use.(s) <- max last_use.(s) r.Schedule.finishes.(ins.Instr.id))
+        ins.Instr.srcs)
+    p.Program.instrs;
+  List.iter (fun (_, reg) -> last_use.(reg) <- max last_use.(reg) r.Schedule.cycles) p.Program.outputs;
+  Array.to_list p.Program.instrs
+  |> List.filter_map (fun (ins : Instr.t) ->
+         let id = ins.Instr.id in
+         if last_use.(id) < 0 then None (* dead value: never read *)
+         else Some (r.Schedule.finishes.(id), last_use.(id), ins.Instr.rows * ins.Instr.cols))
+
+(* Event sweep over (time, delta-words). *)
+let sweep intervals =
+  let events =
+    List.concat_map (fun (s, f, w) -> [ (s, w); (f, -w) ]) intervals
+    |> List.sort (fun (ta, da) (tb, db) -> compare (ta, da) (tb, db))
+  in
+  let live = ref 0 in
+  let peak = ref 0 and peak_cycle = ref 0 in
+  let weighted = ref 0.0 in
+  let last_t = ref 0 in
+  List.iter
+    (fun (t, d) ->
+      weighted := !weighted +. (float_of_int !live *. float_of_int (t - !last_t));
+      last_t := t;
+      live := !live + d;
+      if !live > !peak then begin
+        peak := !live;
+        peak_cycle := t
+      end)
+    events;
+  (!peak, !peak_cycle, !weighted)
+
+let analyze (p : Program.t) (r : Schedule.result) =
+  let intervals = live_intervals p r in
+  let peak, peak_cycle, weighted = sweep intervals in
+  let total = List.fold_left (fun acc (_, _, w) -> acc + w) 0 intervals in
+  {
+    peak_words = peak;
+    peak_cycle;
+    average_words = (if r.Schedule.cycles = 0 then 0.0 else weighted /. float_of_int r.Schedule.cycles);
+    total_words_produced = total;
+  }
+
+let words_per_bram = 512
+
+let capacity_words accel =
+  let res = Orianna_hw.Accel.resources accel in
+  res.Orianna_hw.Resource.bram * words_per_bram
+
+let fits accel p r = (analyze p r).peak_words <= capacity_words accel
+
+let spill_words ~capacity (p : Program.t) (r : Schedule.result) =
+  let intervals = live_intervals p r in
+  let events =
+    List.concat_map (fun (s, f, w) -> [ (s, w); (f, -w) ]) intervals
+    |> List.sort (fun (ta, da) (tb, db) -> compare (ta, da) (tb, db))
+  in
+  let live = ref 0 in
+  let spilled = ref 0 in
+  let last_t = ref 0 in
+  List.iter
+    (fun (t, d) ->
+      (* Integrate excess words over the elapsed interval. *)
+      let excess = max 0 (!live - capacity) in
+      spilled := !spilled + (excess * (t - !last_t));
+      last_t := t;
+      live := !live + d)
+    events;
+  !spilled
+
+let pp ppf o =
+  Format.fprintf ppf "peak %d words at cycle %d, average %.1f, produced %d" o.peak_words
+    o.peak_cycle o.average_words o.total_words_produced

@@ -1,0 +1,36 @@
+(** On-chip buffer occupancy analysis.
+
+    The accelerator keeps intermediate matrices in an on-chip buffer
+    (Fig. 12's "error and derivative terms are stored in an on-chip
+    buffer").  A register is live from the cycle its producer finishes
+    until its last consumer finishes; program outputs stay live to the
+    end.  Sweeping the schedule gives the peak working set, which must
+    fit the BRAM the design instantiates — the check this module
+    implements, plus the spill traffic a too-small buffer would
+    incur. *)
+
+open Orianna_isa
+
+type occupancy = {
+  peak_words : int;  (** maximum simultaneously-live words *)
+  peak_cycle : int;  (** when the peak occurs *)
+  average_words : float;  (** time-averaged occupancy *)
+  total_words_produced : int;
+}
+
+val analyze : Program.t -> Schedule.result -> occupancy
+
+val words_per_bram : int
+(** Capacity of one BRAM36 in 64-bit words (512). *)
+
+val capacity_words : Orianna_hw.Accel.t -> int
+(** Buffer capacity of a design: its BRAM budget in words. *)
+
+val fits : Orianna_hw.Accel.t -> Program.t -> Schedule.result -> bool
+(** Peak working set within the design's buffer capacity. *)
+
+val spill_words : capacity:int -> Program.t -> Schedule.result -> int
+(** Cycle-integrated word-overflow above [capacity] — proportional to
+    the DRAM traffic a smaller buffer would cause. 0 when it fits. *)
+
+val pp : Format.formatter -> occupancy -> unit

@@ -1,0 +1,271 @@
+open Orianna_isa
+open Orianna_hw
+module Heap = Orianna_util.Heap
+
+type policy = In_order | Ooo_fine | Ooo_full
+
+let policy_name = function
+  | In_order -> "in-order"
+  | Ooo_fine -> "ooo-fine"
+  | Ooo_full -> "ooo-full"
+
+type result = {
+  cycles : int;
+  seconds : float;
+  dynamic_energy_j : float;
+  static_energy_j : float;
+  energy_j : float;
+  phase_busy : (Instr.phase * int) list;
+  unit_busy : (Unit_model.unit_class * int) list;
+  utilization : (Unit_model.unit_class * float) list;
+  instructions : int;
+  starts : int array;
+  finishes : int array;
+}
+
+let class_index cls =
+  let rec find i = function
+    | [] -> assert false
+    | c :: rest -> if c = cls then i else find (i + 1) rest
+  in
+  find 0 Unit_model.all_classes
+
+let num_classes = List.length Unit_model.all_classes
+
+(* Critical-path priority: longest latency-weighted path to a sink. *)
+let priorities (p : Program.t) latency_of =
+  let n = Array.length p.Program.instrs in
+  let prio = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let ins = p.Program.instrs.(i) in
+    prio.(i) <- max prio.(i) (latency_of i);
+    Array.iter
+      (fun s -> prio.(s) <- max prio.(s) (prio.(i) + latency_of s))
+      ins.Instr.srcs
+  done;
+  prio
+
+(* Dataflow (OoO) list scheduling of the instruction subset [ids],
+   starting no earlier than [t0].  Returns the subset makespan. *)
+let schedule_ooo (p : Program.t) ~latency_of ~prio ~counts ~starts ~finishes ~ids ~t0 =
+  let in_subset = Hashtbl.create (Array.length ids) in
+  Array.iter (fun id -> Hashtbl.add in_subset id ()) ids;
+  let indeg = Hashtbl.create (Array.length ids) in
+  let children = Hashtbl.create (Array.length ids) in
+  Array.iter
+    (fun id ->
+      let ins = p.Program.instrs.(id) in
+      let deps =
+        Array.to_list ins.Instr.srcs |> List.filter (fun s -> Hashtbl.mem in_subset s)
+      in
+      Hashtbl.replace indeg id (List.length deps);
+      List.iter
+        (fun s ->
+          Hashtbl.replace children s (id :: Option.value ~default:[] (Hashtbl.find_opt children s)))
+        deps)
+    ids;
+  (* Per-class: arrivals ordered by ready time, ready ordered by
+     descending priority.  Unit instances as free-time arrays. *)
+  let arrivals =
+    Array.init num_classes (fun _ -> Heap.create ~cmp:(fun (ta, _) (tb, _) -> compare ta tb))
+  in
+  let ready =
+    Array.init num_classes (fun _ -> Heap.create ~cmp:(fun (pa, _) (pb, _) -> compare pb pa))
+  in
+  let free : int array array =
+    Array.of_list
+      (List.map (fun cls -> Array.make (List.assoc cls counts) t0) Unit_model.all_classes)
+  in
+  let ready_dep_time = Hashtbl.create (Array.length ids) in
+  let arrive id t =
+    let cls = class_index (Unit_model.class_of_op p.Program.instrs.(id).Instr.op) in
+    Heap.push arrivals.(cls) (max t t0, id)
+  in
+  Array.iter
+    (fun id -> if Hashtbl.find indeg id = 0 then arrive id t0)
+    ids;
+  let remaining = ref (Array.length ids) in
+  let t = ref t0 in
+  let makespan = ref t0 in
+  while !remaining > 0 do
+    (* Promote arrivals whose time has come. *)
+    for c = 0 to num_classes - 1 do
+      let continue_ = ref true in
+      while !continue_ do
+        match Heap.peek arrivals.(c) with
+        | Some (ta, id) when ta <= !t ->
+            ignore (Heap.pop arrivals.(c));
+            Heap.push ready.(c) (prio.(id), id)
+        | Some _ | None -> continue_ := false
+      done
+    done;
+    (* Greedily fill free unit instances with the highest-priority
+       ready instruction of their class. *)
+    let scheduled_any = ref false in
+    for c = 0 to num_classes - 1 do
+      let continue_ = ref true in
+      while !continue_ && not (Heap.is_empty ready.(c)) do
+        (* Find a free instance. *)
+        let best = ref (-1) in
+        Array.iteri (fun k ft -> if ft <= !t && (!best < 0 || ft < free.(c).(!best)) then best := k) free.(c);
+        if !best < 0 then continue_ := false
+        else begin
+          match Heap.pop ready.(c) with
+          | None -> continue_ := false
+          | Some (_, id) ->
+              let dep_ready = Option.value ~default:t0 (Hashtbl.find_opt ready_dep_time id) in
+              let start = max !t dep_ready in
+              let lat = latency_of id in
+              let finish = start + lat in
+              starts.(id) <- start;
+              finishes.(id) <- finish;
+              free.(c).(!best) <- finish;
+              makespan := max !makespan finish;
+              decr remaining;
+              scheduled_any := true;
+              List.iter
+                (fun child ->
+                  let d = Hashtbl.find indeg child - 1 in
+                  Hashtbl.replace indeg child d;
+                  let prev = Option.value ~default:t0 (Hashtbl.find_opt ready_dep_time child) in
+                  Hashtbl.replace ready_dep_time child (max prev finish);
+                  if d = 0 then arrive child finish)
+                (Option.value ~default:[] (Hashtbl.find_opt children id))
+        end
+      done
+    done;
+    if !remaining > 0 && not !scheduled_any then begin
+      (* Advance time to the next event: an arrival or a unit free. *)
+      let next = ref max_int in
+      for c = 0 to num_classes - 1 do
+        (match Heap.peek arrivals.(c) with Some (ta, _) when ta > !t -> next := min !next ta | _ -> ());
+        if not (Heap.is_empty ready.(c)) then
+          Array.iter (fun ft -> if ft > !t then next := min !next ft) free.(c)
+      done;
+      if !next = max_int then begin
+        (* Everything ready but no instance ever frees: impossible. *)
+        failwith "Schedule: deadlock"
+      end;
+      t := !next
+    end
+  done;
+  !makespan
+
+(* The in-order controller has no scoreboard: it dispatches one matrix
+   instruction, waits for its completion, then dispatches the next —
+   instructions never overlap, whatever units exist (Sec. 7.1's
+   ORIANNA-IO). *)
+let schedule_in_order (p : Program.t) ~latency_of ~counts ~starts ~finishes =
+  ignore counts;
+  let makespan = ref 0 in
+  Array.iter
+    (fun (ins : Instr.t) ->
+      let id = ins.Instr.id in
+      let dep_ready = Array.fold_left (fun acc s -> max acc finishes.(s)) 0 ins.Instr.srcs in
+      let start = max dep_ready !makespan in
+      let finish = start + latency_of id in
+      starts.(id) <- start;
+      finishes.(id) <- finish;
+      makespan := finish)
+    p.Program.instrs;
+  !makespan
+
+type priority_policy = Critical_path | Fifo
+
+let run ?(priority = Critical_path) ~accel ~policy (p : Program.t) =
+  let n = Array.length p.Program.instrs in
+  let src_shape id = (p.Program.instrs.(id).Instr.rows, p.Program.instrs.(id).Instr.cols) in
+  let latency_of id =
+    let ins = p.Program.instrs.(id) in
+    Unit_model.latency
+      (Unit_model.class_of_op ins.Instr.op)
+      ~qr_rotators:accel.Accel.qr_rotators ins ~src_shape
+  in
+  let counts = accel.Accel.counts in
+  let starts = Array.make n 0 and finishes = Array.make n 0 in
+  let makespan =
+    match policy with
+    | In_order -> schedule_in_order p ~latency_of ~counts ~starts ~finishes
+    | Ooo_full ->
+        let prio =
+          match priority with
+          | Critical_path -> priorities p latency_of
+          | Fifo -> Array.init n (fun i -> -i)
+        in
+        schedule_ooo p ~latency_of ~prio ~counts ~starts ~finishes
+          ~ids:(Array.init n Fun.id) ~t0:0
+    | Ooo_fine ->
+        let prio =
+          match priority with
+          | Critical_path -> priorities p latency_of
+          | Fifo -> Array.init n (fun i -> -i)
+        in
+        (* Partition by algorithm, run them back to back. *)
+        let algos =
+          Array.fold_left
+            (fun acc (i : Instr.t) -> if List.mem i.Instr.algo acc then acc else i.Instr.algo :: acc)
+            [] p.Program.instrs
+          |> List.rev
+        in
+        List.fold_left
+          (fun t0 algo ->
+            let ids =
+              Array.of_list
+                (List.filteri (fun _ _ -> true)
+                   (Array.to_list p.Program.instrs
+                   |> List.filter_map (fun (i : Instr.t) ->
+                          if i.Instr.algo = algo then Some i.Instr.id else None)))
+            in
+            schedule_ooo p ~latency_of ~prio ~counts ~starts ~finishes ~ids ~t0)
+          0 algos
+  in
+  (* Accounting. *)
+  let phase_busy = Hashtbl.create 4 and unit_busy = Hashtbl.create 8 in
+  let bump tbl k v = Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+  let dynamic = ref 0.0 in
+  Array.iter
+    (fun (ins : Instr.t) ->
+      let cls = Unit_model.class_of_op ins.Instr.op in
+      let lat = latency_of ins.Instr.id in
+      bump phase_busy ins.Instr.phase lat;
+      bump unit_busy cls lat;
+      dynamic := !dynamic +. Unit_model.dynamic_energy_nj cls ins ~src_shape)
+    p.Program.instrs;
+  let seconds = float_of_int makespan /. (accel.Accel.clock_mhz *. 1e6) in
+  let dynamic_energy_j = !dynamic *. 1e-9 in
+  let static_energy_j = Accel.static_power_w accel *. seconds in
+  let utilization =
+    List.map
+      (fun (cls, k) ->
+        let busy = Option.value ~default:0 (Hashtbl.find_opt unit_busy cls) in
+        let denom = float_of_int (max 1 (makespan * k)) in
+        (cls, float_of_int busy /. denom))
+      counts
+  in
+  {
+    cycles = makespan;
+    seconds;
+    dynamic_energy_j;
+    static_energy_j;
+    energy_j = dynamic_energy_j +. static_energy_j;
+    phase_busy = Hashtbl.fold (fun k v acc -> (k, v) :: acc) phase_busy [] |> List.sort compare;
+    unit_busy = Hashtbl.fold (fun k v acc -> (k, v) :: acc) unit_busy [] |> List.sort compare;
+    utilization;
+    instructions = n;
+    starts;
+    finishes;
+  }
+
+let frame_seconds r = r.seconds
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>%d instrs, %d cycles (%.3f ms), energy %.3f mJ (dyn %.3f + static %.3f)@,"
+    r.instructions r.cycles (r.seconds *. 1e3) (r.energy_j *. 1e3) (r.dynamic_energy_j *. 1e3)
+    (r.static_energy_j *. 1e3);
+  List.iter
+    (fun (ph, c) -> Format.fprintf ppf "  %-10s %8d busy cycles@," (Instr.phase_name ph) c)
+    r.phase_busy;
+  List.iter
+    (fun (cls, u) -> Format.fprintf ppf "  %-8s %5.1f%% utilized@," (Unit_model.class_name cls) (100.0 *. u))
+    r.utilization;
+  Format.fprintf ppf "@]"

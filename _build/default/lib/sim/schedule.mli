@@ -1,0 +1,52 @@
+(** Cycle-level execution of a compiled instruction stream on a
+    generated accelerator (Sec. 6.3).
+
+    Three issue policies:
+
+    - [In_order]: the ORIANNA-IO variant — instructions issue strictly
+      in program order (an instruction may not start before its
+      predecessor has started), stalling on operand dependencies and
+      structural hazards;
+    - [Ooo_fine]: dataflow issue {e within} each algorithm, but
+      algorithms of the application execute one after another — this
+      isolates the contribution of coarse-grained reordering;
+    - [Ooo_full]: the ORIANNA-OoO variant — dataflow issue across the
+      whole application; instructions of different algorithms
+      interleave freely on the shared units.
+
+    Scheduling is greedy list scheduling with critical-path priority,
+    which is what a scoreboard with a full instruction window
+    achieves. *)
+
+open Orianna_isa
+open Orianna_hw
+
+type policy = In_order | Ooo_fine | Ooo_full
+
+val policy_name : policy -> string
+
+type result = {
+  cycles : int;  (** makespan *)
+  seconds : float;
+  dynamic_energy_j : float;
+  static_energy_j : float;
+  energy_j : float;
+  phase_busy : (Instr.phase * int) list;  (** busy cycles per phase *)
+  unit_busy : (Unit_model.unit_class * int) list;
+  utilization : (Unit_model.unit_class * float) list;  (** busy / (makespan * instances) *)
+  instructions : int;
+  starts : int array;  (** per-instruction start cycle *)
+  finishes : int array;
+}
+
+type priority_policy =
+  | Critical_path  (** longest latency-weighted path to a sink (default) *)
+  | Fifo  (** program order among ready instructions *)
+
+val run : ?priority:priority_policy -> accel:Accel.t -> policy:policy -> Program.t -> result
+
+val frame_seconds : result -> float
+(** Alias for [.seconds] — one compiled program is one frame's
+    iteration. *)
+
+val pp_result : Format.formatter -> result -> unit

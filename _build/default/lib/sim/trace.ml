@@ -1,0 +1,77 @@
+open Orianna_isa
+open Orianna_hw
+
+let gantt_csv (p : Program.t) (r : Schedule.result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "id,opcode,phase,algo,unit,start,finish,cycles\n";
+  Array.iter
+    (fun (ins : Instr.t) ->
+      let id = ins.Instr.id in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%d,%s,%d,%d,%d\n" id
+           (Instr.opcode_name ins.Instr.op)
+           (Instr.phase_name ins.Instr.phase)
+           ins.Instr.algo
+           (Unit_model.class_name (Unit_model.class_of_op ins.Instr.op))
+           r.Schedule.starts.(id) r.Schedule.finishes.(id)
+           (r.Schedule.finishes.(id) - r.Schedule.starts.(id))))
+    p.Program.instrs;
+  Buffer.contents buf
+
+let utilization_timeline ?(width = 72) (p : Program.t) (r : Schedule.result) =
+  let makespan = max 1 r.Schedule.cycles in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun cls ->
+      let busy = Array.make width 0.0 in
+      Array.iter
+        (fun (ins : Instr.t) ->
+          if Unit_model.class_of_op ins.Instr.op = cls then begin
+            let s = r.Schedule.starts.(ins.Instr.id) and f = r.Schedule.finishes.(ins.Instr.id) in
+            (* Spread the busy interval over the bins it overlaps. *)
+            let bin_width = float_of_int makespan /. float_of_int width in
+            let b0 = int_of_float (float_of_int s /. bin_width) in
+            let b1 = min (width - 1) (int_of_float (float_of_int (f - 1) /. bin_width)) in
+            for b = b0 to b1 do
+              let bin_lo = float_of_int b *. bin_width in
+              let bin_hi = bin_lo +. bin_width in
+              let overlap = Float.min bin_hi (float_of_int f) -. Float.max bin_lo (float_of_int s) in
+              if overlap > 0.0 then busy.(b) <- busy.(b) +. overlap
+            done
+          end)
+        p.Program.instrs;
+      Buffer.add_string buf (Printf.sprintf "%-8s " (Unit_model.class_name cls));
+      let bin_width = float_of_int makespan /. float_of_int width in
+      Array.iter
+        (fun b ->
+          let frac = b /. bin_width in
+          if frac <= 0.01 then Buffer.add_char buf '.'
+          else begin
+            let level = min 9 (int_of_float (frac *. 10.0)) in
+            Buffer.add_char buf (Char.chr (Char.code '0' + level))
+          end)
+        busy;
+      Buffer.add_char buf '\n')
+    Unit_model.all_classes;
+  Buffer.contents buf
+
+let phase_color = function
+  | Instr.Construct -> "lightblue"
+  | Instr.Decompose -> "lightsalmon"
+  | Instr.Backsub -> "lightgreen"
+
+let to_dot (p : Program.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph program {\n  rankdir=LR;\n  node [shape=box, style=filled];\n";
+  Array.iter
+    (fun (ins : Instr.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  i%d [label=\"%s\\n%dx%d\", fillcolor=%s];\n" ins.Instr.id
+           (Instr.opcode_name ins.Instr.op) ins.Instr.rows ins.Instr.cols
+           (phase_color ins.Instr.phase));
+      Array.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf "  i%d -> i%d;\n" s ins.Instr.id))
+        ins.Instr.srcs)
+    p.Program.instrs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Schedule inspection tooling.
+
+    The out-of-order controller's behaviour is easiest to audit
+    visually: {!gantt_csv} dumps one row per instruction with its unit
+    class, start and finish cycles (load into any spreadsheet/plotting
+    tool), and {!utilization_timeline} renders a coarse textual
+    heat-strip per unit class. *)
+
+open Orianna_isa
+
+val gantt_csv : Program.t -> Schedule.result -> string
+(** Columns: id, opcode, phase, algo, unit, start, finish, cycles. *)
+
+val utilization_timeline : ?width:int -> Program.t -> Schedule.result -> string
+(** One line per unit class: time binned into [width] columns
+    (default 72), each column a digit 0-9 for the fraction of the bin
+    the class was busy ('.' for idle). *)
+
+val to_dot : Program.t -> string
+(** GraphViz rendering of the instruction dependency DAG, colored by
+    phase (for small programs / documentation). *)

@@ -1,0 +1,58 @@
+type 'a t = { cmp : 'a -> 'a -> int; mutable data : 'a array; mutable len : int }
+
+let create ~cmp = { cmp; data = [||]; len = 0 }
+
+let is_empty h = h.len = 0
+let size h = h.len
+
+let grow h x =
+  if h.len = Array.length h.data then begin
+    let cap = max 8 (2 * Array.length h.data) in
+    let data = Array.make cap x in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
+  if r < h.len && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  grow h x;
+  h.data.(h.len) <- x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let peek h = if h.len = 0 then None else Some h.data.(0)

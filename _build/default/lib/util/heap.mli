@@ -1,0 +1,17 @@
+(** A minimal binary min-heap, used by the cycle-level scheduler. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Smallest-first with respect to [cmp]. *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum. *)
+
+val peek : 'a t -> 'a option

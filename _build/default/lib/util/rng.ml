@@ -1,0 +1,51 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let of_int seed = create (Int64.of_int seed)
+
+(* splitmix64 finalizer: xor-shift multiply avalanche. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = create (int64 t)
+
+let float t =
+  (* 53 significant bits mapped onto [0, 1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  assert (n > 0);
+  (* Keep 62 bits so the conversion to a native 63-bit int stays
+     non-negative. *)
+  let x = Int64.to_int (Int64.logand (int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  x mod n
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let rec gaussian t =
+  let u = (2.0 *. float t) -. 1.0 in
+  let v = (2.0 *. float t) -. 1.0 in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1.0 || s = 0.0 then gaussian t
+  else u *. sqrt (-2.0 *. log s /. s)
+
+let gaussian_sigma t ~sigma = sigma *. gaussian t
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,70 @@
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    sqrt (!acc /. float_of_int n)
+  end
+
+let nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
+
+let min xs =
+  nonempty "Stats.min" xs;
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  nonempty "Stats.max" xs;
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let sorted_copy xs =
+  let c = Array.copy xs in
+  Array.sort compare c;
+  c
+
+let percentile xs p =
+  nonempty "Stats.percentile" xs;
+  let c = sorted_copy xs in
+  let n = Array.length c in
+  if n = 1 then c.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    c.(lo) +. (frac *. (c.(hi) -. c.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+
+let rms xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. (x *. x)) xs;
+    sqrt (!acc /. float_of_int n)
+  end
+
+type summary = {
+  count : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+}
+
+let summarize xs =
+  nonempty "Stats.summarize" xs;
+  { count = Array.length xs; mean = mean xs; std = stddev xs; min = min xs; max = max xs }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4f std=%.4f min=%.4f max=%.4f" s.count s.mean s.std s.min s.max

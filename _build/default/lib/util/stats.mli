@@ -1,0 +1,40 @@
+(** Small descriptive-statistics helpers used by the experiment
+    harness (trajectory errors, latency distributions, ...). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 on arrays shorter than 2. *)
+
+val min : float array -> float
+(** Smallest element. Raises [Invalid_argument] on the empty array. *)
+
+val max : float array -> float
+(** Largest element. Raises [Invalid_argument] on the empty array. *)
+
+val sum : float array -> float
+(** Sum of elements. *)
+
+val median : float array -> float
+(** Median (does not mutate its argument). Raises on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [[0, 100]], linear interpolation.
+    Raises on empty input. *)
+
+val rms : float array -> float
+(** Root mean square; 0 on the empty array. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** All of the above in one pass-ish bundle. Raises on empty input. *)
+
+val pp_summary : Format.formatter -> summary -> unit

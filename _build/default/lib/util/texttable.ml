@@ -1,0 +1,65 @@
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : string list list; (* newest first *)
+}
+
+let create ~title ~headers = { title; headers; rows = [] }
+
+let add_row t row =
+  let ncols = List.length t.headers in
+  let len = List.length row in
+  if len > ncols then invalid_arg "Texttable.add_row: row wider than header";
+  let padded =
+    if len = ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  t.rows <- padded :: t.rows
+
+let cell_fx ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+let cell_f x = cell_fx ~decimals:3 x
+
+let add_float_row t label xs =
+  add_row t (label :: List.map cell_f xs);
+  t
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let note_row row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter note_row all;
+  let buf = Buffer.create 256 in
+  let pad cell width = cell ^ String.make (width - String.length cell) ' ' in
+  let emit_row row =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (pad cell widths.(i));
+        Buffer.add_string buf (if i = ncols - 1 then " |" else " | "))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  if t.title <> "" then begin
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n'
+  end;
+  rule ();
+  emit_row t.headers;
+  rule ();
+  List.iter emit_row rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,30 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Tables are built row by row and rendered with aligned columns, in
+    the spirit of the tables in the paper's evaluation section. *)
+
+type t
+
+val create : title:string -> headers:string list -> t
+(** A fresh table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append one row. Rows shorter than the header are padded, longer
+    rows raise [Invalid_argument]. *)
+
+val add_float_row : t -> string -> float list -> t
+(** [add_float_row t label xs] appends a row whose first cell is
+    [label] and remaining cells are [xs] printed with 3 decimals.
+    Returns [t] to allow chaining. *)
+
+val render : t -> string
+(** Render the whole table with box-drawing rules. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_f : float -> string
+(** Canonical float cell formatting (3 decimals, trailing zeros kept). *)
+
+val cell_fx : ?decimals:int -> float -> string
+(** Float cell with a chosen number of decimals. *)

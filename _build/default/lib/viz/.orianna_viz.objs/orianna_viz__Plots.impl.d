@@ -1,0 +1,1 @@
+lib/viz/plots.ml: Array Float Instr List Orianna_hw Orianna_isa Orianna_lie Orianna_sim Pose3 Printf Program Svg Unit_model

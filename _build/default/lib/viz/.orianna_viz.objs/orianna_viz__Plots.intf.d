@@ -1,0 +1,1 @@
+lib/viz/plots.mli: Orianna_isa Orianna_lie Orianna_sim Pose3 Program

@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Float List Printf String

@@ -1,0 +1,61 @@
+open Orianna_lie
+open Orianna_isa
+open Orianna_hw
+module Schedule = Orianna_sim.Schedule
+
+let xy poses =
+  Array.to_list (Array.map (fun p -> let t = Pose3.translation p in (t.(0), t.(1))) poses)
+
+let trajectory_svg ?(width = 640) ?(height = 640) ~truth ~initial ~estimate () =
+  let svg = Svg.create ~width ~height in
+  let all = xy truth @ xy initial @ xy estimate in
+  let m = Svg.fit ~width ~height ~margin:30.0 all in
+  let plot color ?(w = 1.5) pts = Svg.polyline svg ~width:w ~color (List.map (Svg.apply m) pts) in
+  plot "#bbbbbb" ~w:1.0 (xy truth);
+  plot "#cc3333" (xy initial);
+  plot "#3355cc" (xy estimate);
+  Svg.text svg ~x:12.0 ~y:18.0 ~color:"#888888" "truth";
+  Svg.text svg ~x:70.0 ~y:18.0 ~color:"#cc3333" "initial";
+  Svg.text svg ~x:140.0 ~y:18.0 ~color:"#3355cc" "optimized";
+  Svg.render svg
+
+let phase_color = function
+  | Instr.Construct -> "#7fa8d9"
+  | Instr.Decompose -> "#e8925a"
+  | Instr.Backsub -> "#7fc97f"
+
+let gantt_svg ?(width = 900) ?(height = 260) (p : Program.t) (r : Schedule.result) =
+  let svg = Svg.create ~width ~height in
+  let classes = Unit_model.all_classes in
+  let lanes = List.length classes in
+  let label_w = 70.0 in
+  let lane_h = (float_of_int height -. 30.0) /. float_of_int lanes in
+  let span = Float.max 1.0 (float_of_int r.Schedule.cycles) in
+  let x_of c = label_w +. (float_of_int c /. span *. (float_of_int width -. label_w -. 10.0)) in
+  List.iteri
+    (fun i cls ->
+      let y = 10.0 +. (float_of_int i *. lane_h) in
+      Svg.text svg ~x:4.0 ~y:(y +. (lane_h /. 2.0)) ~size:11 (Unit_model.class_name cls);
+      Svg.line svg ~color:"#eeeeee" ~x1:label_w ~y1:(y +. lane_h) ~x2:(float_of_int width -. 10.0)
+        ~y2:(y +. lane_h))
+    classes;
+  Array.iter
+    (fun (ins : Instr.t) ->
+      let cls = Unit_model.class_of_op ins.Instr.op in
+      let lane =
+        let rec idx k = function
+          | [] -> 0
+          | c :: rest -> if c = cls then k else idx (k + 1) rest
+        in
+        idx 0 classes
+      in
+      let y = 12.0 +. (float_of_int lane *. lane_h) in
+      let s = r.Schedule.starts.(ins.Instr.id) and f = r.Schedule.finishes.(ins.Instr.id) in
+      let x = x_of s in
+      let w = Float.max 0.8 (x_of f -. x) in
+      Svg.rect ~stroke:"#666666" svg ~color:(phase_color ins.Instr.phase) ~x ~y ~w
+        ~h:(lane_h -. 6.0))
+    p.Program.instrs;
+  Svg.text svg ~x:label_w ~y:(float_of_int height -. 6.0) ~size:11
+    (Printf.sprintf "0 .. %d cycles" r.Schedule.cycles);
+  Svg.render svg

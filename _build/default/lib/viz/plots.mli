@@ -1,0 +1,21 @@
+(** Ready-made plots: the Fig. 9 trajectory comparison and a schedule
+    Gantt chart. *)
+
+open Orianna_lie
+open Orianna_isa
+
+val trajectory_svg :
+  ?width:int ->
+  ?height:int ->
+  truth:Pose3.t array ->
+  initial:Pose3.t array ->
+  estimate:Pose3.t array ->
+  unit ->
+  string
+(** XY projection of the three trajectories: ground truth dashed gray,
+    initial red, estimate blue — the layout of Figs. 9a/9b. *)
+
+val gantt_svg :
+  ?width:int -> ?height:int -> Program.t -> Orianna_sim.Schedule.result -> string
+(** One horizontal lane per unit class, each instruction a colored box
+    from start to finish cycle (colors by phase). *)

@@ -1,0 +1,69 @@
+type t = { width : int; height : int; mutable rev_body : string list }
+
+let create ~width ~height =
+  {
+    width;
+    height;
+    rev_body =
+      [ Printf.sprintf "<rect x=\"0\" y=\"0\" width=\"%d\" height=\"%d\" fill=\"white\"/>" width height ];
+  }
+
+let push t s = t.rev_body <- s :: t.rev_body
+
+let polyline t ?(width = 1.5) ~color points =
+  let pts =
+    String.concat " " (List.map (fun (x, y) -> Printf.sprintf "%.2f,%.2f" x y) points)
+  in
+  push t
+    (Printf.sprintf "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"%.2f\"/>"
+       pts color width)
+
+let circle t ~color ~cx ~cy ~r =
+  push t (Printf.sprintf "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\"/>" cx cy r color)
+
+let rect ?stroke t ~color ~x ~y ~w ~h =
+  let stroke_attr =
+    match stroke with None -> "" | Some s -> Printf.sprintf " stroke=\"%s\" stroke-width=\"0.5\"" s
+  in
+  push t
+    (Printf.sprintf "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"%s\"%s/>" x y
+       w h color stroke_attr)
+
+let text t ?(size = 12) ?(color = "black") ~x ~y s =
+  push t
+    (Printf.sprintf "<text x=\"%.2f\" y=\"%.2f\" font-size=\"%d\" fill=\"%s\" font-family=\"monospace\">%s</text>"
+       x y size color s)
+
+let line ?(width = 1.0) t ~color ~x1 ~y1 ~x2 ~y2 =
+  push t
+    (Printf.sprintf
+       "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" stroke=\"%s\" stroke-width=\"%.2f\"/>"
+       x1 y1 x2 y2 color width)
+
+let render t =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\n%s\n</svg>\n"
+    t.width t.height t.width t.height
+    (String.concat "\n" (List.rev t.rev_body))
+
+type mapping = { scale : float; x0 : float; y0 : float; px : float; py : float; flip_h : float }
+
+let fit ~width ~height ~margin points =
+  if points = [] then invalid_arg "Svg.fit: no points";
+  let xs = List.map fst points and ys = List.map snd points in
+  let min_x = List.fold_left Float.min (List.hd xs) xs in
+  let max_x = List.fold_left Float.max (List.hd xs) xs in
+  let min_y = List.fold_left Float.min (List.hd ys) ys in
+  let max_y = List.fold_left Float.max (List.hd ys) ys in
+  let span_x = Float.max 1e-9 (max_x -. min_x) in
+  let span_y = Float.max 1e-9 (max_y -. min_y) in
+  let avail_x = float_of_int width -. (2.0 *. margin) in
+  let avail_y = float_of_int height -. (2.0 *. margin) in
+  let scale = Float.min (avail_x /. span_x) (avail_y /. span_y) in
+  (* Center the drawing. *)
+  let px = margin +. ((avail_x -. (span_x *. scale)) /. 2.0) in
+  let py = margin +. ((avail_y -. (span_y *. scale)) /. 2.0) in
+  { scale; x0 = min_x; y0 = min_y; px; py; flip_h = span_y *. scale }
+
+let apply m (x, y) =
+  (m.px +. ((x -. m.x0) *. m.scale), m.py +. (m.flip_h -. ((y -. m.y0) *. m.scale)))

@@ -1,0 +1,30 @@
+(** A minimal SVG writer — enough to plot trajectories and schedules
+    without external dependencies. *)
+
+type t
+
+val create : width:int -> height:int -> t
+(** Canvas in pixels; a white background is emitted. *)
+
+val polyline : t -> ?width:float -> color:string -> (float * float) list -> unit
+(** Points in pixel coordinates. *)
+
+val circle : t -> color:string -> cx:float -> cy:float -> r:float -> unit
+
+val rect : ?stroke:string -> t -> color:string -> x:float -> y:float -> w:float -> h:float -> unit
+
+val text : t -> ?size:int -> ?color:string -> x:float -> y:float -> string -> unit
+
+val line : ?width:float -> t -> color:string -> x1:float -> y1:float -> x2:float -> y2:float -> unit
+
+val render : t -> string
+(** The complete SVG document. *)
+
+type mapping
+
+val fit : width:int -> height:int -> margin:float -> (float * float) list -> mapping
+(** Affine data-to-pixel mapping covering the given points (aspect
+    preserved, y flipped so data-up is screen-up).  Raises
+    [Invalid_argument] on an empty point list. *)
+
+val apply : mapping -> float * float -> float * float

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Cpu_model Gpu_model List Orianna_apps Orianna_baselines Orianna_compiler Orianna_isa Orianna_linalg Orianna_util Printf Rng

@@ -1,0 +1,1 @@
+test/test_hw.ml: Accel Alcotest Datapath Dse Instr List Orianna_hw Orianna_isa Orianna_linalg Printf Program Resource Unit_model

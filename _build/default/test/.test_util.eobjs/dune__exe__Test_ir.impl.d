@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Expr Format List Mat Modfg Orianna_ir Orianna_lie Orianna_linalg Orianna_util Pose3 Printf Rng So2 So3 Value Vec

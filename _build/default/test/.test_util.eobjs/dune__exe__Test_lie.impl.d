@@ -1,0 +1,1 @@
+test/test_lie.ml: Alcotest Array Convert Float List Macs Mat Orianna_lie Orianna_linalg Orianna_util Pose2 Pose3 Printf Quat Rng Se3 So2 So3 Vec

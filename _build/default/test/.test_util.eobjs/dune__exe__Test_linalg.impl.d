@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Assembly Chol Float List Macs Mat Orianna_linalg Orianna_util Printf QCheck QCheck_alcotest Qr Rng Tri Vec

@@ -1,0 +1,1 @@
+test/test_orianna.ml: Accel Alcotest Cpu_model Experiments Float Gpu_model Lazy List Orianna Orianna_apps Orianna_baselines Orianna_hw Orianna_isa Orianna_sim Pipeline Resource Schedule String

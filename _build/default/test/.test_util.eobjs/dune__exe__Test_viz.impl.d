@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Array Float List Orianna_apps Orianna_compiler Orianna_fg Orianna_hw Orianna_isa Orianna_lie Orianna_sim Orianna_util Orianna_viz Plots Printf Rng String Svg

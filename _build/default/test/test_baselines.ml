@@ -1,0 +1,102 @@
+open Orianna_baselines
+open Orianna_util
+module Compile = Orianna_compiler.Compile
+module App = Orianna_apps.App
+
+let program () = Compile.compile_application (App.mobile_robot.App.graphs (Rng.of_int 5))
+let dense () = Compile.compile_dense_application (App.mobile_robot.App.graphs (Rng.of_int 5))
+
+let test_cpu_time_positive_and_decomposed () =
+  let p = program () in
+  let r = Cpu_model.run Cpu_model.intel p in
+  Alcotest.(check bool) "positive" true (r.Cpu_model.seconds > 0.0);
+  Alcotest.(check (float 1e-15)) "construct + solve = total" r.Cpu_model.seconds
+    (r.Cpu_model.construct_seconds +. r.Cpu_model.solve_seconds)
+
+let test_intel_faster_than_arm () =
+  let p = program () in
+  let intel = Cpu_model.run Cpu_model.intel p in
+  let arm = Cpu_model.run Cpu_model.arm p in
+  let ratio = arm.Cpu_model.seconds /. intel.Cpu_model.seconds in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.1f in [4, 15]" ratio) true
+    (ratio > 4.0 && ratio < 15.0)
+
+let test_construct_scale_only_affects_construct () =
+  let p = program () in
+  let base = Cpu_model.run Cpu_model.intel p in
+  let scaled = Cpu_model.run Cpu_model.intel ~construct_flop_scale:2.0 p in
+  Alcotest.(check (float 1e-15)) "solve unchanged" base.Cpu_model.solve_seconds
+    scaled.Cpu_model.solve_seconds;
+  Alcotest.(check bool) "construct grows" true
+    (scaled.Cpu_model.construct_seconds > base.Cpu_model.construct_seconds);
+  (* The SE(3) penalty is bounded: construction is a fraction of total
+     CPU time, so the end-to-end gain of the unified representation in
+     software is small (the ORIANNA-SW observation, Sec. 7.3). *)
+  let gain = scaled.Cpu_model.seconds /. base.Cpu_model.seconds in
+  Alcotest.(check bool) (Printf.sprintf "software-only gain %.3f < 1.15" gain) true (gain < 1.15)
+
+let test_cpu_energy_consistent () =
+  let p = program () in
+  let r = Cpu_model.run Cpu_model.arm p in
+  Alcotest.(check (float 1e-12)) "E = P * t"
+    (r.Cpu_model.seconds *. Cpu_model.arm.Cpu_model.active_power_w)
+    r.Cpu_model.energy_j
+
+let test_gpu_between_arm_and_intel () =
+  (* The paper: the embedded GPU is ~2x the ARM CPU, far from Intel. *)
+  let p = program () in
+  let gpu = Gpu_model.run Gpu_model.jetson_maxwell p in
+  let arm = Cpu_model.run Cpu_model.arm ~construct_flop_scale:1.64 p in
+  let intel = Cpu_model.run Cpu_model.intel ~construct_flop_scale:1.64 p in
+  Alcotest.(check bool) "faster than ARM" true (gpu.Gpu_model.seconds < arm.Cpu_model.seconds);
+  Alcotest.(check bool) "slower than Intel" true (gpu.Gpu_model.seconds > intel.Cpu_model.seconds)
+
+let test_gpu_solve_dominates () =
+  (* Launch-bound sparse solving is the GPU's bottleneck (Sec. 7.3). *)
+  let p = program () in
+  let gpu = Gpu_model.run Gpu_model.jetson_maxwell p in
+  Alcotest.(check bool) "solve >> construct" true
+    (gpu.Gpu_model.solve_seconds > 3.0 *. gpu.Gpu_model.construct_seconds)
+
+let test_dense_program_slower_on_cpu_too () =
+  (* Even on a CPU the dense lowering does more arithmetic. *)
+  let sparse = Cpu_model.run Cpu_model.intel (program ()) in
+  let dense_r = Cpu_model.run Cpu_model.intel (dense ()) in
+  Alcotest.(check bool) "dense arithmetic costs more" true
+    (dense_r.Cpu_model.solve_seconds > sparse.Cpu_model.solve_seconds)
+
+let test_dense_program_same_solution () =
+  (* The dense lowering computes the same update as the factor-graph
+     lowering. *)
+  let p = program () in
+  let d = dense () in
+  let a = Orianna_isa.Program.run p in
+  let b = Orianna_isa.Program.run d in
+  List.iter
+    (fun (name, va) ->
+      let vb = List.assoc name b in
+      if not (Orianna_linalg.Vec.equal ~eps:1e-6 va vb) then
+        Alcotest.failf "dense/sparse solution mismatch at %s" name)
+    a
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "cpu",
+        [
+          Alcotest.test_case "time decomposition" `Quick test_cpu_time_positive_and_decomposed;
+          Alcotest.test_case "intel vs arm" `Quick test_intel_faster_than_arm;
+          Alcotest.test_case "construct scale" `Quick test_construct_scale_only_affects_construct;
+          Alcotest.test_case "energy" `Quick test_cpu_energy_consistent;
+        ] );
+      ( "gpu",
+        [
+          Alcotest.test_case "between arm and intel" `Quick test_gpu_between_arm_and_intel;
+          Alcotest.test_case "solve dominates" `Quick test_gpu_solve_dominates;
+        ] );
+      ( "vanilla",
+        [
+          Alcotest.test_case "dense slower" `Quick test_dense_program_slower_on_cpu_too;
+          Alcotest.test_case "dense same solution" `Quick test_dense_program_same_solution;
+        ] );
+    ]

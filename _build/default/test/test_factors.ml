@@ -1,0 +1,504 @@
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+open Orianna_factors
+open Orianna_util
+
+let check_vec msg ?(eps = 1e-8) a b =
+  if not (Vec.equal ~eps a b) then
+    Alcotest.failf "%s: %a vs %a" msg (fun ppf -> Vec.pp ppf) a (fun ppf -> Vec.pp ppf) b
+
+let check_mat msg ?(eps = 1e-8) a b =
+  if not (Mat.equal ~eps a b) then
+    Alcotest.failf "%s:@.%a@.vs@.%a" msg (fun ppf -> Mat.pp ppf) a (fun ppf -> Mat.pp ppf) b
+
+(* Generic harness: the whitened analytic Jacobians of a factor must
+   match central finite differences of the whitened error under the
+   variables' retractions. *)
+let check_factor_jacobians ?(eps = 1e-5) name factor (values : (string * Var.t) list) =
+  let lookup_of vals v = List.assoc v vals in
+  let base_lookup = lookup_of values in
+  let _, blocks = Factor.linearize factor base_lookup in
+  List.iter
+    (fun (v, analytic) ->
+      let value = List.assoc v values in
+      let d = Var.dim value in
+      let h = 1e-6 in
+      let numeric =
+        Mat.init (Vec.dim (Factor.error factor base_lookup)) d (fun i k ->
+            let tangent s =
+              let t = Vec.create d in
+              t.(k) <- s;
+              t
+            in
+            let vals_plus = (v, Var.retract value (tangent h)) :: List.remove_assoc v values in
+            let vals_minus = (v, Var.retract value (tangent (-.h))) :: List.remove_assoc v values in
+            let ep = Factor.error factor (lookup_of vals_plus) in
+            let em = Factor.error factor (lookup_of vals_minus) in
+            (ep.(i) -. em.(i)) /. (2.0 *. h))
+      in
+      check_mat (Printf.sprintf "%s: jacobian wrt %s" name v) ~eps numeric analytic)
+    blocks
+
+let rng () = Rng.of_int 4242
+
+(* ---------- pose factors ---------- *)
+
+let test_prior3_zero_at_truth () =
+  let r = rng () in
+  let z = Pose3.random r ~scale:2.0 in
+  let f = Pose_factors.prior3 ~name:"prior" ~var:"x" ~z ~sigma:0.5 in
+  let lookup _ = Var.Pose3 z in
+  check_vec "zero error" (Vec.create 6) (Factor.error f lookup)
+
+let test_prior3_jacobians () =
+  let r = rng () in
+  for _ = 1 to 3 do
+    let z = Pose3.random r ~scale:2.0 in
+    let f = Pose_factors.prior3 ~name:"prior" ~var:"x" ~z ~sigma:0.7 in
+    check_factor_jacobians "prior3" f [ ("x", Var.Pose3 (Pose3.random r ~scale:2.0)) ]
+  done
+
+let test_prior2_jacobians () =
+  let r = rng () in
+  let z = Pose2.random r ~scale:2.0 in
+  let f = Pose_factors.prior2 ~name:"prior" ~var:"x" ~z ~sigma:0.7 in
+  check_factor_jacobians "prior2" f [ ("x", Var.Pose2 (Pose2.random r ~scale:2.0)) ]
+
+let test_between3_zero_at_truth () =
+  let r = rng () in
+  let a = Pose3.random r ~scale:2.0 and b = Pose3.random r ~scale:2.0 in
+  let z = Pose3.ominus b a in
+  let f = Pose_factors.between3 ~name:"between" ~a:"a" ~b:"b" ~z ~sigma:0.3 in
+  let lookup = function "a" -> Var.Pose3 a | _ -> Var.Pose3 b in
+  check_vec "zero error" ~eps:1e-7 (Vec.create 6) (Factor.error f lookup)
+
+let test_between3_jacobians () =
+  let r = rng () in
+  for _ = 1 to 3 do
+    let z = Pose3.random r ~scale:1.0 in
+    let f = Pose_factors.between3 ~name:"between" ~a:"a" ~b:"b" ~z ~sigma:0.3 in
+    check_factor_jacobians "between3" f
+      [ ("a", Var.Pose3 (Pose3.random r ~scale:2.0)); ("b", Var.Pose3 (Pose3.random r ~scale:2.0)) ]
+  done
+
+let test_between2_jacobians () =
+  let r = rng () in
+  let z = Pose2.random r ~scale:1.0 in
+  let f = Pose_factors.between2 ~name:"between" ~a:"a" ~b:"b" ~z ~sigma:0.3 in
+  check_factor_jacobians "between2" f
+    [ ("a", Var.Pose2 (Pose2.random r ~scale:2.0)); ("b", Var.Pose2 (Pose2.random r ~scale:2.0)) ]
+
+let test_gps3_jacobians () =
+  let r = rng () in
+  let f = Pose_factors.gps3 ~name:"gps" ~var:"x" ~z:[| 1.0; 2.0; 3.0 |] ~sigma:0.2 in
+  check_factor_jacobians "gps3" f [ ("x", Var.Pose3 (Pose3.random r ~scale:2.0)) ]
+
+let test_lidar_landmark3_jacobians () =
+  let r = rng () in
+  let f =
+    Pose_factors.lidar_landmark3 ~name:"lidar" ~pose:"x" ~landmark:"l" ~z:[| 1.0; 0.5; -0.2 |]
+      ~sigma:0.1
+  in
+  check_factor_jacobians "lidar3" f
+    [
+      ("x", Var.Pose3 (Pose3.random r ~scale:2.0));
+      ("l", Var.Vector [| 3.0; -1.0; 2.0 |]);
+    ]
+
+let test_lidar_landmark2_jacobians () =
+  let r = rng () in
+  let f =
+    Pose_factors.lidar_landmark2 ~name:"lidar" ~pose:"x" ~landmark:"l" ~z:[| 1.0; 0.5 |] ~sigma:0.1
+  in
+  check_factor_jacobians "lidar2" f
+    [ ("x", Var.Pose2 (Pose2.random r ~scale:2.0)); ("l", Var.Vector [| 3.0; -1.0 |]) ]
+
+let test_lidar_zero_at_truth () =
+  let r = rng () in
+  let p = Pose3.random r ~scale:1.0 in
+  let l = [| 2.0; 1.0; 0.5 |] in
+  let z = Mat.mul_vec (Mat.transpose (Pose3.rotation p)) (Vec.sub l (Pose3.translation p)) in
+  let f = Pose_factors.lidar_landmark3 ~name:"lidar" ~pose:"x" ~landmark:"l" ~z ~sigma:0.1 in
+  let lookup = function "x" -> Var.Pose3 p | _ -> Var.Vector l in
+  check_vec "zero" ~eps:1e-9 (Vec.create 3) (Factor.error f lookup)
+
+(* ---------- vision factors ---------- *)
+
+let camera_setup () =
+  let pose = Pose3.of_phi_t [| 0.05; -0.1; 0.02 |] [| 0.2; -0.1; 0.0 |] in
+  let landmark = [| 0.4; 0.3; 3.0 |] in
+  let k = Vision_factors.default_intrinsics in
+  let p_cam =
+    Mat.mul_vec (Mat.transpose (Pose3.rotation pose)) (Vec.sub landmark (Pose3.translation pose))
+  in
+  (pose, landmark, k, Vision_factors.project k p_cam)
+
+let test_camera_zero_at_truth () =
+  let pose, landmark, _, z = camera_setup () in
+  let f = Vision_factors.camera ~name:"cam" ~pose:"x" ~landmark:"l" ~z ~sigma:1.0 () in
+  let lookup = function "x" -> Var.Pose3 pose | _ -> Var.Vector landmark in
+  check_vec "zero" ~eps:1e-9 (Vec.create 2) (Factor.error f lookup)
+
+let test_camera_jacobians () =
+  let pose, landmark, _, z = camera_setup () in
+  let z = Vec.add z [| 1.5; -2.0 |] in
+  let f = Vision_factors.camera ~name:"cam" ~pose:"x" ~landmark:"l" ~z ~sigma:1.0 () in
+  check_factor_jacobians ~eps:2e-3 "camera" f
+    [ ("x", Var.Pose3 pose); ("l", Var.Vector landmark) ]
+
+let test_camera_jacobian_shapes () =
+  (* The paper: camera factor has a 2x6 block and a 2x3 block. *)
+  let pose, landmark, _, z = camera_setup () in
+  let f = Vision_factors.camera ~name:"cam" ~pose:"x" ~landmark:"l" ~z ~sigma:1.0 () in
+  let lookup = function "x" -> Var.Pose3 pose | _ -> Var.Vector landmark in
+  let _, blocks = Factor.linearize f lookup in
+  Alcotest.(check (pair int int)) "pose block" (2, 6) (Mat.dims (List.assoc "x" blocks));
+  Alcotest.(check (pair int int)) "landmark block" (2, 3) (Mat.dims (List.assoc "l" blocks))
+
+let test_camera_behind () =
+  let pose = Pose3.identity in
+  let landmark = [| 0.0; 0.0; -1.0 |] in
+  let f = Vision_factors.camera ~name:"cam" ~pose:"x" ~landmark:"l" ~z:[| 0.0; 0.0 |] ~sigma:1.0 () in
+  let lookup = function "x" -> Var.Pose3 pose | _ -> Var.Vector landmark in
+  Alcotest.check_raises "behind camera" (Vision_factors.Behind_camera "cam") (fun () ->
+      ignore (Factor.linearize f lookup))
+
+let test_bearing_range_jacobians () =
+  let pose = Pose2.create ~theta:0.4 ~t:[| 1.0; 2.0 |] in
+  let landmark = [| 4.0; 3.5 |] in
+  let f =
+    Vision_factors.bearing_range2 ~name:"br" ~pose:"x" ~landmark:"l" ~bearing:0.2 ~range:2.5
+      ~sigma:0.5
+  in
+  check_factor_jacobians ~eps:1e-4 "bearing-range" f
+    [ ("x", Var.Pose2 pose); ("l", Var.Vector landmark) ]
+
+(* ---------- motion factors ---------- *)
+
+let test_smooth_zero_on_constant_velocity () =
+  let dt = 0.5 in
+  let xa = [| 0.0; 0.0; 1.0; 2.0 |] in
+  (* p' = p + v dt *)
+  let xb = [| 0.5; 1.0; 1.0; 2.0 |] in
+  let f = Motion_factors.smooth ~name:"gp" ~a:"a" ~b:"b" ~dt ~d:2 ~sigma:0.1 in
+  let lookup = function "a" -> Var.Vector xa | _ -> Var.Vector xb in
+  check_vec "zero" (Vec.create 4) (Factor.error f lookup)
+
+let test_smooth_jacobians () =
+  let f = Motion_factors.smooth ~name:"gp" ~a:"a" ~b:"b" ~dt:0.3 ~d:3 ~sigma:0.2 in
+  check_factor_jacobians "smooth" f
+    [
+      ("a", Var.Vector [| 0.1; 0.2; 0.3; 1.0; -1.0; 0.5 |]);
+      ("b", Var.Vector [| 0.4; 0.1; 0.2; 0.9; -1.1; 0.6 |]);
+    ]
+
+let test_collision_inactive_outside () =
+  let obstacle = { Motion_factors.center = [| 0.0; 0.0 |]; radius = 1.0 } in
+  let f =
+    Motion_factors.collision_free ~name:"obs" ~var:"x" ~obstacle ~safety:0.2 ~sigma:0.1
+  in
+  let lookup _ = Var.Vector [| 5.0; 0.0; 0.0; 0.0 |] in
+  check_vec "inactive" [| 0.0 |] (Factor.error f lookup)
+
+let test_collision_active_inside () =
+  let obstacle = { Motion_factors.center = [| 0.0; 0.0 |]; radius = 1.0 } in
+  let f =
+    Motion_factors.collision_free ~name:"obs" ~var:"x" ~obstacle ~safety:0.5 ~sigma:1.0
+  in
+  (* distance 1.2 - radius 1.0 = clearance 0.2 < safety 0.5: e = 0.3 *)
+  let lookup _ = Var.Vector [| 1.2; 0.0; 0.0; 0.0 |] in
+  check_vec "active" ~eps:1e-9 [| 0.3 |] (Factor.error f lookup);
+  check_factor_jacobians "collision" f [ ("x", Var.Vector [| 1.2; 0.0; 0.0; 0.0 |]) ]
+
+let test_speed_limit () =
+  let f = Motion_factors.speed_limit ~name:"kin" ~var:"x" ~d:2 ~vmax:1.0 ~sigma:1.0 in
+  let slow _ = Var.Vector [| 0.0; 0.0; 0.5; 0.5 |] in
+  check_vec "under limit" [| 0.0 |] (Factor.error f slow);
+  let fast = [| 0.0; 0.0; 3.0; 4.0 |] in
+  let lookup _ = Var.Vector fast in
+  check_vec "over limit" ~eps:1e-9 [| 4.0 |] (Factor.error f lookup);
+  check_factor_jacobians "speed" f [ ("x", Var.Vector fast) ]
+
+let test_dynamics_zero_and_jacobians () =
+  let a_mat, b_mat = Motion_factors.double_integrator ~d:2 ~dt:0.1 in
+  let f =
+    Motion_factors.dynamics ~name:"dyn" ~x_prev:"x0" ~u:"u0" ~x_next:"x1" ~a_mat ~b_mat ~sigma:0.05
+  in
+  let x0 = [| 1.0; 2.0; 0.5; -0.5 |] in
+  let u0 = [| 0.2; 0.1 |] in
+  let x1 = Vec.add (Mat.mul_vec a_mat x0) (Mat.mul_vec b_mat u0) in
+  let lookup = function "x0" -> Var.Vector x0 | "u0" -> Var.Vector u0 | _ -> Var.Vector x1 in
+  check_vec "consistent dynamics" ~eps:1e-9 (Vec.create 4) (Factor.error f lookup);
+  check_factor_jacobians "dynamics" f
+    [ ("x0", Var.Vector x0); ("u0", Var.Vector u0); ("x1", Var.Vector (Vec.add x1 [| 0.1; 0.0; 0.0; 0.1 |])) ]
+
+let test_component_limit () =
+  let f = Motion_factors.component_limit ~name:"vlim" ~var:"x" ~index:3 ~max_abs:2.0 ~sigma:1.0 in
+  let under _ = Var.Vector [| 0.0; 0.0; 0.0; 1.5; 0.0 |] in
+  check_vec "under" [| 0.0 |] (Factor.error f under);
+  let over = [| 0.0; 0.0; 0.0; -3.0; 0.0 |] in
+  let lookup _ = Var.Vector over in
+  check_vec "over" ~eps:1e-9 [| 1.0 |] (Factor.error f lookup);
+  check_factor_jacobians "component limit" f [ ("x", Var.Vector over) ]
+
+let test_costs () =
+  let f = Motion_factors.state_cost ~name:"cost" ~var:"x" ~target:[| 1.0; 2.0 |] ~sigmas:[| 0.5; 0.5 |] in
+  check_factor_jacobians "state cost" f [ ("x", Var.Vector [| 0.0; 0.0 |]) ];
+  let g = Motion_factors.input_cost ~name:"u-cost" ~var:"u" ~sigmas:[| 2.0 |] in
+  let lookup _ = Var.Vector [| 3.0 |] in
+  check_vec "input cost" [| 1.5 |] (Factor.error g lookup)
+
+let test_unicycle_shapes () =
+  let a, b = Motion_factors.unicycle_linearized ~v0:1.0 ~theta0:0.3 ~dt:0.1 in
+  Alcotest.(check (pair int int)) "A" (5, 5) (Mat.dims a);
+  Alcotest.(check (pair int int)) "B" (5, 2) (Mat.dims b)
+
+(* ---------- IMU preintegration ---------- *)
+
+let imu_samples n =
+  List.init n (fun k ->
+      let t = float_of_int k *. 0.01 in
+      ( 0.01,
+        [| 0.1 *. sin t; 0.05; 0.2 *. cos t |],
+        (* Specific force: hover-ish thrust plus wiggle, cancelling
+           gravity on average so motion stays bounded. *)
+        [| 0.3 *. cos t; -0.2 *. sin t; 9.81 +. (0.1 *. sin t) |] ))
+
+let test_preintegration_identity () =
+  let pre = Imu_preintegration.create () in
+  Alcotest.(check (float 0.0)) "dt" 0.0 (Imu_preintegration.delta_t pre);
+  check_mat "rot" (Mat.identity 3) (Imu_preintegration.delta_rot pre);
+  check_vec "vel" (Vec.create 3) (Imu_preintegration.delta_vel pre)
+
+let test_preintegration_zero_residual_at_truth () =
+  (* Noise-free samples: the factor's error at the integrated ground
+     truth is (numerically) zero. *)
+  let r = rng () in
+  let pose_i = Pose3.of_phi_t [| 0.05; -0.1; 0.2 |] [| 1.0; 2.0; 3.0 |] in
+  let vel_i = [| 0.4; -0.2; 0.1 |] in
+  let gravity = [| 0.0; 0.0; -9.81 |] in
+  let pre, pose_j, vel_j =
+    Imu_preintegration.simulate ~rng:r ~gravity ~pose_i ~vel_i ~samples:(imu_samples 50)
+      ~gyro_noise:0.0 ~accel_noise:0.0
+  in
+  let f =
+    Imu_preintegration.factor ~name:"imu" ~pose_i:"xi" ~vel_i:"vi" ~pose_j:"xj" ~vel_j:"vj"
+      ~preintegrated:pre ~rot_sigma:0.01 ~vel_sigma:0.05 ~pos_sigma:0.05
+  in
+  let lookup = function
+    | "xi" -> Var.Pose3 pose_i
+    | "vi" -> Var.Vector vel_i
+    | "xj" -> Var.Pose3 pose_j
+    | _ -> Var.Vector vel_j
+  in
+  let err = Factor.error f lookup in
+  Alcotest.(check bool)
+    (Printf.sprintf "residual %.2e" (Vec.norm err))
+    true
+    (Vec.norm err < 1e-6)
+
+let test_preintegration_jacobians () =
+  let r = rng () in
+  let pose_i = Pose3.random r ~scale:1.0 in
+  let vel_i = [| 0.3; -0.1; 0.2 |] in
+  let gravity = [| 0.0; 0.0; -9.81 |] in
+  let pre, pose_j, vel_j =
+    Imu_preintegration.simulate ~rng:r ~gravity ~pose_i ~vel_i ~samples:(imu_samples 30)
+      ~gyro_noise:0.002 ~accel_noise:0.02
+  in
+  let f =
+    Imu_preintegration.factor ~name:"imu" ~pose_i:"xi" ~vel_i:"vi" ~pose_j:"xj" ~vel_j:"vj"
+      ~preintegrated:pre ~rot_sigma:0.01 ~vel_sigma:0.05 ~pos_sigma:0.05
+  in
+  check_factor_jacobians ~eps:1e-4 "preintegration" f
+    [
+      ("xi", Var.Pose3 pose_i);
+      ("vi", Var.Vector vel_i);
+      ("xj", Var.Pose3 (Pose3.retract pose_j [| 0.02; -0.01; 0.03; 0.05; -0.05; 0.02 |]));
+      ("vj", Var.Vector (Vec.add vel_j [| 0.05; -0.02; 0.01 |]));
+    ]
+
+let test_preintegration_vio_smoothing () =
+  (* A two-keyframe VIO problem: anchor the first pose and velocity,
+     constrain the second with the preintegrated IMU factor, perturb
+     the second state — optimization recovers it. *)
+  let r = rng () in
+  let pose_i = Pose3.identity in
+  let vel_i = [| 0.5; 0.0; 0.0 |] in
+  let gravity = [| 0.0; 0.0; -9.81 |] in
+  let pre, pose_j, vel_j =
+    Imu_preintegration.simulate ~rng:r ~gravity ~pose_i ~vel_i ~samples:(imu_samples 40)
+      ~gyro_noise:0.0 ~accel_noise:0.0
+  in
+  let g = Graph.create () in
+  Graph.add_variable g "xi" (Var.Pose3 pose_i);
+  Graph.add_variable g "vi" (Var.Vector vel_i);
+  Graph.add_variable g "xj"
+    (Var.Pose3 (Pose3.retract pose_j [| 0.05; -0.03; 0.04; 0.2; -0.1; 0.15 |]));
+  Graph.add_variable g "vj" (Var.Vector (Vec.add vel_j [| 0.3; -0.2; 0.1 |]));
+  Graph.add_factor g (Pose_factors.prior3 ~name:"anchor" ~var:"xi" ~z:pose_i ~sigma:1e-4);
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"anchor-v" ~var:"vi" ~target:vel_i ~sigmas:(Array.make 3 1e-4));
+  Graph.add_factor g
+    (Imu_preintegration.factor ~name:"imu" ~pose_i:"xi" ~vel_i:"vi" ~pose_j:"xj" ~vel_j:"vj"
+       ~preintegrated:pre ~rot_sigma:0.01 ~vel_sigma:0.02 ~pos_sigma:0.02);
+  let report = Optimizer.optimize g in
+  Alcotest.(check bool) "converged" true report.Optimizer.converged;
+  (match Graph.value g "xj" with
+  | Var.Pose3 p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pose recovered (%.2e)" (Pose3.distance pose_j p))
+        true
+        (Pose3.distance pose_j p < 1e-4 && Pose3.angular_distance pose_j p < 1e-4)
+  | _ -> Alcotest.fail "kind");
+  match Graph.value g "vj" with
+  | Var.Vector v ->
+      Alcotest.(check bool) "velocity recovered" true (Vec.dist v vel_j < 1e-4)
+  | _ -> Alcotest.fail "kind"
+
+(* ---------- SE(3) baseline factors ---------- *)
+
+let random_se3 r = Se3.exp (Array.init 6 (fun _ -> Rng.uniform r ~lo:(-0.8) ~hi:0.8))
+
+let test_se3_between_zero_at_truth () =
+  let r = rng () in
+  let a = random_se3 r and b = random_se3 r in
+  let z = Se3.compose (Se3.inverse a) b in
+  let f = Se3_factors.between ~name:"b" ~a:"a" ~b:"b" ~z ~sigma:0.1 in
+  let lookup = function "a" -> Var.Se3 a | _ -> Var.Se3 b in
+  check_vec "zero" ~eps:1e-8 (Vec.create 6) (Factor.error f lookup)
+
+let test_se3_between_jacobians () =
+  let r = rng () in
+  for _ = 1 to 3 do
+    let z = random_se3 r in
+    let f = Se3_factors.between ~name:"b" ~a:"a" ~b:"b" ~z ~sigma:0.2 in
+    check_factor_jacobians ~eps:1e-4 "se3 between" f
+      [ ("a", Var.Se3 (random_se3 r)); ("b", Var.Se3 (random_se3 r)) ]
+  done
+
+let test_se3_prior_jacobians () =
+  let r = rng () in
+  let z = random_se3 r in
+  let f = Se3_factors.prior ~name:"p" ~var:"x" ~z ~sigma:0.2 in
+  check_factor_jacobians ~eps:1e-4 "se3 prior" f [ ("x", Var.Se3 (random_se3 r)) ]
+
+let test_se3_rejects_ir_path () =
+  (* SE(3) variables cannot flow through the unified-representation
+     compiler: symbolic factors referring to them must fail. *)
+  let f = Pose_factors.gps3 ~name:"gps" ~var:"x" ~z:[| 0.0; 0.0; 0.0 |] ~sigma:1.0 in
+  let lookup _ = Var.Se3 Se3.identity in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Factor.linearize f lookup);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- a complete localization solve using library factors ---------- *)
+
+let test_slam_2d_with_landmarks () =
+  let rng = Rng.of_int 314 in
+  (* Ground truth: robot walks a square, observing two landmarks. *)
+  let truth =
+    [|
+      Pose2.create ~theta:0.0 ~t:[| 0.0; 0.0 |];
+      Pose2.create ~theta:(Float.pi /. 2.0) ~t:[| 2.0; 0.0 |];
+      Pose2.create ~theta:Float.pi ~t:[| 2.0; 2.0 |];
+      Pose2.create ~theta:(-.Float.pi /. 2.0) ~t:[| 0.0; 2.0 |];
+    |]
+  in
+  let landmarks = [| [| 1.0; 1.0 |]; [| 3.0; 1.0 |] |] in
+  let g = Graph.create () in
+  Array.iteri
+    (fun i p ->
+      let noise = Array.init 3 (fun _ -> Rng.gaussian_sigma rng ~sigma:0.15) in
+      Graph.add_variable g (Printf.sprintf "x%d" i) (Var.Pose2 (Pose2.retract p noise)))
+    truth;
+  Array.iteri
+    (fun i l ->
+      let noise = Array.init 2 (fun _ -> Rng.gaussian_sigma rng ~sigma:0.2) in
+      Graph.add_variable g (Printf.sprintf "l%d" i) (Var.Vector (Vec.add l noise)))
+    landmarks;
+  Graph.add_factor g (Pose_factors.prior2 ~name:"prior" ~var:"x0" ~z:truth.(0) ~sigma:1e-3);
+  for i = 0 to 2 do
+    let z = Pose2.ominus truth.(i + 1) truth.(i) in
+    Graph.add_factor g
+      (Pose_factors.between2 ~name:"odo" ~a:(Printf.sprintf "x%d" i)
+         ~b:(Printf.sprintf "x%d" (i + 1)) ~z ~sigma:0.05)
+  done;
+  Array.iteri
+    (fun pi p ->
+      Array.iteri
+        (fun li l ->
+          let z = Mat.mul_vec (Mat.transpose (Pose2.rotation p)) (Vec.sub l (Pose2.translation p)) in
+          Graph.add_factor g
+            (Pose_factors.lidar_landmark2 ~name:"obs" ~pose:(Printf.sprintf "x%d" pi)
+               ~landmark:(Printf.sprintf "l%d" li) ~z ~sigma:0.03))
+        landmarks)
+    truth;
+  let report = Optimizer.optimize g in
+  Alcotest.(check bool) "converged" true report.Optimizer.converged;
+  Alcotest.(check bool)
+    (Printf.sprintf "small residual %g" report.Optimizer.final_error)
+    true
+    (report.Optimizer.final_error < 1e-9);
+  Array.iteri
+    (fun i p ->
+      match Graph.value g (Printf.sprintf "x%d" i) with
+      | Var.Pose2 q -> Alcotest.(check bool) "pose recovered" true (Pose2.distance p q < 1e-4)
+      | _ -> Alcotest.fail "kind")
+    truth
+
+let () =
+  Alcotest.run "factors"
+    [
+      ( "pose",
+        [
+          Alcotest.test_case "prior3 zero" `Quick test_prior3_zero_at_truth;
+          Alcotest.test_case "prior3 jacobians" `Quick test_prior3_jacobians;
+          Alcotest.test_case "prior2 jacobians" `Quick test_prior2_jacobians;
+          Alcotest.test_case "between3 zero" `Quick test_between3_zero_at_truth;
+          Alcotest.test_case "between3 jacobians" `Quick test_between3_jacobians;
+          Alcotest.test_case "between2 jacobians" `Quick test_between2_jacobians;
+          Alcotest.test_case "gps3 jacobians" `Quick test_gps3_jacobians;
+          Alcotest.test_case "lidar3 jacobians" `Quick test_lidar_landmark3_jacobians;
+          Alcotest.test_case "lidar2 jacobians" `Quick test_lidar_landmark2_jacobians;
+          Alcotest.test_case "lidar zero" `Quick test_lidar_zero_at_truth;
+        ] );
+      ( "vision",
+        [
+          Alcotest.test_case "camera zero" `Quick test_camera_zero_at_truth;
+          Alcotest.test_case "camera jacobians" `Quick test_camera_jacobians;
+          Alcotest.test_case "camera block shapes" `Quick test_camera_jacobian_shapes;
+          Alcotest.test_case "camera behind" `Quick test_camera_behind;
+          Alcotest.test_case "bearing-range jacobians" `Quick test_bearing_range_jacobians;
+        ] );
+      ( "motion",
+        [
+          Alcotest.test_case "smooth zero" `Quick test_smooth_zero_on_constant_velocity;
+          Alcotest.test_case "smooth jacobians" `Quick test_smooth_jacobians;
+          Alcotest.test_case "collision inactive" `Quick test_collision_inactive_outside;
+          Alcotest.test_case "collision active" `Quick test_collision_active_inside;
+          Alcotest.test_case "speed limit" `Quick test_speed_limit;
+          Alcotest.test_case "dynamics" `Quick test_dynamics_zero_and_jacobians;
+          Alcotest.test_case "component limit" `Quick test_component_limit;
+          Alcotest.test_case "costs" `Quick test_costs;
+          Alcotest.test_case "unicycle shapes" `Quick test_unicycle_shapes;
+        ] );
+      ( "imu",
+        [
+          Alcotest.test_case "identity" `Quick test_preintegration_identity;
+          Alcotest.test_case "zero residual at truth" `Quick test_preintegration_zero_residual_at_truth;
+          Alcotest.test_case "jacobians" `Quick test_preintegration_jacobians;
+          Alcotest.test_case "vio smoothing" `Quick test_preintegration_vio_smoothing;
+        ] );
+      ( "se3",
+        [
+          Alcotest.test_case "between zero" `Quick test_se3_between_zero_at_truth;
+          Alcotest.test_case "between jacobians" `Quick test_se3_between_jacobians;
+          Alcotest.test_case "prior jacobians" `Quick test_se3_prior_jacobians;
+          Alcotest.test_case "rejects IR path" `Quick test_se3_rejects_ir_path;
+        ] );
+      ("slam", [ Alcotest.test_case "2d slam with landmarks" `Quick test_slam_2d_with_landmarks ]);
+    ]

@@ -1,0 +1,199 @@
+open Orianna_hw
+open Orianna_isa
+
+let mk_instr ?(id = 0) ?(srcs = [||]) ~op ~rows ~cols () =
+  { Instr.id; op; srcs; rows; cols; phase = Instr.Construct; algo = 0; tag = "" }
+
+(* ---------- Resource ---------- *)
+
+let test_resource_arith () =
+  let a = { Resource.lut = 1; ff = 2; bram = 3; dsp = 4 } in
+  let b = { Resource.lut = 10; ff = 20; bram = 30; dsp = 40 } in
+  Alcotest.(check bool) "add" true (Resource.add a b = { Resource.lut = 11; ff = 22; bram = 33; dsp = 44 });
+  Alcotest.(check bool) "scale" true (Resource.scale 3 a = { Resource.lut = 3; ff = 6; bram = 9; dsp = 12 })
+
+let test_resource_fits () =
+  let b = { Resource.lut = 10; ff = 10; bram = 10; dsp = 10 } in
+  Alcotest.(check bool) "fits" true (Resource.fits { Resource.lut = 10; ff = 9; bram = 0; dsp = 1 } ~budget:b);
+  Alcotest.(check bool) "one over" false
+    (Resource.fits { Resource.lut = 11; ff = 0; bram = 0; dsp = 0 } ~budget:b)
+
+let test_resource_utilization () =
+  let b = { Resource.lut = 100; ff = 100; bram = 100; dsp = 100 } in
+  Alcotest.(check (float 1e-9)) "max component" 0.7
+    (Resource.utilization { Resource.lut = 10; ff = 70; bram = 20; dsp = 5 } ~budget:b)
+
+(* ---------- Unit model ---------- *)
+
+let test_op_unit_mapping () =
+  Alcotest.(check bool) "gemm on matmul" true (Unit_model.class_of_op Instr.Gemm = Unit_model.Matmul);
+  Alcotest.(check bool) "qr on qr" true (Unit_model.class_of_op Instr.Qr = Unit_model.Qr_unit);
+  Alcotest.(check bool) "vadd on vector" true (Unit_model.class_of_op Instr.Vadd = Unit_model.Vector_alu);
+  Alcotest.(check bool) "log on special" true (Unit_model.class_of_op Instr.Logm = Unit_model.Special);
+  Alcotest.(check bool) "load on dma" true (Unit_model.class_of_op (Instr.Load (Orianna_linalg.Mat.create 1 1)) = Unit_model.Dma)
+
+let test_latency_monotone_in_size () =
+  (* Bigger QR, more cycles. *)
+  let src_small _ = (8, 9) and src_big _ = (40, 21) in
+  let small = mk_instr ~op:Instr.Qr ~rows:8 ~cols:9 ~srcs:[| 0 |] () in
+  let big = mk_instr ~op:Instr.Qr ~rows:40 ~cols:21 ~srcs:[| 0 |] () in
+  let l_small = Unit_model.latency Unit_model.Qr_unit ~qr_rotators:8 small ~src_shape:src_small in
+  let l_big = Unit_model.latency Unit_model.Qr_unit ~qr_rotators:8 big ~src_shape:src_big in
+  Alcotest.(check bool) (Printf.sprintf "monotone (%d < %d)" l_small l_big) true (l_small < l_big)
+
+let test_wider_qr_is_faster_on_big_matrices () =
+  let src _ = (120, 80) in
+  let i = mk_instr ~op:Instr.Qr ~rows:120 ~cols:80 ~srcs:[| 0 |] () in
+  let narrow = Unit_model.latency Unit_model.Qr_unit ~qr_rotators:8 i ~src_shape:src in
+  let wide = Unit_model.latency Unit_model.Qr_unit ~qr_rotators:32 i ~src_shape:src in
+  Alcotest.(check bool) "wide is faster" true (wide < narrow);
+  (* But wide costs more resources. *)
+  let rn = Unit_model.resources Unit_model.Qr_unit ~qr_rotators:8 in
+  let rw = Unit_model.resources Unit_model.Qr_unit ~qr_rotators:32 in
+  Alcotest.(check bool) "wide costs more" true (rw.Resource.dsp > rn.Resource.dsp)
+
+let test_energy_positive () =
+  let src _ = (3, 3) in
+  let i = mk_instr ~op:Instr.Gemm ~rows:3 ~cols:3 ~srcs:[| 0; 0 |] () in
+  Alcotest.(check bool) "positive" true
+    (Unit_model.dynamic_energy_nj Unit_model.Matmul i ~src_shape:src > 0.0)
+
+(* ---------- Accel ---------- *)
+
+let test_accel_base () =
+  let a = Accel.base () in
+  List.iter
+    (fun cls -> Alcotest.(check int) (Unit_model.class_name cls) 1 (Accel.count a cls))
+    Unit_model.all_classes;
+  Alcotest.(check bool) "fits zc706" true (Accel.fits a ~budget:Resource.zc706)
+
+let test_accel_with_extra () =
+  let a = Accel.with_extra (Accel.base ()) Unit_model.Matmul in
+  Alcotest.(check int) "two matmuls" 2 (Accel.count a Unit_model.Matmul);
+  Alcotest.(check int) "one qr" 1 (Accel.count a Unit_model.Qr_unit);
+  let r1 = Accel.resources (Accel.base ()) and r2 = Accel.resources a in
+  Alcotest.(check bool) "more resources" true (r2.Resource.dsp > r1.Resource.dsp)
+
+let test_accel_wider_qr () =
+  let a = Accel.with_wider_qr (Accel.base ()) in
+  Alcotest.(check int) "rotators doubled" (2 * Unit_model.default_qr_rotators) a.Accel.qr_rotators
+
+let test_accel_rejects_bad_counts () =
+  Alcotest.check_raises "zero count" (Invalid_argument "Accel: unit counts must be positive")
+    (fun () -> ignore (Accel.make ~name:"bad" ~counts:[ (Unit_model.Matmul, 0) ] ()))
+
+let test_static_power_grows () =
+  let base = Accel.base () in
+  let bigger = Accel.with_extra base Unit_model.Matmul in
+  Alcotest.(check bool) "power grows" true (Accel.static_power_w bigger > Accel.static_power_w base)
+
+(* ---------- DSE ---------- *)
+
+(* Synthetic objective: more matmuls help with diminishing returns;
+   everything else is neutral. *)
+let synthetic_objective accel =
+  100.0 /. (1.0 +. float_of_int (Accel.count accel Unit_model.Matmul))
+
+let test_dse_improves () =
+  let r = Dse.optimize ~budget:Resource.zc706 ~evaluate:synthetic_objective () in
+  Alcotest.(check bool) "objective improved" true
+    (r.Dse.objective < synthetic_objective (Accel.base ()));
+  Alcotest.(check bool) "added matmuls" true (Accel.count r.Dse.best Unit_model.Matmul > 1);
+  Alcotest.(check bool) "still fits" true (Accel.fits r.Dse.best ~budget:Resource.zc706)
+
+let test_dse_respects_budget () =
+  (* A budget that allows the base config and one more matmul only. *)
+  let base_r = Accel.resources (Accel.base ()) in
+  let matmul_r = Unit_model.resources Unit_model.Matmul ~qr_rotators:8 in
+  let budget =
+    {
+      Resource.lut = base_r.Resource.lut + matmul_r.Resource.lut;
+      ff = base_r.Resource.ff + matmul_r.Resource.ff;
+      bram = base_r.Resource.bram + matmul_r.Resource.bram;
+      dsp = base_r.Resource.dsp + matmul_r.Resource.dsp;
+    }
+  in
+  let r = Dse.optimize ~budget ~evaluate:synthetic_objective () in
+  Alcotest.(check int) "stopped at two matmuls" 2 (Accel.count r.Dse.best Unit_model.Matmul);
+  Alcotest.(check bool) "fits" true (Accel.fits r.Dse.best ~budget)
+
+let test_dse_rejects_oversized_init () =
+  let tiny = { Resource.lut = 1; ff = 1; bram = 1; dsp = 1 } in
+  Alcotest.check_raises "oversized init"
+    (Invalid_argument "Dse.optimize: initial configuration exceeds the budget") (fun () ->
+      ignore (Dse.optimize ~budget:tiny ~evaluate:synthetic_objective ()))
+
+let test_dse_trace_monotone () =
+  let r = Dse.optimize ~budget:Resource.zc706 ~evaluate:synthetic_objective () in
+  let objectives = List.map (fun (s : Dse.step) -> s.Dse.objective) r.Dse.trace in
+  let rec strictly_decreasing = function
+    | a :: (b :: _ as rest) -> a > b && strictly_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "trace strictly improves" true (strictly_decreasing objectives)
+
+(* ---------- Datapath ---------- *)
+
+let test_datapath_links () =
+  (* Load -> Gemm -> Qr: DMA->matmul and matmul->qr links only. *)
+  let b = Program.Builder.create () in
+  let l1 =
+    Program.Builder.emit b ~op:(Instr.Load (Orianna_linalg.Mat.identity 3)) ~srcs:[||] ~rows:3
+      ~cols:3 ~phase:Instr.Construct ~algo:0 ~tag:""
+  in
+  let g =
+    Program.Builder.emit b ~op:Instr.Gemm ~srcs:[| l1; l1 |] ~rows:3 ~cols:3
+      ~phase:Instr.Construct ~algo:0 ~tag:""
+  in
+  let _ =
+    Program.Builder.emit b ~op:Instr.Qr ~srcs:[| g |] ~rows:3 ~cols:3 ~phase:Instr.Decompose
+      ~algo:0 ~tag:""
+  in
+  let p = Program.Builder.finish b ~outputs:[] in
+  let dp = Datapath.generate p in
+  Alcotest.(check int) "two links" 2 (Datapath.link_count dp);
+  Alcotest.(check bool) "fewer than crossbar" true
+    (Datapath.link_count dp < Datapath.crossbar_link_count);
+  let has src dst =
+    List.exists (fun (l : Datapath.link) -> l.Datapath.src = src && l.Datapath.dst = dst) dp.Datapath.links
+  in
+  Alcotest.(check bool) "dma->matmul" true (has Unit_model.Dma Unit_model.Matmul);
+  Alcotest.(check bool) "matmul->qr" true (has Unit_model.Matmul Unit_model.Qr_unit);
+  Alcotest.(check bool) "dma->matmul carries 2 transfers" true
+    (List.exists
+       (fun (l : Datapath.link) -> l.Datapath.src = Unit_model.Dma && l.Datapath.transfers = 2)
+       dp.Datapath.links)
+
+let () =
+  Alcotest.run "hw"
+    [
+      ( "resource",
+        [
+          Alcotest.test_case "arith" `Quick test_resource_arith;
+          Alcotest.test_case "fits" `Quick test_resource_fits;
+          Alcotest.test_case "utilization" `Quick test_resource_utilization;
+        ] );
+      ( "unit-model",
+        [
+          Alcotest.test_case "op mapping" `Quick test_op_unit_mapping;
+          Alcotest.test_case "latency monotone" `Quick test_latency_monotone_in_size;
+          Alcotest.test_case "wider qr" `Quick test_wider_qr_is_faster_on_big_matrices;
+          Alcotest.test_case "energy positive" `Quick test_energy_positive;
+        ] );
+      ( "accel",
+        [
+          Alcotest.test_case "base" `Quick test_accel_base;
+          Alcotest.test_case "with extra" `Quick test_accel_with_extra;
+          Alcotest.test_case "wider qr" `Quick test_accel_wider_qr;
+          Alcotest.test_case "bad counts" `Quick test_accel_rejects_bad_counts;
+          Alcotest.test_case "static power" `Quick test_static_power_grows;
+        ] );
+      ( "dse",
+        [
+          Alcotest.test_case "improves" `Quick test_dse_improves;
+          Alcotest.test_case "respects budget" `Quick test_dse_respects_budget;
+          Alcotest.test_case "rejects oversized init" `Quick test_dse_rejects_oversized_init;
+          Alcotest.test_case "trace monotone" `Quick test_dse_trace_monotone;
+        ] );
+      ("datapath", [ Alcotest.test_case "links" `Quick test_datapath_links ]);
+    ]

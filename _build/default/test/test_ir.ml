@@ -1,0 +1,399 @@
+open Orianna_linalg
+open Orianna_lie
+open Orianna_ir
+open Orianna_util
+
+let check_mat msg ?(eps = 1e-8) a b =
+  if not (Mat.equal ~eps a b) then
+    Alcotest.failf "%s:@.%a@.vs@.%a" msg (fun ppf -> Mat.pp ppf) a (fun ppf -> Mat.pp ppf) b
+
+let check_vec msg ?(eps = 1e-8) a b =
+  if not (Vec.equal ~eps a b) then
+    Alcotest.failf "%s: %a vs %a" msg (fun ppf -> Vec.pp ppf) a (fun ppf -> Vec.pp ppf) b
+
+(* An environment assigns each leaf a value. *)
+type env = (Expr.leaf * Value.t) list
+
+let dim_of (env : env) leaf = Value.type_of (List.assoc leaf env)
+let lookup (env : env) leaf = List.assoc leaf env
+
+(* Perturb one leaf along tangent coordinate [k] by [eps]:
+   rotations via right multiplication by Exp, vectors additively. *)
+let perturb (env : env) leaf k eps : env =
+  List.map
+    (fun (l, v) ->
+      if l <> leaf then (l, v)
+      else
+        match v with
+        | Value.Rot r ->
+            let n, _ = Mat.dims r in
+            if n = 2 then (l, Value.Rot (Mat.mul r (So2.exp eps)))
+            else begin
+              let d = Vec.create 3 in
+              d.(k) <- eps;
+              (l, Value.Rot (Mat.mul r (So3.exp d)))
+            end
+        | Value.Vc vec ->
+            let vec' = Vec.copy vec in
+            vec'.(k) <- vec'.(k) +. eps;
+            (l, Value.Vc vec'))
+    env
+
+let numeric_jacobian g env leaf =
+  let base = Modfg.error g ~lookup:(lookup env) in
+  let tdim = Value.tangent_dim (Value.type_of (List.assoc leaf env)) in
+  let eps = 1e-6 in
+  let cols =
+    List.init tdim (fun k ->
+        let plus = Modfg.error g ~lookup:(lookup (perturb env leaf k eps)) in
+        let minus = Modfg.error g ~lookup:(lookup (perturb env leaf k (-.eps))) in
+        Vec.scale (1.0 /. (2.0 *. eps)) (Vec.sub plus minus))
+  in
+  Mat.init (Vec.dim base) tdim (fun i j -> (List.nth cols j).(i))
+
+let check_all_jacobians ?(eps = 1e-5) name g env =
+  let values = Modfg.eval g ~lookup:(lookup env) in
+  let jacs = Modfg.jacobians g ~values in
+  List.iter
+    (fun (leaf, analytic) ->
+      let numeric = numeric_jacobian g env leaf in
+      check_mat (Printf.sprintf "%s: jacobian wrt %s" name (Format.asprintf "%a" Expr.pp_leaf leaf))
+        ~eps numeric analytic)
+    jacs
+
+let rng () = Rng.of_int 2024
+
+let random_rot3 r = So3.random r
+let random_vec3 r = Array.init 3 (fun _ -> Rng.uniform r ~lo:(-2.0) ~hi:2.0)
+
+(* ---------- construction ---------- *)
+
+let test_build_shares_subexpressions () =
+  (* R_j^T appears in both error components of the between factor
+     (Equ. 4): it must be a single node. *)
+  let exprs =
+    Expr.between_error ~pose_dim:3 ~x_i:"xi" ~x_j:"xj" ~z_rot:(Mat.identity 3)
+      ~z_trans:(Vec.create 3)
+  in
+  let dim_of = function
+    | Expr.Rot_of _ -> Value.Trot 3
+    | Expr.Trans_of _ -> Value.Tvec 3
+    | Expr.Vec_of _ -> Value.Tvec 3
+  in
+  let g = Modfg.build ~dim_of exprs in
+  let rt_count =
+    Array.fold_left
+      (fun acc (n : Modfg.node) -> match n.op with Modfg.Op_rt -> acc + 1 | _ -> acc)
+      0 (Modfg.nodes g)
+  in
+  Alcotest.(check int) "one shared RT node" 1 rt_count;
+  Alcotest.(check int) "error dim" 6 (Modfg.error_dim g)
+
+let test_build_rejects_type_error () =
+  let bad = Expr.(log_map (vec_var "v")) in
+  let dim_of = function Expr.Vec_of _ -> Value.Tvec 3 | _ -> Value.Trot 3 in
+  Alcotest.check_raises "log of vector"
+    (Invalid_argument "Modfg.build: expected a rotation operand") (fun () ->
+      ignore (Modfg.build ~dim_of [ bad ]))
+
+let test_build_rejects_rot_output () =
+  let dim_of = function Expr.Rot_of _ -> Value.Trot 3 | _ -> Value.Tvec 3 in
+  Alcotest.check_raises "rotation output"
+    (Invalid_argument "Modfg.build: error components must be vector-typed") (fun () ->
+      ignore (Modfg.build ~dim_of [ Expr.rot_var "r" ]))
+
+let test_levels () =
+  (* Leaves at level 0, ops stacked above. *)
+  let e = Expr.(log_map (transpose (rot_var "a") *^ rot_var "b")) in
+  let dim_of = function Expr.Rot_of _ -> Value.Trot 3 | _ -> Value.Tvec 3 in
+  let g = Modfg.build ~dim_of [ e ] in
+  Alcotest.(check int) "depth" 4 (Modfg.depth g);
+  let sizes = Modfg.level_sizes g in
+  Alcotest.(check int) "two leaves at level 0" 2 sizes.(0)
+
+let test_op_census () =
+  let e = Expr.(log_map (transpose (rot_var "a") *^ rot_var "b")) in
+  let dim_of = function Expr.Rot_of _ -> Value.Trot 3 | _ -> Value.Tvec 3 in
+  let g = Modfg.build ~dim_of [ e ] in
+  let census = Modfg.op_census g in
+  Alcotest.(check (option int)) "one RT" (Some 1) (List.assoc_opt "RT" census);
+  Alcotest.(check (option int)) "one RR" (Some 1) (List.assoc_opt "RR" census);
+  Alcotest.(check (option int)) "one Log" (Some 1) (List.assoc_opt "Log" census)
+
+(* ---------- forward evaluation ---------- *)
+
+let test_forward_between_matches_direct () =
+  let r = rng () in
+  let ri = random_rot3 r and rj = random_rot3 r in
+  let ti = random_vec3 r and tj = random_vec3 r in
+  let zr = random_rot3 r and zt = random_vec3 r in
+  let exprs = Expr.between_error ~pose_dim:3 ~x_i:"xi" ~x_j:"xj" ~z_rot:zr ~z_trans:zt in
+  let env : env =
+    [
+      (Expr.Rot_of "xi", Value.Rot ri);
+      (Expr.Trans_of "xi", Value.Vc ti);
+      (Expr.Rot_of "xj", Value.Rot rj);
+      (Expr.Trans_of "xj", Value.Vc tj);
+    ]
+  in
+  let g = Modfg.build ~dim_of:(dim_of env) exprs in
+  let err = Modfg.error g ~lookup:(lookup env) in
+  (* Direct computation of Equ. 4. *)
+  let zrt = Mat.transpose zr in
+  let e_o = So3.log (Mat.mul zrt (Mat.mul (Mat.transpose rj) ri)) in
+  let e_p = Mat.mul_vec zrt (Vec.sub (Mat.mul_vec (Mat.transpose rj) (Vec.sub ti tj)) zt) in
+  check_vec "between error" (Vec.concat [ e_o; e_p ]) err
+
+let test_forward_pose_ominus_equivalence () =
+  (* The between error with identity measurement equals the tangent
+     coordinates of (xi ominus xj). *)
+  let r = rng () in
+  let pi = Pose3.random r ~scale:2.0 and pj = Pose3.random r ~scale:2.0 in
+  let exprs =
+    Expr.between_error ~pose_dim:3 ~x_i:"xi" ~x_j:"xj" ~z_rot:(Mat.identity 3)
+      ~z_trans:(Vec.create 3)
+  in
+  let env : env =
+    [
+      (Expr.Rot_of "xi", Value.Rot (Pose3.rotation pi));
+      (Expr.Trans_of "xi", Value.Vc (Pose3.translation pi));
+      (Expr.Rot_of "xj", Value.Rot (Pose3.rotation pj));
+      (Expr.Trans_of "xj", Value.Vc (Pose3.translation pj));
+    ]
+  in
+  let g = Modfg.build ~dim_of:(dim_of env) exprs in
+  let err = Modfg.error g ~lookup:(lookup env) in
+  let rel = Pose3.ominus pi pj in
+  check_vec "ominus" (Vec.concat [ Pose3.phi rel; Pose3.translation rel ]) err
+
+(* ---------- backward propagation vs numeric differentiation ---------- *)
+
+let test_backward_between_3d () =
+  let r = rng () in
+  for _ = 1 to 5 do
+    let zr = random_rot3 r and zt = random_vec3 r in
+    let exprs = Expr.between_error ~pose_dim:3 ~x_i:"xi" ~x_j:"xj" ~z_rot:zr ~z_trans:zt in
+    let env : env =
+      [
+        (Expr.Rot_of "xi", Value.Rot (random_rot3 r));
+        (Expr.Trans_of "xi", Value.Vc (random_vec3 r));
+        (Expr.Rot_of "xj", Value.Rot (random_rot3 r));
+        (Expr.Trans_of "xj", Value.Vc (random_vec3 r));
+      ]
+    in
+    let g = Modfg.build ~dim_of:(dim_of env) exprs in
+    check_all_jacobians "between3d" g env
+  done
+
+let test_backward_between_2d () =
+  let r = rng () in
+  for _ = 1 to 5 do
+    let zr = So2.exp (Rng.uniform r ~lo:(-1.0) ~hi:1.0) in
+    let zt = Array.init 2 (fun _ -> Rng.uniform r ~lo:(-1.0) ~hi:1.0) in
+    let exprs = Expr.between_error ~pose_dim:2 ~x_i:"xi" ~x_j:"xj" ~z_rot:zr ~z_trans:zt in
+    let env : env =
+      [
+        (Expr.Rot_of "xi", Value.Rot (So2.random r));
+        (Expr.Trans_of "xi", Value.Vc (Array.init 2 (fun _ -> Rng.uniform r ~lo:(-1.0) ~hi:1.0)));
+        (Expr.Rot_of "xj", Value.Rot (So2.random r));
+        (Expr.Trans_of "xj", Value.Vc (Array.init 2 (fun _ -> Rng.uniform r ~lo:(-1.0) ~hi:1.0)));
+      ]
+    in
+    let g = Modfg.build ~dim_of:(dim_of env) exprs in
+    check_all_jacobians "between2d" g env
+  done
+
+let test_backward_exp_chain () =
+  (* e = Log(Exp(v) R): exercises Exp and its right Jacobian. *)
+  let r = rng () in
+  let e = Expr.(log_map (exp_map (vec_var "v") *^ rot_var "r")) in
+  let env : env =
+    [
+      (Expr.Vec_of "v", Value.Vc (Vec.scale 0.3 (random_vec3 r)));
+      (Expr.Rot_of "r", Value.Rot (So3.exp (Vec.scale 0.2 (random_vec3 r))));
+    ]
+  in
+  let g = Modfg.build ~dim_of:(dim_of env) [ e ] in
+  check_all_jacobians "exp chain" g env
+
+let test_backward_rv_and_scale () =
+  (* e = 2.5 * (R (a - b)) + a: mixes RV, VP and Vscale. *)
+  let r = rng () in
+  let e =
+    Expr.(scale 2.5 (rot_var "r" *> (vec_var "a" - vec_var "b")) + vec_var "a")
+  in
+  let env : env =
+    [
+      (Expr.Rot_of "r", Value.Rot (random_rot3 r));
+      (Expr.Vec_of "a", Value.Vc (random_vec3 r));
+      (Expr.Vec_of "b", Value.Vc (random_vec3 r));
+    ]
+  in
+  let g = Modfg.build ~dim_of:(dim_of env) [ e ] in
+  check_all_jacobians "rv scale" g env
+
+let test_backward_transpose_apply () =
+  (* e = R^T (a - t): the localization "world to body" pattern. *)
+  let r = rng () in
+  let e = Expr.(transpose (rot_var "x") *> (vec_var "a" - trans_var "x")) in
+  let env : env =
+    [
+      (Expr.Rot_of "x", Value.Rot (random_rot3 r));
+      (Expr.Trans_of "x", Value.Vc (random_vec3 r));
+      (Expr.Vec_of "a", Value.Vc (random_vec3 r));
+    ]
+  in
+  let g = Modfg.build ~dim_of:(dim_of env) [ e ] in
+  check_all_jacobians "transpose apply" g env
+
+let test_backward_multi_output () =
+  (* Two error components sharing structure: offsets must be right. *)
+  let r = rng () in
+  let e1 = Expr.(rot_var "r" *> vec_var "a") in
+  let e2 = Expr.(vec_var "a" - vec_var "b") in
+  let env : env =
+    [
+      (Expr.Rot_of "r", Value.Rot (random_rot3 r));
+      (Expr.Vec_of "a", Value.Vc (random_vec3 r));
+      (Expr.Vec_of "b", Value.Vc (random_vec3 r));
+    ]
+  in
+  let g = Modfg.build ~dim_of:(dim_of env) [ e1; e2 ] in
+  Alcotest.(check int) "stacked dim" 6 (Modfg.error_dim g);
+  check_all_jacobians "multi output" g env
+
+let test_backward_unused_leaf_zero () =
+  (* A declared leaf that no output depends on gets a zero block. *)
+  let e = Expr.(vec_var "a" - vec_var "a") in
+  let env : env = [ (Expr.Vec_of "a", Value.Vc [| 1.0; 2.0; 3.0 |]) ] in
+  let g = Modfg.build ~dim_of:(dim_of env) [ e ] in
+  let values = Modfg.eval g ~lookup:(lookup env) in
+  let jacs = Modfg.jacobians g ~values in
+  let j = List.assoc (Expr.Vec_of "a") jacs in
+  check_mat "cancelled jacobian" (Mat.create 3 3) j
+
+(* ---------- postfix form (Sec. 5.2) ---------- *)
+
+let test_postfix_roundtrip_between () =
+  let exprs =
+    Expr.between_error ~pose_dim:3 ~x_i:"xi" ~x_j:"xj" ~z_rot:(Mat.identity 3)
+      ~z_trans:[| 1.0; 2.0; 3.0 |]
+  in
+  List.iter
+    (fun e ->
+      let e' = Expr.of_postfix (Expr.to_postfix e) in
+      Alcotest.(check bool) "roundtrip" true (e = e'))
+    exprs
+
+let test_postfix_roundtrip_random_shapes () =
+  let open Expr in
+  let samples =
+    [
+      vec_var "a" + vec_var "b";
+      scale 2.0 (transpose (rot_var "r") *> (vec_var "a" - trans_var "x"));
+      log_map (exp_map (vec_var "v") *^ rot_var "r");
+      const_vec [| 1.0 |] - vec_var "w";
+    ]
+  in
+  List.iter
+    (fun e -> Alcotest.(check bool) "roundtrip" true (Expr.of_postfix (Expr.to_postfix e) = e))
+    samples
+
+let test_postfix_order_is_postorder () =
+  (* a b VP+ for (a + b). *)
+  let open Expr in
+  match Expr.to_postfix (vec_var "a" + vec_var "b") with
+  | [ Expr.Tleaf (Expr.Vec_of "a"); Expr.Tleaf (Expr.Vec_of "b"); Expr.Tvadd ] -> ()
+  | _ -> Alcotest.fail "unexpected token order"
+
+let test_postfix_malformed () =
+  Alcotest.(check bool) "missing operand" true
+    (try
+       ignore (Expr.of_postfix [ Expr.Tvadd ]);
+       false
+     with Expr.Malformed_postfix _ -> true);
+  Alcotest.(check bool) "leftover" true
+    (try
+       ignore (Expr.of_postfix [ Expr.Tleaf (Expr.Vec_of "a"); Expr.Tleaf (Expr.Vec_of "b") ]);
+       false
+     with Expr.Malformed_postfix _ -> true);
+  Alcotest.(check bool) "empty" true
+    (try
+       ignore (Expr.of_postfix []);
+       false
+     with Expr.Malformed_postfix _ -> true)
+
+let test_postfix_builds_same_modfg () =
+  (* Parsing the postfix stream and building the MO-DFG gives the same
+     graph as the direct expression (the paper's construction path). *)
+  let exprs =
+    Expr.between_error ~pose_dim:3 ~x_i:"xi" ~x_j:"xj" ~z_rot:(So3.exp [| 0.1; 0.2; 0.0 |])
+      ~z_trans:[| 0.5; 0.0; 1.0 |]
+  in
+  let reparsed = List.map (fun e -> Expr.of_postfix (Expr.to_postfix e)) exprs in
+  let dim_of = function
+    | Expr.Rot_of _ -> Value.Trot 3
+    | Expr.Trans_of _ -> Value.Tvec 3
+    | Expr.Vec_of _ -> Value.Tvec 3
+  in
+  let g1 = Modfg.build ~dim_of exprs in
+  let g2 = Modfg.build ~dim_of reparsed in
+  Alcotest.(check int) "same node count" (Array.length (Modfg.nodes g1))
+    (Array.length (Modfg.nodes g2));
+  Alcotest.(check bool) "same census" true (Modfg.op_census g1 = Modfg.op_census g2)
+
+(* ---------- expr helpers ---------- *)
+
+let test_expr_variables () =
+  let exprs =
+    Expr.between_error ~pose_dim:3 ~x_i:"xi" ~x_j:"xj" ~z_rot:(Mat.identity 3)
+      ~z_trans:(Vec.create 3)
+  in
+  let vars = List.concat_map Expr.variables exprs in
+  Alcotest.(check bool) "mentions xi" true (List.mem "xi" vars);
+  Alcotest.(check bool) "mentions xj" true (List.mem "xj" vars)
+
+let test_expr_size () =
+  Alcotest.(check int) "leaf size" 1 (Expr.size (Expr.vec_var "a"));
+  Alcotest.(check int) "sum size" 3 Expr.(size (vec_var "a" + vec_var "b"))
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "build",
+        [
+          Alcotest.test_case "shares subexpressions" `Quick test_build_shares_subexpressions;
+          Alcotest.test_case "rejects type error" `Quick test_build_rejects_type_error;
+          Alcotest.test_case "rejects rotation output" `Quick test_build_rejects_rot_output;
+          Alcotest.test_case "levels" `Quick test_levels;
+          Alcotest.test_case "op census" `Quick test_op_census;
+        ] );
+      ( "forward",
+        [
+          Alcotest.test_case "between matches direct" `Quick test_forward_between_matches_direct;
+          Alcotest.test_case "ominus equivalence" `Quick test_forward_pose_ominus_equivalence;
+        ] );
+      ( "backward",
+        [
+          Alcotest.test_case "between 3d" `Quick test_backward_between_3d;
+          Alcotest.test_case "between 2d" `Quick test_backward_between_2d;
+          Alcotest.test_case "exp chain" `Quick test_backward_exp_chain;
+          Alcotest.test_case "rv + scale" `Quick test_backward_rv_and_scale;
+          Alcotest.test_case "transpose apply" `Quick test_backward_transpose_apply;
+          Alcotest.test_case "multi output" `Quick test_backward_multi_output;
+          Alcotest.test_case "cancelled leaf" `Quick test_backward_unused_leaf_zero;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "variables" `Quick test_expr_variables;
+          Alcotest.test_case "size" `Quick test_expr_size;
+        ] );
+      ( "postfix",
+        [
+          Alcotest.test_case "roundtrip between" `Quick test_postfix_roundtrip_between;
+          Alcotest.test_case "roundtrip shapes" `Quick test_postfix_roundtrip_random_shapes;
+          Alcotest.test_case "postorder" `Quick test_postfix_order_is_postorder;
+          Alcotest.test_case "malformed" `Quick test_postfix_malformed;
+          Alcotest.test_case "same MO-DFG" `Quick test_postfix_builds_same_modfg;
+        ] );
+    ]

@@ -1,0 +1,148 @@
+open Orianna_linalg
+open Orianna_isa
+open Orianna_util
+module Compile = Orianna_compiler.Compile
+module App = Orianna_apps.App
+
+(* A symbolic-only program (no native kernels): the sphere-style pose
+   graph compiles purely through the MO-DFG path. *)
+let symbolic_program () =
+  let open Orianna_fg in
+  let open Orianna_factors in
+  let open Orianna_lie in
+  let g = Graph.create () in
+  let rng = Rng.of_int 8 in
+  let p0 = Pose3.random rng ~scale:1.0 in
+  let p1 = Pose3.random rng ~scale:1.0 in
+  Graph.add_variable g "x0" (Var.Pose3 p0);
+  Graph.add_variable g "x1" (Var.Pose3 p1);
+  Graph.add_factor g (Pose_factors.prior3 ~name:"prior" ~var:"x0" ~z:p0 ~sigma:0.01);
+  Graph.add_factor g
+    (Pose_factors.between3 ~name:"odo" ~a:"x0" ~b:"x1" ~z:(Pose3.ominus p1 p0) ~sigma:0.05);
+  Graph.add_factor g (Pose_factors.gps3 ~name:"gps" ~var:"x1" ~z:(Pose3.translation p1) ~sigma:0.1);
+  Compile.compile g
+
+(* A program with native kernels (camera factors etc.). *)
+let kernel_program () = Compile.compile_application (App.quadrotor.App.graphs (Rng.of_int 4))
+
+let test_encode_roundtrip_structure () =
+  let p = symbolic_program () in
+  let p' = Encode.decode (Encode.encode p) in
+  Alcotest.(check int) "length" (Program.length p) (Program.length p');
+  Alcotest.(check bool) "outputs" true (p.Program.outputs = p'.Program.outputs);
+  Array.iter2
+    (fun (a : Instr.t) (b : Instr.t) ->
+      Alcotest.(check string) "opcode" (Instr.opcode_name a.Instr.op) (Instr.opcode_name b.Instr.op);
+      Alcotest.(check bool) "srcs" true (a.Instr.srcs = b.Instr.srcs);
+      Alcotest.(check bool) "shape" true (a.Instr.rows = b.Instr.rows && a.Instr.cols = b.Instr.cols);
+      Alcotest.(check bool) "phase" true (a.Instr.phase = b.Instr.phase))
+    p.Program.instrs p'.Program.instrs
+
+let test_encode_roundtrip_semantics () =
+  (* The decoded program computes the same deltas. *)
+  let p = symbolic_program () in
+  let p' = Encode.decode (Encode.encode p) in
+  let a = Program.run p and b = Program.run p' in
+  List.iter
+    (fun (name, va) ->
+      if not (Vec.equal ~eps:1e-12 va (List.assoc name b)) then
+        Alcotest.failf "solution mismatch at %s" name)
+    a
+
+let test_encode_kernel_needs_registry () =
+  let p = kernel_program () in
+  let names = Encode.kernel_names p in
+  Alcotest.(check bool) "has kernels" true (names <> []);
+  let encoded = Encode.encode p in
+  Alcotest.(check bool) "default registry rejects" true
+    (try
+       ignore (Encode.decode encoded);
+       false
+     with Encode.Decode_error _ -> true);
+  (* Build a registry from the original program and round-trip. *)
+  let registry = Hashtbl.create 16 in
+  Array.iter
+    (fun (i : Instr.t) ->
+      match i.Instr.op with
+      | Instr.Kernel k -> Hashtbl.replace registry k.Instr.kname k
+      | _ -> ())
+    p.Program.instrs;
+  let resolve name =
+    match Hashtbl.find_opt registry name with
+    | Some k -> k
+    | None -> raise (Encode.Decode_error ("missing " ^ name))
+  in
+  let p' = Encode.decode ~resolve encoded in
+  let a = Program.run p and b = Program.run p' in
+  List.iter
+    (fun (name, va) ->
+      if not (Vec.equal ~eps:1e-12 va (List.assoc name b)) then
+        Alcotest.failf "solution mismatch at %s" name)
+    a
+
+let test_encode_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           ignore (Encode.decode bad);
+           false
+         with Encode.Decode_error _ -> true))
+    [ ""; "XXXX"; "ORIA"; Encode.encode (symbolic_program ()) ^ "junk" ]
+
+let test_encode_compact () =
+  (* Sanity on size: well under a naive text dump. *)
+  let p = symbolic_program () in
+  let bytes = String.length (Encode.encode p) in
+  Alcotest.(check bool) (Printf.sprintf "%d bytes for %d instrs" bytes (Program.length p)) true
+    (bytes < Program.length p * 200)
+
+(* ---------- buffer occupancy ---------- *)
+
+let test_buffer_occupancy_sane () =
+  let p = kernel_program () in
+  let accel = Orianna_hw.Accel.base () in
+  let r = Orianna_sim.Schedule.run ~accel ~policy:Orianna_sim.Schedule.Ooo_full p in
+  let o = Orianna_sim.Buffer_model.analyze p r in
+  Alcotest.(check bool) "peak positive" true (o.Orianna_sim.Buffer_model.peak_words > 0);
+  Alcotest.(check bool) "peak <= total" true
+    (o.Orianna_sim.Buffer_model.peak_words <= o.Orianna_sim.Buffer_model.total_words_produced);
+  Alcotest.(check bool) "average <= peak" true
+    (o.Orianna_sim.Buffer_model.average_words <= float_of_int o.Orianna_sim.Buffer_model.peak_words)
+
+let test_buffer_generated_design_fits () =
+  (* The generated design provisions enough BRAM for its working set. *)
+  let p = Compile.compile_application (App.mobile_robot.App.graphs (Rng.of_int 5)) in
+  let accel = (Orianna.Pipeline.generate p).Orianna_hw.Dse.best in
+  let r = Orianna_sim.Schedule.run ~accel ~policy:Orianna_sim.Schedule.Ooo_full p in
+  Alcotest.(check bool) "fits" true (Orianna_sim.Buffer_model.fits accel p r)
+
+let test_buffer_spill_monotone () =
+  let p = symbolic_program () in
+  let accel = Orianna_hw.Accel.base () in
+  let r = Orianna_sim.Schedule.run ~accel ~policy:Orianna_sim.Schedule.Ooo_full p in
+  let s0 = Orianna_sim.Buffer_model.spill_words ~capacity:0 p r in
+  let s10 = Orianna_sim.Buffer_model.spill_words ~capacity:10 p r in
+  let huge = Orianna_sim.Buffer_model.spill_words ~capacity:1_000_000 p r in
+  Alcotest.(check bool) "monotone" true (s0 >= s10 && s10 >= huge);
+  Alcotest.(check int) "no spill when huge" 0 huge;
+  Alcotest.(check bool) "spill when zero" true (s0 > 0)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "encode",
+        [
+          Alcotest.test_case "roundtrip structure" `Quick test_encode_roundtrip_structure;
+          Alcotest.test_case "roundtrip semantics" `Quick test_encode_roundtrip_semantics;
+          Alcotest.test_case "kernel registry" `Quick test_encode_kernel_needs_registry;
+          Alcotest.test_case "rejects garbage" `Quick test_encode_rejects_garbage;
+          Alcotest.test_case "compact" `Quick test_encode_compact;
+        ] );
+      ( "buffer",
+        [
+          Alcotest.test_case "occupancy sane" `Quick test_buffer_occupancy_sane;
+          Alcotest.test_case "generated fits" `Slow test_buffer_generated_design_fits;
+          Alcotest.test_case "spill monotone" `Quick test_buffer_spill_monotone;
+        ] );
+    ]

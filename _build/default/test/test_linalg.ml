@@ -1,0 +1,292 @@
+open Orianna_linalg
+open Orianna_util
+
+let rng () = Rng.of_int 12345
+
+let check_mat msg ?(eps = 1e-9) a b =
+  if not (Mat.equal ~eps a b) then
+    Alcotest.failf "%s:@.%a@.vs@.%a" msg (fun ppf -> Mat.pp ppf) a (fun ppf -> Mat.pp ppf) b
+
+let check_vec msg ?(eps = 1e-9) a b =
+  if not (Vec.equal ~eps a b) then
+    Alcotest.failf "%s: %a vs %a" msg (fun ppf -> Vec.pp ppf) a (fun ppf -> Vec.pp ppf) b
+
+(* ---------- Vec ---------- *)
+
+let test_vec_ops () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  check_vec "add" [| 5.0; 7.0; 9.0 |] (Vec.add a b);
+  check_vec "sub" [| -3.0; -3.0; -3.0 |] (Vec.sub a b);
+  check_vec "scale" [| 2.0; 4.0; 6.0 |] (Vec.scale 2.0 a);
+  check_vec "neg" [| -1.0; -2.0; -3.0 |] (Vec.neg a);
+  Alcotest.(check (float 1e-12)) "dot" 32.0 (Vec.dot a b);
+  Alcotest.(check (float 1e-12)) "norm" (sqrt 14.0) (Vec.norm a)
+
+let test_vec_concat_slice () =
+  let v = Vec.concat [ [| 1.0 |]; [| 2.0; 3.0 |]; [||] ] in
+  check_vec "concat" [| 1.0; 2.0; 3.0 |] v;
+  check_vec "slice" [| 2.0; 3.0 |] (Vec.slice v ~pos:1 ~len:2);
+  Alcotest.check_raises "slice oob" (Invalid_argument "Vec.slice: out of bounds") (fun () ->
+      ignore (Vec.slice v ~pos:2 ~len:2))
+
+let test_vec_axpy () =
+  let y = [| 1.0; 1.0 |] in
+  Vec.axpy ~alpha:2.0 ~x:[| 3.0; 4.0 |] ~y;
+  check_vec "axpy" [| 7.0; 9.0 |] y
+
+let test_vec_mismatch () =
+  Alcotest.check_raises "add mismatch" (Invalid_argument "Vec.add: dimension mismatch 2 vs 3")
+    (fun () -> ignore (Vec.add [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+(* ---------- Mat ---------- *)
+
+let test_mat_mul () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Mat.of_rows [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  check_mat "mul" (Mat.of_rows [| [| 19.0; 22.0 |]; [| 43.0; 50.0 |] |]) (Mat.mul a b);
+  check_mat "identity mul" a (Mat.mul a (Mat.identity 2));
+  check_vec "mul_vec" [| 5.0; 11.0 |] (Mat.mul_vec a [| 1.0; 2.0 |])
+
+let test_mat_transpose () =
+  let r = rng () in
+  let a = Mat.random r 4 3 in
+  check_mat "double transpose" a (Mat.transpose (Mat.transpose a));
+  let b = Mat.random r 3 5 in
+  check_mat "transpose of product" (Mat.transpose (Mat.mul a b))
+    (Mat.mul (Mat.transpose b) (Mat.transpose a))
+
+let test_mat_blocks () =
+  let m = Mat.create 4 4 in
+  Mat.set_block m 1 2 (Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]);
+  Alcotest.(check (float 0.0)) "corner" 4.0 (Mat.get m 2 3);
+  check_mat "roundtrip" (Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]) (Mat.block m 1 2 2 2)
+
+let test_mat_cat () =
+  let a = Mat.of_rows [| [| 1.0 |]; [| 2.0 |] |] in
+  let b = Mat.of_rows [| [| 3.0 |]; [| 4.0 |] |] in
+  check_mat "hcat" (Mat.of_rows [| [| 1.0; 3.0 |]; [| 2.0; 4.0 |] |]) (Mat.hcat [ a; b ]);
+  check_mat "vcat" (Mat.of_rows [| [| 1.0 |]; [| 2.0 |]; [| 3.0 |]; [| 4.0 |] |]) (Mat.vcat [ a; b ])
+
+let test_mat_density () =
+  let m = Mat.create 2 5 in
+  Mat.set m 0 0 1.0;
+  Alcotest.(check int) "nnz" 1 (Mat.nnz m);
+  Alcotest.(check (float 1e-12)) "density" 0.1 (Mat.density m)
+
+let test_mat_trace_frobenius () =
+  let a = Mat.of_rows [| [| 3.0; 0.0 |]; [| 4.0; 5.0 |] |] in
+  Alcotest.(check (float 1e-12)) "trace" 8.0 (Mat.trace a);
+  Alcotest.(check (float 1e-12)) "frobenius" (sqrt 50.0) (Mat.frobenius a)
+
+let test_mat_shape_errors () =
+  let a = Mat.create 2 3 and b = Mat.create 3 3 in
+  Alcotest.check_raises "add mismatch" (Invalid_argument "Mat.add: shape mismatch 2x3 vs 3x3")
+    (fun () -> ignore (Mat.add a b));
+  Alcotest.check_raises "mul mismatch" (Invalid_argument "Mat.mul: inner dimension mismatch 3x3 * 2x3")
+    (fun () -> ignore (Mat.mul b a))
+
+(* ---------- QR ---------- *)
+
+let test_qr_factorization () =
+  let r = rng () in
+  List.iter
+    (fun (m, n) ->
+      let a = Mat.random r m n in
+      let q, rr = Qr.qr a in
+      check_mat "A = QR" ~eps:1e-8 a (Mat.mul q rr);
+      check_mat "Q orthogonal" ~eps:1e-8 (Mat.identity m) (Mat.mul (Mat.transpose q) q);
+      Alcotest.(check bool) "R upper" true (Mat.is_upper_triangular ~eps:1e-8 rr))
+    [ (3, 3); (5, 3); (8, 8); (10, 4) ]
+
+let test_triangularize_zeroes () =
+  let r = rng () in
+  let a = Mat.random r 7 4 in
+  let t = Qr.triangularize a in
+  Alcotest.(check bool) "upper" true (Mat.is_upper_triangular ~eps:1e-9 t)
+
+let test_triangularize_preserves_gram () =
+  (* QᵀA has the same Gram matrix AᵀA = RᵀR. *)
+  let r = rng () in
+  let a = Mat.random r 6 4 in
+  let t = Qr.triangularize a in
+  check_mat "gram preserved" ~eps:1e-8
+    (Mat.mul (Mat.transpose a) a)
+    (Mat.mul (Mat.transpose t) t)
+
+let test_givens_matches_householder () =
+  let r = rng () in
+  let a = Mat.random r 6 4 in
+  let h = Qr.triangularize a in
+  let g = Qr.givens_triangularize a in
+  (* R factors agree up to row signs; compare RᵀR. *)
+  check_mat "same gram" ~eps:1e-8 (Mat.mul (Mat.transpose h) h) (Mat.mul (Mat.transpose g) g);
+  Alcotest.(check bool) "givens upper" true (Mat.is_upper_triangular ~eps:1e-9 g)
+
+let test_solve_ls_exact () =
+  (* Square well-conditioned system: exact solve. *)
+  let a = Mat.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = [| 1.0; -2.0 |] in
+  let b = Mat.mul_vec a x in
+  check_vec "exact" ~eps:1e-10 x (Qr.solve_ls a b)
+
+let test_solve_ls_overdetermined () =
+  (* Least squares must match the normal equations solution. *)
+  let r = rng () in
+  let a = Mat.random r 10 4 in
+  let b = Array.init 10 (fun _ -> Rng.uniform r ~lo:(-1.0) ~hi:1.0) in
+  let x_qr = Qr.solve_ls a b in
+  let x_ne = Chol.solve_normal_equations a b in
+  check_vec "qr = normal equations" ~eps:1e-6 x_ne x_qr
+
+(* ---------- Tri / Chol ---------- *)
+
+let test_tri_solves () =
+  let r = Mat.of_rows [| [| 2.0; 1.0; 3.0 |]; [| 0.0; 4.0; 1.0 |]; [| 0.0; 0.0; 5.0 |] |] in
+  let x = [| 1.0; 2.0; 3.0 |] in
+  check_vec "upper" ~eps:1e-10 x (Tri.solve_upper r (Mat.mul_vec r x));
+  let l = Mat.transpose r in
+  check_vec "lower" ~eps:1e-10 x (Tri.solve_lower l (Mat.mul_vec l x))
+
+let test_tri_singular () =
+  let r = Mat.of_rows [| [| 1.0; 1.0 |]; [| 0.0; 0.0 |] |] in
+  Alcotest.check_raises "singular" (Failure "Tri.solve_upper: singular pivot 0") (fun () ->
+      ignore (Tri.solve_upper r [| 1.0; 1.0 |]))
+
+let test_chol () =
+  let r = rng () in
+  let a = Mat.random r 5 5 in
+  let spd = Mat.add (Mat.mul (Mat.transpose a) a) (Mat.scale 0.5 (Mat.identity 5)) in
+  let l = Chol.factor spd in
+  check_mat "LLt" ~eps:1e-8 spd (Mat.mul l (Mat.transpose l));
+  let x = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_vec "solve" ~eps:1e-7 x (Chol.solve spd (Mat.mul_vec spd x))
+
+let test_chol_not_spd () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  Alcotest.check_raises "not spd" (Failure "Chol.factor: matrix not positive definite") (fun () ->
+      ignore (Chol.factor a))
+
+(* ---------- Assembly ---------- *)
+
+let test_assembly_dense () =
+  let asm = Assembly.create ~col_dims:[| 2; 1 |] in
+  Assembly.add_row asm
+    ~blocks:[ (0, Mat.of_rows [| [| 1.0; 2.0 |] |]) ]
+    ~rhs:[| 5.0 |];
+  Assembly.add_row asm
+    ~blocks:[ (0, Mat.of_rows [| [| 3.0; 4.0 |] |]); (1, Mat.of_rows [| [| 7.0 |] |]) ]
+    ~rhs:[| 6.0 |];
+  let a, b = Assembly.to_dense asm in
+  check_mat "dense A" (Mat.of_rows [| [| 1.0; 2.0; 0.0 |]; [| 3.0; 4.0; 7.0 |] |]) a;
+  check_vec "dense b" [| 5.0; 6.0 |] b;
+  (* Structural non-zeros count whole stored blocks: 2 + 2 + 1. *)
+  Alcotest.(check int) "nnz" 5 (Assembly.nnz asm);
+  Alcotest.(check (float 1e-12)) "density" (5.0 /. 6.0) (Assembly.density asm)
+
+let test_assembly_errors () =
+  let asm = Assembly.create ~col_dims:[| 2 |] in
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Assembly.add_row: block for var 0 is 1x3, expected 2 cols") (fun () ->
+      Assembly.add_row asm ~blocks:[ (0, Mat.create 1 3) ] ~rhs:[| 0.0 |])
+
+(* ---------- MAC counting ---------- *)
+
+let test_macs_matmul () =
+  Macs.reset ();
+  let a = Mat.map (fun _ -> 1.0) (Mat.create 3 4) and b = Mat.create 4 5 in
+  let _ = Mat.mul a b in
+  Alcotest.(check int) "dense 3*4*5 macs" 60 (Macs.count ());
+  (* Structural zeros are not charged. *)
+  Macs.reset ();
+  let _ = Mat.mul (Mat.create 3 4) b in
+  Alcotest.(check int) "zero matrix free" 0 (Macs.count ())
+
+let test_macs_measure () =
+  Macs.reset ();
+  Macs.add 5;
+  let (), spent = Macs.measure (fun () -> Macs.add 7) in
+  Alcotest.(check int) "measured" 7 spent;
+  Alcotest.(check int) "outer preserved" 12 (Macs.count ())
+
+(* ---------- QCheck properties ---------- *)
+
+let mat_gen =
+  QCheck.Gen.(
+    let* m = int_range 1 8 in
+    let* n = int_range 1 8 in
+    let* seed = int_range 0 1_000_000 in
+    return (m, n, seed))
+
+let arbitrary_mat = QCheck.make mat_gen ~print:(fun (m, n, s) -> Printf.sprintf "%dx%d seed=%d" m n s)
+
+let prop_qr_reconstructs =
+  QCheck.Test.make ~name:"qr reconstructs A" ~count:60 arbitrary_mat (fun (m, n, seed) ->
+      let a = Mat.random (Rng.of_int seed) m n in
+      let q, r = Qr.qr a in
+      Mat.equal ~eps:1e-7 a (Mat.mul q r))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose involution" ~count:60 arbitrary_mat (fun (m, n, seed) ->
+      let a = Mat.random (Rng.of_int seed) m n in
+      Mat.equal a (Mat.transpose (Mat.transpose a)))
+
+let prop_upper_solve =
+  QCheck.Test.make ~name:"upper solve inverts" ~count:60
+    QCheck.(make QCheck.Gen.(pair (int_range 1 8) (int_range 0 1_000_000)))
+    (fun (n, seed) ->
+      let r = Rng.of_int seed in
+      let a = Mat.random r n n in
+      (* Make an upper-triangular, well conditioned matrix. *)
+      let u = Mat.init n n (fun i j -> if j > i then Mat.get a i j else if i = j then 2.0 +. Float.abs (Mat.get a i j) else 0.0) in
+      let x = Array.init n (fun i -> float_of_int (i + 1)) in
+      Vec.equal ~eps:1e-7 x (Tri.solve_upper u (Mat.mul_vec u x)))
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_qr_reconstructs; prop_transpose_involution; prop_upper_solve ] in
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "ops" `Quick test_vec_ops;
+          Alcotest.test_case "concat/slice" `Quick test_vec_concat_slice;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "mismatch" `Quick test_vec_mismatch;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "mul" `Quick test_mat_mul;
+          Alcotest.test_case "transpose" `Quick test_mat_transpose;
+          Alcotest.test_case "blocks" `Quick test_mat_blocks;
+          Alcotest.test_case "cat" `Quick test_mat_cat;
+          Alcotest.test_case "density" `Quick test_mat_density;
+          Alcotest.test_case "trace/frobenius" `Quick test_mat_trace_frobenius;
+          Alcotest.test_case "shape errors" `Quick test_mat_shape_errors;
+        ] );
+      ( "qr",
+        [
+          Alcotest.test_case "factorization" `Quick test_qr_factorization;
+          Alcotest.test_case "triangularize zeroes" `Quick test_triangularize_zeroes;
+          Alcotest.test_case "gram preserved" `Quick test_triangularize_preserves_gram;
+          Alcotest.test_case "givens = householder" `Quick test_givens_matches_householder;
+          Alcotest.test_case "solve exact" `Quick test_solve_ls_exact;
+          Alcotest.test_case "solve overdetermined" `Quick test_solve_ls_overdetermined;
+        ] );
+      ( "tri-chol",
+        [
+          Alcotest.test_case "tri solves" `Quick test_tri_solves;
+          Alcotest.test_case "tri singular" `Quick test_tri_singular;
+          Alcotest.test_case "chol" `Quick test_chol;
+          Alcotest.test_case "chol not spd" `Quick test_chol_not_spd;
+        ] );
+      ( "assembly",
+        [
+          Alcotest.test_case "dense" `Quick test_assembly_dense;
+          Alcotest.test_case "errors" `Quick test_assembly_errors;
+        ] );
+      ( "macs",
+        [
+          Alcotest.test_case "matmul count" `Quick test_macs_matmul;
+          Alcotest.test_case "measure" `Quick test_macs_measure;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,118 @@
+(* End-to-end tests of the top-level library: pipeline and experiment
+   harness. *)
+
+open Orianna
+open Orianna_hw
+open Orianna_sim
+open Orianna_baselines
+module App = Orianna_apps.App
+
+let evaluation = lazy (Pipeline.evaluate App.mobile_robot ~seed:3)
+
+let test_frame_compiles_all_parts () =
+  let f = Pipeline.frame App.mobile_robot ~seed:3 in
+  Alcotest.(check int) "three algo programs" 3 (List.length f.Pipeline.algo_programs);
+  Alcotest.(check bool) "merged stream bigger than any part" true
+    (Orianna_isa.Program.length f.Pipeline.program
+    > List.fold_left
+        (fun acc (_, p) -> max acc (Orianna_isa.Program.length p))
+        0 f.Pipeline.algo_programs)
+
+let test_generated_fits_budget () =
+  let e = Lazy.force evaluation in
+  Alcotest.(check bool) "orianna fits" true (Accel.fits e.Pipeline.accel ~budget:Resource.zc706);
+  Alcotest.(check bool) "vanilla fits" true
+    (Accel.fits e.Pipeline.vanilla_accel ~budget:Resource.zc706)
+
+let test_generation_improves_over_base () =
+  let e = Lazy.force evaluation in
+  let base_run =
+    Schedule.run ~accel:(Accel.base ()) ~policy:Schedule.Ooo_full e.Pipeline.eframe.Pipeline.program
+  in
+  Alcotest.(check bool) "generated faster than base" true
+    (e.Pipeline.ooo.Schedule.seconds <= base_run.Schedule.seconds)
+
+let test_paper_ordering_of_designs () =
+  (* The headline shape: OoO beats IO, Intel, GPU, ARM and
+     VANILLA-HLS; STACK is comparable; ORIANNA uses far fewer
+     resources than STACK. *)
+  let e = Lazy.force evaluation in
+  let ooo = e.Pipeline.ooo.Schedule.seconds in
+  Alcotest.(check bool) "ooo < io" true (ooo < e.Pipeline.io.Schedule.seconds);
+  Alcotest.(check bool) "ooo < intel" true (ooo < e.Pipeline.intel.Cpu_model.seconds);
+  Alcotest.(check bool) "ooo < gpu" true (ooo < e.Pipeline.gpu.Gpu_model.seconds);
+  Alcotest.(check bool) "ooo < arm" true (ooo < e.Pipeline.arm.Cpu_model.seconds);
+  Alcotest.(check bool) "ooo < vanilla" true (ooo < e.Pipeline.vanilla.Schedule.seconds);
+  Alcotest.(check bool) "intel < arm" true
+    (e.Pipeline.intel.Cpu_model.seconds < e.Pipeline.arm.Cpu_model.seconds);
+  Alcotest.(check bool) "gpu < arm" true
+    (e.Pipeline.gpu.Gpu_model.seconds < e.Pipeline.arm.Cpu_model.seconds);
+  let stack_r = Pipeline.stack_resources e in
+  let orianna_r = Accel.resources e.Pipeline.accel in
+  Alcotest.(check bool) "stack uses ~2-4x resources" true
+    (stack_r.Resource.lut > orianna_r.Resource.lut * 3 / 2);
+  (* STACK is at most moderately faster (dedicated, parallel hw). *)
+  Alcotest.(check bool) "stack comparable" true (Pipeline.stack_latency e < ooo *. 1.05)
+
+let test_energy_shape () =
+  let e = Lazy.force evaluation in
+  Alcotest.(check bool) "ooo energy < intel energy" true
+    (e.Pipeline.ooo.Schedule.energy_j < e.Pipeline.intel.Cpu_model.energy_j);
+  Alcotest.(check bool) "ooo energy < io energy" true
+    (e.Pipeline.ooo.Schedule.energy_j < e.Pipeline.io.Schedule.energy_j);
+  Alcotest.(check bool) "ooo energy < stack energy" true
+    (e.Pipeline.ooo.Schedule.energy_j < Pipeline.stack_energy e)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_experiment_tables_render () =
+  (* Cheap experiments render to non-empty tables with sane content. *)
+  let t4 = Experiments.table4 () in
+  Alcotest.(check bool) "table4 lists quadrotor" true (contains ~sub:"Quadrotor" t4);
+  Alcotest.(check bool) "table4 nonempty" true (String.length t4 > 100)
+
+let test_generate_multi_tail () =
+  (* Tail-latency generation optimizes the worst frame across seeds. *)
+  let programs =
+    List.map
+      (fun seed -> (Pipeline.frame App.manipulator ~seed).Pipeline.program)
+      [ 1; 2; 3 ]
+  in
+  let r = Pipeline.generate_multi ~objective:`Tail_latency programs in
+  Alcotest.(check bool) "fits" true (Accel.fits r.Orianna_hw.Dse.best ~budget:Resource.zc706);
+  let worst accel =
+    List.fold_left
+      (fun acc p -> Float.max acc (Schedule.run ~accel ~policy:Schedule.Ooo_full p).Schedule.seconds)
+      0.0 programs
+  in
+  Alcotest.(check bool) "tail improved over base" true
+    (worst r.Orianna_hw.Dse.best <= worst (Accel.base ()));
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Pipeline.generate_multi: no programs") (fun () ->
+      ignore (Pipeline.generate_multi ~objective:`Tail_latency []))
+
+let test_table5_small () =
+  let t5 = Experiments.table5 ~missions:3 () in
+  Alcotest.(check bool) "table5 nonempty" true (String.length t5 > 100)
+
+let () =
+  Alcotest.run "orianna"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "frame compiles" `Quick test_frame_compiles_all_parts;
+          Alcotest.test_case "fits budget" `Slow test_generated_fits_budget;
+          Alcotest.test_case "generation improves" `Slow test_generation_improves_over_base;
+          Alcotest.test_case "design ordering" `Slow test_paper_ordering_of_designs;
+          Alcotest.test_case "energy shape" `Slow test_energy_shape;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "table4 renders" `Quick test_experiment_tables_render;
+          Alcotest.test_case "generate multi tail" `Slow test_generate_multi_tail;
+          Alcotest.test_case "table5 small" `Slow test_table5_small;
+        ] );
+    ]

@@ -1,0 +1,299 @@
+(* Property-based tests (QCheck) over the core algebraic invariants.
+
+   Each property draws a random seed and rebuilds deterministic inputs
+   from it through the library's own RNG — keeping shrinking useful
+   (a failing seed reproduces exactly) without generating matrices
+   through QCheck itself. *)
+
+open Orianna_linalg
+open Orianna_lie
+open Orianna_fg
+open Orianna_util
+module Expr = Orianna_ir.Expr
+module Value = Orianna_ir.Value
+module Modfg = Orianna_ir.Modfg
+
+let seed_arb = QCheck.(make Gen.(int_range 0 1_000_000) ~print:string_of_int)
+
+let pair_seed = QCheck.(make Gen.(pair (int_range 0 1_000_000) (int_range 2 7)) ~print:QCheck.Print.(pair int int))
+
+(* ---------- SO(3) ---------- *)
+
+let prop_so3_exp_orthonormal =
+  QCheck.Test.make ~name:"so3: Exp always lands on SO(3)" ~count:200 seed_arb (fun seed ->
+      let rng = Rng.of_int seed in
+      let phi = Array.init 3 (fun _ -> Rng.uniform rng ~lo:(-6.0) ~hi:6.0) in
+      So3.is_rotation ~eps:1e-7 (So3.exp phi))
+
+let prop_so3_log_exp_identity =
+  QCheck.Test.make ~name:"so3: Exp(Log R) = R" ~count:200 seed_arb (fun seed ->
+      let r = So3.random (Rng.of_int seed) in
+      Mat.equal ~eps:1e-7 r (So3.exp (So3.log r)))
+
+let prop_so3_jr_jrinv_inverse =
+  QCheck.Test.make ~name:"so3: Jr(phi) Jr_inv(phi) = I" ~count:200 seed_arb (fun seed ->
+      let rng = Rng.of_int seed in
+      let phi = Array.init 3 (fun _ -> Rng.uniform rng ~lo:(-2.9) ~hi:2.9) in
+      Mat.equal ~eps:1e-7 (Mat.identity 3) (Mat.mul (So3.jr phi) (So3.jr_inv phi)))
+
+let prop_so3_exp_additive_on_axis =
+  QCheck.Test.make ~name:"so3: Exp(a v) Exp(b v) = Exp((a+b) v)" ~count:200 seed_arb (fun seed ->
+      let rng = Rng.of_int seed in
+      let axis = Array.init 3 (fun _ -> Rng.gaussian rng) in
+      let n = Vec.norm axis in
+      QCheck.assume (n > 1e-3);
+      let axis = Vec.scale (1.0 /. n) axis in
+      let a = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 and b = Rng.uniform rng ~lo:(-1.0) ~hi:1.0 in
+      Mat.equal ~eps:1e-8
+        (Mat.mul (So3.exp (Vec.scale a axis)) (So3.exp (Vec.scale b axis)))
+        (So3.exp (Vec.scale (a +. b) axis)))
+
+(* ---------- unified poses ---------- *)
+
+let prop_pose3_group =
+  QCheck.Test.make ~name:"pose3: (a+b)-a = b and a+a^-1 = e" ~count:200 seed_arb (fun seed ->
+      let rng = Rng.of_int seed in
+      let a = Pose3.random rng ~scale:3.0 and b = Pose3.random rng ~scale:3.0 in
+      Pose3.equal ~eps:1e-8 b (Pose3.ominus (Pose3.oplus a b) a)
+      && Pose3.equal ~eps:1e-8 Pose3.identity (Pose3.oplus a (Pose3.inverse a)))
+
+let prop_pose3_retract_local =
+  QCheck.Test.make ~name:"pose3: retract(a, local(a,b)) = b" ~count:200 seed_arb (fun seed ->
+      let rng = Rng.of_int seed in
+      let a = Pose3.random rng ~scale:3.0 and b = Pose3.random rng ~scale:3.0 in
+      Pose3.equal ~eps:1e-7 b (Pose3.retract a (Pose3.local a b)))
+
+let prop_pose3_act_homomorphism =
+  QCheck.Test.make ~name:"pose3: (a+b) x = a (b x)" ~count:200 seed_arb (fun seed ->
+      let rng = Rng.of_int seed in
+      let a = Pose3.random rng ~scale:2.0 and b = Pose3.random rng ~scale:2.0 in
+      let x = Array.init 3 (fun _ -> Rng.uniform rng ~lo:(-5.0) ~hi:5.0) in
+      Vec.equal ~eps:1e-8 (Pose3.act (Pose3.oplus a b) x) (Pose3.act a (Pose3.act b x)))
+
+let prop_pose2_group =
+  QCheck.Test.make ~name:"pose2: (a+b)-a = b" ~count:200 seed_arb (fun seed ->
+      let rng = Rng.of_int seed in
+      let a = Pose2.random rng ~scale:3.0 and b = Pose2.random rng ~scale:3.0 in
+      Pose2.equal ~eps:1e-8 b (Pose2.ominus (Pose2.oplus a b) a))
+
+let prop_se3_conversion_consistent =
+  QCheck.Test.make ~name:"convert: pose3 composition = se3 composition" ~count:200 seed_arb
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let a = Pose3.random rng ~scale:2.0 and b = Pose3.random rng ~scale:2.0 in
+      let via_se3 =
+        Convert.pose3_of_se3 (Se3.compose (Convert.se3_of_pose3 a) (Convert.se3_of_pose3 b))
+      in
+      Pose3.equal ~eps:1e-8 via_se3 (Pose3.oplus a b))
+
+(* ---------- postfix ---------- *)
+
+(* Random expression generator over the primitive algebra, seeded. *)
+let random_expr rng =
+  (* NB: Expr redefines (+)/(-); keep integer arithmetic outside its
+     scope. *)
+  let rec rot depth =
+    let d = depth - 1 in
+    if depth <= 0 then if Rng.bool rng then Expr.rot_var "r1" else Expr.rot_var "r2"
+    else
+      match Rng.int rng 3 with
+      | 0 -> Expr.transpose (rot d)
+      | 1 -> Expr.Rr (rot d, rot d)
+      | _ -> Expr.exp_map (vec d)
+  and vec depth =
+    let d = depth - 1 in
+    if depth <= 0 then
+      match Rng.int rng 3 with
+      | 0 -> Expr.vec_var "v1"
+      | 1 -> Expr.trans_var "x"
+      | _ -> Expr.const_vec [| 1.0; 2.0; 3.0 |]
+    else
+      match Rng.int rng 4 with
+      | 0 -> Expr.Vadd (vec d, vec d)
+      | 1 -> Expr.Vsub (vec d, vec d)
+      | 2 -> Expr.Rv (rot d, vec d)
+      | _ -> Expr.log_map (rot d)
+  in
+  vec (1 + Rng.int rng 3)
+
+let prop_postfix_roundtrip =
+  QCheck.Test.make ~name:"expr: of_postfix (to_postfix e) = e" ~count:300 seed_arb (fun seed ->
+      let e = random_expr (Rng.of_int seed) in
+      Expr.of_postfix (Expr.to_postfix e) = e)
+
+(* ---------- MO-DFG backward vs numeric (randomized shapes) ---------- *)
+
+let prop_modfg_jacobians_numeric =
+  QCheck.Test.make ~name:"modfg: backward = numeric jacobian" ~count:40 seed_arb (fun seed ->
+      let rng = Rng.of_int seed in
+      let e = random_expr rng in
+      let values : (Expr.leaf * Value.t) list =
+        [
+          (Expr.Rot_of "r1", Value.Rot (So3.random rng));
+          (Expr.Rot_of "r2", Value.Rot (So3.random rng));
+          (Expr.Vec_of "v1", Value.Vc (Array.init 3 (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0)));
+          (Expr.Trans_of "x", Value.Vc (Array.init 3 (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0)));
+        ]
+      in
+      let dim_of leaf = Value.type_of (List.assoc leaf values) in
+      let lookup leaf = List.assoc leaf values in
+      let g = Modfg.build ~dim_of [ e ] in
+      (* Guard: Log near the +/-pi boundary has unstable numerics. *)
+      let forward = Modfg.eval g ~lookup in
+      let boundary =
+        Array.exists
+          (fun v ->
+            match v with
+            | Value.Vc x -> Vec.dim x = 3 && Vec.norm x > 2.8
+            | Value.Rot _ -> false)
+          forward
+      in
+      QCheck.assume (not boundary);
+      let analytic = Modfg.jacobians g ~values:forward in
+      let h = 1e-6 in
+      List.for_all
+        (fun (leaf, jac) ->
+          let td = Value.tangent_dim (dim_of leaf) in
+          let numeric =
+            Mat.init (Modfg.error_dim g) td (fun i k ->
+                let perturbed s =
+                  let values' =
+                    List.map
+                      (fun (l, v) ->
+                        if l <> leaf then (l, v)
+                        else
+                          match v with
+                          | Value.Rot r ->
+                              let d = Vec.create 3 in
+                              d.(k) <- s;
+                              (l, Value.Rot (Mat.mul r (So3.exp d)))
+                          | Value.Vc x ->
+                              let x' = Vec.copy x in
+                              x'.(k) <- x'.(k) +. s;
+                              (l, Value.Vc x'))
+                      values
+                  in
+                  Modfg.error g ~lookup:(fun l -> List.assoc l values')
+                in
+                ((perturbed h).(i) -. (perturbed (-.h)).(i)) /. (2.0 *. h))
+          in
+          Mat.equal ~eps:5e-4 numeric jac)
+        analytic)
+
+(* ---------- elimination ---------- *)
+
+let random_linear_graph seed nvars =
+  let rng = Rng.of_int seed in
+  let g = Graph.create () in
+  for i = 0 to nvars - 1 do
+    Graph.add_variable g (Printf.sprintf "v%d" i)
+      (Var.Vector (Array.init 2 (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0)))
+  done;
+  (* Random priors guarantee full rank; random pairwise links add
+     structure. *)
+  for i = 0 to nvars - 1 do
+    let z = Array.init 2 (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+    Graph.add_factor g
+      (Orianna_factors.Motion_factors.state_cost
+         ~name:(Printf.sprintf "prior%d" i)
+         ~var:(Printf.sprintf "v%d" i) ~target:z ~sigmas:[| 0.5; 0.5 |])
+  done;
+  for _ = 1 to nvars do
+    let a = Rng.int rng nvars and b = Rng.int rng nvars in
+    if a <> b then
+      Graph.add_factor g
+        (Orianna_factors.Motion_factors.smooth
+           ~name:(Printf.sprintf "link%d-%d-%d" a b (Rng.int rng 10000))
+           ~a:(Printf.sprintf "v%d" a) ~b:(Printf.sprintf "v%d" b) ~dt:0.1 ~d:1 ~sigma:0.7)
+  done;
+  g
+
+let prop_elimination_matches_dense =
+  QCheck.Test.make ~name:"elimination: any ordering matches dense QR" ~count:60 pair_seed
+    (fun (seed, nvars) ->
+      let g = random_linear_graph seed nvars in
+      let lin = Graph.linearize g in
+      let dense =
+        Linear_system.dense_solve ~var_order:(Graph.variables g) ~dims:(Graph.dims g) lin
+      in
+      List.for_all
+        (fun strategy ->
+          let order =
+            Ordering.compute strategy ~vars:(Graph.variables g)
+              ~factor_scopes:(Graph.factor_scopes g)
+          in
+          let sparse = Elimination.solve ~order ~dims:(Graph.dims g) lin in
+          List.for_all (fun (v, d) -> Vec.equal ~eps:1e-6 (List.assoc v dense) d) sparse)
+        [ Ordering.Natural; Ordering.Reverse; Ordering.Min_degree ])
+
+let prop_cholesky_matches_qr =
+  QCheck.Test.make ~name:"elimination: Cholesky = QR" ~count:60 pair_seed (fun (seed, nvars) ->
+      let g = random_linear_graph seed nvars in
+      let lin = Graph.linearize g in
+      let order = Graph.variables g in
+      let qr = Elimination.solve ~method_:Elimination.Qr ~order ~dims:(Graph.dims g) lin in
+      let ch = Elimination.solve ~method_:Elimination.Cholesky ~order ~dims:(Graph.dims g) lin in
+      List.for_all (fun (v, d) -> Vec.equal ~eps:1e-5 (List.assoc v qr) d) ch)
+
+let prop_compiled_matches_software =
+  QCheck.Test.make ~name:"compiler: program run = software solve" ~count:30 pair_seed
+    (fun (seed, nvars) ->
+      let g = random_linear_graph seed nvars in
+      let program = Orianna_compiler.Compile.compile ~ordering:Ordering.Min_degree g in
+      let compiled = Orianna_isa.Program.run program in
+      let reference = Optimizer.solve_once ~ordering:Ordering.Min_degree g in
+      List.for_all (fun (v, d) -> Vec.equal ~eps:1e-6 (List.assoc v reference) d) compiled)
+
+let prop_encode_roundtrip_semantics =
+  QCheck.Test.make ~name:"encode: decode(encode p) runs identically" ~count:30 pair_seed
+    (fun (seed, nvars) ->
+      let g = random_linear_graph seed nvars in
+      let p = Orianna_compiler.Compile.compile g in
+      (* Native kernels need a registry; rebuild it from the source
+         program as a deployment would. *)
+      let registry = Hashtbl.create 16 in
+      Array.iter
+        (fun (i : Orianna_isa.Instr.t) ->
+          match i.Orianna_isa.Instr.op with
+          | Orianna_isa.Instr.Kernel k -> Hashtbl.replace registry k.Orianna_isa.Instr.kname k
+          | _ -> ())
+        p.Orianna_isa.Program.instrs;
+      let resolve name = Hashtbl.find registry name in
+      let p' = Orianna_isa.Encode.decode ~resolve (Orianna_isa.Encode.encode p) in
+      let a = Orianna_isa.Program.run p and b = Orianna_isa.Program.run p' in
+      List.for_all (fun (v, d) -> Vec.equal ~eps:1e-12 d (List.assoc v b)) a)
+
+let prop_robust_weight_bounded =
+  QCheck.Test.make ~name:"robust: weights in [0,1], 1 at zero residual" ~count:200
+    QCheck.(make Gen.(pair (float_bound_exclusive 50.0) (float_range 0.1 10.0))
+              ~print:QCheck.Print.(pair string_of_float string_of_float))
+    (fun (e, k) ->
+      List.for_all
+        (fun loss ->
+          let w = Robust.weight loss e in
+          w >= 0.0 && w <= 1.0 && Robust.weight loss 0.0 = 1.0)
+        [ Robust.Huber k; Robust.Cauchy k; Robust.Tukey k ])
+
+let () =
+  let suite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_so3_exp_orthonormal;
+        prop_so3_log_exp_identity;
+        prop_so3_jr_jrinv_inverse;
+        prop_so3_exp_additive_on_axis;
+        prop_pose3_group;
+        prop_pose3_retract_local;
+        prop_pose3_act_homomorphism;
+        prop_pose2_group;
+        prop_se3_conversion_consistent;
+        prop_postfix_roundtrip;
+        prop_modfg_jacobians_numeric;
+        prop_elimination_matches_dense;
+        prop_cholesky_matches_qr;
+        prop_compiled_matches_software;
+        prop_encode_roundtrip_semantics;
+        prop_robust_weight_bounded;
+      ]
+  in
+  Alcotest.run "properties" [ ("qcheck", suite) ]

@@ -1,0 +1,221 @@
+open Orianna_fg
+open Orianna_factors
+open Orianna_isa
+open Orianna_hw
+open Orianna_sim
+open Orianna_util
+module Compile = Orianna_compiler.Compile
+
+(* A representative program: the compiled mobile-robot application. *)
+let program () = Compile.compile_application (Orianna_apps.App.mobile_robot.Orianna_apps.App.graphs (Rng.of_int 7))
+
+let small_graph () =
+  let g = Graph.create () in
+  Graph.add_variable g "x" (Var.Vector [| 1.0; 2.0 |]);
+  Graph.add_variable g "y" (Var.Vector [| 0.0; 0.0 |]);
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"px" ~var:"x" ~target:[| 0.0; 0.0 |] ~sigmas:[| 1.0; 1.0 |]);
+  Graph.add_factor g
+    (Motion_factors.smooth ~name:"s" ~a:"x" ~b:"y" ~dt:0.0 ~d:1 ~sigma:1.0);
+  g
+
+let check_valid_schedule (p : Program.t) (accel : Accel.t) (r : Schedule.result) =
+  (* Dependencies respected. *)
+  Array.iter
+    (fun (ins : Instr.t) ->
+      Array.iter
+        (fun s ->
+          if r.Schedule.finishes.(s) > r.Schedule.starts.(ins.Instr.id) then
+            Alcotest.failf "instruction i%d starts before its source i%d finishes" ins.Instr.id s)
+        ins.Instr.srcs)
+    p.Program.instrs;
+  (* No unit class oversubscribed: at any instruction start, the
+     number of overlapping instructions of that class must not exceed
+     the instance count. *)
+  List.iter
+    (fun (cls, count) ->
+      let mine =
+        Array.to_list p.Program.instrs
+        |> List.filter (fun (i : Instr.t) -> Unit_model.class_of_op i.Instr.op = cls)
+      in
+      List.iter
+        (fun (i : Instr.t) ->
+          let t = r.Schedule.starts.(i.Instr.id) in
+          let overlapping =
+            List.length
+              (List.filter
+                 (fun (j : Instr.t) ->
+                   r.Schedule.starts.(j.Instr.id) <= t && r.Schedule.finishes.(j.Instr.id) > t)
+                 mine)
+          in
+          if overlapping > count then
+            Alcotest.failf "unit %s oversubscribed: %d > %d at t=%d" (Unit_model.class_name cls)
+              overlapping count t)
+        mine)
+    accel.Accel.counts
+
+let test_ooo_schedule_valid () =
+  let p = program () in
+  let accel = Accel.base () in
+  check_valid_schedule p accel (Schedule.run ~accel ~policy:Schedule.Ooo_full p)
+
+let test_ooo_fine_schedule_valid () =
+  let p = program () in
+  let accel = Accel.with_extra (Accel.base ()) Unit_model.Matmul in
+  check_valid_schedule p accel (Schedule.run ~accel ~policy:Schedule.Ooo_fine p)
+
+let test_in_order_is_serial () =
+  let p = program () in
+  let accel = Accel.base () in
+  let r = Schedule.run ~accel ~policy:Schedule.In_order p in
+  (* No scoreboard: instructions never overlap at all. *)
+  Array.iteri
+    (fun i (_ : Instr.t) ->
+      if i > 0 && r.Schedule.starts.(i) < r.Schedule.finishes.(i - 1) then
+        Alcotest.failf "in-order overlap at i%d" i)
+    p.Program.instrs
+
+let test_policy_ordering () =
+  (* OoO-full <= OoO-fine <= in-order. *)
+  let p = program () in
+  let accel = Accel.base () in
+  let t policy = (Schedule.run ~accel ~policy p).Schedule.cycles in
+  let full = t Schedule.Ooo_full and fine = t Schedule.Ooo_fine and io = t Schedule.In_order in
+  Alcotest.(check bool) (Printf.sprintf "full %d <= fine %d" full fine) true (full <= fine);
+  Alcotest.(check bool) (Printf.sprintf "fine %d <= io %d" fine io) true (fine <= io)
+
+let test_more_units_never_hurt () =
+  let p = program () in
+  let base = Accel.base () in
+  let bigger =
+    List.fold_left Accel.with_extra base
+      [ Unit_model.Matmul; Unit_model.Qr_unit; Unit_model.Dma; Unit_model.Vector_alu ]
+  in
+  let t accel = (Schedule.run ~accel ~policy:Schedule.Ooo_full p).Schedule.cycles in
+  Alcotest.(check bool) "not slower" true (t bigger <= t base)
+
+let test_makespan_at_least_critical_path () =
+  let p = program () in
+  let accel = Accel.base () in
+  let r = Schedule.run ~accel ~policy:Schedule.Ooo_full p in
+  (* Makespan is at least the busiest unit's serial work divided
+     among its instances, and at least any single instruction. *)
+  List.iter
+    (fun (cls, busy) ->
+      let k = Accel.count accel cls in
+      if r.Schedule.cycles * k < busy then
+        Alcotest.failf "makespan below %s capacity bound" (Unit_model.class_name cls))
+    r.Schedule.unit_busy
+
+let test_energy_components () =
+  let p = program () in
+  let accel = Accel.base () in
+  let r = Schedule.run ~accel ~policy:Schedule.Ooo_full p in
+  Alcotest.(check (float 1e-12)) "energy sums" r.Schedule.energy_j
+    (r.Schedule.dynamic_energy_j +. r.Schedule.static_energy_j);
+  Alcotest.(check bool) "dynamic positive" true (r.Schedule.dynamic_energy_j > 0.0);
+  Alcotest.(check bool) "static positive" true (r.Schedule.static_energy_j > 0.0)
+
+let test_dynamic_energy_policy_invariant () =
+  (* The same instructions execute whatever the schedule: dynamic
+     energy must be identical across policies. *)
+  let p = program () in
+  let accel = Accel.base () in
+  let e policy = (Schedule.run ~accel ~policy p).Schedule.dynamic_energy_j in
+  Alcotest.(check (float 1e-15)) "io = ooo" (e Schedule.In_order) (e Schedule.Ooo_full)
+
+let test_phase_accounting () =
+  let p = program () in
+  let r = Schedule.run ~accel:(Accel.base ()) ~policy:Schedule.Ooo_full p in
+  let total_busy = List.fold_left (fun acc (_, c) -> acc + c) 0 r.Schedule.phase_busy in
+  let unit_busy = List.fold_left (fun acc (_, c) -> acc + c) 0 r.Schedule.unit_busy in
+  Alcotest.(check int) "phase busy = unit busy" unit_busy total_busy;
+  Alcotest.(check bool) "three phases" true (List.length r.Schedule.phase_busy = 3)
+
+let test_utilization_bounds () =
+  let p = program () in
+  let r = Schedule.run ~accel:(Accel.base ()) ~policy:Schedule.Ooo_full p in
+  List.iter
+    (fun (cls, u) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s utilization in [0,1]" (Unit_model.class_name cls))
+        true (u >= 0.0 && u <= 1.0))
+    r.Schedule.utilization
+
+let test_tiny_graph_simulates () =
+  let p = Compile.compile (small_graph ()) in
+  let r = Schedule.run ~accel:(Accel.base ()) ~policy:Schedule.Ooo_full p in
+  Alcotest.(check bool) "nonzero cycles" true (r.Schedule.cycles > 0)
+
+let test_fifo_priority_not_faster () =
+  (* Critical-path priority is at least as good as FIFO. *)
+  let p = program () in
+  let accel = Accel.base () in
+  let cp = (Schedule.run ~priority:Schedule.Critical_path ~accel ~policy:Schedule.Ooo_full p).Schedule.cycles in
+  let fifo = (Schedule.run ~priority:Schedule.Fifo ~accel ~policy:Schedule.Ooo_full p).Schedule.cycles in
+  Alcotest.(check bool) (Printf.sprintf "cp %d <= fifo %d" cp fifo) true (cp <= fifo)
+
+let test_trace_gantt_csv () =
+  let p = program () in
+  let r = Schedule.run ~accel:(Accel.base ()) ~policy:Schedule.Ooo_full p in
+  let csv = Trace.gantt_csv p r in
+  let lines = String.split_on_char '\n' csv in
+  (* Header plus one row per instruction (trailing newline). *)
+  Alcotest.(check int) "row count" (Program.length p + 2) (List.length lines);
+  Alcotest.(check string) "header" "id,opcode,phase,algo,unit,start,finish,cycles" (List.hd lines)
+
+let test_trace_timeline_shape () =
+  let p = program () in
+  let r = Schedule.run ~accel:(Accel.base ()) ~policy:Schedule.Ooo_full p in
+  let tl = Trace.utilization_timeline ~width:40 p r in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' tl) in
+  Alcotest.(check int) "one line per unit class" 6 (List.length lines);
+  List.iter (fun l -> Alcotest.(check int) "width" (9 + 40) (String.length l)) lines
+
+let test_trace_dot () =
+  let p = program () in
+  let dot = Trace.to_dot p in
+  Alcotest.(check bool) "digraph" true (String.length dot > 20 && String.sub dot 0 7 = "digraph")
+
+let test_coarse_vs_fine_gap () =
+  (* Multi-algorithm program: full OoO interleaves algorithms, fine
+     cannot — on a shared accelerator full must be at least as good,
+     and with independent algorithms strictly better. *)
+  let p = program () in
+  let accel = Accel.base () in
+  let full = (Schedule.run ~accel ~policy:Schedule.Ooo_full p).Schedule.cycles in
+  let fine = (Schedule.run ~accel ~policy:Schedule.Ooo_fine p).Schedule.cycles in
+  Alcotest.(check bool) (Printf.sprintf "full %d < fine %d" full fine) true (full < fine)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "validity",
+        [
+          Alcotest.test_case "ooo schedule valid" `Quick test_ooo_schedule_valid;
+          Alcotest.test_case "ooo-fine schedule valid" `Quick test_ooo_fine_schedule_valid;
+          Alcotest.test_case "in-order serial" `Quick test_in_order_is_serial;
+        ] );
+      ( "performance",
+        [
+          Alcotest.test_case "policy ordering" `Quick test_policy_ordering;
+          Alcotest.test_case "more units never hurt" `Quick test_more_units_never_hurt;
+          Alcotest.test_case "capacity bound" `Quick test_makespan_at_least_critical_path;
+          Alcotest.test_case "coarse vs fine gap" `Quick test_coarse_vs_fine_gap;
+          Alcotest.test_case "fifo not faster" `Quick test_fifo_priority_not_faster;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "gantt csv" `Quick test_trace_gantt_csv;
+          Alcotest.test_case "timeline shape" `Quick test_trace_timeline_shape;
+          Alcotest.test_case "dot" `Quick test_trace_dot;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "energy components" `Quick test_energy_components;
+          Alcotest.test_case "dynamic invariant" `Quick test_dynamic_energy_policy_invariant;
+          Alcotest.test_case "phase accounting" `Quick test_phase_accounting;
+          Alcotest.test_case "utilization bounds" `Quick test_utilization_bounds;
+          Alcotest.test_case "tiny graph" `Quick test_tiny_graph_simulates;
+        ] );
+    ]

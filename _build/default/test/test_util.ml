@@ -1,0 +1,123 @@
+open Orianna_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.of_int 42 and b = Rng.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.of_int 7 in
+  let b = Rng.split a in
+  let xa = Rng.int64 a and xb = Rng.int64 b in
+  Alcotest.(check bool) "streams differ" true (xa <> xb)
+
+let test_rng_float_range () =
+  let rng = Rng.of_int 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.of_int 2 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (x >= 0 && x < 17)
+  done
+
+let test_gaussian_moments () =
+  let rng = Rng.of_int 3 in
+  let xs = Array.init 20000 (fun _ -> Rng.gaussian rng) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs (Stats.mean xs) < 0.05);
+  Alcotest.(check bool) "std near 1" true (Float.abs (Stats.stddev xs -. 1.0) < 0.05)
+
+let test_uniform_bounds () =
+  let rng = Rng.of_int 4 in
+  for _ = 1 to 100 do
+    let x = Rng.uniform rng ~lo:(-3.0) ~hi:5.0 in
+    Alcotest.(check bool) "in range" true (x >= -3.0 && x < 5.0)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.of_int 5 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean xs);
+  check_float "min" 1.0 (Stats.min xs);
+  check_float "max" 4.0 (Stats.max xs);
+  check_float "sum" 10.0 (Stats.sum xs);
+  check_float "median" 2.5 (Stats.median xs);
+  check_float "std" (sqrt 1.25) (Stats.stddev xs)
+
+let test_stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  check_float "p0" 10.0 (Stats.percentile xs 0.0);
+  check_float "p50" 30.0 (Stats.percentile xs 50.0);
+  check_float "p100" 50.0 (Stats.percentile xs 100.0);
+  check_float "p25" 20.0 (Stats.percentile xs 25.0)
+
+let test_stats_rms () =
+  check_float "rms of constant" 2.0 (Stats.rms [| 2.0; 2.0; 2.0 |]);
+  check_float "rms 3-4" (sqrt 12.5) (Stats.rms [| 3.0; 4.0 |]);
+  check_float "rms empty" 0.0 (Stats.rms [||])
+
+let test_stats_empty () =
+  check_float "mean empty" 0.0 (Stats.mean [||]);
+  Alcotest.check_raises "min empty" (Invalid_argument "Stats.min: empty array") (fun () ->
+      ignore (Stats.min [||]))
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 3.0 |] in
+  Alcotest.(check int) "count" 2 s.Stats.count;
+  check_float "mean" 2.0 s.Stats.mean
+
+let test_table_render () =
+  let t = Texttable.create ~title:"T" ~headers:[ "a"; "bb" ] in
+  Texttable.add_row t [ "1"; "2" ];
+  Texttable.add_row t [ "3" ];
+  let s = Texttable.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool) "contains cell" true (String.length s > 10)
+
+let test_table_too_wide () =
+  let t = Texttable.create ~title:"" ~headers:[ "a" ] in
+  Alcotest.check_raises "wide row rejected"
+    (Invalid_argument "Texttable.add_row: row wider than header") (fun () ->
+      Texttable.add_row t [ "1"; "2" ])
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "rms" `Quick test_stats_rms;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+      ( "texttable",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "too wide" `Quick test_table_too_wide;
+        ] );
+    ]

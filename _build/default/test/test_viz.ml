@@ -1,0 +1,132 @@
+open Orianna_viz
+open Orianna_util
+module App = Orianna_apps.App
+module Sphere = Orianna_apps.Sphere
+module Datasets = Orianna_apps.Datasets
+module Compile = Orianna_compiler.Compile
+module Schedule = Orianna_sim.Schedule
+module Accel = Orianna_hw.Accel
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let count_sub ~sub s =
+  let n = String.length sub in
+  let rec go i acc =
+    if i + n > String.length s then acc
+    else if String.sub s i n = sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+(* ---------- Svg primitives ---------- *)
+
+let test_svg_document () =
+  let svg = Svg.create ~width:100 ~height:80 in
+  Svg.polyline svg ~color:"red" [ (0.0, 0.0); (10.0, 10.0) ];
+  Svg.circle svg ~color:"blue" ~cx:5.0 ~cy:5.0 ~r:2.0;
+  Svg.rect svg ~color:"green" ~x:1.0 ~y:1.0 ~w:3.0 ~h:4.0;
+  Svg.text svg ~x:2.0 ~y:9.0 "hi";
+  Svg.line svg ~color:"black" ~x1:0.0 ~y1:0.0 ~x2:1.0 ~y2:1.0;
+  let doc = Svg.render svg in
+  List.iter
+    (fun tag -> Alcotest.(check bool) ("has " ^ tag) true (contains ~sub:tag doc))
+    [ "<svg"; "</svg>"; "<polyline"; "<circle"; "<rect"; "<text"; "<line"; "width=\"100\"" ]
+
+let test_svg_fit_mapping () =
+  let m = Svg.fit ~width:100 ~height:100 ~margin:10.0 [ (0.0, 0.0); (10.0, 10.0) ] in
+  let x0, y0 = Svg.apply m (0.0, 0.0) in
+  let x1, y1 = Svg.apply m (10.0, 10.0) in
+  (* Corners inside the margins; y axis flipped. *)
+  Alcotest.(check bool) "in bounds" true (x0 >= 10.0 && x1 <= 90.0 && y1 >= 10.0 && y0 <= 90.0);
+  Alcotest.(check bool) "y flipped" true (y0 > y1);
+  Alcotest.(check bool) "x increasing" true (x1 > x0)
+
+let test_svg_fit_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Svg.fit: no points") (fun () ->
+      ignore (Svg.fit ~width:10 ~height:10 ~margin:1.0 []))
+
+(* ---------- Plots ---------- *)
+
+let test_trajectory_svg () =
+  let ds = Sphere.generate { Sphere.default_config with Sphere.rings = 3; poses_per_ring = 8 } in
+  let doc =
+    Plots.trajectory_svg ~truth:ds.Sphere.truth ~initial:ds.Sphere.initial
+      ~estimate:ds.Sphere.initial ()
+  in
+  Alcotest.(check int) "three polylines" 3 (count_sub ~sub:"<polyline" doc);
+  Alcotest.(check bool) "legend" true (contains ~sub:"optimized" doc)
+
+let test_gantt_svg () =
+  let p = Compile.compile_application (App.manipulator.App.graphs (Rng.of_int 2)) in
+  let r = Schedule.run ~accel:(Accel.base ()) ~policy:Schedule.Ooo_full p in
+  let doc = Plots.gantt_svg p r in
+  (* One rect per instruction plus the background. *)
+  Alcotest.(check int) "rect count" (Orianna_isa.Program.length p + 1) (count_sub ~sub:"<rect" doc);
+  Alcotest.(check bool) "cycles label" true (contains ~sub:"cycles" doc)
+
+(* ---------- Manhattan dataset ---------- *)
+
+let test_manhattan_shape () =
+  let ds = Datasets.manhattan Datasets.default_config in
+  Alcotest.(check int) "poses" 301 (Array.length ds.Datasets.truth);
+  Alcotest.(check int) "odometry" 300 (Array.length ds.Datasets.odometry);
+  Alcotest.(check bool) "has loop closures" true (Array.length ds.Datasets.loops > 20);
+  (* Axis-aligned positions on the grid. *)
+  Array.iter
+    (fun p ->
+      let t = Orianna_lie.Pose2.translation p in
+      let on_grid x = Float.abs (x -. Float.round x) < 1e-6 in
+      Alcotest.(check bool) "on grid" true (on_grid t.(0) && on_grid t.(1)))
+    ds.Datasets.truth
+
+let test_manhattan_solves () =
+  let ds = Datasets.manhattan { Datasets.default_config with Datasets.steps = 150 } in
+  let init = Datasets.ate ~truth:ds.Datasets.truth ~estimate:ds.Datasets.initial in
+  let g = Datasets.to_graph ds in
+  let params =
+    { Orianna_fg.Optimizer.default_params with
+      method_ = Orianna_fg.Optimizer.Levenberg_marquardt }
+  in
+  let report = Orianna_fg.Optimizer.optimize ~params g in
+  Alcotest.(check bool) "converged" true report.Orianna_fg.Optimizer.converged;
+  let est = Datasets.estimate_of g ~n:(Array.length ds.Datasets.truth) in
+  let final = Datasets.ate ~truth:ds.Datasets.truth ~estimate:est in
+  Alcotest.(check bool)
+    (Printf.sprintf "improves 5x (%.3f -> %.3f)" init.Sphere.mean final.Sphere.mean)
+    true
+    (final.Sphere.mean < init.Sphere.mean /. 5.0)
+
+let test_manhattan_g2o_roundtrip () =
+  let ds = Datasets.manhattan { Datasets.default_config with Datasets.steps = 60 } in
+  let entries = Datasets.to_g2o ds in
+  let reparsed = Orianna_apps.G2o.parse (Orianna_apps.G2o.to_string entries) in
+  Alcotest.(check int) "entries" (List.length entries) (List.length reparsed);
+  (* And the exported file solves. *)
+  let _, report = Orianna_apps.G2o.solve_file (Orianna_apps.G2o.to_string entries) in
+  Alcotest.(check bool) "solves" true
+    (report.Orianna_fg.Optimizer.final_error < report.Orianna_fg.Optimizer.initial_error)
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "document" `Quick test_svg_document;
+          Alcotest.test_case "fit mapping" `Quick test_svg_fit_mapping;
+          Alcotest.test_case "fit empty" `Quick test_svg_fit_empty;
+        ] );
+      ( "plots",
+        [
+          Alcotest.test_case "trajectory" `Quick test_trajectory_svg;
+          Alcotest.test_case "gantt" `Quick test_gantt_svg;
+        ] );
+      ( "manhattan",
+        [
+          Alcotest.test_case "shape" `Quick test_manhattan_shape;
+          Alcotest.test_case "solves" `Quick test_manhattan_solves;
+          Alcotest.test_case "g2o roundtrip" `Quick test_manhattan_g2o_roundtrip;
+        ] );
+    ]
