@@ -5,6 +5,7 @@
      compile     lower an application to the matrix instruction stream
      generate    hardware generation under resource constraints
      simulate    cycle-level execution on a generated accelerator
+     profile     instrumented compile→generate→simulate with span tree
      mission     Tbl. 5 mission success rates
      sphere      the Sec. 4.3 representation study
      experiments regenerate every table and figure *)
@@ -19,6 +20,9 @@ module App = Orianna_apps.App
 module Sphere = Orianna_apps.Sphere
 module Program = Orianna_isa.Program
 module Graph = Orianna_fg.Graph
+module Obs = Orianna_obs.Obs
+module Chrome_trace = Orianna_obs.Chrome_trace
+module Report = Orianna_obs.Report
 
 let app_arg =
   let parse s =
@@ -35,6 +39,35 @@ let app_pos =
 
 let seed_flag =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload random seed.")
+
+(* ---------------- observability plumbing ---------------- *)
+
+let trace_flag =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file (load it at ui.perfetto.dev or chrome://tracing).")
+
+let report_flag =
+  Arg.(value & opt (some string) None
+       & info [ "report" ] ~docv:"FILE"
+           ~doc:"Write a flat JSON run report: counters, gauges, histogram summaries and the span tree.")
+
+(* Run [f] with the telemetry registry enabled whenever an export was
+   requested; [f] returns extra trace events (e.g. the scheduler's
+   per-instruction slices) to append after the pipeline spans. *)
+let with_obs ~trace ~report ~meta f =
+  if trace <> None || report <> None then Obs.enable ();
+  let extra = f () in
+  Option.iter
+    (fun path ->
+      Chrome_trace.write_file path (Chrome_trace.of_spans (Obs.spans ()) @ extra);
+      Format.printf "wrote %s@." path)
+    trace;
+  Option.iter
+    (fun path ->
+      Report.write_file ~meta path;
+      Format.printf "wrote %s@." path)
+    report
 
 (* ---------------- solve ---------------- *)
 
@@ -58,16 +91,20 @@ let solve_cmd =
 let compile_cmd =
   let dense = Arg.(value & flag & info [ "dense" ] ~doc:"Use the VANILLA-HLS dense lowering.") in
   let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Print the full instruction listing.") in
-  let run app seed dense dump =
+  let run app seed dense dump trace report =
+    with_obs ~trace ~report
+      ~meta:[ ("command", "compile"); ("app", app.App.name); ("seed", string_of_int seed) ]
+    @@ fun () ->
     let graphs = app.App.graphs (Rng.of_int seed) in
     let program =
       if dense then Orianna_compiler.Compile.compile_dense_application graphs
       else Orianna_compiler.Compile.compile_application graphs
     in
     Format.printf "%a@." Program.pp_stats (Program.stats program);
-    if dump then Format.printf "%a@." Program.pp program
+    if dump then Format.printf "%a@." Program.pp program;
+    []
   in
-  let term = Term.(const run $ app_pos $ seed_flag $ dense $ dump) in
+  let term = Term.(const run $ app_pos $ seed_flag $ dense $ dump $ trace_flag $ report_flag) in
   Cmd.v (Cmd.info "compile" ~doc:"Lower an application to the ORIANNA instruction stream.") term
 
 (* ---------------- generate ---------------- *)
@@ -78,7 +115,10 @@ let generate_cmd =
     Arg.(value & opt (enum [ ("latency", `Latency); ("energy", `Energy) ]) `Latency
          & info [ "objective" ] ~doc:"Generation objective.")
   in
-  let run app seed dsp objective =
+  let run app seed dsp objective trace report =
+    with_obs ~trace ~report
+      ~meta:[ ("command", "generate"); ("app", app.App.name); ("seed", string_of_int seed) ]
+    @@ fun () ->
     let frame = Pipeline.frame app ~seed in
     let budget = { Resource.zc706 with Resource.dsp = dsp } in
     let result = Pipeline.generate ~budget ~objective frame.Pipeline.program in
@@ -93,9 +133,10 @@ let generate_cmd =
         Format.printf "  %-12s objective %.4g  (%a)@." what s.Dse.objective Resource.pp
           s.Dse.resources)
       result.Dse.trace;
-    Format.printf "%a@." Accel.pp result.Dse.best
+    Format.printf "%a@." Accel.pp result.Dse.best;
+    []
   in
-  let term = Term.(const run $ app_pos $ seed_flag $ dsp $ objective) in
+  let term = Term.(const run $ app_pos $ seed_flag $ dsp $ objective $ trace_flag $ report_flag) in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate an accelerator for an application under a resource budget.")
     term
@@ -108,18 +149,34 @@ let simulate_cmd =
          & opt (enum [ ("ooo", Schedule.Ooo_full); ("fine", Schedule.Ooo_fine); ("io", Schedule.In_order) ]) Schedule.Ooo_full
          & info [ "policy" ] ~doc:"Issue policy: ooo, fine or io.")
   in
-  let run app seed policy =
+  let timeline =
+    Arg.(value & flag
+         & info [ "timeline" ]
+             ~doc:"Print the per-unit-class utilization heat-strip alongside the summary.")
+  in
+  let run app seed policy timeline trace report =
+    with_obs ~trace ~report
+      ~meta:
+        [
+          ("command", "simulate");
+          ("app", app.App.name);
+          ("seed", string_of_int seed);
+          ("policy", Schedule.policy_name policy);
+        ]
+    @@ fun () ->
     let frame = Pipeline.frame app ~seed in
     let accel = (Pipeline.generate frame.Pipeline.program).Dse.best in
     let r = Schedule.run ~accel ~policy frame.Pipeline.program in
     Format.printf "%a@." Schedule.pp_result r;
+    if timeline then print_string (Orianna_sim.Trace.utilization_timeline frame.Pipeline.program r);
     let arm = Cpu_model.run Cpu_model.arm ~construct_flop_scale:Pipeline.se3_construct_scale frame.Pipeline.program in
     let intel = Cpu_model.run Cpu_model.intel ~construct_flop_scale:Pipeline.se3_construct_scale frame.Pipeline.program in
     Format.printf "speedup: %.1fx over ARM, %.1fx over Intel@."
       (arm.Cpu_model.seconds /. r.Schedule.seconds)
-      (intel.Cpu_model.seconds /. r.Schedule.seconds)
+      (intel.Cpu_model.seconds /. r.Schedule.seconds);
+    if trace <> None then Orianna_sim.Trace.chrome_events frame.Pipeline.program r else []
   in
-  let term = Term.(const run $ app_pos $ seed_flag $ policy) in
+  let term = Term.(const run $ app_pos $ seed_flag $ policy $ timeline $ trace_flag $ report_flag) in
   Cmd.v (Cmd.info "simulate" ~doc:"Cycle-level execution on a generated accelerator.") term
 
 (* ---------------- trace ---------------- *)
@@ -259,6 +316,83 @@ let g2o_cmd =
   let term = Term.(const run $ file $ out) in
   Cmd.v (Cmd.info "g2o" ~doc:"Optimize a pose graph in the standard g2o text format.") term
 
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let policy =
+    Arg.(value
+         & opt (enum [ ("ooo", Schedule.Ooo_full); ("fine", Schedule.Ooo_fine); ("io", Schedule.In_order) ]) Schedule.Ooo_full
+         & info [ "policy" ] ~doc:"Issue policy: ooo, fine or io.")
+  in
+  let run app seed policy trace report =
+    Obs.enable ();
+    let frame = Obs.with_span "compile" (fun () -> Pipeline.frame app ~seed) in
+    let accel =
+      Obs.with_span "generate" (fun () -> (Pipeline.generate frame.Pipeline.program).Dse.best)
+    in
+    let r = Obs.with_span "simulate" (fun () -> Schedule.run ~accel ~policy frame.Pipeline.program) in
+    Format.printf "%s %s: %d instructions, %d cycles (%.3f ms simulated)@.@." app.App.name
+      (Schedule.policy_name policy) r.Schedule.instructions r.Schedule.cycles
+      (r.Schedule.seconds *. 1e3);
+    Format.printf "%a@." Obs.pp_spans (Obs.spans ());
+    let counters = Obs.counters () in
+    if counters <> [] then begin
+      let t = Texttable.create ~title:"Counters" ~headers:[ "counter"; "value" ] in
+      List.iter (fun (name, v) -> Texttable.add_row t [ name; string_of_int v ]) counters;
+      Texttable.print t
+    end;
+    let gauges = Obs.gauges () in
+    if gauges <> [] then begin
+      let t = Texttable.create ~title:"Gauges" ~headers:[ "gauge"; "value" ] in
+      List.iter (fun (name, v) -> Texttable.add_row t [ name; Printf.sprintf "%.6g" v ]) gauges;
+      Texttable.print t
+    end;
+    let histograms = Obs.histograms () in
+    if histograms <> [] then begin
+      let t =
+        Texttable.create ~title:"Histograms"
+          ~headers:[ "histogram"; "samples"; "mean"; "min"; "max" ]
+      in
+      List.iter
+        (fun (name, h) ->
+          Texttable.add_row t
+            [
+              name;
+              string_of_int h.Obs.samples;
+              Printf.sprintf "%.4g" (Obs.mean h);
+              Printf.sprintf "%.4g" h.Obs.hmin;
+              Printf.sprintf "%.4g" h.Obs.hmax;
+            ])
+        histograms;
+      Texttable.print t
+    end;
+    Option.iter
+      (fun path ->
+        Chrome_trace.write_file path
+          (Chrome_trace.of_spans (Obs.spans ())
+          @ Orianna_sim.Trace.chrome_events frame.Pipeline.program r);
+        Format.printf "wrote %s@." path)
+      trace;
+    Option.iter
+      (fun path ->
+        Report.write_file
+          ~meta:
+            [
+              ("command", "profile");
+              ("app", app.App.name);
+              ("seed", string_of_int seed);
+              ("policy", Schedule.policy_name policy);
+            ]
+          path;
+        Format.printf "wrote %s@." path)
+      report
+  in
+  let term = Term.(const run $ app_pos $ seed_flag $ policy $ trace_flag $ report_flag) in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run the full compile -> generate -> simulate pipeline under telemetry and print the span tree and counters.")
+    term
+
 (* ---------------- experiments ---------------- *)
 
 let experiments_cmd =
@@ -268,8 +402,9 @@ let experiments_cmd =
          & info [ "only" ] ~docv:"ID"
              ~doc:"Run a single experiment: table1, table4, table5, fig13..fig20, breakdown,                    frame-rates, ablations, robust, manhattan.")
   in
-  let run missions only =
-    match only with
+  let run missions only trace report =
+    with_obs ~trace ~report ~meta:[ ("command", "experiments") ] @@ fun () ->
+    (match only with
     | None -> Experiments.run_all ~missions ()
     | Some id -> (
         let needs_ctx f =
@@ -293,11 +428,12 @@ let experiments_cmd =
         | "ablations" -> needs_ctx Experiments.ablations
         | "robust" -> print_string (Experiments.extension_robust ())
         | "manhattan" -> print_string (Experiments.extension_manhattan ())
-        | other -> Format.eprintf "unknown experiment %S@." other)
+        | other -> Format.eprintf "unknown experiment %S@." other));
+    []
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate every table and figure of the evaluation.")
-    Term.(const run $ missions $ only)
+    Term.(const run $ missions $ only $ trace_flag $ report_flag)
 
 let () =
   (* ORIANNA_LOG=debug|info enables library logging. *)
@@ -313,4 +449,4 @@ let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "orianna" ~version:"1.0.0" ~doc:"Accelerator generation for optimization-based robotics." in
   exit (Cmd.eval (Cmd.group ~default info
-    [ solve_cmd; compile_cmd; generate_cmd; simulate_cmd; trace_cmd; image_cmd; mission_cmd; sphere_cmd; g2o_cmd; experiments_cmd ]))
+    [ solve_cmd; compile_cmd; generate_cmd; simulate_cmd; trace_cmd; profile_cmd; image_cmd; mission_cmd; sphere_cmd; g2o_cmd; experiments_cmd ]))

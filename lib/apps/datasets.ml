@@ -125,12 +125,9 @@ let to_g2o ds =
 let ate ~truth ~estimate =
   if Array.length truth <> Array.length estimate then invalid_arg "Datasets.ate: length mismatch";
   let d = Array.map2 Pose2.distance truth estimate in
-  {
-    Sphere.max = Stats.max d;
-    mean = Stats.mean d;
-    min = Stats.min d;
-    std = Stats.stddev d;
-  }
+  match Stats.summarize_opt d with
+  | Some s -> { Sphere.max = s.Stats.max; mean = s.Stats.mean; min = s.Stats.min; std = s.Stats.std }
+  | None -> { Sphere.max = 0.0; mean = 0.0; min = 0.0; std = 0.0 }
 
 let estimate_of g ~n =
   Array.init n (fun i ->

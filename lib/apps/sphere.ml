@@ -108,12 +108,9 @@ type errors = { max : float; mean : float; min : float; std : float }
 let ate ~truth ~estimate =
   if Array.length truth <> Array.length estimate then invalid_arg "Sphere.ate: length mismatch";
   let d = Array.map2 Pose3.distance truth estimate in
-  {
-    max = Stats.max d;
-    mean = Stats.mean d;
-    min = Stats.min d;
-    std = Stats.stddev d;
-  }
+  match Stats.summarize_opt d with
+  | Some s -> { max = s.Stats.max; mean = s.Stats.mean; min = s.Stats.min; std = s.Stats.std }
+  | None -> { max = 0.0; mean = 0.0; min = 0.0; std = 0.0 }
 
 type run = { errors : errors; macs : int; construct_macs : int; iterations : int; converged : bool }
 

@@ -6,6 +6,7 @@ module Expr = Orianna_ir.Expr
 module Value = Orianna_ir.Value
 module Modfg = Orianna_ir.Modfg
 module B = Program.Builder
+module Obs = Orianna_obs.Obs
 
 let src = Logs.Src.create "orianna.compiler" ~doc:"Factor graph to ISA lowering"
 
@@ -39,7 +40,9 @@ let emit ctx ~op ~srcs ~rows ~cols ~phase ~tag =
   | None -> B.emit ctx.b ~op ~srcs ~rows ~cols ~phase ~algo:ctx.algo ~tag
   | Some key -> (
       match Hashtbl.find_opt ctx.cache key with
-      | Some reg -> reg
+      | Some reg ->
+          Obs.count "compile.cse_hits";
+          reg
       | None ->
           let reg = B.emit ctx.b ~op ~srcs ~rows ~cols ~phase ~algo:ctx.algo ~tag in
           Hashtbl.add ctx.cache key reg;
@@ -569,17 +572,44 @@ let compile_backsub ctx conds =
    input registers; returns the per-variable delta registers. *)
 let compile_round ctx graph ~regs_of_var ~order =
   let lins =
+    Obs.with_span "compile.construct" @@ fun () ->
     List.map
       (fun f ->
         match Factor.modfg f (Graph.lookup graph) with
-        | Some g -> lower_symbolic ctx graph ~regs_of_var f g
-        | None -> lower_native ctx graph ~regs_of_var f)
+        | Some g ->
+            Obs.count "compile.factors.symbolic";
+            lower_symbolic ctx graph ~regs_of_var f g
+        | None ->
+            Obs.count "compile.factors.native";
+            lower_native ctx graph ~regs_of_var f)
       (Graph.factors graph)
   in
-  let conds = compile_elimination ctx ~order ~dims:(Graph.dims graph) lins in
-  compile_backsub ctx conds
+  let conds =
+    Obs.with_span "compile.eliminate" (fun () ->
+        compile_elimination ctx ~order ~dims:(Graph.dims graph) lins)
+  in
+  Obs.with_span "compile.backsub" (fun () -> compile_backsub ctx conds)
+
+(* Per-opcode emission counters over a finished stream — one place
+   covers every lowering path. *)
+let record_program_counters (p : Program.t) =
+  if Obs.enabled () then begin
+    Array.iter
+      (fun (i : Instr.t) -> Obs.count ("compile.op." ^ Instr.opcode_name i.Instr.op))
+      p.Program.instrs;
+    Obs.count "compile.instructions" ~n:(Program.length p)
+  end;
+  p
 
 let compile ?(algo = 0) ?(prefix = "") ?(ordering = Ordering.Min_degree) ?(cse = true) graph =
+  Obs.with_span "compile.lower"
+    ~attrs:
+      [
+        ("algo", string_of_int algo);
+        ("variables", string_of_int (Graph.num_variables graph));
+        ("factors", string_of_int (Graph.num_factors graph));
+      ]
+  @@ fun () ->
   let ctx = { b = B.create (); algo; cse; cache = Hashtbl.create 256 } in
   let var_regs = Hashtbl.create 32 in
   List.iter (fun v -> Hashtbl.add var_regs v (load_variable ctx graph v)) (Graph.variables graph);
@@ -595,7 +625,7 @@ let compile ?(algo = 0) ?(prefix = "") ?(ordering = Ordering.Min_degree) ?(cse =
   Log.debug (fun m ->
       m "compiled %d variables / %d factors -> %d instructions" (Graph.num_variables graph)
         (Graph.num_factors graph) (Program.length p));
-  p
+  record_program_counters p
 
 (* The update phase of Fig. 3: retract each variable by its delta to
    produce the next iteration's inputs. *)
@@ -631,6 +661,9 @@ let emit_update ctx graph regs v delta =
 let compile_iterations ?(algo = 0) ?(prefix = "") ?(ordering = Ordering.Min_degree) ~iterations
     graph =
   if iterations < 1 then invalid_arg "Compile.compile_iterations: need at least one iteration";
+  Obs.with_span "compile.lower_iterations"
+    ~attrs:[ ("algo", string_of_int algo); ("iterations", string_of_int iterations) ]
+  @@ fun () ->
   let ctx = { b = B.create (); algo; cse = true; cache = Hashtbl.create 256 } in
   let var_regs = Hashtbl.create 32 in
   List.iter (fun v -> Hashtbl.add var_regs v (load_variable ctx graph v)) (Graph.variables graph);
@@ -657,15 +690,17 @@ let compile_iterations ?(algo = 0) ?(prefix = "") ?(ordering = Ordering.Min_degr
   let outputs =
     List.map (fun v -> (prefix ^ v, Hashtbl.find solution v)) (Graph.variables graph)
   in
-  B.finish ctx.b ~outputs
+  record_program_counters (B.finish ctx.b ~outputs)
 
 let compile_application ?(ordering = Ordering.Min_degree) ?(cse = true) graphs =
+  Obs.with_span "compile.application" @@ fun () ->
   Program.concat
     (List.mapi
        (fun i (name, g) -> compile ~algo:i ~prefix:(name ^ "/") ~ordering ~cse g)
        graphs)
 
 let compile_dense ?(algo = 0) ?(prefix = "") graph =
+  Obs.with_span "compile.lower_dense" ~attrs:[ ("algo", string_of_int algo) ] @@ fun () ->
   let ctx = { b = B.create (); algo; cse = true; cache = Hashtbl.create 256 } in
   let var_regs = Hashtbl.create 32 in
   List.iter (fun v -> Hashtbl.add var_regs v (load_variable ctx graph v)) (Graph.variables graph);
@@ -736,9 +771,10 @@ let compile_dense ?(algo = 0) ?(prefix = "") graph =
         (prefix ^ v, reg))
       order
   in
-  B.finish ctx.b ~outputs
+  record_program_counters (B.finish ctx.b ~outputs)
 
 let compile_dense_application graphs =
+  Obs.with_span "compile.application" ~attrs:[ ("lowering", "dense") ] @@ fun () ->
   Program.concat
     (List.mapi (fun i (name, g) -> compile_dense ~algo:i ~prefix:(name ^ "/") g) graphs)
 

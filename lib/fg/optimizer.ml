@@ -3,6 +3,7 @@ open Orianna_linalg
 let src = Logs.Src.create "orianna.optimizer" ~doc:"Nonlinear optimization loop"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Orianna_obs.Obs
 
 type method_ = Gauss_newton | Levenberg_marquardt
 
@@ -72,6 +73,14 @@ let solve_once ?(ordering = Ordering.Min_degree) graph =
   Elimination.solve ~order ~dims:(Graph.dims graph) lin
 
 let optimize ?(params = default_params) graph =
+  Obs.with_span "optimizer.optimize"
+    ~attrs:
+      [
+        ("method", match params.method_ with Gauss_newton -> "gauss-newton" | Levenberg_marquardt -> "lm");
+        ("variables", string_of_int (Graph.num_variables graph));
+        ("factors", string_of_int (Graph.num_factors graph));
+      ]
+  @@ fun () ->
   let result, macs =
     Macs.measure (fun () ->
         let order = ordering_of graph params.ordering in
@@ -122,12 +131,15 @@ let optimize ?(params = default_params) graph =
                      current_error := err
                    end
                    else begin
+                     Obs.count "optimizer.lm.rejected_steps";
                      Graph.restore_values graph saved;
                      lambda := !lambda *. 10.0
                    end
                  done;
                  if not !accepted then converged := true (* stuck: report non-improvement *));
              Log.debug (fun m -> m "iteration %d: error %.6g" !iters !current_error);
+             Obs.count "optimizer.iterations";
+             Obs.observe "optimizer.error" !current_error;
              history := !current_error :: !history
            done
          with Elimination.Underconstrained v ->
@@ -140,6 +152,11 @@ let optimize ?(params = default_params) graph =
           !census ))
   in
   let iterations, converged, initial_error, final_error, history, census = result in
+  if Obs.enabled () then begin
+    Obs.set_gauge "optimizer.final_error" final_error;
+    Obs.count "optimizer.runs";
+    if converged then Obs.count "optimizer.converged"
+  end;
   Log.info (fun m ->
       m "optimized: %d iterations, error %.6g -> %.6g, %d MACs" iterations initial_error
         final_error macs);

@@ -1,6 +1,7 @@
 let src = Logs.Src.create "orianna.dse" ~doc:"Hardware design-space exploration"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Orianna_obs.Obs
 
 type move = Add_unit of Unit_model.unit_class | Widen_qr
 
@@ -14,16 +15,19 @@ type step = {
 type result = { best : Accel.t; objective : float; trace : step list }
 
 let optimize ~budget ~evaluate ?(classes = Unit_model.all_classes) ?init ?(min_gain = 0.005) () =
+  Obs.with_span "dse.optimize" @@ fun () ->
   let current = ref (match init with Some a -> a | None -> Accel.base ()) in
   if not (Accel.fits !current ~budget) then
     invalid_arg "Dse.optimize: initial configuration exceeds the budget";
   let objective = ref (evaluate !current) in
+  Obs.count "dse.candidates.evaluated";
   let trace =
     ref [ { added = None; accel = !current; objective = !objective; resources = Accel.resources !current } ]
   in
   let improved = ref true in
   while !improved do
     improved := false;
+    Obs.count "dse.rounds";
     (* Try one replication of every class; keep the best that fits. *)
     let moves =
       Widen_qr :: List.map (fun cls -> Add_unit cls) classes
@@ -36,7 +40,14 @@ let optimize ~budget ~evaluate ?(classes = Unit_model.all_classes) ?init ?(min_g
             | Add_unit cls -> Accel.with_extra !current cls
             | Widen_qr -> Accel.with_wider_qr !current
           in
-          if Accel.fits candidate ~budget then Some (move, candidate, evaluate candidate) else None)
+          if Accel.fits candidate ~budget then begin
+            Obs.count "dse.candidates.evaluated";
+            Some (move, candidate, evaluate candidate)
+          end
+          else begin
+            Obs.count "dse.candidates.pruned";
+            None
+          end)
         moves
     in
     match candidates with
@@ -50,6 +61,10 @@ let optimize ~budget ~evaluate ?(classes = Unit_model.all_classes) ?init ?(min_g
             (List.tl candidates)
         in
         if score < !objective *. (1.0 -. min_gain) then begin
+          Obs.count "dse.moves.accepted";
+          (match move with
+          | Add_unit c -> Obs.count ("dse.moves.add." ^ Unit_model.class_name c)
+          | Widen_qr -> Obs.count "dse.moves.widen_qr");
           Log.info (fun m ->
               m "accepted %s: objective %.4g -> %.4g"
                 (match move with
@@ -64,4 +79,5 @@ let optimize ~budget ~evaluate ?(classes = Unit_model.all_classes) ?init ?(min_g
           improved := true
         end
   done;
+  Obs.set_gauge "dse.best_objective" !objective;
   { best = !current; objective = !objective; trace = List.rev !trace }

@@ -1,0 +1,103 @@
+type event =
+  | Duration of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts_us : float;
+      dur_us : float;
+      args : (string * Json.t) list;
+    }
+  | Instant of { name : string; cat : string; pid : int; tid : int; ts_us : float }
+  | Counter of { name : string; pid : int; ts_us : float; series : (string * float) list }
+  | Thread_name of { pid : int; tid : int; name : string }
+  | Process_name of { pid : int; name : string }
+
+let event_json = function
+  | Duration { name; cat; pid; tid; ts_us; dur_us; args } ->
+      Json.Obj
+        ([
+           ("name", Json.Str name);
+           ("cat", Json.Str cat);
+           ("ph", Json.Str "X");
+           ("pid", Json.int pid);
+           ("tid", Json.int tid);
+           ("ts", Json.Num ts_us);
+           ("dur", Json.Num dur_us);
+         ]
+        @ if args = [] then [] else [ ("args", Json.Obj args) ])
+  | Instant { name; cat; pid; tid; ts_us } ->
+      Json.Obj
+        [
+          ("name", Json.Str name);
+          ("cat", Json.Str cat);
+          ("ph", Json.Str "i");
+          ("s", Json.Str "t");
+          ("pid", Json.int pid);
+          ("tid", Json.int tid);
+          ("ts", Json.Num ts_us);
+        ]
+  | Counter { name; pid; ts_us; series } ->
+      Json.Obj
+        [
+          ("name", Json.Str name);
+          ("ph", Json.Str "C");
+          ("pid", Json.int pid);
+          ("tid", Json.int 0);
+          ("ts", Json.Num ts_us);
+          ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) series));
+        ]
+  | Thread_name { pid; tid; name } ->
+      Json.Obj
+        [
+          ("name", Json.Str "thread_name");
+          ("ph", Json.Str "M");
+          ("pid", Json.int pid);
+          ("tid", Json.int tid);
+          ("args", Json.Obj [ ("name", Json.Str name) ]);
+        ]
+  | Process_name { pid; name } ->
+      Json.Obj
+        [
+          ("name", Json.Str "process_name");
+          ("ph", Json.Str "M");
+          ("pid", Json.int pid);
+          ("tid", Json.int 0);
+          ("args", Json.Obj [ ("name", Json.Str name) ]);
+        ]
+
+let to_json events =
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map event_json events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string events = Json.to_string (to_json events)
+
+let spans_pid = 0
+
+let of_spans ?(pid = spans_pid) ?(tid = 0) spans =
+  let rec events acc (s : Obs.span) =
+    let acc =
+      Duration
+        {
+          name = s.name;
+          cat = "span";
+          pid;
+          tid;
+          ts_us = 1e6 *. s.start_s;
+          dur_us = 1e6 *. s.dur_s;
+          args = List.map (fun (k, v) -> (k, Json.Str v)) s.attrs;
+        }
+      :: acc
+    in
+    List.fold_left events acc s.children
+  in
+  Process_name { pid; name = "pipeline" } :: List.rev (List.fold_left events [] spans)
+
+let write_file path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string events))

@@ -1,0 +1,40 @@
+(** Chrome trace-event JSON writer.
+
+    Produces the JSON-object trace format understood by Perfetto
+    ({{:https://ui.perfetto.dev}ui.perfetto.dev}) and the legacy
+    chrome://tracing viewer: a [traceEvents] array of duration ([ph:X]),
+    instant ([ph:i]), counter ([ph:C]) and metadata ([ph:M]) events.
+    Timestamps are microseconds; cycle-level producers (the scheduler
+    trace) map one cycle to one microsecond, so the viewer's "ms"
+    readout is kilocycles. *)
+
+type event =
+  | Duration of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts_us : float;
+      dur_us : float;
+      args : (string * Json.t) list;
+    }
+  | Instant of { name : string; cat : string; pid : int; tid : int; ts_us : float }
+  | Counter of { name : string; pid : int; ts_us : float; series : (string * float) list }
+  | Thread_name of { pid : int; tid : int; name : string }
+  | Process_name of { pid : int; name : string }
+
+val spans_pid : int
+(** The pid under which {!of_spans} places pipeline spans (0); trace
+    producers with their own tracks (the scheduler) should use other
+    pids. *)
+
+val of_spans : ?pid:int -> ?tid:int -> Obs.span list -> event list
+(** One duration event per span (children flattened onto the same
+    track — nesting is reconstructed by the viewer from containment),
+    preceded by a process-name metadata record. *)
+
+val to_json : event list -> Json.t
+
+val to_string : event list -> string
+
+val write_file : string -> event list -> unit

@@ -1,0 +1,30 @@
+(** A deliberately minimal JSON tree: enough to emit Chrome trace-event
+    files and flat run reports, and to parse them back in tests —
+    without pulling a JSON dependency into the build. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** Integer-valued {!Num}. *)
+
+val to_string : t -> string
+(** Compact (single-line) serialization. Integral floats print without
+    a decimal point; strings are escaped per RFC 8259. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Recursive-descent parser for the subset this module emits (which
+    is all of standard JSON). Raises {!Parse_error} on malformed
+    input. *)
+
+val member : string -> t -> t option
+(** Field lookup on an {!Obj}; [None] on missing keys or non-objects. *)

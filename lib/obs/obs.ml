@@ -1,0 +1,157 @@
+type attr = string * string
+
+type span = {
+  name : string;
+  attrs : attr list;
+  start_s : float;
+  dur_s : float;
+  children : span list;
+}
+
+type histogram = { samples : int; sum : float; hmin : float; hmax : float; last : float }
+
+(* An open span being timed: children accumulate in reverse. *)
+type frame = { fname : string; fattrs : attr list; fstart : float; mutable fchildren : span list }
+
+type registry = {
+  mutable on : bool;
+  mutable clock : unit -> float;
+  mutable epoch : float;
+  mutable stack : frame list;
+  mutable roots : span list;  (** completed top-level spans, reversed *)
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, histogram ref) Hashtbl.t;
+}
+
+let default_clock = Unix.gettimeofday
+
+let reg =
+  {
+    on = false;
+    clock = default_clock;
+    epoch = 0.0;
+    stack = [];
+    roots = [];
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let enabled () = reg.on
+
+let clear_data () =
+  reg.stack <- [];
+  reg.roots <- [];
+  Hashtbl.reset reg.counters;
+  Hashtbl.reset reg.gauges;
+  Hashtbl.reset reg.histograms;
+  reg.epoch <- reg.clock ()
+
+let enable () =
+  reg.on <- true;
+  reg.epoch <- reg.clock ()
+
+let disable () = reg.on <- false
+
+let reset () = clear_data ()
+
+let set_clock clock =
+  reg.clock <- clock;
+  reg.epoch <- clock ()
+
+let now_rel () = reg.clock () -. reg.epoch
+
+let finish_frame f =
+  let dur = now_rel () -. f.fstart in
+  let span =
+    { name = f.fname; attrs = f.fattrs; start_s = f.fstart; dur_s = dur; children = List.rev f.fchildren }
+  in
+  match reg.stack with
+  | parent :: _ -> parent.fchildren <- span :: parent.fchildren
+  | [] -> reg.roots <- span :: reg.roots
+
+let with_span ?(attrs = []) name f =
+  if not reg.on then f ()
+  else begin
+    let frame = { fname = name; fattrs = attrs; fstart = now_rel (); fchildren = [] } in
+    reg.stack <- frame :: reg.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match reg.stack with
+        | top :: rest when top == frame -> reg.stack <- rest
+        | stack ->
+            (* Mismatched nesting can only come from a [with_span] body
+               capturing and resuming continuations — drop down to the
+               matching frame rather than corrupt the tree. *)
+            let rec unwind = function
+              | top :: rest when top == frame -> rest
+              | _ :: rest -> unwind rest
+              | [] -> []
+            in
+            reg.stack <- unwind stack);
+        finish_frame frame)
+      f
+  end
+
+let count ?(n = 1) name =
+  if reg.on then
+    match Hashtbl.find_opt reg.counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add reg.counters name (ref n)
+
+let set_gauge name v =
+  if reg.on then
+    match Hashtbl.find_opt reg.gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.add reg.gauges name (ref v)
+
+let observe name v =
+  if reg.on then
+    match Hashtbl.find_opt reg.histograms name with
+    | Some r ->
+        let h = !r in
+        r :=
+          {
+            samples = h.samples + 1;
+            sum = h.sum +. v;
+            hmin = Float.min h.hmin v;
+            hmax = Float.max h.hmax v;
+            last = v;
+          }
+    | None -> Hashtbl.add reg.histograms name (ref { samples = 1; sum = v; hmin = v; hmax = v; last = v })
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters () = sorted_bindings reg.counters |> List.map (fun (k, r) -> (k, !r))
+
+let counter name = Option.fold ~none:0 ~some:( ! ) (Hashtbl.find_opt reg.counters name)
+
+let gauges () = sorted_bindings reg.gauges |> List.map (fun (k, r) -> (k, !r))
+
+let histograms () = sorted_bindings reg.histograms |> List.map (fun (k, r) -> (k, !r))
+
+let mean h = if h.samples = 0 then 0.0 else h.sum /. float_of_int h.samples
+
+let spans () = List.rev reg.roots
+
+let span_self_s s =
+  Float.max 0.0 (s.dur_s -. List.fold_left (fun acc c -> acc +. c.dur_s) 0.0 s.children)
+
+let rec fold_spans f acc spans =
+  List.fold_left (fun acc s -> fold_spans f (f acc s) s.children) acc spans
+
+let pp_spans ppf spans =
+  let rec pp depth s =
+    Format.fprintf ppf "%s%-*s %10.3f ms%s@," (String.make (2 * depth) ' ')
+      (32 - (2 * depth)) s.name (1e3 *. s.dur_s)
+      (match s.attrs with
+      | [] -> ""
+      | attrs ->
+          "  [" ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs) ^ "]");
+    List.iter (pp (depth + 1)) s.children
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (pp 0) spans;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,84 @@
+(** Lightweight, process-global observability registry: nested timed
+    spans, named counters/gauges/histograms.
+
+    The registry is {e off by default} and near-zero-cost while off —
+    {!with_span} degrades to a direct call and the metric entry points
+    to a single branch — so instrumented hot paths (the compiler, the
+    DSE loop, the cycle-level scheduler) cost nothing in benchmarks.
+
+    Determinism: all snapshot accessors return entries sorted by name,
+    and {!set_clock} injects the time source so tests see reproducible
+    timings. Exporters live in {!Chrome_trace} (Perfetto /
+    chrome://tracing) and {!Report} (flat JSON). *)
+
+type attr = string * string
+
+type span = {
+  name : string;
+  attrs : attr list;
+  start_s : float;  (** seconds since the registry epoch ({!enable}/{!reset}) *)
+  dur_s : float;
+  children : span list;  (** in start order *)
+}
+
+type histogram = {
+  samples : int;
+  sum : float;
+  hmin : float;
+  hmax : float;
+  last : float;  (** most recent observation *)
+}
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Turn collection on and restart the epoch. *)
+
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all collected data (spans, counters, gauges, histograms) and
+    restart the epoch; the enabled state and clock are kept. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the wall-clock source (default [Unix.gettimeofday]) — the
+    injection point for reproducible timings in tests. Resets the
+    epoch. *)
+
+val with_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f] as a span nested under the innermost
+    open span. The span is recorded even if [f] raises. When the
+    registry is disabled this is exactly [f ()]. *)
+
+val count : ?n:int -> string -> unit
+(** Add [n] (default 1) to a named counter. *)
+
+val set_gauge : string -> float -> unit
+
+val observe : string -> float -> unit
+(** Feed one sample into a named histogram. *)
+
+val counters : unit -> (string * int) list
+(** Name-sorted snapshot. *)
+
+val counter : string -> int
+(** One counter's value; 0 if never touched. *)
+
+val gauges : unit -> (string * float) list
+
+val histograms : unit -> (string * histogram) list
+
+val mean : histogram -> float
+
+val spans : unit -> span list
+(** Completed top-level spans, in start order. Spans still open are
+    not included. *)
+
+val span_self_s : span -> float
+(** Duration not covered by child spans. *)
+
+val fold_spans : ('a -> span -> 'a) -> 'a -> span list -> 'a
+(** Pre-order fold over a span forest. *)
+
+val pp_spans : Format.formatter -> span list -> unit
+(** Indented span tree with millisecond durations. *)

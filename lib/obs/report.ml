@@ -1,0 +1,39 @@
+let rec span_json (s : Obs.span) =
+  Json.Obj
+    ([
+       ("name", Json.Str s.name);
+       ("start_s", Json.Num s.start_s);
+       ("dur_s", Json.Num s.dur_s);
+     ]
+    @ (if s.attrs = [] then []
+       else [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.attrs)) ])
+    @ if s.children = [] then [] else [ ("children", Json.Arr (List.map span_json s.children)) ])
+
+let histogram_json (h : Obs.histogram) =
+  Json.Obj
+    [
+      ("samples", Json.int h.samples);
+      ("sum", Json.Num h.sum);
+      ("mean", Json.Num (Obs.mean h));
+      ("min", Json.Num h.hmin);
+      ("max", Json.Num h.hmax);
+      ("last", Json.Num h.last);
+    ]
+
+let to_json ?(meta = []) () =
+  Json.Obj
+    [
+      ("meta", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) meta));
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) (Obs.counters ())));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) (Obs.gauges ())));
+      ("histograms", Json.Obj (List.map (fun (k, h) -> (k, histogram_json h)) (Obs.histograms ())));
+      ("spans", Json.Arr (List.map span_json (Obs.spans ())));
+    ]
+
+let to_string ?meta () = Json.to_string (to_json ?meta ())
+
+let write_file ?meta path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?meta ()))

@@ -1,0 +1,12 @@
+(** Flat JSON run report: a machine-readable snapshot of the {!Obs}
+    registry — counters, gauges, histogram summaries and the span
+    forest — for regression dashboards and scripted comparison of
+    runs ([jq .counters] and friends). *)
+
+val to_json : ?meta:(string * string) list -> unit -> Json.t
+(** Snapshot the current registry. [meta] lands as a string-valued
+    object under ["meta"] (app name, seed, policy, ...). *)
+
+val to_string : ?meta:(string * string) list -> unit -> string
+
+val write_file : ?meta:(string * string) list -> string -> unit

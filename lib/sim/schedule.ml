@@ -1,6 +1,7 @@
 open Orianna_isa
 open Orianna_hw
 module Heap = Orianna_util.Heap
+module Obs = Orianna_obs.Obs
 
 type policy = In_order | Ooo_fine | Ooo_full
 
@@ -21,6 +22,8 @@ type result = {
   instructions : int;
   starts : int array;
   finishes : int array;
+  stall_operand_cycles : int;
+  stall_structural_cycles : int;
 }
 
 let class_index cls =
@@ -87,6 +90,7 @@ let schedule_ooo (p : Program.t) ~latency_of ~prio ~counts ~starts ~finishes ~id
   let remaining = ref (Array.length ids) in
   let t = ref t0 in
   let makespan = ref t0 in
+  let telemetry = Obs.enabled () in
   while !remaining > 0 do
     (* Promote arrivals whose time has come. *)
     for c = 0 to num_classes - 1 do
@@ -99,6 +103,13 @@ let schedule_ooo (p : Program.t) ~latency_of ~prio ~counts ~starts ~finishes ~id
         | Some _ | None -> continue_ := false
       done
     done;
+    if telemetry then begin
+      let depth = ref 0 in
+      for c = 0 to num_classes - 1 do
+        depth := !depth + Heap.size ready.(c)
+      done;
+      Obs.observe "sim.ready_queue_depth" (float_of_int !depth)
+    end;
     (* Greedily fill free unit instances with the highest-priority
        ready instruction of their class. *)
     let scheduled_any = ref false in
@@ -173,6 +184,13 @@ let schedule_in_order (p : Program.t) ~latency_of ~counts ~starts ~finishes =
 type priority_policy = Critical_path | Fifo
 
 let run ?(priority = Critical_path) ~accel ~policy (p : Program.t) =
+  Obs.with_span "sim.schedule"
+    ~attrs:
+      [
+        ("policy", policy_name policy);
+        ("instructions", string_of_int (Array.length p.Program.instrs));
+      ]
+  @@ fun () ->
   let n = Array.length p.Program.instrs in
   let src_shape id = (p.Program.instrs.(id).Instr.rows, p.Program.instrs.(id).Instr.cols) in
   let latency_of id =
@@ -183,6 +201,10 @@ let run ?(priority = Critical_path) ~accel ~policy (p : Program.t) =
   in
   let counts = accel.Accel.counts in
   let starts = Array.make n 0 and finishes = Array.make n 0 in
+  (* Earliest cycle each instruction may issue at: 0 except under
+     [Ooo_fine], where each algorithm partition starts after the
+     previous one's makespan. Stall accounting is relative to it. *)
+  let issue_base = Array.make n 0 in
   let makespan =
     match policy with
     | In_order -> schedule_in_order p ~latency_of ~counts ~starts ~finishes
@@ -216,6 +238,7 @@ let run ?(priority = Critical_path) ~accel ~policy (p : Program.t) =
                    |> List.filter_map (fun (i : Instr.t) ->
                           if i.Instr.algo = algo then Some i.Instr.id else None)))
             in
+            Array.iter (fun id -> issue_base.(id) <- t0) ids;
             schedule_ooo p ~latency_of ~prio ~counts ~starts ~finishes ~ids ~t0)
           0 algos
   in
@@ -223,14 +246,31 @@ let run ?(priority = Critical_path) ~accel ~policy (p : Program.t) =
   let phase_busy = Hashtbl.create 4 and unit_busy = Hashtbl.create 8 in
   let bump tbl k v = Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
   let dynamic = ref 0.0 in
+  (* Stall causes: an instruction issuing at [start] after becoming
+     issuable at [issue_base] spent [ready - issue_base] cycles waiting
+     on operands (its sources still executing) and [start - ready]
+     cycles on a structural hazard (operands done, every unit instance
+     of its class busy — or, in order, the serial controller). *)
+  let stall_operand = ref 0 and stall_structural = ref 0 in
   Array.iter
     (fun (ins : Instr.t) ->
       let cls = Unit_model.class_of_op ins.Instr.op in
-      let lat = latency_of ins.Instr.id in
+      let id = ins.Instr.id in
+      let lat = latency_of id in
       bump phase_busy ins.Instr.phase lat;
       bump unit_busy cls lat;
+      let base = issue_base.(id) in
+      let ready = Array.fold_left (fun acc s -> max acc finishes.(s)) base ins.Instr.srcs in
+      stall_operand := !stall_operand + (ready - base);
+      stall_structural := !stall_structural + (starts.(id) - ready);
       dynamic := !dynamic +. Unit_model.dynamic_energy_nj cls ins ~src_shape)
     p.Program.instrs;
+  if Obs.enabled () then begin
+    Obs.count "sim.instructions" ~n;
+    Obs.count "sim.stall.operand_cycles" ~n:!stall_operand;
+    Obs.count "sim.stall.structural_cycles" ~n:!stall_structural;
+    Obs.set_gauge "sim.makespan_cycles" (float_of_int makespan)
+  end;
   let seconds = float_of_int makespan /. (accel.Accel.clock_mhz *. 1e6) in
   let dynamic_energy_j = !dynamic *. 1e-9 in
   let static_energy_j = Accel.static_power_w accel *. seconds in
@@ -254,6 +294,8 @@ let run ?(priority = Critical_path) ~accel ~policy (p : Program.t) =
     instructions = n;
     starts;
     finishes;
+    stall_operand_cycles = !stall_operand;
+    stall_structural_cycles = !stall_structural;
   }
 
 let frame_seconds r = r.seconds
@@ -268,4 +310,6 @@ let pp_result ppf r =
   List.iter
     (fun (cls, u) -> Format.fprintf ppf "  %-8s %5.1f%% utilized@," (Unit_model.class_name cls) (100.0 *. u))
     r.utilization;
+  Format.fprintf ppf "  stalls: %d operand + %d structural instruction-cycles@,"
+    r.stall_operand_cycles r.stall_structural_cycles;
   Format.fprintf ppf "@]"

@@ -37,6 +37,17 @@ type result = {
   instructions : int;
   starts : int array;  (** per-instruction start cycle *)
   finishes : int array;
+  stall_operand_cycles : int;
+      (** summed over instructions: cycles spent waiting on operands
+          (a source still executing) before issue, relative to the
+          instruction's earliest issue cycle (0, or the partition start
+          under [Ooo_fine]) *)
+  stall_structural_cycles : int;
+      (** summed over instructions: cycles between operands ready and
+          issue — every unit instance of the class busy, or the serial
+          in-order controller.  Per instruction,
+          [stall_operand + stall_structural + latency = finish - base],
+          so the totals tie out against the makespan accounting. *)
 }
 
 type priority_policy =

@@ -55,6 +55,91 @@ let utilization_timeline ?(width = 72) (p : Program.t) (r : Schedule.result) =
     Unit_model.all_classes;
   Buffer.contents buf
 
+module Json = Orianna_obs.Json
+module Chrome_trace = Orianna_obs.Chrome_trace
+
+(* One Chrome-trace "process" for the accelerator, one "thread" per
+   unit-class instance.  Instances are not recorded by the scheduler
+   (only class counts are), so replay the valid schedule greedily:
+   instructions of a class, in start order, each take the
+   lowest-numbered instance free at their start cycle.  A valid
+   schedule never overlaps more instructions than instances, so this
+   interval coloring never needs an extra track — but allocate one
+   defensively rather than stack slices on top of each other. *)
+let accel_pid = 1
+
+let chrome_events (p : Program.t) (r : Schedule.result) =
+  let by_class =
+    List.map
+      (fun cls ->
+        let mine =
+          Array.to_list p.Program.instrs
+          |> List.filter (fun (i : Instr.t) -> Unit_model.class_of_op i.Instr.op = cls)
+          |> List.sort (fun (a : Instr.t) (b : Instr.t) ->
+                 compare
+                   (r.Schedule.starts.(a.Instr.id), a.Instr.id)
+                   (r.Schedule.starts.(b.Instr.id), b.Instr.id))
+        in
+        (cls, mine))
+      Unit_model.all_classes
+  in
+  let events = ref [] in
+  let tid_base = ref 0 in
+  List.iter
+    (fun (cls, instrs) ->
+      let free = ref [||] in
+      let instance_of start =
+        let k = ref (-1) in
+        Array.iteri (fun i ft -> if !k < 0 && ft <= start then k := i) !free;
+        if !k < 0 then begin
+          free := Array.append !free [| 0 |];
+          k := Array.length !free - 1
+        end;
+        !k
+      in
+      let used = ref 0 in
+      List.iter
+        (fun (ins : Instr.t) ->
+          let id = ins.Instr.id in
+          let start = r.Schedule.starts.(id) and finish = r.Schedule.finishes.(id) in
+          let k = instance_of start in
+          !free.(k) <- finish;
+          used := max !used (k + 1);
+          events :=
+            Chrome_trace.Duration
+              {
+                name = Instr.opcode_name ins.Instr.op;
+                cat = Instr.phase_name ins.Instr.phase;
+                pid = accel_pid;
+                tid = !tid_base + k;
+                ts_us = float_of_int start;
+                dur_us = float_of_int (finish - start);
+                args =
+                  [
+                    ("id", Json.int id);
+                    ("algo", Json.int ins.Instr.algo);
+                    ("tag", Json.Str ins.Instr.tag);
+                    ("shape", Json.Str (Printf.sprintf "%dx%d" ins.Instr.rows ins.Instr.cols));
+                  ];
+              }
+            :: !events)
+        instrs;
+      for k = 0 to !used - 1 do
+        events :=
+          Chrome_trace.Thread_name
+            {
+              pid = accel_pid;
+              tid = !tid_base + k;
+              name = Printf.sprintf "%s#%d" (Unit_model.class_name cls) k;
+            }
+          :: !events
+      done;
+      tid_base := !tid_base + max 1 !used)
+    by_class;
+  Chrome_trace.Process_name { pid = accel_pid; name = "accelerator" } :: List.rev !events
+
+let chrome_trace p r = Chrome_trace.to_string (chrome_events p r)
+
 let phase_color = function
   | Instr.Construct -> "lightblue"
   | Instr.Decompose -> "lightsalmon"

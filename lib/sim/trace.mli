@@ -19,3 +19,17 @@ val utilization_timeline : ?width:int -> Program.t -> Schedule.result -> string
 val to_dot : Program.t -> string
 (** GraphViz rendering of the instruction dependency DAG, colored by
     phase (for small programs / documentation). *)
+
+val accel_pid : int
+(** The Chrome-trace process id of the accelerator tracks (1; pid 0 is
+    the pipeline span track). *)
+
+val chrome_events : Program.t -> Schedule.result -> Orianna_obs.Chrome_trace.event list
+(** One duration slice per instruction on one track per unit-class
+    {e instance} (derived by replaying the schedule), with
+    thread-name/process-name metadata. One simulated cycle maps to one
+    trace microsecond. *)
+
+val chrome_trace : Program.t -> Schedule.result -> string
+(** {!chrome_events} serialized as a Chrome trace-event JSON object —
+    loadable in Perfetto or chrome://tracing. *)

@@ -66,5 +66,7 @@ let summarize xs =
   nonempty "Stats.summarize" xs;
   { count = Array.length xs; mean = mean xs; std = stddev xs; min = min xs; max = max xs }
 
+let summarize_opt xs = if Array.length xs = 0 then None else Some (summarize xs)
+
 let pp_summary ppf s =
   Format.fprintf ppf "n=%d mean=%.4f std=%.4f min=%.4f max=%.4f" s.count s.mean s.std s.min s.max

@@ -35,6 +35,13 @@ type summary = {
 }
 
 val summarize : float array -> summary
-(** All of the above in one pass-ish bundle. Raises on empty input. *)
+(** All of the above in one pass-ish bundle. Raises [Invalid_argument]
+    on the empty array, like {!min}/{!max}/{!median}/{!percentile} —
+    use {!summarize_opt} on inputs that can legitimately be empty. *)
+
+val summarize_opt : float array -> summary option
+(** Total version of {!summarize}: [None] on the empty array. The
+    harness's choice for workload-derived samples (mission errors,
+    latency sets) that may be empty. *)
 
 val pp_summary : Format.formatter -> summary -> unit

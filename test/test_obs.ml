@@ -1,0 +1,229 @@
+module Obs = Orianna_obs.Obs
+module Json = Orianna_obs.Json
+module Chrome_trace = Orianna_obs.Chrome_trace
+module Report = Orianna_obs.Report
+
+(* A hand-cranked clock makes every timing deterministic. *)
+let install_clock ?(at = 100.0) () =
+  let t = ref at in
+  Obs.set_clock (fun () -> !t);
+  fun dt -> t := !t +. dt
+
+let with_fresh_registry f =
+  let advance = install_clock () in
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:Obs.disable (fun () -> f advance)
+
+(* ---------------- spans ---------------- *)
+
+let test_span_nesting () =
+  with_fresh_registry @@ fun advance ->
+  Obs.with_span "outer" (fun () ->
+      advance 1.0;
+      Obs.with_span "inner-a" (fun () -> advance 0.25);
+      Obs.with_span ~attrs:[ ("k", "v") ] "inner-b" (fun () -> advance 0.5));
+  Obs.with_span "second-root" (fun () -> advance 2.0);
+  match Obs.spans () with
+  | [ outer; second ] ->
+      Alcotest.(check string) "root name" "outer" outer.Obs.name;
+      Alcotest.(check (float 1e-9)) "outer start at epoch" 0.0 outer.Obs.start_s;
+      Alcotest.(check (float 1e-9)) "outer duration" 1.75 outer.Obs.dur_s;
+      Alcotest.(check (list string)) "children in start order" [ "inner-a"; "inner-b" ]
+        (List.map (fun (s : Obs.span) -> s.Obs.name) outer.Obs.children);
+      let b = List.nth outer.Obs.children 1 in
+      Alcotest.(check (float 1e-9)) "inner-b duration" 0.5 b.Obs.dur_s;
+      Alcotest.(check (list (pair string string))) "attrs kept" [ ("k", "v") ] b.Obs.attrs;
+      Alcotest.(check (float 1e-9)) "self time excludes children" 1.0 (Obs.span_self_s outer);
+      Alcotest.(check (float 1e-9)) "second root duration" 2.0 second.Obs.dur_s;
+      Alcotest.(check int) "fold counts all spans" 4
+        (Obs.fold_spans (fun n _ -> n + 1) 0 (Obs.spans ()))
+  | spans -> Alcotest.failf "expected 2 roots, got %d" (List.length spans)
+
+let test_span_records_on_exception () =
+  with_fresh_registry @@ fun advance ->
+  (try Obs.with_span "boom" (fun () -> advance 0.5; failwith "boom") with Failure _ -> ());
+  match Obs.spans () with
+  | [ s ] ->
+      Alcotest.(check string) "span recorded" "boom" s.Obs.name;
+      Alcotest.(check (float 1e-9)) "duration up to raise" 0.5 s.Obs.dur_s
+  | spans -> Alcotest.failf "expected 1 root, got %d" (List.length spans)
+
+let test_disabled_is_passthrough () =
+  let _advance = install_clock () in
+  Obs.disable ();
+  Obs.reset ();
+  let x = Obs.with_span "invisible" (fun () -> 41 + 1) in
+  Obs.count "invisible.counter";
+  Obs.observe "invisible.histogram" 1.0;
+  Alcotest.(check int) "value returned" 42 x;
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.spans ()));
+  Alcotest.(check int) "no counters" 0 (List.length (Obs.counters ()));
+  Alcotest.(check int) "no histograms" 0 (List.length (Obs.histograms ()))
+
+(* ---------------- counters ---------------- *)
+
+let test_counter_determinism () =
+  with_fresh_registry @@ fun _advance ->
+  (* Insert in scrambled order; snapshots must come back name-sorted
+     and identical across repeated runs. *)
+  let feed () =
+    Obs.count "z.last";
+    Obs.count ~n:3 "a.first";
+    Obs.count "m.middle";
+    Obs.count ~n:2 "a.first"
+  in
+  feed ();
+  let snap1 = Obs.counters () in
+  Obs.reset ();
+  feed ();
+  let snap2 = Obs.counters () in
+  Alcotest.(check (list (pair string int)))
+    "sorted by name" [ ("a.first", 5); ("m.middle", 1); ("z.last", 1) ] snap1;
+  Alcotest.(check (list (pair string int))) "reproducible" snap1 snap2;
+  Alcotest.(check int) "point lookup" 5 (Obs.counter "a.first");
+  Alcotest.(check int) "absent counter reads 0" 0 (Obs.counter "nope")
+
+let test_histograms () =
+  with_fresh_registry @@ fun _advance ->
+  List.iter (Obs.observe "h") [ 2.0; 4.0; 9.0 ];
+  match Obs.histograms () with
+  | [ ("h", h) ] ->
+      Alcotest.(check int) "samples" 3 h.Obs.samples;
+      Alcotest.(check (float 1e-9)) "mean" 5.0 (Obs.mean h);
+      Alcotest.(check (float 1e-9)) "min" 2.0 h.Obs.hmin;
+      Alcotest.(check (float 1e-9)) "max" 9.0 h.Obs.hmax;
+      Alcotest.(check (float 1e-9)) "last" 9.0 h.Obs.last
+  | _ -> Alcotest.fail "expected exactly one histogram"
+
+(* ---------------- json ---------------- *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Num x, Json.Num y -> Float.abs (x -. y) <= 1e-12 *. Float.max 1.0 (Float.abs x)
+  | Json.Str x, Json.Str y -> x = y
+  | Json.Arr xs, Json.Arr ys ->
+      List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Json.Obj xs, Json.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun (k, v) (k', v') -> k = k' && json_equal v v') xs ys
+  | _ -> false
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.Str "quote \" backslash \\ newline \n tab \t done");
+        ("i", Json.int 42);
+        ("neg", Json.Num (-0.125));
+        ("big", Json.Num 1.5e17);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("arr", Json.Arr [ Json.int 1; Json.Str "two"; Json.Obj [] ]);
+        ("empty", Json.Arr []);
+      ]
+  in
+  let s = Json.to_string j in
+  Alcotest.(check bool) "round trip" true (json_equal j (Json.parse s))
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed input %S" s)
+    [ "{"; "[1,"; "tru"; "\"open"; "{\"a\" 1}"; "[] trailing" ]
+
+(* ---------------- exporters ---------------- *)
+
+let test_chrome_trace_valid_json () =
+  with_fresh_registry @@ fun advance ->
+  Obs.with_span "phase \"one\"" (fun () ->
+      advance 0.001;
+      Obs.with_span "nested" (fun () -> advance 0.002));
+  let events =
+    Chrome_trace.of_spans (Obs.spans ())
+    @ [
+        Chrome_trace.Thread_name { pid = 1; tid = 0; name = "qr#0" };
+        Chrome_trace.Duration
+          {
+            name = "QR";
+            cat = "decompose";
+            pid = 1;
+            tid = 0;
+            ts_us = 10.0;
+            dur_us = 25.0;
+            args = [ ("id", Json.int 7) ];
+          };
+        Chrome_trace.Counter
+          { name = "ready"; pid = 1; ts_us = 10.0; series = [ ("depth", 3.0) ] };
+        Chrome_trace.Instant { name = "mark"; cat = "span"; pid = 0; tid = 0; ts_us = 1.0 };
+      ]
+  in
+  let parsed = Json.parse (Chrome_trace.to_string events) in
+  (match Json.member "traceEvents" parsed with
+  | Some (Json.Arr evs) ->
+      Alcotest.(check int) "all events serialized" (List.length events) (List.length evs);
+      let durations =
+        List.filter (fun e -> Json.member "ph" e = Some (Json.Str "X")) evs
+      in
+      Alcotest.(check int) "duration events" 3 (List.length durations);
+      let names =
+        List.filter_map (fun e -> Json.member "name" e) durations
+      in
+      Alcotest.(check bool) "escaped name survives" true
+        (List.mem (Json.Str "phase \"one\"") names)
+  | _ -> Alcotest.fail "missing traceEvents array");
+  match Json.member "displayTimeUnit" parsed with
+  | Some (Json.Str _) -> ()
+  | _ -> Alcotest.fail "missing displayTimeUnit"
+
+let test_report_roundtrip () =
+  with_fresh_registry @@ fun advance ->
+  Obs.with_span "root" (fun () ->
+      advance 0.5;
+      Obs.count ~n:7 "ops";
+      Obs.set_gauge "err" 0.25;
+      Obs.observe "lat" 3.0);
+  let parsed = Json.parse (Report.to_string ~meta:[ ("app", "Test") ] ()) in
+  (match Json.member "counters" parsed with
+  | Some (Json.Obj [ ("ops", n) ]) -> Alcotest.(check bool) "counter value" true (n = Json.int 7)
+  | _ -> Alcotest.fail "bad counters");
+  (match Json.member "spans" parsed with
+  | Some (Json.Arr [ root ]) ->
+      Alcotest.(check bool) "span name" true (Json.member "name" root = Some (Json.Str "root"));
+      (match Json.member "dur_s" root with
+      | Some (Json.Num d) -> Alcotest.(check (float 1e-9)) "span duration" 0.5 d
+      | _ -> Alcotest.fail "span missing dur_s")
+  | _ -> Alcotest.fail "bad spans");
+  match Json.member "meta" parsed with
+  | Some (Json.Obj [ ("app", Json.Str "Test") ]) -> ()
+  | _ -> Alcotest.fail "bad meta"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and timing" `Quick test_span_nesting;
+          Alcotest.test_case "recorded on exception" `Quick test_span_records_on_exception;
+          Alcotest.test_case "disabled passthrough" `Quick test_disabled_is_passthrough;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter determinism" `Quick test_counter_determinism;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "chrome trace valid json" `Quick test_chrome_trace_valid_json;
+          Alcotest.test_case "run report" `Quick test_report_roundtrip;
+        ] );
+    ]

@@ -162,7 +162,28 @@ let test_trace_gantt_csv () =
   let lines = String.split_on_char '\n' csv in
   (* Header plus one row per instruction (trailing newline). *)
   Alcotest.(check int) "row count" (Program.length p + 2) (List.length lines);
-  Alcotest.(check string) "header" "id,opcode,phase,algo,unit,start,finish,cycles" (List.hd lines)
+  Alcotest.(check string) "header" "id,opcode,phase,algo,unit,start,finish,cycles" (List.hd lines);
+  (* start <= finish on every data row. *)
+  List.iteri
+    (fun i line ->
+      if i > 0 && line <> "" then
+        match String.split_on_char ',' line with
+        | [ _; _; _; _; _; start; finish; _ ] ->
+            if int_of_string start > int_of_string finish then
+              Alcotest.failf "row %d: start %s > finish %s" i start finish
+        | _ -> Alcotest.failf "row %d: wrong column count: %s" i line)
+    lines
+
+let test_trace_timeline_width_honoured () =
+  let p = program () in
+  let r = Schedule.run ~accel:(Accel.base ()) ~policy:Schedule.Ooo_full p in
+  List.iter
+    (fun width ->
+      let tl = Trace.utilization_timeline ~width p r in
+      List.iter
+        (fun l -> Alcotest.(check int) (Printf.sprintf "width %d" width) (9 + width) (String.length l))
+        (List.filter (fun l -> l <> "") (String.split_on_char '\n' tl)))
+    [ 1; 17; 72; 100 ]
 
 let test_trace_timeline_shape () =
   let p = program () in
@@ -175,7 +196,88 @@ let test_trace_timeline_shape () =
 let test_trace_dot () =
   let p = program () in
   let dot = Trace.to_dot p in
-  Alcotest.(check bool) "digraph" true (String.length dot > 20 && String.sub dot 0 7 = "digraph")
+  Alcotest.(check bool) "digraph" true (String.length dot > 20 && String.sub dot 0 7 = "digraph");
+  (* Balanced braces, never dipping negative. *)
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '{' then incr depth
+      else if c = '}' then begin
+        decr depth;
+        if !depth < 0 then Alcotest.fail "unbalanced '}'"
+      end)
+    dot;
+  Alcotest.(check int) "balanced braces" 0 !depth
+
+let test_stall_accounting () =
+  (* Per instruction, operand stall + structural stall + latency =
+     finish (base cycle is 0 for these policies), so the totals must
+     tie out against total busy cycles and summed finish times. *)
+  let p = program () in
+  let accel = Accel.base () in
+  List.iter
+    (fun policy ->
+      let r = Schedule.run ~accel ~policy p in
+      let total_busy = List.fold_left (fun acc (_, c) -> acc + c) 0 r.Schedule.unit_busy in
+      let sum_finishes = Array.fold_left ( + ) 0 r.Schedule.finishes in
+      Alcotest.(check bool) "stalls non-negative" true
+        (r.Schedule.stall_operand_cycles >= 0 && r.Schedule.stall_structural_cycles >= 0);
+      Alcotest.(check int)
+        (Printf.sprintf "%s: stalls + busy = sum finishes" (Schedule.policy_name policy))
+        sum_finishes
+        (r.Schedule.stall_operand_cycles + r.Schedule.stall_structural_cycles + total_busy))
+    [ Schedule.Ooo_full; Schedule.In_order ]
+
+let test_stall_accounting_fine () =
+  (* Under Ooo_fine the base cycle is each algorithm partition's start:
+     stalls + busy + summed bases = summed finishes. *)
+  let p = program () in
+  let r = Schedule.run ~accel:(Accel.base ()) ~policy:Schedule.Ooo_fine p in
+  let total_busy = List.fold_left (fun acc (_, c) -> acc + c) 0 r.Schedule.unit_busy in
+  let sum_finishes = Array.fold_left ( + ) 0 r.Schedule.finishes in
+  Alcotest.(check bool) "bounded by finishes" true
+    (r.Schedule.stall_operand_cycles + r.Schedule.stall_structural_cycles + total_busy
+    <= sum_finishes)
+
+let test_in_order_has_no_operand_free_overlap () =
+  (* The serial controller reports structural stall whenever the next
+     instruction was ready before its predecessor finished. *)
+  let p = program () in
+  let r = Schedule.run ~accel:(Accel.base ()) ~policy:Schedule.In_order p in
+  Alcotest.(check bool) "some structural stall" true (r.Schedule.stall_structural_cycles > 0)
+
+let test_chrome_events_cover_instructions () =
+  let p = program () in
+  let r = Schedule.run ~accel:(Accel.base ()) ~policy:Schedule.Ooo_full p in
+  let events = Trace.chrome_events p r in
+  let slices =
+    List.filter_map
+      (function
+        | Orianna_obs.Chrome_trace.Duration { pid; ts_us; dur_us; args; _ }
+          when pid = Trace.accel_pid -> (
+            match List.assoc_opt "id" args with
+            | Some (Orianna_obs.Json.Num id) -> Some (int_of_float id, ts_us, dur_us)
+            | _ -> None)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check int) "one slice per instruction" (Program.length p) (List.length slices);
+  let ids = List.sort_uniq compare (List.map (fun (id, _, _) -> id) slices) in
+  Alcotest.(check int) "ids unique and complete" (Program.length p) (List.length ids);
+  List.iter
+    (fun (id, ts, dur) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "i%d start" id)
+        (float_of_int r.Schedule.starts.(id)) ts;
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "i%d duration" id)
+        (float_of_int (r.Schedule.finishes.(id) - r.Schedule.starts.(id)))
+        dur)
+    slices;
+  (* The serialized trace is well-formed JSON. *)
+  match Orianna_obs.Json.parse (Trace.chrome_trace p r) with
+  | Orianna_obs.Json.Obj _ -> ()
+  | _ -> Alcotest.fail "chrome trace is not a JSON object"
 
 let test_coarse_vs_fine_gap () =
   (* Multi-algorithm program: full OoO interleaves algorithms, fine
@@ -208,7 +310,12 @@ let () =
         [
           Alcotest.test_case "gantt csv" `Quick test_trace_gantt_csv;
           Alcotest.test_case "timeline shape" `Quick test_trace_timeline_shape;
+          Alcotest.test_case "timeline width" `Quick test_trace_timeline_width_honoured;
           Alcotest.test_case "dot" `Quick test_trace_dot;
+          Alcotest.test_case "stall accounting" `Quick test_stall_accounting;
+          Alcotest.test_case "stall accounting fine" `Quick test_stall_accounting_fine;
+          Alcotest.test_case "in-order structural stall" `Quick test_in_order_has_no_operand_free_overlap;
+          Alcotest.test_case "chrome events coverage" `Quick test_chrome_events_cover_instructions;
         ] );
       ( "accounting",
         [
