@@ -23,6 +23,8 @@ module Graph = Orianna_fg.Graph
 module Obs = Orianna_obs.Obs
 module Chrome_trace = Orianna_obs.Chrome_trace
 module Report = Orianna_obs.Report
+module Fault = Orianna_fault.Fault
+module Campaign = Orianna_fault.Campaign
 
 let app_arg =
   let parse s =
@@ -393,6 +395,63 @@ let profile_cmd =
        ~doc:"Run the full compile -> generate -> simulate pipeline under telemetry and print the span tree and counters.")
     term
 
+(* ---------------- faults ---------------- *)
+
+let faults_cmd =
+  let missions =
+    Arg.(value & opt int Campaign.default_config.Campaign.missions
+         & info [ "missions" ] ~docv:"N" ~doc:"Monte-Carlo missions (one injected fault each).")
+  in
+  let policy =
+    Arg.(value
+         & opt (enum [ ("ooo", Schedule.Ooo_full); ("fine", Schedule.Ooo_fine); ("io", Schedule.In_order) ]) Schedule.Ooo_full
+         & info [ "policy" ] ~doc:"Issue policy: ooo, fine or io.")
+  in
+  let retries =
+    Arg.(value & opt int Campaign.default_config.Campaign.max_retries
+         & info [ "retries" ] ~docv:"K" ~doc:"Bounded retry budget per detected fault.")
+  in
+  let events =
+    Arg.(value & flag & info [ "events" ] ~doc:"Print the per-mission event log before the summary.")
+  in
+  let run app seed missions policy retries events trace report =
+    let any_escaped = ref false in
+    with_obs ~trace ~report
+      ~meta:
+        [
+          ("command", "faults");
+          ("app", app.App.name);
+          ("seed", string_of_int seed);
+          ("missions", string_of_int missions);
+        ]
+      (fun () ->
+        let frame = Pipeline.frame app ~seed in
+        let accel = (Pipeline.generate frame.Pipeline.program).Dse.best in
+        let config =
+          { Campaign.default_config with Campaign.missions; policy; max_retries = retries }
+        in
+        let summary =
+          Campaign.run ~config ~rng:(Rng.of_int seed) ~graphs:frame.Pipeline.graphs
+            ~program:frame.Pipeline.program ~accel ()
+        in
+        if events then
+          List.iter (fun e -> Format.printf "%a@." Fault.pp_event e) summary.Campaign.events;
+        Format.printf "%s %s, seed %d: %d missions on %s@." app.App.name
+          (Schedule.policy_name policy) seed missions accel.Accel.name;
+        print_string (Campaign.table summary);
+        any_escaped := Campaign.escaped summary;
+        []);
+    if !any_escaped then begin
+      Format.eprintf "FAULT ESCAPE: at least one injected fault evaded detection and recovery@.";
+      exit 1
+    end
+  in
+  let term = Term.(const run $ app_pos $ seed_flag $ missions $ policy $ retries $ events $ trace_flag $ report_flag) in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Monte-Carlo fault-injection campaign: inject seeded faults, report detection / recovery / escape rates, exit non-zero iff a fault escapes.")
+    term
+
 (* ---------------- experiments ---------------- *)
 
 let experiments_cmd =
@@ -400,7 +459,7 @@ let experiments_cmd =
   let only =
     Arg.(value & opt (some string) None
          & info [ "only" ] ~docv:"ID"
-             ~doc:"Run a single experiment: table1, table4, table5, fig13..fig20, breakdown,                    frame-rates, ablations, robust, manhattan.")
+             ~doc:"Run a single experiment: table1, table4, table5, fig13..fig20, breakdown,                    frame-rates, ablations, robust, manhattan, faults.")
   in
   let run missions only trace report =
     with_obs ~trace ~report ~meta:[ ("command", "experiments") ] @@ fun () ->
@@ -428,6 +487,7 @@ let experiments_cmd =
         | "ablations" -> needs_ctx Experiments.ablations
         | "robust" -> print_string (Experiments.extension_robust ())
         | "manhattan" -> print_string (Experiments.extension_manhattan ())
+        | "faults" -> print_string (Experiments.extension_faults ~missions:16 ())
         | other -> Format.eprintf "unknown experiment %S@." other));
     []
   in
@@ -449,4 +509,4 @@ let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "orianna" ~version:"1.0.0" ~doc:"Accelerator generation for optimization-based robotics." in
   exit (Cmd.eval (Cmd.group ~default info
-    [ solve_cmd; compile_cmd; generate_cmd; simulate_cmd; trace_cmd; profile_cmd; image_cmd; mission_cmd; sphere_cmd; g2o_cmd; experiments_cmd ]))
+    [ solve_cmd; compile_cmd; generate_cmd; simulate_cmd; trace_cmd; profile_cmd; image_cmd; mission_cmd; sphere_cmd; g2o_cmd; faults_cmd; experiments_cmd ]))

@@ -7,6 +7,7 @@ module Value = Orianna_ir.Value
 module Modfg = Orianna_ir.Modfg
 module B = Program.Builder
 module Obs = Orianna_obs.Obs
+module Error = Orianna_util.Error
 
 let src = Logs.Src.create "orianna.compiler" ~doc:"Factor graph to ISA lowering"
 
@@ -86,7 +87,7 @@ let leaf_reg var_regs leaf =
   | Expr.Rot_of _, Pose_regs { rot; _ } -> rot
   | Expr.Trans_of _, Pose_regs { trans; _ } -> trans
   | Expr.Vec_of _, Vec_regs { reg; _ } -> reg
-  | _ -> invalid_arg "Compile.leaf_reg: leaf kind does not match variable kind"
+  | _ -> Error.fail Error.Compile ~context:[ "leaf_reg" ] "leaf kind does not match variable kind"
 
 let leaf_var = function Expr.Rot_of v | Expr.Trans_of v | Expr.Vec_of v -> v
 
@@ -652,7 +653,8 @@ let emit_update ctx graph regs v delta =
       in
       Pose_regs { rot = rot'; trans = trans'; rot_dim; trans_dim }
   | Se3_regs _ ->
-      invalid_arg ("Compile.compile_iterations: SE(3) variable " ^ v ^ " is not compilable")
+      Error.fail Error.Compile ~context:[ "compile_iterations" ]
+        ("SE(3) variable " ^ v ^ " is not compilable")
   | Vec_regs { reg; dim } ->
       let reg' = emit ctx ~op:Instr.Vadd ~srcs:[| reg; delta |] ~rows:dim ~cols:1 ~phase ~tag in
       ignore graph;
@@ -660,7 +662,8 @@ let emit_update ctx graph regs v delta =
 
 let compile_iterations ?(algo = 0) ?(prefix = "") ?(ordering = Ordering.Min_degree) ~iterations
     graph =
-  if iterations < 1 then invalid_arg "Compile.compile_iterations: need at least one iteration";
+  if iterations < 1 then
+    Error.fail Error.Compile ~context:[ "compile_iterations" ] "need at least one iteration";
   Obs.with_span "compile.lower_iterations"
     ~attrs:[ ("algo", string_of_int algo); ("iterations", string_of_int iterations) ]
   @@ fun () ->

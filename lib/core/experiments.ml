@@ -10,6 +10,7 @@ module Graph = Orianna_fg.Graph
 module Elimination = Orianna_fg.Elimination
 module Ordering = Orianna_fg.Ordering
 module Linear_system = Orianna_fg.Linear_system
+module Campaign = Orianna_fault.Campaign
 
 type context = { seed : int; evals : Pipeline.evaluation list }
 
@@ -611,6 +612,37 @@ let extension_manhattan () =
   Texttable.render t
   ^ Printf.sprintf "LM converged in %d iterations.\n" report.Orianna_fg.Optimizer.iterations
 
+let extension_faults ?(missions = 16) () =
+  let t =
+    Texttable.create
+      ~title:
+        (Printf.sprintf "Extension: fault-injection campaigns (%d missions per app, seed 42)"
+           missions)
+      ~headers:[ "App"; "Injected"; "Detected"; "Recovered"; "Masked"; "Escaped"; "Worst slowdown" ]
+  in
+  List.iter
+    (fun (app : App.t) ->
+      let frame = Pipeline.frame app ~seed:42 in
+      let accel = (Pipeline.generate frame.Pipeline.program).Dse.best in
+      let config = { Campaign.default_config with Campaign.missions } in
+      let s =
+        Campaign.run ~config ~rng:(Rng.of_int 42) ~graphs:frame.Pipeline.graphs
+          ~program:frame.Pipeline.program ~accel ()
+      in
+      let tot = s.Campaign.totals in
+      Texttable.add_row t
+        [
+          app.App.name;
+          string_of_int tot.Campaign.injected;
+          string_of_int tot.Campaign.detected;
+          string_of_int tot.Campaign.recovered;
+          string_of_int tot.Campaign.masked;
+          string_of_int tot.Campaign.escaped;
+          Printf.sprintf "%.2fx" s.Campaign.worst_slowdown;
+        ])
+    App.all;
+  Texttable.render t
+
 let run_all ?(missions = 30) () =
   print_string (table1 ());
   print_newline ();
@@ -627,4 +659,6 @@ let run_all ?(missions = 30) () =
   print_string (extension_robust ());
   print_newline ();
   print_string (extension_manhattan ());
+  print_newline ();
+  print_string (extension_faults ());
   print_newline ()

@@ -70,5 +70,10 @@ val extension_manhattan : unit -> string
 (** Extension: a Manhattan-world (M3500-style) 2D pose graph solved
     end to end. *)
 
+val extension_faults : ?missions:int -> unit -> string
+(** Fault-injection campaigns (seed 42) across all four apps:
+    per-app injected / detected / recovered / masked / escaped counts
+    and the worst degraded-mode slowdown. *)
+
 val run_all : ?missions:int -> unit -> unit
 (** Print everything to stdout (the bench harness entry point). *)

@@ -1,0 +1,379 @@
+open Orianna_isa
+open Orianna_hw
+open Orianna_sim
+open Orianna_baselines
+module Rng = Orianna_util.Rng
+module Texttable = Orianna_util.Texttable
+module Graph = Orianna_fg.Graph
+module Var = Orianna_fg.Var
+module Optimizer = Orianna_fg.Optimizer
+module Obs = Orianna_obs.Obs
+
+type config = {
+  missions : int;
+  policy : Schedule.policy;
+  max_retries : int;
+  backoff_cycles : int;
+}
+
+let default_config =
+  { missions = 32; policy = Schedule.Ooo_full; max_retries = 2; backoff_cycles = 64 }
+
+type class_stats = {
+  injected : int;
+  detected : int;
+  recovered : int;
+  masked : int;
+  escaped : int;
+}
+
+let zero_stats = { injected = 0; detected = 0; recovered = 0; masked = 0; escaped = 0 }
+
+type summary = {
+  events : Fault.event list;
+  per_class : (Fault.fclass * class_stats) list;
+  totals : class_stats;
+  worst_slowdown : float;
+  total_backoff_cycles : int;
+}
+
+let escaped s = s.totals.escaped > 0
+
+(* A flipped value counts as architecturally masked when it cannot
+   move any mission-level acceptance check (those tolerate ~1e-1);
+   anything larger must be caught by a detector or it is silent data
+   corruption. *)
+let masked_deviation = 1e-3
+
+(* Residual monitor sensitivity: the runtime compares the live
+   objective against the converged reference it stored. *)
+let residual_slack ref_error = 1e-9 +. (1e-9 *. Float.abs ref_error)
+
+(* Re-solve acceptance: a retry succeeded when it lands back at (or
+   below) the reference objective, up to relative tolerance. *)
+let resolve_ok ~ref_error err =
+  Float.is_finite err && err <= ref_error +. 1e-9 +. (1e-6 *. Float.abs ref_error)
+
+type graph_ref = {
+  gname : string;
+  graph : Graph.t;
+  ref_error : float;
+  solution : (string * Var.t) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-class mission simulations                                       *)
+
+let backoff_total ~config attempts =
+  (* Exponential backoff: 1x, 2x, 4x ... of the base quantum. *)
+  let rec go acc k = if k <= 0 then acc else go (acc + (config.backoff_cycles * (1 lsl (k - 1)))) (k - 1) in
+  go 0 attempts
+
+let bit_flip_mission ~config ~mrng ~grefs =
+  let gr = List.nth grefs (Rng.int mrng (List.length grefs)) in
+  Graph.restore_values gr.graph gr.solution;
+  let vector_vars =
+    List.filter
+      (fun v -> match Graph.value gr.graph v with Var.Vector _ -> true | _ -> false)
+      (Graph.variables gr.graph)
+  in
+  match vector_vars with
+  | [] -> ("no vector-valued unit output in " ^ gr.gname, Fault.Masked)
+  | vars -> (
+      let v = List.nth vars (Rng.int mrng (List.length vars)) in
+      let vec =
+        match Graph.value gr.graph v with Var.Vector vec -> vec | _ -> assert false
+      in
+      let j = Rng.int mrng (Array.length vec) in
+      let bit = Rng.int mrng 64 in
+      let vec' = Array.copy vec in
+      vec'.(j) <- Fault.flip_bit_f64 vec'.(j) bit;
+      Graph.set_value gr.graph v (Var.Vector vec');
+      let desc = Printf.sprintf "%s: bit %d of %s[%d]" gr.gname bit v j in
+      let err = Graph.error gr.graph in
+      let detector =
+        if not (Float.is_finite err) then Some Fault.Nan_guard
+        else if Float.abs (err -. gr.ref_error) > residual_slack gr.ref_error then
+          Some Fault.Residual_guard
+        else None
+      in
+      match detector with
+      | None ->
+          let deviation =
+            List.fold_left
+              (fun acc (name, value) ->
+                Float.max acc (Var.distance value (Graph.value gr.graph name)))
+              0.0 gr.solution
+          in
+          Graph.restore_values gr.graph gr.solution;
+          if deviation > masked_deviation then
+            (desc, Fault.Escaped (Printf.sprintf "silent corruption, deviation %.3g" deviation))
+          else (desc, Fault.Masked)
+      | Some detector ->
+          (* Degradation ladder: bounded damped re-solves from the
+             corrupted state, then restore the checkpointed solution
+             (the software model re-derives it). *)
+          let rec attempt k =
+            if k > config.max_retries then begin
+              Graph.restore_values gr.graph gr.solution;
+              Fault.Recovered
+                {
+                  detector;
+                  recovery = Fault.Software_fallback;
+                  attempts = config.max_retries + 1;
+                  backoff_cycles = backoff_total ~config config.max_retries;
+                }
+            end
+            else begin
+              (* The corrupted state may make the linearized system
+                 singular or non-finite; any solver exception is just a
+                 failed attempt, handled by the next rung. *)
+              let resolved =
+                match Optimizer.optimize gr.graph with
+                | report ->
+                    report.Optimizer.converged
+                    && resolve_ok ~ref_error:gr.ref_error report.Optimizer.final_error
+                | exception (Failure _ | Orianna_util.Error.Error _) -> false
+              in
+              if resolved then
+                Fault.Recovered
+                  {
+                    detector;
+                    recovery = Fault.Retry;
+                    attempts = k;
+                    backoff_cycles = backoff_total ~config (k - 1);
+                  }
+              else attempt (k + 1)
+            end
+          in
+          let outcome = attempt 1 in
+          Graph.restore_values gr.graph gr.solution;
+          (desc, outcome))
+
+let stuck_unit_mission ~config ~mrng ~program ~accel ~ref_sched =
+  let classes = Array.of_list Unit_model.all_classes in
+  let cls = classes.(Rng.int mrng (Array.length classes)) in
+  let instance = Rng.int mrng (Accel.count accel cls) in
+  let used =
+    Array.exists
+      (fun (ins : Instr.t) -> Unit_model.class_of_op ins.Instr.op = cls)
+      program.Program.instrs
+  in
+  let desc =
+    Printf.sprintf "%s instance %d/%d offline" (Unit_model.class_name cls) instance
+      (Accel.count accel cls)
+  in
+  if not used then (desc ^ " (class unused)", Fault.Masked, 1.0)
+  else begin
+    (* The watchdog always notices: instructions bound to the dead
+       instance never complete.  Ladder: reschedule on the degraded
+       configuration, then software fallback. *)
+    let fallback attempts =
+      let sw = Cpu_model.run Cpu_model.arm program in
+      ( Fault.Recovered
+          {
+            detector = Fault.Watchdog;
+            recovery = Fault.Software_fallback;
+            attempts;
+            backoff_cycles = backoff_total ~config (attempts - 1);
+          },
+        sw.Cpu_model.seconds /. ref_sched.Schedule.seconds )
+    in
+    let outcome, slowdown =
+      match Accel.with_masked accel cls with
+      | None -> fallback 1
+      | Some degraded -> (
+          match
+            let r = Schedule.run ~accel:degraded ~policy:config.policy program in
+            (r, Schedule.check_invariants ~accel:degraded program r)
+          with
+          | r, Ok () ->
+              ( Fault.Recovered
+                  {
+                    detector = Fault.Watchdog;
+                    recovery = Fault.Reschedule_degraded;
+                    attempts = 1;
+                    backoff_cycles = 0;
+                  },
+                r.Schedule.seconds /. ref_sched.Schedule.seconds )
+          | _, Error _ -> fallback 2
+          | exception Schedule.Deadlock _ -> fallback 2)
+    in
+    (desc, outcome, slowdown)
+  end
+
+let jitter_mission ~config ~mrng ~program ~accel =
+  let n = Array.length program.Program.instrs in
+  if n = 0 then ("empty program", Fault.Masked)
+  else begin
+    let targets = Hashtbl.create 4 in
+    let k = 1 + Rng.int mrng (min 4 n) in
+    for _ = 1 to k do
+      Hashtbl.replace targets (Rng.int mrng n) (1 + Rng.int mrng 32)
+    done;
+    let jitter id = Option.value ~default:0 (Hashtbl.find_opt targets id) in
+    let desc =
+      Printf.sprintf "+[1,32] cycles on %d instruction%s" (Hashtbl.length targets)
+        (if Hashtbl.length targets = 1 then "" else "s")
+    in
+    let r = Schedule.run ~accel ~policy:config.policy ~jitter program in
+    match Schedule.check_invariants ~accel program r with
+    | Ok () -> (desc, Fault.Escaped "latency anomaly passed the schedule invariant check")
+    | Error _ -> (
+        (* Transient: re-run clean, verify the accounting holds. *)
+        let r' = Schedule.run ~accel ~policy:config.policy program in
+        match Schedule.check_invariants ~accel program r' with
+        | Ok () ->
+            ( desc,
+              Fault.Recovered
+                {
+                  detector = Fault.Invariant_check;
+                  recovery = Fault.Retry;
+                  attempts = 1;
+                  backoff_cycles = backoff_total ~config 1;
+                } )
+        | Error msg -> (desc, Fault.Escaped ("retry still violates invariants: " ^ msg)))
+  end
+
+let corruption_mission ~mrng ~image ~payload =
+  let bit = Rng.int mrng (8 * String.length image) in
+  let corrupted = Fault.flip_bit_in_string image bit in
+  let desc = Printf.sprintf "image bit %d of %d" bit (8 * String.length image) in
+  match Encode.verify corrupted with
+  | Error _ ->
+      (* Checksum caught it; the controller re-fetches the pristine
+         image, which verifies. *)
+      let outcome =
+        match Encode.verify image with
+        | Ok _ ->
+            Fault.Recovered
+              { detector = Fault.Checksum; recovery = Fault.Retry; attempts = 1; backoff_cycles = 0 }
+        | Error msg -> Fault.Escaped ("pristine image fails verification: " ^ msg)
+      in
+      (desc, outcome)
+  | Ok payload' -> (
+      match Encode.decode payload' with
+      | p' ->
+          if Encode.encode p' = payload && not (Fault.program_has_nonfinite p') then
+            (desc, Fault.Masked)
+          else (desc, Fault.Escaped "corrupted image passed the checksum")
+      | exception Encode.Decode_error _ ->
+          ( desc,
+            Fault.Recovered
+              { detector = Fault.Decoder; recovery = Fault.Retry; attempts = 1; backoff_cycles = 0 }
+          ))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign driver                                                     *)
+
+let count_event stats (outcome : Fault.outcome) =
+  match outcome with
+  | Fault.Masked -> { stats with injected = stats.injected + 1; masked = stats.masked + 1 }
+  | Fault.Recovered _ ->
+      {
+        stats with
+        injected = stats.injected + 1;
+        detected = stats.detected + 1;
+        recovered = stats.recovered + 1;
+      }
+  | Fault.Escaped _ -> { stats with injected = stats.injected + 1; escaped = stats.escaped + 1 }
+
+let run ?(config = default_config) ~rng ~graphs ~program ~accel () =
+  Obs.with_span "fault.campaign"
+    ~attrs:[ ("missions", string_of_int config.missions) ]
+  @@ fun () ->
+  let ref_sched = Schedule.run ~accel ~policy:config.policy program in
+  (match Schedule.check_invariants ~accel program ref_sched with
+  | Ok () -> ()
+  | Error msg ->
+      Orianna_util.Error.fail Orianna_util.Error.Schedule ~context:[ "fault campaign" ]
+        ("fault-free schedule violates invariants: " ^ msg));
+  let image = Encode.encode_checksummed program in
+  let payload = Encode.encode program in
+  let grefs =
+    List.map
+      (fun (gname, graph) ->
+        ignore (Optimizer.optimize graph);
+        let ref_error = Graph.error graph in
+        { gname; graph; ref_error; solution = Graph.copy_values graph })
+      graphs
+  in
+  let events = ref [] in
+  let worst_slowdown = ref 1.0 in
+  let total_backoff = ref 0 in
+  for mission = 1 to config.missions do
+    let mrng = Rng.split rng in
+    let fclass = List.nth Fault.all_classes (Rng.int mrng (List.length Fault.all_classes)) in
+    let description, outcome =
+      match fclass with
+      | Fault.Bit_flip -> bit_flip_mission ~config ~mrng ~grefs
+      | Fault.Stuck_unit ->
+          let d, o, slowdown = stuck_unit_mission ~config ~mrng ~program ~accel ~ref_sched in
+          worst_slowdown := Float.max !worst_slowdown slowdown;
+          (d, o)
+      | Fault.Latency_jitter -> jitter_mission ~config ~mrng ~program ~accel
+      | Fault.Instr_corruption -> corruption_mission ~mrng ~image ~payload
+    in
+    (match outcome with
+    | Fault.Recovered { backoff_cycles; _ } -> total_backoff := !total_backoff + backoff_cycles
+    | Fault.Masked | Fault.Escaped _ -> ());
+    Obs.count (Printf.sprintf "fault.%s.%s" (Fault.class_name fclass) (Fault.outcome_name outcome));
+    (match outcome with
+    | Fault.Recovered { detector; recovery; _ } ->
+        Obs.count ("fault.detected_by." ^ Fault.detector_name detector);
+        Obs.count ("fault.recovered_by." ^ Fault.recovery_name recovery)
+    | Fault.Masked | Fault.Escaped _ -> ());
+    events := { Fault.mission; fclass; description; outcome } :: !events
+  done;
+  let events = List.rev !events in
+  let per_class =
+    List.map
+      (fun fc ->
+        ( fc,
+          List.fold_left
+            (fun acc (e : Fault.event) ->
+              if e.Fault.fclass = fc then count_event acc e.Fault.outcome else acc)
+            zero_stats events ))
+      Fault.all_classes
+  in
+  let totals =
+    List.fold_left
+      (fun acc (e : Fault.event) -> count_event acc e.Fault.outcome)
+      zero_stats events
+  in
+  {
+    events;
+    per_class;
+    totals;
+    worst_slowdown = !worst_slowdown;
+    total_backoff_cycles = !total_backoff;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let rate num den = if den = 0 then "-" else Printf.sprintf "%.1f%%" (100.0 *. float_of_int num /. float_of_int den)
+
+let table summary =
+  let t =
+    Texttable.create ~title:"Fault campaign"
+      ~headers:[ "class"; "injected"; "detected"; "recovered"; "masked"; "escaped"; "det."; "rec." ]
+  in
+  let row name s =
+    Texttable.add_row t
+      [
+        name;
+        string_of_int s.injected;
+        string_of_int s.detected;
+        string_of_int s.recovered;
+        string_of_int s.masked;
+        string_of_int s.escaped;
+        rate s.detected (s.injected - s.masked);
+        rate s.recovered s.detected;
+      ]
+  in
+  List.iter (fun (fc, s) -> row (Fault.class_name fc) s) summary.per_class;
+  row "total" summary.totals;
+  Texttable.render t
+  ^ Printf.sprintf "\nworst degraded slowdown: %.2fx; backoff spent: %d cycles\n"
+      summary.worst_slowdown summary.total_backoff_cycles

@@ -1,0 +1,68 @@
+(** Deterministic Monte-Carlo fault-injection campaigns.
+
+    A campaign replays [missions] independent faults against one
+    compiled application (its factor graphs, instruction stream and
+    generated accelerator), classifies each as masked / detected →
+    recovered / escaped, and aggregates per-class statistics.  All
+    randomness flows from the caller's {!Orianna_util.Rng}, so a
+    campaign is bit-for-bit reproducible from its seed.
+
+    Detection and recovery walk the degradation ladder: bounded
+    damped retry (with exponential backoff), rescheduling on a
+    degraded accelerator with the failed instance masked out, and
+    final fallback to the software baseline model.  Every event is
+    also counted through {!Orianna_obs.Obs} (counters
+    [fault.<class>.<outcome>], [fault.detected_by.<detector>],
+    [fault.recovered_by.<recovery>]) when telemetry is enabled. *)
+
+open Orianna_isa
+open Orianna_hw
+open Orianna_sim
+
+type config = {
+  missions : int;
+  policy : Schedule.policy;
+  max_retries : int;  (** bounded retry budget per detected fault *)
+  backoff_cycles : int;  (** base backoff quantum, doubled per attempt *)
+}
+
+val default_config : config
+(** 32 missions, OoO policy, 2 retries, 64-cycle backoff quantum. *)
+
+type class_stats = {
+  injected : int;
+  detected : int;
+  recovered : int;
+  masked : int;
+  escaped : int;
+}
+
+type summary = {
+  events : Fault.event list;  (** in mission order *)
+  per_class : (Fault.fclass * class_stats) list;  (** in {!Fault.all_classes} order *)
+  totals : class_stats;
+  worst_slowdown : float;
+      (** worst execution-time ratio of a degraded or fallback run
+          against the healthy accelerator (1.0 if none occurred) *)
+  total_backoff_cycles : int;
+}
+
+val escaped : summary -> bool
+(** True iff any fault escaped both detection and recovery. *)
+
+val run :
+  ?config:config ->
+  rng:Orianna_util.Rng.t ->
+  graphs:(string * Orianna_fg.Graph.t) list ->
+  program:Program.t ->
+  accel:Accel.t ->
+  unit ->
+  summary
+(** Run a campaign.  The graphs are solved to convergence first (they
+    are mutated) to establish the reference the runtime residual
+    monitor compares against; the fault-free schedule is asserted
+    against {!Schedule.check_invariants} before any injection. *)
+
+val table : summary -> string
+(** Per-class counts and detection/recovery rates as a rendered text
+    table (detection rate is over non-masked injections). *)

@@ -1,0 +1,97 @@
+type fclass = Bit_flip | Stuck_unit | Latency_jitter | Instr_corruption
+
+let all_classes = [ Bit_flip; Stuck_unit; Latency_jitter; Instr_corruption ]
+
+let class_name = function
+  | Bit_flip -> "bit-flip"
+  | Stuck_unit -> "stuck-unit"
+  | Latency_jitter -> "latency-jitter"
+  | Instr_corruption -> "instr-corruption"
+
+type detector =
+  | Checksum
+  | Decoder
+  | Nan_guard
+  | Residual_guard
+  | Invariant_check
+  | Watchdog
+
+let detector_name = function
+  | Checksum -> "checksum"
+  | Decoder -> "decoder"
+  | Nan_guard -> "nan-guard"
+  | Residual_guard -> "residual-guard"
+  | Invariant_check -> "invariant-check"
+  | Watchdog -> "watchdog"
+
+type recovery = Retry | Reschedule_degraded | Software_fallback
+
+let recovery_name = function
+  | Retry -> "retry"
+  | Reschedule_degraded -> "reschedule-degraded"
+  | Software_fallback -> "software-fallback"
+
+type outcome =
+  | Masked
+  | Recovered of {
+      detector : detector;
+      recovery : recovery;
+      attempts : int;
+      backoff_cycles : int;
+    }
+  | Escaped of string
+
+type event = { mission : int; fclass : fclass; description : string; outcome : outcome }
+
+let outcome_name = function
+  | Masked -> "masked"
+  | Recovered _ -> "recovered"
+  | Escaped _ -> "escaped"
+
+let pp_event ppf e =
+  Format.fprintf ppf "mission %3d  %-16s %-40s " e.mission (class_name e.fclass) e.description;
+  match e.outcome with
+  | Masked -> Format.fprintf ppf "masked"
+  | Recovered { detector; recovery; attempts; backoff_cycles } ->
+      Format.fprintf ppf "detected by %s, recovered via %s (%d attempt%s, %d backoff cycles)"
+        (detector_name detector) (recovery_name recovery) attempts
+        (if attempts = 1 then "" else "s")
+        backoff_cycles
+  | Escaped why -> Format.fprintf ppf "ESCAPED: %s" why
+
+(* ------------------------------------------------------------------ *)
+(* Bit-level corruption helpers                                        *)
+
+let flip_bit_f64 x bit =
+  if bit < 0 || bit > 63 then invalid_arg "Fault.flip_bit_f64: bit out of range";
+  Int64.float_of_bits (Int64.logxor (Int64.bits_of_float x) (Int64.shift_left 1L bit))
+
+let flip_bit_in_string s bit =
+  let byte = bit / 8 in
+  if byte >= String.length s then invalid_arg "Fault.flip_bit_in_string: bit out of range";
+  let b = Bytes.of_string s in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (bit mod 8))));
+  Bytes.to_string b
+
+(* ------------------------------------------------------------------ *)
+(* Program-level scans                                                 *)
+
+open Orianna_isa
+
+let program_has_nonfinite (p : Program.t) =
+  let bad = ref false in
+  let check x = if not (Float.is_finite x) then bad := true in
+  Array.iter
+    (fun (ins : Instr.t) ->
+      match ins.Instr.op with
+      | Instr.Load m ->
+          let rows, cols = Orianna_linalg.Mat.dims m in
+          for i = 0 to rows - 1 do
+            for j = 0 to cols - 1 do
+              check (Orianna_linalg.Mat.get m i j)
+            done
+          done
+      | Instr.Scale s -> check s
+      | _ -> ())
+    p.Program.instrs;
+  !bad

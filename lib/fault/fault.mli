@@ -1,0 +1,67 @@
+(** Fault model for the generated accelerators.
+
+    Four fault classes cover the failure modes a deployed
+    optimization accelerator realistically sees:
+
+    - [Bit_flip]: an SEU corrupts a unit's output word — modelled as a
+      single flipped bit in a solver result value;
+    - [Stuck_unit]: a unit instance goes offline (stuck-at, clock
+      domain loss) and never completes another instruction;
+    - [Latency_jitter]: a degraded unit takes longer than its analytic
+      latency (voltage droop, retried bus transactions);
+    - [Instr_corruption]: a bit of the binary instruction image flips
+      in DRAM or on the fetch path.
+
+    Every injected fault is drawn from {!Orianna_util.Rng}, so a
+    campaign replays bit-for-bit from its seed. *)
+
+type fclass = Bit_flip | Stuck_unit | Latency_jitter | Instr_corruption
+
+val all_classes : fclass list
+
+val class_name : fclass -> string
+
+(** Which mechanism caught a fault. *)
+type detector =
+  | Checksum  (** instruction-stream CRC trailer ({!Orianna_isa.Encode.verify}) *)
+  | Decoder  (** structural decode failure ([Decode_error]) *)
+  | Nan_guard  (** non-finite residual check in the optimizer *)
+  | Residual_guard  (** residual increased beyond the converged reference *)
+  | Invariant_check  (** schedule stall/latency accounting assertion *)
+  | Watchdog  (** completion timeout on a stuck unit *)
+
+val detector_name : detector -> string
+
+(** Which rung of the degradation ladder completed the mission. *)
+type recovery = Retry | Reschedule_degraded | Software_fallback
+
+val recovery_name : recovery -> string
+
+type outcome =
+  | Masked  (** fault injected but architecturally invisible (no output deviation) *)
+  | Recovered of {
+      detector : detector;
+      recovery : recovery;
+      attempts : int;
+      backoff_cycles : int;  (** simulated backoff spent before success *)
+    }
+  | Escaped of string
+      (** no detector fired and the output deviates — silent data
+          corruption; the description says how *)
+
+type event = { mission : int; fclass : fclass; description : string; outcome : outcome }
+
+val outcome_name : outcome -> string
+
+val pp_event : Format.formatter -> event -> unit
+
+val flip_bit_f64 : float -> int -> float
+(** Flip bit [0..63] of the IEEE-754 representation. *)
+
+val flip_bit_in_string : string -> int -> string
+(** Flip one bit of a byte string (bit index over the whole string,
+    little-endian within each byte). *)
+
+val program_has_nonfinite : Orianna_isa.Program.t -> bool
+(** Scan embedded constants ([Load] matrices, [Scale] payloads) for
+    NaN / infinity. *)

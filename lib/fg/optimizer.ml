@@ -4,6 +4,7 @@ let src = Logs.Src.create "orianna.optimizer" ~doc:"Nonlinear optimization loop"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 module Obs = Orianna_obs.Obs
+module Error = Orianna_util.Error
 
 type method_ = Gauss_newton | Levenberg_marquardt
 
@@ -35,6 +36,7 @@ let default_params =
 type report = {
   iterations : int;
   converged : bool;
+  reason : string option;
   initial_error : float;
   final_error : float;
   history : float list;
@@ -91,25 +93,77 @@ let optimize ?(params = default_params) graph =
         let lambda = ref params.init_lambda in
         let current_error = ref initial_error in
         let converged = ref (initial_error <= params.error_tol) in
+        let reason = ref None in
+        let stop = ref false in
         let iters = ref 0 in
+        if not (Float.is_finite initial_error) then begin
+          stop := true;
+          reason := Some "non-finite initial residual";
+          Obs.count "optimizer.guard.nonfinite"
+        end;
+        (* Damped retry ladder shared by the divergence guards: retry
+           the step with escalating Levenberg damping until the
+           residual stops misbehaving or the lambda bound is hit. *)
+        let damped_retry ~lin ~saved =
+          let accepted = ref None in
+          let l = ref (Float.max params.init_lambda (2.0 *. !lambda)) in
+          while !accepted = None && !l <= params.max_lambda do
+            let damped = lin @ damping_factors graph !l in
+            let result = Elimination.eliminate ~method_:params.factorization ~order ~dims damped in
+            let deltas = Elimination.back_substitute result.conditionals in
+            apply_update graph deltas;
+            let err = Graph.error graph in
+            if Float.is_finite err && err <= !current_error then
+              accepted := Some (result, deltas, err)
+            else begin
+              Obs.count "optimizer.guard.damped_retries";
+              Graph.restore_values graph saved;
+              l := !l *. 10.0
+            end
+          done;
+          !accepted
+        in
         (try
-           while (not !converged) && !iters < params.max_iterations do
+           while (not !converged) && (not !stop) && !iters < params.max_iterations do
              incr iters;
              let lin = Graph.linearize graph in
              (match params.method_ with
              | Gauss_newton ->
+                 let saved = Graph.copy_values graph in
                  let result = Elimination.eliminate ~method_:params.factorization ~order ~dims lin in
                  let deltas = Elimination.back_substitute result.conditionals in
-                 census := result.census;
+                 let accept result deltas err =
+                   census := result.Elimination.census;
+                   let decrease = !current_error -. err in
+                   if
+                     max_abs_delta deltas < params.delta_tol
+                     || err <= params.error_tol
+                     || Float.abs decrease <= params.relative_tol *. Float.max 1.0 !current_error
+                   then converged := true;
+                   current_error := err
+                 in
                  apply_update graph deltas;
                  let err = Graph.error graph in
-                 let decrease = !current_error -. err in
-                 if
-                   max_abs_delta deltas < params.delta_tol
-                   || err <= params.error_tol
-                   || Float.abs decrease <= params.relative_tol *. Float.max 1.0 !current_error
-                 then converged := true;
-                 current_error := err
+                 if Float.is_finite err && err <= !current_error *. (1.0 +. 1e-12) +. params.error_tol
+                 then accept result deltas err
+                 else begin
+                   (* Non-finite or increasing residual: the NaN /
+                      divergence guard.  Back out the step and retry it
+                      with damping before giving up. *)
+                   Obs.count "optimizer.guard.trips";
+                   Graph.restore_values graph saved;
+                   match damped_retry ~lin ~saved with
+                   | Some (result, deltas, err') -> accept result deltas err'
+                   | None ->
+                       stop := true;
+                       reason :=
+                         Some
+                           (if Float.is_finite err then
+                              Printf.sprintf
+                                "diverging residual (%.6g -> %.6g); damped retries exhausted"
+                                !current_error err
+                            else "non-finite residual; damped retries exhausted")
+                 end
              | Levenberg_marquardt ->
                  let accepted = ref false in
                  let saved = Graph.copy_values graph in
@@ -119,7 +173,7 @@ let optimize ?(params = default_params) graph =
                    let deltas = Elimination.back_substitute result.conditionals in
                    apply_update graph deltas;
                    let err = Graph.error graph in
-                   if err < !current_error then begin
+                   if Float.is_finite err && err < !current_error then begin
                      accepted := true;
                      census := result.census;
                      lambda := Float.max 1e-12 (!lambda /. 10.0);
@@ -136,22 +190,35 @@ let optimize ?(params = default_params) graph =
                      lambda := !lambda *. 10.0
                    end
                  done;
-                 if not !accepted then converged := true (* stuck: report non-improvement *));
+                 if not !accepted then
+                   if Float.is_finite !current_error then begin
+                     (* Stationary: no damped step improves a finite
+                        residual — the usual LM termination. *)
+                     converged := true;
+                     reason := Some "stationary: no improving damped step within lambda bound"
+                   end
+                   else begin
+                     stop := true;
+                     reason := Some "non-finite residual; no recovering damped step"
+                   end);
              Log.debug (fun m -> m "iteration %d: error %.6g" !iters !current_error);
              Obs.count "optimizer.iterations";
              Obs.observe "optimizer.error" !current_error;
              history := !current_error :: !history
            done
          with Elimination.Underconstrained v ->
-           failwith ("Optimizer: underconstrained variable " ^ v));
+           Error.fail Error.Solve ~context:[ "optimizer" ] ("underconstrained variable " ^ v));
+        if (not !converged) && !reason = None && !iters >= params.max_iterations then
+          reason := Some (Printf.sprintf "iteration budget (%d) exhausted" params.max_iterations);
         ( !iters,
           !converged,
+          !reason,
           initial_error,
           !current_error,
           List.rev !history,
           !census ))
   in
-  let iterations, converged, initial_error, final_error, history, census = result in
+  let iterations, converged, reason, initial_error, final_error, history, census = result in
   if Obs.enabled () then begin
     Obs.set_gauge "optimizer.final_error" final_error;
     Obs.count "optimizer.runs";
@@ -160,8 +227,9 @@ let optimize ?(params = default_params) graph =
   Log.info (fun m ->
       m "optimized: %d iterations, error %.6g -> %.6g, %d MACs" iterations initial_error
         final_error macs);
-  { iterations; converged; initial_error; final_error; history; census; macs }
+  { iterations; converged; reason; initial_error; final_error; history; census; macs }
 
 let pp_report ppf r =
   Format.fprintf ppf "iters=%d converged=%b error %.6g -> %.6g (macs %d)" r.iterations r.converged
-    r.initial_error r.final_error r.macs
+    r.initial_error r.final_error r.macs;
+  Option.iter (fun why -> Format.fprintf ppf " [%s]" why) r.reason

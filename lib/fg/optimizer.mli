@@ -28,6 +28,11 @@ val default_params : params
 type report = {
   iterations : int;
   converged : bool;
+  reason : string option;
+      (** why the optimizer stopped when [converged = false] (diverging
+          or non-finite residual with damped retries exhausted,
+          iteration budget), or a termination note otherwise; [None] on
+          a clean convergence *)
   initial_error : float;
   final_error : float;
   history : float list;  (** objective after each iteration *)
@@ -36,7 +41,15 @@ type report = {
 }
 
 val optimize : ?params:params -> Graph.t -> report
-(** Mutates the graph's values in place. *)
+(** Mutates the graph's values in place.
+
+    Robustness guards: a non-finite or increasing residual after a
+    Gauss-Newton step backs the step out and retries it with
+    escalating Levenberg damping; if no damped step recovers, the
+    optimizer stops with [converged = false] and a [reason] instead of
+    looping or crashing.  A non-finite initial residual stops before
+    the first iteration.  Raises [Orianna_util.Error.Error] (phase
+    [Solve]) on an underconstrained variable. *)
 
 val solve_once : ?ordering:Ordering.strategy -> Graph.t -> (string * Orianna_linalg.Vec.t) list
 (** A single linearize-eliminate-substitute round, returning the raw

@@ -30,6 +30,20 @@ let with_extra t cls =
 
 let with_wider_qr t = { t with qr_rotators = 2 * t.qr_rotators }
 
+let with_masked t cls =
+  match List.assoc_opt cls t.counts with
+  | Some n when n > 1 ->
+      Some
+        {
+          t with
+          name = t.name ^ "-degraded";
+          counts = List.map (fun (c, k) -> if c = cls then (c, k - 1) else (c, k)) t.counts;
+        }
+  | Some _ | None -> None
+
+let degraded t =
+  { t with name = t.name ^ "-minimal"; counts = List.map (fun (c, _) -> (c, 1)) t.counts }
+
 let resources t =
   List.fold_left
     (fun acc (cls, n) ->

@@ -26,6 +26,17 @@ val with_extra : t -> Unit_model.unit_class -> t
 val with_wider_qr : t -> t
 (** Double the QR rotator width. *)
 
+val with_masked : t -> Unit_model.unit_class -> t option
+(** Mask one failed instance of the class out of the configuration —
+    the reschedule-degraded step of the fault recovery ladder.  [None]
+    when the class is already down to its last instance (the ladder
+    then falls back to the software model). *)
+
+val degraded : t -> t
+(** Every class reduced to a single instance (clock and QR width
+    kept) — the worst sustainable degraded configuration, used by the
+    robustness property tests. *)
+
 val resources : t -> Resource.t
 (** Total resource footprint (units + controller overhead). *)
 

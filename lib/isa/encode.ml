@@ -232,6 +232,46 @@ let decode ?(resolve = default_resolve) data =
   (try Program.validate p with Failure msg -> raise (Decode_error msg));
   p
 
+(* ------------------------------------------------------------------ *)
+(* Integrity trailer                                                   *)
+
+let trailer_magic = "CRC0"
+let trailer_length = 8
+
+let encode_checksummed p =
+  let payload = encode p in
+  let buf = Buffer.create (String.length payload + trailer_length) in
+  Buffer.add_string buf payload;
+  Buffer.add_string buf trailer_magic;
+  w32 buf (Orianna_util.Checksum.crc32 payload);
+  Buffer.contents buf
+
+let verify data =
+  let n = String.length data in
+  if n < trailer_length then Error "image shorter than the integrity trailer"
+  else begin
+    let payload = String.sub data 0 (n - trailer_length) in
+    let trailer = String.sub data (n - trailer_length) trailer_length in
+    if String.sub trailer 0 4 <> trailer_magic then Error "missing CRC trailer"
+    else begin
+      let stored = ref 0 in
+      for i = 7 downto 4 do
+        stored := (!stored lsl 8) lor Char.code trailer.[i]
+      done;
+      let computed = Orianna_util.Checksum.crc32 payload in
+      if computed <> !stored then
+        Error
+          (Printf.sprintf "instruction-stream checksum mismatch: stored %08x, computed %08x"
+             !stored computed)
+      else Ok payload
+    end
+  end
+
+let decode_checksummed ?resolve data =
+  match verify data with
+  | Ok payload -> decode ?resolve payload
+  | Error msg -> raise (Decode_error msg)
+
 let kernel_names (p : Program.t) =
   let seen = Hashtbl.create 8 in
   Array.to_list p.Program.instrs

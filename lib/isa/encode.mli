@@ -28,6 +28,21 @@ val decode : ?resolve:(string -> Instr.kernel) -> string -> Program.t
     instruction whose name the registry does not resolve (default
     registry resolves nothing). *)
 
+val encode_checksummed : Program.t -> string
+(** {!encode}, followed by an 8-byte integrity trailer: magic "CRC0"
+    and the CRC-32 of the payload (u32 little-endian).  The instruction
+    fetch path verifies the trailer before dispatch, so any single-bit
+    (or up-to-32-bit burst) corruption of the image in DRAM or on the
+    bus is detected rather than executed. *)
+
+val verify : string -> (string, string) result
+(** Check a checksummed image's trailer.  [Ok payload] strips the
+    trailer; [Error msg] describes the mismatch. *)
+
+val decode_checksummed : ?resolve:(string -> Instr.kernel) -> string -> Program.t
+(** {!verify} then {!decode}; raises {!Decode_error} if the checksum
+    does not match. *)
+
 val kernel_names : Program.t -> string list
 (** Distinct kernel names, first-occurrence order — the registry a
     deployment must provide. *)

@@ -5,6 +5,13 @@ module Obs = Orianna_obs.Obs
 
 type policy = In_order | Ooo_fine | Ooo_full
 
+exception
+  Deadlock of {
+    cycle : int;
+    stuck : int list;
+    occupancy : (Unit_model.unit_class * int list) list;
+  }
+
 let policy_name = function
   | In_order -> "in-order"
   | Ooo_fine -> "ooo-fine"
@@ -22,6 +29,7 @@ type result = {
   instructions : int;
   starts : int array;
   finishes : int array;
+  issue_base : int array;
   stall_operand_cycles : int;
   stall_structural_cycles : int;
 }
@@ -154,8 +162,27 @@ let schedule_ooo (p : Program.t) ~latency_of ~prio ~counts ~starts ~finishes ~id
           Array.iter (fun ft -> if ft > !t then next := min !next ft) free.(c)
       done;
       if !next = max_int then begin
-        (* Everything ready but no instance ever frees: impossible. *)
-        failwith "Schedule: deadlock"
+        (* Everything ready but no instance ever frees — e.g. a class
+           needed by a pending instruction has zero live instances.
+           Report which instructions are stuck and what every unit
+           instance is doing so campaign logs stay actionable. *)
+        let stuck = ref [] in
+        for c = num_classes - 1 downto 0 do
+          let drain h of_entry =
+            let continue_ = ref true in
+            while !continue_ do
+              match Heap.pop h with
+              | Some e -> stuck := of_entry e :: !stuck
+              | None -> continue_ := false
+            done
+          in
+          drain ready.(c) snd;
+          drain arrivals.(c) snd
+        done;
+        let occupancy =
+          List.mapi (fun c cls -> (cls, Array.to_list free.(c))) Unit_model.all_classes
+        in
+        raise (Deadlock { cycle = !t; stuck = List.sort compare !stuck; occupancy })
       end;
       t := !next
     end
@@ -183,7 +210,15 @@ let schedule_in_order (p : Program.t) ~latency_of ~counts ~starts ~finishes =
 
 type priority_policy = Critical_path | Fifo
 
-let run ?(priority = Critical_path) ~accel ~policy (p : Program.t) =
+let nominal_latency_of ~accel (p : Program.t) =
+  let src_shape id = (p.Program.instrs.(id).Instr.rows, p.Program.instrs.(id).Instr.cols) in
+  fun id ->
+    let ins = p.Program.instrs.(id) in
+    Unit_model.latency
+      (Unit_model.class_of_op ins.Instr.op)
+      ~qr_rotators:accel.Accel.qr_rotators ins ~src_shape
+
+let run ?(priority = Critical_path) ?jitter ~accel ~policy (p : Program.t) =
   Obs.with_span "sim.schedule"
     ~attrs:
       [
@@ -193,11 +228,13 @@ let run ?(priority = Critical_path) ~accel ~policy (p : Program.t) =
   @@ fun () ->
   let n = Array.length p.Program.instrs in
   let src_shape id = (p.Program.instrs.(id).Instr.rows, p.Program.instrs.(id).Instr.cols) in
-  let latency_of id =
-    let ins = p.Program.instrs.(id) in
-    Unit_model.latency
-      (Unit_model.class_of_op ins.Instr.op)
-      ~qr_rotators:accel.Accel.qr_rotators ins ~src_shape
+  let nominal = nominal_latency_of ~accel p in
+  (* [jitter] models degraded silicon: extra execution cycles per
+     instruction, on top of the analytic unit latency.  The fault
+     campaign injects here; without it the schedule is bit-identical
+     to the jitter-free one. *)
+  let latency_of =
+    match jitter with None -> nominal | Some j -> fun id -> nominal id + max 0 (j id)
   in
   let counts = accel.Accel.counts in
   let starts = Array.make n 0 and finishes = Array.make n 0 in
@@ -294,9 +331,58 @@ let run ?(priority = Critical_path) ~accel ~policy (p : Program.t) =
     instructions = n;
     starts;
     finishes;
+    issue_base;
     stall_operand_cycles = !stall_operand;
     stall_structural_cycles = !stall_structural;
   }
+
+(* The PR-1 stall accounting, re-derived from nominal unit latencies
+   and checked against what the schedule actually recorded.  Under
+   fault injection this is the runtime assertion that flags latency
+   anomalies (a unit taking longer than its analytic model) and broken
+   degraded schedules; on a healthy run it always returns [Ok]. *)
+let check_invariants ~accel (p : Program.t) r =
+  let n = Array.length p.Program.instrs in
+  if r.instructions <> n || Array.length r.starts <> n then
+    Result.Error "result does not describe this program"
+  else begin
+    let latency_of = nominal_latency_of ~accel p in
+    let violation = ref None in
+    let flag msg = if !violation = None then violation := Some msg in
+    let operand = ref 0 and structural = ref 0 and makespan = ref 0 in
+    Array.iter
+      (fun (ins : Instr.t) ->
+        let id = ins.Instr.id in
+        let lat = latency_of id in
+        let base = r.issue_base.(id) in
+        let ready =
+          Array.fold_left (fun acc s -> max acc r.finishes.(s)) base ins.Instr.srcs
+        in
+        if r.finishes.(id) - r.starts.(id) <> lat then
+          flag
+            (Printf.sprintf "latency anomaly: #%d ran %d cycles, unit model says %d" id
+               (r.finishes.(id) - r.starts.(id))
+               lat)
+        else if r.starts.(id) < ready then
+          flag (Printf.sprintf "causality violation: #%d issued before its operands" id);
+        operand := !operand + (ready - base);
+        structural := !structural + (r.starts.(id) - ready);
+        makespan := max !makespan r.finishes.(id))
+      p.Program.instrs;
+    if !violation = None then begin
+      if !operand <> r.stall_operand_cycles then
+        flag
+          (Printf.sprintf "stall accounting: operand %d recorded, %d derived"
+             r.stall_operand_cycles !operand);
+      if !structural <> r.stall_structural_cycles then
+        flag
+          (Printf.sprintf "stall accounting: structural %d recorded, %d derived"
+             r.stall_structural_cycles !structural);
+      if !makespan <> r.cycles then
+        flag (Printf.sprintf "makespan %d recorded, %d derived" r.cycles !makespan)
+    end;
+    match !violation with None -> Ok () | Some msg -> Result.Error msg
+  end
 
 let frame_seconds r = r.seconds
 

@@ -1,0 +1,31 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+   Guarantees detection of any single-bit and any burst error up to 32
+   bits — the property the instruction-stream integrity check relies
+   on. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force table in
+  let crc = ref 0xFFFFFFFF in
+  String.iter (fun ch -> crc := t.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8)) s;
+  !crc lxor 0xFFFFFFFF
+
+(* Fletcher-32 over bytes: cheaper than CRC, still detects all
+   single-bit errors; used where a unit would realistically keep only
+   a running sum (per-instruction word checks). *)
+let fletcher32 s =
+  let a = ref 0 and b = ref 0 in
+  String.iter
+    (fun ch ->
+      a := (!a + Char.code ch) mod 65535;
+      b := (!b + !a) mod 65535)
+    s;
+  (!b lsl 16) lor !a

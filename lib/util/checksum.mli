@@ -1,0 +1,10 @@
+(** Checksums for instruction-stream integrity checking.
+
+    Both detect every single-bit corruption of their input; CRC-32
+    additionally detects all bursts up to 32 bits. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3, reflected). Result fits in 32 bits. *)
+
+val fletcher32 : string -> int
+(** Fletcher-32 over bytes. Result fits in 32 bits. *)

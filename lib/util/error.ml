@@ -1,0 +1,35 @@
+type phase = Solve | Compile | Generate | Schedule | Encode | Runtime
+
+let phase_name = function
+  | Solve -> "solve"
+  | Compile -> "compile"
+  | Generate -> "generate"
+  | Schedule -> "schedule"
+  | Encode -> "encode"
+  | Runtime -> "runtime"
+
+type t = { phase : phase; context : string list; message : string }
+
+exception Error of t
+
+let to_string e =
+  let ctx = match e.context with [] -> "" | cs -> " [" ^ String.concat " > " cs ^ "]" in
+  Printf.sprintf "%s%s: %s" (phase_name e.phase) ctx e.message
+
+let () =
+  Printexc.register_printer (function Error e -> Some (to_string e) | _ -> None)
+
+let fail ?(context = []) phase message = raise (Error { phase; context; message })
+
+let failf ?context phase fmt = Printf.ksprintf (fun message -> fail ?context phase message) fmt
+
+let with_context label f =
+  try f () with Error e -> raise (Error { e with context = label :: e.context })
+
+let guard ~phase f =
+  try Ok (f ()) with
+  | Error e -> Result.Error e
+  | Failure message -> Result.Error { phase; context = []; message }
+  | Invalid_argument message -> Result.Error { phase; context = []; message }
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

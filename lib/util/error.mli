@@ -1,0 +1,33 @@
+(** Shared structured errors across the pipeline.
+
+    A bare [failwith] deep inside the compiler or scheduler gives a
+    fault-injection campaign (or a user) nothing to act on.  [Error]
+    carries the pipeline phase where the failure happened and a
+    context trail ("which app > which algorithm > which factor"), so
+    campaign logs and CLI diagnostics stay actionable. *)
+
+type phase = Solve | Compile | Generate | Schedule | Encode | Runtime
+
+val phase_name : phase -> string
+
+type t = { phase : phase; context : string list; message : string }
+
+exception Error of t
+
+val fail : ?context:string list -> phase -> string -> 'a
+(** Raise [Error]. *)
+
+val failf : ?context:string list -> phase -> ('a, unit, string, 'b) format4 -> 'a
+(** [fail] with a format string. *)
+
+val with_context : string -> (unit -> 'a) -> 'a
+(** Run [f], prepending [label] to the context trail of any [Error]
+    escaping it. *)
+
+val guard : phase:phase -> (unit -> 'a) -> ('a, t) result
+(** Run [f], catching [Error] as well as legacy [Failure] /
+    [Invalid_argument] (attributed to [phase]) into a [result]. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -171,8 +171,13 @@ let test_compile_iterations_grows_linearly () =
 
 let test_compile_iterations_rejects_zero () =
   Alcotest.check_raises "zero iterations"
-    (Invalid_argument "Compile.compile_iterations: need at least one iteration") (fun () ->
-      ignore (Compile.compile_iterations ~iterations:0 (slam3d_graph 1)))
+    (Orianna_util.Error.Error
+       {
+         Orianna_util.Error.phase = Orianna_util.Error.Compile;
+         context = [ "compile_iterations" ];
+         message = "need at least one iteration";
+       })
+    (fun () -> ignore (Compile.compile_iterations ~iterations:0 (slam3d_graph 1)))
 
 let test_program_structure () =
   let g = slam3d_graph 5 in

@@ -1,0 +1,218 @@
+(* Fault injection, detection and recovery: checksum coverage, the
+   structured deadlock, optimizer guards, and campaign determinism. *)
+
+open Orianna_fg
+open Orianna_factors
+open Orianna_isa
+open Orianna_hw
+open Orianna_sim
+open Orianna_util
+module Compile = Orianna_compiler.Compile
+module Fault = Orianna_fault.Fault
+module Campaign = Orianna_fault.Campaign
+
+let small_graph () =
+  let g = Graph.create () in
+  Graph.add_variable g "x" (Var.Vector [| 1.0; 2.0 |]);
+  Graph.add_variable g "y" (Var.Vector [| 0.0; 0.0 |]);
+  Graph.add_factor g
+    (Motion_factors.state_cost ~name:"px" ~var:"x" ~target:[| 0.0; 0.0 |] ~sigmas:[| 1.0; 1.0 |]);
+  Graph.add_factor g (Motion_factors.smooth ~name:"s" ~a:"x" ~b:"y" ~dt:0.0 ~d:1 ~sigma:1.0);
+  g
+
+(* ---------- checksums ---------- *)
+
+let test_crc32_check_value () =
+  (* The standard CRC-32/IEEE check value. *)
+  Alcotest.(check int) "crc32(123456789)" 0xCBF43926 (Checksum.crc32 "123456789");
+  Alcotest.(check int) "crc32 of empty" 0 (Checksum.crc32 "")
+
+let test_checksums_catch_every_single_bit () =
+  (* CRC-32 and Fletcher-32 both guarantee detection of any
+     single-bit corruption: exhaustively flip every bit. *)
+  let data = "ORIA fault detection coverage probe \x00\x01\xfe\xff" in
+  let c0 = Checksum.crc32 data and f0 = Checksum.fletcher32 data in
+  for bit = 0 to (8 * String.length data) - 1 do
+    let corrupted = Fault.flip_bit_in_string data bit in
+    if Checksum.crc32 corrupted = c0 then Alcotest.failf "crc32 missed bit %d" bit;
+    if Checksum.fletcher32 corrupted = f0 then Alcotest.failf "fletcher32 missed bit %d" bit
+  done
+
+let test_image_single_bit_always_detected () =
+  (* Flip every bit of a real checksummed instruction image: the
+     fetch-path verifier must reject every corruption. *)
+  let p = Compile.compile (small_graph ()) in
+  let image = Encode.encode_checksummed p in
+  (match Encode.verify image with
+  | Ok payload -> Alcotest.(check string) "payload strips trailer" (Encode.encode p) payload
+  | Error msg -> Alcotest.failf "pristine image rejected: %s" msg);
+  for bit = 0 to (8 * String.length image) - 1 do
+    match Encode.verify (Fault.flip_bit_in_string image bit) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "bit %d escaped the trailer check" bit
+  done
+
+let test_decode_checksummed_roundtrip () =
+  let p = Compile.compile (small_graph ()) in
+  (* Native kernels need a registry, rebuilt from the source program
+     the way a deployment binds fixed-function blocks by name. *)
+  let registry = Hashtbl.create 16 in
+  Array.iter
+    (fun (i : Instr.t) ->
+      match i.Instr.op with
+      | Instr.Kernel k -> Hashtbl.replace registry k.Instr.kname k
+      | _ -> ())
+    p.Program.instrs;
+  let resolve name = Hashtbl.find registry name in
+  let p' = Encode.decode_checksummed ~resolve (Encode.encode_checksummed p) in
+  let a = Program.run p and b = Program.run p' in
+  List.iter
+    (fun (v, d) ->
+      let d' = List.assoc v b in
+      if not (Orianna_linalg.Vec.equal ~eps:1e-12 d d') then Alcotest.failf "output %s differs" v)
+    a;
+  (* A truncated image must be rejected, not decoded. *)
+  let image = Encode.encode_checksummed p in
+  match Encode.decode_checksummed (String.sub image 0 (String.length image - 1)) with
+  | _ -> Alcotest.fail "truncated image decoded"
+  | exception Encode.Decode_error _ -> ()
+
+(* ---------- bit flips ---------- *)
+
+let test_flip_bit_f64_involution () =
+  let rng = Rng.of_int 11 in
+  for _ = 1 to 200 do
+    let x = Rng.uniform rng ~lo:(-1e6) ~hi:1e6 in
+    let bit = Rng.int rng 64 in
+    let y = Fault.flip_bit_f64 x bit in
+    if Int64.bits_of_float y = Int64.bits_of_float x then
+      Alcotest.failf "bit %d flip left %h unchanged" bit x;
+    Alcotest.(check (float 0.0)) "involution" x (Fault.flip_bit_f64 y bit)
+  done
+
+(* ---------- structured deadlock ---------- *)
+
+let test_deadlock_is_structured () =
+  let p = Compile.compile (small_graph ()) in
+  let used = Unit_model.class_of_op p.Program.instrs.(0).Instr.op in
+  let base = Accel.base () in
+  let broken =
+    {
+      base with
+      Accel.name = "broken";
+      Accel.counts =
+        List.map (fun (c, n) -> if c = used then (c, 0) else (c, n)) base.Accel.counts;
+    }
+  in
+  match Schedule.run ~accel:broken ~policy:Schedule.Ooo_full p with
+  | _ -> Alcotest.fail "expected Schedule.Deadlock"
+  | exception Schedule.Deadlock { cycle; stuck; occupancy } ->
+      Alcotest.(check bool) "cycle non-negative" true (cycle >= 0);
+      Alcotest.(check bool) "stuck instructions reported" true (stuck <> []);
+      Alcotest.(check bool) "stuck ids valid" true
+        (List.for_all (fun i -> i >= 0 && i < Program.length p) stuck);
+      Alcotest.(check bool) "occupancy covers the dead class" true
+        (List.mem_assoc used occupancy)
+
+(* ---------- optimizer guards ---------- *)
+
+let test_optimizer_nan_guard () =
+  let g = small_graph () in
+  Graph.set_value g "x" (Var.Vector [| Float.nan; 0.0 |]);
+  let report = Optimizer.optimize g in
+  Alcotest.(check bool) "not converged" false report.Optimizer.converged;
+  (match report.Optimizer.reason with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no reason reported");
+  Alcotest.(check int) "stopped immediately" 0 report.Optimizer.iterations
+
+let test_optimizer_clean_run_has_no_reason_change () =
+  (* The guards must not perturb a healthy solve. *)
+  let g = small_graph () in
+  let report = Optimizer.optimize g in
+  Alcotest.(check bool) "converged" true report.Optimizer.converged;
+  Alcotest.(check bool) "final error finite" true (Float.is_finite report.Optimizer.final_error)
+
+(* ---------- degraded accelerators ---------- *)
+
+let test_with_masked () =
+  let base = Accel.base () in
+  Alcotest.(check bool) "last instance cannot be masked" true
+    (Accel.with_masked base Unit_model.Matmul = None);
+  let bigger = Accel.with_extra base Unit_model.Matmul in
+  match Accel.with_masked bigger Unit_model.Matmul with
+  | None -> Alcotest.fail "masking with a spare instance failed"
+  | Some degraded ->
+      Alcotest.(check int) "back to one instance" 1 (Accel.count degraded Unit_model.Matmul)
+
+let test_degraded_minimal () =
+  let big =
+    List.fold_left Accel.with_extra (Accel.base ())
+      [ Unit_model.Matmul; Unit_model.Matmul; Unit_model.Qr_unit; Unit_model.Dma ]
+  in
+  let d = Accel.degraded big in
+  List.iter
+    (fun (cls, n) ->
+      Alcotest.(check int) (Unit_model.class_name cls ^ " reduced to 1") 1 n)
+    d.Accel.counts
+
+(* ---------- campaign ---------- *)
+
+let campaign_input () =
+  let g = small_graph () in
+  let p = Compile.compile g in
+  (["small", g], p, Accel.with_extra (Accel.base ()) Unit_model.Matmul)
+
+let test_campaign_no_escapes () =
+  let graphs, program, accel = campaign_input () in
+  let s = Campaign.run ~rng:(Rng.of_int 42) ~graphs ~program ~accel () in
+  Alcotest.(check bool) "no escapes" false (Campaign.escaped s);
+  Alcotest.(check int) "all missions accounted" Campaign.default_config.Campaign.missions
+    s.Campaign.totals.Campaign.injected;
+  Alcotest.(check int) "events in mission order" Campaign.default_config.Campaign.missions
+    (List.length s.Campaign.events);
+  (* Per-class rows tie out against the totals. *)
+  let sum f = List.fold_left (fun acc (_, cs) -> acc + f cs) 0 s.Campaign.per_class in
+  Alcotest.(check int) "injected ties out" s.Campaign.totals.Campaign.injected
+    (sum (fun (cs : Campaign.class_stats) -> cs.Campaign.injected));
+  Alcotest.(check int) "recovered ties out" s.Campaign.totals.Campaign.recovered
+    (sum (fun (cs : Campaign.class_stats) -> cs.Campaign.recovered))
+
+let test_campaign_deterministic () =
+  let run () =
+    let graphs, program, accel = campaign_input () in
+    Campaign.run ~rng:(Rng.of_int 7) ~graphs ~program ~accel ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "summaries identical" true (a = b);
+  let c =
+    let graphs, program, accel = campaign_input () in
+    Campaign.run ~rng:(Rng.of_int 8) ~graphs ~program ~accel ()
+  in
+  Alcotest.(check bool) "different seed differs" true (a.Campaign.events <> c.Campaign.events)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "checksum",
+        [
+          Alcotest.test_case "crc32 check value" `Quick test_crc32_check_value;
+          Alcotest.test_case "single-bit coverage" `Quick test_checksums_catch_every_single_bit;
+          Alcotest.test_case "image single-bit detected" `Quick test_image_single_bit_always_detected;
+          Alcotest.test_case "checksummed roundtrip" `Quick test_decode_checksummed_roundtrip;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "flip_bit_f64 involution" `Quick test_flip_bit_f64_involution;
+          Alcotest.test_case "deadlock structured" `Quick test_deadlock_is_structured;
+          Alcotest.test_case "optimizer nan guard" `Quick test_optimizer_nan_guard;
+          Alcotest.test_case "optimizer clean run" `Quick test_optimizer_clean_run_has_no_reason_change;
+          Alcotest.test_case "with_masked" `Quick test_with_masked;
+          Alcotest.test_case "degraded minimal" `Quick test_degraded_minimal;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "no escapes" `Quick test_campaign_no_escapes;
+          Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+        ] );
+    ]

@@ -263,6 +263,52 @@ let prop_encode_roundtrip_semantics =
       let a = Orianna_isa.Program.run p and b = Orianna_isa.Program.run p' in
       List.for_all (fun (v, d) -> Vec.equal ~eps:1e-12 d (List.assoc v b)) a)
 
+(* ---------- schedule robustness ---------- *)
+
+let all_policies =
+  [ Orianna_sim.Schedule.In_order; Orianna_sim.Schedule.Ooo_fine; Orianna_sim.Schedule.Ooo_full ]
+
+let prop_degraded_schedule_invariants =
+  (* Stall/latency/makespan accounting must hold even on the worst
+     sustainable accelerator (every class at one instance), under
+     every issue policy. *)
+  QCheck.Test.make ~name:"schedule: invariants hold on degraded accelerators" ~count:30 pair_seed
+    (fun (seed, nvars) ->
+      let g = random_linear_graph seed nvars in
+      let p = Orianna_compiler.Compile.compile g in
+      let accel =
+        Orianna_hw.Accel.degraded
+          (Orianna_hw.Accel.with_extra (Orianna_hw.Accel.base ()) Orianna_hw.Unit_model.Matmul)
+      in
+      List.for_all
+        (fun policy ->
+          let r = Orianna_sim.Schedule.run ~accel ~policy p in
+          match Orianna_sim.Schedule.check_invariants ~accel p r with
+          | Ok () -> true
+          | Error _ -> false)
+        all_policies)
+
+let prop_jitter_always_detected =
+  (* Any positive latency jitter breaks the analytic latency model,
+     so the invariant check must flag the run under every policy. *)
+  QCheck.Test.make ~name:"schedule: latency jitter never passes invariants" ~count:30 pair_seed
+    (fun (seed, nvars) ->
+      let g = random_linear_graph seed nvars in
+      let p = Orianna_compiler.Compile.compile g in
+      let accel = Orianna_hw.Accel.base () in
+      let rng = Rng.of_int (seed + 1) in
+      let n = Array.length p.Orianna_isa.Program.instrs in
+      QCheck.assume (n > 0);
+      let target = Rng.int rng n and extra = 1 + Rng.int rng 32 in
+      let jitter id = if id = target then extra else 0 in
+      List.for_all
+        (fun policy ->
+          let r = Orianna_sim.Schedule.run ~accel ~policy ~jitter p in
+          match Orianna_sim.Schedule.check_invariants ~accel p r with
+          | Ok () -> false
+          | Error _ -> true)
+        all_policies)
+
 let prop_robust_weight_bounded =
   QCheck.Test.make ~name:"robust: weights in [0,1], 1 at zero residual" ~count:200
     QCheck.(make Gen.(pair (float_bound_exclusive 50.0) (float_range 0.1 10.0))
@@ -293,6 +339,8 @@ let () =
         prop_cholesky_matches_qr;
         prop_compiled_matches_software;
         prop_encode_roundtrip_semantics;
+        prop_degraded_schedule_invariants;
+        prop_jitter_always_detected;
         prop_robust_weight_bounded;
       ]
   in
