@@ -122,6 +122,32 @@ let run_micro_benchmarks () =
     (List.sort compare !rows);
   print_newline ()
 
+(* Serving-runtime macro-benchmark: one fixed-seed campaign over all
+   four applications, summarized to BENCH_serve.json so regressions in
+   cache hit rate, latency percentiles or deadline misses diff cleanly
+   across commits (the campaign is deterministic — any change in the
+   file is a behaviour change, not noise). *)
+let emit_serve_bench () =
+  let module Serve = Orianna_serve.Serve in
+  let module Request = Orianna_serve.Request in
+  let trace =
+    Request.generate ~rng:(Rng.of_int 42)
+      ~shape:(Request.Poisson { rate_hz = 20000.0 })
+      ~apps:(List.map (fun (a : App.t) -> a.App.name) App.all)
+      ~deadline_s:(1e-3, 4e-3) ~n:300
+  in
+  let report = Serve.run ~trace () in
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc (Orianna_obs.Json.to_string (Serve.report_json report));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "Serving campaign (seed 42, 300 requests, 4 apps) -> %s\n" path;
+  Printf.printf "  completed %d/%d, cache hit rate %.3f, p99 %.3f ms, deadline misses %d\n\n"
+    report.Serve.completed report.Serve.total
+    (Orianna_serve.Cache.hit_rate report.Serve.cache)
+    report.Serve.p99_ms report.Serve.deadline_misses
+
 let () =
   print_endline "=====================================================================";
   print_endline " ORIANNA evaluation reproduction (one entry per paper table/figure)";
@@ -129,4 +155,5 @@ let () =
   print_newline ();
   Orianna.Experiments.run_all ~missions:30 ();
   print_endline "=====================================================================";
+  emit_serve_bench ();
   run_micro_benchmarks ()

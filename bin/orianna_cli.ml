@@ -8,6 +8,8 @@
      profile     instrumented compile→generate→simulate with span tree
      mission     Tbl. 5 mission success rates
      sphere      the Sec. 4.3 representation study
+     faults      seeded fault-injection campaign with recovery stats
+     serve       multi-tenant serving runtime over an accelerator fleet
      experiments regenerate every table and figure *)
 
 open Cmdliner
@@ -326,13 +328,38 @@ let profile_cmd =
          & opt (enum [ ("ooo", Schedule.Ooo_full); ("fine", Schedule.Ooo_fine); ("io", Schedule.In_order) ]) Schedule.Ooo_full
          & info [ "policy" ] ~doc:"Issue policy: ooo, fine or io.")
   in
-  let run app seed policy trace report =
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the run report as JSON to stdout instead of text tables — the same \
+                   machine-readable shape `serve --report` emits.")
+  in
+  let run app seed policy json trace report =
     Obs.enable ();
     let frame = Obs.with_span "compile" (fun () -> Pipeline.frame app ~seed) in
     let accel =
       Obs.with_span "generate" (fun () -> (Pipeline.generate frame.Pipeline.program).Dse.best)
     in
     let r = Obs.with_span "simulate" (fun () -> Schedule.run ~accel ~policy frame.Pipeline.program) in
+    let meta =
+      [
+        ("command", "profile");
+        ("app", app.App.name);
+        ("seed", string_of_int seed);
+        ("policy", Schedule.policy_name policy);
+      ]
+    in
+    let profile_extra =
+      ( "profile",
+        Orianna_obs.Json.Obj
+          [
+            ("instructions", Orianna_obs.Json.int r.Schedule.instructions);
+            ("cycles", Orianna_obs.Json.int r.Schedule.cycles);
+            ("seconds", Orianna_obs.Json.Num r.Schedule.seconds);
+          ] )
+    in
+    if json then print_endline (Report.to_string ~meta ~extra:[ profile_extra ] ())
+    else begin
     Format.printf "%s %s: %d instructions, %d cycles (%.3f ms simulated)@.@." app.App.name
       (Schedule.policy_name policy) r.Schedule.instructions r.Schedule.cycles
       (r.Schedule.seconds *. 1e3);
@@ -367,6 +394,7 @@ let profile_cmd =
             ])
         histograms;
       Texttable.print t
+    end
     end;
     Option.iter
       (fun path ->
@@ -377,19 +405,11 @@ let profile_cmd =
       trace;
     Option.iter
       (fun path ->
-        Report.write_file
-          ~meta:
-            [
-              ("command", "profile");
-              ("app", app.App.name);
-              ("seed", string_of_int seed);
-              ("policy", Schedule.policy_name policy);
-            ]
-          path;
+        Report.write_file ~meta ~extra:[ profile_extra ] path;
         Format.printf "wrote %s@." path)
       report
   in
-  let term = Term.(const run $ app_pos $ seed_flag $ policy $ trace_flag $ report_flag) in
+  let term = Term.(const run $ app_pos $ seed_flag $ policy $ json_flag $ trace_flag $ report_flag) in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Run the full compile -> generate -> simulate pipeline under telemetry and print the span tree and counters.")
@@ -452,6 +472,197 @@ let faults_cmd =
        ~doc:"Monte-Carlo fault-injection campaign: inject seeded faults, report detection / recovery / escape rates, exit non-zero iff a fault escapes.")
     term
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let module Serve = Orianna_serve.Serve in
+  let module Request = Orianna_serve.Request in
+  let module Dispatch = Orianna_serve.Dispatch in
+  let module Cache = Orianna_serve.Cache in
+  let apps_flag =
+    Arg.(value & opt string "all"
+         & info [ "apps" ] ~docv:"APPS"
+             ~doc:"Comma-separated application names, or \"all\" for every registered app.")
+  in
+  let requests = Arg.(value & opt int 200 & info [ "requests" ] ~docv:"N" ~doc:"Trace length.") in
+  let rate = Arg.(value & opt float 20000.0 & info [ "rate" ] ~docv:"HZ" ~doc:"Mean arrival rate.") in
+  let burst =
+    Arg.(value & opt int 0
+         & info [ "burst" ] ~docv:"K"
+             ~doc:"Clump arrivals into back-to-back groups of $(docv) (0 = Poisson).")
+  in
+  let instances =
+    Arg.(value & opt int Serve.default_config.Serve.instances
+         & info [ "instances" ] ~docv:"N" ~doc:"Accelerator fleet size.")
+  in
+  let policy =
+    Arg.(value
+         & opt (enum [ ("fifo", Dispatch.Fifo); ("edf", Dispatch.Edf); ("least-loaded", Dispatch.Least_loaded) ])
+             Serve.default_config.Serve.policy
+         & info [ "policy" ] ~doc:"Dispatch policy: fifo, edf or least-loaded.")
+  in
+  let queue =
+    Arg.(value & opt int Serve.default_config.Serve.queue_capacity
+         & info [ "queue" ] ~docv:"N" ~doc:"Admission-queue capacity.")
+  in
+  let max_batch =
+    Arg.(value & opt int Serve.default_config.Serve.max_batch
+         & info [ "max-batch" ] ~docv:"N" ~doc:"Largest same-program batch.")
+  in
+  let cache_capacity =
+    Arg.(value & opt int Serve.default_config.Serve.cache_capacity
+         & info [ "cache" ] ~docv:"N" ~doc:"Compile-cache capacity (entries).")
+  in
+  let deadline_ms =
+    Arg.(value & opt (pair ~sep:',' float float) (1.0, 4.0)
+         & info [ "deadline-ms" ] ~docv:"LO,HI" ~doc:"Uniform deadline slack range in ms.")
+  in
+  let mask =
+    let parse s =
+      match String.index_opt s '@' with
+      | None -> Error (`Msg "expected CLASS@INSTANCE, e.g. qr@1")
+      | Some i -> (
+          let cname = String.lowercase_ascii (String.sub s 0 i) in
+          let idx = String.sub s (i + 1) (String.length s - i - 1) in
+          match
+            ( List.find_opt
+                (fun c -> String.lowercase_ascii (Unit_model.class_name c) = cname)
+                Unit_model.all_classes,
+              int_of_string_opt idx )
+          with
+          | Some c, Some i -> Ok (i, c)
+          | None, _ ->
+              Error
+                (`Msg
+                   (Printf.sprintf "unknown unit class %S (try: %s)" cname
+                      (String.concat ", "
+                         (List.map
+                            (fun c -> String.lowercase_ascii (Unit_model.class_name c))
+                            Unit_model.all_classes))))
+          | _, None -> Error (`Msg (Printf.sprintf "bad instance index %S" idx)))
+    in
+    let print ppf (i, c) = Format.fprintf ppf "%s@%d" (Unit_model.class_name c) i in
+    Arg.(value & opt_all (conv (parse, print)) []
+         & info [ "mask" ] ~docv:"CLASS@IDX"
+             ~doc:"Degrade a fleet instance: mask one failed unit of CLASS out of instance IDX \
+                   (repeatable). The dispatcher reroutes programs the degraded instance can no \
+                   longer execute.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the machine-readable report to stdout.")
+  in
+  let baseline =
+    Arg.(value & opt (some file) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Compare the deadline-miss rate against a checked-in baseline JSON and exit \
+                   non-zero on regression.")
+  in
+  let run apps_spec seed requests rate burst instances policy queue max_batch cache_capacity
+      deadline_ms masked json baseline trace report =
+    let apps =
+      if String.lowercase_ascii apps_spec = "all" then List.map (fun (a : App.t) -> a.App.name) App.all
+      else
+        String.split_on_char ',' apps_spec
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun s -> (App.find s).App.name)
+    in
+    if apps = [] then begin
+      Format.eprintf "no applications selected@.";
+      exit 2
+    end;
+    let shape =
+      if burst > 1 then Request.Bursty { rate_hz = rate; burst } else Request.Poisson { rate_hz = rate }
+    in
+    let dl_lo, dl_hi = deadline_ms in
+    let trace_reqs =
+      Request.generate ~rng:(Rng.of_int seed) ~shape ~apps
+        ~deadline_s:(dl_lo *. 1e-3, dl_hi *. 1e-3)
+        ~n:requests
+    in
+    let config =
+      {
+        Orianna_serve.Serve.default_config with
+        Serve.instances;
+        masked;
+        policy;
+        queue_capacity = queue;
+        max_batch;
+        cache_capacity;
+      }
+    in
+    let meta =
+      [
+        ("command", "serve");
+        ("apps", String.concat "," apps);
+        ("seed", string_of_int seed);
+        ("requests", string_of_int requests);
+        ("policy", Dispatch.policy_name policy);
+      ]
+    in
+    if trace <> None || report <> None then Obs.enable ();
+    let r = Serve.run ~config ~trace:trace_reqs () in
+    Option.iter
+      (fun path ->
+        Chrome_trace.write_file path
+          (Chrome_trace.of_spans (Obs.spans ()) @ Serve.chrome_events r);
+        Format.printf "wrote %s@." path)
+      trace;
+    (* The flat run report embeds the campaign summary under "serve",
+       the same shape `profile --json` uses for its section. *)
+    Option.iter
+      (fun path ->
+        Report.write_file ~meta ~extra:[ ("serve", Serve.report_json r) ] path;
+        Format.printf "wrote %s@." path)
+      report;
+    if json then print_endline (Orianna_obs.Json.to_string
+                                  (Orianna_obs.Json.Obj
+                                     [
+                                       ("meta", Orianna_obs.Json.Obj (List.map (fun (k, v) -> (k, Orianna_obs.Json.Str v)) meta));
+                                       ("serve", Serve.report_json r);
+                                     ]))
+    else print_string (Serve.table r);
+    Option.iter
+      (fun path ->
+        let ic = open_in path in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let json = Orianna_obs.Json.parse contents in
+        let key = String.lowercase_ascii apps_spec in
+        match Orianna_obs.Json.member key json with
+        | None ->
+            Format.eprintf "baseline %s has no entry for %S@." path key;
+            exit 1
+        | Some entry -> (
+            match Orianna_obs.Json.member "deadline_miss_rate" entry with
+            | Some (Orianna_obs.Json.Num expected) ->
+                let tolerance = 0.005 in
+                if r.Serve.deadline_miss_rate > expected +. tolerance then begin
+                  Format.eprintf
+                    "DEADLINE-MISS REGRESSION: %s: rate %.4f exceeds baseline %.4f (+%.3f tolerance)@."
+                    key r.Serve.deadline_miss_rate expected tolerance;
+                  exit 1
+                end
+                else
+                  Format.printf "baseline ok: %s deadline-miss rate %.4f <= %.4f (+%.3f)@." key
+                    r.Serve.deadline_miss_rate expected tolerance
+            | _ ->
+                Format.eprintf "baseline %s entry %S lacks deadline_miss_rate@." path key;
+                exit 1))
+      baseline
+  in
+  let term =
+    Term.(const run $ apps_flag $ seed_flag $ requests $ rate $ burst $ instances $ policy $ queue
+          $ max_batch $ cache_capacity $ deadline_ms $ mask $ json_flag $ baseline $ trace_flag
+          $ report_flag)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Replay a seeded arrival trace through the multi-tenant serving runtime: compile \
+             cache, bounded admission queue, batching and deadline-aware dispatch over an \
+             accelerator fleet.")
+    term
+
 (* ---------------- experiments ---------------- *)
 
 let experiments_cmd =
@@ -459,7 +670,7 @@ let experiments_cmd =
   let only =
     Arg.(value & opt (some string) None
          & info [ "only" ] ~docv:"ID"
-             ~doc:"Run a single experiment: table1, table4, table5, fig13..fig20, breakdown,                    frame-rates, ablations, robust, manhattan, faults.")
+             ~doc:"Run a single experiment: table1, table4, table5, fig13..fig20, breakdown,                    frame-rates, ablations, robust, manhattan, faults, serve.")
   in
   let run missions only trace report =
     with_obs ~trace ~report ~meta:[ ("command", "experiments") ] @@ fun () ->
@@ -488,6 +699,7 @@ let experiments_cmd =
         | "robust" -> print_string (Experiments.extension_robust ())
         | "manhattan" -> print_string (Experiments.extension_manhattan ())
         | "faults" -> print_string (Experiments.extension_faults ~missions:16 ())
+        | "serve" -> print_string (Experiments.extension_serve ())
         | other -> Format.eprintf "unknown experiment %S@." other));
     []
   in
@@ -509,4 +721,4 @@ let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "orianna" ~version:"1.0.0" ~doc:"Accelerator generation for optimization-based robotics." in
   exit (Cmd.eval (Cmd.group ~default info
-    [ solve_cmd; compile_cmd; generate_cmd; simulate_cmd; trace_cmd; profile_cmd; image_cmd; mission_cmd; sphere_cmd; g2o_cmd; faults_cmd; experiments_cmd ]))
+    [ solve_cmd; compile_cmd; generate_cmd; simulate_cmd; trace_cmd; profile_cmd; image_cmd; mission_cmd; sphere_cmd; g2o_cmd; faults_cmd; serve_cmd; experiments_cmd ]))

@@ -643,6 +643,45 @@ let extension_faults ?(missions = 16) () =
     App.all;
   Texttable.render t
 
+let extension_serve ?(requests = 200) () =
+  let module Serve = Orianna_serve.Serve in
+  let module Request = Orianna_serve.Request in
+  let module Dispatch = Orianna_serve.Dispatch in
+  let module Cache = Orianna_serve.Cache in
+  let t =
+    Texttable.create
+      ~title:
+        (Printf.sprintf
+           "Extension: serving runtime (%d requests per app, Poisson 20 kHz, seed 42)" requests)
+      ~headers:
+        [ "App"; "Policy"; "Completed"; "Rejected"; "Cache hit"; "p50 ms"; "p99 ms"; "DL miss" ]
+  in
+  List.iter
+    (fun (app : App.t) ->
+      List.iter
+        (fun policy ->
+          let trace =
+            Request.generate ~rng:(Rng.of_int 42)
+              ~shape:(Request.Poisson { rate_hz = 20000.0 })
+              ~apps:[ app.App.name ] ~deadline_s:(1e-3, 4e-3) ~n:requests
+          in
+          let config = { Serve.default_config with Serve.policy } in
+          let r = Serve.run ~config ~trace () in
+          Texttable.add_row t
+            [
+              app.App.name;
+              Dispatch.policy_name policy;
+              string_of_int r.Serve.completed;
+              string_of_int (List.length r.Serve.rejections);
+              Printf.sprintf "%.1f%%" (100.0 *. Cache.hit_rate r.Serve.cache);
+              Printf.sprintf "%.3f" r.Serve.p50_ms;
+              Printf.sprintf "%.3f" r.Serve.p99_ms;
+              Printf.sprintf "%.1f%%" (100.0 *. r.Serve.deadline_miss_rate);
+            ])
+        [ Orianna_serve.Dispatch.Fifo; Orianna_serve.Dispatch.Edf; Orianna_serve.Dispatch.Least_loaded ])
+    App.all;
+  Texttable.render t
+
 let run_all ?(missions = 30) () =
   print_string (table1 ());
   print_newline ();
@@ -661,4 +700,6 @@ let run_all ?(missions = 30) () =
   print_string (extension_manhattan ());
   print_newline ();
   print_string (extension_faults ());
+  print_newline ();
+  print_string (extension_serve ());
   print_newline ()

@@ -70,6 +70,12 @@ val extension_manhattan : unit -> string
 (** Extension: a Manhattan-world (M3500-style) 2D pose graph solved
     end to end. *)
 
+val extension_serve : ?requests:int -> unit -> string
+(** Extension: the multi-tenant serving runtime (seed 42) — per app
+    and dispatch policy, completions / rejections, compile-cache hit
+    rate, p50/p99 latency and deadline-miss rate over a Poisson
+    arrival trace. *)
+
 val extension_faults : ?missions:int -> unit -> string
 (** Fault-injection campaigns (seed 42) across all four apps:
     per-app injected / detected / recovered / masked / escaped counts

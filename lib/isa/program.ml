@@ -32,6 +32,95 @@ end
 
 let length t = Array.length t.instrs
 
+(* Canonical byte serialization for {!hash}: the semantic content of
+   the stream — opcodes with their payloads, shapes, phases, algorithm
+   ids, dependencies and outputs — but {e not} the human-readable
+   [tag], which the binary wire format ([Encode]) also drops.  Hashes
+   therefore survive an encode/decode round trip. *)
+let hash t =
+  let buf = Buffer.create 4096 in
+  let w8 v = Buffer.add_char buf (Char.chr (v land 0xFF)) in
+  let w32 v =
+    w8 v;
+    w8 (v lsr 8);
+    w8 (v lsr 16);
+    w8 (v lsr 24)
+  in
+  let wf64 x = Buffer.add_int64_le buf (Int64.bits_of_float x) in
+  let wstring s =
+    w32 (String.length s);
+    Buffer.add_string buf s
+  in
+  let wmat m =
+    let rows, cols = Mat.dims m in
+    w32 rows;
+    w32 cols;
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        wf64 (Mat.get m i j)
+      done
+    done
+  in
+  let opcode_tag : Instr.opcode -> int = function
+    | Instr.Load _ -> 0
+    | Instr.Vadd -> 1
+    | Instr.Vsub -> 2
+    | Instr.Scale _ -> 3
+    | Instr.Neg -> 4
+    | Instr.Transpose -> 5
+    | Instr.Gemm -> 6
+    | Instr.Gemv -> 7
+    | Instr.Logm -> 8
+    | Instr.Expm -> 9
+    | Instr.Skew -> 10
+    | Instr.Jr -> 11
+    | Instr.Jrinv -> 12
+    | Instr.Assemble _ -> 13
+    | Instr.Extract _ -> 14
+    | Instr.Qr -> 15
+    | Instr.Backsolve -> 16
+    | Instr.Kernel _ -> 17
+  in
+  let phase_tag = function Instr.Construct -> 0 | Instr.Decompose -> 1 | Instr.Backsub -> 2 in
+  Buffer.add_string buf "ORIAH1";
+  w32 (Array.length t.instrs);
+  w32 (List.length t.outputs);
+  Array.iter
+    (fun (ins : Instr.t) ->
+      w8 (opcode_tag ins.Instr.op);
+      w8 (phase_tag ins.Instr.phase);
+      w32 ins.Instr.algo;
+      w32 ins.Instr.rows;
+      w32 ins.Instr.cols;
+      w32 (Array.length ins.Instr.srcs);
+      Array.iter w32 ins.Instr.srcs;
+      match ins.Instr.op with
+      | Instr.Load m -> wmat m
+      | Instr.Scale s -> wf64 s
+      | Instr.Assemble places ->
+          w32 (List.length places);
+          List.iter
+            (fun (r, c) ->
+              w32 r;
+              w32 c)
+            places
+      | Instr.Extract { row; col; rows; cols } ->
+          w32 row;
+          w32 col;
+          w32 rows;
+          w32 cols
+      | Instr.Kernel k ->
+          wstring k.Instr.kname;
+          w32 k.Instr.flops
+      | _ -> ())
+    t.instrs;
+  List.iter
+    (fun (name, reg) ->
+      wstring name;
+      w32 reg)
+    t.outputs;
+  Int32.of_int (Orianna_util.Checksum.crc32 (Buffer.contents buf) land 0xFFFFFFFF)
+
 let validate t =
   Array.iteri
     (fun i (ins : Instr.t) ->

@@ -42,6 +42,14 @@ end
 
 val length : t -> int
 
+val hash : t -> int32
+(** Content hash: CRC-32 over a canonical byte serialization of the
+    stream (opcodes with payloads, shapes, phases, algorithm ids,
+    dependencies, outputs — everything {!Encode} puts on the wire, and
+    nothing it drops, so the hash is stable across an encode/decode
+    round trip).  Serving-layer compile caches use it as the fallback
+    content key when no factor-graph template is available. *)
+
 val validate : t -> unit
 (** Check SSA ordering and source-range sanity; raises [Failure]. *)
 

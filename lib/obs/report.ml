@@ -20,20 +20,21 @@ let histogram_json (h : Obs.histogram) =
       ("last", Json.Num h.last);
     ]
 
-let to_json ?(meta = []) () =
+let to_json ?(meta = []) ?(extra = []) () =
   Json.Obj
-    [
-      ("meta", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) meta));
-      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) (Obs.counters ())));
-      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) (Obs.gauges ())));
-      ("histograms", Json.Obj (List.map (fun (k, h) -> (k, histogram_json h)) (Obs.histograms ())));
-      ("spans", Json.Arr (List.map span_json (Obs.spans ())));
-    ]
+    ([
+       ("meta", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) meta));
+       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) (Obs.counters ())));
+       ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) (Obs.gauges ())));
+       ("histograms", Json.Obj (List.map (fun (k, h) -> (k, histogram_json h)) (Obs.histograms ())));
+       ("spans", Json.Arr (List.map span_json (Obs.spans ())));
+     ]
+    @ extra)
 
-let to_string ?meta () = Json.to_string (to_json ?meta ())
+let to_string ?meta ?extra () = Json.to_string (to_json ?meta ?extra ())
 
-let write_file ?meta path =
+let write_file ?meta ?extra path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ?meta ()))
+    (fun () -> output_string oc (to_string ?meta ?extra ()))

@@ -3,10 +3,14 @@
     forest — for regression dashboards and scripted comparison of
     runs ([jq .counters] and friends). *)
 
-val to_json : ?meta:(string * string) list -> unit -> Json.t
+val to_json : ?meta:(string * string) list -> ?extra:(string * Json.t) list -> unit -> Json.t
 (** Snapshot the current registry. [meta] lands as a string-valued
-    object under ["meta"] (app name, seed, policy, ...). *)
+    object under ["meta"] (app name, seed, policy, ...); [extra]
+    fields are appended verbatim at the top level — the hook through
+    which domain reports (the serving runtime's campaign summary, the
+    profile subcommand's pipeline numbers) share this one
+    machine-readable shape. *)
 
-val to_string : ?meta:(string * string) list -> unit -> string
+val to_string : ?meta:(string * string) list -> ?extra:(string * Json.t) list -> unit -> string
 
-val write_file : ?meta:(string * string) list -> string -> unit
+val write_file : ?meta:(string * string) list -> ?extra:(string * Json.t) list -> string -> unit

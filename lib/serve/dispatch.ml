@@ -1,0 +1,113 @@
+open Orianna_hw
+open Orianna_sim
+
+type policy = Fifo | Edf | Least_loaded
+
+let policy_name = function Fifo -> "fifo" | Edf -> "edf" | Least_loaded -> "least-loaded"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "fifo" -> Some Fifo
+  | "edf" -> Some Edf
+  | "least-loaded" | "least_loaded" | "ll" -> Some Least_loaded
+  | _ -> None
+
+type instance = {
+  idx : int;
+  masked : Unit_model.unit_class option;
+  mutable busy_until_s : float;
+  mutable busy_total_s : float;
+  mutable served : int;
+  mutable batches : int;
+}
+
+type fleet = {
+  arr : instance array;
+  (* (program hash, masked class name) -> makespan seconds, or None
+     when the masked accelerator cannot execute the program at all. *)
+  service_memo : (int32 * string, float option) Hashtbl.t;
+}
+
+let make_fleet ~instances ~masked =
+  if instances <= 0 then invalid_arg "Dispatch.make_fleet: need at least one instance";
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= instances then
+        invalid_arg (Printf.sprintf "Dispatch.make_fleet: masked instance %d out of range" i))
+    masked;
+  {
+    arr =
+      Array.init instances (fun idx ->
+          {
+            idx;
+            masked = List.assoc_opt idx masked;
+            busy_until_s = 0.0;
+            busy_total_s = 0.0;
+            served = 0;
+            batches = 0;
+          });
+    service_memo = Hashtbl.create 64;
+  }
+
+let instances fleet = fleet.arr
+
+let service_time_s fleet inst (entry : Cache.entry) =
+  let mask_name = match inst.masked with None -> "" | Some c -> Unit_model.class_name c in
+  let key = (entry.Cache.program_hash, mask_name) in
+  match Hashtbl.find_opt fleet.service_memo key with
+  | Some cached -> cached
+  | None ->
+      let accel =
+        match inst.masked with
+        | None -> Some entry.Cache.dse.Dse.best
+        | Some c -> Accel.with_masked entry.Cache.dse.Dse.best c
+      in
+      let time =
+        match accel with
+        | None -> None
+        | Some accel -> (
+            try
+              Some (Schedule.run ~accel ~policy:Schedule.Ooo_full entry.Cache.program).Schedule.seconds
+            with Schedule.Deadlock _ -> None)
+      in
+      Hashtbl.replace fleet.service_memo key time;
+      time
+
+let select policy queue ~key =
+  let by f = List.stable_sort (fun a b -> compare (f (key a)) (f (key b))) queue in
+  match policy with
+  | Fifo | Least_loaded -> by (fun r -> (r.Request.arrival_s, r.Request.id))
+  | Edf -> by (fun r -> (r.Request.deadline_s, r.Request.id))
+
+let take_batch ~max_batch ~key keyof queue =
+  let rec go taken rest = function
+    | [] -> (List.rev taken, List.rev rest)
+    | x :: xs ->
+        if List.length taken < max_batch && keyof x = key then go (x :: taken) rest xs
+        else go taken (x :: rest) xs
+  in
+  go [] [] queue
+
+let preference policy fleet ~now_s =
+  let free = Array.to_list fleet.arr |> List.filter (fun i -> i.busy_until_s <= now_s) in
+  match policy with
+  | Fifo | Edf ->
+      List.stable_sort (fun a b -> compare (a.busy_until_s, a.idx) (b.busy_until_s, b.idx)) free
+  | Least_loaded ->
+      List.stable_sort (fun a b -> compare (a.busy_total_s, a.idx) (b.busy_total_s, b.idx)) free
+
+let choose_instance policy fleet ~now_s ~entry =
+  match preference policy fleet ~now_s with
+  | [] -> None
+  | first :: _ as prefs ->
+      let rec walk = function
+        | [] -> None
+        | inst :: rest -> (
+            match service_time_s fleet inst entry with
+            | Some t -> Some (inst, t, inst.idx <> first.idx)
+            | None -> walk rest)
+      in
+      walk prefs
+
+let can_any_serve fleet entry =
+  Array.exists (fun inst -> service_time_s fleet inst entry <> None) fleet.arr

@@ -1,0 +1,73 @@
+(** Batching and fleet routing for the serving runtime.
+
+    The dispatcher owns an N-instance accelerator fleet.  Each
+    instance is an independent reconfigurable slot that can load any
+    generated accelerator; an instance may be {e degraded} — one unit
+    instance of some class failed and masked out via
+    {!Orianna_hw.Accel.with_masked} — in which case programs it can
+    still serve run slower, and programs whose required class has no
+    live instance left cannot be placed on it at all (the dispatcher
+    reroutes them to a healthy peer).
+
+    Service times come from the cycle-level simulator: one request's
+    service on an instance is the {!Orianna_sim.Schedule.run} makespan
+    of the cached program on the instance's (possibly masked)
+    accelerator, memoized per (program, mask) pair. *)
+
+open Orianna_hw
+
+type policy = Fifo | Edf | Least_loaded
+(** Request-selection / placement policy:
+    - [Fifo]: requests in arrival order, instance free earliest;
+    - [Edf]: earliest absolute deadline first, instance free earliest;
+    - [Least_loaded]: arrival order, instance with the least
+      accumulated busy time. *)
+
+val policy_name : policy -> string
+
+val policy_of_string : string -> policy option
+
+type instance = {
+  idx : int;
+  masked : Unit_model.unit_class option;  (** degraded: one failed unit of this class *)
+  mutable busy_until_s : float;
+  mutable busy_total_s : float;
+  mutable served : int;  (** requests completed *)
+  mutable batches : int;
+}
+
+type fleet
+
+val make_fleet : instances:int -> masked:(int * Unit_model.unit_class) list -> fleet
+(** [instances] must be positive; [masked] lists per-instance failed
+    unit classes (instance indices out of range are rejected). *)
+
+val instances : fleet -> instance array
+
+val service_time_s : fleet -> instance -> Cache.entry -> float option
+(** Makespan in seconds of one request of this program on this
+    instance, or [None] if the instance cannot serve it (its masked
+    accelerator drops the last unit of a class the program needs).
+    Memoized. *)
+
+val select : policy -> 'a list -> key:('a -> Request.t) -> 'a list
+(** Queue contents reordered by the policy's request-selection rule
+    (stable; ties broken by request id). *)
+
+val take_batch : max_batch:int -> key:int32 -> ('a -> int32) -> 'a list -> 'a list * 'a list
+(** [take_batch ~max_batch ~key keyof queue] splits the queue into the
+    first [max_batch] elements with structural key [key] (in queue
+    order) and the rest (order preserved). *)
+
+val choose_instance :
+  policy -> fleet -> now_s:float -> entry:Cache.entry -> (instance * float * bool) option
+(** Route one batch: among instances free at [now_s] that can serve
+    the program, pick per policy; returns the instance, its
+    per-request service time, and whether the batch was {e rerouted}
+    (the policy's first choice could not serve the program and a peer
+    was substituted).  [None] when no free instance can serve it. *)
+
+val can_any_serve : fleet -> Cache.entry -> bool
+(** True if at least one instance (busy or free) can serve the
+    program — false means the program is unservable by this fleet and
+    its requests must be rejected rather than waited on forever. *)

@@ -1,0 +1,51 @@
+(** The serving runtime's unit of work, and seeded arrival-trace
+    generators.
+
+    A request names an application template (by registry name), a
+    workload seed (the problem {e instance} — values differ, the
+    factor-graph structure does not), a priority class and an absolute
+    deadline on the virtual clock.  Traces are generated through a
+    split table of independent {!Orianna_util.Rng} streams (arrivals,
+    app choice, priorities, deadline slack), so adding a stream or
+    reordering draws in one dimension cannot perturb the others and a
+    trace is bit-for-bit reproducible from its seed. *)
+
+type priority = Low | Normal | High
+
+val priority_name : priority -> string
+
+val priority_rank : priority -> int
+(** [Low] = 0 < [Normal] = 1 < [High] = 2; admission shedding compares
+    ranks. *)
+
+type t = {
+  id : int;  (** position in the trace, unique *)
+  app : string;  (** application registry name *)
+  seed : int;  (** workload seed: same structure, fresh values *)
+  priority : priority;
+  arrival_s : float;  (** virtual-clock arrival time *)
+  deadline_s : float;  (** absolute virtual-clock deadline *)
+}
+
+type shape =
+  | Poisson of { rate_hz : float }
+      (** memoryless arrivals at the given mean rate *)
+  | Bursty of { rate_hz : float; burst : int }
+      (** same mean rate, but arrivals clumped into back-to-back
+          groups of [burst] — the overload pattern that exercises
+          queue backpressure and shedding *)
+
+val generate :
+  rng:Orianna_util.Rng.t ->
+  shape:shape ->
+  apps:string list ->
+  deadline_s:float * float ->
+  n:int ->
+  t list
+(** [generate ~rng ~shape ~apps ~deadline_s:(lo, hi) ~n] draws [n]
+    requests in arrival order.  Each request's app is drawn uniformly
+    from [apps], its priority from a fixed 15/70/15 High/Normal/Low
+    mix, and its deadline as arrival plus a uniform slack in
+    [[lo, hi)]. *)
+
+val pp : Format.formatter -> t -> unit

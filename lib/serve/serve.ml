@@ -1,0 +1,569 @@
+open Orianna_util
+open Orianna_hw
+open Orianna_sim
+module App = Orianna_apps.App
+module Compile = Orianna_compiler.Compile
+module Obs = Orianna_obs.Obs
+module Json = Orianna_obs.Json
+module Chrome_trace = Orianna_obs.Chrome_trace
+
+type config = {
+  instances : int;
+  masked : (int * Unit_model.unit_class) list;
+  policy : Dispatch.policy;
+  queue_capacity : int;
+  max_batch : int;
+  batch_overhead_s : float;
+  miss_penalty_s : float;
+  cache_capacity : int;
+  budget : Resource.t;
+}
+
+let default_config =
+  {
+    instances = 4;
+    masked = [];
+    policy = Dispatch.Edf;
+    queue_capacity = 64;
+    max_batch = 8;
+    batch_overhead_s = 20e-6;
+    miss_penalty_s = 2e-3;
+    cache_capacity = 8;
+    budget = Resource.zc706;
+  }
+
+type rejection = Queue_full | Shed_lower_priority | Unservable
+
+let rejection_name = function
+  | Queue_full -> "queue-full"
+  | Shed_lower_priority -> "shed-lower-priority"
+  | Unservable -> "unservable"
+
+type completion = {
+  request : Request.t;
+  instance : int;
+  batch : int;
+  start_s : float;
+  finish_s : float;
+  cache_hit : bool;
+  rerouted : bool;
+}
+
+type batch = {
+  bid : int;
+  binstance : int;
+  bapp : string;
+  bsize : int;
+  bstart_s : float;
+  bfinish_s : float;
+  bhit : bool;
+  brerouted : bool;
+}
+
+type instance_report = {
+  iidx : int;
+  imasked : string option;
+  iserved : int;
+  ibatches : int;
+  ibusy_s : float;
+  iutil : float;
+}
+
+type report = {
+  total : int;
+  admitted : int;
+  completed : int;
+  rejections : (Request.t * rejection) list;
+  completions : completion list;
+  batches : batch list;
+  makespan_s : float;
+  throughput_rps : float;
+  mean_latency_s : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_latency_ms : float;
+  deadline_misses : int;
+  deadline_miss_rate : float;
+  queue_depth_max : int;
+  queue_samples : (float * int) list;
+  rerouted : int;
+  cache : Cache.stats;
+  fleet : instance_report list;
+  per_app : (string * int * int) list;
+}
+
+(* One queued request, with its structural cache key (computed at
+   admission from the request's own problem instance). *)
+type queued = { req : Request.t; key : int32 }
+
+let compile_entry ~budget (req : Request.t) () =
+  let app = App.find req.Request.app in
+  let graphs = app.App.graphs (Rng.of_int req.Request.seed) in
+  let program = Compile.compile_application graphs in
+  let dse =
+    Dse.optimize ~budget
+      ~evaluate:(fun accel ->
+        (Schedule.run ~accel ~policy:Schedule.Ooo_full program).Schedule.seconds)
+      ()
+  in
+  (program, dse)
+
+let run ?(config = default_config) ~trace () =
+  if config.queue_capacity <= 0 then invalid_arg "Serve.run: queue_capacity must be positive";
+  if config.max_batch <= 0 then invalid_arg "Serve.run: max_batch must be positive";
+  let trace =
+    List.stable_sort
+      (fun (a : Request.t) b -> compare (a.Request.arrival_s, a.Request.id) (b.Request.arrival_s, b.Request.id))
+      trace
+  in
+  let arr = Array.of_list trace in
+  let n = Array.length arr in
+  let fleet = Dispatch.make_fleet ~instances:config.instances ~masked:config.masked in
+  let cache = Cache.create ~capacity:config.cache_capacity in
+  let clock = ref 0.0 in
+  let ai = ref 0 in
+  let queue = ref ([] : queued list) in
+  let rejections = ref [] in
+  let completions = ref [] in
+  let batches = ref [] in
+  let batch_counter = ref 0 in
+  let queue_depth_max = ref 0 in
+  let queue_samples = ref [] in
+  let rerouted_total = ref 0 in
+  let admitted = ref 0 in
+  (* Keys whose compile happened but whose miss penalty has not yet
+     been charged to a dispatched batch. *)
+  let pending_penalty = Hashtbl.create 8 in
+  let reject r why =
+    rejections := (r, why) :: !rejections;
+    Obs.count ("serve.rejected." ^ rejection_name why)
+  in
+  let sample_queue () =
+    let depth = List.length !queue in
+    if depth > !queue_depth_max then queue_depth_max := depth;
+    (match !queue_samples with
+    | (t, d) :: _ when t = !clock && d = depth -> ()
+    | _ -> queue_samples := (!clock, depth) :: !queue_samples);
+    Obs.set_gauge "serve.queue_depth" (float_of_int depth)
+  in
+  let admit (r : Request.t) =
+    match App.find r.Request.app with
+    | exception Not_found -> reject r Unservable
+    | app ->
+        let key = Cache.structural_key (app.App.graphs (Rng.of_int r.Request.seed)) in
+        let q = { req = r; key } in
+        if List.length !queue >= config.queue_capacity then begin
+          (* Shed-on-overload: a strictly lower-priority queued request
+             with the slackest deadline makes room; otherwise the
+             arrival itself is turned away. *)
+          let rank q = Request.priority_rank q.req.Request.priority in
+          let victim =
+            List.fold_left
+              (fun acc cand ->
+                if rank cand >= Request.priority_rank r.Request.priority then acc
+                else
+                  match acc with
+                  | Some best
+                    when (rank best, -.best.req.Request.deadline_s, -best.req.Request.id)
+                         <= (rank cand, -.cand.req.Request.deadline_s, -cand.req.Request.id) ->
+                      acc
+                  | _ -> Some cand)
+              None !queue
+          in
+          match victim with
+          | Some v ->
+              queue := List.filter (fun q -> q.req.Request.id <> v.req.Request.id) !queue @ [ q ];
+              admitted := !admitted + 1;
+              Obs.count "serve.admitted";
+              reject v.req Shed_lower_priority
+          | None -> reject r Queue_full
+        end
+        else begin
+          queue := !queue @ [ q ];
+          admitted := !admitted + 1;
+          Obs.count "serve.admitted"
+        end
+  in
+  let dispatch_batch (head : queued) (hit : bool) (inst : Dispatch.instance)
+      (per_req_s : float) (was_rerouted : bool) =
+    let batch_reqs, rest =
+      Dispatch.take_batch ~max_batch:config.max_batch ~key:head.key (fun q -> q.key) !queue
+    in
+    queue := rest;
+    let penalty =
+      if Hashtbl.mem pending_penalty head.key then begin
+        Hashtbl.remove pending_penalty head.key;
+        config.miss_penalty_s
+      end
+      else 0.0
+    in
+    let start = !clock in
+    let overhead = config.batch_overhead_s +. penalty in
+    let bid = !batch_counter in
+    incr batch_counter;
+    let finish_last = ref start in
+    List.iteri
+      (fun i q ->
+        let finish = start +. overhead +. (float_of_int (i + 1) *. per_req_s) in
+        finish_last := finish;
+        completions :=
+          {
+            request = q.req;
+            instance = inst.Dispatch.idx;
+            batch = bid;
+            start_s = start;
+            finish_s = finish;
+            cache_hit = hit;
+            rerouted = was_rerouted;
+          }
+          :: !completions;
+        Obs.count "serve.completed";
+        Obs.observe "serve.latency_ms" ((finish -. q.req.Request.arrival_s) *. 1e3);
+        Obs.observe "serve.wait_ms" ((start -. q.req.Request.arrival_s) *. 1e3);
+        if finish > q.req.Request.deadline_s then Obs.count "serve.deadline_miss")
+      batch_reqs;
+    inst.Dispatch.busy_until_s <- !finish_last;
+    inst.Dispatch.busy_total_s <- inst.Dispatch.busy_total_s +. (!finish_last -. start);
+    inst.Dispatch.served <- inst.Dispatch.served + List.length batch_reqs;
+    inst.Dispatch.batches <- inst.Dispatch.batches + 1;
+    if was_rerouted then begin
+      incr rerouted_total;
+      Obs.count "serve.rerouted"
+    end;
+    Obs.count "serve.batches";
+    batches :=
+      {
+        bid;
+        binstance = inst.Dispatch.idx;
+        bapp = head.req.Request.app;
+        bsize = List.length batch_reqs;
+        bstart_s = start;
+        bfinish_s = !finish_last;
+        bhit = hit;
+        brerouted = was_rerouted;
+      }
+      :: !batches
+  in
+  let try_dispatch () =
+    if !queue = [] then false
+    else begin
+      let ordered = Dispatch.select config.policy !queue ~key:(fun q -> q.req) in
+      let rec walk seen = function
+        | [] -> false
+        | q :: rest when List.mem q.key seen -> walk seen rest
+        | q :: rest -> (
+            let hit, entry =
+              Cache.find_or_add cache q.key (fun () ->
+                  let p, d = compile_entry ~budget:config.budget q.req () in
+                  Hashtbl.replace pending_penalty q.key ();
+                  (p, d))
+            in
+            match Dispatch.choose_instance config.policy fleet ~now_s:!clock ~entry with
+            | Some (inst, per_req_s, was_rerouted) ->
+                dispatch_batch q hit inst per_req_s was_rerouted;
+                true
+            | None ->
+                if Dispatch.can_any_serve fleet entry then walk (q.key :: seen) rest
+                else begin
+                  (* No instance, busy or free, can ever execute this
+                     program: structured rejection instead of livelock. *)
+                  let doomed, rest_q = List.partition (fun c -> c.key = q.key) !queue in
+                  queue := rest_q;
+                  List.iter (fun c -> reject c.req Unservable) doomed;
+                  true
+                end)
+      in
+      walk [] ordered
+    end
+  in
+  let advance () =
+    let next_arrival = if !ai < n then Some arr.(!ai).Request.arrival_s else None in
+    let next_free =
+      Array.fold_left
+        (fun acc (i : Dispatch.instance) ->
+          if i.Dispatch.busy_until_s > !clock then
+            match acc with
+            | Some t when t <= i.Dispatch.busy_until_s -> acc
+            | _ -> Some i.Dispatch.busy_until_s
+          else acc)
+        None (Dispatch.instances fleet)
+    in
+    let next =
+      match (next_arrival, next_free) with
+      | None, t | t, None -> t
+      | Some a, Some f -> Some (Float.min a f)
+    in
+    match next with
+    | Some t ->
+        clock := Float.max !clock t;
+        true
+    | None -> false
+  in
+  while !ai < n || !queue <> [] do
+    while !ai < n && arr.(!ai).Request.arrival_s <= !clock do
+      admit arr.(!ai);
+      incr ai
+    done;
+    sample_queue ();
+    if not (try_dispatch ()) then
+      if not (advance ()) then begin
+        (* No future event can unblock the queue (defensive: reachable
+           only if every instance is idle yet incapable, which
+           [try_dispatch] already rejects). *)
+        List.iter (fun q -> reject q.req Unservable) !queue;
+        queue := []
+      end
+  done;
+  sample_queue ();
+  let completions =
+    List.sort (fun a b -> compare a.request.Request.id b.request.Request.id) !completions
+  in
+  let batches = List.rev !batches in
+  let rejections = List.rev !rejections in
+  let completed = List.length completions in
+  let latencies =
+    Array.of_list (List.map (fun c -> c.finish_s -. c.request.Request.arrival_s) completions)
+  in
+  let makespan_s = List.fold_left (fun acc c -> Float.max acc c.finish_s) 0.0 completions in
+  let deadline_misses =
+    List.length (List.filter (fun c -> c.finish_s > c.request.Request.deadline_s) completions)
+  in
+  let pctl p = if Array.length latencies = 0 then 0.0 else Stats.percentile latencies p *. 1e3 in
+  let per_app =
+    List.fold_left
+      (fun acc c ->
+        let app = c.request.Request.app in
+        let done_, miss = try List.assoc app acc with Not_found -> (0, 0) in
+        (app, (done_ + 1, miss + if c.finish_s > c.request.Request.deadline_s then 1 else 0))
+        :: List.remove_assoc app acc)
+      [] completions
+    |> List.map (fun (app, (d, m)) -> (app, d, m))
+    |> List.sort compare
+  in
+  let report =
+    {
+      total = n;
+      admitted = !admitted;
+      completed;
+      rejections;
+      completions;
+      batches;
+      makespan_s;
+      throughput_rps = (if makespan_s > 0.0 then float_of_int completed /. makespan_s else 0.0);
+      mean_latency_s = Stats.mean latencies;
+      p50_ms = pctl 50.0;
+      p95_ms = pctl 95.0;
+      p99_ms = pctl 99.0;
+      max_latency_ms = (if Array.length latencies = 0 then 0.0 else Stats.max latencies *. 1e3);
+      deadline_misses;
+      deadline_miss_rate =
+        (if completed = 0 then 0.0 else float_of_int deadline_misses /. float_of_int completed);
+      queue_depth_max = !queue_depth_max;
+      queue_samples = List.rev !queue_samples;
+      rerouted = !rerouted_total;
+      cache = Cache.stats cache;
+      fleet =
+        Array.to_list (Dispatch.instances fleet)
+        |> List.map (fun (i : Dispatch.instance) ->
+               {
+                 iidx = i.Dispatch.idx;
+                 imasked = Option.map Unit_model.class_name i.Dispatch.masked;
+                 iserved = i.Dispatch.served;
+                 ibatches = i.Dispatch.batches;
+                 ibusy_s = i.Dispatch.busy_total_s;
+                 iutil =
+                   (if makespan_s > 0.0 then i.Dispatch.busy_total_s /. makespan_s else 0.0);
+               });
+      per_app;
+    }
+  in
+  Obs.set_gauge "serve.deadline_miss_rate" report.deadline_miss_rate;
+  Obs.set_gauge "serve.cache.hit_rate" (Cache.hit_rate report.cache);
+  Obs.set_gauge "serve.throughput_rps" report.throughput_rps;
+  report
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let report_json r =
+  let cache = r.cache in
+  Json.Obj
+    [
+      ("total", Json.int r.total);
+      ("admitted", Json.int r.admitted);
+      ("completed", Json.int r.completed);
+      ( "rejected",
+        Json.Obj
+          (List.map
+             (fun why ->
+               ( rejection_name why,
+                 Json.int (List.length (List.filter (fun (_, w) -> w = why) r.rejections)) ))
+             [ Queue_full; Shed_lower_priority; Unservable ]) );
+      ("makespan_s", Json.Num r.makespan_s);
+      ("throughput_rps", Json.Num r.throughput_rps);
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("mean", Json.Num (r.mean_latency_s *. 1e3));
+            ("p50", Json.Num r.p50_ms);
+            ("p95", Json.Num r.p95_ms);
+            ("p99", Json.Num r.p99_ms);
+            ("max", Json.Num r.max_latency_ms);
+          ] );
+      ("deadline_misses", Json.int r.deadline_misses);
+      ("deadline_miss_rate", Json.Num r.deadline_miss_rate);
+      ("queue_depth_max", Json.int r.queue_depth_max);
+      ("rerouted_batches", Json.int r.rerouted);
+      ("batches", Json.int (List.length r.batches));
+      ( "cache",
+        Json.Obj
+          [
+            ("capacity", Json.int cache.Cache.capacity);
+            ("entries", Json.int cache.Cache.entries);
+            ("hits", Json.int cache.Cache.hits);
+            ("misses", Json.int cache.Cache.misses);
+            ("evictions", Json.int cache.Cache.evictions);
+            ("hit_rate", Json.Num (Cache.hit_rate cache));
+          ] );
+      ( "fleet",
+        Json.Arr
+          (List.map
+             (fun i ->
+               Json.Obj
+                 [
+                   ("instance", Json.int i.iidx);
+                   ( "masked",
+                     match i.imasked with None -> Json.Null | Some c -> Json.Str c );
+                   ("served", Json.int i.iserved);
+                   ("batches", Json.int i.ibatches);
+                   ("busy_s", Json.Num i.ibusy_s);
+                   ("utilization", Json.Num i.iutil);
+                 ])
+             r.fleet) );
+      ( "per_app",
+        Json.Obj
+          (List.map
+             (fun (app, done_, miss) ->
+               ( app,
+                 Json.Obj
+                   [ ("completed", Json.int done_); ("deadline_misses", Json.int miss) ] ))
+             r.per_app) );
+    ]
+
+let table r =
+  let t = Texttable.create ~title:"Serving campaign" ~headers:[ "metric"; "value" ] in
+  let add k v = Texttable.add_row t [ k; v ] in
+  add "requests" (string_of_int r.total);
+  add "admitted" (string_of_int r.admitted);
+  add "completed" (string_of_int r.completed);
+  add "rejected" (string_of_int (List.length r.rejections));
+  add "makespan" (Printf.sprintf "%.3f ms" (r.makespan_s *. 1e3));
+  add "throughput" (Printf.sprintf "%.0f req/s" r.throughput_rps);
+  add "latency mean/p50/p95/p99"
+    (Printf.sprintf "%.3f / %.3f / %.3f / %.3f ms" (r.mean_latency_s *. 1e3) r.p50_ms r.p95_ms
+       r.p99_ms);
+  add "deadline misses"
+    (Printf.sprintf "%d (%.1f%%)" r.deadline_misses (100.0 *. r.deadline_miss_rate));
+  add "queue depth max" (string_of_int r.queue_depth_max);
+  add "batches" (string_of_int (List.length r.batches));
+  add "rerouted batches" (string_of_int r.rerouted);
+  add "cache hit rate"
+    (Printf.sprintf "%.1f%% (%d hits, %d misses, %d evictions)"
+       (100.0 *. Cache.hit_rate r.cache)
+       r.cache.Cache.hits r.cache.Cache.misses r.cache.Cache.evictions);
+  let f = Texttable.create ~title:"Fleet" ~headers:[ "instance"; "masked"; "served"; "batches"; "busy"; "util" ] in
+  List.iter
+    (fun i ->
+      Texttable.add_row f
+        [
+          string_of_int i.iidx;
+          (match i.imasked with None -> "-" | Some c -> c);
+          string_of_int i.iserved;
+          string_of_int i.ibatches;
+          Printf.sprintf "%.3f ms" (i.ibusy_s *. 1e3);
+          Printf.sprintf "%.0f%%" (100.0 *. i.iutil);
+        ])
+    r.fleet;
+  Texttable.render t ^ "\n" ^ Texttable.render f
+
+let fleet_pid = 2
+
+let chrome_events r =
+  let header =
+    Chrome_trace.Process_name { pid = fleet_pid; name = "serving fleet" }
+    :: List.map
+         (fun i ->
+           Chrome_trace.Thread_name
+             {
+               pid = fleet_pid;
+               tid = i.iidx;
+               name =
+                 (match i.imasked with
+                 | None -> Printf.sprintf "instance %d" i.iidx
+                 | Some c -> Printf.sprintf "instance %d (degraded: %s)" i.iidx c);
+             })
+         r.fleet
+  in
+  let slices =
+    List.map
+      (fun b ->
+        Chrome_trace.Duration
+          {
+            name = Printf.sprintf "%s x%d" b.bapp b.bsize;
+            cat = "serve";
+            pid = fleet_pid;
+            tid = b.binstance;
+            ts_us = b.bstart_s *. 1e6;
+            dur_us = (b.bfinish_s -. b.bstart_s) *. 1e6;
+            args =
+              [
+                ("batch", Json.int b.bid);
+                ("cache_hit", Json.Bool b.bhit);
+                ("rerouted", Json.Bool b.brerouted);
+              ];
+          })
+      r.batches
+  in
+  let queue_series =
+    List.map
+      (fun (t, d) ->
+        Chrome_trace.Counter
+          {
+            name = "serve.queue_depth";
+            pid = fleet_pid;
+            ts_us = t *. 1e6;
+            series = [ ("depth", float_of_int d) ];
+          })
+      r.queue_samples
+  in
+  let misses =
+    List.filter (fun c -> c.finish_s > c.request.Request.deadline_s) r.completions
+    |> List.sort (fun a b -> compare a.finish_s b.finish_s)
+  in
+  let miss_series =
+    List.mapi
+      (fun i c ->
+        Chrome_trace.Counter
+          {
+            name = "serve.deadline_misses";
+            pid = fleet_pid;
+            ts_us = c.finish_s *. 1e6;
+            series = [ ("missed", float_of_int (i + 1)) ];
+          })
+      misses
+  in
+  let miss_instants =
+    List.map
+      (fun c ->
+        Chrome_trace.Instant
+          {
+            name = Printf.sprintf "deadline-miss req#%d" c.request.Request.id;
+            cat = "serve";
+            pid = fleet_pid;
+            tid = c.instance;
+            ts_us = c.finish_s *. 1e6;
+          })
+      misses
+  in
+  header @ slices @ queue_series @ miss_series @ miss_instants

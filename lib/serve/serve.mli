@@ -1,0 +1,116 @@
+(** The multi-tenant serving runtime: a deterministic discrete-event
+    simulation of many clients sharing a fleet of generated
+    accelerators.
+
+    Layered on the existing pipeline (compile → generate → simulate),
+    the runtime adds what one-shot invocation lacks: a
+    content-addressed {!Cache} so repeated templates skip compilation
+    and hardware generation entirely, a bounded admission queue with
+    priority-aware shed-on-overload, and a {!Dispatch} batcher that
+    groups same-program requests and routes batches across the fleet
+    under a pluggable policy, rerouting around degraded instances.
+
+    Time is a virtual clock advanced from {!Orianna_sim.Schedule.run}
+    makespans, so a campaign is bit-for-bit reproducible from its
+    trace: no wall-clock value enters the report.  When telemetry is
+    enabled, throughput, latency, queue depth, reroutes and cache
+    behaviour are mirrored into {!Orianna_obs.Obs}. *)
+
+open Orianna_hw
+
+type config = {
+  instances : int;  (** fleet size *)
+  masked : (int * Unit_model.unit_class) list;
+      (** degraded instances: (fleet index, failed unit class) *)
+  policy : Dispatch.policy;
+  queue_capacity : int;  (** admission-queue bound *)
+  max_batch : int;  (** largest same-program batch *)
+  batch_overhead_s : float;  (** per-batch dispatch / reconfiguration cost *)
+  miss_penalty_s : float;
+      (** modeled compile + generate latency charged to the batch that
+          triggers a cache miss *)
+  cache_capacity : int;
+  budget : Resource.t;  (** hardware-generation budget on a miss *)
+}
+
+val default_config : config
+(** 4 instances, none masked, EDF, queue of 64, batches of 8, 20 µs
+    batch overhead, 2 ms miss penalty, 8 cache entries, ZC706. *)
+
+type rejection =
+  | Queue_full  (** arrived over a full queue with no lower-priority victim *)
+  | Shed_lower_priority  (** evicted from the queue by a higher-priority arrival *)
+  | Unservable  (** unknown app, or no fleet instance can execute the program *)
+
+val rejection_name : rejection -> string
+
+type completion = {
+  request : Request.t;
+  instance : int;
+  batch : int;
+  start_s : float;  (** batch dispatch time *)
+  finish_s : float;
+  cache_hit : bool;
+  rerouted : bool;
+}
+
+type batch = {
+  bid : int;
+  binstance : int;
+  bapp : string;
+  bsize : int;
+  bstart_s : float;
+  bfinish_s : float;
+  bhit : bool;
+  brerouted : bool;
+}
+
+type instance_report = {
+  iidx : int;
+  imasked : string option;  (** failed unit class name *)
+  iserved : int;
+  ibatches : int;
+  ibusy_s : float;
+  iutil : float;  (** busy / makespan *)
+}
+
+type report = {
+  total : int;
+  admitted : int;
+  completed : int;
+  rejections : (Request.t * rejection) list;  (** rejection order *)
+  completions : completion list;  (** request-id order *)
+  batches : batch list;  (** dispatch order *)
+  makespan_s : float;
+  throughput_rps : float;
+  mean_latency_s : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_latency_ms : float;
+  deadline_misses : int;
+  deadline_miss_rate : float;  (** misses / completed; 0 when none completed *)
+  queue_depth_max : int;
+  queue_samples : (float * int) list;  (** (virtual time, depth) *)
+  rerouted : int;  (** batches placed away from the policy's first choice *)
+  cache : Cache.stats;
+  fleet : instance_report list;
+  per_app : (string * int * int) list;  (** app, completed, deadline misses *)
+}
+
+val run : ?config:config -> trace:Request.t list -> unit -> report
+(** Replay one arrival trace to completion.  Every admitted request is
+    either completed or structurally rejected; nothing is lost. *)
+
+val report_json : report -> Orianna_obs.Json.t
+(** Deterministic machine-readable summary (no wall-clock content);
+    embedded under ["serve"] in {!Orianna_obs.Report} exports so serve
+    and profile reports share one shape. *)
+
+val table : report -> string
+(** Human-readable summary tables. *)
+
+val chrome_events : report -> Orianna_obs.Chrome_trace.event list
+(** Per-instance batch tracks plus queue-depth and cumulative
+    deadline-miss counter series (one virtual second maps to one trace
+    second). *)

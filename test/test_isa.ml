@@ -117,6 +117,38 @@ let test_buffer_generated_design_fits () =
   let r = Orianna_sim.Schedule.run ~accel ~policy:Orianna_sim.Schedule.Ooo_full p in
   Alcotest.(check bool) "fits" true (Orianna_sim.Buffer_model.fits accel p r)
 
+(* ---------- Program.hash ---------- *)
+
+let test_hash_roundtrip_stable () =
+  (* The serving cache's fallback content key must survive the wire:
+     hash over the canonical encoding, excluding the debug tag. *)
+  let check p =
+    let p' = Encode.decode (Encode.encode p) in
+    Alcotest.(check int32) "hash survives encode/decode" (Program.hash p) (Program.hash p')
+  in
+  check (symbolic_program ());
+  let p = kernel_program () in
+  let registry = Hashtbl.create 16 in
+  Array.iter
+    (fun (i : Instr.t) ->
+      match i.Instr.op with
+      | Instr.Kernel k -> Hashtbl.replace registry k.Instr.kname k
+      | _ -> ())
+    p.Program.instrs;
+  let resolve name =
+    match Hashtbl.find_opt registry name with
+    | Some k -> k
+    | None -> raise (Encode.Decode_error ("missing " ^ name))
+  in
+  let p' = Encode.decode ~resolve (Encode.encode p) in
+  Alcotest.(check int32) "kernel program too" (Program.hash p) (Program.hash p')
+
+let test_hash_deterministic_and_discriminating () =
+  let a = symbolic_program () and b = kernel_program () in
+  Alcotest.(check int32) "recompile hashes identically" (Program.hash (symbolic_program ()))
+    (Program.hash a);
+  Alcotest.(check bool) "different programs differ" true (Program.hash a <> Program.hash b)
+
 let test_buffer_spill_monotone () =
   let p = symbolic_program () in
   let accel = Orianna_hw.Accel.base () in
@@ -138,6 +170,8 @@ let () =
           Alcotest.test_case "kernel registry" `Quick test_encode_kernel_needs_registry;
           Alcotest.test_case "rejects garbage" `Quick test_encode_rejects_garbage;
           Alcotest.test_case "compact" `Quick test_encode_compact;
+          Alcotest.test_case "hash roundtrip" `Quick test_hash_roundtrip_stable;
+          Alcotest.test_case "hash discriminates" `Quick test_hash_deterministic_and_discriminating;
         ] );
       ( "buffer",
         [

@@ -1,0 +1,214 @@
+(* The serving runtime: compile-cache keying and eviction, request
+   conservation under every dispatch policy (QCheck), bit-for-bit
+   campaign determinism, shed-on-overload, and rerouting around a
+   degraded fleet instance. *)
+
+open Orianna_util
+open Orianna_serve
+module App = Orianna_apps.App
+module Unit_model = Orianna_hw.Unit_model
+module Json = Orianna_obs.Json
+
+let apps2 = [ "MobileRobot"; "Manipulator" ]
+
+let trace ?(apps = apps2) ?(shape = Request.Poisson { rate_hz = 20000.0 }) ~seed ~n () =
+  Request.generate ~rng:(Rng.of_int seed) ~shape ~apps ~deadline_s:(1e-3, 4e-3) ~n
+
+(* A small fleet and cache keep each campaign's compile + DSE work to
+   one or two misses, so the QCheck loop stays fast. *)
+let small_config ?(instances = 2) ?(masked = []) ?(policy = Dispatch.Edf) ?(queue_capacity = 32)
+    ?(cache_capacity = 4) () =
+  { Serve.default_config with instances; masked; policy; queue_capacity; cache_capacity }
+
+(* ---------- cache ---------- *)
+
+let test_structural_key_seed_invariant () =
+  (* Different workload seeds perturb values, never structure: the
+     whole point of content addressing is that they collide. *)
+  let k seed = Cache.structural_key (App.mobile_robot.App.graphs (Rng.of_int seed)) in
+  Alcotest.(check bool) "seeds collide" true (k 1 = k 2 && k 2 = k 999);
+  let km seed = Cache.structural_key (App.manipulator.App.graphs (Rng.of_int seed)) in
+  Alcotest.(check bool) "apps differ" true (k 1 <> km 1)
+
+let test_cache_counts_and_lru () =
+  let compiles = ref 0 in
+  let cache = Cache.create ~capacity:2 in
+  let fake key =
+    ( key,
+      fun () ->
+        incr compiles;
+        let p = Orianna_compiler.Compile.compile_application (App.mobile_robot.App.graphs (Rng.of_int 1)) in
+        let budget = Orianna_hw.Resource.zc706 in
+        let dse =
+          Orianna_hw.Dse.optimize ~budget
+            ~evaluate:(fun accel ->
+              (Orianna_sim.Schedule.run ~accel ~policy:Orianna_sim.Schedule.Ooo_full p)
+                .Orianna_sim.Schedule.seconds)
+            ()
+        in
+        (p, dse) )
+  in
+  let lookup key = ignore (Cache.find_or_add cache (fst (fake key)) (snd (fake key))) in
+  lookup 1l;
+  lookup 1l;
+  lookup 2l;
+  (* key 1 is most recent after this touch; inserting key 3 must evict 2. *)
+  lookup 1l;
+  lookup 3l;
+  Alcotest.(check bool) "evicted the LRU entry" true (Cache.find cache 2l = None);
+  Alcotest.(check bool) "kept the recent entry" true (Cache.find cache 1l <> None);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "hits" 2 s.Cache.hits;
+  Alcotest.(check int) "misses" 3 s.Cache.misses;
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+  Alcotest.(check int) "compile once per miss" 3 !compiles
+
+(* ---------- conservation (QCheck) ---------- *)
+
+let ids l = List.sort_uniq compare l
+
+let check_conserved (t : Request.t list) (r : Serve.report) =
+  let completed = List.map (fun c -> c.Serve.request.Request.id) r.Serve.completions in
+  let rejected = List.map (fun (req, _) -> req.Request.id) r.Serve.rejections in
+  let all = List.map (fun (req : Request.t) -> req.Request.id) t in
+  r.Serve.total = List.length t
+  && List.length completed + List.length rejected = r.Serve.total
+  && List.length (ids completed) = List.length completed
+  && List.length (ids rejected) = List.length rejected
+  && ids (completed @ rejected) = ids all
+
+let conservation_arb =
+  QCheck.(
+    make
+      Gen.(
+        quad (int_range 0 1_000_000) (int_range 0 2) (int_range 1 3) (int_range 2 24))
+      ~print:QCheck.Print.(quad int int int int))
+
+let prop_conservation =
+  QCheck.Test.make ~name:"serve: drained campaign conserves every request" ~count:8
+    conservation_arb (fun (seed, pol, instances, queue_capacity) ->
+      let policy = List.nth [ Dispatch.Fifo; Dispatch.Edf; Dispatch.Least_loaded ] pol in
+      let shape =
+        if seed mod 2 = 0 then Request.Poisson { rate_hz = 30000.0 }
+        else Request.Bursty { rate_hz = 30000.0; burst = 6 }
+      in
+      let t = trace ~shape ~seed ~n:40 () in
+      let config = small_config ~instances ~policy ~queue_capacity () in
+      check_conserved t (Serve.run ~config ~trace:t ()))
+
+(* ---------- determinism ---------- *)
+
+let test_determinism () =
+  let run () =
+    let t = trace ~seed:42 ~n:80 () in
+    Json.to_string (Serve.report_json (Serve.run ~config:(small_config ()) ~trace:t ()))
+  in
+  Alcotest.(check string) "bit-for-bit from seed" (run ()) (run ())
+
+let test_trace_generator_shape () =
+  let t = trace ~seed:7 ~n:50 () in
+  Alcotest.(check int) "n requests" 50 (List.length t);
+  List.iteri (fun i (r : Request.t) -> Alcotest.(check int) "ids in order" i r.Request.id) t;
+  ignore
+    (List.fold_left
+       (fun prev (r : Request.t) ->
+         Alcotest.(check bool) "arrivals sorted" true (r.Request.arrival_s >= prev);
+         Alcotest.(check bool) "deadline after arrival" true
+           (r.Request.deadline_s > r.Request.arrival_s);
+         r.Request.arrival_s)
+       0.0 t)
+
+(* ---------- overload shedding ---------- *)
+
+let test_overload_sheds_but_conserves () =
+  let t =
+    trace ~apps:[ "MobileRobot" ] ~shape:(Request.Bursty { rate_hz = 200000.0; burst = 16 })
+      ~seed:11 ~n:120 ()
+  in
+  let config = small_config ~instances:1 ~queue_capacity:4 ~policy:Dispatch.Fifo () in
+  let r = Serve.run ~config ~trace:t () in
+  Alcotest.(check bool) "overload rejects some arrivals" true (r.Serve.rejections <> []);
+  Alcotest.(check bool) "conserved" true (check_conserved t r);
+  Alcotest.(check bool) "queue stayed bounded" true (r.Serve.queue_depth_max <= 4)
+
+(* ---------- eviction under multi-tenancy ---------- *)
+
+let test_capacity_one_thrashes_but_completes () =
+  let t = trace ~seed:5 ~n:30 () in
+  let r = Serve.run ~config:(small_config ~cache_capacity:1 ()) ~trace:t () in
+  Alcotest.(check bool) "conserved" true (check_conserved t r);
+  Alcotest.(check bool) "two tenants thrash a 1-entry cache" true
+    (r.Serve.cache.Cache.evictions > 0);
+  Alcotest.(check int) "single live entry" 1 r.Serve.cache.Cache.entries
+
+(* ---------- degraded fleet ---------- *)
+
+let test_masked_instance_reroutes () =
+  let t = trace ~apps:[ "MobileRobot" ] ~seed:42 ~n:60 () in
+  (* Queue larger than the trace: nothing sheds while the lone healthy
+     instance is blocked on the initial compile miss. *)
+  let config =
+    small_config ~instances:2 ~masked:[ (0, Unit_model.Backsub_unit) ] ~queue_capacity:64 ()
+  in
+  let r = Serve.run ~config ~trace:t () in
+  Alcotest.(check bool) "conserved" true (check_conserved t r);
+  Alcotest.(check int) "every admitted request completes" r.Serve.admitted r.Serve.completed;
+  (* Back substitution has a single unit: nothing may land on the dead slot. *)
+  List.iter
+    (fun c -> Alcotest.(check int) "placed on the healthy instance" 1 c.Serve.instance)
+    r.Serve.completions;
+  Alcotest.(check bool) "reroutes observed and reported" true (r.Serve.rerouted > 0)
+
+let test_all_masked_is_unservable () =
+  let t = trace ~apps:[ "MobileRobot" ] ~seed:3 ~n:10 () in
+  let config = small_config ~instances:1 ~masked:[ (0, Unit_model.Backsub_unit) ] () in
+  let r = Serve.run ~config ~trace:t () in
+  Alcotest.(check bool) "conserved" true (check_conserved t r);
+  Alcotest.(check int) "nothing completes" 0 r.Serve.completed;
+  List.iter
+    (fun (_, why) ->
+      Alcotest.(check string) "structured rejection" "unservable" (Serve.rejection_name why))
+    r.Serve.rejections
+
+let test_unknown_app_rejected () =
+  let t = trace ~apps:[ "NoSuchApp" ] ~seed:1 ~n:5 () in
+  let r = Serve.run ~config:(small_config ()) ~trace:t () in
+  Alcotest.(check int) "nothing completes" 0 r.Serve.completed;
+  Alcotest.(check int) "all rejected" 5 (List.length r.Serve.rejections);
+  Alcotest.(check bool) "conserved" true (check_conserved t r)
+
+(* ---------- steady state ---------- *)
+
+let test_single_app_hit_rate () =
+  (* The acceptance bar: a steady-state single-app trace compiles once
+     and hits the cache from then on. *)
+  let t = trace ~apps:[ "MobileRobot" ] ~seed:42 ~n:100 () in
+  let r = Serve.run ~config:(small_config ()) ~trace:t () in
+  Alcotest.(check int) "all completed" 100 r.Serve.completed;
+  Alcotest.(check int) "one compile" 1 r.Serve.cache.Cache.misses;
+  Alcotest.(check bool) "hit rate >= 0.9" true (Cache.hit_rate r.Serve.cache >= 0.9)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "structural key" `Quick test_structural_key_seed_invariant;
+          Alcotest.test_case "counts and LRU" `Slow test_cache_counts_and_lru;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "determinism" `Slow test_determinism;
+          Alcotest.test_case "trace generator" `Quick test_trace_generator_shape;
+          Alcotest.test_case "overload sheds" `Slow test_overload_sheds_but_conserves;
+          Alcotest.test_case "cache thrash" `Slow test_capacity_one_thrashes_but_completes;
+          Alcotest.test_case "single-app hit rate" `Slow test_single_app_hit_rate;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "masked reroutes" `Slow test_masked_instance_reroutes;
+          Alcotest.test_case "all masked unservable" `Slow test_all_masked_is_unservable;
+          Alcotest.test_case "unknown app" `Quick test_unknown_app_rejected;
+        ] );
+      ("conservation", [ QCheck_alcotest.to_alcotest prop_conservation ]);
+    ]
