@@ -148,12 +148,61 @@ let emit_serve_bench () =
     (Orianna_serve.Cache.hit_rate report.Serve.cache)
     report.Serve.p99_ms report.Serve.deadline_misses
 
+(* Instruction-stream optimizer macro-benchmark: every app compiled at
+   O0 and O1 (fixed seed, so deterministic) and simulated on the base
+   accelerator, summarized to BENCH_isa_opt.json.  CI gates this file
+   against ci/isa_opt_baseline.json: O1 must keep reducing total
+   instructions by >= 5% on at least two apps. *)
+let emit_isa_opt_bench () =
+  let module Json = Orianna_obs.Json in
+  let module Program = Orianna_isa.Program in
+  let policy = Schedule.Ooo_full in
+  let entries =
+    List.map
+      (fun (a : App.t) ->
+        let graphs = a.App.graphs (Rng.of_int 42) in
+        let p0 = Compile.compile_application ~opt_level:0 graphs in
+        let p1 = Compile.compile_application ~opt_level:1 graphs in
+        let r0 = Schedule.run ~accel ~policy p0 in
+        let r1 = Schedule.run ~accel ~policy p1 in
+        let i0 = Program.length p0 and i1 = Program.length p1 in
+        let reduction = 1.0 -. (float_of_int i1 /. float_of_int i0) in
+        Printf.printf
+          "  %-13s O0 %4d instrs %6d cyc %9.2e J | O1 %4d instrs %6d cyc %9.2e J | -%.1f%% instrs\n"
+          a.App.name i0 r0.Schedule.cycles r0.Schedule.energy_j i1 r1.Schedule.cycles
+          r1.Schedule.energy_j (100.0 *. reduction);
+        ( a.App.name,
+          Json.Obj
+            [
+              ("instructions_o0", Json.int i0);
+              ("instructions_o1", Json.int i1);
+              ("instruction_reduction", Json.Num reduction);
+              ("cycles_o0", Json.int r0.Schedule.cycles);
+              ("cycles_o1", Json.int r1.Schedule.cycles);
+              ("energy_o0_j", Json.Num r0.Schedule.energy_j);
+              ("energy_o1_j", Json.Num r1.Schedule.energy_j);
+            ] ))
+      App.all
+  in
+  let path = "BENCH_isa_opt.json" in
+  let oc = open_out path in
+  output_string oc
+    (Json.to_string
+       (Json.Obj [ ("seed", Json.int 42); ("policy", Json.Str (Schedule.policy_name policy)); ("apps", Json.Obj entries) ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "Instruction-stream optimizer bench (seed 42, 4 apps) -> %s\n\n" path
+
 let () =
-  print_endline "=====================================================================";
-  print_endline " ORIANNA evaluation reproduction (one entry per paper table/figure)";
-  print_endline "=====================================================================";
-  print_newline ();
-  Orianna.Experiments.run_all ~missions:30 ();
-  print_endline "=====================================================================";
-  emit_serve_bench ();
-  run_micro_benchmarks ()
+  if Array.exists (( = ) "--isa-opt-only") Sys.argv then emit_isa_opt_bench ()
+  else begin
+    print_endline "=====================================================================";
+    print_endline " ORIANNA evaluation reproduction (one entry per paper table/figure)";
+    print_endline "=====================================================================";
+    print_newline ();
+    Orianna.Experiments.run_all ~missions:30 ();
+    print_endline "=====================================================================";
+    emit_serve_bench ();
+    emit_isa_opt_bench ();
+    run_micro_benchmarks ()
+  end

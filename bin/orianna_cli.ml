@@ -44,6 +44,13 @@ let app_pos =
 let seed_flag =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload random seed.")
 
+let opt_level_flag =
+  Arg.(value & opt int 1
+       & info [ "opt-level"; "O" ] ~docv:"N"
+           ~doc:"Instruction-stream optimization level: 0 = off, 1 = CSE + peephole fusion + DCE + \
+                 latency-aware reorder (default), 2 = additionally reorder with stall attribution \
+                 measured by a cycle-level schedule of the compiled stream.")
+
 (* ---------------- observability plumbing ---------------- *)
 
 let trace_flag =
@@ -95,20 +102,29 @@ let solve_cmd =
 let compile_cmd =
   let dense = Arg.(value & flag & info [ "dense" ] ~doc:"Use the VANILLA-HLS dense lowering.") in
   let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Print the full instruction listing.") in
-  let run app seed dense dump trace report =
+  let run app seed opt_level dense dump trace report =
     with_obs ~trace ~report
-      ~meta:[ ("command", "compile"); ("app", app.App.name); ("seed", string_of_int seed) ]
+      ~meta:
+        [
+          ("command", "compile");
+          ("app", app.App.name);
+          ("seed", string_of_int seed);
+          ("opt_level", string_of_int opt_level);
+        ]
     @@ fun () ->
     let graphs = app.App.graphs (Rng.of_int seed) in
     let program =
-      if dense then Orianna_compiler.Compile.compile_dense_application graphs
-      else Orianna_compiler.Compile.compile_application graphs
+      if dense then Orianna_compiler.Compile.compile_dense_application ~opt_level graphs
+      else Orianna_compiler.Compile.compile_application ~opt_level graphs
     in
+    let program = if opt_level >= 2 then Pipeline.reoptimize program else program in
     Format.printf "%a@." Program.pp_stats (Program.stats program);
     if dump then Format.printf "%a@." Program.pp program;
     []
   in
-  let term = Term.(const run $ app_pos $ seed_flag $ dense $ dump $ trace_flag $ report_flag) in
+  let term =
+    Term.(const run $ app_pos $ seed_flag $ opt_level_flag $ dense $ dump $ trace_flag $ report_flag)
+  in
   Cmd.v (Cmd.info "compile" ~doc:"Lower an application to the ORIANNA instruction stream.") term
 
 (* ---------------- generate ---------------- *)
@@ -158,7 +174,7 @@ let simulate_cmd =
          & info [ "timeline" ]
              ~doc:"Print the per-unit-class utilization heat-strip alongside the summary.")
   in
-  let run app seed policy timeline trace report =
+  let run app seed opt_level policy timeline trace report =
     with_obs ~trace ~report
       ~meta:
         [
@@ -166,9 +182,10 @@ let simulate_cmd =
           ("app", app.App.name);
           ("seed", string_of_int seed);
           ("policy", Schedule.policy_name policy);
+          ("opt_level", string_of_int opt_level);
         ]
     @@ fun () ->
-    let frame = Pipeline.frame app ~seed in
+    let frame = Pipeline.frame ~opt_level app ~seed in
     let accel = (Pipeline.generate frame.Pipeline.program).Dse.best in
     let r = Schedule.run ~accel ~policy frame.Pipeline.program in
     Format.printf "%a@." Schedule.pp_result r;
@@ -180,7 +197,9 @@ let simulate_cmd =
       (intel.Cpu_model.seconds /. r.Schedule.seconds);
     if trace <> None then Orianna_sim.Trace.chrome_events frame.Pipeline.program r else []
   in
-  let term = Term.(const run $ app_pos $ seed_flag $ policy $ timeline $ trace_flag $ report_flag) in
+  let term =
+    Term.(const run $ app_pos $ seed_flag $ opt_level_flag $ policy $ timeline $ trace_flag $ report_flag)
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Cycle-level execution on a generated accelerator.") term
 
 (* ---------------- trace ---------------- *)
@@ -334,9 +353,9 @@ let profile_cmd =
              ~doc:"Print the run report as JSON to stdout instead of text tables — the same \
                    machine-readable shape `serve --report` emits.")
   in
-  let run app seed policy json trace report =
+  let run app seed opt_level policy json trace report =
     Obs.enable ();
-    let frame = Obs.with_span "compile" (fun () -> Pipeline.frame app ~seed) in
+    let frame = Obs.with_span "compile" (fun () -> Pipeline.frame ~opt_level app ~seed) in
     let accel =
       Obs.with_span "generate" (fun () -> (Pipeline.generate frame.Pipeline.program).Dse.best)
     in
@@ -347,6 +366,7 @@ let profile_cmd =
         ("app", app.App.name);
         ("seed", string_of_int seed);
         ("policy", Schedule.policy_name policy);
+        ("opt_level", string_of_int opt_level);
       ]
     in
     let profile_extra =
@@ -409,7 +429,11 @@ let profile_cmd =
         Format.printf "wrote %s@." path)
       report
   in
-  let term = Term.(const run $ app_pos $ seed_flag $ policy $ json_flag $ trace_flag $ report_flag) in
+  let term =
+    Term.(
+      const run $ app_pos $ seed_flag $ opt_level_flag $ policy $ json_flag $ trace_flag
+      $ report_flag)
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Run the full compile -> generate -> simulate pipeline under telemetry and print the span tree and counters.")
@@ -557,8 +581,8 @@ let serve_cmd =
              ~doc:"Compare the deadline-miss rate against a checked-in baseline JSON and exit \
                    non-zero on regression.")
   in
-  let run apps_spec seed requests rate burst instances policy queue max_batch cache_capacity
-      deadline_ms masked json baseline trace report =
+  let run apps_spec seed opt_level requests rate burst instances policy queue max_batch
+      cache_capacity deadline_ms masked json baseline trace report =
     let apps =
       if String.lowercase_ascii apps_spec = "all" then List.map (fun (a : App.t) -> a.App.name) App.all
       else
@@ -589,6 +613,7 @@ let serve_cmd =
         queue_capacity = queue;
         max_batch;
         cache_capacity;
+        opt_level;
       }
     in
     let meta =
@@ -652,7 +677,7 @@ let serve_cmd =
       baseline
   in
   let term =
-    Term.(const run $ apps_flag $ seed_flag $ requests $ rate $ burst $ instances $ policy $ queue
+    Term.(const run $ apps_flag $ seed_flag $ opt_level_flag $ requests $ rate $ burst $ instances $ policy $ queue
           $ max_batch $ cache_capacity $ deadline_ms $ mask $ json_flag $ baseline $ trace_flag
           $ report_flag)
   in

@@ -602,7 +602,18 @@ let record_program_counters (p : Program.t) =
   end;
   p
 
-let compile ?(algo = 0) ?(prefix = "") ?(ordering = Ordering.Min_degree) ?(cse = true) graph =
+(* Post-hoc instruction-stream optimization (Opt pass pipeline),
+   applied to the finished stream of every lowering path behind one
+   [opt_level] knob (0 = off). *)
+let optimize_level ~opt_level (p : Program.t) =
+  if opt_level <= 0 then p
+  else
+    Obs.with_span "compile.optimize" ~attrs:[ ("level", string_of_int opt_level) ] @@ fun () ->
+    let p', _, rep = Opt.optimize_traced ~level:opt_level p in
+    Log.debug (fun m -> m "optimize (O%d): %a" opt_level Opt.pp_report rep);
+    p'
+
+let compile_graph ?(algo = 0) ?(prefix = "") ?(ordering = Ordering.Min_degree) ?(cse = true) graph =
   Obs.with_span "compile.lower"
     ~attrs:
       [
@@ -626,7 +637,11 @@ let compile ?(algo = 0) ?(prefix = "") ?(ordering = Ordering.Min_degree) ?(cse =
   Log.debug (fun m ->
       m "compiled %d variables / %d factors -> %d instructions" (Graph.num_variables graph)
         (Graph.num_factors graph) (Program.length p));
-  record_program_counters p
+  p
+
+let compile ?algo ?prefix ?ordering ?cse ?(opt_level = 1) graph =
+  record_program_counters
+    (optimize_level ~opt_level (compile_graph ?algo ?prefix ?ordering ?cse graph))
 
 (* The update phase of Fig. 3: retract each variable by its delta to
    produce the next iteration's inputs. *)
@@ -660,8 +675,8 @@ let emit_update ctx graph regs v delta =
       ignore graph;
       Vec_regs { reg = reg'; dim }
 
-let compile_iterations ?(algo = 0) ?(prefix = "") ?(ordering = Ordering.Min_degree) ~iterations
-    graph =
+let compile_iterations ?(algo = 0) ?(prefix = "") ?(ordering = Ordering.Min_degree)
+    ?(opt_level = 1) ~iterations graph =
   if iterations < 1 then
     Error.fail Error.Compile ~context:[ "compile_iterations" ] "need at least one iteration";
   Obs.with_span "compile.lower_iterations"
@@ -693,16 +708,21 @@ let compile_iterations ?(algo = 0) ?(prefix = "") ?(ordering = Ordering.Min_degr
   let outputs =
     List.map (fun v -> (prefix ^ v, Hashtbl.find solution v)) (Graph.variables graph)
   in
-  record_program_counters (B.finish ctx.b ~outputs)
+  record_program_counters (optimize_level ~opt_level (B.finish ctx.b ~outputs))
 
-let compile_application ?(ordering = Ordering.Min_degree) ?(cse = true) graphs =
+let compile_application ?(ordering = Ordering.Min_degree) ?(cse = true) ?(opt_level = 1) graphs =
   Obs.with_span "compile.application" @@ fun () ->
-  Program.concat
-    (List.mapi
-       (fun i (name, g) -> compile ~algo:i ~prefix:(name ^ "/") ~ordering ~cse g)
-       graphs)
+  (* Optimize after concatenation: CSE then also merges duplicates
+     (selector matrices, shared priors, ...) across the application's
+     algorithms, which per-graph optimization cannot see. *)
+  record_program_counters
+    (optimize_level ~opt_level
+       (Program.concat
+          (List.mapi
+             (fun i (name, g) -> compile_graph ~algo:i ~prefix:(name ^ "/") ~ordering ~cse g)
+             graphs)))
 
-let compile_dense ?(algo = 0) ?(prefix = "") graph =
+let compile_dense_graph ?(algo = 0) ?(prefix = "") graph =
   Obs.with_span "compile.lower_dense" ~attrs:[ ("algo", string_of_int algo) ] @@ fun () ->
   let ctx = { b = B.create (); algo; cse = true; cache = Hashtbl.create 256 } in
   let var_regs = Hashtbl.create 32 in
@@ -774,12 +794,17 @@ let compile_dense ?(algo = 0) ?(prefix = "") graph =
         (prefix ^ v, reg))
       order
   in
-  record_program_counters (B.finish ctx.b ~outputs)
+  B.finish ctx.b ~outputs
 
-let compile_dense_application graphs =
+let compile_dense ?algo ?prefix ?(opt_level = 1) graph =
+  record_program_counters (optimize_level ~opt_level (compile_dense_graph ?algo ?prefix graph))
+
+let compile_dense_application ?(opt_level = 1) graphs =
   Obs.with_span "compile.application" ~attrs:[ ("lowering", "dense") ] @@ fun () ->
-  Program.concat
-    (List.mapi (fun i (name, g) -> compile_dense ~algo:i ~prefix:(name ^ "/") g) graphs)
+  record_program_counters
+    (optimize_level ~opt_level
+       (Program.concat
+          (List.mapi (fun i (name, g) -> compile_dense_graph ~algo:i ~prefix:(name ^ "/") g) graphs)))
 
 let iterate ?(ordering = Ordering.Min_degree) ?(max_iterations = 25) ?(delta_tol = 1e-8) graph =
   let iters = ref 0 in

@@ -24,22 +24,38 @@ open Orianna_fg
 open Orianna_isa
 
 val compile :
-  ?algo:int -> ?prefix:string -> ?ordering:Ordering.strategy -> ?cse:bool -> Graph.t -> Program.t
+  ?algo:int ->
+  ?prefix:string ->
+  ?ordering:Ordering.strategy ->
+  ?cse:bool ->
+  ?opt_level:int ->
+  Graph.t ->
+  Program.t
 (** Compile one iteration.  [algo] tags every instruction (for
     coarse-grained out-of-order execution across algorithms);
     [prefix] namespaces the output variable names; [cse] (default
     true) enables the local value numbering that shares pure
     operations on identical sources — the knob the ablation study
-    flips. *)
+    flips.  [opt_level] (default 1) runs the post-hoc
+    {!Orianna_isa.Opt} pass pipeline (global CSE, peephole fusion,
+    DCE, latency-aware reorder) over the finished stream; 0 turns it
+    off. *)
 
 val compile_application :
-  ?ordering:Ordering.strategy -> ?cse:bool -> (string * Graph.t) list -> Program.t
+  ?ordering:Ordering.strategy -> ?cse:bool -> ?opt_level:int -> (string * Graph.t) list -> Program.t
 (** Compile several algorithms of one robotic application into a
     single stream: algorithm [i] gets [algo = i] and its outputs are
-    prefixed ["name/"]. *)
+    prefixed ["name/"].  [opt_level] is applied to the concatenated
+    stream, so CSE also merges duplicates across algorithms. *)
 
 val compile_iterations :
-  ?algo:int -> ?prefix:string -> ?ordering:Ordering.strategy -> iterations:int -> Graph.t -> Program.t
+  ?algo:int ->
+  ?prefix:string ->
+  ?ordering:Ordering.strategy ->
+  ?opt_level:int ->
+  iterations:int ->
+  Graph.t ->
+  Program.t
 (** Unroll [iterations] Gauss-Newton iterations into one stream,
     including the {e update phase} of Fig. 3: after each solve, retract
     instructions ([Expm] + [Gemm] for orientations, [Vadd] for
@@ -48,7 +64,7 @@ val compile_iterations :
     host round-trips.  Outputs are the final iteration's deltas —
     equal to what the software solver computes at the same point. *)
 
-val compile_dense : ?algo:int -> ?prefix:string -> Graph.t -> Program.t
+val compile_dense : ?algo:int -> ?prefix:string -> ?opt_level:int -> Graph.t -> Program.t
 (** The VANILLA-HLS lowering (Sec. 7.1): identical construction
     instructions, but no factor-graph inference — the whole sparse
     system is assembled into one big dense matrix, decomposed with a
@@ -56,7 +72,7 @@ val compile_dense : ?algo:int -> ?prefix:string -> Graph.t -> Program.t
     same deltas as {!compile}, at the cost the paper's Figs. 17/18
     illustrate. *)
 
-val compile_dense_application : (string * Graph.t) list -> Program.t
+val compile_dense_application : ?opt_level:int -> (string * Graph.t) list -> Program.t
 
 val iterate :
   ?ordering:Ordering.strategy -> ?max_iterations:int -> ?delta_tol:float -> Graph.t -> int

@@ -48,13 +48,25 @@ type frame = {
   dense_program : Program.t;
 }
 
-let frame (app : App.t) ~seed =
+(* Schedule-informed reorder (O2): run the program once on a reference
+   accelerator, attribute every operand-wait cycle to its
+   last-finishing producer, and feed the measured weights back into
+   [Opt.reorder].  The compile-time reorder uses only a static latency
+   model; this closes the loop with the cycle-level simulator. *)
+let reoptimize ?accel ?(policy = Schedule.In_order) (p : Program.t) =
+  let accel = match accel with Some a -> a | None -> Accel.base () in
+  let r = Schedule.run ~accel ~policy p in
+  let stalls = Trace.operand_stalls p r in
+  fst (Opt.reorder ~stalls p)
+
+let frame ?(opt_level = 1) (app : App.t) ~seed =
   let graphs = app.App.graphs (Rng.of_int seed) in
-  let program = Compile.compile_application graphs in
+  let maybe_feedback p = if opt_level >= 2 then reoptimize p else p in
+  let program = Compile.compile_application ~opt_level graphs |> maybe_feedback in
   let algo_programs =
-    List.mapi (fun i (name, g) -> (name, Compile.compile ~algo:i g)) graphs
+    List.mapi (fun i (name, g) -> (name, Compile.compile ~algo:i ~opt_level g |> maybe_feedback)) graphs
   in
-  let dense_program = Compile.compile_dense_application graphs in
+  let dense_program = Compile.compile_dense_application ~opt_level graphs |> maybe_feedback in
   { app; graphs; program; algo_programs; dense_program }
 
 type evaluation = {

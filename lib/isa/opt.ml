@@ -1,0 +1,449 @@
+open Orianna_linalg
+module Obs = Orianna_obs.Obs
+
+type report = {
+  before : int;
+  after : int;
+  cse_merged : int;
+  fused : int;
+  dce_removed : int;
+  reorder_moved : int;
+}
+
+let identity_map n = Array.init n (fun i -> i)
+
+(* Compose register maps: [m1] old->mid, [m2] mid->new. *)
+let compose m1 m2 = Array.map (fun m -> if m < 0 then -1 else m2.(m)) m1
+
+let rec resolve subst i =
+  let j = subst.(i) in
+  if j = i then i
+  else begin
+    let r = resolve subst j in
+    subst.(i) <- r;
+    r
+  end
+
+(* Rebuild [p] keeping instruction [i] iff [keep.(i)], with every
+   register first redirected through [subst].  Representatives
+   (targets of [subst]) must be kept.  Returns the rebuilt program and
+   the old->new register map; a dropped-but-forwarded register maps to
+   its representative's new id, a dropped dead register to [-1]. *)
+let rebuild (p : Program.t) ~(instrs : Instr.t array) ~subst ~keep =
+  let n = Array.length instrs in
+  let map = Array.make n (-1) in
+  let b = Program.Builder.create () in
+  Array.iteri
+    (fun i (ins : Instr.t) ->
+      if keep.(i) then begin
+        let srcs = Array.map (fun s -> map.(resolve subst s)) ins.Instr.srcs in
+        map.(i) <-
+          Program.Builder.emit b ~op:ins.Instr.op ~srcs ~rows:ins.Instr.rows ~cols:ins.Instr.cols
+            ~phase:ins.Instr.phase ~algo:ins.Instr.algo ~tag:ins.Instr.tag
+      end)
+    instrs;
+  let map = Array.mapi (fun i m -> if m >= 0 then m else map.(resolve subst i)) map in
+  let outputs = List.map (fun (nm, r) -> (nm, map.(resolve subst r))) p.Program.outputs in
+  (Program.Builder.finish b ~outputs, map)
+
+(* ------------------------------------------------------------------ *)
+(* CSE                                                                 *)
+
+let opcode_tag : Instr.opcode -> int = function
+  | Instr.Load _ -> 0
+  | Instr.Vadd -> 1
+  | Instr.Vsub -> 2
+  | Instr.Scale _ -> 3
+  | Instr.Neg -> 4
+  | Instr.Transpose -> 5
+  | Instr.Gemm -> 6
+  | Instr.Gemv -> 7
+  | Instr.Logm -> 8
+  | Instr.Expm -> 9
+  | Instr.Skew -> 10
+  | Instr.Jr -> 11
+  | Instr.Jrinv -> 12
+  | Instr.Assemble _ -> 13
+  | Instr.Extract _ -> 14
+  | Instr.Qr -> 15
+  | Instr.Backsolve -> 16
+  | Instr.Kernel _ -> 17
+
+(* Structural value key: opcode + payload (Load matrices by bytes) +
+   resolved sources + declared shape.  Phase/algo/tag are metadata,
+   not semantics, and are deliberately excluded so duplicates merge
+   across graphs of a concatenated application.  [Vadd] sources are
+   sorted: IEEE-754 addition is commutative bit-for-bit. *)
+let value_key subst (ins : Instr.t) =
+  match ins.Instr.op with
+  | Instr.Kernel _ -> None
+  | op ->
+      let buf = Buffer.create 64 in
+      let w32 v = Buffer.add_int32_le buf (Int32.of_int v) in
+      let wf64 x = Buffer.add_int64_le buf (Int64.bits_of_float x) in
+      w32 (opcode_tag op);
+      (match op with
+      | Instr.Load m ->
+          let r, c = Mat.dims m in
+          w32 r;
+          w32 c;
+          for i = 0 to r - 1 do
+            for j = 0 to c - 1 do
+              wf64 (Mat.get m i j)
+            done
+          done
+      | Instr.Scale s -> wf64 s
+      | Instr.Assemble places ->
+          w32 (List.length places);
+          List.iter
+            (fun (r, c) ->
+              w32 r;
+              w32 c)
+            places
+      | Instr.Extract { row; col; rows; cols } ->
+          w32 row;
+          w32 col;
+          w32 rows;
+          w32 cols
+      | _ -> ());
+      let srcs = Array.map (resolve subst) ins.Instr.srcs in
+      (match op with
+      | Instr.Vadd when Array.length srcs = 2 && srcs.(0) > srcs.(1) ->
+          let t = srcs.(0) in
+          srcs.(0) <- srcs.(1);
+          srcs.(1) <- t
+      | _ -> ());
+      w32 (Array.length srcs);
+      Array.iter w32 srcs;
+      w32 ins.Instr.rows;
+      w32 ins.Instr.cols;
+      Some (Buffer.contents buf)
+
+let cse_pass (p : Program.t) =
+  let instrs = p.Program.instrs in
+  let n = Array.length instrs in
+  let subst = identity_map n in
+  let keep = Array.make n true in
+  let table = Hashtbl.create ((2 * n) + 1) in
+  let merged = ref 0 in
+  Array.iteri
+    (fun i ins ->
+      match value_key subst ins with
+      | None -> ()
+      | Some k -> (
+          match Hashtbl.find_opt table k with
+          | Some rep ->
+              subst.(i) <- rep;
+              keep.(i) <- false;
+              incr merged
+          | None -> Hashtbl.add table k i))
+    instrs;
+  if !merged > 0 then Obs.count "isa.opt.cse_merged" ~n:!merged;
+  let p', map = rebuild p ~instrs ~subst ~keep in
+  (p', map, !merged)
+
+let cse p =
+  let p', map, _ = cse_pass p in
+  (p', map)
+
+(* ------------------------------------------------------------------ *)
+(* Peephole fusion                                                     *)
+
+let fuse_pass (p : Program.t) =
+  let instrs = Array.copy p.Program.instrs in
+  let n = Array.length instrs in
+  let subst = identity_map n in
+  let keep = Array.make n true in
+  let fused = ref 0 in
+  let changed = ref true in
+  let forward i target =
+    subst.(i) <- resolve subst target;
+    keep.(i) <- false;
+    incr fused;
+    changed := true
+  in
+  let set i op srcs =
+    instrs.(i) <- { (instrs.(i)) with Instr.op; srcs };
+    incr fused;
+    changed := true
+  in
+  let def s = instrs.(resolve subst s) in
+  let rounds = ref 0 in
+  while !changed && !rounds < 8 do
+    changed := false;
+    incr rounds;
+    for i = 0 to n - 1 do
+      if keep.(i) then begin
+        (* Resolve sources through the substitution first so chains
+           expose themselves within one round. *)
+        let rs = Array.map (resolve subst) instrs.(i).Instr.srcs in
+        if rs <> instrs.(i).Instr.srcs then instrs.(i) <- { (instrs.(i)) with Instr.srcs = rs };
+        let ins = instrs.(i) in
+        match ins.Instr.op with
+        | Instr.Scale s when s = 1.0 -> forward i ins.Instr.srcs.(0)
+        | Instr.Scale s -> (
+            let dx = def ins.Instr.srcs.(0) in
+            match dx.Instr.op with
+            | Instr.Scale s' -> set i (Instr.Scale (s *. s')) [| dx.Instr.srcs.(0) |]
+            | Instr.Neg -> set i (Instr.Scale (-.s)) [| dx.Instr.srcs.(0) |]
+            | _ -> ())
+        | Instr.Neg -> (
+            let dx = def ins.Instr.srcs.(0) in
+            match dx.Instr.op with
+            | Instr.Neg -> forward i dx.Instr.srcs.(0)
+            | Instr.Scale s -> set i (Instr.Scale (-.s)) [| dx.Instr.srcs.(0) |]
+            | Instr.Vsub -> set i Instr.Vsub [| dx.Instr.srcs.(1); dx.Instr.srcs.(0) |]
+            | _ -> ())
+        | Instr.Transpose -> (
+            let dx = def ins.Instr.srcs.(0) in
+            match dx.Instr.op with
+            | Instr.Transpose -> forward i dx.Instr.srcs.(0)
+            | _ -> ())
+        | Instr.Vadd -> (
+            let a = ins.Instr.srcs.(0) and b = ins.Instr.srcs.(1) in
+            match ((def b).Instr.op, (def a).Instr.op) with
+            | Instr.Neg, _ -> set i Instr.Vsub [| a; (def b).Instr.srcs.(0) |]
+            | _, Instr.Neg -> set i Instr.Vsub [| b; (def a).Instr.srcs.(0) |]
+            | _ -> ())
+        | Instr.Vsub -> (
+            let a = ins.Instr.srcs.(0) and b = ins.Instr.srcs.(1) in
+            match (def b).Instr.op with
+            | Instr.Neg -> set i Instr.Vadd [| a; (def b).Instr.srcs.(0) |]
+            | _ -> ())
+        | Instr.Assemble [ (0, 0) ] when Array.length ins.Instr.srcs = 1 ->
+            let ds = def ins.Instr.srcs.(0) in
+            if ds.Instr.rows = ins.Instr.rows && ds.Instr.cols = ins.Instr.cols then
+              forward i ins.Instr.srcs.(0)
+        | Instr.Extract { row; col; rows; cols } -> (
+            let x = ins.Instr.srcs.(0) in
+            let dx = def x in
+            if row = 0 && col = 0 && rows = dx.Instr.rows && cols = dx.Instr.cols then forward i x
+            else
+              match dx.Instr.op with
+              | Instr.Assemble places ->
+                  (* Forward an extract that reads exactly one placed
+                     block, provided no later block clobbers it (later
+                     blocks overwrite earlier ones in [execute]). *)
+                  let places = Array.of_list places in
+                  let nb = Array.length places in
+                  let region k =
+                    let r, c = places.(k) in
+                    let s = def dx.Instr.srcs.(k) in
+                    (r, c, s.Instr.rows, s.Instr.cols)
+                  in
+                  let overlaps (r1, c1, h1, w1) (r2, c2, h2, w2) =
+                    r1 < r2 + h2 && r2 < r1 + h1 && c1 < c2 + w2 && c2 < c1 + w1
+                  in
+                  let found = ref (-1) in
+                  for k = 0 to nb - 1 do
+                    let r, c, h, w = region k in
+                    if r = row && c = col && h = rows && w = cols then found := k
+                  done;
+                  if !found >= 0 then begin
+                    let k = !found in
+                    let clobbered = ref false in
+                    for j = k + 1 to nb - 1 do
+                      if overlaps (region k) (region j) then clobbered := true
+                    done;
+                    if not !clobbered then forward i dx.Instr.srcs.(k)
+                  end
+              | _ -> ())
+        | _ -> ()
+      end
+    done
+  done;
+  if !fused > 0 then Obs.count "isa.opt.fused" ~n:!fused;
+  let p', map = rebuild p ~instrs ~subst ~keep in
+  (p', map, !fused)
+
+let fuse p =
+  let p', map, _ = fuse_pass p in
+  (p', map)
+
+(* ------------------------------------------------------------------ *)
+(* DCE                                                                 *)
+
+let dce_pass (p : Program.t) =
+  let instrs = p.Program.instrs in
+  let n = Array.length instrs in
+  let live = Array.make n false in
+  List.iter (fun (_, r) -> live.(r) <- true) p.Program.outputs;
+  for i = n - 1 downto 0 do
+    if live.(i) then Array.iter (fun s -> live.(s) <- true) instrs.(i).Instr.srcs
+  done;
+  let removed = ref 0 in
+  Array.iter (fun l -> if not l then incr removed) live;
+  if !removed > 0 then Obs.count "isa.opt.dce_removed" ~n:!removed;
+  let p', map = rebuild p ~instrs ~subst:(identity_map n) ~keep:live in
+  (p', map, !removed)
+
+let dce p =
+  let p', map, _ = dce_pass p in
+  (p', map)
+
+(* ------------------------------------------------------------------ *)
+(* Operand-aware reorder                                               *)
+
+(* Static per-opcode latency model mirroring the shape (not the exact
+   parameters) of [Orianna_hw.Unit_model]; [Orianna_isa] cannot depend
+   on the hardware layer, and the measured [stalls] weights are the
+   precision knob when a real schedule is available. *)
+let static_latency (instrs : Instr.t array) i =
+  let ins = instrs.(i) in
+  let out = ins.Instr.rows * ins.Instr.cols in
+  let cd a b = (a + b - 1) / b in
+  match ins.Instr.op with
+  | Instr.Load _ | Instr.Assemble _ | Instr.Extract _ -> 2 + cd out 8
+  | Instr.Vadd | Instr.Vsub | Instr.Scale _ | Instr.Neg | Instr.Transpose -> 2 + cd out 16
+  | Instr.Logm | Instr.Expm | Instr.Skew | Instr.Jr | Instr.Jrinv -> 20
+  | Instr.Gemm | Instr.Gemv ->
+      let k = instrs.(ins.Instr.srcs.(0)).Instr.cols in
+      2 + (cd ins.Instr.rows 8 * cd ins.Instr.cols 8 * (k + 8))
+  | Instr.Qr ->
+      let s = instrs.(ins.Instr.srcs.(0)) in
+      let m = s.Instr.rows and nn = s.Instr.cols in
+      let w = ref 6 in
+      for k = 0 to min m nn - 1 do
+        w := !w + (cd (max (m - k - 1) 1) 8 * (nn - k))
+      done;
+      !w
+  | Instr.Backsolve ->
+      let nn = instrs.(ins.Instr.srcs.(0)).Instr.rows in
+      2 + (nn * cd nn 4) + nn
+  | Instr.Kernel k -> 2 + cd k.Instr.flops 64
+
+let reorder ?stalls (p : Program.t) =
+  let instrs = p.Program.instrs in
+  let n = Array.length instrs in
+  (match stalls with
+  | Some s when Array.length s <> n -> invalid_arg "Opt.reorder: stalls length mismatch"
+  | _ -> ());
+  let w i = static_latency instrs i + match stalls with Some s -> s.(i) | None -> 0 in
+  (* Priority: longest latency-weighted path from the instruction to
+     any sink.  Descending sweep finalizes each consumer before its
+     producers are relaxed (sources always have smaller ids). *)
+  let prio = Array.init n w in
+  for i = n - 1 downto 0 do
+    Array.iter
+      (fun s -> if prio.(s) < prio.(i) + w s then prio.(s) <- prio.(i) + w s)
+      instrs.(i).Instr.srcs
+  done;
+  (* Greedy list order within each contiguous algo run.  Runs are not
+     merged or interleaved: cross-run dependencies always point
+     backwards, and the per-algorithm partition order used by
+     [Ooo_fine] scheduling is preserved. *)
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  let seg = ref 0 in
+  while !seg < n do
+    let lo = !seg in
+    let a = instrs.(lo).Instr.algo in
+    let hi = ref lo in
+    while !hi < n && instrs.(!hi).Instr.algo = a do
+      incr hi
+    done;
+    let hi = !hi in
+    let indeg = Array.make n 0 in
+    let consumers = Array.make n [] in
+    for i = lo to hi - 1 do
+      Array.iter
+        (fun s ->
+          if s >= lo then begin
+            indeg.(i) <- indeg.(i) + 1;
+            consumers.(s) <- i :: consumers.(s)
+          end)
+        instrs.(i).Instr.srcs
+    done;
+    let heap =
+      Orianna_util.Heap.create ~cmp:(fun (pa, ia) (pb, ib) ->
+          if pa <> pb then compare (pb : int) pa else compare (ia : int) ib)
+    in
+    for i = lo to hi - 1 do
+      if indeg.(i) = 0 then Orianna_util.Heap.push heap (prio.(i), i)
+    done;
+    while not (Orianna_util.Heap.is_empty heap) do
+      match Orianna_util.Heap.pop heap with
+      | None -> ()
+      | Some (_, i) ->
+          order.(!pos) <- i;
+          incr pos;
+          List.iter
+            (fun c ->
+              indeg.(c) <- indeg.(c) - 1;
+              if indeg.(c) = 0 then Orianna_util.Heap.push heap (prio.(c), c))
+            consumers.(i)
+    done;
+    seg := hi
+  done;
+  if !pos <> n then failwith "Opt.reorder: scheduling did not cover the program";
+  let map = Array.make n (-1) in
+  let b = Program.Builder.create () in
+  Array.iter
+    (fun i ->
+      let ins = instrs.(i) in
+      let srcs = Array.map (fun s -> map.(s)) ins.Instr.srcs in
+      map.(i) <-
+        Program.Builder.emit b ~op:ins.Instr.op ~srcs ~rows:ins.Instr.rows ~cols:ins.Instr.cols
+          ~phase:ins.Instr.phase ~algo:ins.Instr.algo ~tag:ins.Instr.tag)
+    order;
+  let outputs = List.map (fun (nm, r) -> (nm, map.(r))) p.Program.outputs in
+  let moved = ref 0 in
+  Array.iteri (fun i m -> if i <> m then incr moved) map;
+  if !moved > 0 then Obs.count "isa.opt.reorder_moved" ~n:!moved;
+  (Program.Builder.finish b ~outputs, map)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+
+let optimize_traced ?(level = 1) (p : Program.t) =
+  let before = Program.length p in
+  let zero = { before; after = before; cse_merged = 0; fused = 0; dce_removed = 0; reorder_moved = 0 } in
+  if level <= 0 || before = 0 then (p, identity_map before, zero)
+  else begin
+    let prog = ref p in
+    let map = ref (identity_map before) in
+    let cse_merged = ref 0 and fused = ref 0 in
+    let continue_ = ref true in
+    let rounds = ref 0 in
+    while !continue_ && !rounds < 5 do
+      incr rounds;
+      let q, m, df = fuse_pass !prog in
+      prog := q;
+      map := compose !map m;
+      fused := !fused + df;
+      let q, m, dc = cse_pass !prog in
+      prog := q;
+      map := compose !map m;
+      cse_merged := !cse_merged + dc;
+      continue_ := df + dc > 0
+    done;
+    let q, m, dce_removed = dce_pass !prog in
+    prog := q;
+    map := compose !map m;
+    let q, m = reorder !prog in
+    let reorder_moved = ref 0 in
+    Array.iteri (fun i mi -> if i <> mi then incr reorder_moved) m;
+    prog := q;
+    map := compose !map m;
+    Program.validate !prog;
+    let after = Program.length !prog in
+    if before > after then Obs.count "isa.opt.instructions_saved" ~n:(before - after);
+    ( !prog,
+      !map,
+      {
+        before;
+        after;
+        cse_merged = !cse_merged;
+        fused = !fused;
+        dce_removed;
+        reorder_moved = !reorder_moved;
+      } )
+  end
+
+let optimize ?level p =
+  let p', _, _ = optimize_traced ?level p in
+  p'
+
+let pp_report ppf r =
+  Format.fprintf ppf "%d -> %d instructions (cse %d, fused %d, dce %d, reordered %d)" r.before
+    r.after r.cse_merged r.fused r.dce_removed r.reorder_moved

@@ -1,0 +1,76 @@
+(** Instruction-stream optimizer: a pass pipeline over {!Program.t}.
+
+    Four passes, each semantics-preserving over {!Program.execute}:
+
+    - {!cse} — global common-subexpression elimination on pure matrix
+      ops (including [Load], keyed on the matrix bytes; [Kernel] is
+      never merged because closures carry no structural identity).
+    - {!fuse} — peephole fusion of adjacent compatible ops
+      (scale/negate chains into a single [Scale], add-of-negate into
+      [Vsub], transpose-of-transpose and extract-of-assemble
+      forwarding, ...).
+    - {!dce} — dead-code elimination of instructions whose
+      destinations are never live-out (not reachable from
+      [p.outputs]).
+    - {!reorder} — operand-aware list reorder: a topological
+      re-sequencing that hoists long-latency producers, optionally
+      weighted by measured per-instruction stall attribution from a
+      previous schedule (see [Orianna_sim.Trace.operand_stalls]).
+
+    Every pass returns, besides the rewritten program, a register map
+    [map] with [map.(old_id)] = the new register holding the same
+    value, or [-1] if the value is no longer computed (dead code).
+    The differential-equivalence harness uses these maps to compare
+    intermediate values instruction-by-instruction, not just final
+    outputs.
+
+    Per-pass deltas are reported through [Orianna_obs] counters:
+    [isa.opt.cse_merged], [isa.opt.fused], [isa.opt.dce_removed],
+    [isa.opt.reorder_moved], [isa.opt.instructions_saved]. *)
+
+type report = {
+  before : int;  (** instruction count going in *)
+  after : int;  (** instruction count coming out *)
+  cse_merged : int;  (** duplicates merged by CSE (all rounds) *)
+  fused : int;  (** peephole rewrites + forwardings (all rounds) *)
+  dce_removed : int;  (** dead instructions removed *)
+  reorder_moved : int;  (** instructions whose position changed *)
+}
+
+val cse : Program.t -> Program.t * int array
+(** Merge structurally identical pure instructions, keeping the first
+    occurrence.  [Vadd] operands are canonicalized (exact FP
+    commutativity); [Kernel] instructions are never merged. *)
+
+val fuse : Program.t -> Program.t * int array
+(** Peephole rewrites to a fixpoint.  Rewritten instructions keep
+    their register; forwarded ones are dropped and their consumers
+    redirected.  The only rewrite that can perturb rounding is
+    [Scale s2 (Scale s1 x)] -> [Scale (s1*s2) x]; all others are
+    bit-exact under IEEE-754. *)
+
+val dce : Program.t -> Program.t * int array
+(** Remove instructions not backward-reachable from [p.outputs]. *)
+
+val reorder : ?stalls:int array -> Program.t -> Program.t * int array
+(** Topologically re-sequence each contiguous [algo] run (runs are
+    never interleaved, so the per-algorithm partitions seen by
+    [Ooo_fine] scheduling keep their first-appearance order).
+    Priority = longest latency-weighted path to a sink, using a static
+    per-opcode latency model; [stalls] (one entry per instruction, as
+    produced by [Orianna_sim.Trace.operand_stalls] on {e this}
+    program) adds measured operand-stall cycles attributed to each
+    producer to its weight.  Raises [Invalid_argument] if [stalls]
+    has the wrong length. *)
+
+val optimize : ?level:int -> Program.t -> Program.t
+(** [optimize ~level p]: [level <= 0] returns [p] unchanged; [level
+    >= 1] runs fuse+cse to a fixpoint, then dce, then a statically
+    weighted reorder.  Default level is [1]. *)
+
+val optimize_traced : ?level:int -> Program.t -> Program.t * int array * report
+(** Like {!optimize} but also returns the composed old->new register
+    map and a per-pass {!report}.  The result is re-validated with
+    [Program.validate]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -23,7 +23,7 @@ let create ~capacity =
   if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
   { capacity; slots = Hashtbl.create (2 * capacity); tick = 0; hits = 0; misses = 0; evictions = 0 }
 
-let structural_key graphs =
+let structural_key ?(opt_level = 1) graphs =
   let buf = Buffer.create 4096 in
   let var_kind g name =
     match Graph.value g name with
@@ -56,6 +56,13 @@ let structural_key graphs =
           Buffer.add_char buf '\n')
         (Graph.factors g))
     graphs;
+  (* The optimizer changes the compiled artifact (and its
+     [Program.hash]) without changing the template, so the cache key
+     is the pair (structural key, opt_level): entries compiled at
+     different levels must not alias. *)
+  Buffer.add_string buf "O|";
+  Buffer.add_string buf (string_of_int opt_level);
+  Buffer.add_char buf '\n';
   Int32.of_int (Checksum.crc32 (Buffer.contents buf) land 0xFFFFFFFF)
 
 let program_key = Program.hash

@@ -36,12 +36,15 @@ val create : capacity:int -> t
 (** LRU cache holding at most [capacity] entries; capacity must be
     positive. *)
 
-val structural_key : (string * Orianna_fg.Graph.t) list -> int32
+val structural_key : ?opt_level:int -> (string * Orianna_fg.Graph.t) list -> int32
 (** Structural hash of an application's graphs (one per algorithm):
     graph names and order, variable names / kinds / dimensions, factor
     names / scopes / error dimensions.  Values (poses, measurements,
     sigmas) are excluded, so all seeds of one template collide — by
-    design. *)
+    design.  [opt_level] (default 1) is mixed into the key: the
+    instruction-stream optimizer changes the compiled artifact (and
+    its {!Program.hash}) without changing the template, so entries
+    compiled at different levels must not alias. *)
 
 val program_key : Program.t -> int32
 (** The fallback content key: {!Program.hash}. *)

@@ -17,6 +17,7 @@ type config = {
   miss_penalty_s : float;
   cache_capacity : int;
   budget : Resource.t;
+  opt_level : int;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     miss_penalty_s = 2e-3;
     cache_capacity = 8;
     budget = Resource.zc706;
+    opt_level = 1;
   }
 
 type rejection = Queue_full | Shed_lower_priority | Unservable
@@ -97,10 +99,10 @@ type report = {
    admission from the request's own problem instance). *)
 type queued = { req : Request.t; key : int32 }
 
-let compile_entry ~budget (req : Request.t) () =
+let compile_entry ~budget ~opt_level (req : Request.t) () =
   let app = App.find req.Request.app in
   let graphs = app.App.graphs (Rng.of_int req.Request.seed) in
-  let program = Compile.compile_application graphs in
+  let program = Compile.compile_application ~opt_level graphs in
   let dse =
     Dse.optimize ~budget
       ~evaluate:(fun accel ->
@@ -151,7 +153,10 @@ let run ?(config = default_config) ~trace () =
     match App.find r.Request.app with
     | exception Not_found -> reject r Unservable
     | app ->
-        let key = Cache.structural_key (app.App.graphs (Rng.of_int r.Request.seed)) in
+        let key =
+          Cache.structural_key ~opt_level:config.opt_level
+            (app.App.graphs (Rng.of_int r.Request.seed))
+        in
         let q = { req = r; key } in
         if List.length !queue >= config.queue_capacity then begin
           (* Shed-on-overload: a strictly lower-priority queued request
@@ -255,7 +260,7 @@ let run ?(config = default_config) ~trace () =
         | q :: rest -> (
             let hit, entry =
               Cache.find_or_add cache q.key (fun () ->
-                  let p, d = compile_entry ~budget:config.budget q.req () in
+                  let p, d = compile_entry ~budget:config.budget ~opt_level:config.opt_level q.req () in
                   Hashtbl.replace pending_penalty q.key ();
                   (p, d))
             in

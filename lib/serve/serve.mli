@@ -31,11 +31,15 @@ type config = {
           triggers a cache miss *)
   cache_capacity : int;
   budget : Resource.t;  (** hardware-generation budget on a miss *)
+  opt_level : int;
+      (** instruction-stream optimization level used for compiles on a
+          cache miss; mixed into the cache key so entries compiled at
+          different levels never alias *)
 }
 
 val default_config : config
 (** 4 instances, none masked, EDF, queue of 64, batches of 8, 20 µs
-    batch overhead, 2 ms miss penalty, 8 cache entries, ZC706. *)
+    batch overhead, 2 ms miss penalty, 8 cache entries, ZC706, O1. *)
 
 type rejection =
   | Queue_full  (** arrived over a full queue with no lower-priority victim *)

@@ -160,3 +160,26 @@ let to_dot (p : Program.t) =
     p.Program.instrs;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Stall attribution for the operand-aware reorder pass.               *)
+
+let operand_stalls (p : Program.t) (r : Schedule.result) =
+  let n = Array.length p.Program.instrs in
+  let out = Array.make n 0 in
+  Array.iter
+    (fun (ins : Instr.t) ->
+      let id = ins.Instr.id in
+      let base = r.Schedule.issue_base.(id) in
+      let ready = ref base and culprit = ref (-1) in
+      Array.iter
+        (fun s ->
+          if r.Schedule.finishes.(s) > !ready then begin
+            ready := r.Schedule.finishes.(s);
+            culprit := s
+          end)
+        ins.Instr.srcs;
+      if !culprit >= 0 && !ready > base then
+        out.(!culprit) <- out.(!culprit) + (!ready - base))
+    p.Program.instrs;
+  out

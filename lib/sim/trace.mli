@@ -33,3 +33,12 @@ val chrome_events : Program.t -> Schedule.result -> Orianna_obs.Chrome_trace.eve
 val chrome_trace : Program.t -> Schedule.result -> string
 (** {!chrome_events} serialized as a Chrome trace-event JSON object —
     loadable in Perfetto or chrome://tracing. *)
+
+val operand_stalls : Program.t -> Schedule.result -> int array
+(** Per-instruction operand-stall attribution: for every instruction
+    that had to wait on operands past its earliest issue cycle
+    ([issue_base]), the wait is charged to its last-finishing source.
+    The resulting array (cycles charged to each {e producer}) is the
+    weight vector [Orianna_isa.Opt.reorder] accepts to hoist
+    long-latency producers using measured rather than modeled
+    latencies. *)

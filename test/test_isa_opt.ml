@@ -1,0 +1,372 @@
+(* Differential-equivalence harness for the instruction-stream
+   optimizer (Orianna_isa.Opt).
+
+   Every pass — and the whole pipeline — must produce programs whose
+   execution yields identical final variable estimates (within 1e-9).
+   The checks use the old->new register maps the passes return, so a
+   failure names the *first diverging instruction* and its value
+   delta, not just a mismatched output.
+
+   Golden snapshots: per-app per-opcode instruction histograms at O0
+   and O1 live in test/golden/isa_opt_<app>.json.  After an
+   intentional compiler or optimizer change, regenerate them from the
+   repo root with
+
+     ORIANNA_UPDATE_GOLDEN=1 ORIANNA_GOLDEN_DIR=test/golden \
+       dune exec test/test_isa_opt.exe
+
+   and commit the diff (the histograms are deterministic: fixed seed,
+   deterministic RNG, deterministic passes). *)
+
+open Orianna_linalg
+open Orianna_isa
+open Orianna_util
+module Compile = Orianna_compiler.Compile
+module App = Orianna_apps.App
+module Schedule = Orianna_sim.Schedule
+module Accel = Orianna_hw.Accel
+module Json = Orianna_obs.Json
+module Cache = Orianna_serve.Cache
+module Graph = Orianna_fg.Graph
+module Var = Orianna_fg.Var
+
+let eps = 1e-9
+let bench_seed = 42
+
+(* ------------------------------------------------------------------ *)
+(* Differential equivalence                                            *)
+
+let max_delta a b =
+  let ra, ca = Mat.dims a and rb, cb = Mat.dims b in
+  if ra <> rb || ca <> cb then infinity
+  else begin
+    let d = ref 0.0 in
+    for i = 0 to ra - 1 do
+      for j = 0 to ca - 1 do
+        d := Float.max !d (Float.abs (Mat.get a i j -. Mat.get b i j))
+      done
+    done;
+    !d
+  end
+
+(* Execute both programs and compare every surviving intermediate
+   value through the register map; on divergence, fail naming the
+   first diverging instruction and the value delta. *)
+let check_equivalent ~what p (p', map) =
+  Program.validate p';
+  let v = Program.execute p and v' = Program.execute p' in
+  Array.iteri
+    (fun i (ins : Instr.t) ->
+      let m = map.(i) in
+      if m >= 0 then begin
+        let d = max_delta v.(i) v'.(m) in
+        if not (d <= eps) then
+          Alcotest.failf "%s: first diverging instruction i%d (%s %dx%d%s) -> new i%d: |delta| = %g"
+            what i
+            (Instr.opcode_name ins.Instr.op)
+            ins.Instr.rows ins.Instr.cols
+            (if ins.Instr.tag = "" then "" else ", " ^ ins.Instr.tag)
+            m d
+      end)
+    p.Program.instrs;
+  let out = Program.run p and out' = Program.run p' in
+  List.iter
+    (fun (name, va) ->
+      match List.assoc_opt name out' with
+      | None -> Alcotest.failf "%s: output %s missing after optimization" what name
+      | Some vb ->
+          if not (Vec.equal ~eps va vb) then
+            Alcotest.failf "%s: final estimate %s diverges by %g" what name
+              (max_delta (Mat.of_vec va) (Mat.of_vec vb)))
+    out
+
+(* Boolean form for QCheck (QCheck prints the shrunk (seed, nvars)
+   counterexample itself). *)
+let equivalent p (p', map) =
+  let v = Program.execute p and v' = Program.execute p' in
+  let ok = ref true in
+  Array.iteri (fun i _ -> if map.(i) >= 0 && max_delta v.(i) v'.(map.(i)) > eps then ok := false) p.Program.instrs;
+  let out = Program.run p and out' = Program.run p' in
+  List.iter
+    (fun (name, va) ->
+      match List.assoc_opt name out' with
+      | None -> ok := false
+      | Some vb -> if not (Vec.equal ~eps va vb) then ok := false)
+    out;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Per-app differential tests (the four registered applications)       *)
+
+let compiled_at_levels (app : App.t) =
+  let graphs = app.App.graphs (Rng.of_int bench_seed) in
+  let p0 = Compile.compile_application ~opt_level:0 graphs in
+  let p1 = Compile.compile_application ~opt_level:1 graphs in
+  (graphs, p0, p1)
+
+let test_app_differential (app : App.t) () =
+  let _, p0, p1 = compiled_at_levels app in
+  (* The compiler wiring must be exactly the pass pipeline applied to
+     the O0 stream — so the traced map from re-running the pipeline
+     here is valid for the wired O1 program too. *)
+  let p1', map, report = Opt.optimize_traced ~level:1 p0 in
+  Alcotest.(check int32) "compile ~opt_level:1 = optimize (compile ~opt_level:0)"
+    (Program.hash p1') (Program.hash p1);
+  check_equivalent ~what:app.App.name p0 (p1', map);
+  Alcotest.(check bool) "never grows" true (report.Opt.after <= report.Opt.before);
+  (* Simulated execution: issued-instruction count at O1 <= O0. *)
+  let accel = Accel.base () in
+  List.iter
+    (fun policy ->
+      let r0 = Schedule.run ~accel ~policy p0 in
+      let r1 = Schedule.run ~accel ~policy p1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s issued O1 (%d) <= O0 (%d)" (Schedule.policy_name policy)
+           r1.Schedule.instructions r0.Schedule.instructions)
+        true
+        (r1.Schedule.instructions <= r0.Schedule.instructions))
+    [ Schedule.In_order; Schedule.Ooo_fine; Schedule.Ooo_full ]
+
+let test_reduction_floor () =
+  (* The CI gate's invariant, asserted in-tree as well: O1 removes at
+     least 5% of instructions on at least two of the four apps. *)
+  let reduced =
+    List.filter
+      (fun (a : App.t) ->
+        let _, p0, p1 = compiled_at_levels a in
+        float_of_int (Program.length p1) <= 0.95 *. float_of_int (Program.length p0))
+      App.all
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf ">= 5%% reduction on >= 2 apps (got %d)" (List.length reduced))
+    true
+    (List.length reduced >= 2)
+
+let test_schedule_invariants_on_optimized () =
+  (* The reorder pass must stay schedule-safe: the scheduler's own
+     accounting invariants (causality, stall decomposition, latency
+     conformance) re-derive cleanly on an optimized stream under every
+     issue policy. *)
+  let p = Compile.compile_application (App.mobile_robot.App.graphs (Rng.of_int 7)) in
+  let accel = Accel.base () in
+  List.iter
+    (fun policy ->
+      let r = Schedule.run ~accel ~policy p in
+      match Schedule.check_invariants ~accel p r with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" (Schedule.policy_name policy) msg)
+    [ Schedule.In_order; Schedule.Ooo_fine; Schedule.Ooo_full ]
+
+let test_stall_weighted_reorder_equivalent () =
+  (* The O2 path: reorder again with measured stall attribution. *)
+  let p = Compile.compile_application (App.auto_vehicle.App.graphs (Rng.of_int 3)) in
+  let accel = Accel.base () in
+  let r = Schedule.run ~accel ~policy:Schedule.In_order p in
+  let stalls = Orianna_sim.Trace.operand_stalls p r in
+  Alcotest.(check int) "stall vector length" (Program.length p) (Array.length stalls);
+  check_equivalent ~what:"stall-weighted reorder" p (Opt.reorder ~stalls p);
+  Alcotest.(check bool) "rejects wrong length" true
+    (try
+       ignore (Opt.reorder ~stalls:[| 0 |] p);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: random factor graphs (generator mirrors test_properties)    *)
+
+let random_linear_graph seed nvars =
+  let rng = Rng.of_int seed in
+  let g = Graph.create () in
+  for i = 0 to nvars - 1 do
+    Graph.add_variable g (Printf.sprintf "v%d" i)
+      (Var.Vector (Array.init 2 (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0)))
+  done;
+  for i = 0 to nvars - 1 do
+    let z = Array.init 2 (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+    Graph.add_factor g
+      (Orianna_factors.Motion_factors.state_cost
+         ~name:(Printf.sprintf "prior%d" i)
+         ~var:(Printf.sprintf "v%d" i) ~target:z ~sigmas:[| 0.5; 0.5 |])
+  done;
+  for _ = 1 to nvars do
+    let a = Rng.int rng nvars and b = Rng.int rng nvars in
+    if a <> b then
+      Graph.add_factor g
+        (Orianna_factors.Motion_factors.smooth
+           ~name:(Printf.sprintf "link%d-%d-%d" a b (Rng.int rng 10000))
+           ~a:(Printf.sprintf "v%d" a) ~b:(Printf.sprintf "v%d" b) ~dt:0.1 ~d:1 ~sigma:0.7)
+  done;
+  g
+
+(* (seed, nvars) shrinks componentwise, so a failure reports a minimal
+   failing graph: smallest nvars, then smallest seed, that still
+   breaks the property. *)
+let pair_seed =
+  QCheck.(make Gen.(pair (int_range 0 1_000_000) (int_range 2 7)) ~print:QCheck.Print.(pair int int))
+
+let passes : (string * (Program.t -> Program.t * int array)) list =
+  [ ("cse", Opt.cse); ("fuse", Opt.fuse); ("dce", Opt.dce); ("reorder", fun p -> Opt.reorder p) ]
+
+let prop_pass name pass =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "opt: %s preserves simulated results, never grows" name)
+    ~count:60 pair_seed
+    (fun (seed, nvars) ->
+      let p = Compile.compile ~opt_level:0 (random_linear_graph seed nvars) in
+      let p', map = pass p in
+      Program.validate p';
+      Program.length p' <= Program.length p && equivalent p (p', map))
+
+let prop_pipeline =
+  QCheck.Test.make ~name:"opt: full pipeline preserves simulated results, never grows" ~count:60
+    pair_seed (fun (seed, nvars) ->
+      let p = Compile.compile ~opt_level:0 (random_linear_graph seed nvars) in
+      let p', map, report = Opt.optimize_traced ~level:1 p in
+      Program.validate p';
+      report.Opt.after <= report.Opt.before
+      && Program.length p' = report.Opt.after
+      && equivalent p (p', map))
+
+(* ------------------------------------------------------------------ *)
+(* Golden snapshots                                                    *)
+
+let golden_dir () = Option.value (Sys.getenv_opt "ORIANNA_GOLDEN_DIR") ~default:"golden"
+
+let histogram_json p =
+  Json.Obj (List.map (fun (op, n) -> (op, Json.int n)) (Program.stats p).Program.by_opcode)
+
+let test_golden (app : App.t) () =
+  let _, p0, p1 = compiled_at_levels app in
+  let actual = Json.Obj [ ("O0", histogram_json p0); ("O1", histogram_json p1) ] in
+  let path =
+    Filename.concat (golden_dir ())
+      ("isa_opt_" ^ String.lowercase_ascii app.App.name ^ ".json")
+  in
+  if Sys.getenv_opt "ORIANNA_UPDATE_GOLDEN" = Some "1" then begin
+    let oc = open_out path in
+    output_string oc (Json.to_string actual);
+    output_char oc '\n';
+    close_out oc
+  end
+  else begin
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let expected = Json.parse contents in
+    if expected <> actual then
+      Alcotest.failf
+        "%s: opcode histogram drifted from %s.@.expected %s@.got      %s@.If the change is \
+         intentional, regenerate with:@.  ORIANNA_UPDATE_GOLDEN=1 ORIANNA_GOLDEN_DIR=test/golden \
+         dune exec test/test_isa_opt.exe"
+        app.App.name path (Json.to_string expected) (Json.to_string actual)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Encode round trip / CRC trailer / cache keys on optimized programs  *)
+
+let symbolic_program ~opt_level () =
+  let open Orianna_fg in
+  let open Orianna_factors in
+  let open Orianna_lie in
+  let g = Graph.create () in
+  let rng = Rng.of_int 8 in
+  let p0 = Pose3.random rng ~scale:1.0 in
+  let p1 = Pose3.random rng ~scale:1.0 in
+  Graph.add_variable g "x0" (Var.Pose3 p0);
+  Graph.add_variable g "x1" (Var.Pose3 p1);
+  Graph.add_factor g (Pose_factors.prior3 ~name:"prior" ~var:"x0" ~z:p0 ~sigma:0.01);
+  Graph.add_factor g
+    (Pose_factors.between3 ~name:"odo" ~a:"x0" ~b:"x1" ~z:(Pose3.ominus p1 p0) ~sigma:0.05);
+  Graph.add_factor g (Pose_factors.gps3 ~name:"gps" ~var:"x1" ~z:(Pose3.translation p1) ~sigma:0.1);
+  Compile.compile ~opt_level g
+
+let same_outputs a b =
+  List.for_all (fun (name, va) -> Vec.equal ~eps:1e-12 va (List.assoc name b)) a
+
+let test_encode_roundtrip_optimized () =
+  let p = symbolic_program ~opt_level:1 () in
+  let p' = Encode.decode (Encode.encode p) in
+  Alcotest.(check bool) "same outputs" true (same_outputs (Program.run p) (Program.run p'));
+  Alcotest.(check int32) "hash survives the wire" (Program.hash p) (Program.hash p')
+
+let test_encode_kernel_roundtrip_optimized () =
+  (* Kernel closures need a resolve registry on decode; CSE/DCE must
+     keep every live kernel instruction addressable by name. *)
+  let p = Compile.compile_application ~opt_level:1 (App.quadrotor.App.graphs (Rng.of_int 4)) in
+  let registry = Hashtbl.create 16 in
+  Array.iter
+    (fun (i : Instr.t) ->
+      match i.Instr.op with
+      | Instr.Kernel k -> Hashtbl.replace registry k.Instr.kname k
+      | _ -> ())
+    p.Program.instrs;
+  let resolve name =
+    match Hashtbl.find_opt registry name with
+    | Some k -> k
+    | None -> raise (Encode.Decode_error ("missing " ^ name))
+  in
+  let p' = Encode.decode ~resolve (Encode.encode p) in
+  Alcotest.(check bool) "same outputs" true (same_outputs (Program.run p) (Program.run p'))
+
+let test_crc_trailer_on_optimized () =
+  let p = Compile.compile_application ~opt_level:1 (App.manipulator.App.graphs (Rng.of_int 5)) in
+  let img = Encode.encode_checksummed p in
+  (match Encode.verify img with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "clean image rejected: %s" msg);
+  let corrupt = Bytes.of_string img in
+  Bytes.set corrupt (Bytes.length corrupt / 2)
+    (Char.chr (Char.code (Bytes.get corrupt (Bytes.length corrupt / 2)) lxor 0x10));
+  Alcotest.(check bool) "corruption detected" true
+    (match Encode.verify (Bytes.to_string corrupt) with Ok _ -> false | Error _ -> true)
+
+let test_hash_changes_structural_key_does_not () =
+  (* The serving cache's contract: optimization changes the compiled
+     artifact (Program.hash) but not the template (structural key) —
+     so the cache keys on the pair (structural key, opt_level). *)
+  let graphs = App.mobile_robot.App.graphs (Rng.of_int bench_seed) in
+  let graphs' = App.mobile_robot.App.graphs (Rng.of_int (bench_seed + 1)) in
+  let p0 = Compile.compile_application ~opt_level:0 graphs in
+  let p1 = Compile.compile_application ~opt_level:1 graphs in
+  Alcotest.(check bool) "Program.hash changes under optimization" true
+    (Program.hash p0 <> Program.hash p1);
+  Alcotest.(check int32) "structural key ignores values and optimization"
+    (Cache.structural_key ~opt_level:1 graphs)
+    (Cache.structural_key ~opt_level:1 graphs');
+  Alcotest.(check bool) "opt_level is part of the cache key" true
+    (Cache.structural_key ~opt_level:0 graphs <> Cache.structural_key ~opt_level:1 graphs)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "isa_opt"
+    [
+      ( "differential",
+        List.map
+          (fun (a : App.t) ->
+            Alcotest.test_case a.App.name `Quick (test_app_differential a))
+          App.all
+        @ [
+            Alcotest.test_case "reduction floor" `Quick test_reduction_floor;
+            Alcotest.test_case "schedule invariants at O1" `Quick
+              test_schedule_invariants_on_optimized;
+            Alcotest.test_case "stall-weighted reorder" `Quick
+              test_stall_weighted_reorder_equivalent;
+          ] );
+      ( "properties",
+        qcheck (List.map (fun (name, pass) -> prop_pass name pass) passes @ [ prop_pipeline ]) );
+      ( "golden",
+        List.map
+          (fun (a : App.t) -> Alcotest.test_case a.App.name `Quick (test_golden a))
+          App.all );
+      ( "encode",
+        [
+          Alcotest.test_case "roundtrip optimized" `Quick test_encode_roundtrip_optimized;
+          Alcotest.test_case "kernel roundtrip optimized" `Quick
+            test_encode_kernel_roundtrip_optimized;
+          Alcotest.test_case "crc trailer optimized" `Quick test_crc_trailer_on_optimized;
+          Alcotest.test_case "hash vs structural key" `Quick
+            test_hash_changes_structural_key_does_not;
+        ] );
+    ]

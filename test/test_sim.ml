@@ -7,7 +7,9 @@ open Orianna_util
 module Compile = Orianna_compiler.Compile
 
 (* A representative program: the compiled mobile-robot application. *)
-let program () = Compile.compile_application (Orianna_apps.App.mobile_robot.Orianna_apps.App.graphs (Rng.of_int 7))
+let program ?opt_level () =
+  Compile.compile_application ?opt_level
+    (Orianna_apps.App.mobile_robot.Orianna_apps.App.graphs (Rng.of_int 7))
 
 let small_graph () =
   let g = Graph.create () in
@@ -148,8 +150,12 @@ let test_tiny_graph_simulates () =
   Alcotest.(check bool) "nonzero cycles" true (r.Schedule.cycles > 0)
 
 let test_fifo_priority_not_faster () =
-  (* Critical-path priority is at least as good as FIFO. *)
-  let p = program () in
+  (* Critical-path priority is at least as good as FIFO on a raw
+     (unoptimized) stream.  At O1 the claim no longer holds: the
+     optimizer's latency-aware reorder bakes a good issue order into
+     the program, which FIFO then follows verbatim — so this check is
+     pinned to O0, where it probes the scheduler heuristic alone. *)
+  let p = program ~opt_level:0 () in
   let accel = Accel.base () in
   let cp = (Schedule.run ~priority:Schedule.Critical_path ~accel ~policy:Schedule.Ooo_full p).Schedule.cycles in
   let fifo = (Schedule.run ~priority:Schedule.Fifo ~accel ~policy:Schedule.Ooo_full p).Schedule.cycles in
