@@ -53,11 +53,7 @@ type frame = {
    last-finishing producer, and feed the measured weights back into
    [Opt.reorder].  The compile-time reorder uses only a static latency
    model; this closes the loop with the cycle-level simulator. *)
-let reoptimize ?accel ?(policy = Schedule.In_order) (p : Program.t) =
-  let accel = match accel with Some a -> a | None -> Accel.base () in
-  let r = Schedule.run ~accel ~policy p in
-  let stalls = Trace.operand_stalls p r in
-  fst (Opt.reorder ~stalls p)
+let reoptimize = Trace.reoptimize
 
 let frame ?(opt_level = 1) (app : App.t) ~seed =
   let graphs = app.App.graphs (Rng.of_int seed) in

@@ -46,8 +46,12 @@ val fuse : Program.t -> Program.t * int array
 (** Peephole rewrites to a fixpoint.  Rewritten instructions keep
     their register; forwarded ones are dropped and their consumers
     redirected.  The only rewrite that can perturb rounding is
-    [Scale s2 (Scale s1 x)] -> [Scale (s1*s2) x]; all others are
-    bit-exact under IEEE-754. *)
+    [Scale s2 (Scale s1 x)] -> [Scale (s1*s2) x].  One more is exact
+    in magnitude but not in sign-of-zero: [Neg (Vsub a b)] ->
+    [Vsub b a] turns [-0.] elements into [+0.] wherever [a] and [b]
+    agree (the symmetric Vadd/Vsub-of-Neg folds are unaffected).  All
+    remaining rewrites are bit-exact under IEEE-754; the harness's
+    1e-9 tolerance absorbs both exceptions. *)
 
 val dce : Program.t -> Program.t * int array
 (** Remove instructions not backward-reachable from [p.outputs]. *)

@@ -103,6 +103,11 @@ let compile_entry ~budget ~opt_level (req : Request.t) () =
   let app = App.find req.Request.app in
   let graphs = app.App.graphs (Rng.of_int req.Request.seed) in
   let program = Compile.compile_application ~opt_level graphs in
+  (* Same -O2 schedule-feedback round as the compile/simulate/profile
+     CLI paths (Pipeline.reoptimize); without it, O2 artifacts would be
+     byte-identical to O1 while still being cached under a distinct
+     (structural key, opt_level) cache key. *)
+  let program = if opt_level >= 2 then Trace.reoptimize program else program in
   let dse =
     Dse.optimize ~budget
       ~evaluate:(fun accel ->

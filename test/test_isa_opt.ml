@@ -171,6 +171,30 @@ let test_stall_weighted_reorder_equivalent () =
        false
      with Invalid_argument _ -> true)
 
+let test_reoptimize_feedback_round () =
+  (* Trace.reoptimize is the whole O2 feedback round (simulate ->
+     attribute stalls -> reorder) shared by Pipeline and the serving
+     runtime's compile path: a pure permutation, so the instruction
+     count is unchanged and every final estimate is preserved. *)
+  List.iter
+    (fun (app : App.t) ->
+      let p1 = Compile.compile_application ~opt_level:1 (app.App.graphs (Rng.of_int bench_seed)) in
+      let p2 = Orianna_sim.Trace.reoptimize p1 in
+      Program.validate p2;
+      Alcotest.(check int)
+        (app.App.name ^ ": O2 keeps instruction count")
+        (Program.length p1) (Program.length p2);
+      let out1 = Program.run p1 and out2 = Program.run p2 in
+      List.iter
+        (fun (name, va) ->
+          match List.assoc_opt name out2 with
+          | None -> Alcotest.failf "%s: output %s missing after O2" app.App.name name
+          | Some vb ->
+              if not (Vec.equal ~eps va vb) then
+                Alcotest.failf "%s: final estimate %s diverges under O2" app.App.name name)
+        out1)
+    App.all
+
 (* ------------------------------------------------------------------ *)
 (* QCheck: random factor graphs (generator mirrors test_properties)    *)
 
@@ -230,7 +254,13 @@ let prop_pipeline =
 (* ------------------------------------------------------------------ *)
 (* Golden snapshots                                                    *)
 
-let golden_dir () = Option.value (Sys.getenv_opt "ORIANNA_GOLDEN_DIR") ~default:"golden"
+(* Default resolution works whether the exe runs from the test dir
+   (dune runtest) or the repo root (dune exec test/test_isa_opt.exe);
+   ORIANNA_GOLDEN_DIR overrides both. *)
+let golden_dir () =
+  match Sys.getenv_opt "ORIANNA_GOLDEN_DIR" with
+  | Some d -> d
+  | None -> if Sys.file_exists "golden" then "golden" else "test/golden"
 
 let histogram_json p =
   Json.Obj (List.map (fun (op, n) -> (op, Json.int n)) (Program.stats p).Program.by_opcode)
@@ -353,6 +383,7 @@ let () =
               test_schedule_invariants_on_optimized;
             Alcotest.test_case "stall-weighted reorder" `Quick
               test_stall_weighted_reorder_equivalent;
+            Alcotest.test_case "O2 feedback round" `Quick test_reoptimize_feedback_round;
           ] );
       ( "properties",
         qcheck (List.map (fun (name, pass) -> prop_pass name pass) passes @ [ prop_pipeline ]) );

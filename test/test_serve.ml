@@ -30,6 +30,16 @@ let test_structural_key_seed_invariant () =
   let km seed = Cache.structural_key (App.manipulator.App.graphs (Rng.of_int seed)) in
   Alcotest.(check bool) "apps differ" true (k 1 <> km 1)
 
+let test_structural_key_opt_level () =
+  (* Effective opt levels are {0, 1, 2}: distinct levels must not
+     alias, but levels beyond 2 compile identically to 2 and must
+     share its entry. *)
+  let k lvl = Cache.structural_key ~opt_level:lvl (App.quadrotor.App.graphs (Rng.of_int 1)) in
+  Alcotest.(check bool) "O0 <> O1" true (k 0 <> k 1);
+  Alcotest.(check bool) "O1 <> O2" true (k 1 <> k 2);
+  Alcotest.(check bool) "O2 = O3" true (k 2 = k 3);
+  Alcotest.(check bool) "O0 = O-1" true (k 0 = k (-1))
+
 let test_cache_counts_and_lru () =
   let compiles = ref 0 in
   let cache = Cache.create ~capacity:2 in
@@ -194,6 +204,7 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "structural key" `Quick test_structural_key_seed_invariant;
+          Alcotest.test_case "structural key opt level" `Quick test_structural_key_opt_level;
           Alcotest.test_case "counts and LRU" `Slow test_cache_counts_and_lru;
         ] );
       ( "campaign",
