@@ -193,8 +193,96 @@ let emit_isa_opt_bench () =
   close_out oc;
   Printf.printf "Instruction-stream optimizer bench (seed 42, 4 apps) -> %s\n\n" path
 
+(* Multicore macro-benchmark: the three top-level fan-out sites (DSE
+   candidate sweep, fault campaign, per-app x policy schedule matrix)
+   timed fully sequential (jobs = 1) and on the domain pool (jobs = 4),
+   with a structural-equality check that both runs produced the same
+   result — the determinism contract, enforced as part of the perf
+   artifact.  Emitted to BENCH_par.json; CI gates the speedups. *)
+let emit_par_bench () =
+  let module Json = Orianna_obs.Json in
+  let module Pool = Orianna_par.Pool in
+  let module Campaign = Orianna_fault.Campaign in
+  let module Pipeline = Orianna.Pipeline in
+  let par_jobs = 4 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Each workload returns a structural digest of its full result, so
+     the sequential-vs-parallel comparison is exact without keeping
+     heterogeneous result types around. *)
+  let digest v = Digest.to_hex (Digest.string (Marshal.to_string v [])) in
+  let auto_frame = Pipeline.frame App.auto_vehicle ~seed:42 in
+  let mobile_frame = Pipeline.frame App.mobile_robot ~seed:42 in
+  let mobile_accel = (Pipeline.generate mobile_frame.Pipeline.program).Orianna_hw.Dse.best in
+  let workloads =
+    [
+      ( "dse_sweep",
+        fun () ->
+          let r = Pipeline.generate auto_frame.Pipeline.program in
+          digest (r.Orianna_hw.Dse.best, r.Orianna_hw.Dse.objective, r.Orianna_hw.Dse.trace) );
+      ( "fault_campaign",
+        fun () ->
+          let config = { Campaign.default_config with Campaign.missions = 48 } in
+          let s =
+            Campaign.run ~config ~rng:(Rng.of_int 42) ~graphs:mobile_frame.Pipeline.graphs
+              ~program:mobile_frame.Pipeline.program ~accel:mobile_accel ()
+          in
+          digest (s.Campaign.events, s.Campaign.totals, s.Campaign.worst_slowdown) );
+      ( "app_matrix",
+        fun () ->
+          digest
+            (Pool.parallel_map_list
+               (fun ((a : App.t), policy) ->
+                 let graphs = a.App.graphs (Rng.of_int 42) in
+                 let p = Compile.compile_application graphs in
+                 let r = Schedule.run ~accel ~policy p in
+                 (a.App.name, Schedule.policy_name policy, r.Schedule.cycles, r.Schedule.energy_j))
+               (List.concat_map
+                  (fun a ->
+                    List.map
+                      (fun pol -> (a, pol))
+                      [ Schedule.Ooo_full; Schedule.Ooo_fine; Schedule.In_order ])
+                  App.all)) );
+    ]
+  in
+  print_endline "Parallel sweep bench (sequential vs 4-job domain pool):";
+  let entries =
+    List.map
+      (fun (name, work) ->
+        Pool.set_default_jobs 1;
+        let seq_result, seq_s = time work in
+        Pool.set_default_jobs par_jobs;
+        let par_result, par_s = time work in
+        Pool.set_default_jobs 1;
+        let identical = String.equal seq_result par_result in
+        let speedup = seq_s /. par_s in
+        Printf.printf "  %-16s seq %7.3f s | par %7.3f s | %.2fx %s\n" name seq_s par_s
+          speedup
+          (if identical then "(identical results)" else "(RESULTS DIFFER!)");
+        ( name,
+          Json.Obj
+            [
+              ("sequential_s", Json.Num seq_s);
+              ("parallel_s", Json.Num par_s);
+              ("speedup", Json.Num speedup);
+              ("identical", Json.Bool identical);
+            ] ))
+      workloads
+  in
+  let path = "BENCH_par.json" in
+  let oc = open_out path in
+  output_string oc
+    (Json.to_string (Json.Obj [ ("jobs", Json.int par_jobs); ("workloads", Json.Obj entries) ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "-> %s\n\n" path
+
 let () =
-  if Array.exists (( = ) "--isa-opt-only") Sys.argv then emit_isa_opt_bench ()
+  if Array.exists (( = ) "--par-only") Sys.argv then emit_par_bench ()
+  else if Array.exists (( = ) "--isa-opt-only") Sys.argv then emit_isa_opt_bench ()
   else begin
     print_endline "=====================================================================";
     print_endline " ORIANNA evaluation reproduction (one entry per paper table/figure)";

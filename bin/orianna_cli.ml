@@ -44,6 +44,16 @@ let app_pos =
 let seed_flag =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload random seed.")
 
+let jobs_flag =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel sweeps (DSE candidates, fault missions, \
+                 experiment matrices). Defaults to $(b,ORIANNA_JOBS) or the machine's \
+                 recommended domain count; 1 forces fully sequential execution. Results are \
+                 bit-identical for any value.")
+
+let set_jobs jobs = Option.iter Orianna_par.Pool.set_default_jobs jobs
+
 let opt_level_flag =
   Arg.(value & opt int 1
        & info [ "opt-level"; "O" ] ~docv:"N"
@@ -135,28 +145,87 @@ let generate_cmd =
     Arg.(value & opt (enum [ ("latency", `Latency); ("energy", `Energy) ]) `Latency
          & info [ "objective" ] ~doc:"Generation objective.")
   in
-  let run app seed dsp objective trace report =
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the DSE trace and chosen configuration as JSON. The output is a pure \
+                   function of the inputs (no timings), so it diffs byte-for-byte across job \
+                   counts.")
+  in
+  let run app seed jobs dsp objective json trace report =
+    set_jobs jobs;
     with_obs ~trace ~report
       ~meta:[ ("command", "generate"); ("app", app.App.name); ("seed", string_of_int seed) ]
     @@ fun () ->
     let frame = Pipeline.frame app ~seed in
     let budget = { Resource.zc706 with Resource.dsp = dsp } in
     let result = Pipeline.generate ~budget ~objective frame.Pipeline.program in
-    List.iter
-      (fun (s : Dse.step) ->
-        let what =
-          match s.Dse.added with
-          | None -> "(initial)"
-          | Some (Dse.Add_unit c) -> "+" ^ Unit_model.class_name c
-          | Some Dse.Widen_qr -> "widen QR"
-        in
-        Format.printf "  %-12s objective %.4g  (%a)@." what s.Dse.objective Resource.pp
-          s.Dse.resources)
-      result.Dse.trace;
-    Format.printf "%a@." Accel.pp result.Dse.best;
+    let move_name = function
+      | None -> "initial"
+      | Some (Dse.Add_unit c) -> "+" ^ Unit_model.class_name c
+      | Some Dse.Widen_qr -> "widen-qr"
+    in
+    if json then begin
+      let module J = Orianna_obs.Json in
+      let accel_json (a : Accel.t) =
+        J.Obj
+          [
+            ("name", J.Str a.Accel.name);
+            ( "counts",
+              J.Obj
+                (List.map
+                   (fun (cls, n) -> (Unit_model.class_name cls, J.int n))
+                   a.Accel.counts) );
+            ("qr_rotators", J.int a.Accel.qr_rotators);
+          ]
+      in
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ( "meta",
+                  J.Obj
+                    [
+                      ("command", J.Str "generate");
+                      ("app", J.Str app.App.name);
+                      ("seed", J.int seed);
+                      ("dsp", J.int dsp);
+                      ( "objective",
+                        J.Str (match objective with `Latency -> "latency" | `Energy -> "energy")
+                      );
+                    ] );
+                ( "trace",
+                  J.Arr
+                    (List.map
+                       (fun (s : Dse.step) ->
+                         J.Obj
+                           [
+                             ("move", J.Str (move_name s.Dse.added));
+                             ("objective", J.Num s.Dse.objective);
+                             ("dsp", J.int s.Dse.resources.Resource.dsp);
+                           ])
+                       result.Dse.trace) );
+                ("best", accel_json result.Dse.best);
+                ("objective", J.Num result.Dse.objective);
+              ]))
+    end
+    else begin
+      List.iter
+        (fun (s : Dse.step) ->
+          let what =
+            match s.Dse.added with None -> "(initial)" | some -> move_name some
+          in
+          Format.printf "  %-12s objective %.4g  (%a)@." what s.Dse.objective Resource.pp
+            s.Dse.resources)
+        result.Dse.trace;
+      Format.printf "%a@." Accel.pp result.Dse.best
+    end;
     []
   in
-  let term = Term.(const run $ app_pos $ seed_flag $ dsp $ objective $ trace_flag $ report_flag) in
+  let term =
+    Term.(const run $ app_pos $ seed_flag $ jobs_flag $ dsp $ objective $ json_flag $ trace_flag
+          $ report_flag)
+  in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate an accelerator for an application under a resource budget.")
     term
@@ -174,7 +243,8 @@ let simulate_cmd =
          & info [ "timeline" ]
              ~doc:"Print the per-unit-class utilization heat-strip alongside the summary.")
   in
-  let run app seed opt_level policy timeline trace report =
+  let run app seed jobs opt_level policy timeline trace report =
+    set_jobs jobs;
     with_obs ~trace ~report
       ~meta:
         [
@@ -198,7 +268,8 @@ let simulate_cmd =
     if trace <> None then Orianna_sim.Trace.chrome_events frame.Pipeline.program r else []
   in
   let term =
-    Term.(const run $ app_pos $ seed_flag $ opt_level_flag $ policy $ timeline $ trace_flag $ report_flag)
+    Term.(const run $ app_pos $ seed_flag $ jobs_flag $ opt_level_flag $ policy $ timeline
+          $ trace_flag $ report_flag)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Cycle-level execution on a generated accelerator.") term
 
@@ -353,7 +424,8 @@ let profile_cmd =
              ~doc:"Print the run report as JSON to stdout instead of text tables — the same \
                    machine-readable shape `serve --report` emits.")
   in
-  let run app seed opt_level policy json trace report =
+  let run app seed jobs opt_level policy json trace report =
+    set_jobs jobs;
     Obs.enable ();
     let frame = Obs.with_span "compile" (fun () -> Pipeline.frame ~opt_level app ~seed) in
     let accel =
@@ -431,8 +503,8 @@ let profile_cmd =
   in
   let term =
     Term.(
-      const run $ app_pos $ seed_flag $ opt_level_flag $ policy $ json_flag $ trace_flag
-      $ report_flag)
+      const run $ app_pos $ seed_flag $ jobs_flag $ opt_level_flag $ policy $ json_flag
+      $ trace_flag $ report_flag)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -458,7 +530,14 @@ let faults_cmd =
   let events =
     Arg.(value & flag & info [ "events" ] ~doc:"Print the per-mission event log before the summary.")
   in
-  let run app seed missions policy retries events trace report =
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the mission log and summary as JSON instead of the table. The output \
+                   contains no timings, so it diffs byte-for-byte across job counts.")
+  in
+  let run app seed jobs missions policy retries events json trace report =
+    set_jobs jobs;
     let any_escaped = ref false in
     with_obs ~trace ~report
       ~meta:
@@ -478,11 +557,75 @@ let faults_cmd =
           Campaign.run ~config ~rng:(Rng.of_int seed) ~graphs:frame.Pipeline.graphs
             ~program:frame.Pipeline.program ~accel ()
         in
-        if events then
-          List.iter (fun e -> Format.printf "%a@." Fault.pp_event e) summary.Campaign.events;
-        Format.printf "%s %s, seed %d: %d missions on %s@." app.App.name
-          (Schedule.policy_name policy) seed missions accel.Accel.name;
-        print_string (Campaign.table summary);
+        if json then begin
+          let module J = Orianna_obs.Json in
+          let outcome_json (o : Fault.outcome) =
+            match o with
+            | Fault.Masked -> J.Obj [ ("kind", J.Str "masked") ]
+            | Fault.Escaped why -> J.Obj [ ("kind", J.Str "escaped"); ("why", J.Str why) ]
+            | Fault.Recovered { detector; recovery; attempts; backoff_cycles } ->
+                J.Obj
+                  [
+                    ("kind", J.Str "recovered");
+                    ("detector", J.Str (Fault.detector_name detector));
+                    ("recovery", J.Str (Fault.recovery_name recovery));
+                    ("attempts", J.int attempts);
+                    ("backoff_cycles", J.int backoff_cycles);
+                  ]
+          in
+          let stats_json (s : Campaign.class_stats) =
+            J.Obj
+              [
+                ("injected", J.int s.Campaign.injected);
+                ("detected", J.int s.Campaign.detected);
+                ("recovered", J.int s.Campaign.recovered);
+                ("masked", J.int s.Campaign.masked);
+                ("escaped", J.int s.Campaign.escaped);
+              ]
+          in
+          print_endline
+            (J.to_string
+               (J.Obj
+                  [
+                    ( "meta",
+                      J.Obj
+                        [
+                          ("command", J.Str "faults");
+                          ("app", J.Str app.App.name);
+                          ("seed", J.int seed);
+                          ("missions", J.int missions);
+                          ("policy", J.Str (Schedule.policy_name policy));
+                          ("accel", J.Str accel.Accel.name);
+                        ] );
+                    ( "events",
+                      J.Arr
+                        (List.map
+                           (fun (e : Fault.event) ->
+                             J.Obj
+                               [
+                                 ("mission", J.int e.Fault.mission);
+                                 ("class", J.Str (Fault.class_name e.Fault.fclass));
+                                 ("description", J.Str e.Fault.description);
+                                 ("outcome", outcome_json e.Fault.outcome);
+                               ])
+                           summary.Campaign.events) );
+                    ( "per_class",
+                      J.Obj
+                        (List.map
+                           (fun (fc, s) -> (Fault.class_name fc, stats_json s))
+                           summary.Campaign.per_class) );
+                    ("totals", stats_json summary.Campaign.totals);
+                    ("worst_slowdown", J.Num summary.Campaign.worst_slowdown);
+                    ("total_backoff_cycles", J.int summary.Campaign.total_backoff_cycles);
+                  ]))
+        end
+        else begin
+          if events then
+            List.iter (fun e -> Format.printf "%a@." Fault.pp_event e) summary.Campaign.events;
+          Format.printf "%s %s, seed %d: %d missions on %s@." app.App.name
+            (Schedule.policy_name policy) seed missions accel.Accel.name;
+          print_string (Campaign.table summary)
+        end;
         any_escaped := Campaign.escaped summary;
         []);
     if !any_escaped then begin
@@ -490,7 +633,10 @@ let faults_cmd =
       exit 1
     end
   in
-  let term = Term.(const run $ app_pos $ seed_flag $ missions $ policy $ retries $ events $ trace_flag $ report_flag) in
+  let term =
+    Term.(const run $ app_pos $ seed_flag $ jobs_flag $ missions $ policy $ retries $ events
+          $ json_flag $ trace_flag $ report_flag)
+  in
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Monte-Carlo fault-injection campaign: inject seeded faults, report detection / recovery / escape rates, exit non-zero iff a fault escapes.")
@@ -581,8 +727,9 @@ let serve_cmd =
              ~doc:"Compare the deadline-miss rate against a checked-in baseline JSON and exit \
                    non-zero on regression.")
   in
-  let run apps_spec seed opt_level requests rate burst instances policy queue max_batch
+  let run apps_spec seed jobs opt_level requests rate burst instances policy queue max_batch
       cache_capacity deadline_ms masked json baseline trace report =
+    set_jobs jobs;
     let apps =
       if String.lowercase_ascii apps_spec = "all" then List.map (fun (a : App.t) -> a.App.name) App.all
       else
@@ -677,7 +824,8 @@ let serve_cmd =
       baseline
   in
   let term =
-    Term.(const run $ apps_flag $ seed_flag $ opt_level_flag $ requests $ rate $ burst $ instances $ policy $ queue
+    Term.(const run $ apps_flag $ seed_flag $ jobs_flag $ opt_level_flag $ requests $ rate $ burst
+          $ instances $ policy $ queue
           $ max_batch $ cache_capacity $ deadline_ms $ mask $ json_flag $ baseline $ trace_flag
           $ report_flag)
   in
@@ -697,7 +845,8 @@ let experiments_cmd =
          & info [ "only" ] ~docv:"ID"
              ~doc:"Run a single experiment: table1, table4, table5, fig13..fig20, breakdown,                    frame-rates, ablations, robust, manhattan, faults, serve.")
   in
-  let run missions only trace report =
+  let run missions jobs only trace report =
+    set_jobs jobs;
     with_obs ~trace ~report ~meta:[ ("command", "experiments") ] @@ fun () ->
     (match only with
     | None -> Experiments.run_all ~missions ()
@@ -730,7 +879,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate every table and figure of the evaluation.")
-    Term.(const run $ missions $ only $ trace_flag $ report_flag)
+    Term.(const run $ missions $ jobs_flag $ only $ trace_flag $ report_flag)
 
 let () =
   (* ORIANNA_LOG=debug|info enables library logging. *)

@@ -11,11 +11,14 @@ module Elimination = Orianna_fg.Elimination
 module Ordering = Orianna_fg.Ordering
 module Linear_system = Orianna_fg.Linear_system
 module Campaign = Orianna_fault.Campaign
+module Pool = Orianna_par.Pool
 
 type context = { seed : int; evals : Pipeline.evaluation list }
 
+(* Per-app evaluation (DSE + schedules + baselines) is the dominant
+   cost of [run_all]; the apps are independent, so fan out. *)
 let make_context ?(seed = 42) () =
-  { seed; evals = List.map (fun app -> Pipeline.evaluate app ~seed) App.all }
+  { seed; evals = Pool.parallel_map_list (fun app -> Pipeline.evaluate app ~seed) App.all }
 
 let f2 = Texttable.cell_fx ~decimals:2
 let f1 = Texttable.cell_fx ~decimals:1
@@ -383,10 +386,15 @@ let sweep_row ctx ~objective dsp =
       Accel.base ()
       :: List.filter_map (fun (_, a) -> a) (manual_designs budget)
     in
+    (* One evaluation cache across the starts: greedy paths from
+       different initial allocations revisit the same configurations,
+       and the averaged objective is expensive. *)
+    let cache = Dse.cache () in
     let results =
       List.filter_map
         (fun init ->
-          if Accel.fits init ~budget then Some (Dse.optimize ~budget ~evaluate ~init ()) else None)
+          if Accel.fits init ~budget then Some (Dse.optimize ~budget ~evaluate ~init ~cache ())
+          else None)
         starts
     in
     (List.fold_left
@@ -407,7 +415,7 @@ let sweep_row ctx ~objective dsp =
       manuals )
 
 let sweep_table ctx ~objective ~title =
-  let rows = List.map (sweep_row ctx ~objective) dsp_sweep in
+  let rows = Pool.parallel_map_list (sweep_row ctx ~objective) dsp_sweep in
   let manual_names = List.map fst manual_shapes in
   let t = Texttable.create ~title ~headers:([ "DSP budget"; "ORIANNA (generated)" ] @ manual_names) in
   List.iter
@@ -620,17 +628,17 @@ let extension_faults ?(missions = 16) () =
            missions)
       ~headers:[ "App"; "Injected"; "Detected"; "Recovered"; "Masked"; "Escaped"; "Worst slowdown" ]
   in
-  List.iter
-    (fun (app : App.t) ->
-      let frame = Pipeline.frame app ~seed:42 in
-      let accel = (Pipeline.generate frame.Pipeline.program).Dse.best in
-      let config = { Campaign.default_config with Campaign.missions } in
-      let s =
-        Campaign.run ~config ~rng:(Rng.of_int 42) ~graphs:frame.Pipeline.graphs
-          ~program:frame.Pipeline.program ~accel ()
-      in
-      let tot = s.Campaign.totals in
-      Texttable.add_row t
+  let rows =
+    Pool.parallel_map_list
+      (fun (app : App.t) ->
+        let frame = Pipeline.frame app ~seed:42 in
+        let accel = (Pipeline.generate frame.Pipeline.program).Dse.best in
+        let config = { Campaign.default_config with Campaign.missions } in
+        let s =
+          Campaign.run ~config ~rng:(Rng.of_int 42) ~graphs:frame.Pipeline.graphs
+            ~program:frame.Pipeline.program ~accel ()
+        in
+        let tot = s.Campaign.totals in
         [
           app.App.name;
           string_of_int tot.Campaign.injected;
@@ -640,7 +648,9 @@ let extension_faults ?(missions = 16) () =
           string_of_int tot.Campaign.escaped;
           Printf.sprintf "%.2fx" s.Campaign.worst_slowdown;
         ])
-    App.all;
+      App.all
+  in
+  List.iter (Texttable.add_row t) rows;
   Texttable.render t
 
 let extension_serve ?(requests = 200) () =
@@ -656,30 +666,44 @@ let extension_serve ?(requests = 200) () =
       ~headers:
         [ "App"; "Policy"; "Completed"; "Rejected"; "Cache hit"; "p50 ms"; "p99 ms"; "DL miss" ]
   in
-  List.iter
-    (fun (app : App.t) ->
-      List.iter
-        (fun policy ->
-          let trace =
-            Request.generate ~rng:(Rng.of_int 42)
-              ~shape:(Request.Poisson { rate_hz = 20000.0 })
-              ~apps:[ app.App.name ] ~deadline_s:(1e-3, 4e-3) ~n:requests
-          in
-          let config = { Serve.default_config with Serve.policy } in
-          let r = Serve.run ~config ~trace () in
-          Texttable.add_row t
-            [
-              app.App.name;
-              Dispatch.policy_name policy;
-              string_of_int r.Serve.completed;
-              string_of_int (List.length r.Serve.rejections);
-              Printf.sprintf "%.1f%%" (100.0 *. Cache.hit_rate r.Serve.cache);
-              Printf.sprintf "%.3f" r.Serve.p50_ms;
-              Printf.sprintf "%.3f" r.Serve.p99_ms;
-              Printf.sprintf "%.1f%%" (100.0 *. r.Serve.deadline_miss_rate);
-            ])
-        [ Orianna_serve.Dispatch.Fifo; Orianna_serve.Dispatch.Edf; Orianna_serve.Dispatch.Least_loaded ])
-    App.all;
+  (* The app x policy cells are independent virtual-clock DES runs
+     (each [Serve.run] owns its cache and fleet state) — the whole
+     matrix fans out. *)
+  let cells =
+    List.concat_map
+      (fun (app : App.t) ->
+        List.map
+          (fun policy -> (app, policy))
+          [
+            Orianna_serve.Dispatch.Fifo;
+            Orianna_serve.Dispatch.Edf;
+            Orianna_serve.Dispatch.Least_loaded;
+          ])
+      App.all
+  in
+  let rows =
+    Pool.parallel_map_list
+      (fun ((app : App.t), policy) ->
+        let trace =
+          Request.generate ~rng:(Rng.of_int 42)
+            ~shape:(Request.Poisson { rate_hz = 20000.0 })
+            ~apps:[ app.App.name ] ~deadline_s:(1e-3, 4e-3) ~n:requests
+        in
+        let config = { Serve.default_config with Serve.policy } in
+        let r = Serve.run ~config ~trace () in
+        [
+          app.App.name;
+          Dispatch.policy_name policy;
+          string_of_int r.Serve.completed;
+          string_of_int (List.length r.Serve.rejections);
+          Printf.sprintf "%.1f%%" (100.0 *. Cache.hit_rate r.Serve.cache);
+          Printf.sprintf "%.3f" r.Serve.p50_ms;
+          Printf.sprintf "%.3f" r.Serve.p99_ms;
+          Printf.sprintf "%.1f%%" (100.0 *. r.Serve.deadline_miss_rate);
+        ])
+      cells
+  in
+  List.iter (Texttable.add_row t) rows;
   Texttable.render t
 
 let run_all ?(missions = 30) () =

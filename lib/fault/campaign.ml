@@ -8,6 +8,7 @@ module Graph = Orianna_fg.Graph
 module Var = Orianna_fg.Var
 module Optimizer = Orianna_fg.Optimizer
 module Obs = Orianna_obs.Obs
+module Pool = Orianna_par.Pool
 
 type config = {
   missions : int;
@@ -298,34 +299,65 @@ let run ?(config = default_config) ~rng ~graphs ~program ~accel () =
         { gname; graph; ref_error; solution = Graph.copy_values graph })
       graphs
   in
-  let events = ref [] in
-  let worst_slowdown = ref 1.0 in
-  let total_backoff = ref 0 in
-  for mission = 1 to config.missions do
-    let mrng = Rng.split rng in
+  (* Missions are mutually independent: every mission path restores
+     the graph state it touched, and each draws from its own split RNG
+     stream.  Splitting all streams up front makes mission [m]'s
+     stream identical to what the sequential [Rng.split]-per-iteration
+     loop produced, so outcomes are bit-identical at any job count.
+     The only shared mutable state is the gref graphs — worker chunks
+     beyond the first get their own [Graph.copy] set (chunk 0 keeps
+     the caller's graphs, so a single-chunk run touches exactly what
+     the sequential campaign touched). *)
+  let mission_rngs = Rng.split_n rng config.missions in
+  let mission ~grefs m mrng =
     let fclass = List.nth Fault.all_classes (Rng.int mrng (List.length Fault.all_classes)) in
-    let description, outcome =
+    let (description, outcome), slowdown =
       match fclass with
-      | Fault.Bit_flip -> bit_flip_mission ~config ~mrng ~grefs
+      | Fault.Bit_flip -> (bit_flip_mission ~config ~mrng ~grefs, 1.0)
       | Fault.Stuck_unit ->
           let d, o, slowdown = stuck_unit_mission ~config ~mrng ~program ~accel ~ref_sched in
-          worst_slowdown := Float.max !worst_slowdown slowdown;
-          (d, o)
-      | Fault.Latency_jitter -> jitter_mission ~config ~mrng ~program ~accel
-      | Fault.Instr_corruption -> corruption_mission ~mrng ~image ~payload
+          ((d, o), slowdown)
+      | Fault.Latency_jitter -> (jitter_mission ~config ~mrng ~program ~accel, 1.0)
+      | Fault.Instr_corruption -> (corruption_mission ~mrng ~image ~payload, 1.0)
     in
-    (match outcome with
-    | Fault.Recovered { backoff_cycles; _ } -> total_backoff := !total_backoff + backoff_cycles
-    | Fault.Masked | Fault.Escaped _ -> ());
     Obs.count (Printf.sprintf "fault.%s.%s" (Fault.class_name fclass) (Fault.outcome_name outcome));
     (match outcome with
     | Fault.Recovered { detector; recovery; _ } ->
         Obs.count ("fault.detected_by." ^ Fault.detector_name detector);
         Obs.count ("fault.recovered_by." ^ Fault.recovery_name recovery)
     | Fault.Masked | Fault.Escaped _ -> ());
-    events := { Fault.mission; fclass; description; outcome } :: !events
-  done;
-  let events = List.rev !events in
+    ({ Fault.mission = m; fclass; description; outcome }, slowdown)
+  in
+  let ranges =
+    Pool.chunk_ranges ~chunks:(Pool.default_jobs ()) ~n:config.missions
+  in
+  let chunks =
+    Pool.parallel_map
+      (fun (ci, (lo, hi)) ->
+        let grefs =
+          if ci = 0 then grefs
+          else List.map (fun gr -> { gr with graph = Graph.copy gr.graph }) grefs
+        in
+        let out = ref [] in
+        for m = lo to hi - 1 do
+          out := mission ~grefs (m + 1) mission_rngs.(m) :: !out
+        done;
+        List.rev !out)
+      (Array.mapi (fun ci r -> (ci, r)) ranges)
+  in
+  let results = List.concat (Array.to_list chunks) in
+  let events = List.map fst results in
+  let worst_slowdown =
+    List.fold_left (fun acc (_, s) -> Float.max acc s) 1.0 results
+  in
+  let total_backoff =
+    List.fold_left
+      (fun acc ((e : Fault.event), _) ->
+        match e.Fault.outcome with
+        | Fault.Recovered { backoff_cycles; _ } -> acc + backoff_cycles
+        | Fault.Masked | Fault.Escaped _ -> acc)
+      0 results
+  in
   let per_class =
     List.map
       (fun fc ->
@@ -345,8 +377,8 @@ let run ?(config = default_config) ~rng ~graphs ~program ~accel () =
     events;
     per_class;
     totals;
-    worst_slowdown = !worst_slowdown;
-    total_backoff_cycles = !total_backoff;
+    worst_slowdown;
+    total_backoff_cycles = total_backoff;
   }
 
 (* ------------------------------------------------------------------ *)

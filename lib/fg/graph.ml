@@ -59,6 +59,12 @@ let linearize t = List.map (fun f -> Linear_system.of_factor f (lookup t)) (fact
 
 let factor_scopes t = List.map Factor.vars (factors t)
 
+(* Shallow: the value table is duplicated (so [set_value] on the copy
+   leaves the original untouched) while the immutable [Var.t] values
+   and the factor/variable lists are shared. *)
+let copy t =
+  { values = Hashtbl.copy t.values; rev_vars = t.rev_vars; rev_factors = t.rev_factors }
+
 let copy_values t = List.map (fun v -> (v, value t v)) (variables t)
 
 let restore_values t saved = List.iter (fun (name, v) -> Hashtbl.replace t.values name v) saved

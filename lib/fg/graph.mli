@@ -50,6 +50,13 @@ val linearize : t -> Linear_system.t list
 
 val factor_scopes : t -> string list list
 
+val copy : t -> t
+(** Independent working copy: mutating the copy's variable values
+    ([set_value]/[restore_values]) leaves the original untouched.
+    Structure (variables, factors) and the immutable values themselves
+    are shared.  Fault campaigns hand one copy per worker so missions
+    can corrupt and re-solve graphs concurrently. *)
+
 val copy_values : t -> (string * Var.t) list
 
 val restore_values : t -> (string * Var.t) list -> unit

@@ -2,6 +2,7 @@ let src = Logs.Src.create "orianna.dse" ~doc:"Hardware design-space exploration"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 module Obs = Orianna_obs.Obs
+module Pool = Orianna_par.Pool
 
 type move = Add_unit of Unit_model.unit_class | Widen_qr
 
@@ -14,13 +15,36 @@ type step = {
 
 type result = { best : Accel.t; objective : float; trace : step list }
 
-let optimize ~budget ~evaluate ?(classes = Unit_model.all_classes) ?init ?(min_gain = 0.005) () =
+type config_key = int list * int
+
+let config_key a =
+  (List.map (fun cls -> Accel.count a cls) Unit_model.all_classes, a.Accel.qr_rotators)
+
+let cache () : (config_key, float) Hashtbl.t = Hashtbl.create 64
+
+(* Memoized, batched evaluation: look every configuration up first,
+   evaluate only the misses — in parallel, since [evaluate] is a pure
+   function of the configuration — and store them in input order.
+   Scores come back in input order either way, so the greedy search
+   below is independent of the job count. *)
+let evaluate_batch ~cache ~evaluate accels =
+  let pending = List.filter (fun a -> not (Hashtbl.mem cache (config_key a))) accels in
+  let hits = List.length accels - List.length pending in
+  if hits > 0 then Obs.count "dse.candidates.cached" ~n:hits;
+  if pending <> [] then begin
+    Obs.count "dse.candidates.evaluated" ~n:(List.length pending);
+    let scores = Pool.parallel_map_list evaluate pending in
+    List.iter2 (fun a s -> Hashtbl.replace cache (config_key a) s) pending scores
+  end;
+  List.map (fun a -> Hashtbl.find cache (config_key a)) accels
+
+let optimize ~budget ~evaluate ?(classes = Unit_model.all_classes) ?init ?(min_gain = 0.005)
+    ?cache:(tbl = cache ()) () =
   Obs.with_span "dse.optimize" @@ fun () ->
   let current = ref (match init with Some a -> a | None -> Accel.base ()) in
   if not (Accel.fits !current ~budget) then
     invalid_arg "Dse.optimize: initial configuration exceeds the budget";
-  let objective = ref (evaluate !current) in
-  Obs.count "dse.candidates.evaluated";
+  let objective = ref (List.hd (evaluate_batch ~cache:tbl ~evaluate [ !current ])) in
   let trace =
     ref [ { added = None; accel = !current; objective = !objective; resources = Accel.resources !current } ]
   in
@@ -32,7 +56,7 @@ let optimize ~budget ~evaluate ?(classes = Unit_model.all_classes) ?init ?(min_g
     let moves =
       Widen_qr :: List.map (fun cls -> Add_unit cls) classes
     in
-    let candidates =
+    let feasible =
       List.filter_map
         (fun move ->
           let candidate =
@@ -40,16 +64,15 @@ let optimize ~budget ~evaluate ?(classes = Unit_model.all_classes) ?init ?(min_g
             | Add_unit cls -> Accel.with_extra !current cls
             | Widen_qr -> Accel.with_wider_qr !current
           in
-          if Accel.fits candidate ~budget then begin
-            Obs.count "dse.candidates.evaluated";
-            Some (move, candidate, evaluate candidate)
-          end
+          if Accel.fits candidate ~budget then Some (move, candidate)
           else begin
             Obs.count "dse.candidates.pruned";
             None
           end)
         moves
     in
+    let scores = evaluate_batch ~cache:tbl ~evaluate (List.map snd feasible) in
+    let candidates = List.map2 (fun (move, a) s -> (move, a, s)) feasible scores in
     match candidates with
     | [] -> ()
     | _ ->

@@ -19,16 +19,38 @@ type step = {
 
 type result = { best : Accel.t; objective : float; trace : step list }
 
+type config_key = int list * int
+(** Structural identity of a configuration: unit counts in
+    [Unit_model.all_classes] order, plus the QR rotator width. *)
+
+val config_key : Accel.t -> config_key
+
+val cache : unit -> (config_key, float) Hashtbl.t
+(** A fresh evaluation cache for {!optimize}'s [?cache].  Pass the
+    same cache to several [optimize] calls sharing one [evaluate]
+    (multi-start search) and configurations reached from more than one
+    start are evaluated once. *)
+
 val optimize :
   budget:Resource.t ->
   evaluate:(Accel.t -> float) ->
   ?classes:Unit_model.unit_class list ->
   ?init:Accel.t ->
   ?min_gain:float ->
+  ?cache:(config_key, float) Hashtbl.t ->
   unit ->
   result
 (** [optimize ~budget ~evaluate ()] greedily replicates units.
     [classes] restricts which templates may be replicated (default:
     all); [min_gain] is the relative improvement below which the
     search stops (default 0.5 %).  The initial configuration must fit
-    the budget; raises [Invalid_argument] otherwise. *)
+    the budget; raises [Invalid_argument] otherwise.
+
+    Candidate evaluations are memoized on {!config_key} — hits bump
+    the [dse.candidates.cached] counter and skip [evaluate].  [cache]
+    defaults to a fresh per-call table; supply one ({!cache}) to share
+    memoized scores across calls.  [evaluate] must therefore be a pure
+    function of the configuration.  Uncached candidates of a round are
+    evaluated in parallel on the {!Orianna_par.Pool} (results are
+    independent of the job count; [evaluate] must be thread-safe —
+    the simulator's [Schedule.run] is). *)

@@ -1,11 +1,20 @@
-let counter = ref 0
+(* Domain-local so concurrent solver runs on the Orianna_par pool
+   neither race the counter nor pollute each other's [measure]
+   windows: a task's charges land on the lane that ran it, and every
+   [measure] call is enclosed within one task. *)
+let counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
-let reset () = counter := 0
-let add n = counter := !counter + n
-let count () = !counter
+let reset () = Domain.DLS.get counter := 0
+
+let add n =
+  let c = Domain.DLS.get counter in
+  c := !c + n
+
+let count () = !(Domain.DLS.get counter)
 
 let measure f =
-  let before = !counter in
+  let c = Domain.DLS.get counter in
+  let before = !c in
   let result = f () in
-  let spent = !counter - before in
+  let spent = !c - before in
   (result, spent)

@@ -1,10 +1,14 @@
-(** Global multiply-accumulate (MAC) counter.
+(** Multiply-accumulate (MAC) counter, one per domain.
 
     The paper reports a 52.7 % MAC saving of the unified pose
     representation over SE(3) (Sec. 4.3).  Every routine in
     {!Orianna_linalg} and every Lie-group map charges its MAC cost
     here, so experiments can compare operation counts of two
-    mathematically equivalent implementations. *)
+    mathematically equivalent implementations.
+
+    The counter is domain-local: work parallelized on the
+    {!Orianna_par} pool charges the lane that ran it, so [measure]
+    windows never see another task's MACs. *)
 
 val reset : unit -> unit
 (** Zero the counter. *)

@@ -13,11 +13,18 @@ type histogram = { samples : int; sum : float; hmin : float; hmax : float; last 
 (* An open span being timed: children accumulate in reverse. *)
 type frame = { fname : string; fattrs : attr list; fstart : float; mutable fchildren : span list }
 
+(* Domain safety: the registry is process-global while spans and
+   metrics may now be emitted from pool worker domains
+   (Orianna_par).  Metric tables and the completed-span roots are
+   guarded by [lock]; the open-span stack is per-domain (DLS) so each
+   domain builds its own span tree and nesting never interleaves
+   across domains.  [on] is read unguarded — a torn read merely drops
+   or admits a sample at the enable/disable boundary. *)
+
 type registry = {
   mutable on : bool;
   mutable clock : unit -> float;
   mutable epoch : float;
-  mutable stack : frame list;
   mutable roots : span list;  (** completed top-level spans, reversed *)
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
@@ -31,21 +38,27 @@ let reg =
     on = false;
     clock = default_clock;
     epoch = 0.0;
-    stack = [];
     roots = [];
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
   }
 
+let lock = Mutex.create ()
+let locked f = Mutex.lock lock; Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let stack () = Domain.DLS.get stack_key
+
 let enabled () = reg.on
 
 let clear_data () =
-  reg.stack <- [];
-  reg.roots <- [];
-  Hashtbl.reset reg.counters;
-  Hashtbl.reset reg.gauges;
-  Hashtbl.reset reg.histograms;
+  (stack ()) := [];
+  locked (fun () ->
+      reg.roots <- [];
+      Hashtbl.reset reg.counters;
+      Hashtbl.reset reg.gauges;
+      Hashtbl.reset reg.histograms);
   reg.epoch <- reg.clock ()
 
 let enable () =
@@ -67,20 +80,21 @@ let finish_frame f =
   let span =
     { name = f.fname; attrs = f.fattrs; start_s = f.fstart; dur_s = dur; children = List.rev f.fchildren }
   in
-  match reg.stack with
+  match !(stack ()) with
   | parent :: _ -> parent.fchildren <- span :: parent.fchildren
-  | [] -> reg.roots <- span :: reg.roots
+  | [] -> locked (fun () -> reg.roots <- span :: reg.roots)
 
 let with_span ?(attrs = []) name f =
   if not reg.on then f ()
   else begin
+    let stack = stack () in
     let frame = { fname = name; fattrs = attrs; fstart = now_rel (); fchildren = [] } in
-    reg.stack <- frame :: reg.stack;
+    stack := frame :: !stack;
     Fun.protect
       ~finally:(fun () ->
-        (match reg.stack with
-        | top :: rest when top == frame -> reg.stack <- rest
-        | stack ->
+        (match !stack with
+        | top :: rest when top == frame -> stack := rest
+        | frames ->
             (* Mismatched nesting can only come from a [with_span] body
                capturing and resuming continuations — drop down to the
                matching frame rather than corrupt the tree. *)
@@ -89,52 +103,60 @@ let with_span ?(attrs = []) name f =
               | _ :: rest -> unwind rest
               | [] -> []
             in
-            reg.stack <- unwind stack);
+            stack := unwind frames);
         finish_frame frame)
       f
   end
 
 let count ?(n = 1) name =
   if reg.on then
-    match Hashtbl.find_opt reg.counters name with
-    | Some r -> r := !r + n
-    | None -> Hashtbl.add reg.counters name (ref n)
+    locked (fun () ->
+        match Hashtbl.find_opt reg.counters name with
+        | Some r -> r := !r + n
+        | None -> Hashtbl.add reg.counters name (ref n))
 
 let set_gauge name v =
   if reg.on then
-    match Hashtbl.find_opt reg.gauges name with
-    | Some r -> r := v
-    | None -> Hashtbl.add reg.gauges name (ref v)
+    locked (fun () ->
+        match Hashtbl.find_opt reg.gauges name with
+        | Some r -> r := v
+        | None -> Hashtbl.add reg.gauges name (ref v))
 
 let observe name v =
   if reg.on then
-    match Hashtbl.find_opt reg.histograms name with
-    | Some r ->
-        let h = !r in
-        r :=
-          {
-            samples = h.samples + 1;
-            sum = h.sum +. v;
-            hmin = Float.min h.hmin v;
-            hmax = Float.max h.hmax v;
-            last = v;
-          }
-    | None -> Hashtbl.add reg.histograms name (ref { samples = 1; sum = v; hmin = v; hmax = v; last = v })
+    locked (fun () ->
+        match Hashtbl.find_opt reg.histograms name with
+        | Some r ->
+            let h = !r in
+            r :=
+              {
+                samples = h.samples + 1;
+                sum = h.sum +. v;
+                hmin = Float.min h.hmin v;
+                hmax = Float.max h.hmax v;
+                last = v;
+              }
+        | None ->
+            Hashtbl.add reg.histograms name (ref { samples = 1; sum = v; hmin = v; hmax = v; last = v }))
 
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let counters () = sorted_bindings reg.counters |> List.map (fun (k, r) -> (k, !r))
+let counters () =
+  locked (fun () -> sorted_bindings reg.counters |> List.map (fun (k, r) -> (k, !r)))
 
-let counter name = Option.fold ~none:0 ~some:( ! ) (Hashtbl.find_opt reg.counters name)
+let counter name =
+  locked (fun () -> Option.fold ~none:0 ~some:( ! ) (Hashtbl.find_opt reg.counters name))
 
-let gauges () = sorted_bindings reg.gauges |> List.map (fun (k, r) -> (k, !r))
+let gauges () =
+  locked (fun () -> sorted_bindings reg.gauges |> List.map (fun (k, r) -> (k, !r)))
 
-let histograms () = sorted_bindings reg.histograms |> List.map (fun (k, r) -> (k, !r))
+let histograms () =
+  locked (fun () -> sorted_bindings reg.histograms |> List.map (fun (k, r) -> (k, !r)))
 
 let mean h = if h.samples = 0 then 0.0 else h.sum /. float_of_int h.samples
 
-let spans () = List.rev reg.roots
+let spans () = locked (fun () -> List.rev reg.roots)
 
 let span_self_s s =
   Float.max 0.0 (s.dur_s -. List.fold_left (fun acc c -> acc +. c.dur_s) 0.0 s.children)

@@ -1,0 +1,184 @@
+(* Deterministic fixed-size domain pool.
+
+   One process-global pool of [jobs - 1] worker domains; the caller
+   participates as the remaining lane.  A "job" is an indexed bag of
+   [n] slots; lanes claim slot indices with [Atomic.fetch_and_add] and
+   write results into the slot's cell, so collection order is input
+   order no matter which lane ran which slot.  Determinism therefore
+   only requires that slots not share mutable state — the combinators
+   themselves introduce none. *)
+
+(* [in_task] marks lanes currently executing pool work.  A
+   [parallel_map] issued from such a lane must not submit to the pool
+   (the single job cell is occupied and workers are busy: deadlock);
+   it runs sequentially instead, which the determinism contract makes
+   observationally equivalent. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+type job = {
+  n : int;
+  run : int -> unit;  (* must not raise: slot errors are captured inside *)
+  next : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+let execute job =
+  let prev = Domain.DLS.get in_task in
+  Domain.DLS.set in_task true;
+  let rec claim () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      job.run i;
+      Atomic.incr job.completed;
+      claim ()
+    end
+  in
+  claim ();
+  Domain.DLS.set in_task prev
+
+type pool = {
+  size : int;  (* worker domains; lanes = size + 1 *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable epoch : int;
+  mutable job : job option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker pool =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while pool.epoch = !seen && not pool.stop do
+      Condition.wait pool.cond pool.mutex
+    done;
+    if pool.stop then Mutex.unlock pool.mutex
+    else begin
+      seen := pool.epoch;
+      let job = pool.job in
+      Mutex.unlock pool.mutex;
+      (match job with Some j -> execute j | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let pool : pool option ref = ref None
+let exit_hook_installed = ref false
+
+let shutdown () =
+  match !pool with
+  | None -> ()
+  | Some p ->
+    Mutex.lock p.mutex;
+    p.stop <- true;
+    Condition.broadcast p.cond;
+    Mutex.unlock p.mutex;
+    List.iter Domain.join p.workers;
+    pool := None
+
+let get_pool ~size =
+  match !pool with
+  | Some p when p.size = size -> p
+  | other ->
+    if other <> None then shutdown ();
+    let p =
+      { size;
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        epoch = 0;
+        job = None;
+        stop = false;
+        workers = [] }
+    in
+    p.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker p));
+    if not !exit_hook_installed then begin
+      exit_hook_installed := true;
+      at_exit shutdown
+    end;
+    pool := Some p;
+    p
+
+(* Run [job] across the pool plus the calling lane, returning once
+   every slot has completed (not merely been claimed). *)
+let run_job ~jobs job =
+  let p = get_pool ~size:(jobs - 1) in
+  Mutex.lock p.mutex;
+  p.job <- Some job;
+  p.epoch <- p.epoch + 1;
+  Condition.broadcast p.cond;
+  Mutex.unlock p.mutex;
+  execute job;
+  while Atomic.get job.completed < job.n do
+    Domain.cpu_relax ()
+  done
+
+let default_override = ref None
+
+let clamp_jobs n = if n < 1 then 1 else n
+
+let set_default_jobs n = default_override := Some (clamp_jobs n)
+
+let default_jobs () =
+  match !default_override with
+  | Some n -> n
+  | None -> (
+    match Sys.getenv_opt "ORIANNA_JOBS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> clamp_jobs n
+      | None -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ())
+
+let resolve_jobs = function
+  | Some n -> clamp_jobs n
+  | None -> default_jobs ()
+
+let parallel_map ?jobs f xs =
+  let jobs = resolve_jobs jobs in
+  let n = Array.length xs in
+  if jobs <= 1 || n < 2 || Domain.DLS.get in_task then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let run i =
+      match f xs.(i) with
+      | y -> results.(i) <- Some y
+      | exception e ->
+        errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    run_job ~jobs
+      { n; run; next = Atomic.make 0; completed = Atomic.make 0 };
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map
+      (function
+        | Some y -> y
+        | None -> assert false (* every non-error slot completed *))
+      results
+  end
+
+let parallel_map_list ?jobs f xs =
+  Array.to_list (parallel_map ?jobs f (Array.of_list xs))
+
+let parallel_map_reduce ?jobs ~map ~reduce ~init xs =
+  Array.fold_left reduce init (parallel_map ?jobs map xs)
+
+let chunk_ranges ~chunks ~n =
+  if n <= 0 then [||]
+  else begin
+    let chunks = max 1 (min chunks n) in
+    let base = n / chunks and extra = n mod chunks in
+    let ranges = Array.make chunks (0, 0) in
+    let lo = ref 0 in
+    for c = 0 to chunks - 1 do
+      let len = base + if c < extra then 1 else 0 in
+      ranges.(c) <- (!lo, !lo + len);
+      lo := !lo + len
+    done;
+    ranges
+  end

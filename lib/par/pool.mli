@@ -1,0 +1,64 @@
+(** Fixed-size domain worker pool with deterministic parallel
+    combinators.
+
+    Every fan-out site in the repository (DSE candidate evaluation,
+    fault-campaign missions, the experiments/bench matrices, the serve
+    sweeps) is an embarrassingly parallel loop over pure work items.
+    This module runs those loops across OCaml 5 domains under a hard
+    contract: {e results are bit-identical for any job count}.  The
+    contract holds because
+
+    - results are collected into their input slot (ordered), never in
+      completion order;
+    - work items must not share mutable state (callers split PRNG
+      streams with {!Orianna_util.Rng.split_n} and copy any mutable
+      fixtures per chunk {e before} submission);
+    - at [jobs = 1] no domain is spawned — the map degrades to a plain
+      sequential [Array.map], which is also the guaranteed fallback
+      inside nested calls (a parallel map issued from within a worker
+      task runs sequentially rather than deadlocking the pool).
+
+    Exceptions raised by work items are captured per slot and the
+    first one {e in input order} is re-raised (with its backtrace)
+    after all items have settled, so a failing item behaves the same
+    at any job count.
+
+    The pool is process-global and sized lazily from, in order of
+    precedence: {!set_default_jobs} (the [--jobs]/[-j] CLI flag), the
+    [ORIANNA_JOBS] environment variable, and
+    [Domain.recommended_domain_count ()].  Worker domains are spawned
+    on first use, reused across calls, resized when a different job
+    count is requested, and joined at process exit. *)
+
+val default_jobs : unit -> int
+(** The job count parallel combinators use when [?jobs] is omitted.
+    At least 1. *)
+
+val set_default_jobs : int -> unit
+(** Override the default job count ([n < 1] is clamped to 1).  The
+    CLI's [--jobs]/[-j] flag lands here. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f xs] is [Array.map f xs] computed on [jobs] domains
+    (the caller participates as one lane).  Results keep input order;
+    the first failing slot's exception is re-raised.  Sequential when
+    [jobs = 1], when [xs] has fewer than two elements, or when called
+    from inside another pool task. *)
+
+val parallel_map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!parallel_map}. *)
+
+val parallel_map_reduce :
+  ?jobs:int -> map:('a -> 'b) -> reduce:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
+(** Map in parallel, then fold the results {e sequentially in input
+    order} — deterministic even for non-associative [reduce]. *)
+
+val chunk_ranges : chunks:int -> n:int -> (int * int) array
+(** [chunk_ranges ~chunks ~n] splits [0..n-1] into at most [chunks]
+    contiguous, balanced, half-open ranges [(lo, hi)].  Used by
+    callers that need one mutable fixture per task (e.g. the fault
+    campaign's per-chunk graph copies). *)
+
+val shutdown : unit -> unit
+(** Join all worker domains.  Called automatically at exit; safe to
+    call repeatedly (the pool respawns on next use). *)

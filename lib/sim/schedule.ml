@@ -42,6 +42,28 @@ let class_index cls =
   find 0 Unit_model.all_classes
 
 let num_classes = List.length Unit_model.all_classes
+let classes_arr = Array.of_list Unit_model.all_classes
+
+(* Dense per-run scratch, sized to the program.  [schedule_ooo] used
+   to rebuild hashtables keyed by instruction id on every call; these
+   arrays are allocated once per [run] and reused across the
+   [Ooo_fine] partitions.  Invariant between calls: [in_subset] is all
+   [false] and [children] all [[]] ([indeg]/[ready_dep_time] are
+   (re)initialised per subset id, so they need no clearing). *)
+type scratch = {
+  in_subset : bool array;
+  indeg : int array;
+  children : int list array;
+  ready_dep_time : int array;
+}
+
+let make_scratch n =
+  {
+    in_subset = Array.make n false;
+    indeg = Array.make n 0;
+    children = Array.make n [];
+    ready_dep_time = Array.make n 0;
+  }
 
 (* Critical-path priority: longest latency-weighted path to a sink. *)
 let priorities (p : Program.t) latency_of =
@@ -57,23 +79,31 @@ let priorities (p : Program.t) latency_of =
   prio
 
 (* Dataflow (OoO) list scheduling of the instruction subset [ids],
-   starting no earlier than [t0].  Returns the subset makespan. *)
-let schedule_ooo (p : Program.t) ~latency_of ~prio ~counts ~starts ~finishes ~ids ~t0 =
-  let in_subset = Hashtbl.create (Array.length ids) in
-  Array.iter (fun id -> Hashtbl.add in_subset id ()) ids;
-  let indeg = Hashtbl.create (Array.length ids) in
-  let children = Hashtbl.create (Array.length ids) in
+   starting no earlier than [t0].  Returns the subset makespan.
+   [cls_of] maps instruction id to its dense unit-class index (the
+   per-arrival [class_index] list scan, hoisted to one pass in [run]);
+   [scratch] is the caller's reusable dependency-tracking state.
+   Heap tie-breaking depends on push order, so the traversal orders
+   here (ids order for roots, srcs order for dependency edges,
+   prepend-then-iterate for children) are part of the bit-identical
+   contract with the seed scheduler. *)
+let schedule_ooo (p : Program.t) ~latency_of ~prio ~cls_of ~scratch ~counts ~starts ~finishes
+    ~ids ~t0 =
+  let { in_subset; indeg; children; ready_dep_time } = scratch in
+  Array.iter (fun id -> in_subset.(id) <- true) ids;
   Array.iter
     (fun id ->
       let ins = p.Program.instrs.(id) in
-      let deps =
-        Array.to_list ins.Instr.srcs |> List.filter (fun s -> Hashtbl.mem in_subset s)
-      in
-      Hashtbl.replace indeg id (List.length deps);
-      List.iter
+      let deps = ref 0 in
+      Array.iter
         (fun s ->
-          Hashtbl.replace children s (id :: Option.value ~default:[] (Hashtbl.find_opt children s)))
-        deps)
+          if in_subset.(s) then begin
+            incr deps;
+            children.(s) <- id :: children.(s)
+          end)
+        ins.Instr.srcs;
+      indeg.(id) <- !deps;
+      ready_dep_time.(id) <- t0)
     ids;
   (* Per-class: arrivals ordered by ready time, ready ordered by
      descending priority.  Unit instances as free-time arrays. *)
@@ -87,13 +117,9 @@ let schedule_ooo (p : Program.t) ~latency_of ~prio ~counts ~starts ~finishes ~id
     Array.of_list
       (List.map (fun cls -> Array.make (List.assoc cls counts) t0) Unit_model.all_classes)
   in
-  let ready_dep_time = Hashtbl.create (Array.length ids) in
-  let arrive id t =
-    let cls = class_index (Unit_model.class_of_op p.Program.instrs.(id).Instr.op) in
-    Heap.push arrivals.(cls) (max t t0, id)
-  in
+  let arrive id t = Heap.push arrivals.(cls_of.(id)) (max t t0, id) in
   Array.iter
-    (fun id -> if Hashtbl.find indeg id = 0 then arrive id t0)
+    (fun id -> if indeg.(id) = 0 then arrive id t0)
     ids;
   let remaining = ref (Array.length ids) in
   let t = ref t0 in
@@ -132,8 +158,7 @@ let schedule_ooo (p : Program.t) ~latency_of ~prio ~counts ~starts ~finishes ~id
           match Heap.pop ready.(c) with
           | None -> continue_ := false
           | Some (_, id) ->
-              let dep_ready = Option.value ~default:t0 (Hashtbl.find_opt ready_dep_time id) in
-              let start = max !t dep_ready in
+              let start = max !t ready_dep_time.(id) in
               let lat = latency_of id in
               let finish = start + lat in
               starts.(id) <- start;
@@ -144,12 +169,11 @@ let schedule_ooo (p : Program.t) ~latency_of ~prio ~counts ~starts ~finishes ~id
               scheduled_any := true;
               List.iter
                 (fun child ->
-                  let d = Hashtbl.find indeg child - 1 in
-                  Hashtbl.replace indeg child d;
-                  let prev = Option.value ~default:t0 (Hashtbl.find_opt ready_dep_time child) in
-                  Hashtbl.replace ready_dep_time child (max prev finish);
+                  let d = indeg.(child) - 1 in
+                  indeg.(child) <- d;
+                  if finish > ready_dep_time.(child) then ready_dep_time.(child) <- finish;
                   if d = 0 then arrive child finish)
-                (Option.value ~default:[] (Hashtbl.find_opt children id))
+                children.(id)
         end
       done
     done;
@@ -187,6 +211,12 @@ let schedule_ooo (p : Program.t) ~latency_of ~prio ~counts ~starts ~finishes ~id
       t := !next
     end
   done;
+  (* Restore the inter-call scratch invariant for the next partition. *)
+  Array.iter
+    (fun id ->
+      in_subset.(id) <- false;
+      children.(id) <- [])
+    ids;
   !makespan
 
 (* The in-order controller has no scoreboard: it dispatches one matrix
@@ -238,6 +268,14 @@ let run ?(priority = Critical_path) ?jitter ~accel ~policy (p : Program.t) =
   in
   let counts = accel.Accel.counts in
   let starts = Array.make n 0 and finishes = Array.make n 0 in
+  (* Dense class index per instruction, computed once — the scheduler
+     and the accounting below used to redo an O(num_classes) list scan
+     per lookup. *)
+  let cls_of =
+    Array.map
+      (fun (ins : Instr.t) -> class_index (Unit_model.class_of_op ins.Instr.op))
+      p.Program.instrs
+  in
   (* Earliest cycle each instruction may issue at: 0 except under
      [Ooo_fine], where each algorithm partition starts after the
      previous one's makespan. Stall accounting is relative to it. *)
@@ -251,37 +289,40 @@ let run ?(priority = Critical_path) ?jitter ~accel ~policy (p : Program.t) =
           | Critical_path -> priorities p latency_of
           | Fifo -> Array.init n (fun i -> -i)
         in
-        schedule_ooo p ~latency_of ~prio ~counts ~starts ~finishes
-          ~ids:(Array.init n Fun.id) ~t0:0
+        schedule_ooo p ~latency_of ~prio ~cls_of ~scratch:(make_scratch n) ~counts ~starts
+          ~finishes ~ids:(Array.init n Fun.id) ~t0:0
     | Ooo_fine ->
         let prio =
           match priority with
           | Critical_path -> priorities p latency_of
           | Fifo -> Array.init n (fun i -> -i)
         in
-        (* Partition by algorithm, run them back to back. *)
-        let algos =
-          Array.fold_left
-            (fun acc (i : Instr.t) -> if List.mem i.Instr.algo acc then acc else i.Instr.algo :: acc)
-            [] p.Program.instrs
-          |> List.rev
-        in
+        (* Partition by algorithm in first-appearance order, one pass
+           over the stream, then run the partitions back to back. *)
+        let buckets = Hashtbl.create 8 in
+        let algo_order = ref [] in
+        Array.iter
+          (fun (i : Instr.t) ->
+            match Hashtbl.find_opt buckets i.Instr.algo with
+            | Some ids -> ids := i.Instr.id :: !ids
+            | None ->
+                Hashtbl.add buckets i.Instr.algo (ref [ i.Instr.id ]);
+                algo_order := i.Instr.algo :: !algo_order)
+          p.Program.instrs;
+        let scratch = make_scratch n in
         List.fold_left
           (fun t0 algo ->
-            let ids =
-              Array.of_list
-                (List.filteri (fun _ _ -> true)
-                   (Array.to_list p.Program.instrs
-                   |> List.filter_map (fun (i : Instr.t) ->
-                          if i.Instr.algo = algo then Some i.Instr.id else None)))
-            in
+            let ids = Array.of_list (List.rev !(Hashtbl.find buckets algo)) in
             Array.iter (fun id -> issue_base.(id) <- t0) ids;
-            schedule_ooo p ~latency_of ~prio ~counts ~starts ~finishes ~ids ~t0)
-          0 algos
+            schedule_ooo p ~latency_of ~prio ~cls_of ~scratch ~counts ~starts ~finishes ~ids
+              ~t0)
+          0 (List.rev !algo_order)
   in
   (* Accounting. *)
-  let phase_busy = Hashtbl.create 4 and unit_busy = Hashtbl.create 8 in
+  let phase_busy = Hashtbl.create 4 in
   let bump tbl k v = Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+  let unit_busy_arr = Array.make num_classes 0 in
+  let unit_seen = Array.make num_classes false in
   let dynamic = ref 0.0 in
   (* Stall causes: an instruction issuing at [start] after becoming
      issuable at [issue_base] spent [ready - issue_base] cycles waiting
@@ -291,16 +332,17 @@ let run ?(priority = Critical_path) ?jitter ~accel ~policy (p : Program.t) =
   let stall_operand = ref 0 and stall_structural = ref 0 in
   Array.iter
     (fun (ins : Instr.t) ->
-      let cls = Unit_model.class_of_op ins.Instr.op in
       let id = ins.Instr.id in
+      let c = cls_of.(id) in
       let lat = latency_of id in
       bump phase_busy ins.Instr.phase lat;
-      bump unit_busy cls lat;
+      unit_busy_arr.(c) <- unit_busy_arr.(c) + lat;
+      unit_seen.(c) <- true;
       let base = issue_base.(id) in
       let ready = Array.fold_left (fun acc s -> max acc finishes.(s)) base ins.Instr.srcs in
       stall_operand := !stall_operand + (ready - base);
       stall_structural := !stall_structural + (starts.(id) - ready);
-      dynamic := !dynamic +. Unit_model.dynamic_energy_nj cls ins ~src_shape)
+      dynamic := !dynamic +. Unit_model.dynamic_energy_nj classes_arr.(c) ins ~src_shape)
     p.Program.instrs;
   if Obs.enabled () then begin
     Obs.count "sim.instructions" ~n;
@@ -314,10 +356,17 @@ let run ?(priority = Critical_path) ?jitter ~accel ~policy (p : Program.t) =
   let utilization =
     List.map
       (fun (cls, k) ->
-        let busy = Option.value ~default:0 (Hashtbl.find_opt unit_busy cls) in
+        let busy = unit_busy_arr.(class_index cls) in
         let denom = float_of_int (max 1 (makespan * k)) in
         (cls, float_of_int busy /. denom))
       counts
+  in
+  let unit_busy =
+    let acc = ref [] in
+    for c = num_classes - 1 downto 0 do
+      if unit_seen.(c) then acc := (classes_arr.(c), unit_busy_arr.(c)) :: !acc
+    done;
+    List.sort compare !acc
   in
   {
     cycles = makespan;
@@ -326,7 +375,7 @@ let run ?(priority = Critical_path) ?jitter ~accel ~policy (p : Program.t) =
     static_energy_j;
     energy_j = dynamic_energy_j +. static_energy_j;
     phase_busy = Hashtbl.fold (fun k v acc -> (k, v) :: acc) phase_busy [] |> List.sort compare;
-    unit_busy = Hashtbl.fold (fun k v acc -> (k, v) :: acc) unit_busy [] |> List.sort compare;
+    unit_busy;
     utilization;
     instructions = n;
     starts;

@@ -17,6 +17,15 @@ let int64 t =
 
 let split t = create (int64 t)
 
+let split_n t n =
+  (* Explicit loop: [Array.init]'s evaluation order is unspecified and
+     each split advances [t]. *)
+  let streams = Array.make n t in
+  for i = 0 to n - 1 do
+    streams.(i) <- split t
+  done;
+  streams
+
 let float t =
   (* 53 significant bits mapped onto [0, 1). *)
   let bits = Int64.shift_right_logical (int64 t) 11 in

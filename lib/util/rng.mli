@@ -17,6 +17,12 @@ val of_int : int -> t
 val split : t -> t
 (** [split t] derives an independent generator and advances [t]. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] independent generators, in the exact
+    order [n] successive {!split} calls would.  Pre-splitting the
+    streams for a batch of seeded tasks keeps the batch deterministic
+    when the tasks later run in parallel. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

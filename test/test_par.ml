@@ -1,0 +1,432 @@
+(* Tests for the domain pool (Orianna_par.Pool) and for the contract
+   that parallelisation did not change a single observable bit:
+
+   - [Pool.parallel_map]/[parallel_map_reduce] are bit-identical at
+     jobs = 1, 2 and 4, preserve input order, re-raise the first
+     failing slot's exception, and degrade to sequential execution
+     when nested;
+   - [Rng.split_n] equals repeated in-loop splitting;
+   - the array-based scheduler hot path ([Schedule.run]) matches a
+     verbatim copy of the seed's hashtable-based implementation on
+     random compiled applications, across all three issue policies;
+   - fault campaigns and DSE produce identical summaries at any job
+     count, and the shared DSE cache memoizes candidate evaluation;
+   - [Obs] counters are exact under concurrent counting from several
+     domains. *)
+
+open Orianna_isa
+open Orianna_hw
+open Orianna_sim
+open Orianna_util
+open Orianna_apps
+module Pool = Orianna_par.Pool
+module Compile = Orianna_compiler.Compile
+module Campaign = Orianna_fault.Campaign
+module Obs = Orianna_obs.Obs
+
+(* ---------- parallel_map combinators ---------- *)
+
+let test_parallel_map_identical () =
+  let xs = Array.init 257 Fun.id in
+  let f i = Printf.sprintf "%d:%.17g" (i * i) (sin (float_of_int i)) in
+  let expected = Array.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array string))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Pool.parallel_map ~jobs f xs))
+    [ 1; 2; 4 ]
+
+let test_parallel_map_order () =
+  (* Results land in their input slot even though slots are claimed
+     dynamically by whichever lane is free. *)
+  let xs = Array.init 1000 Fun.id in
+  Alcotest.(check (array int)) "identity preserved" xs (Pool.parallel_map ~jobs:4 Fun.id xs)
+
+let test_exception_first_slot () =
+  let raised =
+    try
+      ignore
+        (Pool.parallel_map ~jobs:4
+           (fun i -> if i >= 50 then failwith (string_of_int i) else i)
+           (Array.init 100 Fun.id));
+      None
+    with Failure msg -> Some msg
+  in
+  (* Slots 50..99 all fail; the re-raised exception must be the first
+     one in input order, independent of completion order. *)
+  Alcotest.(check (option string)) "first failing slot re-raised" (Some "50") raised
+
+let test_map_reduce_deterministic () =
+  let xs = Array.init 64 (fun i -> float_of_int (i + 1)) in
+  let map x = sin x in
+  (* Deliberately non-associative: only an in-order fold gets this
+     right, which is what the combinator guarantees. *)
+  let reduce a b = (a *. 0.5) +. b in
+  let expected = Array.fold_left reduce 1.0 (Array.map map xs) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Pool.parallel_map_reduce ~jobs ~map ~reduce ~init:1.0 xs))
+    [ 1; 2; 4 ]
+
+let test_nested_runs_sequentially () =
+  (* An inner parallel_map issued from inside a pool task must not
+     deadlock — it falls back to sequential execution. *)
+  Pool.set_default_jobs 4;
+  let outer =
+    Pool.parallel_map
+      (fun i ->
+        Array.fold_left ( + ) 0 (Pool.parallel_map (fun j -> (i * 100) + j) (Array.init 10 Fun.id)))
+      (Array.init 8 Fun.id)
+  in
+  Pool.set_default_jobs 1;
+  let expected =
+    Array.init 8 (fun i -> Array.fold_left ( + ) 0 (Array.init 10 (fun j -> (i * 100) + j)))
+  in
+  Alcotest.(check (array int)) "nested map correct" expected outer
+
+let prop_chunk_ranges =
+  QCheck.Test.make ~name:"pool: chunk_ranges is a balanced contiguous partition" ~count:500
+    QCheck.(pair small_nat small_nat)
+    (fun (chunks, n) ->
+      let ranges = Pool.chunk_ranges ~chunks ~n in
+      if n = 0 then Array.length ranges = 0
+      else begin
+        let k = Array.length ranges in
+        let contiguous = ref (fst ranges.(0) = 0 && snd ranges.(k - 1) = n) in
+        for c = 1 to k - 1 do
+          if fst ranges.(c) <> snd ranges.(c - 1) then contiguous := false
+        done;
+        let sizes = Array.map (fun (lo, hi) -> hi - lo) ranges in
+        let mn = Array.fold_left min max_int sizes and mx = Array.fold_left max 0 sizes in
+        k >= 1 && k <= max 1 chunks && k <= n && !contiguous && mn >= 1 && mx - mn <= 1
+      end)
+
+(* ---------- RNG stream splitting ---------- *)
+
+let test_split_n_matches_split_loop () =
+  let a = Rng.of_int 1234 and b = Rng.of_int 1234 in
+  let sa = Rng.split_n a 8 in
+  let sb = Array.make 8 b in
+  for i = 0 to 7 do
+    sb.(i) <- Rng.split b
+  done;
+  Array.iteri
+    (fun i ra ->
+      for draw = 0 to 2 do
+        Alcotest.(check int64)
+          (Printf.sprintf "stream %d draw %d" i draw)
+          (Rng.int64 sb.(i)) (Rng.int64 ra)
+      done)
+    sa;
+  (* The parent stream advanced identically in both styles. *)
+  Alcotest.(check int64) "parent state aligned" (Rng.int64 b) (Rng.int64 a)
+
+(* ---------- differential scheduler check ---------- *)
+
+(* Verbatim copy of the seed's hashtable-based scheduler (telemetry
+   stripped), kept as the reference the rewritten array-based hot path
+   is differenced against. *)
+module Ref_sched = struct
+  module Heap = Orianna_util.Heap
+
+  let class_index cls =
+    let rec find i = function
+      | [] -> assert false
+      | c :: rest -> if c = cls then i else find (i + 1) rest
+    in
+    find 0 Unit_model.all_classes
+
+  let num_classes = List.length Unit_model.all_classes
+
+  let priorities (p : Program.t) latency_of =
+    let n = Array.length p.Program.instrs in
+    let prio = Array.make n 0 in
+    for i = n - 1 downto 0 do
+      let ins = p.Program.instrs.(i) in
+      prio.(i) <- max prio.(i) (latency_of i);
+      Array.iter (fun s -> prio.(s) <- max prio.(s) (prio.(i) + latency_of s)) ins.Instr.srcs
+    done;
+    prio
+
+  let schedule_ooo (p : Program.t) ~latency_of ~prio ~counts ~starts ~finishes ~ids ~t0 =
+    let in_subset = Hashtbl.create (Array.length ids) in
+    Array.iter (fun id -> Hashtbl.add in_subset id ()) ids;
+    let indeg = Hashtbl.create (Array.length ids) in
+    let children = Hashtbl.create (Array.length ids) in
+    Array.iter
+      (fun id ->
+        let ins = p.Program.instrs.(id) in
+        let deps =
+          Array.to_list ins.Instr.srcs |> List.filter (fun s -> Hashtbl.mem in_subset s)
+        in
+        Hashtbl.replace indeg id (List.length deps);
+        List.iter
+          (fun s ->
+            Hashtbl.replace children s
+              (id :: Option.value ~default:[] (Hashtbl.find_opt children s)))
+          deps)
+      ids;
+    let arrivals =
+      Array.init num_classes (fun _ -> Heap.create ~cmp:(fun (ta, _) (tb, _) -> compare ta tb))
+    in
+    let ready =
+      Array.init num_classes (fun _ -> Heap.create ~cmp:(fun (pa, _) (pb, _) -> compare pb pa))
+    in
+    let free : int array array =
+      Array.of_list
+        (List.map (fun cls -> Array.make (List.assoc cls counts) t0) Unit_model.all_classes)
+    in
+    let ready_dep_time = Hashtbl.create (Array.length ids) in
+    let arrive id t =
+      let cls = class_index (Unit_model.class_of_op p.Program.instrs.(id).Instr.op) in
+      Heap.push arrivals.(cls) (max t t0, id)
+    in
+    Array.iter (fun id -> if Hashtbl.find indeg id = 0 then arrive id t0) ids;
+    let remaining = ref (Array.length ids) in
+    let t = ref t0 in
+    let makespan = ref t0 in
+    while !remaining > 0 do
+      for c = 0 to num_classes - 1 do
+        let continue_ = ref true in
+        while !continue_ do
+          match Heap.peek arrivals.(c) with
+          | Some (ta, id) when ta <= !t ->
+              ignore (Heap.pop arrivals.(c));
+              Heap.push ready.(c) (prio.(id), id)
+          | Some _ | None -> continue_ := false
+        done
+      done;
+      let scheduled_any = ref false in
+      for c = 0 to num_classes - 1 do
+        let continue_ = ref true in
+        while !continue_ && not (Heap.is_empty ready.(c)) do
+          let best = ref (-1) in
+          Array.iteri
+            (fun k ft -> if ft <= !t && (!best < 0 || ft < free.(c).(!best)) then best := k)
+            free.(c);
+          if !best < 0 then continue_ := false
+          else begin
+            match Heap.pop ready.(c) with
+            | None -> continue_ := false
+            | Some (_, id) ->
+                let dep_ready = Option.value ~default:t0 (Hashtbl.find_opt ready_dep_time id) in
+                let start = max !t dep_ready in
+                let lat = latency_of id in
+                let finish = start + lat in
+                starts.(id) <- start;
+                finishes.(id) <- finish;
+                free.(c).(!best) <- finish;
+                makespan := max !makespan finish;
+                decr remaining;
+                scheduled_any := true;
+                List.iter
+                  (fun child ->
+                    let d = Hashtbl.find indeg child - 1 in
+                    Hashtbl.replace indeg child d;
+                    let prev =
+                      Option.value ~default:t0 (Hashtbl.find_opt ready_dep_time child)
+                    in
+                    Hashtbl.replace ready_dep_time child (max prev finish);
+                    if d = 0 then arrive child finish)
+                  (Option.value ~default:[] (Hashtbl.find_opt children id))
+          end
+        done
+      done;
+      if !remaining > 0 && not !scheduled_any then begin
+        let next = ref max_int in
+        for c = 0 to num_classes - 1 do
+          (match Heap.peek arrivals.(c) with
+          | Some (ta, _) when ta > !t -> next := min !next ta
+          | _ -> ());
+          if not (Heap.is_empty ready.(c)) then
+            Array.iter (fun ft -> if ft > !t then next := min !next ft) free.(c)
+        done;
+        if !next = max_int then failwith "reference scheduler deadlocked";
+        t := !next
+      end
+    done;
+    !makespan
+
+  let schedule_in_order (p : Program.t) ~latency_of ~starts ~finishes =
+    let makespan = ref 0 in
+    Array.iter
+      (fun (ins : Instr.t) ->
+        let id = ins.Instr.id in
+        let dep_ready = Array.fold_left (fun acc s -> max acc finishes.(s)) 0 ins.Instr.srcs in
+        let start = max dep_ready !makespan in
+        let finish = start + latency_of id in
+        starts.(id) <- start;
+        finishes.(id) <- finish;
+        makespan := finish)
+      p.Program.instrs;
+    !makespan
+
+  (* Starts, finishes and makespan under the seed's dispatch logic
+     (nominal latencies, critical-path priority). *)
+  let run ~accel ~policy (p : Program.t) =
+    let n = Array.length p.Program.instrs in
+    let src_shape id = (p.Program.instrs.(id).Instr.rows, p.Program.instrs.(id).Instr.cols) in
+    let latency_of id =
+      let ins = p.Program.instrs.(id) in
+      Unit_model.latency
+        (Unit_model.class_of_op ins.Instr.op)
+        ~qr_rotators:accel.Accel.qr_rotators ins ~src_shape
+    in
+    let counts = accel.Accel.counts in
+    let starts = Array.make n 0 and finishes = Array.make n 0 in
+    let makespan =
+      match policy with
+      | Schedule.In_order -> schedule_in_order p ~latency_of ~starts ~finishes
+      | Schedule.Ooo_full ->
+          let prio = priorities p latency_of in
+          schedule_ooo p ~latency_of ~prio ~counts ~starts ~finishes ~ids:(Array.init n Fun.id)
+            ~t0:0
+      | Schedule.Ooo_fine ->
+          let prio = priorities p latency_of in
+          let algos =
+            Array.fold_left
+              (fun acc (i : Instr.t) ->
+                if List.mem i.Instr.algo acc then acc else i.Instr.algo :: acc)
+              [] p.Program.instrs
+            |> List.rev
+          in
+          List.fold_left
+            (fun t0 algo ->
+              let ids =
+                Array.of_list
+                  (Array.to_list p.Program.instrs
+                  |> List.filter_map (fun (i : Instr.t) ->
+                         if i.Instr.algo = algo then Some i.Instr.id else None))
+              in
+              schedule_ooo p ~latency_of ~prio ~counts ~starts ~finishes ~ids ~t0)
+            0 algos
+    in
+    (starts, finishes, makespan)
+end
+
+let apps = Array.of_list App.all
+
+let accel_variant i =
+  let base = Accel.base () in
+  match i mod 4 with
+  | 0 -> base
+  | 1 -> Accel.with_extra base Unit_model.Matmul
+  | 2 -> Accel.with_extra (Accel.with_extra base Unit_model.Matmul) Unit_model.Qr_unit
+  | _ ->
+      List.fold_left Accel.with_extra base
+        [ Unit_model.Matmul; Unit_model.Matmul; Unit_model.Vector_alu; Unit_model.Dma ]
+
+let sched_arb =
+  QCheck.(
+    make
+      Gen.(triple (int_range 0 1_000_000) (int_range 0 3) (int_range 0 3))
+      ~print:Print.(triple int int int))
+
+let prop_schedule_matches_seed_reference =
+  QCheck.Test.make ~name:"schedule: array hot path = seed hashtable reference (all policies)"
+    ~count:12 sched_arb (fun (seed, app_i, accel_i) ->
+      let app = apps.(app_i mod Array.length apps) in
+      let p = Compile.compile_application (app.App.graphs (Rng.of_int seed)) in
+      let accel = accel_variant accel_i in
+      List.for_all
+        (fun policy ->
+          let r = Schedule.run ~accel ~policy p in
+          let starts, finishes, makespan = Ref_sched.run ~accel ~policy p in
+          r.Schedule.cycles = makespan
+          && r.Schedule.starts = starts
+          && r.Schedule.finishes = finishes
+          && Schedule.check_invariants ~accel p r = Ok ())
+        [ Schedule.In_order; Schedule.Ooo_fine; Schedule.Ooo_full ])
+
+(* ---------- campaign / DSE job-count invariance ---------- *)
+
+let test_campaign_identical_across_jobs () =
+  let run_with jobs =
+    Pool.set_default_jobs jobs;
+    let graphs = App.mobile_robot.App.graphs (Rng.of_int 7) in
+    let program = Compile.compile_application graphs in
+    let accel = Accel.with_extra (Accel.base ()) Unit_model.Matmul in
+    Campaign.run
+      ~config:{ Campaign.default_config with Campaign.missions = 24 }
+      ~rng:(Rng.of_int 42) ~graphs ~program ~accel ()
+  in
+  let s1 = run_with 1 in
+  let s4 = run_with 4 in
+  Pool.set_default_jobs 1;
+  Alcotest.(check bool) "summaries identical at -j1 and -j4" true (s1 = s4)
+
+let test_dse_shared_cache_memoizes () =
+  Pool.set_default_jobs 1;
+  Obs.enable ();
+  Obs.reset ();
+  let evals = ref 0 in
+  let evaluate accel =
+    incr evals;
+    100.0 /. (1.0 +. float_of_int (Accel.count accel Unit_model.Matmul))
+  in
+  let cache = Dse.cache () in
+  let r1 = Dse.optimize ~budget:Resource.zc706 ~evaluate ~cache () in
+  let n1 = !evals in
+  let r2 = Dse.optimize ~budget:Resource.zc706 ~evaluate ~cache () in
+  let n2 = !evals - n1 in
+  Obs.disable ();
+  Alcotest.(check bool) "results identical" true (r1 = r2);
+  Alcotest.(check bool) "first run evaluated something" true (n1 > 0);
+  Alcotest.(check int) "second run fully served from cache" 0 n2;
+  Alcotest.(check bool) "dse.candidates.cached counter bumped" true
+    (Obs.counter "dse.candidates.cached" > 0)
+
+(* ---------- Obs under concurrent counting ---------- *)
+
+let test_obs_counts_exact_across_domains () =
+  Obs.enable ();
+  Obs.reset ();
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Obs.count "par.test.hits"
+            done))
+  in
+  List.iter Domain.join domains;
+  let total = Obs.counter "par.test.hits" in
+  Obs.disable ();
+  Alcotest.(check int) "4 domains x 1000 increments" 4000 total
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_map bit-identical at jobs 1/2/4" `Quick
+            test_parallel_map_identical;
+          Alcotest.test_case "parallel_map preserves input order" `Quick test_parallel_map_order;
+          Alcotest.test_case "first failing slot re-raised" `Quick test_exception_first_slot;
+          Alcotest.test_case "map_reduce folds in input order" `Quick test_map_reduce_deterministic;
+          Alcotest.test_case "nested parallel_map runs sequentially" `Quick
+            test_nested_runs_sequentially;
+          QCheck_alcotest.to_alcotest prop_chunk_ranges;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "split_n = repeated split" `Quick test_split_n_matches_split_loop;
+        ] );
+      ("schedule", [ QCheck_alcotest.to_alcotest prop_schedule_matches_seed_reference ]);
+      ( "sweeps",
+        [
+          Alcotest.test_case "campaign identical at -j1 and -j4" `Quick
+            test_campaign_identical_across_jobs;
+          Alcotest.test_case "DSE shared cache memoizes candidates" `Quick
+            test_dse_shared_cache_memoizes;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "counters exact across 4 domains" `Quick
+            test_obs_counts_exact_across_domains;
+        ] );
+    ]
