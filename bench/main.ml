@@ -27,6 +27,15 @@ module Accel = Orianna_hw.Accel
 
 let rng = Rng.of_int 987
 
+(* Shared provenance header for every BENCH_*.json artifact.  It is
+   the only job-count- or machine-dependent part of the files, and it
+   lives at the top level only, so the payload sections still diff
+   byte-for-byte across job counts (CI strips "meta" before
+   comparing). *)
+let bench_meta () =
+  Orianna_obs.Report.meta_json
+    (Orianna_obs.Report.standard_meta ~jobs:(Orianna_par.Pool.default_jobs ()) ())
+
 let m8 = Mat.random rng 8 8
 let m24x13 = Mat.random rng 24 13
 let phi = [| 0.3; -0.2; 0.5 |]
@@ -139,7 +148,10 @@ let emit_serve_bench () =
   let report = Serve.run ~trace () in
   let path = "BENCH_serve.json" in
   let oc = open_out path in
-  output_string oc (Orianna_obs.Json.to_string (Serve.report_json report));
+  output_string oc
+    (Orianna_obs.Json.to_string
+       (Orianna_obs.Json.Obj
+          [ ("meta", bench_meta ()); ("serve", Serve.report_json report) ]));
   output_char oc '\n';
   close_out oc;
   Printf.printf "Serving campaign (seed 42, 300 requests, 4 apps) -> %s\n" path;
@@ -188,7 +200,13 @@ let emit_isa_opt_bench () =
   let oc = open_out path in
   output_string oc
     (Json.to_string
-       (Json.Obj [ ("seed", Json.int 42); ("policy", Json.Str (Schedule.policy_name policy)); ("apps", Json.Obj entries) ]));
+       (Json.Obj
+          [
+            ("meta", bench_meta ());
+            ("seed", Json.int 42);
+            ("policy", Json.Str (Schedule.policy_name policy));
+            ("apps", Json.Obj entries);
+          ]));
   output_char oc '\n';
   close_out oc;
   Printf.printf "Instruction-stream optimizer bench (seed 42, 4 apps) -> %s\n\n" path
@@ -198,8 +216,12 @@ let emit_isa_opt_bench () =
    timed fully sequential (jobs = 1) and on the domain pool (jobs = 4),
    with a structural-equality check that both runs produced the same
    result — the determinism contract, enforced as part of the perf
-   artifact.  Emitted to BENCH_par.json; CI gates the speedups. *)
-let emit_par_bench () =
+   artifact.  Emitted to BENCH_par.json.  CI gates the determinism
+   check and (via --repeat/--check) the noise-aware wall-clock
+   regression band; the speedup table itself is informational — the
+   pool currently regresses on these sweeps (see ROADMAP), and gating
+   a number we know is wrong would only freeze the bug in place. *)
+let emit_par_bench ?(repeat = 1) () =
   let module Json = Orianna_obs.Json in
   let module Pool = Orianna_par.Pool in
   let module Campaign = Orianna_fault.Campaign in
@@ -209,6 +231,18 @@ let emit_par_bench () =
     let t0 = Unix.gettimeofday () in
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
+  in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  (* K timed runs of [f]; returns (first result, median wall clock).
+     The median absorbs scheduler noise on shared CI machines. *)
+  let time_median f =
+    let r0, t0 = time f in
+    let rest = List.init (repeat - 1) (fun _ -> snd (time f)) in
+    (r0, median (t0 :: rest))
   in
   (* Each workload returns a structural digest of its full result, so
      the sequential-vs-parallel comparison is exact without keeping
@@ -248,20 +282,22 @@ let emit_par_bench () =
                   App.all)) );
     ]
   in
-  print_endline "Parallel sweep bench (sequential vs 4-job domain pool):";
+  Printf.printf "Parallel sweep bench (sequential vs 4-job domain pool, median of %d):\n" repeat;
+  let timings = ref [] in
   let entries =
     List.map
       (fun (name, work) ->
         Pool.set_default_jobs 1;
-        let seq_result, seq_s = time work in
+        let seq_result, seq_s = time_median work in
         Pool.set_default_jobs par_jobs;
-        let par_result, par_s = time work in
+        let par_result, par_s = time_median work in
         Pool.set_default_jobs 1;
         let identical = String.equal seq_result par_result in
         let speedup = seq_s /. par_s in
         Printf.printf "  %-16s seq %7.3f s | par %7.3f s | %.2fx %s\n" name seq_s par_s
           speedup
           (if identical then "(identical results)" else "(RESULTS DIFFER!)");
+        timings := (name, seq_s, par_s, identical) :: !timings;
         ( name,
           Json.Obj
             [
@@ -275,14 +311,224 @@ let emit_par_bench () =
   let path = "BENCH_par.json" in
   let oc = open_out path in
   output_string oc
-    (Json.to_string (Json.Obj [ ("jobs", Json.int par_jobs); ("workloads", Json.Obj entries) ]));
+    (Json.to_string
+       (Json.Obj
+          [
+            ("meta", bench_meta ());
+            ("jobs", Json.int par_jobs);
+            ("repeat", Json.int repeat);
+            ("workloads", Json.Obj entries);
+          ]));
   output_char oc '\n';
   close_out oc;
-  Printf.printf "-> %s\n\n" path
+  Printf.printf "-> %s\n\n" path;
+  List.rev !timings
+
+(* ------------------------------------------------------------------ *)
+(* Noise-aware wall-clock regression gate.
+
+   Checked-in absolute timings are worthless across machines, so the
+   baseline stores each workload normalized by a calibration kernel
+   (a fixed amount of pure floating-point work timed on the same
+   machine, same process).  At check time the current normalized
+   medians must sit inside a tolerance band around the baseline's —
+   wide enough for CI-runner noise the calibration cannot cancel,
+   tight enough to catch a real 2x regression. *)
+
+let calibrate () =
+  let spin () =
+    let acc = ref m8 in
+    for _ = 1 to 5000 do
+      acc := Mat.mul !acc m8;
+      acc := m8
+    done;
+    ignore !acc
+  in
+  (* Minimum of several runs: a pure CPU kernel's true cost is its
+     fastest observed time; everything above that is scheduler noise,
+     which the median would smear into the normalization. *)
+  spin ();
+  List.fold_left
+    (fun acc () ->
+      let t0 = Unix.gettimeofday () in
+      spin ();
+      Float.min acc (Unix.gettimeofday () -. t0))
+    infinity
+    (List.init 9 (fun _ -> ()))
+
+(* +100%: calibration cancels raw CPU speed but not parallel-contention
+   differences between runner core counts, so the band is wide; the
+   gate exists to catch the >2x accidents (quadratic blowups, lock
+   convoys), not 20% drift. *)
+let bench_tolerance = 1.0
+
+let record_baseline ~repeat path =
+  let module Json = Orianna_obs.Json in
+  let calib = calibrate () in
+  let timings = emit_par_bench ~repeat () in
+  let oc = open_out path in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [
+            ("meta", bench_meta ());
+            ("calibration_s", Json.Num calib);
+            ("tolerance", Json.Num bench_tolerance);
+            ( "workloads",
+              Json.Obj
+                (List.map
+                   (fun (name, seq_s, par_s, _) ->
+                     ( name,
+                       Json.Obj
+                         [ ("sequential_s", Json.Num seq_s); ("parallel_s", Json.Num par_s) ]
+                     ))
+                   timings) );
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "recorded bench baseline (calibration %.4f s) -> %s\n" calib path
+
+let check_baseline ~repeat path =
+  let module Json = Orianna_obs.Json in
+  let contents =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let baseline = Json.parse contents in
+  let num j key =
+    match Json.member key j with
+    | Some (Json.Num v) -> v
+    | _ -> failwith (Printf.sprintf "bench baseline %s: missing numeric %S" path key)
+  in
+  let base_calib = num baseline "calibration_s" in
+  let tolerance =
+    match Json.member "tolerance" baseline with Some (Json.Num t) -> t | _ -> bench_tolerance
+  in
+  let calib = calibrate () in
+  let timings = emit_par_bench ~repeat () in
+  Printf.printf "Bench regression check vs %s (calibration %.4f s baseline / %.4f s now):\n"
+    path base_calib calib;
+  let failures = ref 0 in
+  List.iter
+    (fun (name, seq_s, par_s, identical) ->
+      if not identical then begin
+        Printf.printf "  %-16s FAIL: sequential and parallel results differ\n" name;
+        incr failures
+      end;
+      match Json.member "workloads" baseline with
+      | Some wl -> (
+          match Json.member name wl with
+          | None -> Printf.printf "  %-16s (not in baseline, skipped)\n" name
+          | Some entry ->
+              List.iter
+                (fun (key, now_s) ->
+                  let base_norm = num entry key /. base_calib in
+                  let now_norm = now_s /. calib in
+                  let limit = base_norm *. (1.0 +. tolerance) in
+                  if now_norm > limit then begin
+                    Printf.printf
+                      "  %-16s FAIL %s: %.1f calib units exceeds baseline %.1f (+%.0f%%)\n"
+                      name key now_norm base_norm (100.0 *. tolerance);
+                    incr failures
+                  end
+                  else
+                    Printf.printf "  %-16s ok   %s: %.1f calib units <= %.1f (+%.0f%%)\n" name
+                      key now_norm base_norm (100.0 *. tolerance))
+                [ ("sequential_s", seq_s); ("parallel_s", par_s) ])
+      | None -> failwith (Printf.sprintf "bench baseline %s: no workloads section" path))
+    timings;
+  if !failures > 0 then begin
+    Printf.printf "BENCH REGRESSION: %d check(s) outside the tolerance band\n" !failures;
+    exit 1
+  end
+  else print_endline "bench regression check passed"
+
+(* ------------------------------------------------------------------ *)
+(* Observability overhead smoke.
+
+   The registry's contract is that the {e disabled} entry points cost
+   nothing on hot paths.  Measure the disabled per-call cost directly,
+   count how many registry calls one cycle-level schedule actually
+   makes (by running it once {e enabled} and reading the snapshot
+   back), and require  calls x per-call-cost < 1% of the disabled
+   schedule wall clock. *)
+let obs_overhead_smoke () =
+  let module Obs = Orianna_obs.Obs in
+  Obs.disable ();
+  Obs.reset ();
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let sched () = ignore (Schedule.run ~accel ~policy:Schedule.Ooo_full app_program) in
+  sched ();
+  let t_sched =
+    let runs = List.init 5 (fun _ -> time sched) in
+    let a = Array.of_list runs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  (* Disabled per-call cost, averaged over the three metric entry
+     points (1M calls each). *)
+  let calls = 1_000_000 in
+  let t_count = time (fun () -> for _ = 1 to calls do Obs.count "smoke.c" done) in
+  let t_observe = time (fun () -> for _ = 1 to calls do Obs.observe "smoke.h" 1.0 done) in
+  let t_gauge = time (fun () -> for _ = 1 to calls do Obs.set_gauge "smoke.g" 1.0 done) in
+  let per_call = (t_count +. t_observe +. t_gauge) /. float_of_int (3 * calls) in
+  (* How many registry calls does one schedule make?  Run it enabled
+     and read the snapshot: histogram samples + counter bumps + gauge
+     writes (counters are bumped with ~n batching, so counting names
+     under-counts; each name is still one call site per run). *)
+  Obs.enable ();
+  sched ();
+  let n_calls =
+    List.fold_left (fun acc (_, (h : Obs.histogram)) -> acc + h.Obs.samples) 0 (Obs.histograms ())
+    + List.length (Obs.counters ())
+    + List.length (Obs.gauges ())
+    + List.length (Obs.spans ())
+  in
+  Obs.disable ();
+  Obs.reset ();
+  let overhead_s = float_of_int n_calls *. per_call in
+  let frac = overhead_s /. t_sched in
+  Printf.printf
+    "obs overhead smoke: schedule %.4f s, %d registry calls x %.1f ns disabled = %.6f s (%.3f%%)\n"
+    t_sched n_calls (per_call *. 1e9) overhead_s (100.0 *. frac);
+  if frac >= 0.01 then begin
+    print_endline "OBS OVERHEAD: disabled registry costs >= 1% of the schedule hot path";
+    exit 1
+  end
+  else print_endline "obs overhead smoke passed (< 1%)"
+
+(* Flag parsing: --par-only / --isa-opt-only / --obs-overhead select a
+   sub-benchmark; --repeat K, --check FILE and --record FILE drive the
+   noise-aware regression gate over the parallel sweep workloads. *)
+let flag name = Array.exists (( = ) name) Sys.argv
+
+let flag_value name =
+  let n = Array.length Sys.argv in
+  let rec find i =
+    if i >= n - 1 then None else if Sys.argv.(i) = name then Some Sys.argv.(i + 1) else find (i + 1)
+  in
+  find 1
 
 let () =
-  if Array.exists (( = ) "--par-only") Sys.argv then emit_par_bench ()
-  else if Array.exists (( = ) "--isa-opt-only") Sys.argv then emit_isa_opt_bench ()
+  let repeat =
+    match flag_value "--repeat" with
+    | Some s -> ( match int_of_string_opt s with Some k when k >= 1 -> k | _ -> 1)
+    | None -> 1
+  in
+  if flag "--obs-overhead" then obs_overhead_smoke ()
+  else
+    match (flag_value "--check", flag_value "--record") with
+    | Some path, _ -> check_baseline ~repeat path
+    | None, Some path -> record_baseline ~repeat path
+    | None, None ->
+  if flag "--par-only" then ignore (emit_par_bench ~repeat ())
+  else if flag "--isa-opt-only" then emit_isa_opt_bench ()
   else begin
     print_endline "=====================================================================";
     print_endline " ORIANNA evaluation reproduction (one entry per paper table/figure)";

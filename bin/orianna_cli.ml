@@ -76,6 +76,11 @@ let report_flag =
 (* Run [f] with the telemetry registry enabled whenever an export was
    requested; [f] returns extra trace events (e.g. the scheduler's
    per-instruction slices) to append after the pipeline spans. *)
+(* Command-specific meta fields first, then the standard provenance
+   header (git rev, jobs, domains, ocaml version, timestamp). *)
+let std_meta meta =
+  Report.standard_meta ~extra:meta ~jobs:(Orianna_par.Pool.default_jobs ()) ()
+
 let with_obs ~trace ~report ~meta f =
   if trace <> None || report <> None then Obs.enable ();
   let extra = f () in
@@ -86,7 +91,7 @@ let with_obs ~trace ~report ~meta f =
     trace;
   Option.iter
     (fun path ->
-      Report.write_file ~meta path;
+      Report.write_file ~meta:(std_meta meta) path;
       Format.printf "wrote %s@." path)
     report
 
@@ -148,9 +153,9 @@ let generate_cmd =
   let json_flag =
     Arg.(value & flag
          & info [ "json" ]
-             ~doc:"Print the DSE trace and chosen configuration as JSON. The output is a pure \
-                   function of the inputs (no timings), so it diffs byte-for-byte across job \
-                   counts.")
+             ~doc:"Print the DSE trace and chosen configuration as JSON. Everything outside the \
+                   $(b,meta) header is a pure function of the inputs (no timings), so the payload \
+                   diffs byte-for-byte across job counts.")
   in
   let run app seed jobs dsp objective json trace report =
     set_jobs jobs;
@@ -185,15 +190,16 @@ let generate_cmd =
               [
                 ( "meta",
                   J.Obj
-                    [
-                      ("command", J.Str "generate");
-                      ("app", J.Str app.App.name);
-                      ("seed", J.int seed);
-                      ("dsp", J.int dsp);
-                      ( "objective",
-                        J.Str (match objective with `Latency -> "latency" | `Energy -> "energy")
-                      );
-                    ] );
+                    ([
+                       ("command", J.Str "generate");
+                       ("app", J.Str app.App.name);
+                       ("seed", J.int seed);
+                       ("dsp", J.int dsp);
+                       ( "objective",
+                         J.Str
+                           (match objective with `Latency -> "latency" | `Energy -> "energy") );
+                     ]
+                    @ List.map (fun (k, v) -> (k, J.Str v)) (std_meta [])) );
                 ( "trace",
                   J.Arr
                     (List.map
@@ -424,7 +430,195 @@ let profile_cmd =
              ~doc:"Print the run report as JSON to stdout instead of text tables — the same \
                    machine-readable shape `serve --report` emits.")
   in
-  let run app seed jobs opt_level policy json trace report =
+  let par_flag =
+    Arg.(value & flag
+         & info [ "par" ]
+             ~doc:"Parallel-efficiency report: run the DSE sweep sequentially and at $(b,--jobs) \
+                   lanes, then decompose the gap to perfect scaling into serial sections, work \
+                   inflation, pool overhead and idle time, with per-lane utilization and GC \
+                   accounting. With $(b,--trace), each pool domain gets its own Perfetto track.")
+  in
+  (* --par: same workload (the generate DSE sweep) timed sequentially
+     and at N lanes.  With [t_seq]/[t_par] wall clocks, [S*] the time
+     outside pool regions, [B*] the summed lane busy time, [O] pool
+     overhead (dispatch + join spin) and [I] idle lane-time inside
+     parallel regions, the gap to perfect scaling decomposes exactly:
+
+       t_par - t_seq/N = (S_par - S_seq/N)        serial sections
+                       + (B_par - B_seq)/N        work inflation
+                       + O/N                      pool overhead
+                       + I/N                      idle (imbalance)
+
+     so the report accounts for 100% of the gap by construction
+     (modulo clock granularity). *)
+  let run_par app seed njobs opt_level json trace report =
+    let module Pool = Orianna_par.Pool in
+    let module J = Orianna_obs.Json in
+    Obs.enable ();
+    let frame = Obs.with_span "compile" (fun () -> Pipeline.frame ~opt_level app ~seed) in
+    let timed_generate label jobs =
+      Pool.set_default_jobs jobs;
+      ignore (Pool.drain_stats ());
+      let t0 = Obs.now_s () in
+      let result =
+        Obs.with_span ~gc:true label (fun () -> Pipeline.generate frame.Pipeline.program)
+      in
+      let wall = Obs.now_s () -. t0 in
+      (result, wall, Pool.drain_stats ())
+    in
+    let seq_result, t_seq, seq_records = timed_generate "generate(seq)" 1 in
+    let par_result, t_par, par_records = timed_generate "generate(par)" njobs in
+    if seq_result.Dse.best <> par_result.Dse.best then
+      Format.eprintf "warning: sequential and parallel DSE disagree (determinism bug)@.";
+    let n = float_of_int njobs in
+    let region records = List.fold_left (fun acc (r : Pool.run_record) ->
+        acc +. (r.Pool.done_s -. r.Pool.submit_s)) 0.0 records
+    in
+    let seq_sum = Pool.summarize seq_records and par_sum = Pool.summarize par_records in
+    let busy (s : Pool.summary) =
+      Array.fold_left (fun acc (t : Pool.lane_totals) -> acc +. t.Pool.tbusy_s) 0.0 s.Pool.per_lane
+    in
+    let dispatch (s : Pool.summary) =
+      Array.fold_left (fun acc (t : Pool.lane_totals) -> acc +. t.Pool.tdispatch_s) 0.0
+        s.Pool.per_lane
+    in
+    let b_seq = busy seq_sum and b_par = busy par_sum in
+    let r_par = region par_records and r_seq = region seq_records in
+    let s_par = Float.max 0.0 (t_par -. r_par) and s_seq = Float.max 0.0 (t_seq -. r_seq) in
+    let overhead = dispatch par_sum +. par_sum.Pool.join_spin_total_s in
+    let idle = Float.max 0.0 ((n *. r_par) -. b_par -. overhead) in
+    let gap = t_par -. (t_seq /. n) in
+    let serial_c = s_par -. (s_seq /. n) in
+    let inflation_c = (b_par -. b_seq) /. n in
+    let overhead_c = overhead /. n in
+    let idle_c = idle /. n in
+    let accounted = serial_c +. inflation_c +. overhead_c +. idle_c in
+    let speedup = if t_par > 0.0 then t_seq /. t_par else 0.0 in
+    let gc_of (s : Pool.summary) =
+      Array.fold_left
+        (fun (mw, mc, jc) (t : Pool.lane_totals) ->
+          (mw +. t.Pool.tminor_words, mc + t.Pool.tminor_collections,
+           jc + t.Pool.tmajor_collections))
+        (0.0, 0, 0) s.Pool.per_lane
+    in
+    let mw_seq, mc_seq, jc_seq = gc_of seq_sum in
+    let mw_par, mc_par, jc_par = gc_of par_sum in
+    let lane_json (t : Pool.lane_totals) =
+      J.Obj
+        [
+          ("lane", J.int t.Pool.tlane);
+          ("slots", J.int t.Pool.tslots);
+          ("busy_s", J.Num t.Pool.tbusy_s);
+          ("utilization", J.Num (if r_par > 0.0 then t.Pool.tbusy_s /. r_par else 0.0));
+          ("minor_words", J.Num t.Pool.tminor_words);
+          ("minor_collections", J.int t.Pool.tminor_collections);
+          ("major_collections", J.int t.Pool.tmajor_collections);
+        ]
+    in
+    let par_json =
+      ( "par",
+        J.Obj
+          [
+            ("jobs", J.int njobs);
+            ("t_seq_s", J.Num t_seq);
+            ("t_par_s", J.Num t_par);
+            ("speedup", J.Num speedup);
+            ("efficiency", J.Num (speedup /. n));
+            ("gap_s", J.Num gap);
+            ("accounted_s", J.Num accounted);
+            ( "gap_breakdown_s",
+              J.Obj
+                [
+                  ("serial", J.Num serial_c);
+                  ("inflation", J.Num inflation_c);
+                  ("overhead", J.Num overhead_c);
+                  ("idle", J.Num idle_c);
+                ] );
+            ( "gc",
+              J.Obj
+                [
+                  ("minor_words_seq", J.Num mw_seq);
+                  ("minor_words_par", J.Num mw_par);
+                  ("minor_collections_seq", J.int mc_seq);
+                  ("minor_collections_par", J.int mc_par);
+                  ("major_collections_seq", J.int jc_seq);
+                  ("major_collections_par", J.int jc_par);
+                ] );
+            ("lanes", J.Arr (Array.to_list (Array.map lane_json par_sum.Pool.per_lane)));
+          ] )
+    in
+    let meta =
+      std_meta
+        [
+          ("command", "profile--par");
+          ("app", app.App.name);
+          ("seed", string_of_int seed);
+          ("opt_level", string_of_int opt_level);
+        ]
+    in
+    if json then print_endline (Report.to_string ~meta ~extra:[ par_json ] ())
+    else begin
+      let ms v = v *. 1e3 in
+      let pct part = if gap > 1e-9 then 100.0 *. part /. gap else 0.0 in
+      Format.printf "parallel efficiency: %s generate sweep, %d jobs@." app.App.name njobs;
+      Format.printf "  sequential  %8.1f ms  (pool regions %.1f ms, serial %.1f ms)@."
+        (ms t_seq) (ms r_seq) (ms s_seq);
+      Format.printf "  parallel    %8.1f ms  speedup %.2fx  efficiency %.1f%%@." (ms t_par)
+        speedup (100.0 *. speedup /. n);
+      Format.printf "  perfect scaling: %.1f ms; gap %.1f ms, accounted %.1f ms (%.0f%%):@."
+        (ms (t_seq /. n)) (ms gap) (ms accounted)
+        (if gap > 1e-9 then 100.0 *. accounted /. gap else 100.0);
+      Format.printf "    serial sections (not parallelized) %8.1f ms  %5.1f%%@." (ms serial_c)
+        (pct serial_c);
+      Format.printf "    work inflation (par vs seq busy)   %8.1f ms  %5.1f%%@."
+        (ms inflation_c) (pct inflation_c);
+      Format.printf "    pool overhead (dispatch + join)    %8.1f ms  %5.1f%%@."
+        (ms overhead_c) (pct overhead_c);
+      Format.printf "    idle lanes (imbalance / tail)      %8.1f ms  %5.1f%%@." (ms idle_c)
+        (pct idle_c);
+      let t =
+        Texttable.create ~title:"Per-lane"
+          ~headers:[ "lane"; "slots"; "busy ms"; "util %"; "minor words"; "minor gc"; "major gc" ]
+      in
+      Array.iter
+        (fun (lt : Pool.lane_totals) ->
+          Texttable.add_row t
+            [
+              (if lt.Pool.tlane = 0 then "0 (caller)" else string_of_int lt.Pool.tlane);
+              string_of_int lt.Pool.tslots;
+              Printf.sprintf "%.1f" (ms lt.Pool.tbusy_s);
+              Printf.sprintf "%.1f"
+                (if r_par > 0.0 then 100.0 *. lt.Pool.tbusy_s /. r_par else 0.0);
+              Printf.sprintf "%.3g" lt.Pool.tminor_words;
+              string_of_int lt.Pool.tminor_collections;
+              string_of_int lt.Pool.tmajor_collections;
+            ])
+        par_sum.Pool.per_lane;
+      Texttable.print t;
+      Format.printf
+        "  GC: minor words %.3g -> %.3g (%.2fx), minor collections %d -> %d, major %d -> %d@."
+        mw_seq mw_par
+        (if mw_seq > 0.0 then mw_par /. mw_seq else 0.0)
+        mc_seq mc_par jc_seq jc_par
+    end;
+    Option.iter
+      (fun path ->
+        Chrome_trace.write_file path
+          (Chrome_trace.of_spans (Obs.spans ()) @ Pool.chrome_events par_records);
+        Format.printf "wrote %s@." path)
+      trace;
+    Option.iter
+      (fun path ->
+        Report.write_file ~meta ~extra:[ par_json ] path;
+        Format.printf "wrote %s@." path)
+      report
+  in
+  let run app seed jobs opt_level policy json par trace report =
+    if par then
+      run_par app seed
+        (match jobs with Some n -> max 1 n | None -> Orianna_par.Pool.default_jobs ())
+        opt_level json trace report
+    else begin
     set_jobs jobs;
     Obs.enable ();
     let frame = Obs.with_span "compile" (fun () -> Pipeline.frame ~opt_level app ~seed) in
@@ -433,13 +627,14 @@ let profile_cmd =
     in
     let r = Obs.with_span "simulate" (fun () -> Schedule.run ~accel ~policy frame.Pipeline.program) in
     let meta =
-      [
-        ("command", "profile");
-        ("app", app.App.name);
-        ("seed", string_of_int seed);
-        ("policy", Schedule.policy_name policy);
-        ("opt_level", string_of_int opt_level);
-      ]
+      std_meta
+        [
+          ("command", "profile");
+          ("app", app.App.name);
+          ("seed", string_of_int seed);
+          ("policy", Schedule.policy_name policy);
+          ("opt_level", string_of_int opt_level);
+        ]
     in
     let profile_extra =
       ( "profile",
@@ -500,11 +695,12 @@ let profile_cmd =
         Report.write_file ~meta ~extra:[ profile_extra ] path;
         Format.printf "wrote %s@." path)
       report
+    end
   in
   let term =
     Term.(
       const run $ app_pos $ seed_flag $ jobs_flag $ opt_level_flag $ policy $ json_flag
-      $ trace_flag $ report_flag)
+      $ par_flag $ trace_flag $ report_flag)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -589,14 +785,15 @@ let faults_cmd =
                   [
                     ( "meta",
                       J.Obj
-                        [
-                          ("command", J.Str "faults");
-                          ("app", J.Str app.App.name);
-                          ("seed", J.int seed);
-                          ("missions", J.int missions);
-                          ("policy", J.Str (Schedule.policy_name policy));
-                          ("accel", J.Str accel.Accel.name);
-                        ] );
+                        ([
+                           ("command", J.Str "faults");
+                           ("app", J.Str app.App.name);
+                           ("seed", J.int seed);
+                           ("missions", J.int missions);
+                           ("policy", J.Str (Schedule.policy_name policy));
+                           ("accel", J.Str accel.Accel.name);
+                         ]
+                        @ List.map (fun (k, v) -> (k, J.Str v)) (std_meta [])) );
                     ( "events",
                       J.Arr
                         (List.map
@@ -764,13 +961,14 @@ let serve_cmd =
       }
     in
     let meta =
-      [
-        ("command", "serve");
-        ("apps", String.concat "," apps);
-        ("seed", string_of_int seed);
-        ("requests", string_of_int requests);
-        ("policy", Dispatch.policy_name policy);
-      ]
+      std_meta
+        [
+          ("command", "serve");
+          ("apps", String.concat "," apps);
+          ("seed", string_of_int seed);
+          ("requests", string_of_int requests);
+          ("policy", Dispatch.policy_name policy);
+        ]
     in
     if trace <> None || report <> None then Obs.enable ();
     let r = Serve.run ~config ~trace:trace_reqs () in

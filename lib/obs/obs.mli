@@ -5,10 +5,27 @@
     {!with_span} degrades to a direct call and the metric entry points
     to a single branch — so instrumented hot paths (the compiler, the
     DSE loop, the cycle-level scheduler) cost nothing in benchmarks.
+    The [bench --obs-overhead] smoke gates this: the disabled registry
+    must cost under 1% of the scheduling hot path.
 
-    Determinism: all snapshot accessors return entries sorted by name,
-    and {!set_clock} injects the time source so tests see reproducible
-    timings. Exporters live in {!Chrome_trace} (Perfetto /
+    Multicore: metric storage is {e sharded per domain}.  A domain's
+    counters, gauges and histogram accumulators live in its own shard
+    behind a shard-local mutex that is only ever contended by a
+    snapshot, so worker domains never fight over a global lock (or its
+    cache line) on the metric fast path.  Snapshot accessors merge all
+    shards deterministically — counters and histogram contents sum, so
+    the same work yields the same snapshot at any job count — and
+    return entries sorted by name.  [last]-style fields (gauges, a
+    histogram's most recent sample) are resolved last-writer-wins via
+    a global write sequence.
+
+    Histograms are log-bucketed ({!Hist.sub} buckets per octave), so
+    {!quantile} reads p50/p90/p99 off the bucket counts with a bounded
+    relative error of [2^(1/sub) - 1] (~4.4%) against the exact sorted
+    percentile.
+
+    Determinism: {!set_clock} injects the time source so tests see
+    reproducible timings. Exporters live in {!Chrome_trace} (Perfetto /
     chrome://tracing) and {!Report} (flat JSON). *)
 
 type attr = string * string
@@ -21,13 +38,50 @@ type span = {
   children : span list;  (** in start order *)
 }
 
+(** Standalone log-bucketed histogram accumulator — the same structure
+    the registry shards use, exposed so other subsystems (the serving
+    runtime's latency percentiles) unify on one quantile
+    implementation. Not thread-safe; confine one [t] to one domain. *)
+module Hist : sig
+  val sub : int
+  (** Buckets per octave (16): relative quantile error <= 2^(1/sub)-1. *)
+
+  val buckets : int
+
+  type t
+
+  val create : unit -> t
+
+  val add : ?seq:int -> t -> float -> unit
+  (** Feed one sample. [seq] orders [last] across merged accumulators;
+      standalone users can ignore it. *)
+
+  val merge_into : into:t -> t -> unit
+
+  val bound : int -> float
+  (** Lower bound of bucket [i]; bucket [i] covers
+      [[bound i, bound (i+1))]. *)
+end
+
 type histogram = {
   samples : int;
   sum : float;
   hmin : float;
   hmax : float;
   last : float;  (** most recent observation *)
+  nonpos : int;  (** samples [<= 0], kept out of the log buckets *)
+  counts : int array;  (** log-bucket occupancy; see {!Hist.bound} *)
 }
+
+val snapshot_hist : Hist.t -> histogram
+(** Immutable snapshot of a standalone accumulator. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h p] for [p] in [[0, 100]], following
+    [Stats.percentile]'s rank convention (linear interpolation between
+    order statistics), reconstructed from the log buckets and clamped
+    to the recorded extrema.  Relative error vs the exact sorted
+    percentile is bounded by one bucket width (~4.4%). *)
 
 val enabled : unit -> bool
 
@@ -38,17 +92,29 @@ val disable : unit -> unit
 
 val reset : unit -> unit
 (** Drop all collected data (spans, counters, gauges, histograms) and
-    restart the epoch; the enabled state and clock are kept. *)
+    restart the epoch; the enabled state and clock are kept.  Domains
+    that emitted metrics before the reset re-register fresh shards on
+    their next write. *)
 
 val set_clock : (unit -> float) -> unit
 (** Replace the wall-clock source (default [Unix.gettimeofday]) — the
     injection point for reproducible timings in tests. Resets the
     epoch. *)
 
-val with_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+val now_s : unit -> float
+(** Seconds since the registry epoch, on the injected clock.  Trace
+    producers (the domain pool) use this so their events share the
+    span timeline. *)
+
+val with_span : ?attrs:attr list -> ?gc:bool -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] times [f] as a span nested under the innermost
     open span. The span is recorded even if [f] raises. When the
-    registry is disabled this is exactly [f ()]. *)
+    registry is disabled this is exactly [f ()].  With [~gc:true] the
+    span additionally records [Gc.quick_stat] deltas over [f] as
+    attributes ([gc.minor_words], [gc.promoted_words],
+    [gc.minor_collections], [gc.major_collections]) — minor-heap
+    figures are per-domain in OCaml 5, so they attribute allocation to
+    the domain running the span. *)
 
 val count : ?n:int -> string -> unit
 (** Add [n] (default 1) to a named counter. *)
@@ -59,7 +125,7 @@ val observe : string -> float -> unit
 (** Feed one sample into a named histogram. *)
 
 val counters : unit -> (string * int) list
-(** Name-sorted snapshot. *)
+(** Name-sorted snapshot, summed across all domain shards. *)
 
 val counter : string -> int
 (** One counter's value; 0 if never touched. *)

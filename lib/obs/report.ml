@@ -18,7 +18,83 @@ let histogram_json (h : Obs.histogram) =
       ("min", Json.Num h.hmin);
       ("max", Json.Num h.hmax);
       ("last", Json.Num h.last);
+      ("p50", Json.Num (Obs.quantile h 50.0));
+      ("p90", Json.Num (Obs.quantile h 90.0));
+      ("p99", Json.Num (Obs.quantile h 99.0));
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Standard report metadata.
+
+   Every machine-readable artifact (BENCH_*.json, the CLI's --json
+   reports) carries the same provenance header: git revision, job
+   count, the machine's recommended domain count, the OCaml version
+   and an ISO-8601 timestamp.  It lives only at the top level of each
+   artifact so the payload sections below it stay byte-diffable across
+   job counts and machines. *)
+
+let read_first_line path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+      close_in ic;
+      line
+
+(* Resolve HEAD without spawning a subprocess: environment overrides
+   first (CI exports GITHUB_SHA), then a .git/HEAD walk upward from
+   the working directory. *)
+let git_rev () =
+  match (Sys.getenv_opt "ORIANNA_GIT_REV", Sys.getenv_opt "GITHUB_SHA") with
+  | Some r, _ | None, Some r -> r
+  | None, None -> (
+      let rec find_git dir depth =
+        if depth > 6 then None
+        else begin
+          let head = Filename.concat dir ".git/HEAD" in
+          if Sys.file_exists head then Some (dir, head)
+          else begin
+            let parent = Filename.dirname dir in
+            if parent = dir then None else find_git parent (depth + 1)
+          end
+        end
+      in
+      match find_git (Sys.getcwd ()) 0 with
+      | None -> "unknown"
+      | Some (dir, head) -> (
+          match read_first_line head with
+          | None -> "unknown"
+          | Some line ->
+              let prefix = "ref: " in
+              if String.length line > String.length prefix
+                 && String.sub line 0 (String.length prefix) = prefix
+              then begin
+                let ref_path =
+                  Filename.concat dir
+                    (Filename.concat ".git"
+                       (String.sub line (String.length prefix)
+                          (String.length line - String.length prefix)))
+                in
+                Option.value ~default:"unknown" (read_first_line ref_path)
+              end
+              else line))
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let standard_meta ?(extra = []) ~jobs () =
+  extra
+  @ [
+      ("git_rev", git_rev ());
+      ("jobs", string_of_int jobs);
+      ("domains", string_of_int (Domain.recommended_domain_count ()));
+      ("ocaml_version", Sys.ocaml_version);
+      ("timestamp", iso8601 (Unix.gettimeofday ()));
+    ]
+
+let meta_json meta = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) meta)
 
 let to_json ?(meta = []) ?(extra = []) () =
   Json.Obj

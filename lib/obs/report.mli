@@ -3,6 +3,25 @@
     forest — for regression dashboards and scripted comparison of
     runs ([jq .counters] and friends). *)
 
+val git_rev : unit -> string
+(** Current git revision, resolved without a subprocess:
+    [ORIANNA_GIT_REV] / [GITHUB_SHA] from the environment if set,
+    otherwise a [.git/HEAD] walk upward from the working directory;
+    ["unknown"] when neither works. *)
+
+val iso8601 : float -> string
+(** Unix timestamp as ["YYYY-MM-DDTHH:MM:SSZ"] (UTC). *)
+
+val standard_meta : ?extra:(string * string) list -> jobs:int -> unit -> (string * string) list
+(** The provenance header every machine-readable artifact carries:
+    [extra] fields first, then [git_rev], [jobs], [domains]
+    (recommended domain count), [ocaml_version] and an ISO-8601
+    [timestamp].  Emit it only at the top level of an artifact so the
+    payload sections stay byte-diffable across job counts. *)
+
+val meta_json : (string * string) list -> Json.t
+(** A meta list as a string-valued JSON object. *)
+
 val to_json : ?meta:(string * string) list -> ?extra:(string * Json.t) list -> unit -> Json.t
 (** Snapshot the current registry. [meta] lands as a string-valued
     object under ["meta"] (app name, seed, policy, ...); [extra]

@@ -1,3 +1,7 @@
+module Obs = Orianna_obs.Obs
+module Chrome_trace = Orianna_obs.Chrome_trace
+module Json = Orianna_obs.Json
+
 (* Deterministic fixed-size domain pool.
 
    One process-global pool of [jobs - 1] worker domains; the caller
@@ -15,25 +19,116 @@
    observationally equivalent. *)
 let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Instrumentation.
+
+   When the telemetry registry is enabled, every pool run carries a
+   [run_record]: per-lane slot counts, busy time, dispatch latency
+   (job publication -> the lane's first slot claim), per-slot spans
+   for Chrome-trace export, and [Gc.quick_stat] deltas — minor-heap
+   figures are per-domain in OCaml 5, so each lane's allocation and
+   minor-collection counts are attributed to the domain that did the
+   work.  Lane [0] is always the calling domain; lanes [1..] are the
+   worker domains.  Each lane mutates only its own [lane_stats], so
+   recording needs no locks on the claim path; completed records
+   accumulate in a session list drained by [drain_stats] (the
+   [profile --par] report). *)
+
+type lane_stats = {
+  lane : int;
+  mutable slots : int;
+  mutable busy_s : float;
+  mutable dispatch_s : float;  (* job publish -> first slot claim *)
+  mutable minor_words : float;
+  mutable promoted_words : float;
+  mutable minor_collections : int;
+  mutable major_collections : int;
+  mutable slot_spans : (int * float * float) list;  (* slot, start_s, dur_s; reversed *)
+}
+
+type run_record = {
+  run_id : int;
+  rjobs : int;  (* lanes = workers + caller *)
+  items : int;
+  submit_s : float;
+  mutable done_s : float;
+  mutable join_spin_s : float;  (* caller busy-wait after its own slots ran out *)
+  lanes : lane_stats array;
+}
+
+let new_lane lane =
+  {
+    lane;
+    slots = 0;
+    busy_s = 0.0;
+    dispatch_s = 0.0;
+    minor_words = 0.0;
+    promoted_words = 0.0;
+    minor_collections = 0;
+    major_collections = 0;
+    slot_spans = [];
+  }
+
+let session_mutex = Mutex.create ()
+let session : run_record list ref = ref []
+let run_counter = ref 0
+
+let drain_stats () =
+  Mutex.lock session_mutex;
+  let records = List.rev !session in
+  session := [];
+  Mutex.unlock session_mutex;
+  records
+
 type job = {
   n : int;
   run : int -> unit;  (* must not raise: slot errors are captured inside *)
   next : int Atomic.t;
   completed : int Atomic.t;
+  probe : run_record option;
 }
 
-let execute job =
+let execute ~lane job =
   let prev = Domain.DLS.get in_task in
   Domain.DLS.set in_task true;
-  let rec claim () =
-    let i = Atomic.fetch_and_add job.next 1 in
-    if i < job.n then begin
-      job.run i;
-      Atomic.incr job.completed;
+  (match job.probe with
+  | None ->
+      let rec claim () =
+        let i = Atomic.fetch_and_add job.next 1 in
+        if i < job.n then begin
+          job.run i;
+          Atomic.incr job.completed;
+          claim ()
+        end
+      in
       claim ()
-    end
-  in
-  claim ();
+  | Some rec_ ->
+      let ls = rec_.lanes.(lane) in
+      let g0 = ref (Gc.quick_stat ()) in
+      let rec claim () =
+        let i = Atomic.fetch_and_add job.next 1 in
+        if i < job.n then begin
+          let t0 = Obs.now_s () in
+          if ls.slots = 0 then ls.dispatch_s <- Float.max 0.0 (t0 -. rec_.submit_s);
+          job.run i;
+          Atomic.incr job.completed;
+          let t1 = Obs.now_s () in
+          let g1 = Gc.quick_stat () in
+          ls.slots <- ls.slots + 1;
+          ls.busy_s <- ls.busy_s +. (t1 -. t0);
+          ls.slot_spans <- (i, t0, t1 -. t0) :: ls.slot_spans;
+          ls.minor_words <- ls.minor_words +. (g1.Gc.minor_words -. !g0.Gc.minor_words);
+          ls.promoted_words <-
+            ls.promoted_words +. (g1.Gc.promoted_words -. !g0.Gc.promoted_words);
+          ls.minor_collections <-
+            ls.minor_collections + (g1.Gc.minor_collections - !g0.Gc.minor_collections);
+          ls.major_collections <-
+            ls.major_collections + (g1.Gc.major_collections - !g0.Gc.major_collections);
+          g0 := g1;
+          claim ()
+        end
+      in
+      claim ());
   Domain.DLS.set in_task prev
 
 type pool = {
@@ -46,7 +141,7 @@ type pool = {
   mutable workers : unit Domain.t list;
 }
 
-let worker pool =
+let worker pool lane =
   let seen = ref 0 in
   let rec loop () =
     Mutex.lock pool.mutex;
@@ -58,7 +153,7 @@ let worker pool =
       seen := pool.epoch;
       let job = pool.job in
       Mutex.unlock pool.mutex;
-      (match job with Some j -> execute j | None -> ());
+      (match job with Some j -> execute ~lane j | None -> ());
       loop ()
     end
   in
@@ -92,7 +187,8 @@ let get_pool ~size =
         stop = false;
         workers = [] }
     in
-    p.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker p));
+    (* Lane 0 is the caller; worker [w] claims lane [w + 1]. *)
+    p.workers <- List.init size (fun w -> Domain.spawn (fun () -> worker p (w + 1)));
     if not !exit_hook_installed then begin
       exit_hook_installed := true;
       at_exit shutdown
@@ -100,19 +196,59 @@ let get_pool ~size =
     pool := Some p;
     p
 
+(* Feed one completed record into the registry (counters + slot/dispatch
+   histograms) and the session list. *)
+let record_run rec_ =
+  Array.iter
+    (fun ls ->
+      List.iter (fun (_, _, dur) -> Obs.observe "pool.slot_ms" (dur *. 1e3)) ls.slot_spans;
+      if ls.slots > 0 then Obs.observe "pool.dispatch_ms" (ls.dispatch_s *. 1e3))
+    rec_.lanes;
+  Obs.observe "pool.join_spin_ms" (rec_.join_spin_s *. 1e3);
+  Obs.count "pool.runs";
+  Obs.count ~n:rec_.items "pool.slots";
+  Mutex.lock session_mutex;
+  session := rec_ :: !session;
+  Mutex.unlock session_mutex
+
 (* Run [job] across the pool plus the calling lane, returning once
    every slot has completed (not merely been claimed). *)
-let run_job ~jobs job =
+let run_job ~jobs ~n ~run =
   let p = get_pool ~size:(jobs - 1) in
+  let probe =
+    if Obs.enabled () then begin
+      incr run_counter;
+      Some
+        {
+          run_id = !run_counter;
+          rjobs = jobs;
+          items = n;
+          submit_s = Obs.now_s ();
+          done_s = 0.0;
+          join_spin_s = 0.0;
+          lanes = Array.init jobs new_lane;
+        }
+    end
+    else None
+  in
+  let job = { n; run; next = Atomic.make 0; completed = Atomic.make 0; probe } in
   Mutex.lock p.mutex;
   p.job <- Some job;
   p.epoch <- p.epoch + 1;
   Condition.broadcast p.cond;
   Mutex.unlock p.mutex;
-  execute job;
+  execute ~lane:0 job;
+  let spin0 = match probe with None -> 0.0 | Some _ -> Obs.now_s () in
   while Atomic.get job.completed < job.n do
     Domain.cpu_relax ()
-  done
+  done;
+  match probe with
+  | None -> ()
+  | Some rec_ ->
+      let now = Obs.now_s () in
+      rec_.join_spin_s <- now -. spin0;
+      rec_.done_s <- now;
+      record_run rec_
 
 let default_override = ref None
 
@@ -135,10 +271,57 @@ let resolve_jobs = function
   | Some n -> clamp_jobs n
   | None -> default_jobs ()
 
+(* Sequential fallback, still recorded as a 1-lane run when telemetry
+   is on: [profile --par]'s gap accounting needs the {e sequential}
+   busy time and pool-region wall time of the same workload to
+   separate work inflation from serial sections.  Exceptions propagate
+   directly (the record for a failed run is simply dropped). *)
+let seq_map_recorded f xs =
+  let n = Array.length xs in
+  incr run_counter;
+  let ls = new_lane 0 in
+  let rec_ =
+    {
+      run_id = !run_counter;
+      rjobs = 1;
+      items = n;
+      submit_s = Obs.now_s ();
+      done_s = 0.0;
+      join_spin_s = 0.0;
+      lanes = [| ls |];
+    }
+  in
+  let g0 = ref (Gc.quick_stat ()) in
+  let res =
+    Array.mapi
+      (fun i x ->
+        let t0 = Obs.now_s () in
+        let y = f x in
+        let t1 = Obs.now_s () in
+        let g1 = Gc.quick_stat () in
+        ls.slots <- ls.slots + 1;
+        ls.busy_s <- ls.busy_s +. (t1 -. t0);
+        ls.slot_spans <- (i, t0, t1 -. t0) :: ls.slot_spans;
+        ls.minor_words <- ls.minor_words +. (g1.Gc.minor_words -. !g0.Gc.minor_words);
+        ls.promoted_words <- ls.promoted_words +. (g1.Gc.promoted_words -. !g0.Gc.promoted_words);
+        ls.minor_collections <-
+          ls.minor_collections + (g1.Gc.minor_collections - !g0.Gc.minor_collections);
+        ls.major_collections <-
+          ls.major_collections + (g1.Gc.major_collections - !g0.Gc.major_collections);
+        g0 := g1;
+        y)
+      xs
+  in
+  rec_.done_s <- Obs.now_s ();
+  record_run rec_;
+  res
+
 let parallel_map ?jobs f xs =
   let jobs = resolve_jobs jobs in
   let n = Array.length xs in
-  if jobs <= 1 || n < 2 || Domain.DLS.get in_task then Array.map f xs
+  if jobs <= 1 || n < 2 || Domain.DLS.get in_task then
+    if n > 0 && Obs.enabled () && not (Domain.DLS.get in_task) then seq_map_recorded f xs
+    else Array.map f xs
   else begin
     let results = Array.make n None in
     let errors = Array.make n None in
@@ -148,8 +331,7 @@ let parallel_map ?jobs f xs =
       | exception e ->
         errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
     in
-    run_job ~jobs
-      { n; run; next = Atomic.make 0; completed = Atomic.make 0 };
+    run_job ~jobs ~n ~run;
     Array.iter
       (function
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt
@@ -182,3 +364,133 @@ let chunk_ranges ~chunks ~n =
     done;
     ranges
   end
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation and trace export.                                       *)
+
+type lane_totals = {
+  tlane : int;
+  tslots : int;
+  tbusy_s : float;
+  tdispatch_s : float;
+  tminor_words : float;
+  tpromoted_words : float;
+  tminor_collections : int;
+  tmajor_collections : int;
+}
+
+type summary = {
+  runs : int;
+  total_items : int;
+  lanes_used : int;
+  per_lane : lane_totals array;
+  join_spin_total_s : float;
+}
+
+let summarize records =
+  let lanes_used = List.fold_left (fun acc r -> max acc r.rjobs) 0 records in
+  let per_lane =
+    Array.init lanes_used (fun lane ->
+        {
+          tlane = lane;
+          tslots = 0;
+          tbusy_s = 0.0;
+          tdispatch_s = 0.0;
+          tminor_words = 0.0;
+          tpromoted_words = 0.0;
+          tminor_collections = 0;
+          tmajor_collections = 0;
+        })
+  in
+  let join_spin = ref 0.0 in
+  let total_items = ref 0 in
+  List.iter
+    (fun r ->
+      join_spin := !join_spin +. r.join_spin_s;
+      total_items := !total_items + r.items;
+      Array.iter
+        (fun ls ->
+          let t = per_lane.(ls.lane) in
+          per_lane.(ls.lane) <-
+            {
+              t with
+              tslots = t.tslots + ls.slots;
+              tbusy_s = t.tbusy_s +. ls.busy_s;
+              tdispatch_s = t.tdispatch_s +. ls.dispatch_s;
+              tminor_words = t.tminor_words +. ls.minor_words;
+              tpromoted_words = t.tpromoted_words +. ls.promoted_words;
+              tminor_collections = t.tminor_collections + ls.minor_collections;
+              tmajor_collections = t.tmajor_collections + ls.major_collections;
+            })
+        r.lanes)
+    records;
+  {
+    runs = List.length records;
+    total_items = !total_items;
+    lanes_used;
+    per_lane;
+    join_spin_total_s = !join_spin;
+  }
+
+let chrome_pid_base = 3
+
+let chrome_events ?(base_pid = chrome_pid_base) records =
+  let lanes_used = List.fold_left (fun acc r -> max acc r.rjobs) 0 records in
+  let header =
+    List.concat
+      (List.init lanes_used (fun lane ->
+           [
+             Chrome_trace.Process_name
+               {
+                 pid = base_pid + lane;
+                 name =
+                   (if lane = 0 then "pool domain 0 (caller)"
+                    else Printf.sprintf "pool domain %d" lane);
+               };
+             Chrome_trace.Thread_name { pid = base_pid + lane; tid = 0; name = "slots" };
+           ]))
+  in
+  let body =
+    List.concat_map
+      (fun r ->
+        Chrome_trace.Instant
+          {
+            name = Printf.sprintf "submit run %d (%d slots)" r.run_id r.items;
+            cat = "pool";
+            pid = base_pid;
+            tid = 0;
+            ts_us = r.submit_s *. 1e6;
+          }
+        :: List.concat
+             (Array.to_list
+                (Array.map
+                   (fun ls ->
+                     let slices =
+                       List.rev_map
+                         (fun (slot, start_s, dur_s) ->
+                           Chrome_trace.Duration
+                             {
+                               name = Printf.sprintf "run %d slot %d" r.run_id slot;
+                               cat = "pool";
+                               pid = base_pid + ls.lane;
+                               tid = 0;
+                               ts_us = start_s *. 1e6;
+                               dur_us = dur_s *. 1e6;
+                               args = [ ("run", Json.int r.run_id); ("slot", Json.int slot) ];
+                             })
+                         ls.slot_spans
+                     in
+                     if ls.slots = 0 then slices
+                     else
+                       Chrome_trace.Counter
+                         {
+                           name = "pool.gc.minor_words";
+                           pid = base_pid + ls.lane;
+                           ts_us = r.done_s *. 1e6;
+                           series = [ ("minor_words", ls.minor_words) ];
+                         }
+                       :: slices)
+                   r.lanes)))
+      records
+  in
+  header @ body

@@ -62,3 +62,85 @@ val chunk_ranges : chunks:int -> n:int -> (int * int) array
 val shutdown : unit -> unit
 (** Join all worker domains.  Called automatically at exit; safe to
     call repeatedly (the pool respawns on next use). *)
+
+(** {1 Instrumentation}
+
+    While the telemetry registry ({!Orianna_obs.Obs}) is enabled,
+    every pool run records per-lane metrics: slot counts, busy time,
+    dispatch latency (job publication to the lane's first claim),
+    per-slot spans, and per-domain [Gc.quick_stat] deltas (minor words
+    allocated, promoted words, minor/major collections — minor-heap
+    figures are per-domain in OCaml 5, so allocation is attributed to
+    the domain that did the work).  Lane [0] is the calling domain;
+    lanes [1..jobs-1] are the worker domains.  Each completed run also
+    feeds the registry ([pool.runs]/[pool.slots] counters and the
+    [pool.slot_ms]/[pool.dispatch_ms]/[pool.join_spin_ms] histograms).
+    The sequential fallback (jobs = 1, tiny inputs) is recorded too,
+    as a single-lane run — [profile --par] compares the same workload's
+    sequential and parallel run records to split the scaling gap into
+    serial sections, work inflation, pool overhead and idle time.
+    With the registry disabled, none of this exists — the claim loop
+    is the bare fetch-and-add. *)
+
+type lane_stats = {
+  lane : int;
+  mutable slots : int;
+  mutable busy_s : float;
+  mutable dispatch_s : float;
+  mutable minor_words : float;
+  mutable promoted_words : float;
+  mutable minor_collections : int;
+  mutable major_collections : int;
+  mutable slot_spans : (int * float * float) list;
+      (** (slot index, start, duration), seconds on the {!Orianna_obs.Obs}
+          epoch clock, most recent first *)
+}
+
+type run_record = {
+  run_id : int;
+  rjobs : int;
+  items : int;
+  submit_s : float;
+  mutable done_s : float;
+  mutable join_spin_s : float;
+      (** caller's busy-wait after the slot supply ran dry — pure pool
+          overhead *)
+  lanes : lane_stats array;  (** indexed by lane; length [rjobs] *)
+}
+
+val drain_stats : unit -> run_record list
+(** All run records accumulated since the last drain, oldest first.
+    The session buffer is cleared. *)
+
+type lane_totals = {
+  tlane : int;
+  tslots : int;
+  tbusy_s : float;
+  tdispatch_s : float;
+  tminor_words : float;
+  tpromoted_words : float;
+  tminor_collections : int;
+  tmajor_collections : int;
+}
+
+type summary = {
+  runs : int;
+  total_items : int;
+  lanes_used : int;
+  per_lane : lane_totals array;
+  join_spin_total_s : float;
+}
+
+val summarize : run_record list -> summary
+(** Aggregate per-lane totals across a batch of run records. *)
+
+val chrome_pid_base : int
+(** First pid used by {!chrome_events} (3): pids 0–2 belong to the
+    pipeline spans, the accelerator and the serving fleet. *)
+
+val chrome_events :
+  ?base_pid:int -> run_record list -> Orianna_obs.Chrome_trace.event list
+(** One Chrome-trace process ({e pid}) per pool domain — lane [l]
+    maps to pid [base_pid + l] — carrying that domain's slot slices,
+    a submit instant per run, and a [pool.gc.minor_words] counter
+    track per lane. *)

@@ -339,7 +339,15 @@ let run ?(config = default_config) ~trace () =
   let deadline_misses =
     List.length (List.filter (fun c -> c.finish_s > c.request.Request.deadline_s) completions)
   in
-  let pctl p = if Array.length latencies = 0 then 0.0 else Stats.percentile latencies p *. 1e3 in
+  (* Latency percentiles go through the shared log-bucketed histogram
+     (one quantile implementation repo-wide); error vs the exact sorted
+     percentile is bounded by one bucket width. *)
+  let lat_hist =
+    let h = Obs.Hist.create () in
+    Array.iter (fun l -> Obs.Hist.add h (l *. 1e3)) latencies;
+    Obs.snapshot_hist h
+  in
+  let pctl p = if Array.length latencies = 0 then 0.0 else Obs.quantile lat_hist p in
   let per_app =
     List.fold_left
       (fun acc c ->

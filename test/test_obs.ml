@@ -202,6 +202,159 @@ let test_report_roundtrip () =
   | Some (Json.Obj [ ("app", Json.Str "Test") ]) -> ()
   | _ -> Alcotest.fail "bad meta"
 
+(* ---------------- quantiles ---------------- *)
+
+(* The log-bucketed quantile must track the exact sorted percentile
+   within one bucket width: relative error <= 2^(1/sub) - 1 (~4.4%
+   at sub = 16); we assert a 5% ceiling. *)
+let prop_quantile_error_bound =
+  QCheck.Test.make ~name:"obs: log-bucket quantile within 5% of exact percentile" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 200) (float_bound_exclusive 1e6)) (int_bound 100))
+    (fun (raw, p) ->
+      QCheck.assume (raw <> []);
+      let samples = List.map (fun v -> Float.abs v +. 1e-3) raw in
+      let h = Obs.Hist.create () in
+      List.iter (Obs.Hist.add h) samples;
+      let snap = Obs.snapshot_hist h in
+      let exact =
+        Orianna_util.Stats.percentile (Array.of_list samples) (float_of_int p)
+      in
+      let approx = Obs.quantile snap (float_of_int p) in
+      Float.abs (approx -. exact) <= 0.05 *. Float.max exact 1e-9)
+
+let test_quantile_extrema () =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.add h) [ 5.0; 1.0; 9.0 ];
+  let snap = Obs.snapshot_hist h in
+  Alcotest.(check (float 1e-9)) "p0 is min" 1.0 (Obs.quantile snap 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is max" 9.0 (Obs.quantile snap 100.0)
+
+(* ---------------- sharding ---------------- *)
+
+(* The multicore contract: the same multiset of metric writes yields
+   the same snapshot whether it all happened on one domain or was
+   split across four.  Gauges and a histogram's [last] field are
+   last-writer-wins (inherently timing-dependent across domains), so
+   the property covers counters and histogram contents. *)
+let prop_shard_merge_domain_invariant =
+  QCheck.Test.make ~name:"obs: snapshot invariant under domain partitioning" ~count:50
+    QCheck.(list_of_size Gen.(0 -- 120) (triple (int_bound 2) (int_bound 3) (float_bound_exclusive 1e4)))
+    (fun ops ->
+      let apply (kind, name_i, v) =
+        match kind with
+        | 0 -> Obs.count ~n:(1 + name_i) (Printf.sprintf "c.m%d" name_i)
+        | 1 -> Obs.observe (Printf.sprintf "h.m%d" name_i) (Float.abs v +. 0.001)
+        | _ -> Obs.observe (Printf.sprintf "h.n%d" name_i) ((Float.abs v *. 2.0) +. 0.5)
+      in
+      let hist_key (name, (h : Obs.histogram)) =
+        (name, h.Obs.samples, h.Obs.hmin, h.Obs.hmax, h.Obs.nonpos, Array.to_list h.Obs.counts)
+      in
+      let hist_sums hs = List.map (fun (_, (h : Obs.histogram)) -> h.Obs.sum) hs in
+      let snapshot () = (Obs.counters (), Obs.histograms ()) in
+      Obs.enable ();
+      Obs.reset ();
+      List.iter apply ops;
+      let seq_counters, seq_hists = snapshot () in
+      Obs.reset ();
+      let chunks = Array.make 4 [] in
+      List.iteri (fun i op -> chunks.(i mod 4) <- op :: chunks.(i mod 4)) ops;
+      let domains =
+        Array.map (fun chunk -> Domain.spawn (fun () -> List.iter apply chunk)) chunks
+      in
+      Array.iter Domain.join domains;
+      let par_counters, par_hists = snapshot () in
+      Obs.disable ();
+      Obs.reset ();
+      seq_counters = par_counters
+      && List.map hist_key seq_hists = List.map hist_key par_hists
+      (* float sums may differ in rounding across addition orders *)
+      && List.for_all2
+           (fun a b -> Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs a))
+           (hist_sums seq_hists) (hist_sums par_hists))
+
+(* ---------------- gc spans ---------------- *)
+
+let test_span_gc_attrs () =
+  (* Real clock and real Gc here: the attribute values are
+     environment-dependent, only their presence and shape are not. *)
+  Obs.set_clock (fun () -> Unix.gettimeofday ());
+  Obs.enable ();
+  Obs.reset ();
+  Obs.with_span ~gc:true "alloc" (fun () -> ignore (Sys.opaque_identity (Array.make 10_000 0.0)));
+  Obs.with_span "quiet" (fun () -> ());
+  let spans = Obs.spans () in
+  Obs.disable ();
+  Obs.reset ();
+  match spans with
+  | [ alloc; quiet ] ->
+      List.iter
+        (fun key ->
+          match List.assoc_opt key alloc.Obs.attrs with
+          | Some v -> (
+              match float_of_string_opt v with
+              | Some f -> Alcotest.(check bool) (key ^ " non-negative") true (f >= 0.0)
+              | None -> Alcotest.failf "attr %s not numeric: %s" key v)
+          | None -> Alcotest.failf "missing gc attr %s" key)
+        [ "gc.minor_words"; "gc.promoted_words"; "gc.minor_collections"; "gc.major_collections" ];
+      Alcotest.(check bool) "no gc attrs without ~gc" true
+        (List.for_all
+           (fun (k, _) -> not (String.length k >= 3 && String.sub k 0 3 = "gc."))
+           quiet.Obs.attrs)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+(* ---------------- chrome metadata round-trip ---------------- *)
+
+let test_chrome_meta_events_roundtrip () =
+  let events =
+    [
+      Chrome_trace.Thread_name { pid = 3; tid = 0; name = "slots" };
+      Chrome_trace.Process_name { pid = 3; name = "pool domain 0 (caller)" };
+      Chrome_trace.Instant { name = "submit run 1 (9 slots)"; cat = "pool"; pid = 3; tid = 0; ts_us = 12.5 };
+      Chrome_trace.Counter
+        { name = "pool.gc.minor_words"; pid = 3; ts_us = 99.0; series = [ ("minor_words", 4096.0) ] };
+    ]
+  in
+  let parsed = Json.parse (Chrome_trace.to_string events) in
+  let evs =
+    match Json.member "traceEvents" parsed with
+    | Some (Json.Arr evs) -> evs
+    | _ -> Alcotest.fail "missing traceEvents"
+  in
+  let find ph =
+    match List.find_opt (fun e -> Json.member "ph" e = Some (Json.Str ph)) evs with
+    | Some e -> e
+    | None -> Alcotest.failf "no %S event" ph
+  in
+  (* metadata: thread_name and process_name both use ph "M",
+     distinguished by their "name" field *)
+  let metas = List.filter (fun e -> Json.member "ph" e = Some (Json.Str "M")) evs in
+  Alcotest.(check int) "two metadata events" 2 (List.length metas);
+  let meta_arg kind =
+    match
+      List.find_opt (fun e -> Json.member "name" e = Some (Json.Str kind)) metas
+    with
+    | Some e -> (
+        match Json.member "args" e with
+        | Some args -> Json.member "name" args
+        | None -> None)
+    | None -> None
+  in
+  Alcotest.(check bool) "thread name survives" true
+    (meta_arg "thread_name" = Some (Json.Str "slots"));
+  Alcotest.(check bool) "process name survives" true
+    (meta_arg "process_name" = Some (Json.Str "pool domain 0 (caller)"));
+  let instant = find "i" in
+  Alcotest.(check bool) "instant name" true
+    (Json.member "name" instant = Some (Json.Str "submit run 1 (9 slots)"));
+  Alcotest.(check bool) "instant ts" true (Json.member "ts" instant = Some (Json.Num 12.5));
+  let counter = find "C" in
+  (match Json.member "args" counter with
+  | Some args ->
+      Alcotest.(check bool) "counter series value" true
+        (Json.member "minor_words" args = Some (Json.Num 4096.0))
+  | None -> Alcotest.fail "counter missing args");
+  Alcotest.(check bool) "counter pid" true (Json.member "pid" counter = Some (Json.Num 3.0))
+
 let () =
   Alcotest.run "obs"
     [
@@ -215,7 +368,12 @@ let () =
         [
           Alcotest.test_case "counter determinism" `Quick test_counter_determinism;
           Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "quantile extrema" `Quick test_quantile_extrema;
+          QCheck_alcotest.to_alcotest prop_quantile_error_bound;
+          QCheck_alcotest.to_alcotest prop_shard_merge_domain_invariant;
         ] );
+      ( "gc",
+        [ Alcotest.test_case "with_span ~gc attrs" `Quick test_span_gc_attrs ] );
       ( "json",
         [
           Alcotest.test_case "round trip" `Quick test_json_roundtrip;
@@ -224,6 +382,7 @@ let () =
       ( "exporters",
         [
           Alcotest.test_case "chrome trace valid json" `Quick test_chrome_trace_valid_json;
+          Alcotest.test_case "chrome metadata round-trip" `Quick test_chrome_meta_events_roundtrip;
           Alcotest.test_case "run report" `Quick test_report_roundtrip;
         ] );
     ]

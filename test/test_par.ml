@@ -398,6 +398,85 @@ let test_obs_counts_exact_across_domains () =
   Obs.disable ();
   Alcotest.(check int) "4 domains x 1000 increments" 4000 total
 
+(* ---------- pool instrumentation ---------- *)
+
+(* With telemetry on, every pool run leaves a [run_record]: lane slot
+   counts must add up to the submitted items, the timeline must be
+   ordered, and per-run registry metrics must appear. *)
+let test_pool_run_records () =
+  Obs.set_clock (fun () -> Unix.gettimeofday ());
+  Obs.enable ();
+  Obs.reset ();
+  ignore (Pool.drain_stats ());
+  let xs = Array.init 64 Fun.id in
+  let out = Pool.parallel_map ~jobs:4 (fun i -> ignore (Sys.opaque_identity (sin (float_of_int i))); i * 2) xs in
+  Alcotest.(check (array int)) "result intact" (Array.map (fun i -> i * 2) xs) out;
+  let records = Pool.drain_stats () in
+  Obs.disable ();
+  (match records with
+  | [ r ] ->
+      Alcotest.(check int) "jobs recorded" 4 r.Pool.rjobs;
+      Alcotest.(check int) "items recorded" 64 r.Pool.items;
+      Alcotest.(check int) "slots partition the items" 64
+        (Array.fold_left (fun acc (ls : Pool.lane_stats) -> acc + ls.Pool.slots) 0 r.Pool.lanes);
+      Alcotest.(check bool) "done after submit" true (r.Pool.done_s >= r.Pool.submit_s);
+      Array.iter
+        (fun (ls : Pool.lane_stats) ->
+          Alcotest.(check bool) "busy non-negative" true (ls.Pool.busy_s >= 0.0);
+          Alcotest.(check int) "one span per slot" ls.Pool.slots
+            (List.length ls.Pool.slot_spans))
+        r.Pool.lanes
+  | rs -> Alcotest.failf "expected 1 run record, got %d" (List.length rs));
+  Obs.enable ();
+  Obs.reset ();
+  ignore (Pool.drain_stats ());
+  (* Sequential fallback (jobs = 1) still records, as a 1-lane run. *)
+  ignore (Pool.parallel_map ~jobs:1 (fun i -> i + 1) xs);
+  let records = Pool.drain_stats () in
+  Obs.disable ();
+  Obs.reset ();
+  match records with
+  | [ r ] ->
+      Alcotest.(check int) "seq run is one lane" 1 r.Pool.rjobs;
+      Alcotest.(check int) "seq slots" 64 r.Pool.lanes.(0).Pool.slots
+  | rs -> Alcotest.failf "expected 1 seq run record, got %d" (List.length rs)
+
+let test_pool_disabled_records_nothing () =
+  Obs.disable ();
+  Obs.reset ();
+  ignore (Pool.drain_stats ());
+  ignore (Pool.parallel_map ~jobs:4 (fun i -> i + 1) (Array.init 32 Fun.id));
+  Alcotest.(check int) "no records while disabled" 0 (List.length (Pool.drain_stats ()))
+
+let test_pool_chrome_events () =
+  let module Chrome_trace = Orianna_obs.Chrome_trace in
+  let module Json = Orianna_obs.Json in
+  Obs.set_clock (fun () -> Unix.gettimeofday ());
+  Obs.enable ();
+  Obs.reset ();
+  ignore (Pool.drain_stats ());
+  ignore (Pool.parallel_map ~jobs:2 (fun i -> i + 1) (Array.init 16 Fun.id));
+  let records = Pool.drain_stats () in
+  Obs.disable ();
+  Obs.reset ();
+  let events = Pool.chrome_events records in
+  let parsed = Json.parse (Chrome_trace.to_string events) in
+  match Json.member "traceEvents" parsed with
+  | Some (Json.Arr evs) ->
+      let pids =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun e -> match Json.member "pid" e with Some (Json.Num p) -> Some (int_of_float p) | _ -> None)
+             evs)
+      in
+      (* one Perfetto process per lane, starting at the pool's pid base *)
+      Alcotest.(check (list int)) "one pid per lane"
+        [ Pool.chrome_pid_base; Pool.chrome_pid_base + 1 ]
+        pids;
+      let durations = List.filter (fun e -> Json.member "ph" e = Some (Json.Str "X")) evs in
+      Alcotest.(check int) "one slice per slot" 16 (List.length durations)
+  | _ -> Alcotest.fail "missing traceEvents"
+
 let () =
   Alcotest.run "par"
     [
@@ -423,6 +502,13 @@ let () =
             test_campaign_identical_across_jobs;
           Alcotest.test_case "DSE shared cache memoizes candidates" `Quick
             test_dse_shared_cache_memoizes;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "run records account for every slot" `Quick test_pool_run_records;
+          Alcotest.test_case "disabled registry records nothing" `Quick
+            test_pool_disabled_records_nothing;
+          Alcotest.test_case "chrome events: one track per lane" `Quick test_pool_chrome_events;
         ] );
       ( "obs",
         [
