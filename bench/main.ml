@@ -160,6 +160,48 @@ let emit_serve_bench () =
     (Orianna_serve.Cache.hit_rate report.Serve.cache)
     report.Serve.p99_ms report.Serve.deadline_misses
 
+(* Fault-tolerance macro-benchmark: the fleet chaos campaign swept over
+   fault intensities (fixed seed, all four applications), summarized to
+   BENCH_chaos.json.  The campaign is deterministic at any job count,
+   so any diff in the payload is a behaviour change; CI gates the
+   fixed-seed serve smoke against ci/chaos_baseline.json separately. *)
+let emit_chaos_bench () =
+  let module Json = Orianna_obs.Json in
+  let module FC = Orianna_fault.Fleet_chaos in
+  let apps = List.map (fun (a : App.t) -> a.App.name) App.all in
+  let intensities = [ 0.0; 0.05; 0.1; 0.2 ] in
+  let silent = ref false in
+  Printf.printf "Fleet chaos sweep (seed 42, %d runs x %d requests, 4 apps, retries 2):\n"
+    FC.default_config.FC.runs FC.default_config.FC.requests;
+  let entries =
+    List.map
+      (fun intensity ->
+        let config = { FC.default_config with FC.apps; intensity } in
+        let s = FC.run ~config ~rng:(Rng.of_int 42) () in
+        if FC.silent_loss s then silent := true;
+        Printf.printf
+          "  intensity %.2f: avail %.4f/%.4f (min/mean), done %.4f, p99 %.3f/%.3f/%.3f ms, \
+           retries %d, failed %d%s\n"
+          intensity s.FC.availability_min s.FC.availability_mean s.FC.completion_mean
+          s.FC.p99_min_ms s.FC.p99_mean_ms s.FC.p99_max_ms s.FC.total_retries s.FC.total_failed
+          (if s.FC.all_conserved then "" else "  SILENT LOSS");
+        (Printf.sprintf "%.2f" intensity, FC.json s))
+      intensities
+  in
+  let path = "BENCH_chaos.json" in
+  let oc = open_out path in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [ ("meta", bench_meta ()); ("seed", Json.int 42); ("sweep", Json.Obj entries) ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "-> %s\n" path;
+  if !silent then begin
+    print_endline "CHAOS BENCH: conservation violated (silent request loss)";
+    exit 1
+  end
+
 (* Instruction-stream optimizer macro-benchmark: every app compiled at
    O0 and O1 (fixed seed, so deterministic) and simulated on the base
    accelerator, summarized to BENCH_isa_opt.json.  CI gates this file
@@ -503,7 +545,8 @@ let obs_overhead_smoke () =
   end
   else print_endline "obs overhead smoke passed (< 1%)"
 
-(* Flag parsing: --par-only / --isa-opt-only / --obs-overhead select a
+(* Flag parsing: --par-only / --isa-opt-only / --chaos-only /
+   --obs-overhead select a
    sub-benchmark; --repeat K, --check FILE and --record FILE drive the
    noise-aware regression gate over the parallel sweep workloads. *)
 let flag name = Array.exists (( = ) name) Sys.argv
@@ -529,6 +572,7 @@ let () =
     | None, None ->
   if flag "--par-only" then ignore (emit_par_bench ~repeat ())
   else if flag "--isa-opt-only" then emit_isa_opt_bench ()
+  else if flag "--chaos-only" then emit_chaos_bench ()
   else begin
     print_endline "=====================================================================";
     print_endline " ORIANNA evaluation reproduction (one entry per paper table/figure)";

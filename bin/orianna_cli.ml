@@ -924,8 +924,40 @@ let serve_cmd =
              ~doc:"Compare the deadline-miss rate against a checked-in baseline JSON and exit \
                    non-zero on regression.")
   in
+  let chaos_rate =
+    Arg.(value & opt float 0.0
+         & info [ "chaos" ] ~docv:"RATE"
+             ~doc:"Inject seeded instance faults targeting this steady-state per-instance \
+                   unavailability (e.g. 0.1); 0 disables chaos.")
+  in
+  let mttr =
+    Arg.(value & opt float Orianna_serve.Chaos.default.Orianna_serve.Chaos.restart_mean_s
+         & info [ "mttr" ] ~docv:"S" ~doc:"Mean time to restart a crashed instance, seconds.")
+  in
+  let retries =
+    Arg.(value & opt int Serve.default_config.Serve.max_retries
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry budget per request copy recovered from a failed instance.")
+  in
+  let hedge =
+    Arg.(value & flag
+         & info [ "hedge" ]
+             ~doc:"Launch a hedged duplicate for near-deadline retries; first completion wins.")
+  in
+  let chaos_seed =
+    Arg.(value & opt (some int) None
+         & info [ "chaos-seed" ] ~docv:"SEED"
+             ~doc:"Seed for the chaos schedule (defaults to the trace seed).")
+  in
+  let chaos_baseline =
+    Arg.(value & opt (some file) None
+         & info [ "chaos-baseline" ] ~docv:"FILE"
+             ~doc:"Gate the chaos run on a checked-in baseline: availability floor and p99 \
+                   ceiling per apps key; also fails on any silent request loss.")
+  in
   let run apps_spec seed jobs opt_level requests rate burst instances policy queue max_batch
-      cache_capacity deadline_ms masked json baseline trace report =
+      cache_capacity deadline_ms masked json baseline chaos_rate mttr retries hedge chaos_seed
+      chaos_baseline trace report =
     set_jobs jobs;
     let apps =
       if String.lowercase_ascii apps_spec = "all" then List.map (fun (a : App.t) -> a.App.name) App.all
@@ -948,6 +980,14 @@ let serve_cmd =
         ~deadline_s:(dl_lo *. 1e-3, dl_hi *. 1e-3)
         ~n:requests
     in
+    let chaos =
+      if chaos_rate <= 0.0 then None
+      else
+        Some
+          (Orianna_serve.Chaos.of_intensity
+             ~seed:(Option.value chaos_seed ~default:seed)
+             ~mttr_s:mttr chaos_rate)
+    in
     let config =
       {
         Orianna_serve.Serve.default_config with
@@ -958,17 +998,29 @@ let serve_cmd =
         max_batch;
         cache_capacity;
         opt_level;
+        chaos;
+        max_retries = retries;
+        hedge;
       }
     in
     let meta =
       std_meta
-        [
-          ("command", "serve");
-          ("apps", String.concat "," apps);
-          ("seed", string_of_int seed);
-          ("requests", string_of_int requests);
-          ("policy", Dispatch.policy_name policy);
-        ]
+        ([
+           ("command", "serve");
+           ("apps", String.concat "," apps);
+           ("seed", string_of_int seed);
+           ("requests", string_of_int requests);
+           ("policy", Dispatch.policy_name policy);
+         ]
+        @
+        if chaos = None then []
+        else
+          [
+            ("chaos", Printf.sprintf "%g" chaos_rate);
+            ("mttr_s", Printf.sprintf "%g" mttr);
+            ("retries", string_of_int retries);
+            ("hedge", string_of_bool hedge);
+          ])
     in
     if trace <> None || report <> None then Obs.enable ();
     let r = Serve.run ~config ~trace:trace_reqs () in
@@ -1019,12 +1071,60 @@ let serve_cmd =
             | _ ->
                 Format.eprintf "baseline %s entry %S lacks deadline_miss_rate@." path key;
                 exit 1))
-      baseline
+      baseline;
+    Option.iter
+      (fun path ->
+        let ic = open_in path in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let bjson = Orianna_obs.Json.parse contents in
+        let key = String.lowercase_ascii apps_spec in
+        (* Conservation first: a chaos run must never lose an admitted
+           request silently, whatever the baseline says. *)
+        if not (Orianna_fault.Fleet_chaos.conserved trace_reqs r) then begin
+          Format.eprintf
+            "SILENT LOSS: %s: completions + rejections do not partition the trace ids@." key;
+          exit 1
+        end;
+        match Orianna_obs.Json.member key bjson with
+        | None ->
+            Format.eprintf "chaos baseline %s has no entry for %S@." path key;
+            exit 1
+        | Some entry -> (
+            let availability =
+              match r.Serve.chaos with Some c -> c.Serve.availability | None -> 1.0
+            in
+            match
+              ( Orianna_obs.Json.member "availability_floor" entry,
+                Orianna_obs.Json.member "p99_ceiling_ms" entry )
+            with
+            | Some (Orianna_obs.Json.Num floor), Some (Orianna_obs.Json.Num ceiling) ->
+                if availability < floor then begin
+                  Format.eprintf
+                    "AVAILABILITY REGRESSION: %s: %.4f below baseline floor %.4f@." key
+                    availability floor;
+                  exit 1
+                end;
+                if r.Serve.p99_ms > ceiling then begin
+                  Format.eprintf
+                    "P99-UNDER-FAULTS REGRESSION: %s: %.3f ms exceeds ceiling %.3f ms@." key
+                    r.Serve.p99_ms ceiling;
+                  exit 1
+                end;
+                Format.printf
+                  "chaos baseline ok: %s availability %.4f >= %.4f, p99 %.3f <= %.3f ms@." key
+                  availability floor r.Serve.p99_ms ceiling
+            | _ ->
+                Format.eprintf
+                  "chaos baseline %s entry %S lacks availability_floor/p99_ceiling_ms@." path key;
+                exit 1))
+      chaos_baseline
   in
   let term =
     Term.(const run $ apps_flag $ seed_flag $ jobs_flag $ opt_level_flag $ requests $ rate $ burst
           $ instances $ policy $ queue
-          $ max_batch $ cache_capacity $ deadline_ms $ mask $ json_flag $ baseline $ trace_flag
+          $ max_batch $ cache_capacity $ deadline_ms $ mask $ json_flag $ baseline $ chaos_rate
+          $ mttr $ retries $ hedge $ chaos_seed $ chaos_baseline $ trace_flag
           $ report_flag)
   in
   Cmd.v
@@ -1032,6 +1132,123 @@ let serve_cmd =
        ~doc:"Replay a seeded arrival trace through the multi-tenant serving runtime: compile \
              cache, bounded admission queue, batching and deadline-aware dispatch over an \
              accelerator fleet.")
+    term
+
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let module FC = Orianna_fault.Fleet_chaos in
+  let module Dispatch = Orianna_serve.Dispatch in
+  let apps_flag =
+    Arg.(value & opt string "all"
+         & info [ "apps" ] ~docv:"APPS"
+             ~doc:"Comma-separated application names, or \"all\" for every registered app.")
+  in
+  let runs =
+    Arg.(value & opt int FC.default_config.FC.runs
+         & info [ "runs" ] ~docv:"N" ~doc:"Monte-Carlo serving runs (one chaos seed each).")
+  in
+  let requests =
+    Arg.(value & opt int FC.default_config.FC.requests
+         & info [ "requests" ] ~docv:"N" ~doc:"Trace length per run.")
+  in
+  let intensity =
+    Arg.(value & opt float FC.default_config.FC.intensity
+         & info [ "intensity" ] ~docv:"RATE"
+             ~doc:"Target steady-state per-instance unavailability (chaos knob).")
+  in
+  let mttr =
+    Arg.(value & opt float FC.default_config.FC.mttr_s
+         & info [ "mttr" ] ~docv:"S" ~doc:"Mean time to restart a crashed instance, seconds.")
+  in
+  let retries =
+    Arg.(value & opt int FC.default_config.FC.max_retries
+         & info [ "retries" ] ~docv:"N" ~doc:"Retry budget per recovered request copy.")
+  in
+  let hedge =
+    Arg.(value & flag & info [ "hedge" ] ~doc:"Hedge near-deadline retries.")
+  in
+  let instances =
+    Arg.(value & opt int FC.default_config.FC.instances
+         & info [ "instances" ] ~docv:"N" ~doc:"Accelerator fleet size.")
+  in
+  let policy =
+    Arg.(value
+         & opt (enum [ ("fifo", Dispatch.Fifo); ("edf", Dispatch.Edf); ("least-loaded", Dispatch.Least_loaded) ])
+             FC.default_config.FC.policy
+         & info [ "policy" ] ~doc:"Dispatch policy: fifo, edf or least-loaded.")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the campaign summary as JSON. The payload contains no timings, so it \
+                   diffs byte-for-byte across job counts.")
+  in
+  let run apps_spec seed jobs opt_level runs requests intensity mttr retries hedge instances
+      policy json =
+    set_jobs jobs;
+    let apps =
+      if String.lowercase_ascii apps_spec = "all" then
+        List.map (fun (a : App.t) -> a.App.name) App.all
+      else
+        String.split_on_char ',' apps_spec
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun s -> (App.find s).App.name)
+    in
+    if apps = [] then begin
+      Format.eprintf "no applications selected@.";
+      exit 2
+    end;
+    let config =
+      {
+        FC.default_config with
+        FC.runs;
+        requests;
+        apps;
+        intensity;
+        mttr_s = mttr;
+        max_retries = retries;
+        hedge;
+        instances;
+        policy;
+        opt_level;
+      }
+    in
+    let summary = FC.run ~config ~rng:(Rng.of_int seed) () in
+    if json then
+      print_endline
+        (Orianna_obs.Json.to_string
+           (Orianna_obs.Json.Obj
+              [
+                ( "meta",
+                  Orianna_obs.Json.Obj
+                    (List.map
+                       (fun (k, v) -> (k, Orianna_obs.Json.Str v))
+                       (std_meta
+                          [
+                            ("command", "chaos");
+                            ("apps", String.concat "," apps);
+                            ("seed", string_of_int seed);
+                          ])) );
+                ("chaos", FC.json summary);
+              ]))
+    else print_string (FC.table summary);
+    if FC.silent_loss summary then begin
+      Format.eprintf
+        "SILENT LOSS: at least one run lost an admitted request without a structured outcome@.";
+      exit 1
+    end
+  in
+  let term =
+    Term.(const run $ apps_flag $ seed_flag $ jobs_flag $ opt_level_flag $ runs $ requests
+          $ intensity $ mttr $ retries $ hedge $ instances $ policy $ json_flag)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Monte-Carlo fleet fault-tolerance campaign: seeded serving runs under instance \
+             crash/hang/transient/slowdown injection, reporting availability and \
+             p99-under-faults; exits non-zero iff any admitted request is lost silently.")
     term
 
 (* ---------------- experiments ---------------- *)
@@ -1093,4 +1310,4 @@ let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "orianna" ~version:"1.0.0" ~doc:"Accelerator generation for optimization-based robotics." in
   exit (Cmd.eval (Cmd.group ~default info
-    [ solve_cmd; compile_cmd; generate_cmd; simulate_cmd; trace_cmd; profile_cmd; image_cmd; mission_cmd; sphere_cmd; g2o_cmd; faults_cmd; serve_cmd; experiments_cmd ]))
+    [ solve_cmd; compile_cmd; generate_cmd; simulate_cmd; trace_cmd; profile_cmd; image_cmd; mission_cmd; sphere_cmd; g2o_cmd; faults_cmd; serve_cmd; chaos_cmd; experiments_cmd ]))

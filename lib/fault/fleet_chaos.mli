@@ -1,0 +1,76 @@
+(** Monte-Carlo campaign over the fleet-level chaos model: many seeded
+    serving runs under injected instance faults, summarizing
+    availability and tail-latency-under-faults distributions and
+    checking the conservation law (every admitted request ends in
+    exactly one terminal state) on every run.
+
+    The device-level sibling is {!Campaign} (faults inside one
+    accelerator); this campaign injects faults at the {e fleet} layer —
+    instance crashes, hangs, transient errors, slowdowns — and
+    exercises the serving runtime's health checking, circuit breakers,
+    retry/hedging and failover recovery.  Runs are fanned out over the
+    domain pool with a split-table RNG, so the summary is bit-identical
+    at any [-j] count. *)
+
+type config = {
+  runs : int;  (** Monte-Carlo serving runs *)
+  requests : int;  (** trace length per run *)
+  rate_hz : float;
+  apps : string list;
+  deadline_s : float * float;  (** uniform slack range *)
+  intensity : float;  (** {!Orianna_serve.Chaos.of_intensity} knob *)
+  mttr_s : float;
+  max_retries : int;
+  hedge : bool;
+  policy : Orianna_serve.Dispatch.policy;
+  instances : int;
+  opt_level : int;
+}
+
+val default_config : config
+(** 16 runs of 120 requests at 20 kHz, 4-instance EDF fleet, intensity
+    0.1 with 2 ms MTTR, 2 retries, no hedging.  [apps] is empty and
+    must be supplied. *)
+
+type run_result = {
+  run : int;
+  availability : float;
+  completion_rate : float;  (** completed / admitted *)
+  p99_ms : float;
+  deadline_miss_rate : float;
+  retries : int;
+  failed_after_retries : int;
+  crashes : int;
+  hangs : int;
+  conserved : bool;  (** every trace id in exactly one terminal state *)
+}
+
+type summary = {
+  config : config;
+  results : run_result list;
+  availability_min : float;
+  availability_mean : float;
+  completion_mean : float;
+  p99_min_ms : float;
+  p99_mean_ms : float;
+  p99_max_ms : float;
+  total_retries : int;
+  total_failed : int;
+  all_conserved : bool;
+}
+
+val conserved : Orianna_serve.Request.t list -> Orianna_serve.Serve.report -> bool
+(** Completions and rejections partition the trace's ids: no silent
+    loss, no double completion. *)
+
+val run : ?config:config -> rng:Orianna_util.Rng.t -> unit -> summary
+
+val silent_loss : summary -> bool
+(** True iff any run broke conservation — the campaign's failure
+    condition (the CLI exits non-zero on it). *)
+
+val table : summary -> string
+
+val json : summary -> Orianna_obs.Json.t
+(** Deterministic (no wall-clock content); byte-identical across job
+    counts. *)

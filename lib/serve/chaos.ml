@@ -1,0 +1,294 @@
+open Orianna_util
+
+(* ------------------------------------------------------------------ *)
+(* Injected fault kinds                                                *)
+
+type kind = Crash | Hang | Transient | Slowdown
+
+let all_kinds = [ Crash; Hang; Transient; Slowdown ]
+
+let kind_name = function
+  | Crash -> "crash"
+  | Hang -> "hang"
+  | Transient -> "transient"
+  | Slowdown -> "slowdown"
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+type config = {
+  crash_rate_hz : float;
+  hang_rate_hz : float;
+  transient_rate_hz : float;
+  slowdown_rate_hz : float;
+  slowdown_factor : float;
+  slowdown_duration_s : float;
+  restart_mean_s : float;
+  restart : bool;
+  cold_penalty_s : float;
+  scripted : (float * int * kind) list;
+  seed : int;
+}
+
+let default =
+  {
+    crash_rate_hz = 0.0;
+    hang_rate_hz = 0.0;
+    transient_rate_hz = 0.0;
+    slowdown_rate_hz = 0.0;
+    slowdown_factor = 4.0;
+    slowdown_duration_s = 2e-3;
+    restart_mean_s = 2e-3;
+    restart = true;
+    cold_penalty_s = 0.5e-3;
+    scripted = [];
+    seed = 0;
+  }
+
+(* [x] targets a steady-state per-instance unavailability of roughly
+   x/(1+x) (the M/M/1-repair fixed point of rate * mttr = x): a 10%
+   intensity downs each instance for ~10% of virtual time.  The other
+   kinds ride along at fixed ratios of the crash rate, so one knob
+   sweeps the whole mix. *)
+let of_intensity ?(seed = 0) ?(mttr_s = 2e-3) x =
+  if x <= 0.0 then { default with seed; restart_mean_s = mttr_s }
+  else begin
+    let mttr = if mttr_s > 0.0 then mttr_s else default.restart_mean_s in
+    let crash = x /. ((1.0 +. x) *. mttr) in
+    {
+      default with
+      seed;
+      restart_mean_s = mttr;
+      crash_rate_hz = crash;
+      hang_rate_hz = crash /. 2.0;
+      transient_rate_hz = 2.0 *. crash;
+      slowdown_rate_hz = crash;
+    }
+  end
+
+let enabled c =
+  c.crash_rate_hz > 0.0 || c.hang_rate_hz > 0.0 || c.transient_rate_hz > 0.0
+  || c.slowdown_rate_hz > 0.0 || c.scripted <> []
+
+(* ------------------------------------------------------------------ *)
+(* The seeded event schedule                                           *)
+
+type event = { at_s : float; instance : int; kind : kind }
+
+type stream = { rng : Rng.t; rate_hz : float; mutable next_s : float }
+
+type t = {
+  config : config;
+  streams : stream array array;  (* [instance].[kind] in [all_kinds] order *)
+  restart_rngs : Rng.t array;
+  mutable scripted : event list;  (* pending, sorted by time *)
+}
+
+let exponential rng ~rate = -.log (1.0 -. Rng.float rng) /. rate
+
+(* The split table: one independent stream per (instance, kind) plus
+   one per-instance restart-latency stream, split in a fixed order so
+   a rate change in one dimension cannot perturb the draws of any
+   other (the [Request.generate] idiom). *)
+let make config ~instances =
+  if instances <= 0 then invalid_arg "Chaos.make: need at least one instance";
+  let root = Rng.of_int config.seed in
+  let rate_of = function
+    | Crash -> config.crash_rate_hz
+    | Hang -> config.hang_rate_hz
+    | Transient -> config.transient_rate_hz
+    | Slowdown -> config.slowdown_rate_hz
+  in
+  let streams = Array.make instances [||] in
+  for i = 0 to instances - 1 do
+    streams.(i) <-
+      Array.of_list
+        (List.map
+           (fun kind ->
+             let rng = Rng.split root in
+             let rate_hz = rate_of kind in
+             let next_s = if rate_hz > 0.0 then exponential rng ~rate:rate_hz else infinity in
+             { rng; rate_hz; next_s })
+           all_kinds)
+  done;
+  let restart_rngs = Array.make instances root in
+  for i = 0 to instances - 1 do
+    restart_rngs.(i) <- Rng.split root
+  done;
+  let scripted =
+    List.stable_sort
+      (fun a b -> compare (a.at_s, a.instance) (b.at_s, b.instance))
+      (List.filter_map
+         (fun (at_s, instance, kind) ->
+           if instance < 0 || instance >= instances then None else Some { at_s; instance; kind })
+         config.scripted)
+  in
+  { config; streams; restart_rngs; scripted }
+
+let kind_rank = function Crash -> 0 | Hang -> 1 | Transient -> 2 | Slowdown -> 3
+
+let peek t =
+  let best = ref None in
+  let consider ev =
+    match !best with
+    | Some b
+      when (b.at_s, b.instance, kind_rank b.kind) <= (ev.at_s, ev.instance, kind_rank ev.kind) ->
+        ()
+    | _ -> best := Some ev
+  in
+  (match t.scripted with ev :: _ -> consider ev | [] -> ());
+  Array.iteri
+    (fun i streams ->
+      Array.iteri
+        (fun k s ->
+          if s.next_s < infinity then
+            consider { at_s = s.next_s; instance = i; kind = List.nth all_kinds k })
+        streams)
+    t.streams;
+  !best
+
+let pop t =
+  match peek t with
+  | None -> None
+  | Some ev ->
+      (match t.scripted with
+      | s :: rest when s.at_s = ev.at_s && s.instance = ev.instance && s.kind = ev.kind ->
+          t.scripted <- rest
+      | _ ->
+          let s = t.streams.(ev.instance).(kind_rank ev.kind) in
+          s.next_s <- s.next_s +. exponential s.rng ~rate:s.rate_hz);
+      Some ev
+
+let restart_latency_s t instance =
+  let m = t.config.restart_mean_s in
+  if m <= 0.0 then 0.0 else m *. exponential t.restart_rngs.(instance) ~rate:1.0
+
+(* ------------------------------------------------------------------ *)
+(* Per-instance health, circuit breaker and restart state              *)
+
+type health = Up | Suspect | Down
+
+let health_name = function Up -> "up" | Suspect -> "suspect" | Down -> "down"
+
+type breaker = Closed | Open_until of float | Half_open
+
+let breaker_name = function
+  | Closed -> "closed"
+  | Open_until _ -> "open"
+  | Half_open -> "half-open"
+
+type node = {
+  nidx : int;
+  mutable health : health;
+  mutable hung_since : float option;
+  mutable suspect_at : float;
+  mutable detect_at : float;
+  mutable restart_at : float;
+  mutable dead_forever : bool;
+  mutable breaker : breaker;
+  mutable breaker_level : int;
+  mutable consecutive_failures : int;
+  mutable slow_until : float;
+  mutable down_since : float;
+  mutable downtime_s : float;
+  mutable down_intervals : (float * float) list;  (* reverse chronological *)
+  mutable crashes : int;
+  mutable hangs : int;
+  mutable transients : int;
+  mutable slowdowns : int;
+  mutable restarts : int;
+  mutable breaker_opens : int;
+  mutable cold_batches : int;
+  warm : (int32, unit) Hashtbl.t;
+}
+
+let make_nodes instances =
+  Array.init instances (fun nidx ->
+      {
+        nidx;
+        health = Up;
+        hung_since = None;
+        suspect_at = infinity;
+        detect_at = infinity;
+        restart_at = infinity;
+        dead_forever = false;
+        breaker = Closed;
+        breaker_level = 0;
+        consecutive_failures = 0;
+        slow_until = neg_infinity;
+        down_since = nan;
+        downtime_s = 0.0;
+        down_intervals = [];
+        crashes = 0;
+        hangs = 0;
+        transients = 0;
+        slowdowns = 0;
+        restarts = 0;
+        breaker_opens = 0;
+        cold_batches = 0;
+        warm = Hashtbl.create 8;
+      })
+
+let routable node ~now_s =
+  (match node.health with Up -> true | Suspect | Down -> false)
+  && (not node.dead_forever)
+  && match node.breaker with
+     | Closed | Half_open -> true
+     | Open_until until_s -> until_s <= now_s
+
+(* A probe is armed lazily: the dispatcher calls this right before
+   routing, so an elapsed open interval flips to half-open exactly when
+   the first post-cooldown batch goes out. *)
+let arm_probe node ~now_s =
+  match node.breaker with
+  | Open_until until_s when until_s <= now_s ->
+      node.breaker <- Half_open;
+      true
+  | Closed | Half_open | Open_until _ -> false
+
+let breaker_success node =
+  node.consecutive_failures <- 0;
+  match node.breaker with
+  | Half_open ->
+      node.breaker <- Closed;
+      node.breaker_level <- 0;
+      true
+  | Closed | Open_until _ -> false
+
+(* Consecutive failures trip a closed breaker; a failed half-open probe
+   reopens with doubled cooldown. Returns [true] when the breaker
+   (re)opened. *)
+let breaker_failure node ~now_s ~threshold ~cooldown_s =
+  node.consecutive_failures <- node.consecutive_failures + 1;
+  let reopen level =
+    node.breaker_level <- level;
+    node.breaker <- Open_until (now_s +. (cooldown_s *. float_of_int (1 lsl level)));
+    node.breaker_opens <- node.breaker_opens + 1;
+    true
+  in
+  match node.breaker with
+  | Half_open -> reopen (min 16 (node.breaker_level + 1))
+  | Closed when threshold > 0 && node.consecutive_failures >= threshold -> reopen 0
+  | Closed | Open_until _ -> false
+
+let begin_downtime node ~from_s =
+  if Float.is_nan node.down_since then node.down_since <- from_s
+
+let end_downtime node ~until_s =
+  if not (Float.is_nan node.down_since) then begin
+    node.downtime_s <- node.downtime_s +. Float.max 0.0 (until_s -. node.down_since);
+    node.down_intervals <- (node.down_since, until_s) :: node.down_intervals;
+    node.down_since <- nan
+  end
+
+(* Total unavailable time clipped to [0, horizon], counting a still-open
+   interval up to the horizon. *)
+let downtime_before node ~horizon_s =
+  let closed =
+    List.fold_left
+      (fun acc (from_s, until_s) ->
+        acc +. Float.max 0.0 (Float.min until_s horizon_s -. Float.min from_s horizon_s))
+      0.0 node.down_intervals
+  in
+  if Float.is_nan node.down_since then closed
+  else closed +. Float.max 0.0 (horizon_s -. Float.min node.down_since horizon_s)

@@ -1,0 +1,120 @@
+(** Deterministic fleet-level chaos injection for the serving DES.
+
+    Fault events (instance crash / hang / transient error / slowdown)
+    are drawn at virtual times from independent split-table RNG
+    streams — one per (instance, kind) — so the schedule is a pure
+    function of the seed and rates, bit-identical at any [-j] count,
+    and a change to one rate never perturbs another stream's draws.
+    Per-instance health, circuit-breaker, and restart state live here
+    too so [Serve] and the fault campaign share one model. *)
+
+type kind = Crash | Hang | Transient | Slowdown
+
+val kind_name : kind -> string
+
+type config = {
+  crash_rate_hz : float;  (** fail-stop; in-flight work is recovered *)
+  hang_rate_hz : float;  (** silent stall, found by heartbeat timeout *)
+  transient_rate_hz : float;  (** one-shot batch failure, node stays up *)
+  slowdown_rate_hz : float;  (** temporary service-time inflation *)
+  slowdown_factor : float;
+  slowdown_duration_s : float;
+  restart_mean_s : float;  (** MTTR: mean of the exponential restart latency *)
+  restart : bool;  (** [false]: a crashed/hung instance never returns *)
+  cold_penalty_s : float;  (** first post-restart batch per program pays this *)
+  scripted : (float * int * kind) list;
+      (** deterministic extra events [(virtual time, instance, kind)] for tests *)
+  seed : int;
+}
+
+val default : config
+(** All rates zero (chaos disabled), restart enabled, MTTR 2 ms. *)
+
+val of_intensity : ?seed:int -> ?mttr_s:float -> float -> config
+(** [of_intensity x] derives a full rate mix from one intensity knob:
+    crash rate targets steady-state per-instance unavailability
+    [x /. (1. +. x)], hangs at half, transients at twice, and
+    slowdowns at the crash rate. [x <= 0.] disables chaos. *)
+
+val enabled : config -> bool
+
+(** {1 Event schedule} *)
+
+type event = { at_s : float; instance : int; kind : kind }
+
+type t
+
+val make : config -> instances:int -> t
+
+val peek : t -> event option
+(** Earliest pending event (ties broken by instance then kind), without
+    consuming it. [None] once all streams are exhausted/disabled. *)
+
+val pop : t -> event option
+(** [peek] + consume: scripted events are dequeued, stochastic streams
+    advance by a fresh exponential gap. *)
+
+val restart_latency_s : t -> int -> float
+(** Seeded restart latency draw (mean [restart_mean_s]) for an instance,
+    from its dedicated restart stream. *)
+
+(** {1 Node state: health, breaker, downtime} *)
+
+type health = Up | Suspect | Down
+
+val health_name : health -> string
+
+type breaker = Closed | Open_until of float | Half_open
+
+val breaker_name : breaker -> string
+
+type node = {
+  nidx : int;
+  mutable health : health;
+  mutable hung_since : float option;
+  mutable suspect_at : float;  (** next heartbeat-miss time, [infinity] = none *)
+  mutable detect_at : float;  (** heartbeat-timeout time for a hang *)
+  mutable restart_at : float;
+  mutable dead_forever : bool;
+  mutable breaker : breaker;
+  mutable breaker_level : int;
+  mutable consecutive_failures : int;
+  mutable slow_until : float;
+  mutable down_since : float;  (** [nan] when not currently down *)
+  mutable downtime_s : float;
+  mutable down_intervals : (float * float) list;  (** reverse chronological *)
+  mutable crashes : int;
+  mutable hangs : int;
+  mutable transients : int;
+  mutable slowdowns : int;
+  mutable restarts : int;
+  mutable breaker_opens : int;
+  mutable cold_batches : int;
+  warm : (int32, unit) Hashtbl.t;  (** program keys compiled since last restart *)
+}
+
+val make_nodes : int -> node array
+
+val routable : node -> now_s:float -> bool
+(** Health is [Up], not permanently dead, and the breaker admits traffic
+    (closed, half-open, or open with an elapsed cooldown). *)
+
+val arm_probe : node -> now_s:float -> bool
+(** Flip an elapsed open breaker to half-open; [true] iff this call
+    armed the probe. Call right before dispatching to the node. *)
+
+val breaker_success : node -> bool
+(** Reset the failure streak; a half-open probe success closes the
+    breaker ([true] iff it closed). *)
+
+val breaker_failure : node -> now_s:float -> threshold:int -> cooldown_s:float -> bool
+(** Record a failure: trips a closed breaker after [threshold]
+    consecutive failures, reopens a half-open one with doubled cooldown.
+    [true] iff the breaker (re)opened. *)
+
+val begin_downtime : node -> from_s:float -> unit
+val end_downtime : node -> until_s:float -> unit
+
+val downtime_before : node -> horizon_s:float -> float
+(** Total unavailable time clipped to [\[0, horizon\]], including a
+    still-open interval. *)

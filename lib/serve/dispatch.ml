@@ -79,25 +79,36 @@ let select policy queue ~key =
   | Fifo | Least_loaded -> by (fun r -> (r.Request.arrival_s, r.Request.id))
   | Edf -> by (fun r -> (r.Request.deadline_s, r.Request.id))
 
-let take_batch ~max_batch ~key keyof queue =
-  let rec go taken rest = function
+(* Batch up to [max_batch] same-key requests that are [ready] (retry
+   backoff elapsed), never packing two copies of one request id into a
+   single batch — a hedged duplicate must ride a different batch or
+   instance to buy any fault independence. *)
+let take_batch ~max_batch ~key ~keyof ~idof ~ready queue =
+  let rec go taken ids rest = function
     | [] -> (List.rev taken, List.rev rest)
     | x :: xs ->
-        if List.length taken < max_batch && keyof x = key then go (x :: taken) rest xs
-        else go taken (x :: rest) xs
+        if
+          List.length taken < max_batch
+          && keyof x = key
+          && ready x
+          && not (List.mem (idof x) ids)
+        then go (x :: taken) (idof x :: ids) rest xs
+        else go taken ids (x :: rest) xs
   in
-  go [] [] queue
+  go [] [] [] queue
 
-let preference policy fleet ~now_s =
-  let free = Array.to_list fleet.arr |> List.filter (fun i -> i.busy_until_s <= now_s) in
+let preference ?(usable = fun (_ : instance) -> true) policy fleet ~now_s =
+  let free =
+    Array.to_list fleet.arr |> List.filter (fun i -> i.busy_until_s <= now_s && usable i)
+  in
   match policy with
   | Fifo | Edf ->
       List.stable_sort (fun a b -> compare (a.busy_until_s, a.idx) (b.busy_until_s, b.idx)) free
   | Least_loaded ->
       List.stable_sort (fun a b -> compare (a.busy_total_s, a.idx) (b.busy_total_s, b.idx)) free
 
-let choose_instance policy fleet ~now_s ~entry =
-  match preference policy fleet ~now_s with
+let choose_instance ?usable policy fleet ~now_s ~entry =
+  match preference ?usable policy fleet ~now_s with
   | [] -> None
   | first :: _ as prefs ->
       let rec walk = function
@@ -109,5 +120,7 @@ let choose_instance policy fleet ~now_s ~entry =
       in
       walk prefs
 
-let can_any_serve fleet entry =
-  Array.exists (fun inst -> service_time_s fleet inst entry <> None) fleet.arr
+let can_any_serve ?(alive = fun (_ : instance) -> true) fleet entry =
+  Array.exists
+    (fun inst -> alive inst && service_time_s fleet inst entry <> None)
+    fleet.arr

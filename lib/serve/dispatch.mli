@@ -54,20 +54,40 @@ val select : policy -> 'a list -> key:('a -> Request.t) -> 'a list
 (** Queue contents reordered by the policy's request-selection rule
     (stable; ties broken by request id). *)
 
-val take_batch : max_batch:int -> key:int32 -> ('a -> int32) -> 'a list -> 'a list * 'a list
-(** [take_batch ~max_batch ~key keyof queue] splits the queue into the
-    first [max_batch] elements with structural key [key] (in queue
-    order) and the rest (order preserved). *)
+val take_batch :
+  max_batch:int ->
+  key:int32 ->
+  keyof:('a -> int32) ->
+  idof:('a -> int) ->
+  ready:('a -> bool) ->
+  'a list ->
+  'a list * 'a list
+(** [take_batch ~max_batch ~key ~keyof ~idof ~ready queue] splits the
+    queue into up to [max_batch] elements with structural key [key]
+    that are [ready] (e.g. past their retry-backoff time), never
+    taking two elements with the same request id into one batch
+    (hedged duplicates must ride separate batches), and the rest
+    (order preserved). *)
 
 val choose_instance :
-  policy -> fleet -> now_s:float -> entry:Cache.entry -> (instance * float * bool) option
-(** Route one batch: among instances free at [now_s] that can serve
-    the program, pick per policy; returns the instance, its
-    per-request service time, and whether the batch was {e rerouted}
-    (the policy's first choice could not serve the program and a peer
-    was substituted).  [None] when no free instance can serve it. *)
+  ?usable:(instance -> bool) ->
+  policy ->
+  fleet ->
+  now_s:float ->
+  entry:Cache.entry ->
+  (instance * float * bool) option
+(** Route one batch: among instances free at [now_s] that are [usable]
+    (default: all — chaos mode passes health + circuit-breaker state
+    here) and can serve the program, pick per policy; returns the
+    instance, its per-request service time, and whether the batch was
+    {e rerouted} (the policy's first choice could not serve the
+    program and a peer was substituted).  [None] when no free usable
+    instance can serve it. *)
 
-val can_any_serve : fleet -> Cache.entry -> bool
-(** True if at least one instance (busy or free) can serve the
-    program — false means the program is unservable by this fleet and
-    its requests must be rejected rather than waited on forever. *)
+val can_any_serve : ?alive:(instance -> bool) -> fleet -> Cache.entry -> bool
+(** True if at least one [alive] instance (busy or free; default: all)
+    can serve the program — false means the program is unservable by
+    this fleet and its requests must be rejected rather than waited on
+    forever.  Chaos mode passes [alive] excluding permanently dead
+    instances so a fleet that loses its last capable instance mid-run
+    starts rejecting [Unservable] instead of queueing forever. *)

@@ -15,6 +15,8 @@ type t = {
   deadline_s : float;
 }
 
+let slack_s t ~now_s = t.deadline_s -. now_s
+
 type shape = Poisson of { rate_hz : float } | Bursty of { rate_hz : float; burst : int }
 
 let exponential rng ~rate = -.log (1.0 -. Rng.float rng) /. rate

@@ -27,6 +27,10 @@ type t = {
   deadline_s : float;  (** absolute virtual-clock deadline *)
 }
 
+val slack_s : t -> now_s:float -> float
+(** Remaining time to the deadline at [now_s]; negative once missed.
+    Retry backoff and hedging decisions key off this. *)
+
 type shape =
   | Poisson of { rate_hz : float }
       (** memoryless arrivals at the given mean rate *)

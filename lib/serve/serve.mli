@@ -10,11 +10,21 @@
     groups same-program requests and routes batches across the fleet
     under a pluggable policy, rerouting around degraded instances.
 
+    With a {!Chaos.config} attached, the fleet additionally suffers
+    seeded crash / hang / transient / slowdown faults on the virtual
+    clock: heartbeat-based health detection and per-instance circuit
+    breakers steer traffic away from sick instances, in-flight work on
+    a failed instance is recovered and re-dispatched under a
+    per-request retry budget with deadline-aware backoff (optionally
+    hedged near the deadline), and instances return after a modelled
+    restart latency with a cold compile cache.  Every admitted request
+    still ends in exactly one structured terminal state.
+
     Time is a virtual clock advanced from {!Orianna_sim.Schedule.run}
     makespans, so a campaign is bit-for-bit reproducible from its
     trace: no wall-clock value enters the report.  When telemetry is
-    enabled, throughput, latency, queue depth, reroutes and cache
-    behaviour are mirrored into {!Orianna_obs.Obs}. *)
+    enabled, throughput, latency, queue depth, reroutes, cache and
+    fault-tolerance behaviour are mirrored into {!Orianna_obs.Obs}. *)
 
 open Orianna_hw
 
@@ -23,7 +33,7 @@ type config = {
   masked : (int * Unit_model.unit_class) list;
       (** degraded instances: (fleet index, failed unit class) *)
   policy : Dispatch.policy;
-  queue_capacity : int;  (** admission-queue bound *)
+  queue_capacity : int;  (** admission-queue bound (retries are exempt) *)
   max_batch : int;  (** largest same-program batch *)
   batch_overhead_s : float;  (** per-batch dispatch / reconfiguration cost *)
   miss_penalty_s : float;
@@ -35,16 +45,31 @@ type config = {
       (** instruction-stream optimization level used for compiles on a
           cache miss; mixed into the cache key so entries compiled at
           different levels never alias *)
+  chaos : Chaos.config option;  (** [None]: fault-free, identical to the pre-chaos DES *)
+  max_retries : int;  (** re-dispatches allowed per request copy after a failure *)
+  retry_backoff_s : float;  (** base of the exponential retry backoff *)
+  hedge : bool;  (** duplicate near-deadline retries; first completion wins *)
+  hedge_slack_s : float;  (** remaining slack below which a retry hedges *)
+  heartbeat_interval_s : float;  (** one missed heartbeat flips Up -> Suspect *)
+  heartbeat_timeout_s : float;  (** hang detection latency (-> Down + failover) *)
+  breaker_threshold : int;  (** consecutive failures that trip a closed breaker *)
+  breaker_cooldown_s : float;  (** initial open interval; doubles per reopen *)
 }
 
 val default_config : config
 (** 4 instances, none masked, EDF, queue of 64, batches of 8, 20 µs
-    batch overhead, 2 ms miss penalty, 8 cache entries, ZC706, O1. *)
+    batch overhead, 2 ms miss penalty, 8 cache entries, ZC706, O1; no
+    chaos, 2 retries with 100 µs base backoff, hedging off, 250 µs
+    heartbeats with a 1 ms timeout, breaker trips at 3 failures with a
+    1 ms cooldown. *)
 
 type rejection =
   | Queue_full  (** arrived over a full queue with no lower-priority victim *)
   | Shed_lower_priority  (** evicted from the queue by a higher-priority arrival *)
-  | Unservable  (** unknown app, or no fleet instance can execute the program *)
+  | Unservable
+      (** unknown app, or no live fleet instance can (or will ever again)
+          execute the program *)
+  | Failed_after_retries  (** recovered from failed instances until the retry budget ran out *)
 
 val rejection_name : rejection -> string
 
@@ -56,6 +81,8 @@ type completion = {
   finish_s : float;
   cache_hit : bool;
   rerouted : bool;
+  attempts : int;  (** dispatch attempts consumed before this one (0 = first try) *)
+  hedged : bool;  (** completed copy was a hedged duplicate *)
 }
 
 type batch = {
@@ -64,9 +91,10 @@ type batch = {
   bapp : string;
   bsize : int;
   bstart_s : float;
-  bfinish_s : float;
+  bfinish_s : float;  (** for a failed batch: the failure time *)
   bhit : bool;
   brerouted : bool;
+  bfailed : bool;  (** instance failed mid-batch; uncommitted requests recovered *)
 }
 
 type instance_report = {
@@ -76,6 +104,33 @@ type instance_report = {
   ibatches : int;
   ibusy_s : float;
   iutil : float;  (** busy / makespan *)
+  idowntime_s : float;  (** unavailable time within the makespan *)
+  icrashes : int;
+  ihangs : int;
+  itransients : int;
+  islowdowns : int;
+  irestarts : int;
+  ibreaker_opens : int;
+  icold_batches : int;  (** post-restart batches that paid the cold-cache penalty *)
+}
+
+type chaos_report = {
+  crashes : int;
+  hangs : int;
+  transients : int;
+  slowdowns : int;
+  restarts : int;
+  breaker_opens : int;
+  cold_batches : int;
+  retries : int;  (** recovered copies re-enqueued *)
+  failed_after_retries : int;  (** ids whose every copy exhausted the budget *)
+  hedges_launched : int;
+  hedges_cancelled : int;  (** losing copies cancelled after the first completion *)
+  inflight_recovered : int;  (** ids recovered from a failed instance that completed *)
+  inflight_lost : int;  (** ids recovered from a failed instance that ended failed *)
+  availability : float;  (** 1 - downtime / (instances x makespan), in [0, 1] *)
+  transitions : (float * int * string) list;
+      (** (virtual time, instance, label) health / breaker transitions, in order *)
 }
 
 type report = {
@@ -83,8 +138,8 @@ type report = {
   admitted : int;
   completed : int;
   rejections : (Request.t * rejection) list;  (** rejection order *)
-  completions : completion list;  (** request-id order *)
-  batches : batch list;  (** dispatch order *)
+  completions : completion list;  (** request-id order; one per id, always *)
+  batches : batch list;  (** dispatch (bid) order *)
   makespan_s : float;
   throughput_rps : float;
   mean_latency_s : float;
@@ -96,15 +151,21 @@ type report = {
   deadline_miss_rate : float;  (** misses / completed; 0 when none completed *)
   queue_depth_max : int;
   queue_samples : (float * int) list;  (** (virtual time, depth) *)
-  rerouted : int;  (** batches placed away from the policy's first choice *)
+  rerouted : int;
+      (** batches placed away from the policy's first choice; the
+          [serve.rerouted] Obs counter is derived from this same count *)
   cache : Cache.stats;
   fleet : instance_report list;
   per_app : (string * int * int) list;  (** app, completed, deadline misses *)
+  chaos : chaos_report option;  (** present iff the config carried a chaos model *)
 }
 
 val run : ?config:config -> trace:Request.t list -> unit -> report
-(** Replay one arrival trace to completion.  Every admitted request is
-    either completed or structurally rejected; nothing is lost. *)
+(** Replay one arrival trace to completion.  Every admitted request
+    ends in exactly one terminal state — completed, shed, unservable,
+    or failed-after-retries — even under chaos; nothing is lost
+    silently, and no request completes twice (hedged duplicates are
+    cancelled at the first completion). *)
 
 val report_json : report -> Orianna_obs.Json.t
 (** Deterministic machine-readable summary (no wall-clock content);
@@ -115,6 +176,7 @@ val table : report -> string
 (** Human-readable summary tables. *)
 
 val chrome_events : report -> Orianna_obs.Chrome_trace.event list
-(** Per-instance batch tracks plus queue-depth and cumulative
-    deadline-miss counter series (one virtual second maps to one trace
+(** Per-instance batch tracks (failed batches marked) plus queue-depth
+    and cumulative deadline-miss counter series and chaos/health
+    transition instants (one virtual second maps to one trace
     second). *)

@@ -187,6 +187,203 @@ let test_unknown_app_rejected () =
   Alcotest.(check int) "all rejected" 5 (List.length r.Serve.rejections);
   Alcotest.(check bool) "conserved" true (check_conserved t r)
 
+(* ---------- fault tolerance under chaos ---------- *)
+
+let conserved_chaos = Orianna_fault.Fleet_chaos.conserved
+
+(* Every policy x retry budget x hedging mode, under a 10% fault
+   intensity: admitted = completed + shed + failed_after_retries, no id
+   terminates twice, hedged duplicates dedupe.  This is the fleet-level
+   conservation law with the failure machinery switched on. *)
+let chaos_arb =
+  QCheck.(
+    make
+      Gen.(
+        quad (int_range 0 1_000_000) (int_range 0 2) (int_range 0 2) bool)
+      ~print:QCheck.Print.(quad int int int bool))
+
+let prop_conservation_chaos =
+  QCheck.Test.make ~name:"serve: chaos campaign conserves every request" ~count:8 chaos_arb
+    (fun (seed, pol, max_retries, hedge) ->
+      let policy = List.nth [ Dispatch.Fifo; Dispatch.Edf; Dispatch.Least_loaded ] pol in
+      let t = trace ~seed ~n:40 () in
+      let config =
+        {
+          (small_config ~instances:2 ~policy ~queue_capacity:48 ()) with
+          Serve.max_retries;
+          hedge;
+          chaos = Some (Chaos.of_intensity ~seed:(seed lxor 0x5DEECE) ~mttr_s:2e-3 0.1);
+        }
+      in
+      let r = Serve.run ~config ~trace:t () in
+      conserved_chaos t r
+      && List.for_all
+           (fun c -> c.Serve.attempts <= max_retries + (if hedge then 1 else 0))
+           r.Serve.completions)
+
+let test_chaos_campaign_job_invariance () =
+  (* The Monte-Carlo chaos campaign fans runs over the domain pool; its
+     JSON must be byte-identical at -j 1 and -j 4. *)
+  let module FC = Orianna_fault.Fleet_chaos in
+  let campaign () =
+    let config = { FC.default_config with FC.runs = 4; requests = 30; apps = apps2 } in
+    Json.to_string (FC.json (FC.run ~config ~rng:(Rng.of_int 2024) ()))
+  in
+  let was = Orianna_par.Pool.default_jobs () in
+  Orianna_par.Pool.set_default_jobs 1;
+  let j1 = campaign () in
+  Orianna_par.Pool.set_default_jobs 4;
+  let j4 = campaign () in
+  Orianna_par.Pool.set_default_jobs was;
+  Alcotest.(check string) "bit-for-bit at -j 1 vs -j 4" j1 j4
+
+let test_fleet_dies_mid_run_unservable () =
+  (* Instance 0 can never serve MobileRobot (masked back-substitution
+     unit); instance 1 crashes mid-run and never restarts.  From the
+     crash on, the whole fleet is unable to serve the class: everything
+     still queued or recovered must be rejected [Unservable]
+     immediately, not retried forever. *)
+  let t = trace ~apps:[ "MobileRobot" ] ~seed:42 ~n:60 () in
+  let config =
+    {
+      (small_config ~instances:2 ~masked:[ (0, Unit_model.Backsub_unit) ] ~queue_capacity:64 ())
+      with
+      Serve.chaos =
+        Some { Chaos.default with Chaos.scripted = [ (1.0e-3, 1, Chaos.Crash) ]; restart = false };
+    }
+  in
+  let r = Serve.run ~config ~trace:t () in
+  Alcotest.(check bool) "conserved" true (conserved_chaos t r);
+  let unservable =
+    List.filter (fun (_, why) -> Serve.rejection_name why = "unservable") r.Serve.rejections
+  in
+  Alcotest.(check bool) "post-crash arrivals rejected unservable" true (List.length unservable > 0);
+  Alcotest.(check int) "nothing completes after the lone capable instance dies" 0
+    (List.length
+       (List.filter (fun c -> c.Serve.finish_s > 1.0e-3 && c.Serve.instance = 1) r.Serve.completions
+       |> List.filter (fun c -> c.Serve.start_s > 1.0e-3)));
+  (match r.Serve.chaos with
+  | None -> Alcotest.fail "chaos report missing"
+  | Some c -> Alcotest.(check int) "one crash injected" 1 c.Serve.crashes)
+
+let test_retries_recover_scripted_crash () =
+  (* One scripted crash while instance 0 holds an in-flight batch.  With
+     a retry budget the recovered work re-dispatches and completes; with
+     retries = 0 the same ids surface as structured failed-after-retries
+     (never silent loss).  Strictly higher completion with retries is
+     the issue's acceptance bar, pinned here deterministically. *)
+  let t = trace ~apps:[ "MobileRobot" ] ~seed:42 ~n:60 () in
+  let with_retries n =
+    let config =
+      {
+        (small_config ~instances:2 ~queue_capacity:64 ()) with
+        Serve.max_retries = n;
+        chaos =
+          Some
+            {
+              Chaos.default with
+              Chaos.scripted = [ (1.0e-3, 0, Chaos.Crash) ];
+              restart_mean_s = 2e-3;
+              seed = 7;
+            };
+      }
+    in
+    Serve.run ~config ~trace:t ()
+  in
+  let r0 = with_retries 0 and r2 = with_retries 2 in
+  Alcotest.(check bool) "retries=0 conserved" true (conserved_chaos t r0);
+  Alcotest.(check bool) "retries=2 conserved" true (conserved_chaos t r2);
+  Alcotest.(check bool) "crash actually cost completions at retries=0" true
+    (r0.Serve.completed < r0.Serve.admitted);
+  Alcotest.(check bool) "strictly higher completion with retries" true
+    (r2.Serve.completed > r0.Serve.completed);
+  let failed r =
+    match r.Serve.chaos with Some c -> c.Serve.failed_after_retries | None -> 0
+  in
+  Alcotest.(check bool) "losses at retries=0 are structured, not silent" true (failed r0 > 0);
+  List.iter
+    (fun (_, why) ->
+      Alcotest.(check string) "failed-after-retries rejection" "failed-after-retries"
+        (Serve.rejection_name why))
+    r0.Serve.rejections
+
+let test_breaker_state_machine () =
+  (* The per-instance circuit breaker in isolation: the threshold counts
+     consecutive failures, the open cooldown doubles per reopen, a
+     half-open probe success closes it, and a success anywhere resets
+     the streak. *)
+  let n = (Chaos.make_nodes 1).(0) in
+  let fail ~now_s = Chaos.breaker_failure n ~now_s ~threshold:3 ~cooldown_s:1e-3 in
+  Alcotest.(check bool) "below threshold stays closed" false (fail ~now_s:0.0);
+  Alcotest.(check bool) "still below threshold" false (fail ~now_s:1e-4);
+  ignore (Chaos.breaker_success n);
+  Alcotest.(check bool) "success resets the streak" false (fail ~now_s:2e-4);
+  Alcotest.(check bool) "..." false (fail ~now_s:3e-4);
+  Alcotest.(check bool) "third consecutive failure trips" true (fail ~now_s:4e-4);
+  (match n.Chaos.breaker with
+  | Chaos.Open_until t -> Alcotest.(check (float 1e-12)) "base cooldown" (4e-4 +. 1e-3) t
+  | _ -> Alcotest.fail "breaker should be open");
+  Alcotest.(check bool) "open rejects traffic" false (Chaos.routable n ~now_s:1e-3);
+  Alcotest.(check bool) "elapsed cooldown admits a probe" true (Chaos.routable n ~now_s:2e-3);
+  Alcotest.(check bool) "probe armed" true (Chaos.arm_probe n ~now_s:2e-3);
+  Alcotest.(check bool) "probe failure reopens" true (fail ~now_s:2e-3);
+  (match n.Chaos.breaker with
+  | Chaos.Open_until t -> Alcotest.(check (float 1e-12)) "cooldown doubled" (2e-3 +. 2e-3) t
+  | _ -> Alcotest.fail "breaker should have reopened");
+  Alcotest.(check bool) "probe 2 armed" true (Chaos.arm_probe n ~now_s:5e-3);
+  Alcotest.(check bool) "probe success closes" true (Chaos.breaker_success n);
+  Alcotest.(check bool) "closed admits traffic" true (Chaos.routable n ~now_s:5e-3)
+
+let test_breaker_opens_on_transients () =
+  (* End-to-end: a scripted transient fails the in-flight batch on the
+     lone instance; with a threshold of 1 the breaker must open, divert
+     nothing (no peer exists), recover through a half-open probe, and
+     still drain the whole trace. *)
+  let t = trace ~apps:[ "MobileRobot" ] ~seed:9 ~n:40 () in
+  let config =
+    {
+      (small_config ~instances:1 ~queue_capacity:64 ()) with
+      Serve.max_retries = 8;
+      breaker_threshold = 1;
+      chaos =
+        Some
+          { Chaos.default with Chaos.scripted = [ (0.5e-3, 0, Chaos.Transient) ]; seed = 3 };
+    }
+  in
+  let r = Serve.run ~config ~trace:t () in
+  Alcotest.(check bool) "conserved" true (conserved_chaos t r);
+  match r.Serve.chaos with
+  | None -> Alcotest.fail "chaos report missing"
+  | Some c ->
+      Alcotest.(check int) "transient delivered" 1 c.Serve.transients;
+      Alcotest.(check bool) "breaker opened" true (c.Serve.breaker_opens >= 1);
+      Alcotest.(check bool) "breaker-open transition recorded" true
+        (List.exists (fun (_, _, l) -> l = "breaker-open") c.Serve.transitions);
+      Alcotest.(check bool) "breaker closed again after the probe" true
+        (List.exists (fun (_, _, l) -> l = "breaker-close") c.Serve.transitions);
+      Alcotest.(check int) "trace fully drained despite the trip" r.Serve.admitted
+        r.Serve.completed
+
+let test_obs_counters_single_source () =
+  (* Satellite fix: [serve.rerouted] / [serve.deadline_miss] are derived
+     from the report at the end of the run — the Obs counters and the
+     report fields can never drift apart. *)
+  let t = trace ~apps:[ "MobileRobot" ] ~seed:42 ~n:60 () in
+  let config =
+    small_config ~instances:2 ~masked:[ (0, Unit_model.Backsub_unit) ] ~queue_capacity:64 ()
+  in
+  let module Obs = Orianna_obs.Obs in
+  Obs.enable ();
+  Obs.reset ();
+  let r = Serve.run ~config ~trace:t () in
+  let rerouted_counter = Obs.counter "serve.rerouted" in
+  let miss_counter = Obs.counter "serve.deadline_miss" in
+  Obs.disable ();
+  Alcotest.(check bool) "test exercises rerouting" true (r.Serve.rerouted > 0);
+  Alcotest.(check int) "Obs serve.rerouted = report.rerouted" r.Serve.rerouted rerouted_counter;
+  Alcotest.(check int) "Obs serve.deadline_miss = report.deadline_misses" r.Serve.deadline_misses
+    miss_counter
+
 (* ---------- steady state ---------- *)
 
 let test_single_app_hit_rate () =
@@ -221,5 +418,18 @@ let () =
           Alcotest.test_case "all masked unservable" `Slow test_all_masked_is_unservable;
           Alcotest.test_case "unknown app" `Quick test_unknown_app_rejected;
         ] );
-      ("conservation", [ QCheck_alcotest.to_alcotest prop_conservation ]);
+      ( "chaos",
+        [
+          Alcotest.test_case "campaign j1 = j4" `Slow test_chaos_campaign_job_invariance;
+          Alcotest.test_case "fleet dies mid-run" `Slow test_fleet_dies_mid_run_unservable;
+          Alcotest.test_case "retries recover a crash" `Slow test_retries_recover_scripted_crash;
+          Alcotest.test_case "breaker state machine" `Quick test_breaker_state_machine;
+          Alcotest.test_case "breaker trips on transients" `Slow test_breaker_opens_on_transients;
+          Alcotest.test_case "Obs counters single-sourced" `Slow test_obs_counters_single_source;
+        ] );
+      ( "conservation",
+        [
+          QCheck_alcotest.to_alcotest prop_conservation;
+          QCheck_alcotest.to_alcotest prop_conservation_chaos;
+        ] );
     ]
