@@ -202,6 +202,87 @@ let emit_chaos_bench () =
     exit 1
   end
 
+(* Streaming-sessions macro-benchmark: the incremental smoother driven
+   tick-by-tick over Manhattan streams of growing length, against a
+   batch Gauss-Newton re-solve of the full prefix at each length.  MAC
+   counts are deterministic (fixed seed, no wall clock), so the
+   payload diffs byte-for-byte across commits; the headline is that
+   the sliding-window smoother's per-tick cost stays flat as the
+   trajectory grows while the batch re-solve cost keeps climbing
+   (full-history smoothing sits in between: loop closures against old
+   poses drag ever-larger affected sets back in).  Emitted to
+   BENCH_sessions.json. *)
+let emit_sessions_bench () =
+  let module Json = Orianna_obs.Json in
+  let module Stream = Orianna_apps.Stream in
+  let module Datasets = Orianna_apps.Datasets in
+  let lengths = [ 60; 120; 240; 480 ] in
+  let feed params stream =
+    let sm = Smoother.create ~params () in
+    let tick_macs = ref [] and affected = ref [] in
+    Array.iter
+      (fun tick ->
+        ignore (Stream.apply_tick sm tick);
+        let (), macs = Macs.measure (fun () -> Smoother.update sm) in
+        let st = Smoother.stats sm in
+        tick_macs := float_of_int macs :: !tick_macs;
+        if st.Smoother.total_variables > 20 then
+          affected :=
+            (float_of_int st.Smoother.affected_last
+            /. float_of_int st.Smoother.total_variables)
+            :: !affected)
+      stream.Stream.ticks;
+    (Array.of_list (List.rev !tick_macs), Array.of_list (List.rev !affected))
+  in
+  Printf.printf
+    "Streaming sessions (Manhattan, seed 7): incremental (full / windowed) vs batch re-solve\n";
+  let entries =
+    List.map
+      (fun steps ->
+        let stream =
+          Stream.manhattan ~cfg:{ Datasets.default_config with Datasets.steps; seed = 7 } ()
+        in
+        let full_macs, affected = feed Smoother.default_params stream in
+        let win_macs, _ =
+          feed { Smoother.default_params with Smoother.window = Some 40 } stream
+        in
+        let g = Stream.prefix_graph stream ~n:(Stream.length stream) in
+        let _, batch_macs = Macs.measure (fun () -> ignore (Optimizer.optimize g)) in
+        let med = Stats.median full_macs and wmed = Stats.median win_macs in
+        Printf.printf
+          "  %4d ticks: per-tick MACs median %9.0f full / %8.0f windowed(40), batch re-solve \
+           %10d MACs, median affected %.3f\n"
+          (Stream.length stream) med wmed batch_macs (Stats.median affected);
+        ( string_of_int (Stream.length stream),
+          Json.Obj
+            [
+              ("ticks", Json.int (Stream.length stream));
+              ("incremental_total_macs", Json.Num (Stats.sum full_macs));
+              ("incremental_median_tick_macs", Json.Num med);
+              ("incremental_p90_tick_macs", Json.Num (Stats.percentile full_macs 90.0));
+              ("windowed_total_macs", Json.Num (Stats.sum win_macs));
+              ("windowed_median_tick_macs", Json.Num wmed);
+              ("windowed_p90_tick_macs", Json.Num (Stats.percentile win_macs 90.0));
+              ("batch_solve_macs", Json.int batch_macs);
+              ("median_affected_fraction", Json.Num (Stats.median affected));
+            ] ))
+      lengths
+  in
+  let path = "BENCH_sessions.json" in
+  let oc = open_out path in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [
+            ("meta", bench_meta ());
+            ("seed", Json.int 7);
+            ("dataset", Json.Str "manhattan");
+            ("lengths", Json.Obj entries);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "-> %s\n" path
+
 (* Instruction-stream optimizer macro-benchmark: every app compiled at
    O0 and O1 (fixed seed, so deterministic) and simulated on the base
    accelerator, summarized to BENCH_isa_opt.json.  CI gates this file
@@ -546,7 +627,7 @@ let obs_overhead_smoke () =
   else print_endline "obs overhead smoke passed (< 1%)"
 
 (* Flag parsing: --par-only / --isa-opt-only / --chaos-only /
-   --obs-overhead select a
+   --sessions-only / --obs-overhead select a
    sub-benchmark; --repeat K, --check FILE and --record FILE drive the
    noise-aware regression gate over the parallel sweep workloads. *)
 let flag name = Array.exists (( = ) name) Sys.argv
@@ -573,6 +654,7 @@ let () =
   if flag "--par-only" then ignore (emit_par_bench ~repeat ())
   else if flag "--isa-opt-only" then emit_isa_opt_bench ()
   else if flag "--chaos-only" then emit_chaos_bench ()
+  else if flag "--sessions-only" then emit_sessions_bench ()
   else begin
     print_endline "=====================================================================";
     print_endline " ORIANNA evaluation reproduction (one entry per paper table/figure)";

@@ -1134,6 +1134,230 @@ let serve_cmd =
              accelerator fleet.")
     term
 
+(* ---------------- sessions ---------------- *)
+
+let sessions_cmd =
+  let module Serve = Orianna_serve.Serve in
+  let module Session = Orianna_serve.Session in
+  let module Request = Orianna_serve.Request in
+  let module Stream = Orianna_apps.Stream in
+  let module Datasets = Orianna_apps.Datasets in
+  let dataset =
+    Arg.(value
+         & opt (enum [ ("manhattan", `Manhattan); ("loopy", `Loopy); ("sphere", `Sphere) ]) `Manhattan
+         & info [ "dataset" ] ~docv:"NAME"
+             ~doc:"Streamed dataset: manhattan (SE(2) random walk), loopy (loop-closure-heavy \
+                   synthetic mission) or sphere (SE(3) benchmark).")
+  in
+  let steps =
+    Arg.(value & opt int 80
+         & info [ "steps" ] ~docv:"N"
+             ~doc:"Manhattan stream length in ticks (loopy and sphere have fixed shapes).")
+  in
+  let tenants =
+    Arg.(value & opt int 3
+         & info [ "tenants" ] ~docv:"N" ~doc:"Concurrent sessions replaying the stream.")
+  in
+  let period_us =
+    Arg.(value & opt float 200.0
+         & info [ "period-us" ] ~docv:"US" ~doc:"Tick arrival period per session, microseconds.")
+  in
+  let solves =
+    Arg.(value & opt int 0
+         & info [ "solves" ] ~docv:"N"
+             ~doc:"Background one-shot solve requests mixed into the trace (all registered apps).")
+  in
+  let window =
+    Arg.(value & opt (some int) None
+         & info [ "window" ] ~docv:"N"
+             ~doc:"Sliding window: marginalize each session down to its most recent $(docv) \
+                   variables (default: keep everything).")
+  in
+  let max_sessions =
+    Arg.(value & opt int Session.default_params.Session.max_sessions
+         & info [ "max-sessions" ] ~docv:"N"
+             ~doc:"Resident-session capacity; the least-recently-used session is evicted beyond \
+                   it and restarts on its next tick.")
+  in
+  let idle_timeout_ms =
+    Arg.(value & opt float (Session.default_params.Session.idle_timeout_s *. 1e3)
+         & info [ "idle-timeout-ms" ] ~docv:"MS"
+             ~doc:"Virtual-clock inactivity before a resident session expires; <= 0 disables.")
+  in
+  let queue =
+    Arg.(value & opt int 256
+         & info [ "queue" ] ~docv:"N" ~doc:"Admission-queue capacity.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the machine-readable report to stdout.")
+  in
+  let baseline =
+    Arg.(value & opt (some file) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Gate the run on a checked-in session baseline: exact tick and completion \
+                   counts plus ceilings on restarts and the median affected fraction, keyed by \
+                   dataset; exits non-zero on regression.")
+  in
+  let run dataset seed jobs opt_level steps tenants period_us solves window max_sessions
+      idle_timeout_ms queue json baseline trace report =
+    set_jobs jobs;
+    let dname, stream =
+      match dataset with
+      | `Manhattan ->
+          ( "manhattan",
+            Stream.manhattan ~cfg:{ Datasets.default_config with Datasets.steps; seed } () )
+      | `Loopy -> ("loopy", Stream.loopy ~cfg:{ Stream.default_loopy_config with Stream.seed } ())
+      | `Sphere ->
+          ( "sphere",
+            Stream.sphere
+              ~cfg:{ Sphere.default_config with Sphere.rings = 4; poses_per_ring = 12; seed }
+              () )
+    in
+    let period_s = period_us *. 1e-6 in
+    let missions =
+      List.init (max 1 tenants) (fun mid ->
+          {
+            Session.mid;
+            stream;
+            start_s = float_of_int mid *. period_s /. float_of_int (max 1 tenants);
+            period_s;
+            priority = Request.Normal;
+            deadline_slack_s = 50e-3;
+          })
+    in
+    let params =
+      {
+        Session.default_params with
+        Session.max_sessions;
+        idle_timeout_s = idle_timeout_ms *. 1e-3;
+        window;
+      }
+    in
+    let sessions = Session.create ~params ~opt_level ~missions () in
+    let solve_trace =
+      if solves <= 0 then []
+      else
+        Request.generate ~rng:(Rng.of_int seed)
+          ~shape:(Request.Poisson { rate_hz = 20000.0 })
+          ~apps:(List.map (fun (a : App.t) -> a.App.name) App.all)
+          ~deadline_s:(1e-3, 4e-3) ~n:solves
+    in
+    let config = { Serve.default_config with Serve.queue_capacity = queue; opt_level } in
+    let meta =
+      std_meta
+        [
+          ("command", "sessions");
+          ("dataset", dname);
+          ("seed", string_of_int seed);
+          ("tenants", string_of_int (max 1 tenants));
+          ("ticks", string_of_int (Stream.length stream));
+          ("period_us", Printf.sprintf "%g" period_us);
+          ("solves", string_of_int (max 0 solves));
+        ]
+    in
+    if trace <> None || report <> None then Obs.enable ();
+    let r = Serve.run ~config ~sessions ~trace:solve_trace () in
+    Option.iter
+      (fun path ->
+        Chrome_trace.write_file path
+          (Chrome_trace.of_spans (Obs.spans ()) @ Serve.chrome_events r);
+        Format.printf "wrote %s@." path)
+      trace;
+    Option.iter
+      (fun path ->
+        Report.write_file ~meta ~extra:[ ("serve", Serve.report_json r) ] path;
+        Format.printf "wrote %s@." path)
+      report;
+    if json then
+      print_endline
+        (Orianna_obs.Json.to_string
+           (Orianna_obs.Json.Obj
+              [
+                ("meta", Orianna_obs.Json.Obj (List.map (fun (k, v) -> (k, Orianna_obs.Json.Str v)) meta));
+                ("serve", Serve.report_json r);
+              ]))
+    else print_string (Serve.table r);
+    Option.iter
+      (fun path ->
+        let ic = open_in path in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let bjson = Orianna_obs.Json.parse contents in
+        match Orianna_obs.Json.member dname bjson with
+        | None ->
+            Format.eprintf "session baseline %s has no entry for %S@." path dname;
+            exit 1
+        | Some entry ->
+            let sr =
+              match r.Serve.sessions with
+              | Some sr -> sr
+              | None ->
+                  Format.eprintf "session baseline: the run carried no session report@.";
+                  exit 1
+            in
+            let num k =
+              match Orianna_obs.Json.member k entry with
+              | Some (Orianna_obs.Json.Num v) -> v
+              | _ ->
+                  Format.eprintf "session baseline %s entry %S lacks %s@." path dname k;
+                  exit 1
+            in
+            (* The tick count and completion total are exact: the DES is
+               deterministic, so any drift is a real behaviour change,
+               not noise.  Restarts and the affected fraction get
+               ceilings — the incremental win is the whole point. *)
+            if sr.Session.ticks_total <> int_of_float (num "ticks_total") then begin
+              Format.eprintf "SESSION-TICKS MISMATCH: %s: applied %d, baseline %d@." dname
+                sr.Session.ticks_total
+                (int_of_float (num "ticks_total"));
+              exit 1
+            end;
+            if r.Serve.completed <> int_of_float (num "completed") then begin
+              Format.eprintf "SESSION-COMPLETION MISMATCH: %s: completed %d, baseline %d@." dname
+                r.Serve.completed
+                (int_of_float (num "completed"));
+              exit 1
+            end;
+            if sr.Session.restarts_total > int_of_float (num "restarts_ceiling") then begin
+              Format.eprintf "SESSION-RESTART REGRESSION: %s: %d restarts exceed ceiling %d@."
+                dname sr.Session.restarts_total
+                (int_of_float (num "restarts_ceiling"));
+              exit 1
+            end;
+            let max_fraction =
+              List.fold_left
+                (fun acc (s : Session.session_stats) ->
+                  Float.max acc s.Session.median_affected_fraction)
+                0.0 sr.Session.per_session
+            in
+            let ceiling = num "median_affected_fraction_ceiling" in
+            if max_fraction > ceiling then begin
+              Format.eprintf
+                "AFFECTED-FRACTION REGRESSION: %s: median affected fraction %.4f exceeds \
+                 ceiling %.4f (incremental updates are re-eliminating too much)@."
+                dname max_fraction ceiling;
+              exit 1
+            end;
+            Format.printf
+              "session baseline ok: %s ticks %d completed %d restarts %d <= %d affected %.4f <= %.4f@."
+              dname sr.Session.ticks_total r.Serve.completed sr.Session.restarts_total
+              (int_of_float (num "restarts_ceiling"))
+              max_fraction ceiling)
+      baseline
+  in
+  let term =
+    Term.(const run $ dataset $ seed_flag $ jobs_flag $ opt_level_flag $ steps $ tenants
+          $ period_us $ solves $ window $ max_sessions $ idle_timeout_ms $ queue $ json_flag
+          $ baseline $ trace_flag $ report_flag)
+  in
+  Cmd.v
+    (Cmd.info "sessions"
+       ~doc:"Replay streamed pose-graph missions as per-tenant sessions through the serving \
+             runtime: each tick folds one measurement delta into the session's incremental \
+             smoother and is charged the affected re-elimination work on the shared compiled \
+             template program.")
+    term
+
 (* ---------------- chaos ---------------- *)
 
 let chaos_cmd =
@@ -1310,4 +1534,4 @@ let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "orianna" ~version:"1.0.0" ~doc:"Accelerator generation for optimization-based robotics." in
   exit (Cmd.eval (Cmd.group ~default info
-    [ solve_cmd; compile_cmd; generate_cmd; simulate_cmd; trace_cmd; profile_cmd; image_cmd; mission_cmd; sphere_cmd; g2o_cmd; faults_cmd; serve_cmd; chaos_cmd; experiments_cmd ]))
+    [ solve_cmd; compile_cmd; generate_cmd; simulate_cmd; trace_cmd; profile_cmd; image_cmd; mission_cmd; sphere_cmd; g2o_cmd; faults_cmd; serve_cmd; sessions_cmd; chaos_cmd; experiments_cmd ]))

@@ -12,6 +12,8 @@ type t = entry list
 
 exception Parse_error of string
 
+(* [line] is carried through parsing as ["<number>: <text>"] so every
+   error message pinpoints its source line. *)
 let fail line reason = raise (Parse_error (Printf.sprintf "%s: %s" reason line))
 
 let float_of line s =
@@ -38,10 +40,9 @@ let quat_of_fields line qx qy qz qw =
   try Quat.normalize { Quat.w = qw; x = qx; y = qy; z = qz }
   with Invalid_argument _ -> fail line "zero quaternion"
 
-let parse_line line =
-  let fields =
-    String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
-  in
+let parse_line ?at raw =
+  let line = match at with Some s -> s | None -> raw in
+  let fields = String.split_on_char ' ' (String.trim raw) |> List.filter (fun s -> s <> "") in
   match fields with
   | [] -> None
   | tag :: rest when tag.[0] = '#' ->
@@ -80,8 +81,44 @@ let parse_line line =
       | _ -> fail line "EDGE_SE3:QUAT expects 30 fields")
   | tag :: _ -> fail line ("unknown record " ^ tag)
 
-let parse contents =
-  String.split_on_char '\n' contents |> List.filter_map parse_line
+(* Record types other solvers emit that carry no information we can
+   use; skipped with a warning rather than a hard failure. *)
+let is_known_noise tag =
+  match tag with
+  | "FIX" | "VERTEX_CAM" | "EDGE_SE2_XY" | "EQUIV" -> true
+  | _ -> false
+
+let parse_verbose contents =
+  let warnings = ref [] in
+  let entries =
+    String.split_on_char '\n' contents
+    |> List.mapi (fun i line -> (i + 1, line))
+    |> List.filter_map (fun (n, raw) ->
+           let at = Printf.sprintf "line %d: %s" n (String.trim raw) in
+           let tag =
+             match
+               String.split_on_char ' ' (String.trim raw) |> List.filter (fun s -> s <> "")
+             with
+             | t :: _ -> t
+             | [] -> ""
+           in
+           match parse_line ~at raw with
+           | entry -> entry
+           | exception Parse_error msg ->
+               if
+                 is_known_noise tag
+                 || not
+                      (List.mem tag
+                         [ "VERTEX_SE2"; "EDGE_SE2"; "VERTEX_SE3:QUAT"; "EDGE_SE3:QUAT" ])
+               then begin
+                 warnings := Printf.sprintf "line %d: ignored %s" n tag :: !warnings;
+                 None
+               end
+               else raise (Parse_error msg))
+  in
+  (entries, List.rev !warnings)
+
+let parse contents = fst (parse_verbose contents)
 
 let upper_diag_string n diag =
   (* Emit a diagonal information matrix in upper-triangular order. *)
@@ -125,6 +162,33 @@ let to_string entries =
 
 let sigma_of_info i = if i <= 0.0 then 1.0 else 1.0 /. sqrt i
 
+let vertex_name id = Printf.sprintf "x%d" id
+
+let edge_factor ~name e =
+  match e with
+  | Vertex2 _ | Vertex3 _ -> None
+  | Edge2 (i, j, z, info) ->
+      (* g2o info order (x y th); ours is [th; x; y]. *)
+      let sigmas = [| sigma_of_info info.(2); sigma_of_info info.(0); sigma_of_info info.(1) |] in
+      Some (Pose_factors.between2_sigmas ~name ~a:(vertex_name i) ~b:(vertex_name j) ~z ~sigmas)
+  | Edge3 (i, j, z, info) ->
+      (* g2o info order (x y z rx ry rz); ours is [rot3; trans3]. *)
+      let sigmas =
+        [|
+          sigma_of_info info.(3); sigma_of_info info.(4); sigma_of_info info.(5);
+          sigma_of_info info.(0); sigma_of_info info.(1); sigma_of_info info.(2);
+        |]
+      in
+      Some (Pose_factors.between3_sigmas ~name ~a:(vertex_name i) ~b:(vertex_name j) ~z ~sigmas)
+
+let anchor_factor e =
+  match e with
+  | Vertex2 (id, p) ->
+      Some (Pose_factors.prior2 ~name:"anchor2" ~var:(vertex_name id) ~z:p ~sigma:1e-4)
+  | Vertex3 (id, p) ->
+      Some (Pose_factors.prior3 ~name:"anchor3" ~var:(vertex_name id) ~z:p ~sigma:1e-4)
+  | Edge2 _ | Edge3 _ -> None
+
 let to_graph ?(fix_first = true) entries =
   let g = Graph.create () in
   let first2 = ref None and first3 = ref None in
@@ -147,44 +211,16 @@ let to_graph ?(fix_first = true) entries =
   List.iter
     (fun e ->
       incr counter;
-      match e with
-      | Vertex2 _ | Vertex3 _ -> ()
-      | Edge2 (i, j, z, info) ->
-          (* g2o info order (x y th); ours is [th; x; y]. *)
-          let sigmas =
-            [| sigma_of_info info.(2); sigma_of_info info.(0); sigma_of_info info.(1) |]
-          in
-          Graph.add_factor g
-            (Pose_factors.between2_sigmas
-               ~name:(Printf.sprintf "e%d" !counter)
-               ~a:(Printf.sprintf "x%d" i)
-               ~b:(Printf.sprintf "x%d" j)
-               ~z ~sigmas)
-      | Edge3 (i, j, z, info) ->
-          (* g2o info order (x y z rx ry rz); ours is [rot3; trans3]. *)
-          let sigmas =
-            [|
-              sigma_of_info info.(3); sigma_of_info info.(4); sigma_of_info info.(5);
-              sigma_of_info info.(0); sigma_of_info info.(1); sigma_of_info info.(2);
-            |]
-          in
-          Graph.add_factor g
-            (Pose_factors.between3_sigmas
-               ~name:(Printf.sprintf "e%d" !counter)
-               ~a:(Printf.sprintf "x%d" i)
-               ~b:(Printf.sprintf "x%d" j)
-               ~z ~sigmas))
+      match edge_factor ~name:(Printf.sprintf "e%d" !counter) e with
+      | Some f -> Graph.add_factor g f
+      | None -> ())
     entries;
   if fix_first then begin
     (match !first2 with
-    | Some (id, p) ->
-        Graph.add_factor g
-          (Pose_factors.prior2 ~name:"anchor2" ~var:(Printf.sprintf "x%d" id) ~z:p ~sigma:1e-4)
+    | Some (id, p) -> Option.iter (Graph.add_factor g) (anchor_factor (Vertex2 (id, p)))
     | None -> ());
     match !first3 with
-    | Some (id, p) ->
-        Graph.add_factor g
-          (Pose_factors.prior3 ~name:"anchor3" ~var:(Printf.sprintf "x%d" id) ~z:p ~sigma:1e-4)
+    | Some (id, p) -> Option.iter (Graph.add_factor g) (anchor_factor (Vertex3 (id, p)))
     | None -> ()
   end;
   g

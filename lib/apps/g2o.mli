@@ -25,10 +25,30 @@ type entry =
 type t = entry list
 
 exception Parse_error of string
-(** Carries the offending line and reason. *)
+(** Carries the reason, the 1-based line number and the offending
+    line. *)
 
 val parse : string -> t
-(** Parse a whole file's contents. *)
+(** Parse a whole file's contents.  Unknown or unsupported record
+    types (e.g. [FIX]) are skipped; use {!parse_verbose} to see what
+    was dropped.  Malformed instances of the supported records still
+    raise {!Parse_error}. *)
+
+val parse_verbose : string -> t * string list
+(** Like {!parse} but also returns one warning per skipped line
+    (["line <n>: ignored <tag>"]). *)
+
+val vertex_name : int -> string
+(** Variable name of a vertex id (["x<id>"]). *)
+
+val edge_factor : name:string -> entry -> Orianna_fg.Factor.t option
+(** The between factor of an edge entry, with information-derived
+    sigmas — the exact conversion {!to_graph} applies.  [None] for
+    vertices. *)
+
+val anchor_factor : entry -> Orianna_fg.Factor.t option
+(** The tight gauge-fixing prior {!to_graph} puts on the first vertex.
+    [None] for edges. *)
 
 val to_string : t -> string
 (** Serialize; [parse (to_string d)] preserves every entry. *)

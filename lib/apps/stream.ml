@@ -1,0 +1,159 @@
+open Orianna_lie
+open Orianna_fg
+open Orianna_util
+
+type tick = {
+  at_s : float;
+  tvars : (string * Var.t) list;
+  tfactors : Factor.t list;
+}
+
+type t = { sname : string; ticks : tick array }
+
+let length s = Array.length s.ticks
+
+let total_variables s =
+  Array.fold_left (fun acc tk -> acc + List.length tk.tvars) 0 s.ticks
+
+let of_g2o ?(hz = 10.0) ~name entries =
+  let vertices =
+    List.filter_map
+      (function
+        | G2o.Vertex2 (id, p) -> Some (id, Var.Pose2 p)
+        | G2o.Vertex3 (id, p) -> Some (id, Var.Pose3 p)
+        | G2o.Edge2 _ | G2o.Edge3 _ -> None)
+      entries
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  if vertices = [] then invalid_arg "Stream.of_g2o: no vertices";
+  let arrival = Hashtbl.create 64 in
+  List.iteri (fun k (id, _) -> Hashtbl.add arrival id k) vertices;
+  let slot id =
+    match Hashtbl.find_opt arrival id with
+    | Some k -> k
+    | None -> invalid_arg (Printf.sprintf "Stream.of_g2o: edge references unknown vertex %d" id)
+  in
+  let n = List.length vertices in
+  let factors_at = Array.make n [] in
+  (* Factor names follow G2o.to_graph: e<position in the entry list>. *)
+  List.iteri
+    (fun pos e ->
+      match e with
+      | G2o.Vertex2 _ | G2o.Vertex3 _ -> ()
+      | G2o.Edge2 (i, j, _, _) | G2o.Edge3 (i, j, _, _) ->
+          let k = max (slot i) (slot j) in
+          let f = Option.get (G2o.edge_factor ~name:(Printf.sprintf "e%d" (pos + 1)) e) in
+          factors_at.(k) <- f :: factors_at.(k))
+    entries;
+  let anchor =
+    let id, _ = List.hd vertices in
+    List.find_map
+      (fun e ->
+        match e with
+        | (G2o.Vertex2 (vid, _) | G2o.Vertex3 (vid, _)) when vid = id -> G2o.anchor_factor e
+        | _ -> None)
+      entries
+  in
+  let ticks =
+    Array.of_list
+      (List.mapi
+         (fun k (id, value) ->
+           let base = List.rev factors_at.(k) in
+           let tfactors =
+             if k = 0 then match anchor with Some a -> a :: base | None -> base else base
+           in
+           {
+             at_s = float_of_int k /. hz;
+             tvars = [ (G2o.vertex_name id, value) ];
+             tfactors;
+           })
+         vertices)
+  in
+  { sname = name; ticks }
+
+let manhattan ?(cfg = Datasets.default_config) () =
+  of_g2o ~name:"manhattan" (Datasets.to_g2o (Datasets.manhattan cfg))
+
+let sphere ?(cfg = Sphere.default_config) () =
+  of_g2o ~name:"sphere" (G2o.of_sphere (Sphere.generate cfg))
+
+type loopy_config = {
+  side : int;
+  laps : int;
+  odo_rot_sigma : float;
+  odo_trans_sigma : float;
+  seed : int;
+}
+
+let default_loopy_config =
+  { side = 5; laps = 4; odo_rot_sigma = 0.005; odo_trans_sigma = 0.01; seed = 4242 }
+
+let loopy ?(cfg = default_loopy_config) () =
+  let perimeter = 4 * cfg.side in
+  let n = (perimeter * cfg.laps) + 1 in
+  (* Ground truth: drive the square circuit, heading along the side. *)
+  let truth =
+    Array.init n (fun k ->
+        let p = k mod perimeter in
+        let side_idx = p / cfg.side and along = float_of_int (p mod cfg.side) in
+        let s = float_of_int cfg.side in
+        let theta = float_of_int side_idx *. (Float.pi /. 2.0) in
+        let x, y =
+          match side_idx with
+          | 0 -> (along, 0.0)
+          | 1 -> (s, along)
+          | 2 -> (s -. along, s)
+          | _ -> (0.0, s -. along)
+        in
+        Pose2.create ~theta ~t:[| x; y |])
+  in
+  let rng = Rng.of_int cfg.seed in
+  let noisy rel =
+    Pose2.retract rel
+      [|
+        Rng.gaussian_sigma rng ~sigma:cfg.odo_rot_sigma;
+        Rng.gaussian_sigma rng ~sigma:cfg.odo_trans_sigma;
+        Rng.gaussian_sigma rng ~sigma:cfg.odo_trans_sigma;
+      |]
+  in
+  let edges = ref [] in
+  for k = 1 to n - 1 do
+    edges := (k - 1, k, noisy (Pose2.ominus truth.(k) truth.(k - 1))) :: !edges;
+    (* Close against the same spot one lap ago: every pose after the
+       first lap carries a loop closure. *)
+    if k >= perimeter then
+      edges := (k - perimeter, k, noisy (Pose2.ominus truth.(k) truth.(k - perimeter))) :: !edges
+  done;
+  let edges = List.rev !edges in
+  (* Dead-reckoned initial estimates from the noisy odometry chain. *)
+  let initial = Array.make n truth.(0) in
+  List.iter
+    (fun (i, j, z) -> if j = i + 1 then initial.(j) <- Pose2.oplus initial.(i) z)
+    edges;
+  let info = Array.make 3 (1.0 /. (0.01 *. 0.01)) in
+  let entries =
+    Array.to_list (Array.mapi (fun i p -> G2o.Vertex2 (i, p)) initial)
+    @ List.map (fun (i, j, z) -> G2o.Edge2 (i, j, z, info)) edges
+  in
+  of_g2o ~name:"loopy" entries
+
+let prefix_graph s ~n =
+  let n = min n (Array.length s.ticks) in
+  let g = Graph.create () in
+  for k = 0 to n - 1 do
+    let tk = s.ticks.(k) in
+    List.iter (fun (v, value) -> Graph.add_variable g v value) tk.tvars;
+    List.iter (Graph.add_factor g) tk.tfactors
+  done;
+  g
+
+let apply_tick sm tk =
+  List.iter (fun (v, value) -> Smoother.add_variable sm v value) tk.tvars;
+  List.fold_left
+    (fun dropped f ->
+      if List.for_all (Smoother.has_variable sm) (Factor.vars f) then begin
+        Smoother.add_factor sm f;
+        dropped
+      end
+      else dropped + 1)
+    0 tk.tfactors

@@ -1,0 +1,62 @@
+(** Timestamped measurement streams: pose-graph datasets replayed the
+    way a live mission delivers them — one new pose per tick, together
+    with every measurement whose endpoints have now all been observed.
+
+    A stream is pure data; the session layer in [lib/serve] and the
+    differential harness in the tests drive a {!Orianna_fg.Smoother}
+    (or a batch solve over {!prefix_graph}) from it. *)
+
+open Orianna_fg
+
+type tick = {
+  at_s : float;  (** arrival time *)
+  tvars : (string * Var.t) list;  (** new variables with initial estimates *)
+  tfactors : Factor.t list;  (** measurements fully observable at this tick *)
+}
+
+type t = { sname : string; ticks : tick array }
+
+val length : t -> int
+
+val total_variables : t -> int
+
+val of_g2o : ?hz:float -> name:string -> G2o.t -> t
+(** One tick per vertex (ascending id, [1/hz] seconds apart, default
+    10 Hz).  An edge arrives with its later endpoint; the gauge anchor
+    of {!G2o.to_graph} arrives with the first vertex.  Raises
+    [Invalid_argument] on an edge whose endpoints never appear. *)
+
+val manhattan : ?cfg:Datasets.config -> unit -> t
+(** The Manhattan-world random walk of {!Datasets.manhattan}, replayed
+    through its g2o export. *)
+
+val sphere : ?cfg:Sphere.config -> unit -> t
+(** The sphere benchmark replayed through {!G2o.of_sphere}. *)
+
+type loopy_config = {
+  side : int;  (** cells per square side *)
+  laps : int;
+  odo_rot_sigma : float;
+  odo_trans_sigma : float;
+  seed : int;
+}
+
+val default_loopy_config : loopy_config
+(** 5-cell square, 4 laps, seed 4242. *)
+
+val loopy : ?cfg:loopy_config -> unit -> t
+(** Loop-closure-heavy synthetic mission: a square racetrack driven
+    for several laps, closing the loop against the previous lap at
+    {e every} pose after the first — the adversarial revisit pattern
+    for incremental smoothing. *)
+
+val prefix_graph : t -> n:int -> Graph.t
+(** Batch graph over the first [n] ticks (the whole stream when [n]
+    exceeds the length) — the reference problem for the
+    incremental-vs-batch differential harness. *)
+
+val apply_tick : Smoother.t -> tick -> int
+(** Stage one tick's variables and measurements into a smoother
+    (without calling [update]).  Measurements touching a variable that
+    already left the smoother's window are dropped; returns how many
+    were. *)

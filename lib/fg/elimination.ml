@@ -77,6 +77,83 @@ let cholesky_step abar ~d ~w =
   in
   (r_vv, r_vp, d_v, rest)
 
+(* Stack the factors adjacent to frontal variable [v] into the dense
+   augmented matrix Abar = [A | b], with the separator ordered by
+   elimination position. *)
+let stack_adjacent ~dims ~pos v adjacent =
+  let d = dims v in
+  let others =
+    distinct_vars adjacent
+    |> List.filter (fun w -> w <> v)
+    |> List.sort (fun a b -> compare (pos a) (pos b))
+  in
+  let col_vars = v :: others in
+  let offsets = Hashtbl.create 8 in
+  let width = ref 0 in
+  List.iter
+    (fun w ->
+      Hashtbl.add offsets w !width;
+      width := !width + dims w)
+    col_vars;
+  let w = !width in
+  let m = List.fold_left (fun acc f -> acc + Linear_system.rows f) 0 adjacent in
+  if m < d then raise (Underconstrained v);
+  let abar = Mat.create m (w + 1) in
+  let row = ref 0 in
+  List.iter
+    (fun (f : Linear_system.t) ->
+      List.iter
+        (fun (var, b) -> Mat.set_block abar !row (Hashtbl.find offsets var) b)
+        f.Linear_system.blocks;
+      let r = Linear_system.rows f in
+      for i = 0 to r - 1 do
+        Mat.set abar (!row + i) w f.Linear_system.rhs.(i)
+      done;
+      row := !row + r)
+    adjacent;
+  (abar, others, offsets, w, m)
+
+type frontal = {
+  f_conditional : conditional;
+  f_leftover : Linear_system.t option;
+  f_rows : int;
+  f_cols : int;
+  f_density : float;
+}
+
+let eliminate_frontal ~dims ~pos v adjacent =
+  if adjacent = [] then raise (Underconstrained v);
+  let d = dims v in
+  let abar, others, offsets, w, m = stack_adjacent ~dims ~pos v adjacent in
+  let rbar = Qr.triangularize abar in
+  let parents =
+    List.map (fun p -> (p, Mat.block rbar 0 (Hashtbl.find offsets p) d (dims p))) others
+  in
+  let cond =
+    {
+      var = v;
+      dim = d;
+      r = Mat.block rbar 0 0 d d;
+      parents;
+      rhs = Vec.init d (fun i -> Mat.get rbar i w);
+    }
+  in
+  (* Leftover rows become the new factor on the separator. *)
+  let leftover = min m w - d in
+  let f_leftover =
+    if leftover <= 0 || others = [] then None
+    else begin
+      let blocks =
+        List.map
+          (fun p -> (p, Mat.block rbar d (Hashtbl.find offsets p) leftover (dims p)))
+          others
+      in
+      let rhs = Vec.init leftover (fun i -> Mat.get rbar (d + i) w) in
+      Some { Linear_system.vars = others; blocks; rhs }
+    end
+  in
+  { f_conditional = cond; f_leftover; f_rows = m; f_cols = w + 1; f_density = Mat.density abar }
+
 let eliminate ?(method_ = Qr) ~order ~dims factors =
   let position = Hashtbl.create 16 in
   List.iteri (fun i v -> Hashtbl.add position v i) order;
@@ -122,69 +199,19 @@ let eliminate ?(method_ = Qr) ~order ~dims factors =
           List.iter (fun id -> Hashtbl.remove store id) (List.sort_uniq compare !ids);
           Hashtbl.remove adjacency v
       | None -> ());
-      let d = dims v in
-      (* Separator: every other variable of the adjacent factors,
-         ordered by elimination position for determinism. *)
-      let others =
-        distinct_vars adjacent |> List.filter (fun w -> w <> v)
-        |> List.sort (fun a b -> compare (pos a) (pos b))
-      in
-      let col_vars = v :: others in
-      let offsets = Hashtbl.create 8 in
-      let width = ref 0 in
-      List.iter
-        (fun w ->
-          Hashtbl.add offsets w !width;
-          width := !width + dims w)
-        col_vars;
-      let w = !width in
-      let m = List.fold_left (fun acc f -> acc + Linear_system.rows f) 0 adjacent in
-      if m < d then raise (Underconstrained v);
-      (* Stack the adjacent factors into the dense Abar = [A | b]. *)
-      let abar = Mat.create m (w + 1) in
-      let row = ref 0 in
-      List.iter
-        (fun (f : Linear_system.t) ->
-          List.iter
-            (fun (var, b) -> Mat.set_block abar !row (Hashtbl.find offsets var) b)
-            f.Linear_system.blocks;
-          let r = Linear_system.rows f in
-          for i = 0 to r - 1 do
-            Mat.set abar (!row + i) w f.Linear_system.rhs.(i)
-          done;
-          row := !row + r)
-        adjacent;
-      census := { var = v; rows = m; cols = w + 1; density = Mat.density abar } :: !census;
       let new_factor =
         match method_ with
         | Qr ->
-            let rbar = Qr.triangularize abar in
-            let parents =
-              List.map (fun p -> (p, Mat.block rbar 0 (Hashtbl.find offsets p) d (dims p))) others
-            in
-            let cond =
-              {
-                var = v;
-                dim = d;
-                r = Mat.block rbar 0 0 d d;
-                parents;
-                rhs = Vec.init d (fun i -> Mat.get rbar i w);
-              }
-            in
-            conditionals := cond :: !conditionals;
-            (* Leftover rows become the new factor f7 on the separator. *)
-            let leftover = min m w - d in
-            if leftover <= 0 || others = [] then None
-            else begin
-              let blocks =
-                List.map
-                  (fun p -> (p, Mat.block rbar d (Hashtbl.find offsets p) leftover (dims p)))
-                  others
-              in
-              let rhs = Vec.init leftover (fun i -> Mat.get rbar (d + i) w) in
-              Some { Linear_system.vars = others; blocks; rhs }
-            end
+            let fr = eliminate_frontal ~dims ~pos v adjacent in
+            census :=
+              { var = v; rows = fr.f_rows; cols = fr.f_cols; density = fr.f_density }
+              :: !census;
+            conditionals := fr.f_conditional :: !conditionals;
+            fr.f_leftover
         | Cholesky ->
+            let d = dims v in
+            let abar, others, offsets, w, m = stack_adjacent ~dims ~pos v adjacent in
+            census := { var = v; rows = m; cols = w + 1; density = Mat.density abar } :: !census;
             let r_vv, r_vp, d_v, schur = cholesky_step abar ~d ~w in
             let parents =
               List.mapi

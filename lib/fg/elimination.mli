@@ -44,6 +44,26 @@ type method_ =
 val eliminate :
   ?method_:method_ -> order:string list -> dims:(string -> int) -> Linear_system.t list -> result
 
+type frontal = {
+  f_conditional : conditional;
+  f_leftover : Linear_system.t option;
+      (** rows left after the conditional: a new factor on the
+          separator, [None] when the frontal variable was a leaf *)
+  f_rows : int;
+  f_cols : int;
+  f_density : float;
+}
+
+val eliminate_frontal :
+  dims:(string -> int) -> pos:(string -> int) -> string -> Linear_system.t list -> frontal
+(** One QR elimination step of a single frontal variable against its
+    adjacent factors ([pos] orders the separator).  This is the exact
+    kernel {!eliminate} applies per variable on the [Qr] path; the
+    incremental smoother calls it directly so that partial
+    re-elimination is bit-identical to a batch pass over the same
+    stacked rows.  Raises {!Underconstrained} on an empty or
+    row-deficient adjacency. *)
+
 val back_substitute : conditional list -> (string * Vec.t) list
 (** Solution per variable (in elimination order). *)
 

@@ -1,3 +1,4 @@
+module Obs = Orianna_obs.Obs
 
 type t = {
   dims : (string, int) Hashtbl.t;
@@ -55,6 +56,12 @@ let update t new_factors =
   let sub_order = List.filter in_affected t.order in
   t.affected_last <- List.length sub_order;
   t.updates <- t.updates + 1;
+  Obs.count "fg.incremental.updates";
+  Obs.count ~n:t.affected_last "fg.incremental.affected";
+  let total = List.length t.order in
+  if total > 0 then
+    Obs.observe "fg.incremental.affected_fraction"
+      (float_of_int t.affected_last /. float_of_int total);
   (* Re-eliminate the affected sub-problem: new factors plus the old
      conditionals of affected frontal variables, reinterpreted as
      factors. *)

@@ -1,0 +1,508 @@
+open Orianna_linalg
+module Obs = Orianna_obs.Obs
+
+type params = { relin_threshold : float; max_relin_passes : int; window : int option }
+
+let default_params = { relin_threshold = 0.05; max_relin_passes = 3; window = None }
+
+type vinfo = {
+  vpos : int;  (** global elimination position, monotone, never reused *)
+  vdim : int;
+  mutable lin_point : Var.t;
+  mutable estimate : Var.t;
+  mutable delta : Vec.t;
+}
+
+type origin =
+  | Measurement of Factor.t
+  | Prior of { mutable refs : (string * Var.t) list }
+      (** marginalization prior: linearization reference per scope
+          variable, for first-order rebasing *)
+
+type frec = {
+  lid : int;
+  fscope : string list;  (** position-sorted *)
+  home : string;  (** earliest-position scope variable *)
+  origin : origin;
+  mutable lin : Linear_system.t;
+}
+
+module Sset = Set.Make (String)
+
+type stats = {
+  total_variables : int;
+  affected_last : int;
+  relinearized_last : int;
+  relin_passes_last : int;
+  marginalized : int;
+  updates : int;
+}
+
+type t = {
+  params : params;
+  vars : (string, vinfo) Hashtbl.t;
+  mutable order : string list;  (** live variables, ascending position *)
+  mutable next_pos : int;
+  factors : (int, frec) Hashtbl.t;
+  mutable next_lid : int;
+  homes : (string, int list ref) Hashtbl.t;  (** home variable -> lids *)
+  touching : (string, int list ref) Hashtbl.t;  (** variable -> lids of factors involving it *)
+  conditionals : (string, Elimination.conditional) Hashtbl.t;
+  leftovers : (string, Linear_system.t) Hashtbl.t;  (** producer -> cached leftover *)
+  history : (string, Var.t) Hashtbl.t;  (** retired variables' final estimates *)
+  mutable retired_order : string list;  (** retirement order, reversed *)
+  mutable pending_vars : (string * Var.t) list;  (** reversed *)
+  mutable pending_factors : Factor.t list;  (** reversed *)
+  mutable updates : int;
+  mutable affected_last : int;
+  mutable relinearized_last : int;
+  mutable relin_passes_last : int;
+  mutable marginalized_total : int;
+}
+
+exception Retired of string
+
+let create ?(params = default_params) () =
+  {
+    params;
+    vars = Hashtbl.create 64;
+    order = [];
+    next_pos = 0;
+    factors = Hashtbl.create 128;
+    next_lid = 0;
+    homes = Hashtbl.create 64;
+    touching = Hashtbl.create 64;
+    conditionals = Hashtbl.create 64;
+    leftovers = Hashtbl.create 64;
+    history = Hashtbl.create 64;
+    retired_order = [];
+    pending_vars = [];
+    pending_factors = [];
+    updates = 0;
+    affected_last = 0;
+    relinearized_last = 0;
+    relin_passes_last = 0;
+    marginalized_total = 0;
+  }
+
+let is_retired t v = Hashtbl.mem t.history v
+
+let has_variable t v =
+  Hashtbl.mem t.vars v || List.exists (fun (n, _) -> n = v) t.pending_vars
+
+let add_variable t name value =
+  if has_variable t name then invalid_arg ("Smoother.add_variable: duplicate " ^ name);
+  if is_retired t name then invalid_arg ("Smoother.add_variable: retired " ^ name);
+  t.pending_vars <- (name, value) :: t.pending_vars
+
+let add_factor t f =
+  List.iter
+    (fun v ->
+      if not (has_variable t v) then
+        if is_retired t v then raise (Retired v)
+        else invalid_arg ("Smoother.add_factor: unknown variable " ^ v))
+    (Factor.vars f);
+  t.pending_factors <- f :: t.pending_factors
+
+let vinfo t v =
+  match Hashtbl.find_opt t.vars v with
+  | Some vi -> vi
+  | None -> invalid_arg ("Smoother: unknown variable " ^ v)
+
+let pos_fn t v = (vinfo t v).vpos
+let dims_fn t v = (vinfo t v).vdim
+let lin_lookup t v = (vinfo t v).lin_point
+
+let add_to_index table key v =
+  match Hashtbl.find_opt table key with
+  | Some l -> l := v :: !l
+  | None -> Hashtbl.add table key (ref [ v ])
+
+let remove_from_index table key v =
+  match Hashtbl.find_opt table key with
+  | Some l -> l := List.filter (fun x -> x <> v) !l
+  | None -> ()
+
+(* Register a committed factor record in all indices. *)
+let register_frec t fr =
+  Hashtbl.replace t.factors fr.lid fr;
+  add_to_index t.homes fr.home fr.lid;
+  List.iter (fun v -> add_to_index t.touching v fr.lid) fr.fscope
+
+let commit_factor t f =
+  let lid = t.next_lid in
+  t.next_lid <- lid + 1;
+  let fscope =
+    Factor.vars f |> List.sort_uniq compare
+    |> List.sort (fun a b -> compare (pos_fn t a) (pos_fn t b))
+  in
+  let lin = Linear_system.of_factor f (lin_lookup t) in
+  let fr = { lid; fscope; home = List.hd fscope; origin = Measurement f; lin } in
+  register_frec t fr;
+  fr
+
+(* Earliest-position scope variable of a linear factor.  Leftovers
+   from [Elimination.eliminate_frontal] keep their scope pos-sorted,
+   so this is the head; re-derive defensively anyway. *)
+let target_of t (l : Linear_system.t) =
+  match l.Linear_system.vars with
+  | [] -> invalid_arg "Smoother: empty leftover scope"
+  | v0 :: rest ->
+      List.fold_left (fun best v -> if pos_fn t v < pos_fn t best then v else best) v0 rest
+
+(* Affected-closure sweep.  All additions lie later in elimination
+   position than the variable that triggered them — factor scopes
+   homed at [v] start at [v], conditional parents are later — so one
+   ascending pass over the live order settles membership. *)
+let closure t seeds =
+  let r = ref seeds in
+  List.iter
+    (fun v ->
+      if Sset.mem v !r then begin
+        (match Hashtbl.find_opt t.homes v with
+        | Some lids ->
+            List.iter
+              (fun lid ->
+                match Hashtbl.find_opt t.factors lid with
+                | Some fr -> List.iter (fun s -> r := Sset.add s !r) fr.fscope
+                | None -> ())
+              !lids
+        | None -> ());
+        match Hashtbl.find_opt t.conditionals v with
+        | Some c -> List.iter (fun (p, _) -> r := Sset.add p !r) c.Elimination.parents
+        | None -> ()
+      end)
+    t.order;
+  !r
+
+(* Re-eliminate the affected set.  Inputs are the original factors
+   homed inside it, keyed [(0, lid)], plus the cached leftovers
+   flowing in from unaffected producers, keyed [(1, producer pos)];
+   in-pass leftovers register under the same key scheme.  Sorting a
+   frontal's adjacency by that key reproduces exactly the stacking
+   order of a batch [Elimination.eliminate] fed the live factors in
+   lid order (originals by registration, then leftovers by production
+   position), so the partial QR is bit-identical to the batch one. *)
+let reeliminate t affected =
+  let in_r v = Sset.mem v affected in
+  let sub_order = List.filter in_r t.order in
+  let store : (int * int, Linear_system.t) Hashtbl.t = Hashtbl.create 64 in
+  let adj : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let register key (l : Linear_system.t) =
+    Hashtbl.replace store key l;
+    List.iter (fun v -> add_to_index adj v key) l.Linear_system.vars
+  in
+  Sset.iter
+    (fun v ->
+      match Hashtbl.find_opt t.homes v with
+      | Some lids ->
+          List.iter
+            (fun lid ->
+              match Hashtbl.find_opt t.factors lid with
+              | Some fr -> register (0, fr.lid) fr.lin
+              | None -> ())
+            !lids
+      | None -> ())
+    affected;
+  Hashtbl.iter
+    (fun p l ->
+      if (not (in_r p)) && in_r (target_of t l) then register (1, pos_fn t p) l)
+    t.leftovers;
+  let dims = dims_fn t and pos = pos_fn t in
+  List.iter
+    (fun v ->
+      let keys =
+        match Hashtbl.find_opt adj v with
+        | Some l -> List.sort_uniq compare !l
+        | None -> []
+      in
+      let adjacent = List.filter_map (fun k -> Hashtbl.find_opt store k) keys in
+      List.iter (fun k -> Hashtbl.remove store k) keys;
+      Hashtbl.remove adj v;
+      let fr = Elimination.eliminate_frontal ~dims ~pos v adjacent in
+      Hashtbl.replace t.conditionals v fr.Elimination.f_conditional;
+      match fr.Elimination.f_leftover with
+      | Some l ->
+          Hashtbl.replace t.leftovers v l;
+          register (1, pos v) l
+      | None -> Hashtbl.remove t.leftovers v)
+    sub_order
+
+(* Back-substitute over every live conditional and refresh deltas and
+   estimates. *)
+let solve_all t =
+  let conds = List.filter_map (fun v -> Hashtbl.find_opt t.conditionals v) t.order in
+  let sol = Elimination.back_substitute conds in
+  List.iter
+    (fun (v, d) ->
+      let vi = vinfo t v in
+      vi.delta <- d;
+      vi.estimate <- Var.retract vi.lin_point d)
+    sol
+
+let inf_norm (v : Vec.t) = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 v
+
+(* Rebase dirty variables onto their current estimates, refresh every
+   factor touching them, and return the seeds of the next pass. *)
+let relinearize t dirty =
+  List.iter
+    (fun v ->
+      let vi = vinfo t v in
+      vi.lin_point <- vi.estimate;
+      vi.delta <- Vec.create vi.vdim)
+    dirty;
+  let stale = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt t.touching v with
+      | Some lids ->
+          List.iter
+            (fun lid ->
+              if not (Hashtbl.mem seen lid) then begin
+                Hashtbl.add seen lid ();
+                match Hashtbl.find_opt t.factors lid with
+                | Some fr -> stale := fr :: !stale
+                | None -> ()
+              end)
+            !lids
+      | None -> ())
+    dirty;
+  let dirty_set = List.fold_left (fun s v -> Sset.add v s) Sset.empty dirty in
+  List.iter
+    (fun fr ->
+      match fr.origin with
+      | Measurement f -> fr.lin <- Linear_system.of_factor f (lin_lookup t)
+      | Prior p ->
+          (* First-order rebase: keep the Jacobian, shift the residual
+             by the motion of each dirtied reference point. *)
+          let rhs = ref fr.lin.Linear_system.rhs in
+          p.refs <-
+            List.map
+              (fun (s, ref_point) ->
+                if Sset.mem s dirty_set then begin
+                  let vi = vinfo t s in
+                  let d = Var.local ref_point vi.lin_point in
+                  (match Linear_system.block fr.lin s with
+                  | Some a -> rhs := Vec.sub !rhs (Mat.mul_vec a d)
+                  | None -> ());
+                  (s, vi.lin_point)
+                end
+                else (s, ref_point))
+              p.refs;
+          fr.lin <- { fr.lin with Linear_system.rhs = !rhs })
+    !stale;
+  List.fold_left (fun s fr -> Sset.add fr.home s) dirty_set !stale
+
+(* Fold the oldest [k] variables out: the cached leftovers escaping
+   the marginalized prefix carry exactly its marginal information on
+   the separator; QR-compress them into one dense prior. *)
+let marginalize t k =
+  let rec split i acc = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | v :: rest -> split (i - 1) (v :: acc) rest
+    | [] -> (List.rev acc, [])
+  in
+  let m_list, survivors = split k [] t.order in
+  let m_set = List.fold_left (fun s v -> Sset.add v s) Sset.empty m_list in
+  let escaped =
+    List.filter_map
+      (fun p ->
+        match Hashtbl.find_opt t.leftovers p with
+        | Some l when not (Sset.mem (target_of t l) m_set) -> Some l
+        | _ -> None)
+      m_list
+  in
+  let prior_lin =
+    match escaped with
+    | [] -> None
+    | [ l ] -> Some l
+    | ls ->
+        let scope =
+          List.concat_map (fun (l : Linear_system.t) -> l.Linear_system.vars) ls
+          |> List.sort_uniq compare
+          |> List.sort (fun a b -> compare (pos_fn t a) (pos_fn t b))
+        in
+        let offsets = Hashtbl.create 8 in
+        let width = ref 0 in
+        List.iter
+          (fun v ->
+            Hashtbl.add offsets v !width;
+            width := !width + dims_fn t v)
+          scope;
+        let w = !width in
+        let m = List.fold_left (fun acc l -> acc + Linear_system.rows l) 0 ls in
+        let abar = Mat.create m (w + 1) in
+        let row = ref 0 in
+        List.iter
+          (fun (l : Linear_system.t) ->
+            List.iter
+              (fun (var, b) -> Mat.set_block abar !row (Hashtbl.find offsets var) b)
+              l.Linear_system.blocks;
+            let r = Linear_system.rows l in
+            for i = 0 to r - 1 do
+              Mat.set abar (!row + i) w l.Linear_system.rhs.(i)
+            done;
+            row := !row + r)
+          ls;
+        let rbar = Qr.triangularize abar in
+        (* Rows past the column count carry pure residual — no
+           information about the separator — so drop them. *)
+        let keep = min m w in
+        let blocks =
+          List.map
+            (fun v -> (v, Mat.block rbar 0 (Hashtbl.find offsets v) keep (dims_fn t v)))
+            scope
+        in
+        let rhs = Vec.init keep (fun i -> Mat.get rbar i w) in
+        Some { Linear_system.vars = scope; blocks; rhs }
+  in
+  (* Retire the prefix: record final estimates, drop every factor
+     homed inside it (all factors touching it are, since the prefix is
+     position-minimal), its conditionals and leftovers. *)
+  List.iter
+    (fun v ->
+      Hashtbl.replace t.history v (vinfo t v).estimate;
+      t.retired_order <- v :: t.retired_order;
+      Hashtbl.remove t.conditionals v;
+      Hashtbl.remove t.leftovers v;
+      (match Hashtbl.find_opt t.homes v with
+      | Some lids ->
+          List.iter
+            (fun lid ->
+              match Hashtbl.find_opt t.factors lid with
+              | Some fr ->
+                  Hashtbl.remove t.factors lid;
+                  List.iter
+                    (fun s -> if not (Sset.mem s m_set) then remove_from_index t.touching s lid)
+                    fr.fscope
+              | None -> ())
+            !lids;
+          Hashtbl.remove t.homes v
+      | None -> ());
+      Hashtbl.remove t.touching v;
+      Hashtbl.remove t.vars v)
+    m_list;
+  t.order <- survivors;
+  t.marginalized_total <- t.marginalized_total + k;
+  (* Install the prior and rebuild the separator's subtree so every
+     cached conditional reflects the current factor set. *)
+  match prior_lin with
+  | None -> Sset.empty
+  | Some lin ->
+      let lid = t.next_lid in
+      t.next_lid <- lid + 1;
+      let refs = List.map (fun s -> (s, (vinfo t s).lin_point)) lin.Linear_system.vars in
+      let fr =
+        {
+          lid;
+          fscope = lin.Linear_system.vars;
+          home = List.hd lin.Linear_system.vars;
+          origin = Prior { refs };
+          lin;
+        }
+      in
+      register_frec t fr;
+      let affected = closure t (Sset.singleton fr.home) in
+      reeliminate t affected;
+      solve_all t;
+      affected
+
+let update t =
+  if t.pending_vars = [] && t.pending_factors = [] then ()
+  else begin
+    let new_vars = List.rev t.pending_vars in
+    let new_factors = List.rev t.pending_factors in
+    t.pending_vars <- [];
+    t.pending_factors <- [];
+    List.iter
+      (fun (name, value) ->
+        let vpos = t.next_pos in
+        t.next_pos <- vpos + 1;
+        let vdim = Var.dim value in
+        Hashtbl.add t.vars name
+          { vpos; vdim; lin_point = value; estimate = value; delta = Vec.create vdim })
+      new_vars;
+    t.order <- t.order @ List.map fst new_vars;
+    let total = List.length t.order in
+    let seeds =
+      List.fold_left
+        (fun s (name, _) -> Sset.add name s)
+        Sset.empty new_vars
+    in
+    let seeds =
+      List.fold_left (fun s f -> Sset.add (commit_factor t f).home s) seeds new_factors
+    in
+    let affected = ref Sset.empty in
+    let relinearized = ref 0 in
+    let passes = ref 0 in
+    let current = ref seeds in
+    let continue_ = ref true in
+    while !continue_ do
+      incr passes;
+      let r = closure t !current in
+      affected := Sset.union !affected r;
+      reeliminate t r;
+      solve_all t;
+      if t.params.relin_threshold <= 0.0 || !passes > t.params.max_relin_passes then
+        continue_ := false
+      else begin
+        let dirty =
+          List.filter (fun v -> inf_norm (vinfo t v).delta > t.params.relin_threshold) t.order
+        in
+        if dirty = [] then continue_ := false
+        else begin
+          relinearized := !relinearized + List.length dirty;
+          current := relinearize t dirty
+        end
+      end
+    done;
+    (match t.params.window with
+    | Some w when List.length t.order > w ->
+        let folded = marginalize t (List.length t.order - w) in
+        affected := Sset.union !affected folded
+    | _ -> ());
+    t.updates <- t.updates + 1;
+    t.affected_last <- Sset.cardinal !affected;
+    t.relinearized_last <- !relinearized;
+    t.relin_passes_last <- !passes - 1;
+    Obs.count "fg.incremental.updates";
+    Obs.count ~n:t.affected_last "fg.incremental.affected";
+    if !relinearized > 0 then Obs.count ~n:!relinearized "fg.incremental.relinearized";
+    if total > 0 then
+      Obs.observe "fg.incremental.affected_fraction"
+        (float_of_int t.affected_last /. float_of_int total)
+  end
+
+let estimate t v =
+  match Hashtbl.find_opt t.vars v with
+  | Some vi -> vi.estimate
+  | None -> (
+      match Hashtbl.find_opt t.history v with Some e -> e | None -> raise Not_found)
+
+let estimates t = List.map (fun v -> (v, (vinfo t v).estimate)) t.order
+
+let all_estimates t =
+  List.rev_map (fun v -> (v, Hashtbl.find t.history v)) t.retired_order @ estimates t
+
+let delta t v = (vinfo t v).delta
+
+let live_variables t = t.order
+
+let error t =
+  Hashtbl.fold
+    (fun _ fr acc ->
+      match fr.origin with
+      | Measurement f -> acc +. Factor.error_norm_sq f (fun v -> (vinfo t v).estimate)
+      | Prior _ -> acc)
+    t.factors 0.0
+
+let stats t =
+  {
+    total_variables = List.length t.order;
+    affected_last = t.affected_last;
+    relinearized_last = t.relinearized_last;
+    relin_passes_last = t.relin_passes_last;
+    marginalized = t.marginalized_total;
+    updates = t.updates;
+  }

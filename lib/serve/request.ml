@@ -6,6 +6,10 @@ let priority_name = function Low -> "low" | Normal -> "normal" | High -> "high"
 
 let priority_rank = function Low -> 0 | Normal -> 1 | High -> 2
 
+type kind = Solve | Tick of { session : int; step : int }
+
+let kind_name = function Solve -> "solve" | Tick _ -> "tick"
+
 type t = {
   id : int;
   app : string;
@@ -13,6 +17,7 @@ type t = {
   priority : priority;
   arrival_s : float;
   deadline_s : float;
+  kind : kind;
 }
 
 let slack_s t ~now_s = t.deadline_s -. now_s
@@ -54,6 +59,7 @@ let generate ~rng ~shape ~apps ~deadline_s:(dl_lo, dl_hi) ~n =
         priority;
         arrival_s = !clock;
         deadline_s = !clock +. Rng.uniform slack_rng ~lo:dl_lo ~hi:dl_hi;
+        kind = Solve;
       })
 
 let pp ppf r =

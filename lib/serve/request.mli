@@ -18,13 +18,22 @@ val priority_rank : priority -> int
 (** [Low] = 0 < [Normal] = 1 < [High] = 2; admission shedding compares
     ranks. *)
 
+type kind =
+  | Solve  (** a full batch solve of the named application *)
+  | Tick of { session : int; step : int }
+      (** one measurement delta of a streaming session: fold tick
+          [step] of session [session]'s stream into its smoother *)
+
+val kind_name : kind -> string
+
 type t = {
   id : int;  (** position in the trace, unique *)
-  app : string;  (** application registry name *)
+  app : string;  (** application registry name (or stream name for ticks) *)
   seed : int;  (** workload seed: same structure, fresh values *)
   priority : priority;
   arrival_s : float;  (** virtual-clock arrival time *)
   deadline_s : float;  (** absolute virtual-clock deadline *)
+  kind : kind;
 }
 
 val slack_s : t -> now_s:float -> float

@@ -142,6 +142,7 @@ type report = {
   fleet : instance_report list;
   per_app : (string * int * int) list;
   chaos : chaos_report option;
+  sessions : Session.report option;
 }
 
 (* One queued copy of a request: its structural cache key (computed at
@@ -169,9 +170,7 @@ type flight = {
   mutable fpending : flight_req list;
 }
 
-let compile_entry ~budget ~opt_level (req : Request.t) () =
-  let app = App.find req.Request.app in
-  let graphs = app.App.graphs (Rng.of_int req.Request.seed) in
+let compile_graphs ~budget ~opt_level graphs =
   let program = Compile.compile_application ~opt_level graphs in
   (* Same -O2 schedule-feedback round as the compile/simulate/profile
      CLI paths (Pipeline.reoptimize); without it, O2 artifacts would be
@@ -186,10 +185,19 @@ let compile_entry ~budget ~opt_level (req : Request.t) () =
   in
   (program, dse)
 
-let run ?(config = default_config) ~trace () =
+let compile_entry ~budget ~opt_level (req : Request.t) () =
+  let app = App.find req.Request.app in
+  compile_graphs ~budget ~opt_level (app.App.graphs (Rng.of_int req.Request.seed))
+
+let run ?(config = default_config) ?sessions ~trace () =
   if config.queue_capacity <= 0 then invalid_arg "Serve.run: queue_capacity must be positive";
   if config.max_batch <= 0 then invalid_arg "Serve.run: max_batch must be positive";
   if config.max_retries < 0 then invalid_arg "Serve.run: max_retries must be non-negative";
+  (* Mission ticks ride the same trace as generated solves; the stable
+     sort below interleaves them by arrival. *)
+  let trace =
+    match sessions with None -> trace | Some s -> trace @ Session.mission_requests s
+  in
   let trace =
     List.stable_sort
       (fun (a : Request.t) b -> compare (a.Request.arrival_s, a.Request.id) (b.Request.arrival_s, b.Request.id))
@@ -254,13 +262,23 @@ let run ?(config = default_config) ~trace () =
     Obs.set_gauge "serve.queue_depth" (float_of_int depth)
   in
   let admit (r : Request.t) =
-    match App.find r.Request.app with
-    | exception Not_found -> reject r Unservable
-    | app ->
-        let key =
-          Cache.structural_key ~opt_level:config.opt_level
-            (app.App.graphs (Rng.of_int r.Request.seed))
-        in
+    let key_opt =
+      match r.Request.kind with
+      | Request.Solve -> (
+          match App.find r.Request.app with
+          | exception Not_found -> None
+          | app ->
+              Some
+                (Cache.structural_key ~opt_level:config.opt_level
+                   (app.App.graphs (Rng.of_int r.Request.seed))))
+      | Request.Tick _ -> (
+          (* A tick without a session layer (or for an unknown session)
+             has no program to run. *)
+          match sessions with None -> None | Some s -> Session.key_of s r)
+    in
+    match key_opt with
+    | None -> reject r Unservable
+    | Some key ->
         let q = { req = r; key; attempts = 0; eligible_s = r.Request.arrival_s; dup = false } in
         if List.length !queue >= config.queue_capacity then begin
           (* Shed-on-overload: a strictly lower-priority queued request
@@ -556,10 +574,28 @@ let run ?(config = default_config) ~trace () =
     in
     let bid = !batch_counter in
     incr batch_counter;
+    let is_tick q = match q.req.Request.kind with Request.Tick _ -> true | Request.Solve -> false in
     let fpending =
-      List.mapi
-        (fun i q -> { fq = q; ffinish_s = start +. overhead +. (float_of_int (i + 1) *. per_req_s) })
-        batch_reqs
+      if List.exists is_tick batch_reqs then
+        (* Tick service times are per-request (proportional to the
+           session's affected re-elimination work), so finishes
+           accumulate instead of the uniform stagger below. *)
+        let at = ref (start +. overhead) in
+        List.map
+          (fun q ->
+            let svc =
+              match (q.req.Request.kind, sessions) with
+              | Request.Tick _, Some s -> Session.execute s ~now_s:!clock ~base_s:per_req_s q.req
+              | _ -> per_req_s
+            in
+            at := !at +. svc;
+            { fq = q; ffinish_s = !at })
+          batch_reqs
+      else
+        List.mapi
+          (fun i q ->
+            { fq = q; ffinish_s = start +. overhead +. (float_of_int (i + 1) *. per_req_s) })
+          batch_reqs
     in
     let finish_last =
       match List.rev fpending with fr :: _ -> fr.ffinish_s | [] -> start
@@ -597,7 +633,17 @@ let run ?(config = default_config) ~trace () =
         | q :: rest -> (
             let hit, entry =
               Cache.find_or_add cache q.key (fun () ->
-                  let p, d = compile_entry ~budget:config.budget ~opt_level:config.opt_level q.req () in
+                  let p, d =
+                    match (q.req.Request.kind, sessions) with
+                    | Request.Tick { session; _ }, Some s ->
+                        (* Ticks run the session's compiled template
+                           program; every tick of every tenant on the
+                           same stream shares this one artifact. *)
+                        compile_graphs ~budget:config.budget ~opt_level:config.opt_level
+                          (Session.template_graphs s ~session)
+                    | _ ->
+                        compile_entry ~budget:config.budget ~opt_level:config.opt_level q.req ()
+                  in
                   Hashtbl.replace pending_penalty q.key ();
                   (p, d))
             in
@@ -813,6 +859,7 @@ let run ?(config = default_config) ~trace () =
                });
       per_app;
       chaos = chaos_rep;
+      sessions = Option.map Session.report sessions;
     }
   in
   Obs.set_gauge "serve.deadline_miss_rate" report.deadline_miss_rate;
@@ -850,6 +897,11 @@ let report_json r =
                 ("transitions", Json.int (List.length c.transitions));
               ] );
         ]
+  in
+  let session_fields =
+    match r.sessions with
+    | None -> []
+    | Some s -> [ ("sessions", Session.report_json s) ]
   in
   Json.Obj
     ([
@@ -926,7 +978,7 @@ let report_json r =
                     [ ("completed", Json.int done_); ("deadline_misses", Json.int miss) ] ))
               r.per_app) );
      ]
-    @ chaos_fields)
+    @ chaos_fields @ session_fields)
 
 let table r =
   let t = Texttable.create ~title:"Serving campaign" ~headers:[ "metric"; "value" ] in
@@ -982,7 +1034,8 @@ let table r =
           string_of_int (i.icrashes + i.ihangs + i.itransients + i.islowdowns);
         ])
     r.fleet;
-  Texttable.render t ^ "\n" ^ Texttable.render f
+  let base = Texttable.render t ^ "\n" ^ Texttable.render f in
+  match r.sessions with None -> base | Some s -> base ^ "\n" ^ Session.table s
 
 let fleet_pid = 2
 

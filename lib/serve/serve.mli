@@ -158,14 +158,25 @@ type report = {
   fleet : instance_report list;
   per_app : (string * int * int) list;  (** app, completed, deadline misses *)
   chaos : chaos_report option;  (** present iff the config carried a chaos model *)
+  sessions : Session.report option;  (** present iff a session layer was attached *)
 }
 
-val run : ?config:config -> trace:Request.t list -> unit -> report
+val run : ?config:config -> ?sessions:Session.t -> trace:Request.t list -> unit -> report
 (** Replay one arrival trace to completion.  Every admitted request
     ends in exactly one terminal state — completed, shed, unservable,
     or failed-after-retries — even under chaos; nothing is lost
     silently, and no request completes twice (hedged duplicates are
-    cancelled at the first completion). *)
+    cancelled at the first completion).
+
+    With [sessions] attached, the session layer's mission ticks are
+    merged into the trace by arrival time and executed through the
+    same queue/batch/dispatch machinery: each tick folds one
+    measurement delta into its session's incremental smoother and is
+    charged service time proportional to the affected re-elimination
+    work on the session's compiled template program.  Without
+    [sessions], behavior (and the report, byte for byte) is identical
+    to the session-free runtime; tick requests are then rejected as
+    unservable. *)
 
 val report_json : report -> Orianna_obs.Json.t
 (** Deterministic machine-readable summary (no wall-clock content);

@@ -206,6 +206,8 @@ let test_g2o_solves_sphere_export () =
     (Stats.mean errs < init.Sphere.mean /. 5.0)
 
 let test_g2o_rejects_malformed () =
+  (* Malformed instances of the supported record types still fail hard
+     (unknown tags like WOBBLE are tolerated, see below). *)
   List.iter
     (fun bad ->
       Alcotest.(check bool) ("rejects " ^ bad) true
@@ -213,7 +215,127 @@ let test_g2o_rejects_malformed () =
            ignore (G2o.parse bad);
            false
          with G2o.Parse_error _ -> true))
-    [ "VERTEX_SE2 0 1.0"; "EDGE_SE2 0 1 1 2"; "WOBBLE 1 2 3"; "VERTEX_SE3:QUAT 0 0 0 0 0 0 0 0 extra" ]
+    [ "VERTEX_SE2 0 1.0"; "EDGE_SE2 0 1 1 2"; "VERTEX_SE3:QUAT 0 0 0 0 0 0 0 0 extra" ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_g2o_tolerates_foreign_records () =
+  let contents =
+    String.concat "\n"
+      [
+        "VERTEX_SE2 0 0 0 0";
+        "FIX 0";
+        "VERTEX_SE2 1 1 0 0";
+        "WOBBLE 1 2 3";
+        "EDGE_SE2 0 1 1 0 0 100 0 0 100 0 400";
+      ]
+  in
+  let entries, warnings = G2o.parse_verbose contents in
+  Alcotest.(check int) "entries" 3 (List.length entries);
+  Alcotest.(check (list string))
+    "warnings name line and tag"
+    [ "line 2: ignored FIX"; "line 4: ignored WOBBLE" ]
+    warnings;
+  (* parse is parse_verbose minus the warnings. *)
+  Alcotest.(check int) "parse agrees" 3 (List.length (G2o.parse contents));
+  (* The surviving entries still build a solvable graph. *)
+  let g = G2o.to_graph entries in
+  Alcotest.(check int) "variables" 2 (Graph.num_variables g)
+
+let test_g2o_errors_carry_line_numbers () =
+  let contents = "VERTEX_SE2 0 0 0 0\nEDGE_SE2 0 1 1 2" in
+  match G2o.parse contents with
+  | _ -> Alcotest.fail "malformed edge accepted"
+  | exception G2o.Parse_error msg ->
+      Alcotest.(check bool) ("mentions line 2: " ^ msg) true (contains msg "line 2:")
+
+(* ---------- measurement streams ---------- *)
+
+let test_stream_structure () =
+  let s = Stream.of_g2o ~name:"tiny" (G2o.parse sample_g2o) in
+  Alcotest.(check int) "ticks" 3 (Stream.length s);
+  Alcotest.(check int) "variables" 3 (Stream.total_variables s);
+  (* The gauge anchor rides tick 0; each edge arrives with its later
+     endpoint, so tick 2 carries both edges incident on x2. *)
+  Alcotest.(check int) "tick 0 factors" 1 (List.length s.Stream.ticks.(0).Stream.tfactors);
+  Alcotest.(check int) "tick 1 factors" 1 (List.length s.Stream.ticks.(1).Stream.tfactors);
+  Alcotest.(check int) "tick 2 factors" 2 (List.length s.Stream.ticks.(2).Stream.tfactors);
+  let g = Stream.prefix_graph s ~n:3 and gb = G2o.to_graph (G2o.parse sample_g2o) in
+  Alcotest.(check int) "prefix vars = batch" (Graph.num_variables gb) (Graph.num_variables g);
+  Alcotest.(check int) "prefix factors = batch" (Graph.num_factors gb) (Graph.num_factors g)
+
+let test_stream_rejects_dangling_edge () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Stream.of_g2o ~name:"bad"
+            (G2o.parse "VERTEX_SE2 0 0 0 0\nEDGE_SE2 0 7 1 0 0 100 0 0 100 0 400"));
+       false
+     with Invalid_argument _ -> true)
+
+let gn_params = { Smoother.relin_threshold = 1e-5; max_relin_passes = 10; window = None }
+
+(* The differential harness of the streaming tentpole: replay a stream
+   through the incremental smoother and, at a few prefixes, check every
+   live estimate against a batch Gauss-Newton solve of the same prefix
+   graph. *)
+let check_stream_matches_batch_gn name (s : Stream.t) =
+  let sm = Smoother.create ~params:gn_params () in
+  let len = Stream.length s in
+  let prefixes = List.sort_uniq compare [ len / 3; 2 * len / 3; len ] in
+  let applied = ref 0 in
+  List.iter
+    (fun n ->
+      for k = !applied to n - 1 do
+        ignore (Stream.apply_tick sm s.Stream.ticks.(k));
+        Smoother.update sm
+      done;
+      applied := n;
+      let g = Stream.prefix_graph s ~n in
+      let report = Optimizer.optimize g in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%d batch converged" name n)
+        true report.Optimizer.converged;
+      let worst = ref 0.0 in
+      List.iter
+        (fun v ->
+          let d = Vec.norm (Var.local (Graph.value g v) (Smoother.estimate sm v)) in
+          if d > !worst then worst := d)
+        (Smoother.live_variables sm);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s prefix %d within 1e-6 (worst %.2e)" name n !worst)
+        true (!worst < 1e-6))
+    prefixes
+
+let test_stream_manhattan_matches_gn () =
+  check_stream_matches_batch_gn "manhattan"
+    (Stream.manhattan ~cfg:{ Datasets.default_config with Datasets.steps = 60 } ())
+
+let test_stream_loopy_matches_gn () =
+  check_stream_matches_batch_gn "loopy"
+    (Stream.loopy ~cfg:{ Stream.default_loopy_config with Stream.laps = 2 } ())
+
+let test_stream_affected_stays_small () =
+  (* The incremental claim: on a long mostly-chain stream the median
+     re-eliminated set stays below 10% of the live variables. *)
+  let s = Stream.manhattan ~cfg:{ Datasets.default_config with Datasets.steps = 150 } () in
+  let sm = Smoother.create ~params:gn_params () in
+  let fractions = ref [] in
+  Array.iter
+    (fun tk ->
+      ignore (Stream.apply_tick sm tk);
+      Smoother.update sm;
+      let st = Smoother.stats sm in
+      if st.Smoother.total_variables > 20 then
+        fractions :=
+          (float_of_int st.Smoother.affected_last /. float_of_int st.Smoother.total_variables)
+          :: !fractions)
+    s.Stream.ticks;
+  let med = Stats.median (Array.of_list !fractions) in
+  Alcotest.(check bool) (Printf.sprintf "median affected %.1f%%" (100.0 *. med)) true (med <= 0.10)
 
 (* ---------- closed-loop MPC ---------- *)
 
@@ -293,6 +415,16 @@ let () =
           Alcotest.test_case "roundtrip 3d" `Quick test_g2o_roundtrip_3d;
           Alcotest.test_case "solves sphere export" `Slow test_g2o_solves_sphere_export;
           Alcotest.test_case "rejects malformed" `Quick test_g2o_rejects_malformed;
+          Alcotest.test_case "tolerates foreign records" `Quick test_g2o_tolerates_foreign_records;
+          Alcotest.test_case "errors carry line numbers" `Quick test_g2o_errors_carry_line_numbers;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "structure" `Quick test_stream_structure;
+          Alcotest.test_case "dangling edge" `Quick test_stream_rejects_dangling_edge;
+          Alcotest.test_case "manhattan matches GN" `Slow test_stream_manhattan_matches_gn;
+          Alcotest.test_case "loopy matches GN" `Slow test_stream_loopy_matches_gn;
+          Alcotest.test_case "affected stays small" `Slow test_stream_affected_stays_small;
         ] );
       ( "mpc",
         [

@@ -547,6 +547,200 @@ let test_incremental_unknown_var () =
        false
      with Invalid_argument _ -> true)
 
+(* ---------- Nonlinear incremental smoother ---------- *)
+
+let relin_off = { Smoother.relin_threshold = 0.0; max_relin_passes = 0; window = None }
+
+let zero2 = Var.Vector (Vec.create 2)
+
+let test_smoother_linear_exact () =
+  (* Relinearization and marginalization off: after every update the
+     smoother's deltas must equal a batch elimination of the same
+     factors (fed in insertion order) — bit-identical stacking. *)
+  let rng = Rng.of_int 31 in
+  let sm = Smoother.create ~params:relin_off () in
+  let fs = ref [] in
+  let names = ref [ "x0" ] in
+  let step f =
+    Smoother.add_factor sm f;
+    fs := !fs @ [ f ]
+  in
+  Smoother.add_variable sm "x0" zero2;
+  step (vector_prior ~name:"p" ~var:"x0" ~z:[| 0.2; -0.4 |] ~sigma:0.5);
+  Smoother.update sm;
+  for i = 1 to 9 do
+    let v = Printf.sprintf "x%d" i in
+    Smoother.add_variable sm v zero2;
+    names := !names @ [ v ];
+    let z = Array.init 2 (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+    step (vector_between ~name:(Printf.sprintf "o%d" i) ~a:(Printf.sprintf "x%d" (i - 1)) ~b:v ~z ~sigma:0.3);
+    if i = 7 then step (vector_between ~name:"l7" ~a:"x3" ~b:"x7" ~z:[| 0.1; 0.1 |] ~sigma:0.4);
+    if i = 9 then step (vector_between ~name:"l9" ~a:"x0" ~b:"x9" ~z:[| 0.5; 0.5 |] ~sigma:0.4);
+    Smoother.update sm;
+    let linearized = List.map (fun f -> Linear_system.of_factor f (fun _ -> zero2)) !fs in
+    let batch = Elimination.solve ~order:!names ~dims:(fun _ -> 2) linearized in
+    List.iter
+      (fun v ->
+        check_vec
+          (Printf.sprintf "step %d %s" i v)
+          ~eps:0.0 (List.assoc v batch) (Smoother.delta sm v))
+      !names
+  done
+
+let test_smoother_marginalization_linear_exact () =
+  (* Sliding window on a linear chain with short loop closures: the
+     surviving variables' solution must match the full batch solve —
+     marginalization is exact in the linear case. *)
+  let rng = Rng.of_int 97 in
+  let window = 8 in
+  let params = { Smoother.relin_threshold = 0.0; max_relin_passes = 0; window = Some window } in
+  let sm = Smoother.create ~params () in
+  let fs = ref [] in
+  let names = ref [ "x0" ] in
+  let step f =
+    Smoother.add_factor sm f;
+    fs := !fs @ [ f ]
+  in
+  Smoother.add_variable sm "x0" zero2;
+  step (vector_prior ~name:"p" ~var:"x0" ~z:[| 0.1; 0.3 |] ~sigma:0.5);
+  Smoother.update sm;
+  let n = 30 in
+  for i = 1 to n - 1 do
+    let v = Printf.sprintf "x%d" i in
+    Smoother.add_variable sm v zero2;
+    names := !names @ [ v ];
+    let z = Array.init 2 (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+    step (vector_between ~name:(Printf.sprintf "o%d" i) ~a:(Printf.sprintf "x%d" (i - 1)) ~b:v ~z ~sigma:0.3);
+    if i mod 5 = 0 && i >= 4 then
+      step (vector_between ~name:(Printf.sprintf "l%d" i) ~a:(Printf.sprintf "x%d" (i - 4)) ~b:v ~z:[| 0.05; -0.05 |] ~sigma:0.4);
+    Smoother.update sm;
+    Alcotest.(check bool)
+      "window bound" true
+      (List.length (Smoother.live_variables sm) <= window)
+  done;
+  let linearized = List.map (fun f -> Linear_system.of_factor f (fun _ -> zero2)) !fs in
+  let batch = Elimination.solve ~order:!names ~dims:(fun _ -> 2) linearized in
+  List.iter
+    (fun v -> check_vec ("survivor " ^ v) ~eps:1e-9 (List.assoc v batch) (Smoother.delta sm v))
+    (Smoother.live_variables sm);
+  let s = Smoother.stats sm in
+  Alcotest.(check int) "marginalized count" (n - window) s.Smoother.marginalized;
+  (* Retired variables keep their last estimate and reject new factors. *)
+  Alcotest.(check bool) "x0 retired" true (Smoother.is_retired sm "x0");
+  ignore (Smoother.estimate sm "x0");
+  Alcotest.(check bool) "retired factor rejected" true
+    (try
+       Smoother.add_factor sm
+         (vector_between ~name:"late" ~a:"x0" ~b:(Printf.sprintf "x%d" (n - 1)) ~z:[| 0.0; 0.0 |] ~sigma:1.0);
+       false
+     with Smoother.Retired v -> v = "x0");
+  Alcotest.(check int)
+    "all_estimates covers everything" n
+    (List.length (Smoother.all_estimates sm))
+
+let test_smoother_relin_matches_gauss_newton () =
+  (* Pose2 square loop with noisy odometry and a loop closure: with a
+     tight relinearization threshold the incremental estimate must
+     land on the batch Gauss-Newton fixed point. *)
+  let rng = Rng.of_int 1234 in
+  let n = 12 in
+  let truth =
+    Array.init n (fun i ->
+        let side = i / 3 in
+        let along = float_of_int (i mod 3) in
+        let theta = float_of_int side *. (Float.pi /. 2.0) in
+        let x, y =
+          match side with
+          | 0 -> (along, 0.0)
+          | 1 -> (3.0, along)
+          | 2 -> (3.0 -. along, 3.0)
+          | _ -> (0.0, 3.0 -. along)
+        in
+        Pose2.create ~theta ~t:[| x; y |])
+  in
+  let noisy_between a b =
+    let z = Pose2.ominus truth.(b) truth.(a) in
+    Pose2.retract z
+      (Array.init 3 (fun _ -> Rng.uniform rng ~lo:(-0.02) ~hi:0.02))
+  in
+  let params = { Smoother.relin_threshold = 1e-5; max_relin_passes = 10; window = None } in
+  let sm = Smoother.create ~params () in
+  let g = Graph.create () in
+  let vname i = Printf.sprintf "x%d" i in
+  let add_both i value =
+    Smoother.add_variable sm (vname i) value;
+    Graph.add_variable g (vname i) value
+  in
+  let factor_both f =
+    Smoother.add_factor sm f;
+    Graph.add_factor g f
+  in
+  add_both 0 (Var.Pose2 truth.(0));
+  factor_both (Orianna_factors.Pose_factors.prior2 ~name:"p0" ~var:(vname 0) ~z:truth.(0) ~sigma:0.01);
+  Smoother.update sm;
+  for i = 1 to n - 1 do
+    let z = noisy_between (i - 1) i in
+    (* Dead-reckoned initial estimate. *)
+    let init =
+      match Smoother.estimate sm (vname (i - 1)) with
+      | Var.Pose2 prev -> Var.Pose2 (Pose2.oplus prev z)
+      | _ -> assert false
+    in
+    add_both i init;
+    factor_both
+      (Orianna_factors.Pose_factors.between2
+         ~name:(Printf.sprintf "o%d" i)
+         ~a:(vname (i - 1)) ~b:(vname i) ~z ~sigma:0.05);
+    if i = n - 1 then
+      factor_both
+        (Orianna_factors.Pose_factors.between2 ~name:"loop" ~a:(vname 0) ~b:(vname i)
+           ~z:(noisy_between 0 i) ~sigma:0.05);
+    Smoother.update sm
+  done;
+  let report = Optimizer.optimize g in
+  Alcotest.(check bool) "batch converged" true report.Optimizer.converged;
+  List.iter
+    (fun v ->
+      let d = Var.local (Graph.value g v) (Smoother.estimate sm v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s within 1e-6 of GN (|d| = %g)" v (Vec.norm d))
+        true
+        (Vec.norm d < 1e-6))
+    (Smoother.live_variables sm);
+  let s = Smoother.stats sm in
+  Alcotest.(check bool) "some relinearization happened" true (s.Smoother.relinearized_last >= 0)
+
+let test_smoother_obs_counters () =
+  let module Obs = Orianna_obs.Obs in
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:Obs.disable (fun () ->
+      let sm = Smoother.create ~params:relin_off () in
+      Smoother.add_variable sm "a" zero2;
+      Smoother.add_factor sm (vector_prior ~name:"p" ~var:"a" ~z:[| 1.0; 0.0 |] ~sigma:0.5);
+      Smoother.update sm;
+      Smoother.add_variable sm "b" zero2;
+      Smoother.add_factor sm (vector_between ~name:"ab" ~a:"a" ~b:"b" ~z:[| 1.0; 1.0 |] ~sigma:0.3);
+      Smoother.update sm;
+      Alcotest.(check int) "updates counter" 2 (Obs.counter "fg.incremental.updates");
+      Alcotest.(check bool) "affected counter" true (Obs.counter "fg.incremental.affected" >= 3);
+      Alcotest.(check bool) "affected fraction histogram" true
+        (List.mem_assoc "fg.incremental.affected_fraction" (Obs.histograms ())))
+
+let test_smoother_duplicate_and_unknown () =
+  let sm = Smoother.create () in
+  Smoother.add_variable sm "x" zero2;
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       Smoother.add_variable sm "x" zero2;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown rejected" true
+    (try
+       Smoother.add_factor sm (vector_prior ~name:"p" ~var:"ghost" ~z:[| 0.0; 0.0 |] ~sigma:1.0);
+       false
+     with Invalid_argument _ -> true)
+
 (* ---------- Factor validation ---------- *)
 
 let test_factor_sigma_mismatch () =
@@ -634,5 +828,15 @@ let () =
           Alcotest.test_case "loop closure" `Quick test_incremental_loop_closure_reaches_root;
           Alcotest.test_case "duplicate var" `Quick test_incremental_duplicate_var;
           Alcotest.test_case "unknown var" `Quick test_incremental_unknown_var;
+        ] );
+      ( "smoother",
+        [
+          Alcotest.test_case "linear exact" `Quick test_smoother_linear_exact;
+          Alcotest.test_case "marginalization linear exact" `Quick
+            test_smoother_marginalization_linear_exact;
+          Alcotest.test_case "relin matches Gauss-Newton" `Quick
+            test_smoother_relin_matches_gauss_newton;
+          Alcotest.test_case "obs counters" `Quick test_smoother_obs_counters;
+          Alcotest.test_case "duplicate and unknown" `Quick test_smoother_duplicate_and_unknown;
         ] );
     ]

@@ -309,6 +309,85 @@ let prop_jitter_always_detected =
           | Error _ -> true)
         all_policies)
 
+(* ---------- incremental smoothing ---------- *)
+
+(* Seed plus a tick count whose shrinker trims the stream: a failure
+   reports the shortest diverging prefix of the reproducible stream. *)
+let stream_arb =
+  QCheck.(
+    make
+      Gen.(pair (int_range 0 1_000_000) (int_range 3 24))
+      ~print:Print.(pair int int)
+      ~shrink:Shrink.(pair nil int))
+
+let relin_off = { Smoother.relin_threshold = 0.0; max_relin_passes = 0; window = None }
+
+(* Replay [feed] tick by tick through a relinearization-free smoother
+   and check its delta against one batch elimination over the same
+   factors at the same linearization points. *)
+let smoother_matches_batch ~eps (g : Graph.t) feed =
+  let sm = Smoother.create ~params:relin_off () in
+  feed sm;
+  let order = Smoother.live_variables sm in
+  let batch = Elimination.solve ~order ~dims:(Graph.dims g) (Graph.linearize g) in
+  List.for_all (fun v -> Vec.equal ~eps (List.assoc v batch) (Smoother.delta sm v)) order
+
+let prop_smoother_pose3_matches_batch =
+  QCheck.Test.make ~name:"smoother: Pose3 chain+loops incremental = batch elimination" ~count:40
+    stream_arb (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let g = Graph.create () in
+      let vname i = Printf.sprintf "x%d" i in
+      let poses = Array.init n (fun _ -> Pose3.random rng ~scale:1.0) in
+      let ticks = Array.make n [] in
+      let pose_factor = Orianna_factors.Pose_factors.between3 in
+      ticks.(0) <-
+        [
+          Orianna_factors.Pose_factors.prior3 ~name:"p0" ~var:(vname 0) ~z:poses.(0) ~sigma:0.1;
+        ];
+      for i = 1 to n - 1 do
+        let z = Pose3.retract (Pose3.ominus poses.(i) poses.(i - 1))
+                  (Array.init 6 (fun _ -> Rng.uniform rng ~lo:(-0.05) ~hi:0.05)) in
+        ticks.(i) <-
+          [ pose_factor ~name:(Printf.sprintf "o%d" i) ~a:(vname (i - 1)) ~b:(vname i) ~z ~sigma:0.2 ];
+        (* A loop closure back to a random earlier pose, now and then. *)
+        if i >= 2 && Rng.int rng 3 = 0 then begin
+          let a = Rng.int rng (i - 1) in
+          let z = Pose3.ominus poses.(i) poses.(a) in
+          ticks.(i) <-
+            ticks.(i)
+            @ [ pose_factor ~name:(Printf.sprintf "c%d-%d" a i) ~a:(vname a) ~b:(vname i) ~z ~sigma:0.3 ]
+        end
+      done;
+      for i = 0 to n - 1 do
+        Graph.add_variable g (vname i) (Var.Pose3 poses.(i));
+        List.iter (Graph.add_factor g) ticks.(i)
+      done;
+      smoother_matches_batch ~eps:1e-9 g (fun sm ->
+          for i = 0 to n - 1 do
+            Smoother.add_variable sm (vname i) (Var.Pose3 poses.(i));
+            List.iter (Smoother.add_factor sm) ticks.(i);
+            Smoother.update sm
+          done))
+
+let prop_smoother_g2o_matches_batch =
+  QCheck.Test.make ~name:"smoother: g2o-driven stream incremental = batch elimination" ~count:25
+    stream_arb (fun (seed, n) ->
+      let module Stream = Orianna_apps.Stream in
+      let module Datasets = Orianna_apps.Datasets in
+      let s =
+        Stream.manhattan
+          ~cfg:{ Datasets.default_config with Datasets.steps = n; seed = 1 + seed }
+          ()
+      in
+      let g = Stream.prefix_graph s ~n:(Stream.length s) in
+      smoother_matches_batch ~eps:1e-9 g (fun sm ->
+          Array.iter
+            (fun tk ->
+              ignore (Stream.apply_tick sm tk);
+              Smoother.update sm)
+            s.Stream.ticks))
+
 let prop_robust_weight_bounded =
   QCheck.Test.make ~name:"robust: weights in [0,1], 1 at zero residual" ~count:200
     QCheck.(make Gen.(pair (float_bound_exclusive 50.0) (float_range 0.1 10.0))
@@ -341,6 +420,8 @@ let () =
         prop_encode_roundtrip_semantics;
         prop_degraded_schedule_invariants;
         prop_jitter_always_detected;
+        prop_smoother_pose3_matches_batch;
+        prop_smoother_g2o_matches_batch;
         prop_robust_weight_bounded;
       ]
   in

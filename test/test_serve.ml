@@ -384,6 +384,137 @@ let test_obs_counters_single_source () =
   Alcotest.(check int) "Obs serve.deadline_miss = report.deadline_misses" r.Serve.deadline_misses
     miss_counter
 
+(* ---------- streaming sessions ---------- *)
+
+module Stream = Orianna_apps.Stream
+module Datasets = Orianna_apps.Datasets
+
+let tiny_stream = Stream.manhattan ~cfg:{ Datasets.default_config with Datasets.steps = 11 } ()
+
+let mission ?(priority = Request.Normal) ?(start_s = 0.0) ?(period_s = 1e-4) mid stream =
+  { Session.mid; stream; start_s; period_s; priority; deadline_slack_s = 50e-3 }
+
+let session_params = { Session.default_params with Session.template_ticks = 6 }
+
+let test_sessions_complete_and_deterministic () =
+  let run () =
+    let sess =
+      Session.create ~params:session_params ~opt_level:1
+        ~missions:[ mission 0 tiny_stream; mission ~start_s:2e-5 1 tiny_stream ]
+        ()
+    in
+    let t = trace ~apps:[ "MobileRobot" ] ~seed:42 ~n:20 () in
+    let r = Serve.run ~config:(small_config ~queue_capacity:64 ()) ~sessions:sess ~trace:t () in
+    (r, Json.to_string (Serve.report_json r))
+  in
+  let r, j1 = run () in
+  let _, j2 = run () in
+  Alcotest.(check string) "bit-for-bit across runs" j1 j2;
+  (* Solves and ticks both drain: 20 solves + 2 x 12 ticks. *)
+  let len = Stream.length tiny_stream in
+  Alcotest.(check int) "everything admitted" (20 + (2 * len)) r.Serve.admitted;
+  Alcotest.(check int) "everything completed" r.Serve.admitted r.Serve.completed;
+  (* Both tenants replay the same stream and share one compiled
+     template; the solves add exactly one more compile. *)
+  Alcotest.(check int) "one compile per program" 2 r.Serve.cache.Cache.misses;
+  match r.Serve.sessions with
+  | None -> Alcotest.fail "session report missing"
+  | Some s ->
+      Alcotest.(check int) "two sessions" 2 (List.length s.Session.per_session);
+      Alcotest.(check int) "both resident at the end" 2 s.Session.active;
+      Alcotest.(check int) "every tick folded exactly once" (2 * len) s.Session.ticks_total;
+      Alcotest.(check int) "no restarts" 0 s.Session.restarts_total;
+      List.iter
+        (fun ss ->
+          Alcotest.(check int)
+            (Printf.sprintf "session %d live variables" ss.Session.sid)
+            len ss.Session.live_variables)
+        s.Session.per_session
+
+let test_zero_sessions_report_unchanged () =
+  (* Without a session layer the report must not even mention one: the
+     JSON shape (and the whole DES) is that of the session-free
+     runtime. *)
+  let t = trace ~seed:42 ~n:30 () in
+  let r = Serve.run ~config:(small_config ()) ~trace:t () in
+  Alcotest.(check bool) "no sessions field in report" true (r.Serve.sessions = None);
+  let j = Serve.report_json r in
+  Alcotest.(check bool) "no sessions key in JSON" true (Json.member "sessions" j = None)
+
+let test_tick_without_session_layer_unservable () =
+  let sess = Session.create ~params:session_params ~opt_level:1 ~missions:[ mission 0 tiny_stream ] () in
+  let ticks = Session.mission_requests sess in
+  Alcotest.(check bool) "tick ids above the solve range" true
+    (List.for_all (fun (r : Request.t) -> r.Request.id >= 1_000_000) ticks);
+  let r = Serve.run ~config:(small_config ()) ~trace:ticks () in
+  Alcotest.(check int) "nothing completes" 0 r.Serve.completed;
+  List.iter
+    (fun (_, why) ->
+      Alcotest.(check string) "structured rejection" "unservable" (Serve.rejection_name why))
+    r.Serve.rejections
+
+let test_session_lru_eviction_and_restart () =
+  (* Capacity one with two interleaved tenants: every switch evicts the
+     other session, whose next tick restarts it from the top of its
+     stream.  Work is refolded, never lost. *)
+  let sess =
+    Session.create
+      ~params:{ session_params with Session.max_sessions = 1; idle_timeout_s = 0.0 }
+      ~opt_level:1
+      ~missions:[ mission 0 tiny_stream; mission ~start_s:5e-5 1 tiny_stream ]
+      ()
+  in
+  let r = Serve.run ~config:(small_config ()) ~sessions:sess ~trace:[] () in
+  Alcotest.(check int) "all ticks complete" (2 * Stream.length tiny_stream) r.Serve.completed;
+  match r.Serve.sessions with
+  | None -> Alcotest.fail "session report missing"
+  | Some s ->
+      Alcotest.(check int) "one resident at the end" 1 s.Session.active;
+      Alcotest.(check bool) "evictions happened" true (s.Session.evictions_total > 0);
+      Alcotest.(check bool) "restarts happened" true (s.Session.restarts_total > 0);
+      Alcotest.(check bool) "restarts refold earlier ticks" true
+        (s.Session.ticks_total > 2 * Stream.length tiny_stream)
+
+let test_session_idle_expiry () =
+  (* Tick spacing beyond the idle timeout: the session expires between
+     ticks and restarts on the next one. *)
+  let sess =
+    Session.create
+      ~params:{ session_params with Session.idle_timeout_s = 1e-4 }
+      ~opt_level:1
+      ~missions:[ mission ~period_s:1e-3 0 tiny_stream ]
+      ()
+  in
+  let r = Serve.run ~config:(small_config ()) ~sessions:sess ~trace:[] () in
+  Alcotest.(check int) "all ticks complete" (Stream.length tiny_stream) r.Serve.completed;
+  match r.Serve.sessions with
+  | None -> Alcotest.fail "session report missing"
+  | Some s ->
+      Alcotest.(check bool) "expiries happened" true (s.Session.expiries_total > 0);
+      Alcotest.(check bool) "each expiry caused a restart" true
+        (s.Session.restarts_total >= s.Session.expiries_total - 1)
+
+let test_session_windowed_smoother () =
+  (* A sliding window inside the session layer: live variables stay
+     bounded while marginalization folds the rest out. *)
+  let sess =
+    Session.create
+      ~params:{ session_params with Session.window = Some 6 }
+      ~opt_level:1
+      ~missions:[ mission 0 tiny_stream ]
+      ()
+  in
+  let r = Serve.run ~config:(small_config ()) ~sessions:sess ~trace:[] () in
+  Alcotest.(check int) "all ticks complete" (Stream.length tiny_stream) r.Serve.completed;
+  match r.Serve.sessions with
+  | None -> Alcotest.fail "session report missing"
+  | Some s ->
+      let ss = List.hd s.Session.per_session in
+      Alcotest.(check bool) "window bounds the live set" true (ss.Session.live_variables <= 6);
+      Alcotest.(check int) "the rest were marginalized"
+        (Stream.length tiny_stream - ss.Session.live_variables)
+        ss.Session.marginalized
+
 (* ---------- steady state ---------- *)
 
 let test_single_app_hit_rate () =
@@ -426,6 +557,16 @@ let () =
           Alcotest.test_case "breaker state machine" `Quick test_breaker_state_machine;
           Alcotest.test_case "breaker trips on transients" `Slow test_breaker_opens_on_transients;
           Alcotest.test_case "Obs counters single-sourced" `Slow test_obs_counters_single_source;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "complete + deterministic" `Slow test_sessions_complete_and_deterministic;
+          Alcotest.test_case "zero sessions unchanged" `Slow test_zero_sessions_report_unchanged;
+          Alcotest.test_case "tick without layer unservable" `Quick
+            test_tick_without_session_layer_unservable;
+          Alcotest.test_case "LRU eviction restarts" `Slow test_session_lru_eviction_and_restart;
+          Alcotest.test_case "idle expiry" `Slow test_session_idle_expiry;
+          Alcotest.test_case "windowed smoother" `Slow test_session_windowed_smoother;
         ] );
       ( "conservation",
         [
