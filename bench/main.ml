@@ -340,16 +340,17 @@ let emit_isa_opt_bench () =
    with a structural-equality check that both runs produced the same
    result — the determinism contract, enforced as part of the perf
    artifact.  Emitted to BENCH_par.json.  CI gates the determinism
-   check and (via --repeat/--check) the noise-aware wall-clock
-   regression band; the speedup table itself is informational — the
-   pool currently regresses on these sweeps (see ROADMAP), and gating
-   a number we know is wrong would only freeze the bug in place. *)
+   check, the noise-aware wall-clock regression band, and (on runners
+   with at least [par_jobs] cores) a hard speedup floor per workload —
+   the work-stealing pool is expected to be genuinely fast now, so a
+   sweep that stops scaling is a regression, not a known wart. *)
+let par_jobs = 4
+
 let emit_par_bench ?(repeat = 1) () =
   let module Json = Orianna_obs.Json in
   let module Pool = Orianna_par.Pool in
   let module Campaign = Orianna_fault.Campaign in
   let module Pipeline = Orianna.Pipeline in
-  let par_jobs = 4 in
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -391,7 +392,7 @@ let emit_par_bench ?(repeat = 1) () =
       ( "app_matrix",
         fun () ->
           digest
-            (Pool.parallel_map_list
+            (Pool.parallel_map_list ~chunk:1
                (fun ((a : App.t), policy) ->
                  let graphs = a.App.graphs (Rng.of_int 42) in
                  let p = Compile.compile_application graphs in
@@ -485,6 +486,12 @@ let calibrate () =
    convoys), not 20% drift. *)
 let bench_tolerance = 1.0
 
+(* Minimum parallel speedup the [par_jobs]-lane pool must deliver on
+   every swept workload.  Enforced only on runners with at least
+   [par_jobs] cores: on a smaller machine the pool cannot physically
+   scale, so the floor would measure the container, not the code. *)
+let bench_speedup_floor = 3.0
+
 let record_baseline ~repeat path =
   let module Json = Orianna_obs.Json in
   let calib = calibrate () in
@@ -497,6 +504,7 @@ let record_baseline ~repeat path =
             ("meta", bench_meta ());
             ("calibration_s", Json.Num calib);
             ("tolerance", Json.Num bench_tolerance);
+            ("speedup_floor", Json.Num bench_speedup_floor);
             ( "workloads",
               Json.Obj
                 (List.map
@@ -529,16 +537,34 @@ let check_baseline ~repeat path =
   let tolerance =
     match Json.member "tolerance" baseline with Some (Json.Num t) -> t | _ -> bench_tolerance
   in
+  let floor =
+    match Json.member "speedup_floor" baseline with
+    | Some (Json.Num f) -> f
+    | _ -> bench_speedup_floor
+  in
   let calib = calibrate () in
   let timings = emit_par_bench ~repeat () in
   Printf.printf "Bench regression check vs %s (calibration %.4f s baseline / %.4f s now):\n"
     path base_calib calib;
+  let cores = Domain.recommended_domain_count () in
+  let gate_speedup = cores >= par_jobs in
+  if not gate_speedup then
+    Printf.printf "  (speedup floor %.1fx skipped: %d core(s) < %d jobs)\n" floor cores par_jobs;
   let failures = ref 0 in
   List.iter
     (fun (name, seq_s, par_s, identical) ->
       if not identical then begin
         Printf.printf "  %-16s FAIL: sequential and parallel results differ\n" name;
         incr failures
+      end;
+      if gate_speedup then begin
+        let speedup = seq_s /. par_s in
+        if speedup < floor then begin
+          Printf.printf "  %-16s FAIL speedup: %.2fx below the %.1fx floor at %d jobs\n" name
+            speedup floor par_jobs;
+          incr failures
+        end
+        else Printf.printf "  %-16s ok   speedup: %.2fx >= %.1fx\n" name speedup floor
       end;
       match Json.member "workloads" baseline with
       | Some wl -> (

@@ -165,61 +165,26 @@ let generate_cmd =
     let frame = Pipeline.frame app ~seed in
     let budget = { Resource.zc706 with Resource.dsp = dsp } in
     let result = Pipeline.generate ~budget ~objective frame.Pipeline.program in
-    let move_name = function
-      | None -> "initial"
-      | Some (Dse.Add_unit c) -> "+" ^ Unit_model.class_name c
-      | Some Dse.Widen_qr -> "widen-qr"
-    in
     if json then begin
       let module J = Orianna_obs.Json in
-      let accel_json (a : Accel.t) =
-        J.Obj
-          [
-            ("name", J.Str a.Accel.name);
-            ( "counts",
-              J.Obj
-                (List.map
-                   (fun (cls, n) -> (Unit_model.class_name cls, J.int n))
-                   a.Accel.counts) );
-            ("qr_rotators", J.int a.Accel.qr_rotators);
-          ]
+      let meta =
+        [
+          ("command", J.Str "generate");
+          ("app", J.Str app.App.name);
+          ("seed", J.int seed);
+          ("dsp", J.int dsp);
+          ( "objective",
+            J.Str (match objective with `Latency -> "latency" | `Energy -> "energy") );
+        ]
+        @ List.map (fun (k, v) -> (k, J.Str v)) (std_meta [])
       in
-      print_endline
-        (J.to_string
-           (J.Obj
-              [
-                ( "meta",
-                  J.Obj
-                    ([
-                       ("command", J.Str "generate");
-                       ("app", J.Str app.App.name);
-                       ("seed", J.int seed);
-                       ("dsp", J.int dsp);
-                       ( "objective",
-                         J.Str
-                           (match objective with `Latency -> "latency" | `Energy -> "energy") );
-                     ]
-                    @ List.map (fun (k, v) -> (k, J.Str v)) (std_meta [])) );
-                ( "trace",
-                  J.Arr
-                    (List.map
-                       (fun (s : Dse.step) ->
-                         J.Obj
-                           [
-                             ("move", J.Str (move_name s.Dse.added));
-                             ("objective", J.Num s.Dse.objective);
-                             ("dsp", J.int s.Dse.resources.Resource.dsp);
-                           ])
-                       result.Dse.trace) );
-                ("best", accel_json result.Dse.best);
-                ("objective", J.Num result.Dse.objective);
-              ]))
+      print_endline (J.to_string (Dse.result_json ~meta result))
     end
     else begin
       List.iter
         (fun (s : Dse.step) ->
           let what =
-            match s.Dse.added with None -> "(initial)" | some -> move_name some
+            match s.Dse.added with None -> "(initial)" | some -> Dse.move_name some
           in
           Format.printf "  %-12s objective %.4g  (%a)@." what s.Dse.objective Resource.pp
             s.Dse.resources)
@@ -439,20 +404,12 @@ let profile_cmd =
                    accounting. With $(b,--trace), each pool domain gets its own Perfetto track.")
   in
   (* --par: same workload (the generate DSE sweep) timed sequentially
-     and at N lanes.  With [t_seq]/[t_par] wall clocks, [S*] the time
-     outside pool regions, [B*] the summed lane busy time, [O] pool
-     overhead (dispatch + join spin) and [I] idle lane-time inside
-     parallel regions, the gap to perfect scaling decomposes exactly:
-
-       t_par - t_seq/N = (S_par - S_seq/N)        serial sections
-                       + (B_par - B_seq)/N        work inflation
-                       + O/N                      pool overhead
-                       + I/N                      idle (imbalance)
-
-     so the report accounts for 100% of the gap by construction
-     (modulo clock granularity). *)
+     and at N lanes; [Orianna_par.Gap] splits the gap to perfect
+     scaling into serial / inflation / overhead / idle components that
+     account for 100% of it by construction. *)
   let run_par app seed njobs opt_level json trace report =
     let module Pool = Orianna_par.Pool in
+    let module Gap = Orianna_par.Gap in
     let module J = Orianna_obs.Json in
     Obs.enable ();
     let frame = Obs.with_span "compile" (fun () -> Pipeline.frame ~opt_level app ~seed) in
@@ -471,29 +428,17 @@ let profile_cmd =
     if seq_result.Dse.best <> par_result.Dse.best then
       Format.eprintf "warning: sequential and parallel DSE disagree (determinism bug)@.";
     let n = float_of_int njobs in
-    let region records = List.fold_left (fun acc (r : Pool.run_record) ->
-        acc +. (r.Pool.done_s -. r.Pool.submit_s)) 0.0 records
-    in
     let seq_sum = Pool.summarize seq_records and par_sum = Pool.summarize par_records in
-    let busy (s : Pool.summary) =
-      Array.fold_left (fun acc (t : Pool.lane_totals) -> acc +. t.Pool.tbusy_s) 0.0 s.Pool.per_lane
-    in
-    let dispatch (s : Pool.summary) =
-      Array.fold_left (fun acc (t : Pool.lane_totals) -> acc +. t.Pool.tdispatch_s) 0.0
-        s.Pool.per_lane
-    in
-    let b_seq = busy seq_sum and b_par = busy par_sum in
-    let r_par = region par_records and r_seq = region seq_records in
-    let s_par = Float.max 0.0 (t_par -. r_par) and s_seq = Float.max 0.0 (t_seq -. r_seq) in
-    let overhead = dispatch par_sum +. par_sum.Pool.join_spin_total_s in
-    let idle = Float.max 0.0 ((n *. r_par) -. b_par -. overhead) in
-    let gap = t_par -. (t_seq /. n) in
-    let serial_c = s_par -. (s_seq /. n) in
-    let inflation_c = (b_par -. b_seq) /. n in
-    let overhead_c = overhead /. n in
-    let idle_c = idle /. n in
-    let accounted = serial_c +. inflation_c +. overhead_c +. idle_c in
-    let speedup = if t_par > 0.0 then t_seq /. t_par else 0.0 in
+    let g = Gap.decompose ~jobs:njobs ~t_seq ~t_par ~seq:seq_records ~par:par_records in
+    let r_par = g.Gap.region_par_s and r_seq = g.Gap.region_seq_s in
+    let s_seq = Float.max 0.0 (t_seq -. r_seq) in
+    let gap = g.Gap.gap_s in
+    let serial_c = g.Gap.serial_s in
+    let inflation_c = g.Gap.inflation_s in
+    let overhead_c = g.Gap.overhead_s in
+    let idle_c = g.Gap.idle_s in
+    let accounted = g.Gap.accounted_s in
+    let speedup = g.Gap.speedup in
     let gc_of (s : Pool.summary) =
       Array.fold_left
         (fun (mw, mc, jc) (t : Pool.lane_totals) ->
@@ -518,34 +463,20 @@ let profile_cmd =
     let par_json =
       ( "par",
         J.Obj
-          [
-            ("jobs", J.int njobs);
-            ("t_seq_s", J.Num t_seq);
-            ("t_par_s", J.Num t_par);
-            ("speedup", J.Num speedup);
-            ("efficiency", J.Num (speedup /. n));
-            ("gap_s", J.Num gap);
-            ("accounted_s", J.Num accounted);
-            ( "gap_breakdown_s",
-              J.Obj
-                [
-                  ("serial", J.Num serial_c);
-                  ("inflation", J.Num inflation_c);
-                  ("overhead", J.Num overhead_c);
-                  ("idle", J.Num idle_c);
-                ] );
-            ( "gc",
-              J.Obj
-                [
-                  ("minor_words_seq", J.Num mw_seq);
-                  ("minor_words_par", J.Num mw_par);
-                  ("minor_collections_seq", J.int mc_seq);
-                  ("minor_collections_par", J.int mc_par);
-                  ("major_collections_seq", J.int jc_seq);
-                  ("major_collections_par", J.int jc_par);
-                ] );
-            ("lanes", J.Arr (Array.to_list (Array.map lane_json par_sum.Pool.per_lane)));
-          ] )
+          (Gap.json_fields g
+          @ [
+              ( "gc",
+                J.Obj
+                  [
+                    ("minor_words_seq", J.Num mw_seq);
+                    ("minor_words_par", J.Num mw_par);
+                    ("minor_collections_seq", J.int mc_seq);
+                    ("minor_collections_par", J.int mc_par);
+                    ("major_collections_seq", J.int jc_seq);
+                    ("major_collections_par", J.int jc_par);
+                  ] );
+              ("lanes", J.Arr (Array.to_list (Array.map lane_json par_sum.Pool.per_lane)));
+            ]) )
     in
     let meta =
       std_meta
@@ -755,66 +686,18 @@ let faults_cmd =
         in
         if json then begin
           let module J = Orianna_obs.Json in
-          let outcome_json (o : Fault.outcome) =
-            match o with
-            | Fault.Masked -> J.Obj [ ("kind", J.Str "masked") ]
-            | Fault.Escaped why -> J.Obj [ ("kind", J.Str "escaped"); ("why", J.Str why) ]
-            | Fault.Recovered { detector; recovery; attempts; backoff_cycles } ->
-                J.Obj
-                  [
-                    ("kind", J.Str "recovered");
-                    ("detector", J.Str (Fault.detector_name detector));
-                    ("recovery", J.Str (Fault.recovery_name recovery));
-                    ("attempts", J.int attempts);
-                    ("backoff_cycles", J.int backoff_cycles);
-                  ]
+          let meta =
+            [
+              ("command", J.Str "faults");
+              ("app", J.Str app.App.name);
+              ("seed", J.int seed);
+              ("missions", J.int missions);
+              ("policy", J.Str (Schedule.policy_name policy));
+              ("accel", J.Str accel.Accel.name);
+            ]
+            @ List.map (fun (k, v) -> (k, J.Str v)) (std_meta [])
           in
-          let stats_json (s : Campaign.class_stats) =
-            J.Obj
-              [
-                ("injected", J.int s.Campaign.injected);
-                ("detected", J.int s.Campaign.detected);
-                ("recovered", J.int s.Campaign.recovered);
-                ("masked", J.int s.Campaign.masked);
-                ("escaped", J.int s.Campaign.escaped);
-              ]
-          in
-          print_endline
-            (J.to_string
-               (J.Obj
-                  [
-                    ( "meta",
-                      J.Obj
-                        ([
-                           ("command", J.Str "faults");
-                           ("app", J.Str app.App.name);
-                           ("seed", J.int seed);
-                           ("missions", J.int missions);
-                           ("policy", J.Str (Schedule.policy_name policy));
-                           ("accel", J.Str accel.Accel.name);
-                         ]
-                        @ List.map (fun (k, v) -> (k, J.Str v)) (std_meta [])) );
-                    ( "events",
-                      J.Arr
-                        (List.map
-                           (fun (e : Fault.event) ->
-                             J.Obj
-                               [
-                                 ("mission", J.int e.Fault.mission);
-                                 ("class", J.Str (Fault.class_name e.Fault.fclass));
-                                 ("description", J.Str e.Fault.description);
-                                 ("outcome", outcome_json e.Fault.outcome);
-                               ])
-                           summary.Campaign.events) );
-                    ( "per_class",
-                      J.Obj
-                        (List.map
-                           (fun (fc, s) -> (Fault.class_name fc, stats_json s))
-                           summary.Campaign.per_class) );
-                    ("totals", stats_json summary.Campaign.totals);
-                    ("worst_slowdown", J.Num summary.Campaign.worst_slowdown);
-                    ("total_backoff_cycles", J.int summary.Campaign.total_backoff_cycles);
-                  ]))
+          print_endline (J.to_string (Campaign.json ~meta summary))
         end
         else begin
           if events then

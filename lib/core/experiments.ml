@@ -18,7 +18,7 @@ type context = { seed : int; evals : Pipeline.evaluation list }
 (* Per-app evaluation (DSE + schedules + baselines) is the dominant
    cost of [run_all]; the apps are independent, so fan out. *)
 let make_context ?(seed = 42) () =
-  { seed; evals = Pool.parallel_map_list (fun app -> Pipeline.evaluate app ~seed) App.all }
+  { seed; evals = Pool.parallel_map_list ~chunk:1 (fun app -> Pipeline.evaluate app ~seed) App.all }
 
 let f2 = Texttable.cell_fx ~decimals:2
 let f1 = Texttable.cell_fx ~decimals:1
@@ -415,7 +415,7 @@ let sweep_row ctx ~objective dsp =
       manuals )
 
 let sweep_table ctx ~objective ~title =
-  let rows = Pool.parallel_map_list (sweep_row ctx ~objective) dsp_sweep in
+  let rows = Pool.parallel_map_list ~chunk:1 (sweep_row ctx ~objective) dsp_sweep in
   let manual_names = List.map fst manual_shapes in
   let t = Texttable.create ~title ~headers:([ "DSP budget"; "ORIANNA (generated)" ] @ manual_names) in
   List.iter
@@ -629,7 +629,7 @@ let extension_faults ?(missions = 16) () =
       ~headers:[ "App"; "Injected"; "Detected"; "Recovered"; "Masked"; "Escaped"; "Worst slowdown" ]
   in
   let rows =
-    Pool.parallel_map_list
+    Pool.parallel_map_list ~chunk:1
       (fun (app : App.t) ->
         let frame = Pipeline.frame app ~seed:42 in
         let accel = (Pipeline.generate frame.Pipeline.program).Dse.best in
@@ -682,7 +682,7 @@ let extension_serve ?(requests = 200) () =
       App.all
   in
   let rows =
-    Pool.parallel_map_list
+    Pool.parallel_map_list ~chunk:1
       (fun ((app : App.t), policy) ->
         let trace =
           Request.generate ~rng:(Rng.of_int 42)

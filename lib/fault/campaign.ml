@@ -303,50 +303,78 @@ let run ?(config = default_config) ~rng ~graphs ~program ~accel () =
      the graph state it touched, and each draws from its own split RNG
      stream.  Splitting all streams up front makes mission [m]'s
      stream identical to what the sequential [Rng.split]-per-iteration
-     loop produced, so outcomes are bit-identical at any job count.
-     The only shared mutable state is the gref graphs — worker chunks
-     beyond the first get their own [Graph.copy] set (chunk 0 keeps
-     the caller's graphs, so a single-chunk run touches exactly what
-     the sequential campaign touched). *)
+     loop produced, so outcomes are bit-identical at any job count —
+     including under work-stealing, where which lane runs a mission is
+     nondeterministic but the mission's inputs never are.  The only
+     shared mutable state is the gref graphs: each pool lane that runs
+     a bit-flip mission gets one lazily-created [Graph.copy] scratch
+     set for the whole campaign (lane 0 is the caller and keeps the
+     originals, so a sequential run touches exactly what the
+     sequential campaign always touched).  A lane runs at most one
+     mission at a time and every mission path restores the graph state
+     it perturbs, so a lane's scratch set is pristine between
+     missions. *)
   let mission_rngs = Rng.split_n rng config.missions in
-  let mission ~grefs m mrng =
+  let scratch = Array.make (Pool.max_lanes ()) None in
+  let copy_grefs () =
+    List.map (fun gr -> { gr with graph = Graph.copy gr.graph }) grefs
+  in
+  let grefs_for_lane () =
+    let lane = Pool.self_lane () in
+    if lane = 0 then grefs
+    else if lane >= Array.length scratch then copy_grefs ()
+    else
+      match scratch.(lane) with
+      | Some cached -> cached
+      | None ->
+          let cached = copy_grefs () in
+          scratch.(lane) <- Some cached;
+          cached
+  in
+  let mission m mrng =
     let fclass = List.nth Fault.all_classes (Rng.int mrng (List.length Fault.all_classes)) in
     let (description, outcome), slowdown =
       match fclass with
-      | Fault.Bit_flip -> (bit_flip_mission ~config ~mrng ~grefs, 1.0)
+      | Fault.Bit_flip -> (bit_flip_mission ~config ~mrng ~grefs:(grefs_for_lane ()), 1.0)
       | Fault.Stuck_unit ->
           let d, o, slowdown = stuck_unit_mission ~config ~mrng ~program ~accel ~ref_sched in
           ((d, o), slowdown)
       | Fault.Latency_jitter -> (jitter_mission ~config ~mrng ~program ~accel, 1.0)
       | Fault.Instr_corruption -> (corruption_mission ~mrng ~image ~payload, 1.0)
     in
-    Obs.count (Printf.sprintf "fault.%s.%s" (Fault.class_name fclass) (Fault.outcome_name outcome));
-    (match outcome with
-    | Fault.Recovered { detector; recovery; _ } ->
-        Obs.count ("fault.detected_by." ^ Fault.detector_name detector);
-        Obs.count ("fault.recovered_by." ^ Fault.recovery_name recovery)
-    | Fault.Masked | Fault.Escaped _ -> ());
     ({ Fault.mission = m; fclass; description; outcome }, slowdown)
   in
-  let ranges =
-    Pool.chunk_ranges ~chunks:(Pool.default_jobs ()) ~n:config.missions
+  (* One slot per mission (~chunk:1): mission costs vary by orders of
+     magnitude across fault classes, so singleton chunks let idle
+     lanes steal the expensive ones. *)
+  let results =
+    Array.to_list
+      (Pool.parallel_map ~chunk:1
+         (fun m -> mission (m + 1) mission_rngs.(m))
+         (Array.init config.missions Fun.id))
   in
-  let chunks =
-    Pool.parallel_map
-      (fun (ci, (lo, hi)) ->
-        let grefs =
-          if ci = 0 then grefs
-          else List.map (fun gr -> { gr with graph = Graph.copy gr.graph }) grefs
-        in
-        let out = ref [] in
-        for m = lo to hi - 1 do
-          out := mission ~grefs (m + 1) mission_rngs.(m) :: !out
-        done;
-        List.rev !out)
-      (Array.mapi (fun ci r -> (ci, r)) ranges)
-  in
-  let results = List.concat (Array.to_list chunks) in
   let events = List.map fst results in
+  (* Telemetry flushes once per campaign instead of up to three
+     registry hits per mission on the hot path. *)
+  if Obs.enabled () then begin
+    let tally = Hashtbl.create 32 in
+    let bump name =
+      Hashtbl.replace tally name
+        (1 + match Hashtbl.find_opt tally name with Some n -> n | None -> 0)
+    in
+    List.iter
+      (fun (e : Fault.event) ->
+        bump
+          (Printf.sprintf "fault.%s.%s" (Fault.class_name e.Fault.fclass)
+             (Fault.outcome_name e.Fault.outcome));
+        match e.Fault.outcome with
+        | Fault.Recovered { detector; recovery; _ } ->
+            bump ("fault.detected_by." ^ Fault.detector_name detector);
+            bump ("fault.recovered_by." ^ Fault.recovery_name recovery)
+        | Fault.Masked | Fault.Escaped _ -> ())
+      events;
+    Hashtbl.iter (fun name n -> Obs.count ~n name) tally
+  end;
   let worst_slowdown =
     List.fold_left (fun acc (_, s) -> Float.max acc s) 1.0 results
   in
@@ -409,3 +437,52 @@ let table summary =
   Texttable.render t
   ^ Printf.sprintf "\nworst degraded slowdown: %.2fx; backoff spent: %d cycles\n"
       summary.worst_slowdown summary.total_backoff_cycles
+
+let json ?(meta = []) summary =
+  let module J = Orianna_obs.Json in
+  let outcome_json (o : Fault.outcome) =
+    match o with
+    | Fault.Masked -> J.Obj [ ("kind", J.Str "masked") ]
+    | Fault.Escaped why -> J.Obj [ ("kind", J.Str "escaped"); ("why", J.Str why) ]
+    | Fault.Recovered { detector; recovery; attempts; backoff_cycles } ->
+        J.Obj
+          [
+            ("kind", J.Str "recovered");
+            ("detector", J.Str (Fault.detector_name detector));
+            ("recovery", J.Str (Fault.recovery_name recovery));
+            ("attempts", J.int attempts);
+            ("backoff_cycles", J.int backoff_cycles);
+          ]
+  in
+  let stats_json (s : class_stats) =
+    J.Obj
+      [
+        ("injected", J.int s.injected);
+        ("detected", J.int s.detected);
+        ("recovered", J.int s.recovered);
+        ("masked", J.int s.masked);
+        ("escaped", J.int s.escaped);
+      ]
+  in
+  J.Obj
+    ((if meta = [] then [] else [ ("meta", J.Obj meta) ])
+    @ [
+        ( "events",
+          J.Arr
+            (List.map
+               (fun (e : Fault.event) ->
+                 J.Obj
+                   [
+                     ("mission", J.int e.Fault.mission);
+                     ("class", J.Str (Fault.class_name e.Fault.fclass));
+                     ("description", J.Str e.Fault.description);
+                     ("outcome", outcome_json e.Fault.outcome);
+                   ])
+               summary.events) );
+        ( "per_class",
+          J.Obj
+            (List.map (fun (fc, s) -> (Fault.class_name fc, stats_json s)) summary.per_class) );
+        ("totals", stats_json summary.totals);
+        ("worst_slowdown", J.Num summary.worst_slowdown);
+        ("total_backoff_cycles", J.int summary.total_backoff_cycles);
+      ])

@@ -66,3 +66,11 @@ val run :
 val table : summary -> string
 (** Per-class counts and detection/recovery rates as a rendered text
     table (detection rate is over non-masked injections). *)
+
+val json : ?meta:(string * Orianna_obs.Json.t) list -> summary -> Orianna_obs.Json.t
+(** The campaign as JSON: the per-mission event log, per-class and
+    total statistics, worst slowdown and backoff budget — everything
+    the [faults --json] CLI emits, with the optional [meta] object
+    prepended.  The payload carries no timings, so it diffs
+    byte-for-byte across job counts; the j1-vs-j4 determinism tests
+    compare it directly. *)

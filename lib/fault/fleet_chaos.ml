@@ -128,7 +128,7 @@ let run ?(config = default_config) ~rng () =
       conserved = conserved trace r;
     }
   in
-  let results = Orianna_par.Pool.parallel_map_list one inputs in
+  let results = Orianna_par.Pool.parallel_map_list ~chunk:1 one inputs in
   let fold f init = List.fold_left f init results in
   let nf = float_of_int config.runs in
   {

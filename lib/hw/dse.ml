@@ -33,7 +33,9 @@ let evaluate_batch ~cache ~evaluate accels =
   if hits > 0 then Obs.count "dse.candidates.cached" ~n:hits;
   if pending <> [] then begin
     Obs.count "dse.candidates.evaluated" ~n:(List.length pending);
-    let scores = Pool.parallel_map_list evaluate pending in
+    (* Every candidate is a full cycle-level simulation — singleton
+       chunks so idle lanes can steal any straggler. *)
+    let scores = Pool.parallel_map_list ~chunk:1 evaluate pending in
     List.iter2 (fun a s -> Hashtbl.replace cache (config_key a) s) pending scores
   end;
   List.map (fun a -> Hashtbl.find cache (config_key a)) accels
@@ -104,3 +106,38 @@ let optimize ~budget ~evaluate ?(classes = Unit_model.all_classes) ?init ?(min_g
   done;
   Obs.set_gauge "dse.best_objective" !objective;
   { best = !current; objective = !objective; trace = List.rev !trace }
+
+let move_name = function
+  | None -> "initial"
+  | Some (Add_unit c) -> "+" ^ Unit_model.class_name c
+  | Some Widen_qr -> "widen-qr"
+
+let result_json ?(meta = []) r =
+  let module J = Orianna_obs.Json in
+  let accel_json (a : Accel.t) =
+    J.Obj
+      [
+        ("name", J.Str a.Accel.name);
+        ( "counts",
+          J.Obj (List.map (fun (cls, n) -> (Unit_model.class_name cls, J.int n)) a.Accel.counts)
+        );
+        ("qr_rotators", J.int a.Accel.qr_rotators);
+      ]
+  in
+  J.Obj
+    ((if meta = [] then [] else [ ("meta", J.Obj meta) ])
+    @ [
+        ( "trace",
+          J.Arr
+            (List.map
+               (fun (s : step) ->
+                 J.Obj
+                   [
+                     ("move", J.Str (move_name s.added));
+                     ("objective", J.Num s.objective);
+                     ("dsp", J.int s.resources.Resource.dsp);
+                   ])
+               r.trace) );
+        ("best", accel_json r.best);
+        ("objective", J.Num r.objective);
+      ])

@@ -54,3 +54,14 @@ val optimize :
     evaluated in parallel on the {!Orianna_par.Pool} (results are
     independent of the job count; [evaluate] must be thread-safe —
     the simulator's [Schedule.run] is). *)
+
+val move_name : move option -> string
+(** ["initial"], ["+<class>"] or ["widen-qr"] — the names the trace
+    reports use. *)
+
+val result_json : ?meta:(string * Orianna_obs.Json.t) list -> result -> Orianna_obs.Json.t
+(** The search result as JSON: the greedy trace (move, objective, DSP
+    use per step), the chosen configuration and its objective, with
+    the optional [meta] object prepended.  Pure function of the search
+    inputs — no timings — so the payload diffs byte-for-byte across
+    job counts; the j1-vs-j4 determinism tests compare it directly. *)

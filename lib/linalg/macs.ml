@@ -6,6 +6,8 @@ let counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let reset () = Domain.DLS.get counter := 0
 
+let handle () = Domain.DLS.get counter
+
 let add n =
   let c = Domain.DLS.get counter in
   c := !c + n

@@ -16,6 +16,14 @@ val reset : unit -> unit
 val add : int -> unit
 (** Charge [n] MACs. *)
 
+val handle : unit -> int ref
+(** The calling domain's counter cell.  Kernels with per-column or
+    per-element charges hoist this out of their loops and bump the ref
+    directly ([h := !h + n]), paying the domain-local lookup once per
+    kernel instead of once per charge.  The handle must not outlive
+    the task it was taken in: it is only valid on the domain (pool
+    lane) that called [handle]. *)
+
 val count : unit -> int
 (** Current counter value. *)
 

@@ -12,6 +12,7 @@ let triangularize a =
   let data = r.Mat.data in
   let steps = min m n in
   let v = Array.make m 0.0 in
+  let macs = Macs.handle () in
   for k = 0 to steps - 1 do
     (* Norm of the column tail r[k..m-1, k]. *)
     let norm_sq = ref 0.0 in
@@ -31,7 +32,7 @@ let triangularize a =
         Array.unsafe_set v i vi;
         vnorm_sq := !vnorm_sq +. (vi *. vi)
       done;
-      Macs.add (2 * (m - k));
+      macs := !macs + (2 * (m - k));
       if !vnorm_sq > 1e-300 then begin
         let beta = 2.0 /. !vnorm_sq in
         (* Apply the reflector to columns k..n-1. *)
@@ -46,7 +47,7 @@ let triangularize a =
             Array.unsafe_set data idx (Array.unsafe_get data idx -. (s *. Array.unsafe_get v i))
           done
         done;
-        Macs.add (2 * (m - k) * (n - k));
+        macs := !macs + (2 * (m - k) * (n - k));
         (* Force exact zeros below the diagonal of column k. *)
         Array.unsafe_set data ((k * n) + k) alpha;
         for i = k + 1 to m - 1 do

@@ -265,40 +265,49 @@ let set_clock clock =
 let now_rel () = reg.clock () -. reg.epoch
 let now_s = now_rel
 
-let with_shard f =
-  let s = my_shard () in
-  Mutex.lock s.slock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock s.slock) (fun () -> f s)
+(* The three write paths below sit inside every pool lane's hot loop,
+   so they avoid closure and option allocation: straight-line
+   lock/find/unlock, with [Not_found] as the miss path (misses only
+   ever allocate on a metric's first write).  The table mutations
+   cannot raise, so no [Fun.protect] is needed to keep the shard lock
+   balanced. *)
 
 let count ?(n = 1) name =
-  if reg.on then
-    with_shard (fun s ->
-        match Hashtbl.find_opt s.scounters name with
-        | Some r -> r := !r + n
-        | None -> Hashtbl.add s.scounters name (ref n))
+  if reg.on then begin
+    let s = my_shard () in
+    Mutex.lock s.slock;
+    (match Hashtbl.find s.scounters name with
+    | r -> r := !r + n
+    | exception Not_found -> Hashtbl.add s.scounters name (ref n));
+    Mutex.unlock s.slock
+  end
 
 let set_gauge name v =
   if reg.on then begin
     let seq = Atomic.fetch_and_add write_seq 1 in
-    with_shard (fun s ->
-        match Hashtbl.find_opt s.sgauges name with
-        | Some r -> r := (v, seq)
-        | None -> Hashtbl.add s.sgauges name (ref (v, seq)))
+    let s = my_shard () in
+    Mutex.lock s.slock;
+    (match Hashtbl.find s.sgauges name with
+    | r -> r := (v, seq)
+    | exception Not_found -> Hashtbl.add s.sgauges name (ref (v, seq)));
+    Mutex.unlock s.slock
   end
 
 let observe name v =
   if reg.on then begin
     let seq = Atomic.fetch_and_add write_seq 1 in
-    with_shard (fun s ->
-        let h =
-          match Hashtbl.find_opt s.shists name with
-          | Some h -> h
-          | None ->
-              let h = Hist.create () in
-              Hashtbl.add s.shists name h;
-              h
-        in
-        Hist.add ~seq h v)
+    let s = my_shard () in
+    Mutex.lock s.slock;
+    let h =
+      match Hashtbl.find s.shists name with
+      | h -> h
+      | exception Not_found ->
+          let h = Hist.create () in
+          Hashtbl.add s.shists name h;
+          h
+    in
+    Hist.add ~seq h v;
+    Mutex.unlock s.slock
   end
 
 (* ---------------- spans ---------------- *)

@@ -256,10 +256,14 @@ let run ?(config = default_config) ?sessions ~trace () =
   let sample_queue () =
     let depth = List.length !queue in
     if depth > !queue_depth_max then queue_depth_max := depth;
-    (match !queue_samples with
-    | (t, d) :: _ when t = !clock && d = depth -> ()
-    | _ -> queue_samples := (!clock, depth) :: !queue_samples);
-    Obs.set_gauge "serve.queue_depth" (float_of_int depth)
+    match !queue_samples with
+    | (t, d) :: _ when t = !clock && d = depth ->
+        (* Duplicate sample: the gauge already reads [depth], so skip
+           the registry write (a sequenced shard-lock hit) too. *)
+        ()
+    | _ ->
+        queue_samples := (!clock, depth) :: !queue_samples;
+        Obs.set_gauge "serve.queue_depth" (float_of_int depth)
   in
   let admit (r : Request.t) =
     let key_opt =

@@ -1,0 +1,343 @@
+(* Property & differential suite for the work-stealing scheduler.
+
+   The pool's contract is that stealing is invisible: for any job
+   count, chunk hint, per-item cost skew and steal schedule, every
+   combinator returns exactly what the sequential map returns, and a
+   failing item raises exactly what the sequential map raises.  The
+   QCheck properties drive those dimensions directly — including
+   forcing adversarial steal orders through the [Pool.Testing] hooks —
+   and the differential tests replay all four production fan-out sites
+   (generate / faults / chaos / sessions) at j1 vs j4, comparing the
+   full JSON reports byte-for-byte via [Util_jdiff].
+
+   Two scheduler-quality assertions ride along: the [Gap]
+   decomposition must account for the measured scaling gap within 1%,
+   and a pathologically skewed workload (one 100x-cost item) must keep
+   the idle fraction under 15% when enough cores exist to measure it. *)
+
+open Orianna
+open Orianna_hw
+open Orianna_util
+open Orianna_apps
+module Pool = Orianna_par.Pool
+module Gap = Orianna_par.Gap
+module Compile = Orianna_compiler.Compile
+module Campaign = Orianna_fault.Campaign
+module Fleet_chaos = Orianna_fault.Fleet_chaos
+module Obs = Orianna_obs.Obs
+
+let with_jobs jobs f =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs saved) f
+
+let with_sched ?order ?chunk f =
+  Pool.Testing.set_victim_order order;
+  Pool.Testing.set_chunk_override chunk;
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.Testing.set_victim_order None;
+      Pool.Testing.set_chunk_override None)
+    f
+
+(* ---------- QCheck properties ---------- *)
+
+(* Deterministic busy-work whose result depends on every iteration, so
+   a lost or doubled slot can't cancel out. *)
+let busy_work i cost =
+  let acc = ref (float_of_int i) in
+  for k = 1 to cost do
+    acc := !acc +. sin (!acc +. float_of_int k)
+  done;
+  !acc
+
+let prop_refinement =
+  QCheck.Test.make
+    ~name:"sched: parallel_map = Array.map for any (n, jobs, chunk, cost skew)" ~count:200
+    (QCheck.make
+       QCheck.Gen.(quad (int_range 0 120) (int_range 1 8) (opt (int_range 1 32)) (int_range 0 100_000))
+       ~print:QCheck.Print.(quad int int (option int) int))
+    (fun (n, jobs, chunk, skew_seed) ->
+      let rng = Rng.of_int skew_seed in
+      let costs = Array.init (max 1 n) (fun _ -> Rng.int rng 64) in
+      let f i = Printf.sprintf "%d:%.17g" i (busy_work i costs.(i)) in
+      let xs = Array.init n Fun.id in
+      Pool.parallel_map ~jobs ?chunk f xs = Array.map f xs)
+
+let permutation rng k =
+  let a = Array.init k Fun.id in
+  for i = k - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let prop_steal_orders =
+  QCheck.Test.make
+    ~name:"sched: results independent of forced steal order and chunk size" ~count:200
+    (QCheck.make
+       QCheck.Gen.(quad (int_range 2 200) (int_range 2 8) (int_range 1 7) (int_range 0 100_000))
+       ~print:QCheck.Print.(quad int int int int))
+    (fun (n, jobs, chunk, order_seed) ->
+      let f i = Printf.sprintf "%x" ((i * 2654435761) lxor (i lsl 7)) in
+      let xs = Array.init n Fun.id in
+      let expected = Array.map f xs in
+      (* Every lane gets its own seeded victim permutation, so chunks
+         are stolen in arbitrary — but reproducible — orders. *)
+      let order ~lane ~lanes = permutation (Rng.of_int (order_seed + (lane * 7919))) lanes in
+      with_sched ~order ~chunk (fun () -> Pool.parallel_map ~jobs f xs = expected))
+
+exception Boom of int
+
+let prop_exception_order =
+  QCheck.Test.make
+    ~name:"sched: first exception in input order survives stealing" ~count:200
+    (QCheck.make
+       QCheck.Gen.(quad (int_range 1 150) (int_range 1 8) (int_range 1 5) (int_range 0 100_000))
+       ~print:QCheck.Print.(quad int int int int))
+    (fun (n, jobs, chunk, seed) ->
+      let rng = Rng.of_int seed in
+      let fails = Array.init n (fun _ -> Rng.int rng 4 = 0) in
+      if not (Array.exists Fun.id fails) then fails.(n - 1) <- true;
+      let first =
+        let rec go i = if fails.(i) then i else go (i + 1) in
+        go 0
+      in
+      let f i = if fails.(i) then raise (Boom i) else i in
+      with_sched ~chunk (fun () ->
+          match Pool.parallel_map ~jobs f (Array.init n Fun.id) with
+          | _ -> false
+          | exception Boom i -> i = first))
+
+let prop_nested_sequential =
+  QCheck.Test.make
+    ~name:"sched: nested parallel_map is sequential and keeps the outer lane" ~count:200
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 1 16) (int_range 1 8))
+       ~print:QCheck.Print.(pair int int))
+    (fun (inner_n, jobs) ->
+      with_jobs 4 (fun () ->
+          let results =
+            Pool.parallel_map ~jobs
+              (fun i ->
+                let lane = Pool.self_lane () in
+                let inner =
+                  Pool.parallel_map
+                    (fun j -> (Pool.self_lane () = lane, (i * 100) + j))
+                    (Array.init inner_n Fun.id)
+                in
+                (* At jobs = 1 the outer map is a plain [Array.map],
+                   so the inner map is top-level and may go parallel;
+                   the same-lane guarantee applies only inside a real
+                   pool job. *)
+                (jobs < 2 || Array.for_all fst inner)
+                && Array.map snd inner = Array.init inner_n (fun j -> (i * 100) + j))
+              (Array.init 8 Fun.id)
+          in
+          Array.for_all Fun.id results))
+
+let prop_guided_partition =
+  QCheck.Test.make
+    ~name:"sched: guided_chunk claims partition any range exactly" ~count:500
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 0 10_000) (int_range 1 8) (int_range 1 64))
+       ~print:QCheck.Print.(triple int int int))
+    (fun (total, lanes, min_chunk) ->
+      let remaining = ref total and ok = ref true in
+      while !remaining > 0 && !ok do
+        let c = Pool.guided_chunk ~lanes ~min_chunk ~remaining:!remaining in
+        if c < 1 || c > !remaining then ok := false else remaining := !remaining - c
+      done;
+      !ok && !remaining = 0 && Pool.guided_chunk ~lanes ~min_chunk ~remaining:0 = 0)
+
+(* ---------- gap-decomposition accounting ---------- *)
+
+(* The four components of [Gap.decompose] account for the measured gap
+   by construction; the residual is the sequential baseline's
+   region-vs-busy clock skew.  Locking this at 1% of the workload's
+   wall time guards the accounting against scheduler changes. *)
+let test_gap_accounting () =
+  Obs.set_clock (fun () -> Unix.gettimeofday ());
+  Obs.enable ();
+  Obs.reset ();
+  let xs = Array.init 48 Fun.id in
+  let f i = Printf.sprintf "%.17g" (busy_work i 20_000) in
+  let timed jobs =
+    ignore (Pool.drain_stats ());
+    let t0 = Obs.now_s () in
+    let r = Pool.parallel_map ~jobs f xs in
+    let wall = Obs.now_s () -. t0 in
+    (r, wall, Pool.drain_stats ())
+  in
+  let r1, t_seq, seq = timed 1 in
+  let r4, t_par, par = timed 4 in
+  Obs.disable ();
+  Obs.reset ();
+  Alcotest.(check bool) "results identical" true (r1 = r4);
+  let g = Gap.decompose ~jobs:4 ~t_seq ~t_par ~seq ~par in
+  Alcotest.(check bool) "overhead non-negative" true (g.Gap.overhead_s >= 0.0);
+  Alcotest.(check bool) "idle non-negative" true (g.Gap.idle_s >= 0.0);
+  let tolerance = 0.01 *. Float.max g.Gap.t_seq_s g.Gap.t_par_s in
+  let residual = Float.abs (g.Gap.accounted_s -. g.Gap.gap_s) in
+  if residual > tolerance then
+    Alcotest.failf
+      "gap components do not sum to the gap: gap %.6f s, accounted %.6f s (residual %.6f > \
+       tolerance %.6f)"
+      g.Gap.gap_s g.Gap.accounted_s residual tolerance;
+  (* The report fields the CLI emits come straight from this record. *)
+  let keys = List.map fst (Gap.json_fields g) in
+  List.iter
+    (fun k -> Alcotest.(check bool) (k ^ " present") true (List.mem k keys))
+    [ "jobs"; "t_seq_s"; "t_par_s"; "speedup"; "gap_s"; "accounted_s"; "gap_breakdown_s" ]
+
+(* ---------- pathological skew ---------- *)
+
+(* One item costs ~100x the rest and does not sit in slot 0 (slot 0
+   runs serially on the caller).  Without stealing, the lane whose
+   fixed range contains the heavy item finishes long after the others;
+   with chunk-granular stealing the idle fraction must stay small.
+   Only asserted where >= 4 real cores exist — on smaller containers
+   the lanes timeshare and lane-idle is not measurable. *)
+let test_skew_idle_fraction () =
+  Obs.set_clock (fun () -> Unix.gettimeofday ());
+  Obs.enable ();
+  Obs.reset ();
+  ignore (Pool.drain_stats ());
+  let n = 513 and heavy = 137 in
+  let cost i = if i = heavy then 400_000 else 4_000 in
+  let f i = busy_work i (cost i) in
+  let out = Pool.parallel_map ~jobs:4 f (Array.init n Fun.id) in
+  let records = Pool.drain_stats () in
+  Obs.disable ();
+  Obs.reset ();
+  Alcotest.(check bool) "results identical to sequential" true
+    (out = Array.init n (fun i -> f i));
+  match records with
+  | [ r ] ->
+      let lanes = float_of_int r.Pool.rjobs in
+      let region = r.Pool.done_s -. r.Pool.submit_s in
+      let busy =
+        Array.fold_left (fun acc (ls : Pool.lane_stats) -> acc +. ls.Pool.busy_s) 0.0 r.Pool.lanes
+      in
+      let steals =
+        Array.fold_left (fun acc (ls : Pool.lane_stats) -> acc + ls.Pool.steals) 0 r.Pool.lanes
+      in
+      let idle_fraction =
+        if region <= 0.0 then 0.0
+        else Float.max 0.0 ((lanes *. region) -. busy) /. (lanes *. region)
+      in
+      Printf.printf "skew workload: idle fraction %.1f%%, %d chunks stolen\n%!"
+        (100.0 *. idle_fraction) steals;
+      if Domain.recommended_domain_count () >= 4 then
+        Alcotest.(check bool)
+          (Printf.sprintf "idle fraction %.3f < 0.15 under 100x skew" idle_fraction)
+          true (idle_fraction < 0.15)
+      else
+        Printf.printf "(< 4 cores: idle-fraction floor not asserted)\n%!"
+  | rs -> Alcotest.failf "expected 1 run record, got %d" (List.length rs)
+
+(* ---------- j1-vs-j4 determinism on the production fan-out sites ---------- *)
+
+let test_jdiff_generate () =
+  let report jobs =
+    with_jobs jobs (fun () ->
+        let frame = Pipeline.frame App.mobile_robot ~seed:11 in
+        Dse.result_json (Pipeline.generate frame.Pipeline.program))
+  in
+  Util_jdiff.check_identical ~what:"generate --json" (report 1) (report 4)
+
+let test_jdiff_faults () =
+  let report jobs =
+    with_jobs jobs (fun () ->
+        let graphs = App.mobile_robot.App.graphs (Rng.of_int 7) in
+        let program = Compile.compile_application graphs in
+        let accel = Accel.with_extra (Accel.base ()) Unit_model.Matmul in
+        Campaign.json
+          (Campaign.run
+             ~config:{ Campaign.default_config with Campaign.missions = 24 }
+             ~rng:(Rng.of_int 42) ~graphs ~program ~accel ()))
+  in
+  let j1 = report 1 in
+  Util_jdiff.check_identical ~what:"faults --json" j1 (report 4);
+  (* And under an adversarial schedule: reversed victim order with
+     singleton chunks maximizes cross-lane stealing. *)
+  let forced =
+    with_sched
+      ~order:(fun ~lane:_ ~lanes -> Array.init lanes (fun i -> lanes - 1 - i))
+      ~chunk:1
+      (fun () -> report 4)
+  in
+  Util_jdiff.check_identical ~what:"faults --json (forced steal order)" j1 forced
+
+let test_jdiff_chaos () =
+  let report jobs =
+    with_jobs jobs (fun () ->
+        let config =
+          {
+            Fleet_chaos.default_config with
+            Fleet_chaos.runs = 6;
+            requests = 60;
+            apps = [ App.mobile_robot.App.name ];
+          }
+        in
+        Fleet_chaos.json (Fleet_chaos.run ~config ~rng:(Rng.of_int 5) ()))
+  in
+  Util_jdiff.check_identical ~what:"chaos --json" (report 1) (report 4)
+
+let test_jdiff_sessions () =
+  let module Serve = Orianna_serve.Serve in
+  let module Session = Orianna_serve.Session in
+  let module Request = Orianna_serve.Request in
+  let module Stream = Orianna_apps.Stream in
+  let module Datasets = Orianna_apps.Datasets in
+  let report jobs =
+    with_jobs jobs (fun () ->
+        let stream =
+          Stream.manhattan ~cfg:{ Datasets.default_config with Datasets.steps = 24; seed = 11 } ()
+        in
+        let period_s = 200e-6 in
+        let missions =
+          List.init 2 (fun mid ->
+              {
+                Session.mid;
+                stream;
+                start_s = float_of_int mid *. period_s /. 2.0;
+                period_s;
+                priority = Request.Normal;
+                deadline_slack_s = 50e-3;
+              })
+        in
+        let sessions = Session.create ~params:Session.default_params ~opt_level:1 ~missions () in
+        Serve.report_json (Serve.run ~config:Serve.default_config ~sessions ~trace:[] ()))
+  in
+  Util_jdiff.check_identical ~what:"sessions --json" (report 1) (report 4)
+
+let () =
+  Alcotest.run "par_sched"
+    [
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_refinement;
+          QCheck_alcotest.to_alcotest prop_steal_orders;
+          QCheck_alcotest.to_alcotest prop_exception_order;
+          QCheck_alcotest.to_alcotest prop_nested_sequential;
+          QCheck_alcotest.to_alcotest prop_guided_partition;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "gap decomposition sums to the measured gap" `Quick
+            test_gap_accounting;
+          Alcotest.test_case "100x skew: idle fraction bounded by stealing" `Quick
+            test_skew_idle_fraction;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "generate JSON identical at j1/j4" `Quick test_jdiff_generate;
+          Alcotest.test_case "faults JSON identical at j1/j4 and forced steals" `Quick
+            test_jdiff_faults;
+          Alcotest.test_case "chaos JSON identical at j1/j4" `Quick test_jdiff_chaos;
+          Alcotest.test_case "sessions JSON identical at j1/j4" `Quick test_jdiff_sessions;
+        ] );
+    ]

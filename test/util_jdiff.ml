@@ -1,0 +1,36 @@
+(* Shared helper for the j1-vs-jN determinism tests: render a JSON
+   report with its volatile "meta" header stripped (timestamps, host,
+   job count — everything that legitimately differs between runs) and,
+   on mismatch, fail with the first diverging byte in context instead
+   of dumping two multi-kilobyte payloads. *)
+
+module J = Orianna_obs.Json
+
+let strip_meta = function
+  | J.Obj fields -> J.Obj (List.filter (fun (k, _) -> k <> "meta") fields)
+  | j -> j
+
+let render j = J.to_string (strip_meta j)
+
+let context s i =
+  let lo = max 0 (i - 40) and hi = min (String.length s) (i + 40) in
+  String.sub s lo (hi - lo)
+
+let first_divergence a b =
+  let n = min (String.length a) (String.length b) in
+  let i = ref 0 in
+  while !i < n && a.[!i] = b.[!i] do
+    incr i
+  done;
+  !i
+
+(* [check_identical ~what a b] asserts the two reports are byte-equal
+   outside their meta headers.  [a] is conventionally the sequential
+   (j1) reference. *)
+let check_identical ~what a b =
+  let sa = render a and sb = render b in
+  if not (String.equal sa sb) then begin
+    let i = first_divergence sa sb in
+    Alcotest.failf "%s: reports diverge at byte %d (lengths %d vs %d)\n  j1: ...%s...\n  jN: ...%s..."
+      what i (String.length sa) (String.length sb) (context sa i) (context sb i)
+  end
