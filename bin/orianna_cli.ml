@@ -59,7 +59,9 @@ let opt_level_flag =
        & info [ "opt-level"; "O" ] ~docv:"N"
            ~doc:"Instruction-stream optimization level: 0 = off, 1 = CSE + peephole fusion + DCE + \
                  latency-aware reorder (default), 2 = additionally reorder with stall attribution \
-                 measured by a cycle-level schedule of the compiled stream.")
+                 measured by a cycle-level schedule of the compiled stream, 3 = profile-guided \
+                 fixpoint (resource-aware list scheduling + superword batching of same-shape \
+                 matrix ops, every pass accepted only if the measured cycle count improves).")
 
 (* ---------------- observability plumbing ---------------- *)
 
@@ -132,7 +134,11 @@ let compile_cmd =
       if dense then Orianna_compiler.Compile.compile_dense_application ~opt_level graphs
       else Orianna_compiler.Compile.compile_application ~opt_level graphs
     in
-    let program = if opt_level >= 2 then Pipeline.reoptimize program else program in
+    let program =
+      if opt_level >= 3 then Opt_loop.optimize ~level:opt_level program
+      else if opt_level >= 2 then Pipeline.reoptimize program
+      else program
+    in
     Format.printf "%a@." Program.pp_stats (Program.stats program);
     if dump then Format.printf "%a@." Program.pp program;
     []
@@ -557,6 +563,19 @@ let profile_cmd =
       Obs.with_span "generate" (fun () -> (Pipeline.generate frame.Pipeline.program).Dse.best)
     in
     let r = Obs.with_span "simulate" (fun () -> Schedule.run ~accel ~policy frame.Pipeline.program) in
+    (* Per-pass cycle attribution: rerun the optimizer from the O0
+       stream with a measured probe on the generated accelerator, so
+       every accepted (or rejected) pass reports its cycle delta. *)
+    let opt_deltas =
+      if opt_level >= 1 then
+        Obs.with_span "opt-passes" (fun () ->
+            let p0 =
+              Orianna_compiler.Compile.compile_application ~opt_level:0 frame.Pipeline.graphs
+            in
+            let _, _, rep = Opt_loop.optimize_traced ~accel ~policy ~level:opt_level p0 in
+            rep.Orianna_isa.Opt.cycle_deltas)
+      else []
+    in
     let meta =
       std_meta
         [
@@ -574,6 +593,16 @@ let profile_cmd =
             ("instructions", Orianna_obs.Json.int r.Schedule.instructions);
             ("cycles", Orianna_obs.Json.int r.Schedule.cycles);
             ("seconds", Orianna_obs.Json.Num r.Schedule.seconds);
+            ( "opt_passes",
+              Orianna_obs.Json.Arr
+                (List.map
+                   (fun (pass, d) ->
+                     Orianna_obs.Json.Obj
+                       [
+                         ("pass", Orianna_obs.Json.Str pass);
+                         ("cycles_saved", Orianna_obs.Json.int d);
+                       ])
+                   opt_deltas) );
           ] )
     in
     if json then print_endline (Report.to_string ~meta ~extra:[ profile_extra ] ())
@@ -581,6 +610,16 @@ let profile_cmd =
     Format.printf "%s %s: %d instructions, %d cycles (%.3f ms simulated)@.@." app.App.name
       (Schedule.policy_name policy) r.Schedule.instructions r.Schedule.cycles
       (r.Schedule.seconds *. 1e3);
+    if opt_deltas <> [] then begin
+      let t =
+        Texttable.create ~title:(Printf.sprintf "Optimizer passes (O0 -> O%d, measured)" opt_level)
+          ~headers:[ "pass"; "cycles saved" ]
+      in
+      List.iter (fun (pass, d) -> Texttable.add_row t [ pass; string_of_int d ]) opt_deltas;
+      Texttable.add_row t
+        [ "total"; string_of_int (List.fold_left (fun acc (_, d) -> acc + d) 0 opt_deltas) ];
+      Texttable.print t
+    end;
     Format.printf "%a@." Obs.pp_spans (Obs.spans ());
     let counters = Obs.counters () in
     if counters <> [] then begin

@@ -52,12 +52,19 @@ type frame = {
    accelerator, attribute every operand-wait cycle to its
    last-finishing producer, and feed the measured weights back into
    [Opt.reorder].  The compile-time reorder uses only a static latency
-   model; this closes the loop with the cycle-level simulator. *)
+   model; this closes the loop with the cycle-level simulator.  At O3,
+   [Opt_loop.optimize] runs the full profile-guided fixpoint instead
+   (resource-aware reorder + superword batching, every step accepted
+   only if the measured cycle count improves). *)
 let reoptimize = Trace.reoptimize
 
 let frame ?(opt_level = 1) (app : App.t) ~seed =
   let graphs = app.App.graphs (Rng.of_int seed) in
-  let maybe_feedback p = if opt_level >= 2 then reoptimize p else p in
+  let maybe_feedback p =
+    if opt_level >= 3 then Opt_loop.optimize ~level:opt_level p
+    else if opt_level >= 2 then reoptimize p
+    else p
+  in
   let program = Compile.compile_application ~opt_level graphs |> maybe_feedback in
   let algo_programs =
     List.mapi (fun i (name, g) -> (name, Compile.compile ~algo:i ~opt_level g |> maybe_feedback)) graphs

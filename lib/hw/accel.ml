@@ -58,6 +58,28 @@ let static_power_w t =
 
 let total_units t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.counts
 
+(* The optimizer's injected cost surface: this accelerator's real
+   per-opcode latencies and unit-instance counts, with classes indexed
+   by their position in [Unit_model.all_classes].  [Orianna_isa]
+   cannot depend on this layer, so the record crosses the boundary
+   downward. *)
+let cost_model t =
+  let class_index =
+    let tbl = List.mapi (fun i cls -> (cls, i)) Unit_model.all_classes in
+    fun cls -> List.assoc cls tbl
+  in
+  {
+    Orianna_isa.Opt.classes = List.length Unit_model.all_classes;
+    class_of = (fun op -> class_index (Unit_model.class_of_op op));
+    ports =
+      Array.of_list (List.map (fun cls -> count t cls) Unit_model.all_classes);
+    latency =
+      (fun ins ~src_shape ->
+        Unit_model.latency
+          (Unit_model.class_of_op ins.Orianna_isa.Instr.op)
+          ~qr_rotators:t.qr_rotators ins ~src_shape);
+  }
+
 let fits t ~budget = Resource.fits (resources t) ~budget
 
 let pp ppf t =

@@ -44,6 +44,12 @@ val static_power_w : t -> float
 
 val total_units : t -> int
 
+val cost_model : t -> Orianna_isa.Opt.cost_model
+(** This configuration's cost surface for the schedule-aware
+    optimizer: real {!Unit_model} latencies (at the configured QR
+    width) and per-class instance counts, classes indexed by position
+    in [Unit_model.all_classes]. *)
+
 val fits : t -> budget:Resource.t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -8,6 +8,8 @@ type report = {
   fused : int;
   dce_removed : int;
   reorder_moved : int;
+  superword_merged : int;
+  cycle_deltas : (string * int) list;
 }
 
 let identity_map n = Array.init n (fun i -> i)
@@ -282,14 +284,29 @@ let dce p =
   (p', map)
 
 (* ------------------------------------------------------------------ *)
-(* Operand-aware reorder                                               *)
+(* Cost model                                                          *)
 
-(* Static per-opcode latency model mirroring the shape (not the exact
-   parameters) of [Orianna_hw.Unit_model]; [Orianna_isa] cannot depend
-   on the hardware layer, and the measured [stalls] weights are the
-   precision knob when a real schedule is available. *)
-let static_latency (instrs : Instr.t array) i =
-  let ins = instrs.(i) in
+(* The hardware layer ([Orianna_hw]) sits above [Orianna_isa], so the
+   real per-opcode latencies and unit-instance counts are injected
+   through this record (see [Orianna_hw.Accel.cost_model]) rather than
+   referenced directly.  [static_cost_model] mirrors the shape (not
+   the exact parameters) of [Unit_model] with one port per class. *)
+type cost_model = {
+  classes : int;
+  class_of : Instr.opcode -> int;
+  ports : int array;
+  latency : Instr.t -> src_shape:(int -> int * int) -> int;
+}
+
+let static_class_of : Instr.opcode -> int = function
+  | Instr.Gemm | Instr.Gemv | Instr.Kernel _ -> 0
+  | Instr.Vadd | Instr.Vsub | Instr.Scale _ | Instr.Neg | Instr.Transpose -> 1
+  | Instr.Logm | Instr.Expm | Instr.Skew | Instr.Jr | Instr.Jrinv -> 2
+  | Instr.Qr -> 3
+  | Instr.Backsolve -> 4
+  | Instr.Load _ | Instr.Assemble _ | Instr.Extract _ -> 5
+
+let static_latency_of (ins : Instr.t) ~src_shape =
   let out = ins.Instr.rows * ins.Instr.cols in
   let cd a b = (a + b - 1) / b in
   match ins.Instr.op with
@@ -297,22 +314,143 @@ let static_latency (instrs : Instr.t array) i =
   | Instr.Vadd | Instr.Vsub | Instr.Scale _ | Instr.Neg | Instr.Transpose -> 2 + cd out 16
   | Instr.Logm | Instr.Expm | Instr.Skew | Instr.Jr | Instr.Jrinv -> 20
   | Instr.Gemm | Instr.Gemv ->
-      let k = instrs.(ins.Instr.srcs.(0)).Instr.cols in
+      let _, k = src_shape ins.Instr.srcs.(0) in
       2 + (cd ins.Instr.rows 8 * cd ins.Instr.cols 8 * (k + 8))
   | Instr.Qr ->
-      let s = instrs.(ins.Instr.srcs.(0)) in
-      let m = s.Instr.rows and nn = s.Instr.cols in
+      let m, nn = src_shape ins.Instr.srcs.(0) in
       let w = ref 6 in
       for k = 0 to min m nn - 1 do
         w := !w + (cd (max (m - k - 1) 1) 8 * (nn - k))
       done;
       !w
   | Instr.Backsolve ->
-      let nn = instrs.(ins.Instr.srcs.(0)).Instr.rows in
+      let nn, _ = src_shape ins.Instr.srcs.(0) in
       2 + (nn * cd nn 4) + nn
   | Instr.Kernel k -> 2 + cd k.Instr.flops 64
 
-let reorder ?stalls (p : Program.t) =
+let static_cost_model =
+  {
+    classes = 6;
+    class_of = static_class_of;
+    ports = Array.make 6 1;
+    latency = static_latency_of;
+  }
+
+type probe = Program.t -> int * int array
+
+(* Resource-constrained list scheduling over the whole stream: at each
+   step pick, among dependence-ready instructions, the one that can
+   start earliest given per-class port availability; ties go to the
+   higher critical-path priority, then the lower id.  Returns the
+   issue order and the modeled makespan.  Deterministic by
+   construction. *)
+let list_schedule ~(cost_model : cost_model) ?stalls (p : Program.t) =
+  let cm = cost_model in
+  let instrs = p.Program.instrs in
+  let n = Array.length instrs in
+  (match stalls with
+  | Some s when Array.length s <> n -> invalid_arg "Opt.list_schedule: stalls length mismatch"
+  | _ -> ());
+  let src_shape s = (instrs.(s).Instr.rows, instrs.(s).Instr.cols) in
+  let lat = Array.init n (fun i -> max 1 (cm.latency instrs.(i) ~src_shape)) in
+  let cls =
+    Array.init n (fun i ->
+        let c = cm.class_of instrs.(i).Instr.op in
+        if c < 0 || c >= cm.classes then invalid_arg "Opt.list_schedule: class out of range";
+        c)
+  in
+  let w i = lat.(i) + match stalls with Some s -> s.(i) | None -> 0 in
+  let prio = Array.init n w in
+  for i = n - 1 downto 0 do
+    Array.iter
+      (fun s -> if prio.(s) < prio.(i) + w s then prio.(s) <- prio.(i) + w s)
+      instrs.(i).Instr.srcs
+  done;
+  let indeg = Array.make n 0 and consumers = Array.make n [] in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun s ->
+        indeg.(i) <- indeg.(i) + 1;
+        consumers.(s) <- i :: consumers.(s))
+      instrs.(i).Instr.srcs
+  done;
+  let port_free = Array.init cm.classes (fun c -> Array.make (max 1 cm.ports.(c)) 0) in
+  let earliest_port c =
+    let free = port_free.(c) in
+    let k = ref 0 in
+    for j = 1 to Array.length free - 1 do
+      if free.(j) < free.(!k) then k := j
+    done;
+    !k
+  in
+  let dep_ready = Array.make n 0 in
+  let ready = ref [] in
+  for i = n - 1 downto 0 do
+    if indeg.(i) = 0 then ready := i :: !ready
+  done;
+  let order = Array.make n 0 in
+  let makespan = ref 0 in
+  for pos = 0 to n - 1 do
+    let best = ref (-1) and best_start = ref max_int in
+    List.iter
+      (fun i ->
+        let st = max dep_ready.(i) port_free.(cls.(i)).(earliest_port cls.(i)) in
+        if
+          st < !best_start
+          || st = !best_start
+             && (!best < 0 || prio.(i) > prio.(!best) || (prio.(i) = prio.(!best) && i < !best))
+        then begin
+          best := i;
+          best_start := st
+        end)
+      !ready;
+    let i = !best in
+    if i < 0 then failwith "Opt.list_schedule: no ready instruction (cycle?)";
+    ready := List.filter (fun j -> j <> i) !ready;
+    let k = earliest_port cls.(i) in
+    let start = max dep_ready.(i) port_free.(cls.(i)).(k) in
+    let fin = start + lat.(i) in
+    port_free.(cls.(i)).(k) <- fin;
+    if fin > !makespan then makespan := fin;
+    order.(pos) <- i;
+    List.iter
+      (fun c ->
+        if fin > dep_ready.(c) then dep_ready.(c) <- fin;
+        indeg.(c) <- indeg.(c) - 1;
+        if indeg.(c) = 0 then ready := c :: !ready)
+      consumers.(i)
+  done;
+  (order, !makespan)
+
+let estimate_cycles ?(cost_model = static_cost_model) p = snd (list_schedule ~cost_model p)
+
+(* ------------------------------------------------------------------ *)
+(* Operand-aware reorder                                               *)
+
+let static_latency (instrs : Instr.t array) i =
+  let src_shape s = (instrs.(s).Instr.rows, instrs.(s).Instr.cols) in
+  static_latency_of instrs.(i) ~src_shape
+
+(* Emit [p]'s instructions in [order]; shared by both reorder modes. *)
+let emit_order (p : Program.t) order =
+  let instrs = p.Program.instrs in
+  let map = Array.make (Array.length instrs) (-1) in
+  let b = Program.Builder.create () in
+  Array.iter
+    (fun i ->
+      let ins = instrs.(i) in
+      let srcs = Array.map (fun s -> map.(s)) ins.Instr.srcs in
+      map.(i) <-
+        Program.Builder.emit b ~op:ins.Instr.op ~srcs ~rows:ins.Instr.rows ~cols:ins.Instr.cols
+          ~phase:ins.Instr.phase ~algo:ins.Instr.algo ~tag:ins.Instr.tag)
+    order;
+  let outputs = List.map (fun (nm, r) -> (nm, map.(r))) p.Program.outputs in
+  let moved = ref 0 in
+  Array.iteri (fun i m -> if i <> m then incr moved) map;
+  if !moved > 0 then Obs.count "isa.opt.reorder_moved" ~n:!moved;
+  (Program.Builder.finish b ~outputs, map)
+
+let reorder_static ?stalls (p : Program.t) =
   let instrs = p.Program.instrs in
   let n = Array.length instrs in
   (match stalls with
@@ -376,30 +514,314 @@ let reorder ?stalls (p : Program.t) =
     seg := hi
   done;
   if !pos <> n then failwith "Opt.reorder: scheduling did not cover the program";
-  let map = Array.make n (-1) in
-  let b = Program.Builder.create () in
-  Array.iter
-    (fun i ->
-      let ins = instrs.(i) in
-      let srcs = Array.map (fun s -> map.(s)) ins.Instr.srcs in
-      map.(i) <-
-        Program.Builder.emit b ~op:ins.Instr.op ~srcs ~rows:ins.Instr.rows ~cols:ins.Instr.cols
-          ~phase:ins.Instr.phase ~algo:ins.Instr.algo ~tag:ins.Instr.tag)
-    order;
-  let outputs = List.map (fun (nm, r) -> (nm, map.(r))) p.Program.outputs in
-  let moved = ref 0 in
-  Array.iteri (fun i m -> if i <> m then incr moved) map;
-  if !moved > 0 then Obs.count "isa.opt.reorder_moved" ~n:!moved;
-  (Program.Builder.finish b ~outputs, map)
+  emit_order p order
+
+let reorder ?stalls ?cost_model (p : Program.t) =
+  match cost_model with
+  | Some cm ->
+      (* Resource-aware global schedule: port contention modeled, algo
+         runs freely interleaved. *)
+      let order, _ = list_schedule ~cost_model:cm ?stalls p in
+      emit_order p order
+  | None -> reorder_static ?stalls p
+
+(* ------------------------------------------------------------------ *)
+(* Superword batching                                                  *)
+
+(* Merge small independent same-shape ops of the same [algo]/[phase]
+   into one wide [Kernel] invocation whose result vertically stacks
+   the member results; each member's register becomes an [Extract] of
+   its slice.  Amortizes the per-instruction issue overhead and fills
+   the systolic array the way the GPU baseline batches GEMMs.
+   [`Mul] batches only matmul-class ops (Gemm/Gemv); [`All] also
+   routes elementwise Vadd/Vsub/Scale/Neg batches through the matmul
+   unit (worth it only when the vector queue, not the matmul port, is
+   the constraint — callers gate it on measured cycles).
+
+   Safety: two ops may share a batch only if they sit at the same
+   dependence depth (longest path from a source).  Equal-depth nodes
+   are automatically independent — any path strictly increases depth —
+   and contraction cannot create a cycle: every contracted edge goes
+   from a batch at depth d to a node at depth > d, so batch-to-batch
+   edges strictly increase depth and the contracted graph stays
+   acyclic.  (Checking only pairwise member independence is NOT
+   enough: two batches can form a cycle through unrelated members.)
+   The rebuilt stream is a topological order of the contracted
+   graph. *)
+
+let eligible_kind kinds (op : Instr.opcode) =
+  match op with
+  | Instr.Gemm | Instr.Gemv -> true
+  | Instr.Vadd | Instr.Vsub | Instr.Scale _ | Instr.Neg -> kinds = `All
+  | _ -> false
+
+let superword_pass ?(min_batch = 3) ?(max_batch = 16) ?(kinds = `Mul) (p : Program.t) =
+  let instrs = p.Program.instrs in
+  let n = Array.length instrs in
+  let src_shape s = (instrs.(s).Instr.rows, instrs.(s).Instr.cols) in
+  let candidates = ref 0 in
+  Array.iter (fun (i : Instr.t) -> if eligible_kind kinds i.Instr.op then incr candidates) instrs;
+  if !candidates < min_batch then (p, identity_map n, 0)
+  else begin
+    (* Transitive-ancestor bitsets (32 bits per word, flat array). *)
+    let w = (n + 31) / 32 in
+    let anc = Array.make (n * w) 0 in
+    let test_bit i j = anc.((i * w) + (j lsr 5)) land (1 lsl (j land 31)) <> 0 in
+    for i = 0 to n - 1 do
+      Array.iter
+        (fun s ->
+          let bi = i * w and bs = s * w in
+          for k = 0 to w - 1 do
+            anc.(bi + k) <- anc.(bi + k) lor anc.(bs + k)
+          done;
+          anc.(bi + (s lsr 5)) <- anc.(bi + (s lsr 5)) lor (1 lsl (s land 31)))
+        instrs.(i).Instr.srcs
+    done;
+    (* Greedy grouping in id order; flush a group on dependence
+       conflict or when it reaches [max_batch]. *)
+    let key (ins : Instr.t) =
+      Printf.sprintf "%d|%d|%d|%d|%d|%d" (opcode_tag ins.Instr.op) ins.Instr.rows ins.Instr.cols
+        (Array.length ins.Instr.srcs) ins.Instr.algo
+        (match ins.Instr.phase with Instr.Construct -> 0 | Instr.Decompose -> 1 | Instr.Backsub -> 2)
+    in
+    let open_groups : (string, int list ref) Hashtbl.t = Hashtbl.create 32 in
+    let collected = ref [] in
+    let commit members =
+      (* members arrive newest-first *)
+      if List.length members >= min_batch then collected := List.rev members :: !collected
+    in
+    Array.iteri
+      (fun i (ins : Instr.t) ->
+        if eligible_kind kinds ins.Instr.op then begin
+          let k = key ins in
+          match Hashtbl.find_opt open_groups k with
+          | None -> Hashtbl.add open_groups k (ref [ i ])
+          | Some cur ->
+              if List.exists (fun m -> test_bit i m) !cur then begin
+                commit !cur;
+                cur := [ i ]
+              end
+              else begin
+                cur := i :: !cur;
+                if List.length !cur >= max_batch then begin
+                  commit !cur;
+                  cur := []
+                end
+              end
+        end)
+      instrs;
+    Hashtbl.iter (fun _ cur -> commit !cur) open_groups;
+    (* Pairwise member independence does not rule out a cycle crossing
+       TWO batches (A -> B through one pair of members, B -> A through
+       an unrelated pair), which would deadlock the contracted
+       topological sort.  Validate the contraction with a counting-only
+       Kahn pass and dissolve the lowest-id batch still blocked until
+       the contracted graph is acyclic; dissolving every batch recovers
+       the original (acyclic) program, so this terminates. *)
+    let batch_list = ref (List.rev !collected) in
+    let acyclic () =
+      let batches = Array.of_list !batch_list in
+      let nbatches = Array.length batches in
+      let batch_of = Array.make n (-1) in
+      Array.iteri (fun bi ms -> List.iter (fun m -> batch_of.(m) <- bi) ms) batches;
+      let super i = if batch_of.(i) >= 0 then n + batch_of.(i) else i in
+      let nsup = n + nbatches in
+      let indeg = Array.make nsup 0 and scons = Array.make nsup [] in
+      for i = 0 to n - 1 do
+        let si = super i in
+        Array.iter
+          (fun s ->
+            let ss = super s in
+            if ss <> si then begin
+              indeg.(si) <- indeg.(si) + 1;
+              scons.(ss) <- si :: scons.(ss)
+            end)
+          instrs.(i).Instr.srcs
+      done;
+      let members = Array.fold_left (fun acc ms -> acc + List.length ms) 0 batches in
+      let queue = Queue.create () in
+      for s = 0 to nsup - 1 do
+        if indeg.(s) = 0 && (if s < n then batch_of.(s) < 0 else true) then Queue.add s queue
+      done;
+      let popped = ref 0 in
+      while not (Queue.is_empty queue) do
+        let s = Queue.pop queue in
+        incr popped;
+        List.iter
+          (fun c ->
+            indeg.(c) <- indeg.(c) - 1;
+            if indeg.(c) = 0 then Queue.add c queue)
+          scons.(s)
+      done;
+      if !popped = nsup - members then true
+      else begin
+        let stuck = ref (-1) and stuck_rep = ref max_int in
+        Array.iteri
+          (fun bi ms ->
+            if indeg.(n + bi) > 0 then begin
+              let r = List.hd ms in
+              if r < !stuck_rep then begin
+                stuck := bi;
+                stuck_rep := r
+              end
+            end)
+          batches;
+        batch_list := List.filteri (fun bi _ -> bi <> !stuck) !batch_list;
+        false
+      end
+    in
+    while not (acyclic ()) do
+      ()
+    done;
+    let batches = Array.of_list !batch_list in
+    let nbatches = Array.length batches in
+    if nbatches = 0 then (p, identity_map n, 0)
+    else begin
+      let batch_of = Array.make n (-1) in
+      Array.iteri (fun bi members -> List.iter (fun m -> batch_of.(m) <- bi) members) batches;
+      let super i = if batch_of.(i) >= 0 then n + batch_of.(i) else i in
+      let rep = Array.init (n + nbatches) (fun s -> if s < n then s else List.hd batches.(s - n)) in
+      (* Contracted-graph Kahn, ready nodes popped in old-id order. *)
+      let nsup = n + nbatches in
+      let indeg = Array.make nsup 0 and sconsumers = Array.make nsup [] in
+      for i = 0 to n - 1 do
+        let si = super i in
+        Array.iter
+          (fun s ->
+            let ss = super s in
+            if ss <> si then begin
+              indeg.(si) <- indeg.(si) + 1;
+              sconsumers.(ss) <- si :: sconsumers.(ss)
+            end)
+          instrs.(i).Instr.srcs
+      done;
+      let heap = Orianna_util.Heap.create ~cmp:(fun a b -> compare (rep.(a) : int) rep.(b)) in
+      (* Batched members keep an indegree of 0 at their own index (their
+         edges live on the batch supernode) — only real supernodes
+         (unbatched instructions and batch ids) enter the ready set. *)
+      for s = 0 to nsup - 1 do
+        if indeg.(s) = 0 && (if s < n then batch_of.(s) < 0 else true) then
+          Orianna_util.Heap.push heap s
+      done;
+      let map = Array.make n (-1) in
+      let b = Program.Builder.create () in
+      let merged = ref 0 in
+      let kcount = ref 0 in
+      let emit_single i =
+        let ins = instrs.(i) in
+        let srcs = Array.map (fun s -> map.(s)) ins.Instr.srcs in
+        map.(i) <-
+          Program.Builder.emit b ~op:ins.Instr.op ~srcs ~rows:ins.Instr.rows ~cols:ins.Instr.cols
+            ~phase:ins.Instr.phase ~algo:ins.Instr.algo ~tag:ins.Instr.tag
+      in
+      let emit_batch bi =
+        let members = Array.of_list batches.(bi) in
+        let count = Array.length members in
+        let first = instrs.(members.(0)) in
+        let mrows = first.Instr.rows and mcols = first.Instr.cols in
+        let member_instrs = Array.map (fun m -> instrs.(m)) members in
+        let arity = Array.map (fun (m : Instr.t) -> Array.length m.Instr.srcs) member_instrs in
+        let flops =
+          Array.fold_left (fun acc m -> acc + Instr.flops instrs.(m) ~src_shape) 0 members
+        in
+        let srcs =
+          Array.concat
+            (Array.to_list
+               (Array.map
+                  (fun m -> Array.map (fun s -> map.(s)) instrs.(m).Instr.srcs)
+                  members))
+        in
+        let idx = !kcount in
+        incr kcount;
+        let kname =
+          Printf.sprintf "sw%d.%s.%dx%d.b%d" idx (Instr.opcode_name first.Instr.op) mrows mcols
+            count
+        in
+        let apply mats =
+          let out = Mat.create (count * mrows) mcols in
+          let off = ref 0 in
+          Array.iteri
+            (fun j (m : Instr.t) ->
+              let args = Array.sub mats !off arity.(j) in
+              off := !off + arity.(j);
+              Mat.set_block out (j * mrows) 0 (Program.eval_op m args))
+            member_instrs;
+          out
+        in
+        let kid =
+          Program.Builder.emit b
+            ~op:(Instr.Kernel { Instr.kname; flops; apply })
+            ~srcs ~rows:(count * mrows) ~cols:mcols ~phase:first.Instr.phase ~algo:first.Instr.algo
+            ~tag:"superword"
+        in
+        Array.iteri
+          (fun j m ->
+            let ins = instrs.(m) in
+            map.(m) <-
+              Program.Builder.emit b
+                ~op:(Instr.Extract { row = j * mrows; col = 0; rows = mrows; cols = mcols })
+                ~srcs:[| kid |] ~rows:mrows ~cols:mcols ~phase:ins.Instr.phase ~algo:ins.Instr.algo
+                ~tag:ins.Instr.tag)
+          members;
+        merged := !merged + count
+      in
+      let emitted = ref 0 in
+      let rec drain () =
+        match Orianna_util.Heap.pop heap with
+        | None -> ()
+        | Some s ->
+            incr emitted;
+            if s < n then emit_single s else emit_batch (s - n);
+            List.iter
+              (fun c ->
+                indeg.(c) <- indeg.(c) - 1;
+                if indeg.(c) = 0 then Orianna_util.Heap.push heap c)
+              sconsumers.(s);
+            drain ()
+      in
+      drain ();
+      let total_members = Array.fold_left (fun acc ms -> acc + List.length ms) 0 batches in
+      if !emitted <> nsup - total_members then
+        failwith "Opt.superword: contracted graph not covered";
+      let outputs = List.map (fun (nm, r) -> (nm, map.(r))) p.Program.outputs in
+      if !merged > 0 then Obs.count "isa.opt.superword_merged" ~n:!merged;
+      (Program.Builder.finish b ~outputs, map, !merged)
+    end
+  end
+
+let superword ?min_batch ?max_batch ?kinds p =
+  let p', map, _ = superword_pass ?min_batch ?max_batch ?kinds p in
+  (p', map)
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline                                                            *)
 
-let optimize_traced ?(level = 1) (p : Program.t) =
+let optimize_traced ?(level = 1) ?cost_model ?probe (p : Program.t) =
   let before = Program.length p in
-  let zero = { before; after = before; cse_merged = 0; fused = 0; dce_removed = 0; reorder_moved = 0 } in
+  let zero =
+    {
+      before;
+      after = before;
+      cse_merged = 0;
+      fused = 0;
+      dce_removed = 0;
+      reorder_moved = 0;
+      superword_merged = 0;
+      cycle_deltas = [];
+    }
+  in
   if level <= 0 || before = 0 then (p, identity_map before, zero)
   else begin
+    let cm = match cost_model with Some c -> c | None -> static_cost_model in
+    (* Measured cycles when a probe is injected; the cost-model
+       list-schedule estimate otherwise (used only at level >= 3,
+       where the fixpoint needs a metric to accept against). *)
+    let measurable = Option.is_some probe || level >= 3 in
+    let measure =
+      match probe with
+      | Some f -> f
+      | None -> fun q -> (estimate_cycles ~cost_model:cm q, Array.make (Program.length q) 0)
+    in
     let prog = ref p in
     let map = ref (identity_map before) in
     let cse_merged = ref 0 and fused = ref 0 in
@@ -420,14 +842,99 @@ let optimize_traced ?(level = 1) (p : Program.t) =
     let q, m, dce_removed = dce_pass !prog in
     prog := q;
     map := compose !map m;
-    let q, m = reorder !prog in
     let reorder_moved = ref 0 in
-    Array.iteri (fun i mi -> if i <> mi then incr reorder_moved) m;
-    prog := q;
-    map := compose !map m;
+    let superword_merged = ref 0 in
+    let deltas = ref [] in
+    let accept_reorder (q, m) =
+      Array.iteri (fun i mi -> if i <> mi then incr reorder_moved) m;
+      prog := q;
+      map := compose !map m
+    in
+    (* Accept-if-better guard: with a measurement available, keep a
+       candidate stream only if it does not cost cycles; without one
+       (levels 1-2, no probe), reorder unconditionally as before. *)
+    (if not measurable then accept_reorder (reorder !prog)
+     else begin
+       let c0, _ = measure !prog in
+       let ((q, _) as cand) = reorder !prog in
+       let c1, _ = measure q in
+       if c1 <= c0 then begin
+         accept_reorder cand;
+         deltas := ("reorder", c0 - c1) :: !deltas
+       end
+       else deltas := ("reorder (rejected)", c0 - c1) :: !deltas
+     end);
+    (* O2: one measured-stall feedback round. *)
+    if level >= 2 && measurable && Option.is_some probe then begin
+      let c0, stalls = measure !prog in
+      let ((q, _) as cand) = reorder ~stalls !prog in
+      let c1, _ = measure q in
+      if c1 < c0 then begin
+        accept_reorder cand;
+        deltas := ("reorder+stalls", c0 - c1) :: !deltas
+      end
+    end;
+    (* O3: profile-guided fixpoint — resource-aware global reorder and
+       superword batching candidates, each accepted only if measured
+       (or modeled) cycles strictly improve, iterated until no
+       candidate helps. *)
+    if level >= 3 then begin
+      let improved = ref true in
+      let fixrounds = ref 0 in
+      while !improved && !fixrounds < 6 do
+        incr fixrounds;
+        improved := false;
+        let label name = Printf.sprintf "%s#%d" name !fixrounds in
+        (let c0, stalls = measure !prog in
+         let ((q, _) as cand) = reorder ~stalls ~cost_model:cm !prog in
+         let c1, _ = measure q in
+         if c1 < c0 then begin
+           accept_reorder cand;
+           deltas := (label "reorder+ports", c0 - c1) :: !deltas;
+           improved := true
+         end);
+        List.iter
+          (fun (kinds, name) ->
+            let c0, _ = measure !prog in
+            let q, m, merged = superword_pass ~kinds !prog in
+            if merged > 0 then begin
+              let q, m2, _ = dce_pass q in
+              let m = compose m m2 in
+              let c1, _ = measure q in
+              if c1 < c0 then begin
+                prog := q;
+                map := compose !map m;
+                superword_merged := !superword_merged + merged;
+                deltas := (label name, c0 - c1) :: !deltas;
+                improved := true
+              end
+            end)
+          [ (`Mul, "superword"); (`All, "superword+vec") ]
+      done
+    end;
+    (* Monotonicity net: an optimized stream must never measure worse
+       than its input.  (Reachable in principle when instruction
+       deletions degrade the schedule; fixes the MobileRobot O1 cycle
+       regression.) *)
+    if measurable then begin
+      let cf, _ = measure !prog in
+      let corig, _ = measure p in
+      if cf > corig then begin
+        prog := p;
+        map := identity_map before;
+        cse_merged := 0;
+        fused := 0;
+        reorder_moved := 0;
+        superword_merged := 0;
+        deltas := [ ("reverted (optimized stream measured slower)", 0) ]
+      end
+    end;
     Program.validate !prog;
     let after = Program.length !prog in
     if before > after then Obs.count "isa.opt.instructions_saved" ~n:(before - after);
+    let cycle_deltas = List.rev !deltas in
+    let saved = List.fold_left (fun acc (_, d) -> if d > 0 then acc + d else acc) 0 cycle_deltas in
+    if saved > 0 then Obs.count "isa.opt.cycles_saved" ~n:saved;
     ( !prog,
       !map,
       {
@@ -435,15 +942,22 @@ let optimize_traced ?(level = 1) (p : Program.t) =
         after;
         cse_merged = !cse_merged;
         fused = !fused;
-        dce_removed;
+        dce_removed = (if !prog == p then 0 else dce_removed);
         reorder_moved = !reorder_moved;
+        superword_merged = !superword_merged;
+        cycle_deltas;
       } )
   end
 
-let optimize ?level p =
-  let p', _, _ = optimize_traced ?level p in
+let optimize ?level ?cost_model ?probe p =
+  let p', _, _ = optimize_traced ?level ?cost_model ?probe p in
   p'
 
 let pp_report ppf r =
-  Format.fprintf ppf "%d -> %d instructions (cse %d, fused %d, dce %d, reordered %d)" r.before
-    r.after r.cse_merged r.fused r.dce_removed r.reorder_moved
+  Format.fprintf ppf "%d -> %d instructions (cse %d, fused %d, dce %d, reordered %d, superword %d)"
+    r.before r.after r.cse_merged r.fused r.dce_removed r.reorder_moved r.superword_merged;
+  match r.cycle_deltas with
+  | [] -> ()
+  | ds ->
+      let saved = List.fold_left (fun acc (_, d) -> acc + d) 0 ds in
+      Format.fprintf ppf ", %+d cycles" (-saved)

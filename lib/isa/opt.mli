@@ -26,7 +26,8 @@
 
     Per-pass deltas are reported through [Orianna_obs] counters:
     [isa.opt.cse_merged], [isa.opt.fused], [isa.opt.dce_removed],
-    [isa.opt.reorder_moved], [isa.opt.instructions_saved]. *)
+    [isa.opt.reorder_moved], [isa.opt.superword_merged],
+    [isa.opt.instructions_saved], [isa.opt.cycles_saved]. *)
 
 type report = {
   before : int;  (** instruction count going in *)
@@ -35,7 +36,40 @@ type report = {
   fused : int;  (** peephole rewrites + forwardings (all rounds) *)
   dce_removed : int;  (** dead instructions removed *)
   reorder_moved : int;  (** instructions whose position changed *)
+  superword_merged : int;  (** member ops folded into batched kernels *)
+  cycle_deltas : (string * int) list;
+      (** per-pass measured (or modeled) cycle savings, in application
+          order; positive = cycles saved, rejected candidates are
+          labeled and carry the regression they would have cost *)
 }
+
+type cost_model = {
+  classes : int;  (** number of unit classes *)
+  class_of : Instr.opcode -> int;  (** opcode -> class index, < [classes] *)
+  ports : int array;  (** unit instances per class (issue width) *)
+  latency : Instr.t -> src_shape:(int -> int * int) -> int;
+      (** per-instruction cycles given a source-shape oracle *)
+}
+(** Injected hardware cost surface.  [Orianna_isa] cannot depend on
+    the hardware layer, so the real per-opcode latencies and
+    unit-instance counts of a generated accelerator are threaded in
+    through this record — see [Orianna_hw.Accel.cost_model]. *)
+
+val static_cost_model : cost_model
+(** One port per class with latencies mirroring the shape (not the
+    exact parameters) of [Orianna_hw.Unit_model]. *)
+
+type probe = Program.t -> int * int array
+(** A measurement hook: schedule the program on a concrete accelerator
+    and return (makespan cycles, per-instruction operand-stall
+    attribution as produced by [Orianna_sim.Trace.operand_stalls]).
+    See [Orianna_sim.Opt_loop.probe]. *)
+
+val estimate_cycles : ?cost_model:cost_model -> Program.t -> int
+(** Modeled makespan: deterministic resource-constrained list
+    scheduling under [cost_model] (default {!static_cost_model}).
+    Used as the acceptance metric at level 3 when no {!probe} is
+    available. *)
 
 val cse : Program.t -> Program.t * int array
 (** Merge structurally identical pure instructions, keeping the first
@@ -56,23 +90,54 @@ val fuse : Program.t -> Program.t * int array
 val dce : Program.t -> Program.t * int array
 (** Remove instructions not backward-reachable from [p.outputs]. *)
 
-val reorder : ?stalls:int array -> Program.t -> Program.t * int array
-(** Topologically re-sequence each contiguous [algo] run (runs are
-    never interleaved, so the per-algorithm partitions seen by
-    [Ooo_fine] scheduling keep their first-appearance order).
-    Priority = longest latency-weighted path to a sink, using a static
-    per-opcode latency model; [stalls] (one entry per instruction, as
-    produced by [Orianna_sim.Trace.operand_stalls] on {e this}
-    program) adds measured operand-stall cycles attributed to each
-    producer to its weight.  Raises [Invalid_argument] if [stalls]
-    has the wrong length. *)
+val reorder : ?stalls:int array -> ?cost_model:cost_model -> Program.t -> Program.t * int array
+(** Without [cost_model]: topologically re-sequence each contiguous
+    [algo] run (runs are never interleaved, so the per-algorithm
+    partitions seen by [Ooo_fine] scheduling keep their
+    first-appearance order), priority = longest latency-weighted path
+    to a sink under the static model.  With [cost_model]:
+    resource-aware list scheduling over the {e whole} stream — port
+    contention on every unit class is modeled with the injected
+    instance counts and latencies, and algo runs interleave freely.
+    [stalls] (one entry per instruction, as produced by
+    [Orianna_sim.Trace.operand_stalls] on {e this} program) adds
+    measured operand-stall cycles attributed to each producer to its
+    weight.  Raises [Invalid_argument] if [stalls] has the wrong
+    length. *)
 
-val optimize : ?level:int -> Program.t -> Program.t
-(** [optimize ~level p]: [level <= 0] returns [p] unchanged; [level
-    >= 1] runs fuse+cse to a fixpoint, then dce, then a statically
-    weighted reorder.  Default level is [1]. *)
+val superword :
+  ?min_batch:int ->
+  ?max_batch:int ->
+  ?kinds:[ `Mul | `All ] ->
+  Program.t ->
+  Program.t * int array
+(** Batch small independent same-shape ops of the same [algo]/[phase]
+    into one wide [Kernel] whose result vertically stacks the member
+    results; each member's register becomes an [Extract] of its slice,
+    so the traced map proves equivalence member-by-member.  Two ops
+    share a batch only if neither transitively depends on the other.
+    [`Mul] (default) batches Gemm/Gemv only; [`All] also batches
+    elementwise Vadd/Vsub/Scale/Neg through the matmul unit.
+    [min_batch] (default 3) and [max_batch] (default 16) bound batch
+    sizes.  Batched kernels evaluate members with [Program.eval_op],
+    so results are bit-identical. *)
 
-val optimize_traced : ?level:int -> Program.t -> Program.t * int array * report
+val optimize : ?level:int -> ?cost_model:cost_model -> ?probe:probe -> Program.t -> Program.t
+(** [optimize ~level p]: [level <= 0] returns [p] unchanged; [level >=
+    1] runs fuse+cse to a fixpoint, then dce, then a statically
+    weighted reorder; [level >= 2] adds one measured-stall reorder
+    round (requires [probe]); [level >= 3] adds a profile-guided
+    fixpoint — resource-aware global reorder under [cost_model] and
+    superword batching, each candidate accepted only if cycles
+    strictly improve, iterated until no candidate helps.  With a
+    [probe] (or at level 3, where the {!estimate_cycles} model stands
+    in), every reorder is guarded accept-if-better and the final
+    stream is reverted wholesale if it measures slower than the input,
+    so optimization can never cost cycles under the measuring
+    schedule.  Default level is [1]. *)
+
+val optimize_traced :
+  ?level:int -> ?cost_model:cost_model -> ?probe:probe -> Program.t -> Program.t * int array * report
 (** Like {!optimize} but also returns the composed old->new register
     map and a per-pass {!report}.  The result is re-validated with
     [Program.validate]. *)

@@ -137,45 +137,49 @@ let validate t =
         failwith ("Program.validate: output " ^ name ^ " out of range"))
     t.outputs
 
+(* Evaluate one instruction given its source {e values} (positionally
+   aligned with [ins.srcs]).  Shared by {!execute} and the optimizer's
+   superword pass, whose batched kernels must reproduce the member
+   ops' semantics bit-for-bit. *)
+let eval_op (ins : Instr.t) (args : Mat.t array) =
+  let src k = args.(k) in
+  match ins.Instr.op with
+  | Instr.Load m -> m
+  | Instr.Vadd -> Mat.add (src 0) (src 1)
+  | Instr.Vsub -> Mat.sub (src 0) (src 1)
+  | Instr.Scale s -> Mat.scale s (src 0)
+  | Instr.Neg -> Mat.neg (src 0)
+  | Instr.Transpose -> Mat.transpose (src 0)
+  | Instr.Gemm | Instr.Gemv -> Mat.mul (src 0) (src 1)
+  | Instr.Logm ->
+      let r = src 0 in
+      if fst (Mat.dims r) = 2 then Mat.of_rows [| [| So2.log r |] |] else Mat.of_vec (So3.log r)
+  | Instr.Expm ->
+      let v = src 0 in
+      if fst (Mat.dims v) = 1 then So2.exp (Mat.get v 0 0) else So3.exp (Mat.to_vec v)
+  | Instr.Skew ->
+      let v = src 0 in
+      if fst (Mat.dims v) = 1 then So2.hat (Mat.get v 0 0) else So3.hat (Mat.to_vec v)
+  | Instr.Jr ->
+      let v = src 0 in
+      if fst (Mat.dims v) = 1 then Mat.identity 1 else So3.jr (Mat.to_vec v)
+  | Instr.Jrinv ->
+      let v = src 0 in
+      if fst (Mat.dims v) = 1 then Mat.identity 1 else So3.jr_inv (Mat.to_vec v)
+  | Instr.Assemble places ->
+      let out = Mat.create ins.Instr.rows ins.Instr.cols in
+      List.iteri (fun k (r, c) -> Mat.set_block out r c args.(k)) places;
+      out
+  | Instr.Extract { row; col; rows; cols } -> Mat.block (src 0) row col rows cols
+  | Instr.Qr -> Qr.triangularize (src 0)
+  | Instr.Backsolve -> Mat.of_vec (Tri.solve_upper (src 0) (Mat.to_vec (src 1)))
+  | Instr.Kernel k -> k.Instr.apply args
+
 let execute t =
   let values = Array.make (Array.length t.instrs) (Mat.create 0 0) in
   Array.iter
     (fun (ins : Instr.t) ->
-      let src k = values.(ins.Instr.srcs.(k)) in
-      let result =
-        match ins.Instr.op with
-        | Instr.Load m -> m
-        | Instr.Vadd -> Mat.add (src 0) (src 1)
-        | Instr.Vsub -> Mat.sub (src 0) (src 1)
-        | Instr.Scale s -> Mat.scale s (src 0)
-        | Instr.Neg -> Mat.neg (src 0)
-        | Instr.Transpose -> Mat.transpose (src 0)
-        | Instr.Gemm | Instr.Gemv -> Mat.mul (src 0) (src 1)
-        | Instr.Logm ->
-            let r = src 0 in
-            if fst (Mat.dims r) = 2 then Mat.of_rows [| [| So2.log r |] |]
-            else Mat.of_vec (So3.log r)
-        | Instr.Expm ->
-            let v = src 0 in
-            if fst (Mat.dims v) = 1 then So2.exp (Mat.get v 0 0) else So3.exp (Mat.to_vec v)
-        | Instr.Skew ->
-            let v = src 0 in
-            if fst (Mat.dims v) = 1 then So2.hat (Mat.get v 0 0) else So3.hat (Mat.to_vec v)
-        | Instr.Jr ->
-            let v = src 0 in
-            if fst (Mat.dims v) = 1 then Mat.identity 1 else So3.jr (Mat.to_vec v)
-        | Instr.Jrinv ->
-            let v = src 0 in
-            if fst (Mat.dims v) = 1 then Mat.identity 1 else So3.jr_inv (Mat.to_vec v)
-        | Instr.Assemble places ->
-            let out = Mat.create ins.Instr.rows ins.Instr.cols in
-            List.iteri (fun k (r, c) -> Mat.set_block out r c (values.(ins.Instr.srcs.(k)))) places;
-            out
-        | Instr.Extract { row; col; rows; cols } -> Mat.block (src 0) row col rows cols
-        | Instr.Qr -> Qr.triangularize (src 0)
-        | Instr.Backsolve -> Mat.of_vec (Tri.solve_upper (src 0) (Mat.to_vec (src 1)))
-        | Instr.Kernel k -> k.Instr.apply (Array.map (fun s -> values.(s)) ins.Instr.srcs)
-      in
+      let result = eval_op ins (Array.map (fun s -> values.(s)) ins.Instr.srcs) in
       let r, c = Mat.dims result in
       if r <> ins.Instr.rows || c <> ins.Instr.cols then
         failwith

@@ -53,6 +53,12 @@ val hash : t -> int32
 val validate : t -> unit
 (** Check SSA ordering and source-range sanity; raises [Failure]. *)
 
+val eval_op : Instr.t -> Mat.t array -> Mat.t
+(** Evaluate one instruction given its source {e values} (positionally
+    aligned with [srcs]).  {!execute} is defined in terms of this; the
+    optimizer's superword pass captures it so batched kernels
+    reproduce member-op semantics bit-for-bit. *)
+
 val execute : t -> Mat.t array
 (** Evaluate every instruction (vectors are [n x 1] matrices). *)
 

@@ -60,9 +60,12 @@ let structural_key ?(opt_level = 1) graphs =
      [Program.hash]) without changing the template, so the cache key
      is the pair (structural key, opt_level): entries compiled at
      different levels must not alias.  Clamped to the effective level
-     (0 = off, 1 = static pipeline, 2+ = schedule feedback): levels
-     that produce identical artifacts must share one entry. *)
-  let effective = if opt_level <= 0 then 0 else if opt_level = 1 then 1 else 2 in
+     (0 = off, 1 = static pipeline, 2 = one schedule-feedback round,
+     3+ = profile-guided fixpoint): levels that produce identical
+     artifacts must share one entry. *)
+  let effective =
+    if opt_level <= 0 then 0 else if opt_level = 1 then 1 else if opt_level = 2 then 2 else 3
+  in
   Buffer.add_string buf "O|";
   Buffer.add_string buf (string_of_int effective);
   Buffer.add_char buf '\n';

@@ -1,0 +1,34 @@
+(** Profile-guided optimization against the cycle-level scheduler.
+
+    [Orianna_isa.Opt] owns the passes and the accept-if-better
+    fixpoint; this module supplies the measurement: schedule the
+    candidate on a concrete accelerator, return the makespan and the
+    per-producer operand-stall attribution, and inject the
+    accelerator's real cost model ({!Orianna_hw.Accel.cost_model}).
+    With a measured probe the optimizer's guard holds at {e every}
+    level: an optimized stream never schedules slower than its input
+    on the probing accelerator/policy, and cycles are monotonically
+    non-increasing in the level. *)
+
+open Orianna_isa
+open Orianna_hw
+
+val probe : ?accel:Accel.t -> ?policy:Schedule.policy -> unit -> Opt.probe
+(** Measurement hook for [Opt.optimize_traced]: [Schedule.run] under
+    the given accelerator (default [Accel.base ()]) and policy
+    (default [Ooo_full]), paired with
+    [Trace.operand_stalls] attribution. *)
+
+val optimize_traced :
+  ?accel:Accel.t ->
+  ?policy:Schedule.policy ->
+  ?level:int ->
+  Program.t ->
+  Program.t * int array * Opt.report
+(** [Opt.optimize_traced] with this accelerator's cost model and a
+    measured probe.  Default level 1, accelerator [Accel.base ()],
+    policy [Ooo_full]. *)
+
+val optimize :
+  ?accel:Accel.t -> ?policy:Schedule.policy -> ?level:int -> Program.t -> Program.t
+(** {!optimize_traced} without the map and report. *)

@@ -24,6 +24,7 @@ open Orianna_util
 module Compile = Orianna_compiler.Compile
 module App = Orianna_apps.App
 module Schedule = Orianna_sim.Schedule
+module Opt_loop = Orianna_sim.Opt_loop
 module Accel = Orianna_hw.Accel
 module Json = Orianna_obs.Json
 module Cache = Orianna_serve.Cache
@@ -196,6 +197,79 @@ let test_reoptimize_feedback_round () =
     App.all
 
 (* ------------------------------------------------------------------ *)
+(* O3: superword batching and the profile-guided fixpoint              *)
+
+let test_superword_app_equivalent () =
+  (* Superword batching alone: merged members become one wide kernel
+     plus per-member extract slices; every surviving register must
+     read back identically through the map (the kernels evaluate their
+     members with Program.eval_op, so equality is bit-exact). *)
+  List.iter
+    (fun (app : App.t) ->
+      let p = Compile.compile_application ~opt_level:1 (app.App.graphs (Rng.of_int bench_seed)) in
+      List.iter
+        (fun (kinds, label) ->
+          check_equivalent
+            ~what:(Printf.sprintf "%s: superword %s" app.App.name label)
+            p (Opt.superword ~kinds p))
+        [ (`Mul, "mul"); (`All, "all") ])
+    App.all
+
+let test_o3_differential (app : App.t) () =
+  (* The full measured O3 loop against the O0 stream, value-by-value
+     through the composed map (1e-9, same bar as every other pass). *)
+  let p0 = Compile.compile_application ~opt_level:0 (app.App.graphs (Rng.of_int bench_seed)) in
+  let p3, map, _ = Opt_loop.optimize_traced ~level:3 p0 in
+  check_equivalent ~what:(app.App.name ^ " O0 vs O3") p0 (p3, map)
+
+let test_o3_monotone_cycles () =
+  (* Levels only ever help: the measured loop's accept-if-better guard
+     makes cycles non-increasing in the level on the probing
+     accelerator/policy, for every app. *)
+  let accel = Accel.base () in
+  List.iter
+    (fun (app : App.t) ->
+      let p0 = Compile.compile_application ~opt_level:0 (app.App.graphs (Rng.of_int bench_seed)) in
+      let cycles p = (Schedule.run ~accel ~policy:Schedule.Ooo_full p).Schedule.cycles in
+      let cs =
+        List.map
+          (fun l -> cycles (if l = 0 then p0 else Opt_loop.optimize ~accel ~level:l p0))
+          [ 0; 1; 2; 3 ]
+      in
+      match cs with
+      | [ c0; c1; c2; c3 ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: cycles monotone O0 %d >= O1 %d >= O2 %d >= O3 %d" app.App.name
+               c0 c1 c2 c3)
+            true
+            (c0 >= c1 && c1 >= c2 && c2 >= c3)
+      | _ -> assert false)
+    App.all
+
+let test_cycle_reduction_floor () =
+  (* The CI gate's new invariant, asserted in-tree as well: the
+     measured O3 loop cuts cycles by >= 5% on at least two of the four
+     apps and never schedules any app slower than its O0 stream. *)
+  let accel = Accel.base () in
+  let reductions =
+    List.map
+      (fun (a : App.t) ->
+        let p0 = Compile.compile_application ~opt_level:0 (a.App.graphs (Rng.of_int bench_seed)) in
+        let p3 = Opt_loop.optimize ~accel ~level:3 p0 in
+        let c p = (Schedule.run ~accel ~policy:Schedule.Ooo_full p).Schedule.cycles in
+        let c0 = c p0 and c3 = c p3 in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: O3 (%d) <= O0 (%d) cycles" a.App.name c3 c0)
+          true (c3 <= c0);
+        1.0 -. (float_of_int c3 /. float_of_int c0))
+      App.all
+  in
+  let at5 = List.length (List.filter (fun r -> r >= 0.05) reductions) in
+  Alcotest.(check bool)
+    (Printf.sprintf ">= 5%% cycle cut on >= 2 apps (got %d)" at5)
+    true (at5 >= 2)
+
+(* ------------------------------------------------------------------ *)
 (* QCheck: random factor graphs (generator mirrors test_properties)    *)
 
 let random_linear_graph seed nvars =
@@ -250,6 +324,30 @@ let prop_pipeline =
       report.Opt.after <= report.Opt.before
       && Program.length p' = report.Opt.after
       && equivalent p (p', map))
+
+let prop_superword =
+  (* Batches of either kind slice back to the original values; the
+     rebuilt stream is a valid topological order even when the greedy
+     grouping has to be repaired for cross-batch cycles. *)
+  QCheck.Test.make ~name:"opt: superword batching preserves simulated results" ~count:40
+    pair_seed (fun (seed, nvars) ->
+      let p = Compile.compile ~opt_level:0 (random_linear_graph seed nvars) in
+      List.for_all
+        (fun kinds ->
+          let ((p', _) as r) = Opt.superword ~min_batch:2 ~kinds p in
+          Program.validate p';
+          equivalent p r)
+        [ `Mul; `All ])
+
+let prop_o3_fixpoint =
+  (* Without a probe the fixpoint accepts against the cost-model
+     estimate; results must still be preserved exactly. *)
+  QCheck.Test.make ~name:"opt: O3 modeled fixpoint preserves simulated results" ~count:30
+    pair_seed (fun (seed, nvars) ->
+      let p = Compile.compile ~opt_level:0 (random_linear_graph seed nvars) in
+      let p', map, _ = Opt.optimize_traced ~level:3 p in
+      Program.validate p';
+      equivalent p (p', map))
 
 (* ------------------------------------------------------------------ *)
 (* Golden snapshots                                                    *)
@@ -385,8 +483,20 @@ let () =
               test_stall_weighted_reorder_equivalent;
             Alcotest.test_case "O2 feedback round" `Quick test_reoptimize_feedback_round;
           ] );
+      ( "o3",
+        [
+          Alcotest.test_case "superword equivalence" `Quick test_superword_app_equivalent;
+          Alcotest.test_case "cycle monotonicity O0..O3" `Quick test_o3_monotone_cycles;
+          Alcotest.test_case "cycle reduction floor" `Quick test_cycle_reduction_floor;
+        ]
+        @ List.map
+            (fun (a : App.t) ->
+              Alcotest.test_case (a.App.name ^ " O0 vs O3") `Quick (test_o3_differential a))
+            App.all );
       ( "properties",
-        qcheck (List.map (fun (name, pass) -> prop_pass name pass) passes @ [ prop_pipeline ]) );
+        qcheck
+          (List.map (fun (name, pass) -> prop_pass name pass) passes
+          @ [ prop_pipeline; prop_superword; prop_o3_fixpoint ]) );
       ( "golden",
         List.map
           (fun (a : App.t) -> Alcotest.test_case a.App.name `Quick (test_golden a))

@@ -31,13 +31,14 @@ let test_structural_key_seed_invariant () =
   Alcotest.(check bool) "apps differ" true (k 1 <> km 1)
 
 let test_structural_key_opt_level () =
-  (* Effective opt levels are {0, 1, 2}: distinct levels must not
-     alias, but levels beyond 2 compile identically to 2 and must
+  (* Effective opt levels are {0, 1, 2, 3}: distinct levels must not
+     alias, but levels beyond 3 compile identically to 3 and must
      share its entry. *)
   let k lvl = Cache.structural_key ~opt_level:lvl (App.quadrotor.App.graphs (Rng.of_int 1)) in
   Alcotest.(check bool) "O0 <> O1" true (k 0 <> k 1);
   Alcotest.(check bool) "O1 <> O2" true (k 1 <> k 2);
-  Alcotest.(check bool) "O2 = O3" true (k 2 = k 3);
+  Alcotest.(check bool) "O2 <> O3" true (k 2 <> k 3);
+  Alcotest.(check bool) "O3 = O4" true (k 3 = k 4);
   Alcotest.(check bool) "O0 = O-1" true (k 0 = k (-1))
 
 let test_cache_counts_and_lru () =
